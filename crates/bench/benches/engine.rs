@@ -1,0 +1,62 @@
+//! Kernel microbenchmarks: fair-share solver and engine throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wfbb_simcore::fairshare::{solve, FlowReq};
+use wfbb_simcore::{Engine, FlowSpec, ResourceId};
+
+/// Max–min solve over `n` flows crossing a shared link plus a private
+/// resource each — the allocation pattern of concurrent pipelines.
+fn bench_fairshare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fairshare_solve");
+    for n in [8usize, 64, 256] {
+        // Resource 0 is shared; resources 1..=n are per-flow.
+        let capacities: Vec<f64> = std::iter::once(1000.0)
+            .chain((0..n).map(|_| 50.0))
+            .collect();
+        let routes: Vec<[ResourceId; 2]> = (0..n)
+            .map(|i| [ResourceId::from_index(0), ResourceId::from_index(i + 1)])
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let flows: Vec<FlowReq> = routes
+                    .iter()
+                    .map(|r| FlowReq {
+                        route: r,
+                        rate_cap: None,
+                    })
+                    .collect();
+                black_box(solve(&capacities, &flows))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end engine throughput: `n` equal flows on one link, run to
+/// completion (one solve per completion event).
+fn bench_engine_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_run");
+    for n in [16usize, 128, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut engine: Engine<usize> = Engine::new();
+                let link = engine.add_resource("link", 1000.0);
+                for i in 0..n {
+                    // Staggered sizes force n distinct completion events.
+                    engine.spawn_flow(FlowSpec::new(100.0 + i as f64, vec![link]), i);
+                }
+                black_box(engine.run_to_completion().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fairshare, bench_engine_events
+}
+criterion_main!(benches);

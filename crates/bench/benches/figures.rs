@@ -1,0 +1,25 @@
+//! Per-figure regeneration benchmarks — one benchmark per reproduced
+//! table/figure, running exactly the sweep the corresponding experiment
+//! binary runs (Table I, Figures 4–11, 13, 14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_regeneration");
+    group.sample_size(10);
+    for name in wfbb_bench::FIGURE_IDS {
+        let run = wfbb_experiments::figures::by_name(name).expect("known figure");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| black_box(run()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_figures
+}
+criterion_main!(benches);

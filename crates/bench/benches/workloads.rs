@@ -1,0 +1,65 @@
+//! Full-simulation benchmarks: the paper's two applications end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wfbb_platform::{presets, BbMode};
+use wfbb_storage::PlacementPolicy;
+use wfbb_wms::SimulationBuilder;
+use wfbb_workloads::{GenomesConfig, SwarpConfig};
+
+/// SWarp with increasing pipeline counts on Cori/private (the Figure 7/11
+/// configuration).
+fn bench_swarp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swarp_simulation");
+    for pipelines in [1usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pipelines),
+            &pipelines,
+            |b, &p| {
+                let platform = presets::cori(1, BbMode::Private);
+                let wf = SwarpConfig::new(p).with_cores_per_task(1).build();
+                b.iter(|| {
+                    let report = SimulationBuilder::new(platform.clone(), wf.clone())
+                        .placement(PlacementPolicy::AllBb)
+                        .run()
+                        .unwrap();
+                    black_box(report.makespan)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// 1000Genomes at increasing chromosome counts on Summit, up to the
+/// paper's 22-chromosome / 903-task instance.
+fn bench_genomes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("genomes_simulation");
+    group.sample_size(10);
+    for chromosomes in [4usize, 22] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(chromosomes),
+            &chromosomes,
+            |b, &n| {
+                let platform = presets::summit(4);
+                let wf = GenomesConfig::new(n).build();
+                b.iter(|| {
+                    let report = SimulationBuilder::new(platform.clone(), wf.clone())
+                        .placement(PlacementPolicy::FractionToBb { fraction: 0.5 })
+                        .run()
+                        .unwrap();
+                    black_box(report.makespan)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_swarp, bench_genomes
+}
+criterion_main!(benches);

@@ -1,0 +1,471 @@
+//! The measurement emulator — our stand-in for real Cori/Summit runs.
+//!
+//! The paper validates its simulator against executions on two production
+//! machines we do not have. Following the substitution rule in DESIGN.md,
+//! the emulator plays the role of "the real platform": it is the same
+//! fluid simulator, *plus* the effects the paper's deliberately simple
+//! model omits — which is exactly why the paper reports 5–16 % error
+//! rather than 0 %:
+//!
+//! * **Non-perfect task speedup.** The model assumes perfect speedup
+//!   (Equation 4); real Combine barely scales (Figure 6). The emulator
+//!   injects per-category Amdahl fractions.
+//! * **Interference noise.** Both machines are shared; striped-mode runs
+//!   vary by ~15 %, private runs less, on-node runs least (Figure 8). The
+//!   emulator applies seeded log-normal noise with per-mode spread.
+//! * **Private-mode small-file penalty.** Measured private-mode makespans
+//!   *rise* slightly as more small files are staged (the trend inversion
+//!   of Figure 10(a), attributed to concurrent storage access). The
+//!   emulator degrades private BB bandwidth and metadata with the staged
+//!   fraction.
+//! * **The 75 % striped anomaly.** Stage-in under the striped mode is
+//!   reproducibly worse at 75 % staged than at 100 % (Figure 4); the paper
+//!   suspects a configuration threshold. The emulator halves striped
+//!   metadata throughput in the 70–80 % band.
+//!
+//! Comparing clean-simulator output against emulator output therefore
+//! reproduces the *structure* of the paper's validation: same trends, same
+//! sign of deviation, errors of the same order.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wfbb_platform::{BbArchitecture, BbMode, PlatformSpec};
+use wfbb_simcore::SimTime;
+use wfbb_storage::{PlacementPolicy, Tier};
+use wfbb_wms::{SimulationBuilder, SimulationError, SimulationReport};
+use wfbb_workflow::Workflow;
+
+use crate::params;
+use crate::params::OBSERVED_CORES;
+
+/// Tuning knobs of the measurement emulator.
+#[derive(Debug, Clone)]
+pub struct EmulatorConfig {
+    /// Base RNG seed; combined with the repetition index.
+    pub seed: u64,
+    /// Log-normal noise spread for shared/private runs.
+    pub noise_sigma_private: f64,
+    /// Log-normal noise spread for shared/striped runs (largest — the
+    /// paper measures ~15 % variability).
+    pub noise_sigma_striped: f64,
+    /// Log-normal noise spread for on-node runs (smallest — no network on
+    /// the BB path).
+    pub noise_sigma_onnode: f64,
+    /// Private-mode degradation coefficient: BB bandwidth divided by
+    /// `1 + c·fraction_staged` (drives the Figure 10(a) trend inversion).
+    pub private_penalty: f64,
+    /// Striped metadata slowdown factor applied when the staged fraction
+    /// falls in the 70–80 % band (the Figure 4 anomaly).
+    pub striped_anomaly_slowdown: f64,
+    /// Interference coefficient for concurrent pipelines sharing a remote
+    /// BB: shared-BB bandwidth and metadata are divided by
+    /// `1 + c·(width − 1)` where `width` is the workflow's maximum task
+    /// parallelism. Drives the measured per-task slowdowns of Figure 7
+    /// that the clean fluid model underestimates.
+    pub shared_concurrency_penalty: f64,
+    /// Fixed degradation of the on-node NVMe relative to its spec-sheet
+    /// bandwidth under mixed read/write task I/O.
+    pub onnode_disk_derate: f64,
+    /// Fixed degradation of Summit's effective per-core compute throughput
+    /// for SWarp (the task calibration was done on Cori and reused for
+    /// Summit, as in the paper; its on-node simulations overestimate
+    /// performance by ~6 %).
+    pub onnode_compute_derate: f64,
+    /// Extra relative noise per unit of concurrency on shared BBs: the
+    /// effective sigma is `sigma × sqrt(1 + c·(width − 1))`, so run-to-run
+    /// variation worsens with interference (Figure 8).
+    pub noise_concurrency_scale: f64,
+    /// Per-category Amdahl overrides applied to "real" runs.
+    pub alphas: HashMap<String, f64>,
+}
+
+impl Default for EmulatorConfig {
+    fn default() -> Self {
+        let mut alphas = HashMap::new();
+        alphas.insert("resample".to_string(), params::REAL_ALPHA_RESAMPLE);
+        alphas.insert("combine".to_string(), params::REAL_ALPHA_COMBINE);
+        EmulatorConfig {
+            seed: 0x5741_5250, // "SWRP"
+            noise_sigma_private: 0.05,
+            noise_sigma_striped: 0.11,
+            noise_sigma_onnode: 0.015,
+            private_penalty: 1.2,
+            striped_anomaly_slowdown: 2.5,
+            shared_concurrency_penalty: 0.016,
+            onnode_disk_derate: 0.10,
+            onnode_compute_derate: 0.06,
+            noise_concurrency_scale: 0.03,
+            alphas,
+        }
+    }
+}
+
+/// Generates "measured" executions.
+#[derive(Debug, Clone, Default)]
+pub struct Emulator {
+    /// Emulator tuning.
+    pub config: EmulatorConfig,
+}
+
+impl Emulator {
+    /// Creates an emulator with the given configuration.
+    pub fn new(config: EmulatorConfig) -> Self {
+        Emulator { config }
+    }
+
+    /// Fraction of input files a placement policy stages into the BB.
+    pub fn staged_fraction(placement: &PlacementPolicy, workflow: &Workflow) -> f64 {
+        let inputs = workflow.input_files();
+        if inputs.is_empty() {
+            return 0.0;
+        }
+        let plan = placement.plan(workflow);
+        let staged = inputs
+            .iter()
+            .filter(|&&f| plan.tier(f) == Tier::BurstBuffer)
+            .count();
+        staged as f64 / inputs.len() as f64
+    }
+
+    /// The platform as the emulator sees it: degraded private-mode BB for
+    /// high staged fractions, the striped anomaly band, otherwise
+    /// unchanged.
+    fn effective_platform(
+        &self,
+        platform: &PlatformSpec,
+        fraction: f64,
+        width: usize,
+    ) -> PlatformSpec {
+        let mut p = platform.clone();
+        match p.bb {
+            BbArchitecture::Shared {
+                mode: BbMode::Private,
+                ..
+            } => {
+                let degrade = 1.0 + self.config.private_penalty * fraction;
+                p.bb_network_bw /= degrade;
+                p.bb_meta_ops /= degrade;
+            }
+            BbArchitecture::Shared {
+                mode: BbMode::Striped,
+                ..
+            }
+                if (0.70..0.80).contains(&fraction) => {
+                    p.bb_meta_ops /= self.config.striped_anomaly_slowdown;
+                }
+            _ => {}
+        }
+        // Interference among concurrent pipelines on a remote shared BB.
+        if matches!(p.bb, BbArchitecture::Shared { .. }) && width > 1 {
+            let degrade = 1.0 + self.config.shared_concurrency_penalty * (width as f64 - 1.0);
+            p.bb_network_bw /= degrade;
+            p.bb_meta_ops /= degrade;
+            p.io_core_bw /= degrade;
+        }
+        // The local NVMe never reaches its spec-sheet bandwidth under the
+        // mixed small-file read/write pattern of task I/O.
+        if matches!(p.bb, BbArchitecture::OnNode) {
+            p.bb_disk_bw /= 1.0 + self.config.onnode_disk_derate;
+            p.gflops_per_core /= 1.0 + self.config.onnode_compute_derate;
+        }
+        p
+    }
+
+    fn noise_sigma(&self, platform: &PlatformSpec, width: usize) -> f64 {
+        let base = match platform.bb {
+            BbArchitecture::Shared {
+                mode: BbMode::Private,
+                ..
+            } => self.config.noise_sigma_private,
+            BbArchitecture::Shared {
+                mode: BbMode::Striped,
+                ..
+            } => self.config.noise_sigma_striped,
+            BbArchitecture::OnNode => self.config.noise_sigma_onnode,
+            BbArchitecture::None => self.config.noise_sigma_private,
+        };
+        // Interference-driven variation grows with concurrency on the
+        // shared architectures; local NVMe stays stable.
+        if matches!(platform.bb, BbArchitecture::Shared { .. }) && width > 1 {
+            base * (1.0 + self.config.noise_concurrency_scale * (width as f64 - 1.0)).sqrt()
+        } else {
+            base
+        }
+    }
+
+    /// A unit-mean log-normal interference factor for repetition `rep`.
+    fn noise_factor(&self, sigma: f64, rep: u64) -> f64 {
+        if sigma == 0.0 {
+            return 1.0;
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ rep.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Box–Muller.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (sigma * z - sigma * sigma / 2.0).exp()
+    }
+
+    /// Runs one emulated ("measured") execution; `rep` selects the
+    /// interference sample, so repeated calls model repeated real runs.
+    pub fn run(
+        &self,
+        platform: &PlatformSpec,
+        workflow: &Workflow,
+        placement: &PlacementPolicy,
+        rep: u64,
+    ) -> Result<SimulationReport, SimulationError> {
+        let fraction = Self::staged_fraction(placement, workflow);
+        let effective = self.effective_platform(platform, fraction, workflow.width());
+        // Inject real-world Amdahl fractions *consistently with the
+        // observations*: the clean model derived each task's work through
+        // Equation (4) (perfect speedup at the observed core count); if the
+        // real task has serial fraction alpha, the same observation implies
+        // Equation (3)'s smaller sequential work. Rescale so both models
+        // agree exactly at the calibration point.
+        let alphas = &self.config.alphas;
+        let p_obs = OBSERVED_CORES as f64;
+        let wf = workflow.map_tasks(|t| {
+            if let Some(&alpha) = alphas.get(&t.category) {
+                t.alpha = alpha;
+                t.flops *= (1.0 / p_obs) / (alpha + (1.0 - alpha) / p_obs);
+            }
+        });
+        let report = SimulationBuilder::new(effective, wf)
+            .placement(placement.clone())
+            .run()?;
+        let factor = self.noise_factor(self.noise_sigma(platform, workflow.width()), rep);
+        Ok(scale_report(report, factor))
+    }
+
+    /// Runs `n` emulated repetitions and returns their makespans — the
+    /// repetition protocol of the paper (15 runs per configuration).
+    pub fn run_many(
+        &self,
+        platform: &PlatformSpec,
+        workflow: &Workflow,
+        placement: &PlacementPolicy,
+        n: u64,
+    ) -> Result<Vec<SimulationReport>, SimulationError> {
+        (0..n)
+            .map(|rep| self.run(platform, workflow, placement, rep))
+            .collect()
+    }
+}
+
+/// Scales every time stamp of a report by `factor`, keeping the record
+/// internally consistent (bytes are unchanged; achieved bandwidths scale
+/// inversely).
+fn scale_report(mut report: SimulationReport, factor: f64) -> SimulationReport {
+    let scale = |t: SimTime| SimTime::from_seconds(t.seconds() * factor);
+    report.makespan = scale(report.makespan);
+    report.stage_in_time *= factor;
+    for r in &mut report.tasks {
+        r.start = scale(r.start);
+        r.read_end = scale(r.read_end);
+        r.compute_end = scale(r.compute_end);
+        r.end = scale(r.end);
+    }
+    report.bb_achieved_bw /= factor;
+    report.pfs_achieved_bw /= factor;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfbb_platform::presets;
+    use wfbb_workflow::WorkflowBuilder;
+
+    fn small_workflow() -> Workflow {
+        let mut b = WorkflowBuilder::new("wf");
+        let inputs: Vec<_> = (0..4).map(|i| b.add_file(format!("in{i}"), 32e6)).collect();
+        let mid = b.add_file("mid", 32e6);
+        let out = b.add_file("out", 8e6);
+        b.task("r")
+            .category("resample")
+            .flops(7e12)
+            .cores(32)
+            .pipeline(0)
+            .inputs(inputs)
+            .output(mid)
+            .add();
+        b.task("c")
+            .category("combine")
+            .flops(3e12)
+            .cores(32)
+            .pipeline(0)
+            .input(mid)
+            .output(out)
+            .add();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn staged_fraction_tracks_policy() {
+        let wf = small_workflow();
+        assert_eq!(
+            Emulator::staged_fraction(&PlacementPolicy::AllPfs, &wf),
+            0.0
+        );
+        assert_eq!(Emulator::staged_fraction(&PlacementPolicy::AllBb, &wf), 1.0);
+        let half = PlacementPolicy::FractionToBb { fraction: 0.5 };
+        assert_eq!(Emulator::staged_fraction(&half, &wf), 0.5);
+    }
+
+    #[test]
+    fn staged_fraction_handles_input_fraction_policies() {
+        let wf = small_workflow();
+        let policy = PlacementPolicy::InputFraction {
+            fraction: 0.25,
+            intermediates: Tier::Pfs,
+            outputs: Tier::Pfs,
+        };
+        assert_eq!(Emulator::staged_fraction(&policy, &wf), 0.25);
+        // A workflow with no inputs stages nothing.
+        let empty = wfbb_workflow::WorkflowBuilder::new("none").build().unwrap();
+        assert_eq!(Emulator::staged_fraction(&PlacementPolicy::AllBb, &empty), 0.0);
+    }
+
+    #[test]
+    fn alpha_rescaling_matches_the_observation_at_32_cores() {
+        // At the calibration point (32 cores) the emulated compute time
+        // must equal the clean model's, so all divergence comes from the
+        // penalty/noise mechanisms.
+        let emulator = Emulator::new(EmulatorConfig {
+            noise_sigma_private: 0.0,
+            private_penalty: 0.0,
+            shared_concurrency_penalty: 0.0,
+            ..EmulatorConfig::default()
+        });
+        let platform = presets::cori(1, BbMode::Private);
+        let wf = small_workflow();
+        let measured = emulator
+            .run(&platform, &wf, &PlacementPolicy::AllBb, 0)
+            .unwrap();
+        let simulated = wfbb_wms::SimulationBuilder::new(platform, wf)
+            .placement(PlacementPolicy::AllBb)
+            .run()
+            .unwrap();
+        let m = measured.task_by_name("r").unwrap();
+        let s = simulated.task_by_name("r").unwrap();
+        assert!(
+            (m.compute_time() - s.compute_time()).abs() < 1e-6 * s.compute_time(),
+            "compute at the calibration point must match: {} vs {}",
+            m.compute_time(),
+            s.compute_time()
+        );
+    }
+
+    #[test]
+    fn emulated_runs_are_reproducible_per_rep() {
+        let emulator = Emulator::default();
+        let platform = presets::cori(1, BbMode::Private);
+        let wf = small_workflow();
+        let a = emulator.run(&platform, &wf, &PlacementPolicy::AllBb, 3).unwrap();
+        let b = emulator.run(&platform, &wf, &PlacementPolicy::AllBb, 3).unwrap();
+        assert_eq!(a.makespan, b.makespan);
+        let c = emulator.run(&platform, &wf, &PlacementPolicy::AllBb, 4).unwrap();
+        assert_ne!(a.makespan, c.makespan, "different reps see different noise");
+    }
+
+    #[test]
+    fn striped_runs_vary_more_than_onnode_runs() {
+        let emulator = Emulator::default();
+        let wf = small_workflow();
+        let policy = PlacementPolicy::AllBb;
+        let striped: Vec<f64> = emulator
+            .run_many(&presets::cori(1, BbMode::Striped), &wf, &policy, 15)
+            .unwrap()
+            .iter()
+            .map(|r| r.makespan.seconds())
+            .collect();
+        let onnode: Vec<f64> = emulator
+            .run_many(&presets::summit(1), &wf, &policy, 15)
+            .unwrap()
+            .iter()
+            .map(|r| r.makespan.seconds())
+            .collect();
+        let cv_striped = crate::error::coefficient_of_variation(&striped);
+        let cv_onnode = crate::error::coefficient_of_variation(&onnode);
+        assert!(
+            cv_striped > cv_onnode,
+            "striped CV {cv_striped} !> on-node CV {cv_onnode}"
+        );
+    }
+
+    #[test]
+    fn emulated_private_mode_is_slower_than_the_clean_model() {
+        // The emulator adds penalties and Amdahl drag, so at full staging
+        // its (noise-free rep-median) makespan exceeds the clean model's.
+        let emulator = Emulator::new(EmulatorConfig {
+            noise_sigma_private: 0.0,
+            ..EmulatorConfig::default()
+        });
+        let platform = presets::cori(1, BbMode::Private);
+        let wf = small_workflow();
+        let measured = emulator
+            .run(&platform, &wf, &PlacementPolicy::AllBb, 0)
+            .unwrap();
+        let simulated = SimulationBuilder::new(platform, wf)
+            .placement(PlacementPolicy::AllBb)
+            .run()
+            .unwrap();
+        assert!(measured.makespan > simulated.makespan);
+    }
+
+    #[test]
+    fn striped_anomaly_band_slows_stage_in() {
+        let emulator = Emulator::new(EmulatorConfig {
+            noise_sigma_striped: 0.0,
+            ..EmulatorConfig::default()
+        });
+        let platform = presets::cori(1, BbMode::Striped);
+        let wf = small_workflow();
+        let at75 = emulator
+            .run(&platform, &wf, &PlacementPolicy::FractionToBb { fraction: 0.75 }, 0)
+            .unwrap();
+        let at100 = emulator
+            .run(&platform, &wf, &PlacementPolicy::FractionToBb { fraction: 1.0 }, 0)
+            .unwrap();
+        // 75 % stages 3 of 4 files but pays doubled metadata cost: slower
+        // stage-in than staging all 4 normally.
+        assert!(
+            at75.stage_in_time > at100.stage_in_time,
+            "{} !> {}",
+            at75.stage_in_time,
+            at100.stage_in_time
+        );
+    }
+
+    #[test]
+    fn noise_factor_is_centered_near_one() {
+        let emulator = Emulator::default();
+        let n = 500;
+        let mean: f64 = (0..n)
+            .map(|rep| emulator.noise_factor(0.15, rep))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn scale_report_keeps_order_and_scales_times() {
+        let emulator = Emulator::default();
+        let platform = presets::summit(1);
+        let wf = small_workflow();
+        let base = SimulationBuilder::new(platform.clone(), wf.clone())
+            .run()
+            .unwrap();
+        let scaled = scale_report(base.clone(), 2.0);
+        assert!((scaled.makespan.seconds() - 2.0 * base.makespan.seconds()).abs() < 1e-9);
+        for (a, b) in base.tasks.iter().zip(&scaled.tasks) {
+            assert!((b.duration() - 2.0 * a.duration()).abs() < 1e-9);
+        }
+        // Unused variable silencer with meaning: emulator default exists.
+        let _ = emulator;
+    }
+}

@@ -1,0 +1,111 @@
+//! Accuracy metrics.
+//!
+//! The paper quantifies simulator accuracy as the average error between
+//! measured and simulated makespans across a parameter sweep (e.g. 5.6 %
+//! for the private mode in Figure 10). These helpers compute the same
+//! statistics for our measured-vs-simulated comparisons.
+
+/// Relative error `|predicted − reference| / reference`.
+///
+/// # Panics
+/// Panics if `reference` is zero or either value is not finite.
+pub fn relative_error(reference: f64, predicted: f64) -> f64 {
+    assert!(
+        reference.is_finite() && predicted.is_finite(),
+        "errors need finite inputs, got {reference} and {predicted}"
+    );
+    assert!(reference != 0.0, "relative error undefined for zero reference");
+    ((predicted - reference) / reference).abs()
+}
+
+/// Mean absolute percentage error between two equal-length series, in
+/// percent (the paper's headline accuracy number).
+///
+/// # Panics
+/// Panics if the series have different lengths or are empty.
+pub fn mean_absolute_percentage_error(reference: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(
+        reference.len(),
+        predicted.len(),
+        "series must have equal length"
+    );
+    assert!(!reference.is_empty(), "series must be non-empty");
+    let sum: f64 = reference
+        .iter()
+        .zip(predicted)
+        .map(|(&r, &p)| relative_error(r, p))
+        .sum();
+    100.0 * sum / reference.len() as f64
+}
+
+/// Mean and sample standard deviation of a series.
+///
+/// # Panics
+/// Panics on an empty series.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    assert!(!values.is_empty(), "mean_std needs at least one value");
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() == 1 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Coefficient of variation (std / mean) of a series — the stability
+/// statistic behind the paper's Figure 8 (striped-mode runs vary by ~15 %).
+pub fn coefficient_of_variation(values: &[f64]) -> f64 {
+    let (mean, std) = mean_std(values);
+    if mean != 0.0 {
+        std / mean
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_is_symmetric_in_sign() {
+        assert!((relative_error(10.0, 11.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(10.0, 9.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn mape_averages_percentages() {
+        let reference = [10.0, 20.0];
+        let predicted = [11.0, 18.0]; // 10 % and 10 %
+        assert!((mean_absolute_percentage_error(&reference, &predicted) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-9);
+        assert_eq!(mean_std(&[3.0]), (3.0, 0.0));
+    }
+
+    #[test]
+    fn cv_is_relative_spread() {
+        let cv = coefficient_of_variation(&[90.0, 100.0, 110.0]);
+        assert!(cv > 0.05 && cv < 0.15);
+        assert_eq!(coefficient_of_variation(&[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mape_rejects_mismatched_series() {
+        let _ = mean_absolute_percentage_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero reference")]
+    fn relative_error_rejects_zero_reference() {
+        let _ = relative_error(0.0, 1.0);
+    }
+}

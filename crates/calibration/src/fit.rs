@@ -1,0 +1,261 @@
+//! Automatic parameter calibration.
+//!
+//! The paper calibrates its simulator by hand from Table I and published
+//! characterizations, and argues (Section IV-B) that adding parameters
+//! only helps if accurate values exist for them. This module automates
+//! the step the authors did manually: given *measured* makespans over a
+//! sweep (here: emulator output standing in for real runs), search a
+//! small set of platform parameters to minimize the mean absolute
+//! percentage error of the simulator on that sweep.
+//!
+//! The optimizer is a deterministic coordinate descent over log-scaled
+//! parameters with shrinking step size — simple, derivative-free, and
+//! reproducible, which matters more here than convergence speed.
+
+use wfbb_platform::PlatformSpec;
+
+use crate::error::mean_absolute_percentage_error;
+
+/// A tunable platform parameter exposed to the fitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitParam {
+    /// `bb_network_bw` — the shared-BB path bandwidth.
+    BbNetworkBw,
+    /// `bb_disk_bw` — the BB device bandwidth.
+    BbDiskBw,
+    /// `pfs_disk_bw` — the PFS backing-store bandwidth.
+    PfsDiskBw,
+    /// `io_core_bw` — per-core POSIX I/O throughput.
+    IoCoreBw,
+    /// `bb_meta_ops` — BB metadata throughput.
+    BbMetaOps,
+}
+
+impl FitParam {
+    /// Reads the parameter's current value.
+    pub fn get(self, p: &PlatformSpec) -> f64 {
+        match self {
+            FitParam::BbNetworkBw => p.bb_network_bw,
+            FitParam::BbDiskBw => p.bb_disk_bw,
+            FitParam::PfsDiskBw => p.pfs_disk_bw,
+            FitParam::IoCoreBw => p.io_core_bw,
+            FitParam::BbMetaOps => p.bb_meta_ops,
+        }
+    }
+
+    /// Writes a new value for the parameter.
+    pub fn set(self, p: &mut PlatformSpec, value: f64) {
+        match self {
+            FitParam::BbNetworkBw => p.bb_network_bw = value,
+            FitParam::BbDiskBw => p.bb_disk_bw = value,
+            FitParam::PfsDiskBw => p.pfs_disk_bw = value,
+            FitParam::IoCoreBw => p.io_core_bw = value,
+            FitParam::BbMetaOps => p.bb_meta_ops = value,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FitParam::BbNetworkBw => "bb_network_bw",
+            FitParam::BbDiskBw => "bb_disk_bw",
+            FitParam::PfsDiskBw => "pfs_disk_bw",
+            FitParam::IoCoreBw => "io_core_bw",
+            FitParam::BbMetaOps => "bb_meta_ops",
+        }
+    }
+}
+
+/// Result of a calibration run.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// The calibrated platform.
+    pub platform: PlatformSpec,
+    /// Error before fitting, percent.
+    pub initial_error: f64,
+    /// Error after fitting, percent.
+    pub final_error: f64,
+    /// Simulator evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Calibrates `params` of `initial` so that `simulate(platform)` best
+/// matches `measured` (MAPE), via coordinate descent on a log scale.
+///
+/// `simulate` must return one predicted value per entry of `measured`
+/// (e.g. the makespans of a staged-fraction sweep). Each parameter is
+/// constrained to `[initial/limit, initial×limit]` with `limit = 8`, so
+/// the fit refines the hand calibration rather than wandering off to a
+/// degenerate optimum.
+pub fn fit_platform<F>(
+    initial: &PlatformSpec,
+    params: &[FitParam],
+    measured: &[f64],
+    mut simulate: F,
+) -> FitResult
+where
+    F: FnMut(&PlatformSpec) -> Vec<f64>,
+{
+    assert!(!measured.is_empty(), "need at least one measured point");
+    assert!(!params.is_empty(), "need at least one parameter to fit");
+    const LIMIT: f64 = 8.0;
+    const ROUNDS: usize = 6;
+    let mut evaluations = 0usize;
+    let mut eval = |p: &PlatformSpec, evals: &mut usize| -> f64 {
+        *evals += 1;
+        let predicted = simulate(p);
+        assert_eq!(
+            predicted.len(),
+            measured.len(),
+            "simulate must return one prediction per measured point"
+        );
+        mean_absolute_percentage_error(measured, &predicted)
+    };
+
+    let mut best = initial.clone();
+    let initial_error = eval(&best, &mut evaluations);
+    let mut best_error = initial_error;
+
+    // Multiplicative step, shrinking each round: 2, √2, 2^(1/4), ...
+    let mut step = 2.0f64;
+    for _ in 0..ROUNDS {
+        for &param in params {
+            let center = param.get(&best);
+            let lo = param.get(initial) / LIMIT;
+            let hi = param.get(initial) * LIMIT;
+            for candidate in [center / step, center * step] {
+                let value = candidate.clamp(lo, hi);
+                let mut trial = best.clone();
+                param.set(&mut trial, value);
+                if trial.validate().is_err() {
+                    continue;
+                }
+                let err = eval(&trial, &mut evaluations);
+                if err < best_error {
+                    best_error = err;
+                    best = trial;
+                }
+            }
+        }
+        step = step.sqrt();
+    }
+
+    FitResult {
+        platform: best,
+        initial_error,
+        final_error: best_error,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfbb_platform::{presets, BbMode};
+    use wfbb_storage::PlacementPolicy;
+    use wfbb_wms::SimulationBuilder;
+    use wfbb_workflow::WorkflowBuilder;
+
+    fn workflow() -> wfbb_workflow::Workflow {
+        let mut b = WorkflowBuilder::new("fit");
+        let inputs: Vec<_> = (0..8).map(|i| b.add_file(format!("in{i}"), 48e6)).collect();
+        let out = b.add_file("out", 16e6);
+        b.task("t")
+            .category("work")
+            .flops(1e12)
+            .cores(16)
+            .inputs(inputs)
+            .output(out)
+            .add();
+        b.build().unwrap()
+    }
+
+    fn sweep(platform: &PlatformSpec) -> Vec<f64> {
+        [0.0, 0.5, 1.0]
+            .iter()
+            .map(|&fraction| {
+                SimulationBuilder::new(platform.clone(), workflow())
+                    .placement(PlacementPolicy::FractionToBb { fraction })
+                    .run()
+                    .unwrap()
+                    .makespan
+                    .seconds()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_a_perturbed_bandwidth() {
+        // Ground truth: the standard Cori. "Measured" series comes from
+        // it; start the fit from a mis-calibrated copy.
+        let truth = presets::cori(1, BbMode::Private);
+        let measured = sweep(&truth);
+        let mut start = truth.clone();
+        start.bb_network_bw /= 3.0;
+        let initial_err;
+        let result = {
+            let r = fit_platform(&start, &[FitParam::BbNetworkBw], &measured, sweep);
+            initial_err = r.initial_error;
+            r
+        };
+        assert!(initial_err > 1.0, "mis-calibration must be visible");
+        assert!(
+            result.final_error < initial_err / 2.0,
+            "fit must recover most of the error: {initial_err} -> {}",
+            result.final_error
+        );
+        let recovered = result.platform.bb_network_bw;
+        assert!(
+            (recovered / truth.bb_network_bw) > 0.5 && (recovered / truth.bb_network_bw) < 2.0,
+            "recovered bandwidth within 2x of truth: {recovered}"
+        );
+    }
+
+    #[test]
+    fn perfect_start_stays_put() {
+        let truth = presets::summit(1);
+        let measured = sweep(&truth);
+        let result = fit_platform(&truth, &[FitParam::BbDiskBw], &measured, sweep);
+        assert!(result.initial_error < 1e-9);
+        assert!(result.final_error <= result.initial_error + 1e-12);
+    }
+
+    #[test]
+    fn multi_parameter_fit_reduces_error() {
+        let truth = presets::cori(1, BbMode::Private);
+        let measured = sweep(&truth);
+        let mut start = truth.clone();
+        start.bb_network_bw *= 2.5;
+        start.pfs_disk_bw /= 2.0;
+        let result = fit_platform(
+            &start,
+            &[FitParam::BbNetworkBw, FitParam::PfsDiskBw],
+            &measured,
+            sweep,
+        );
+        assert!(result.final_error < result.initial_error);
+        assert!(result.evaluations > 10, "the search actually searched");
+    }
+
+    #[test]
+    fn params_round_trip_through_get_set() {
+        let mut p = presets::generic(1);
+        for param in [
+            FitParam::BbNetworkBw,
+            FitParam::BbDiskBw,
+            FitParam::PfsDiskBw,
+            FitParam::IoCoreBw,
+            FitParam::BbMetaOps,
+        ] {
+            param.set(&mut p, 123.0);
+            assert_eq!(param.get(&p), 123.0, "{}", param.label());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measured point")]
+    fn empty_measurements_rejected() {
+        let p = presets::generic(1);
+        let _ = fit_platform(&p, &[FitParam::PfsDiskBw], &[], |_| vec![]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # wfbb-calibration — the paper's calibration model and measured data
+//!
+//! Everything needed to instantiate the simulator from observations:
+//!
+//! * [`model`] — Equations (1)–(4): deriving a task's raw sequential
+//!   compute time `T_i^c(1)` from its observed execution time `T_i(p)` and
+//!   its observed I/O fraction `λ_i^io`, under perfect speedup (Eq. 4) or
+//!   Amdahl's Law (Eq. 3);
+//! * [`params`] — Table I's platform constants and the SWarp λ values from
+//!   Daley et al. (Resample 0.203, Combine 0.260), plus the digitized
+//!   observed task times the generators calibrate against;
+//! * [`measured`] — reference series reconstructed from the paper's
+//!   figures and text (the prior-study speedups overlaid in Figure 14, the
+//!   stated error percentages of Figures 10–11);
+//! * [`emulator`] — the stand-in for real Cori/Summit executions: the same
+//!   simulator plus the effects the clean model deliberately omits
+//!   (non-perfect task speedup, run-to-run interference noise, the
+//!   reproducible 75 %-striped stage-in anomaly, and the private-mode
+//!   small-file penalty that inverts the trend in Figure 10(a));
+//! * [`error`] — the accuracy metrics the paper reports (mean absolute
+//!   percentage error between measured and simulated series).
+
+pub mod emulator;
+pub mod error;
+pub mod fit;
+pub mod measured;
+pub mod model;
+pub mod params;
+
+pub use emulator::{Emulator, EmulatorConfig};
+pub use error::{mean_absolute_percentage_error, relative_error};
+pub use fit::{fit_platform, FitParam, FitResult};
+pub use model::{
+    amdahl_time, compute_time_from_observed, sequential_compute_time,
+    sequential_compute_time_amdahl, CalibratedTask,
+};
+pub use params::{PlatformParams, CORI, SUMMIT};

@@ -1,0 +1,213 @@
+//! The paper's task calibration model — Equations (1) through (4).
+//!
+//! The simulator needs, for each task, the raw sequential compute time
+//! `T_i^c(1)` (excluding I/O). What experiments provide is the *observed*
+//! execution time `T_i(p)` on `p` cores and the observed fraction of that
+//! time spent in I/O, `λ_i^io`. The model bridges the two:
+//!
+//! ```text
+//! (1)  T_i^c(p) = (1 − λ_i^io) · T_i(p)
+//! (2)  T_i^c(p) = α_i·T_i^c(1) + (1 − α_i)·T_i^c(1)/p       (Amdahl)
+//! (3)  T_i^c(1) = (1 − λ_i^io)·T_i(p) / (α_i + (1 − α_i)/p)
+//! (4)  T_i^c(1) = p·(1 − λ_i^io)·T_i(p)                     (α_i = 0)
+//! ```
+
+pub use wfbb_workflow::amdahl_time;
+
+/// Equation (1): the compute part of an observed execution time.
+pub fn compute_time_from_observed(observed: f64, lambda_io: f64) -> f64 {
+    validate_lambda(lambda_io);
+    validate_time(observed);
+    (1.0 - lambda_io) * observed
+}
+
+/// Equation (4): raw sequential compute time under the paper's
+/// perfect-speedup assumption.
+pub fn sequential_compute_time(observed: f64, cores: usize, lambda_io: f64) -> f64 {
+    assert!(cores >= 1, "core count must be at least 1");
+    cores as f64 * compute_time_from_observed(observed, lambda_io)
+}
+
+/// Equation (3): raw sequential compute time under Amdahl's Law with
+/// serial fraction `alpha`.
+pub fn sequential_compute_time_amdahl(
+    observed: f64,
+    cores: usize,
+    lambda_io: f64,
+    alpha: f64,
+) -> f64 {
+    assert!(cores >= 1, "core count must be at least 1");
+    assert!(
+        (0.0..=1.0).contains(&alpha),
+        "Amdahl serial fraction must be in [0, 1], got {alpha}"
+    );
+    compute_time_from_observed(observed, lambda_io) / (alpha + (1.0 - alpha) / cores as f64)
+}
+
+fn validate_lambda(lambda_io: f64) {
+    assert!(
+        (0.0..=1.0).contains(&lambda_io),
+        "I/O fraction must be in [0, 1], got {lambda_io}"
+    );
+}
+
+fn validate_time(observed: f64) {
+    assert!(
+        observed.is_finite() && observed >= 0.0,
+        "observed time must be finite and non-negative, got {observed}"
+    );
+}
+
+/// Calibration record for one task category: the observation and the
+/// derived model inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibratedTask {
+    /// Task category this calibration describes.
+    pub category: &'static str,
+    /// Observed execution time `T_i(p)`, seconds.
+    pub observed_time: f64,
+    /// Cores `p` used for the observation.
+    pub observed_cores: usize,
+    /// Observed I/O fraction `λ_i^io`.
+    pub lambda_io: f64,
+    /// Amdahl serial fraction used by the *measurement emulator* (the
+    /// paper's simulator itself assumes 0).
+    pub real_alpha: f64,
+}
+
+impl CalibratedTask {
+    /// Raw sequential compute time via Equation (4).
+    pub fn sequential_time(&self) -> f64 {
+        sequential_compute_time(self.observed_time, self.observed_cores, self.lambda_io)
+    }
+
+    /// Raw sequential compute time via Equation (3) with `self.real_alpha`.
+    pub fn sequential_time_amdahl(&self) -> f64 {
+        sequential_compute_time_amdahl(
+            self.observed_time,
+            self.observed_cores,
+            self.lambda_io,
+            self.real_alpha,
+        )
+    }
+
+    /// Platform-independent compute work in flops, given the per-core
+    /// speed (GFlop/s) of the platform the observation was made on.
+    pub fn flops(&self, gflops_per_core: f64) -> f64 {
+        self.sequential_time() * gflops_per_core * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_removes_io_fraction() {
+        assert!((compute_time_from_observed(10.0, 0.2) - 8.0).abs() < 1e-12);
+        assert_eq!(compute_time_from_observed(10.0, 0.0), 10.0);
+        assert_eq!(compute_time_from_observed(10.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn eq4_scales_by_cores() {
+        // T(32) = 8 s with λ = 0.203: T^c(1) = 32 · 0.797 · 8.
+        let t = sequential_compute_time(8.0, 32, 0.203);
+        assert!((t - 32.0 * 0.797 * 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq3_reduces_to_eq4_when_alpha_zero() {
+        let a = sequential_compute_time(8.0, 32, 0.203);
+        let b = sequential_compute_time_amdahl(8.0, 32, 0.203, 0.0);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq3_with_full_serial_fraction_is_just_compute_time() {
+        // α = 1: the task never sped up, so T^c(1) = T^c(p).
+        let t = sequential_compute_time_amdahl(8.0, 32, 0.25, 1.0);
+        assert!((t - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_through_amdahl() {
+        // Deriving T^c(1) by Eq (3) and re-applying Eq (2) must reproduce
+        // the observed compute time for any α.
+        for alpha in [0.0, 0.1, 0.5, 0.9] {
+            let observed = 12.0;
+            let (p, lambda) = (16, 0.3);
+            let seq = sequential_compute_time_amdahl(observed, p, lambda, alpha);
+            let back = amdahl_time(seq, p, alpha);
+            let expected = compute_time_from_observed(observed, lambda);
+            assert!(
+                (back - expected).abs() < 1e-9,
+                "alpha {alpha}: {back} != {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibrated_task_derivations_agree() {
+        let c = CalibratedTask {
+            category: "resample",
+            observed_time: 8.0,
+            observed_cores: 32,
+            lambda_io: 0.203,
+            real_alpha: 0.1,
+        };
+        assert!((c.sequential_time() - 32.0 * 0.797 * 8.0).abs() < 1e-9);
+        assert!(c.sequential_time_amdahl() < c.sequential_time());
+        // flops = seconds × GFlop/s × 1e9.
+        let f = c.flops(36.80);
+        assert!((f / (c.sequential_time() * 36.80e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn invalid_lambda_rejected() {
+        let _ = compute_time_from_observed(1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_cores_rejected() {
+        let _ = sequential_compute_time(1.0, 0, 0.1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Eq (3) is monotone decreasing in α (more serial work means
+            /// the observed parallel time implies less total work).
+            #[test]
+            fn eq3_monotone_in_alpha(
+                observed in 0.1f64..1e4,
+                p in 2usize..128,
+                lambda in 0.0f64..0.99,
+            ) {
+                let mut prev = f64::INFINITY;
+                for k in 0..=10 {
+                    let alpha = k as f64 / 10.0;
+                    let t = sequential_compute_time_amdahl(observed, p, lambda, alpha);
+                    prop_assert!(t <= prev + 1e-9);
+                    prev = t;
+                }
+            }
+
+            /// Eq (4) equals Eq (3) at α = 0 everywhere.
+            #[test]
+            fn eq4_is_special_case(
+                observed in 0.0f64..1e4,
+                p in 1usize..256,
+                lambda in 0.0f64..=1.0,
+            ) {
+                let a = sequential_compute_time(observed, p, lambda);
+                let b = sequential_compute_time_amdahl(observed, p, lambda, 0.0);
+                prop_assert!((a - b).abs() <= 1e-9 * a.max(1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Argument parsing for the `wfbb` CLI.
+//!
+//! Deliberately dependency-free: flags are `--key value` pairs; specs use
+//! small colon-separated mini-grammars (`swarp:4`, `cori:private`,
+//! `fraction:0.5`) so invocations stay one-liners.
+
+use std::collections::HashMap;
+
+use wfbb_platform::{presets, BbMode, PlatformSpec};
+use wfbb_storage::PlacementPolicy;
+use wfbb_wms::SchedulerPolicy;
+use wfbb_workflow::Workflow;
+use wfbb_workloads::{GenomesConfig, SwarpConfig};
+
+/// A parsed command line: subcommand plus `--key value` options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (`simulate`, `generate`, `inspect`).
+    pub command: String,
+    options: HashMap<String, String>,
+}
+
+/// CLI errors, printed to stderr with usage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    pub fn parse(raw: &[String]) -> Result<Args, CliError> {
+        let Some(command) = raw.first() else {
+            return Err(CliError("missing subcommand".into()));
+        };
+        let mut options = HashMap::new();
+        let mut i = 1;
+        while i < raw.len() {
+            let key = raw[i]
+                .strip_prefix("--")
+                .ok_or_else(|| CliError(format!("expected --flag, got {:?}", raw[i])))?;
+            let value = raw
+                .get(i + 1)
+                .ok_or_else(|| CliError(format!("flag --{key} needs a value")))?;
+            options.insert(key.to_string(), value.clone());
+            i += 2;
+        }
+        Ok(Args {
+            command: command.clone(),
+            options,
+        })
+    }
+
+    /// An option's value, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// An option's value or a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// A required option.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| CliError(format!("missing required flag --{key}")))
+    }
+}
+
+/// Parses a platform spec: `cori:private`, `cori:striped`, `summit`,
+/// `generic`, or a path to a platform JSON file. `nodes` scales presets.
+pub fn parse_platform(spec: &str, nodes: usize) -> Result<PlatformSpec, CliError> {
+    let platform = match spec {
+        "cori:private" | "cori" => presets::cori(nodes, BbMode::Private),
+        "cori:striped" => presets::cori(nodes, BbMode::Striped),
+        "summit" | "summit:onnode" => presets::summit(nodes),
+        "generic" => presets::generic(nodes),
+        path => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read platform {path:?}: {e}")))?;
+            PlatformSpec::from_json(&json)
+                .map_err(|e| CliError(format!("invalid platform {path:?}: {e}")))?
+        }
+    };
+    Ok(platform)
+}
+
+/// Parses a workflow spec: `swarp:<pipelines>[:<cores>]`,
+/// `genomes:<chromosomes>`, `wfcommons:<path>[:<gflops_per_core>]`, or a
+/// path to a workflow JSON file in the native format.
+pub fn parse_workflow(spec: &str) -> Result<Workflow, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["wfcommons", path] => load_wfcommons(path, 36.80),
+        ["wfcommons", path, gflops] => {
+            let speed: f64 = gflops
+                .parse()
+                .map_err(|_| CliError(format!("bad per-core speed {gflops:?}")))?;
+            load_wfcommons(path, speed)
+        }
+        ["swarp", pipelines] => {
+            let p = parse_usize(pipelines, "swarp pipeline count")?;
+            Ok(SwarpConfig::new(p).build())
+        }
+        ["swarp", pipelines, cores] => {
+            let p = parse_usize(pipelines, "swarp pipeline count")?;
+            let c = parse_usize(cores, "swarp cores per task")?;
+            Ok(SwarpConfig::new(p).with_cores_per_task(c).build())
+        }
+        ["genomes", chromosomes] => {
+            let c = parse_usize(chromosomes, "genomes chromosome count")?;
+            Ok(GenomesConfig::new(c).build())
+        }
+        [path] => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("cannot read workflow {path:?}: {e}")))?;
+            Workflow::from_json(&json)
+                .map_err(|e| CliError(format!("invalid workflow {path:?}: {e}")))
+        }
+        _ => Err(CliError(format!("unrecognized workflow spec {spec:?}"))),
+    }
+}
+
+/// Parses a placement spec: `allbb`, `allpfs`, `fraction:<f>`,
+/// `threshold:<bytes>`.
+pub fn parse_placement(spec: &str) -> Result<PlacementPolicy, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["allbb"] => Ok(PlacementPolicy::AllBb),
+        ["allpfs"] => Ok(PlacementPolicy::AllPfs),
+        ["fraction", f] => {
+            let fraction: f64 = f
+                .parse()
+                .map_err(|_| CliError(format!("bad fraction {f:?}")))?;
+            if !(0.0..=1.0).contains(&fraction) {
+                return Err(CliError(format!("fraction {fraction} outside [0, 1]")));
+            }
+            Ok(PlacementPolicy::FractionToBb { fraction })
+        }
+        ["threshold", bytes] => {
+            let min_bytes: f64 = bytes
+                .parse()
+                .map_err(|_| CliError(format!("bad byte threshold {bytes:?}")))?;
+            Ok(PlacementPolicy::BySizeThreshold { min_bytes })
+        }
+        _ => Err(CliError(format!("unrecognized placement spec {spec:?}"))),
+    }
+}
+
+/// Parses a scheduler spec: `affinity`, `least-loaded`, `round-robin`.
+pub fn parse_scheduler(spec: &str) -> Result<SchedulerPolicy, CliError> {
+    match spec {
+        "affinity" => Ok(SchedulerPolicy::PipelineAffinity),
+        "least-loaded" => Ok(SchedulerPolicy::LeastLoaded),
+        "round-robin" => Ok(SchedulerPolicy::RoundRobin),
+        other => Err(CliError(format!("unrecognized scheduler {other:?}"))),
+    }
+}
+
+fn load_wfcommons(path: &str, gflops: f64) -> Result<Workflow, CliError> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| CliError(format!("cannot read workflow {path:?}: {e}")))?;
+    wfbb_workflow::wfcommons::from_wfcommons_json(&json, gflops)
+        .map_err(|e| CliError(format!("invalid WfCommons trace {path:?}: {e}")))
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, CliError> {
+    let v: usize = s
+        .parse()
+        .map_err(|_| CliError(format!("bad {what}: {s:?}")))?;
+    if v == 0 {
+        return Err(CliError(format!("{what} must be positive")));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Result<Args, CliError> {
+        let raw: Vec<String> = list.iter().map(|s| s.to_string()).collect();
+        Args::parse(&raw)
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = args(&["simulate", "--workflow", "swarp:4", "--platform", "cori"]).unwrap();
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.get("workflow"), Some("swarp:4"));
+        assert_eq!(a.get_or("nodes", "1"), "1");
+        assert!(a.require("platform").is_ok());
+        assert!(a.require("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(args(&[]).is_err());
+        assert!(args(&["simulate", "notaflag"]).is_err());
+        assert!(args(&["simulate", "--dangling"]).is_err());
+    }
+
+    #[test]
+    fn platform_presets_parse() {
+        assert_eq!(parse_platform("cori", 2).unwrap().compute_nodes, 2);
+        assert_eq!(parse_platform("cori:striped", 1).unwrap().bb.label(), "striped");
+        assert_eq!(parse_platform("summit", 1).unwrap().bb.label(), "on-node");
+        assert!(parse_platform("generic", 1).is_ok());
+        assert!(parse_platform("/nonexistent.json", 1).is_err());
+    }
+
+    #[test]
+    fn workflow_specs_parse() {
+        let wf = parse_workflow("swarp:3").unwrap();
+        assert_eq!(wf.task_count(), 6);
+        let wf = parse_workflow("swarp:2:8").unwrap();
+        assert_eq!(wf.tasks()[0].cores, 8);
+        let wf = parse_workflow("genomes:2").unwrap();
+        assert_eq!(wf.task_count(), 2 * 41 + 1);
+        assert!(parse_workflow("swarp:0").is_err());
+        assert!(parse_workflow("mystery:1").is_err());
+    }
+
+    #[test]
+    fn wfcommons_spec_parses_a_trace_file() {
+        let dir = std::env::temp_dir().join("wfbb-args-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        std::fs::write(
+            &path,
+            r#"{"workflow": {"tasks": [
+                {"name": "t_ID1", "runtime": 2.0,
+                 "files": [{"link": "output", "name": "o", "sizeInBytes": 5}]}
+            ]}}"#,
+        )
+        .unwrap();
+        let spec = format!("wfcommons:{}", path.display());
+        let wf = parse_workflow(&spec).unwrap();
+        assert_eq!(wf.task_count(), 1);
+        // Custom per-core speed.
+        let spec = format!("wfcommons:{}:10.0", path.display());
+        let wf = parse_workflow(&spec).unwrap();
+        assert!((wf.tasks()[0].flops - 2.0 * 10.0e9).abs() < 1.0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn placement_specs_parse() {
+        assert_eq!(parse_placement("allbb").unwrap(), PlacementPolicy::AllBb);
+        assert_eq!(parse_placement("allpfs").unwrap(), PlacementPolicy::AllPfs);
+        assert_eq!(
+            parse_placement("fraction:0.5").unwrap(),
+            PlacementPolicy::FractionToBb { fraction: 0.5 }
+        );
+        assert!(parse_placement("fraction:2.0").is_err());
+        assert!(parse_placement("fraction:x").is_err());
+        assert!(matches!(
+            parse_placement("threshold:1000000").unwrap(),
+            PlacementPolicy::BySizeThreshold { .. }
+        ));
+        assert!(parse_placement("magic").is_err());
+    }
+
+    #[test]
+    fn scheduler_specs_parse() {
+        assert_eq!(
+            parse_scheduler("affinity").unwrap(),
+            SchedulerPolicy::PipelineAffinity
+        );
+        assert_eq!(
+            parse_scheduler("round-robin").unwrap(),
+            SchedulerPolicy::RoundRobin
+        );
+        assert!(parse_scheduler("chaotic").is_err());
+    }
+}

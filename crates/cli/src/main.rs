@@ -1,0 +1,226 @@
+//! `wfbb` — simulate workflow executions on burst-buffer platforms.
+//!
+//! ```text
+//! wfbb simulate --workflow swarp:4 --platform cori:private \
+//!               --placement fraction:0.5 [--nodes 1] [--scheduler affinity] [--gantt 60]
+//! wfbb generate --workflow genomes:22 --out wf.json
+//! wfbb inspect  --workflow wf.json [--dot graph.dot]
+//! ```
+//!
+//! Platform specs: `cori[:private|:striped]`, `summit`, `generic`, or a
+//! platform JSON file. Workflow specs: `swarp:<pipelines>[:<cores>]`,
+//! `genomes:<chromosomes>`, or a workflow JSON file. Placement specs:
+//! `allbb`, `allpfs`, `fraction:<f>`, `threshold:<bytes>`.
+
+mod args;
+
+use args::{parse_placement, parse_platform, parse_scheduler, parse_workflow, Args, CliError};
+use wfbb_wms::SimulationBuilder;
+
+const USAGE: &str = "\
+usage:
+  wfbb simulate --workflow <spec> --platform <spec> [--placement <spec>]
+                [--nodes <n>] [--scheduler affinity|least-loaded|round-robin]
+                [--gantt <width>] [--chrome <trace.json>]
+  wfbb generate --workflow <spec> --out <file.json>
+  wfbb inspect  --workflow <spec> [--dot <file.dot>]
+
+specs:
+  workflow:  swarp:<pipelines>[:<cores>] | genomes:<chromosomes>
+             | wfcommons:<trace.json>[:<gflops_per_core>] | <file.json>
+  platform:  cori[:private|:striped] | summit | generic | <file.json>
+  placement: allbb | allpfs | fraction:<f> | threshold:<bytes>";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&raw) {
+        eprintln!("error: {e}\n\n{USAGE}");
+        std::process::exit(2);
+    }
+}
+
+fn run(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw)?;
+    match args.command.as_str() {
+        "simulate" => simulate(&args),
+        "generate" => generate(&args),
+        "inspect" => inspect(&args),
+        other => Err(CliError(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+fn simulate(args: &Args) -> Result<(), CliError> {
+    let workflow = parse_workflow(args.require("workflow")?)?;
+    let nodes: usize = args
+        .get_or("nodes", "1")
+        .parse()
+        .map_err(|_| CliError("bad --nodes value".into()))?;
+    let platform = parse_platform(args.require("platform")?, nodes)?;
+    let placement = parse_placement(args.get_or("placement", "allbb"))?;
+    let scheduler = parse_scheduler(args.get_or("scheduler", "affinity"))?;
+
+    let report = SimulationBuilder::new(platform.clone(), workflow)
+        .placement(placement)
+        .scheduler(scheduler)
+        .run()
+        .map_err(|e| CliError(format!("simulation failed: {e}")))?;
+
+    println!("platform   : {}", platform.name);
+    println!("makespan   : {:.3} s", report.makespan.seconds());
+    println!("stage-in   : {:.3} s", report.stage_in_time);
+    println!(
+        "BB traffic : {:.2} GB (peak occupancy {:.2} GB, {} spilled)",
+        report.bb_bytes / 1e9,
+        report.bb_peak_bytes / 1e9,
+        report.spilled_files
+    );
+    println!("PFS traffic: {:.2} GB", report.pfs_bytes / 1e9);
+    for (category, stats) in report.by_category() {
+        println!(
+            "  {:<20} {:>4} task(s)  mean {:>9.3} s  (I/O {:.3} s, compute {:.3} s)",
+            category, stats.count, stats.mean_duration, stats.mean_io_time, stats.mean_compute_time
+        );
+    }
+    if let Some(width) = args.get("gantt") {
+        let width: usize = width
+            .parse()
+            .map_err(|_| CliError("bad --gantt width".into()))?;
+        println!("\n{}", report.gantt_ascii(width));
+    }
+    if let Some(path) = args.get("chrome") {
+        std::fs::write(path, report.chrome_trace_json())
+            .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+        println!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+    Ok(())
+}
+
+fn generate(args: &Args) -> Result<(), CliError> {
+    let workflow = parse_workflow(args.require("workflow")?)?;
+    let out = args.require("out")?;
+    std::fs::write(out, workflow.to_json())
+        .map_err(|e| CliError(format!("cannot write {out:?}: {e}")))?;
+    println!(
+        "wrote {} ({} tasks, {} files, {:.2} GB footprint)",
+        out,
+        workflow.task_count(),
+        workflow.file_count(),
+        workflow.data_footprint() / 1e9
+    );
+    Ok(())
+}
+
+fn inspect(args: &Args) -> Result<(), CliError> {
+    let workflow = parse_workflow(args.require("workflow")?)?;
+    let (cp_work, cp_path) = workflow.critical_path(|t| workflow.task(t).flops);
+    println!("workflow     : {}", workflow.name);
+    println!("tasks        : {}", workflow.task_count());
+    println!("files        : {}", workflow.file_count());
+    println!("depth        : {}", workflow.depth());
+    println!("width        : {}", workflow.width());
+    println!(
+        "footprint    : {:.2} GB ({:.2} GB input, {:.0}%)",
+        workflow.data_footprint() / 1e9,
+        workflow.input_data_size() / 1e9,
+        100.0 * workflow.input_data_size() / workflow.data_footprint().max(1.0)
+    );
+    println!(
+        "critical path: {:.2} Gflop over {} tasks",
+        cp_work / 1e9,
+        cp_path.len()
+    );
+    let mut by_cat: std::collections::BTreeMap<&str, usize> = Default::default();
+    for t in workflow.tasks() {
+        *by_cat.entry(t.category.as_str()).or_default() += 1;
+    }
+    for (cat, n) in by_cat {
+        println!("  {cat:<24} {n}");
+    }
+    let findings = workflow.lint();
+    if findings.is_empty() {
+        println!("lint         : clean");
+    } else {
+        println!("lint         : {} finding(s)", findings.len());
+        for finding in findings.iter().take(10) {
+            println!("  - {finding}");
+        }
+        if findings.len() > 10 {
+            println!("  ... and {} more", findings.len() - 10);
+        }
+    }
+    if let Some(path) = args.get("dot") {
+        std::fs::write(path, workflow.to_dot())
+            .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+        println!("wrote DOT graph to {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rawv(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn simulate_swarp_on_summit_succeeds() {
+        run(&rawv(&[
+            "simulate",
+            "--workflow",
+            "swarp:2:8",
+            "--platform",
+            "summit",
+            "--placement",
+            "fraction:0.5",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn generate_then_inspect_then_simulate_round_trips() {
+        let dir = std::env::temp_dir().join("wfbb-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wf.json");
+        let path_str = path.to_str().unwrap();
+        run(&rawv(&["generate", "--workflow", "genomes:2", "--out", path_str])).unwrap();
+        let dot_path = dir.join("wf.dot");
+        run(&rawv(&[
+            "inspect",
+            "--workflow",
+            path_str,
+            "--dot",
+            dot_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let dot = std::fs::read_to_string(&dot_path).unwrap();
+        assert!(dot.starts_with("digraph"));
+        std::fs::remove_file(dot_path).ok();
+        run(&rawv(&[
+            "simulate",
+            "--workflow",
+            path_str,
+            "--platform",
+            "cori:striped",
+            "--nodes",
+            "2",
+            "--scheduler",
+            "least-loaded",
+        ]))
+        .unwrap();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&rawv(&["teleport"])).is_err());
+        assert!(run(&rawv(&[])).is_err());
+    }
+
+    #[test]
+    fn simulate_requires_workflow_and_platform() {
+        assert!(run(&rawv(&["simulate", "--platform", "summit"])).is_err());
+        assert!(run(&rawv(&["simulate", "--workflow", "swarp:1"])).is_err());
+    }
+}

@@ -1,0 +1,8 @@
+//! Runs every experiment in order (the full reproduction sweep),
+//! writing all CSVs to `results/`.
+fn main() {
+    for name in wfbb_experiments::figures::NAMES {
+        eprintln!(">>> {name}");
+        wfbb_experiments::run_and_save(name);
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates the bigfiles extension experiment; see `wfbb_experiments::figures`.
+fn main() {
+    wfbb_experiments::run_and_save("bigfiles");
+}

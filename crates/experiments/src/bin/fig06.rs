@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig06 data; see `wfbb_experiments::figures`.
+fn main() {
+    wfbb_experiments::run_and_save("fig06");
+}

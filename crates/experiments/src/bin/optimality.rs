@@ -1,0 +1,4 @@
+//! Regenerates the optimality extension experiment; see `wfbb_experiments::figures`.
+fn main() {
+    wfbb_experiments::run_and_save("optimality");
+}

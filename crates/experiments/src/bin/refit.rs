@@ -1,0 +1,4 @@
+//! Regenerates the refit extension experiment; see `wfbb_experiments::figures`.
+fn main() {
+    wfbb_experiments::run_and_save("refit");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the scaling extension experiment; see `wfbb_experiments::figures`.
+fn main() {
+    wfbb_experiments::run_and_save("scaling");
+}

@@ -1,0 +1,116 @@
+//! Extension experiment: the paper's large-file conjecture.
+//!
+//! Section IV-B: *"The fact that the SWarp workflow reads/writes fairly
+//! small files (several MB) explain also the poor performance reached by
+//! the striped mode. We expect that with larger files (in the GB range),
+//! the striped mode would yield better performance."* The paper never
+//! tests this; the simulator can.
+//!
+//! We sweep the per-image file size from the paper's 32 MiB up to 2 GiB
+//! (scaling compute with the data volume so the compute/I/O balance stays
+//! fixed) and compare the private and striped modes. Expectation: the
+//! striped mode's per-stripe metadata cost is amortized while its
+//! aggregated multi-BB-node bandwidth starts to pay, so the
+//! striped/private ratio falls below 1 for GB-scale files.
+
+use wfbb_platform::{presets, BbMode};
+use wfbb_storage::PlacementPolicy;
+use wfbb_workloads::SwarpConfig;
+
+use crate::harness::{par_map, simulate};
+use crate::table::{f2, Table};
+
+/// Image sizes swept, bytes (weight maps stay at half the image size, as
+/// in the paper's instance).
+const IMAGE_SIZES: [f64; 5] = [
+    32.0 * 1024.0 * 1024.0,
+    128.0 * 1024.0 * 1024.0,
+    512.0 * 1024.0 * 1024.0,
+    1024.0 * 1024.0 * 1024.0,
+    2048.0 * 1024.0 * 1024.0,
+];
+
+/// A SWarp pipeline with scaled file sizes; compute scales with data so
+/// λ_io stays roughly constant.
+fn scaled_swarp(image_size: f64) -> wfbb_workflow::Workflow {
+    let mut config = SwarpConfig::new(1);
+    let scale = image_size / config.image_size;
+    config.image_size = image_size;
+    config.weight_size = image_size / 2.0;
+    config.coadd_size = 2.0 * image_size;
+    config.resample_flops *= scale;
+    config.combine_flops *= scale;
+    config.build()
+}
+
+pub(crate) fn ratio_at(image_size: f64) -> (f64, f64, f64) {
+    let wf = scaled_swarp(image_size);
+    let policy = PlacementPolicy::AllBb;
+    let private = simulate(&presets::cori(1, BbMode::Private), &wf, &policy);
+    let striped = simulate(&presets::cori(1, BbMode::Striped), &wf, &policy);
+    (
+        private.makespan,
+        striped.makespan,
+        striped.makespan / private.makespan,
+    )
+}
+
+/// Builds the large-file conjecture table.
+pub fn run() -> Vec<Table> {
+    let results = par_map(IMAGE_SIZES.to_vec(), |&s| ratio_at(s));
+
+    let mut t = Table::new(
+        "Large files (extension): the paper's striped-mode conjecture",
+        &[
+            "image size (MiB)",
+            "private makespan (s)",
+            "striped makespan (s)",
+            "striped/private",
+        ],
+    );
+    for (size, (private, striped, ratio)) in IMAGE_SIZES.iter().zip(&results) {
+        t.push_row(vec![
+            format!("{:.0}", size / (1024.0 * 1024.0)),
+            f2(*private),
+            f2(*striped),
+            f2(*ratio),
+        ]);
+    }
+    let small_ratio = results.first().unwrap().2;
+    let large_ratio = results.last().unwrap().2;
+    t.note(format!(
+        "striped/private ratio falls from {:.2} at 32 MiB to {:.2} at 2 GiB{} — the paper's conjecture that GB-range files would favor the striped mode",
+        small_ratio,
+        large_ratio,
+        if large_ratio < 1.0 { " (striped wins)" } else { "" }
+    ));
+    t.note("mechanism: per-stripe metadata cost amortizes while the stripes aggregate 4 BB nodes of bandwidth");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striped_loses_on_small_files_and_gains_on_large() {
+        let (_, _, small) = ratio_at(IMAGE_SIZES[0]);
+        let (_, _, large) = ratio_at(*IMAGE_SIZES.last().unwrap());
+        assert!(small > 1.0, "small files: striped slower ({small})");
+        assert!(
+            large < small,
+            "large files must close the gap: {large} !< {small}"
+        );
+    }
+
+    #[test]
+    fn ratio_is_monotone_decreasing_in_file_size() {
+        let ratios: Vec<f64> = [IMAGE_SIZES[0], IMAGE_SIZES[2], IMAGE_SIZES[4]]
+            .iter()
+            .map(|&s| ratio_at(s).2)
+            .collect();
+        for w in ratios.windows(2) {
+            assert!(w[1] <= w[0] * 1.02, "ratio should not grow: {ratios:?}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Figure 5: Resample and Combine execution times when intermediate files
+//! live on the BB vs. the PFS, as the fraction of input files staged into
+//! the BB varies (1 pipeline, 32 cores per task).
+//!
+//! Paper findings to reproduce: in the private mode, writing intermediates
+//! to the BB clearly beats the PFS (up to ~1.5×) and more staged inputs
+//! help Resample; the striped mode is far slower (metadata-bound on the
+//! 1:N small-file pattern) and reading from the PFS can even beat reading
+//! from the striped BB; on-node wins everywhere and improves with staged
+//! volume.
+
+use wfbb_calibration::measured::FRACTIONS;
+use wfbb_storage::{PlacementPolicy, Tier};
+use wfbb_workloads::SwarpConfig;
+
+use crate::harness::{emulate_mean, paper_scenarios, par_map, simulate, Scenario};
+use crate::table::{f2, pct, Table};
+
+const REPS: u64 = 3;
+
+fn policy(fraction: f64, intermediates: Tier) -> PlacementPolicy {
+    PlacementPolicy::InputFraction {
+        fraction,
+        intermediates,
+        outputs: intermediates,
+    }
+}
+
+struct Point {
+    measured_resample: f64,
+    simulated_resample: f64,
+    measured_combine: f64,
+    simulated_combine: f64,
+}
+
+fn point(scenario: &Scenario, fraction: f64, intermediates: Tier, reps: u64) -> Point {
+    let wf = SwarpConfig::new(1).build();
+    let p = policy(fraction, intermediates);
+    let measured = emulate_mean(&scenario.platform, &wf, &p, reps);
+    let simulated = simulate(&scenario.platform, &wf, &p);
+    Point {
+        measured_resample: measured.category("resample"),
+        simulated_resample: simulated.category("resample"),
+        measured_combine: measured.category("combine"),
+        simulated_combine: simulated.category("combine"),
+    }
+}
+
+/// Builds the Figure 5 tables (one per task kind, as in the paper's
+/// panels).
+pub fn run() -> Vec<Table> {
+    let scenarios = paper_scenarios(1);
+    let grid: Vec<(usize, f64, Tier)> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| {
+            FRACTIONS.iter().flat_map(move |&f| {
+                [Tier::BurstBuffer, Tier::Pfs]
+                    .into_iter()
+                    .map(move |tier| (i, f, tier))
+            })
+        })
+        .collect();
+    let results = par_map(grid.clone(), |&(i, f, tier)| {
+        point(&scenarios[i], f, tier, REPS)
+    });
+
+    let mut resample = Table::new(
+        "Figure 5 (Resample): execution time vs. staged inputs and intermediate tier",
+        &["config", "intermediates", "staged", "measured (s)", "simulated (s)"],
+    );
+    let mut combine = Table::new(
+        "Figure 5 (Combine): execution time vs. staged inputs and intermediate tier",
+        &["config", "intermediates", "staged", "measured (s)", "simulated (s)"],
+    );
+    for ((i, f, tier), p) in grid.iter().zip(&results) {
+        let label = scenarios[*i].label;
+        resample.push_row(vec![
+            label.into(),
+            tier.label().into(),
+            pct(*f),
+            f2(p.measured_resample),
+            f2(p.simulated_resample),
+        ]);
+        combine.push_row(vec![
+            label.into(),
+            tier.label().into(),
+            pct(*f),
+            f2(p.measured_combine),
+            f2(p.simulated_combine),
+        ]);
+    }
+
+    // Headline comparisons.
+    let find = |label: &str, f: f64, tier: Tier| {
+        grid.iter()
+            .position(|&(i, gf, gt)| scenarios[i].label == label && (gf - f).abs() < 1e-9 && gt == tier)
+            .map(|k| &results[k])
+            .expect("grid point exists")
+    };
+    let private_bb = find("private", 1.0, Tier::BurstBuffer);
+    let private_pfs = find("private", 1.0, Tier::Pfs);
+    resample.note(format!(
+        "private mode, Resample: intermediates on BB vs PFS = {:.2}s vs {:.2}s ({:.2}x; paper: BB up to 1.5x better)",
+        private_bb.measured_resample,
+        private_pfs.measured_resample,
+        private_pfs.measured_resample / private_bb.measured_resample
+    ));
+    let striped_bb = find("striped", 1.0, Tier::BurstBuffer);
+    resample.note(format!(
+        "striped vs private (all BB): {:.2}s vs {:.2}s ({:.0}x slower; paper: up to two orders of magnitude)",
+        striped_bb.measured_resample,
+        private_bb.measured_resample,
+        striped_bb.measured_resample / private_bb.measured_resample
+    ));
+    let onnode_bb = find("on-node", 1.0, Tier::BurstBuffer);
+    combine.note(format!(
+        "on-node vs striped, Combine (all BB): {:.2}s vs {:.2}s (paper: on-node better by up to three orders)",
+        onnode_bb.measured_combine, striped_bb.measured_combine
+    ));
+    vec![resample, combine]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_bb_intermediates_beat_pfs_for_resample() {
+        let scenarios = paper_scenarios(1);
+        let bb = point(&scenarios[0], 1.0, Tier::BurstBuffer, 1);
+        let pfs = point(&scenarios[0], 1.0, Tier::Pfs, 1);
+        assert!(
+            bb.simulated_resample < pfs.simulated_resample,
+            "BB {} !< PFS {}",
+            bb.simulated_resample,
+            pfs.simulated_resample
+        );
+    }
+
+    #[test]
+    fn striped_is_much_slower_than_private() {
+        let scenarios = paper_scenarios(1);
+        let private = point(&scenarios[0], 1.0, Tier::BurstBuffer, 1);
+        let striped = point(&scenarios[1], 1.0, Tier::BurstBuffer, 1);
+        assert!(striped.simulated_resample > 2.0 * private.simulated_resample);
+        assert!(striped.simulated_combine > 2.0 * private.simulated_combine);
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 6: Resample/Combine execution time vs. cores per task (1
+//! pipeline, all input files staged into the BB).
+//!
+//! Paper findings to reproduce: Resample benefits from parallelism up to
+//! ~8 cores on the shared implementation and ~16 on the on-node one, then
+//! plateaus; Combine does not benefit from added cores (its single-output
+//! merge is synchronization-bound); the ordering between configurations
+//! does not depend on the core count.
+
+use wfbb_calibration::measured::CORE_COUNTS;
+use wfbb_storage::PlacementPolicy;
+use wfbb_workloads::SwarpConfig;
+
+use crate::harness::{emulate_mean, paper_scenarios, par_map, simulate, Scenario};
+use crate::table::{f2, Table};
+
+const REPS: u64 = 3;
+
+fn point(scenario: &Scenario, cores: usize, reps: u64) -> (f64, f64, f64, f64) {
+    let wf = SwarpConfig::new(1).with_cores_per_task(cores).build();
+    let policy = PlacementPolicy::AllBb;
+    let measured = emulate_mean(&scenario.platform, &wf, &policy, reps);
+    let simulated = simulate(&scenario.platform, &wf, &policy);
+    (
+        measured.category("resample"),
+        simulated.category("resample"),
+        measured.category("combine"),
+        simulated.category("combine"),
+    )
+}
+
+/// Builds the Figure 6 table.
+pub fn run() -> Vec<Table> {
+    let scenarios = paper_scenarios(1);
+    let grid: Vec<(usize, usize)> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| CORE_COUNTS.iter().map(move |&c| (i, c)))
+        .collect();
+    let results = par_map(grid.clone(), |&(i, c)| point(&scenarios[i], c, REPS));
+
+    let mut t = Table::new(
+        "Figure 6: task execution time vs. cores per task (all files in BB)",
+        &[
+            "config",
+            "cores",
+            "resample measured (s)",
+            "resample simulated (s)",
+            "combine measured (s)",
+            "combine simulated (s)",
+        ],
+    );
+    for ((i, c), (rm, rs, cm, cs)) in grid.iter().zip(&results) {
+        t.push_row(vec![
+            scenarios[*i].label.into(),
+            c.to_string(),
+            f2(*rm),
+            f2(*rs),
+            f2(*cm),
+            f2(*cs),
+        ]);
+    }
+
+    // Measured Combine flatness: improvement from 8 to 32 cores.
+    let find = |label: &str, c: usize| {
+        grid.iter()
+            .position(|&(i, gc)| scenarios[i].label == label && gc == c)
+            .map(|k| results[k])
+            .expect("grid point exists")
+    };
+    let (_, _, cm8, _) = find("private", 8);
+    let (_, _, cm32, _) = find("private", 32);
+    t.note(format!(
+        "measured Combine 8 -> 32 cores (private): {:.2}s -> {:.2}s (paper: Combine does not benefit from parallelism)",
+        cm8, cm32
+    ));
+    let (rm1, _, _, _) = find("on-node", 1);
+    let (rm16, _, _, _) = find("on-node", 16);
+    let (rm32, _, _, _) = find("on-node", 32);
+    t.note(format!(
+        "measured Resample on-node: {:.2}s @1 core, {:.2}s @16, {:.2}s @32 (paper: plateau around 16 cores)",
+        rm1, rm16, rm32
+    ));
+    t.note("simulated times keep improving with cores: the perfect-speedup assumption of Eq. (4), as in the paper's model");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_combine_benefits_less_from_cores_than_resample() {
+        let scenarios = paper_scenarios(1);
+        let (rm4, _, cm4, _) = point(&scenarios[0], 4, 1);
+        let (rm32, _, cm32, _) = point(&scenarios[0], 32, 1);
+        let resample_gain = rm4 / rm32;
+        let combine_gain = cm4 / cm32;
+        // The paper's Figure 6: Combine "does not benefit from increased
+        // parallelism" the way Resample does.
+        assert!(
+            combine_gain < resample_gain,
+            "combine gain {combine_gain} must be below resample gain {resample_gain}"
+        );
+    }
+
+    #[test]
+    fn simulated_resample_scales_down_with_cores() {
+        let scenarios = paper_scenarios(1);
+        let (_, rs1, _, _) = point(&scenarios[2], 1, 1);
+        let (_, rs16, _, _) = point(&scenarios[2], 16, 1);
+        assert!(rs16 < rs1 / 4.0, "resample should scale: {rs1} -> {rs16}");
+    }
+
+    #[test]
+    fn config_ordering_is_core_count_independent() {
+        let scenarios = paper_scenarios(1);
+        for cores in [1, 32] {
+            let (_, p, _, _) = point(&scenarios[0], cores, 1);
+            let (_, s, _, _) = point(&scenarios[1], cores, 1);
+            let (_, o, _, _) = point(&scenarios[2], cores, 1);
+            assert!(s > p, "striped slower than private at {cores} cores");
+            assert!(p > o, "private slower than on-node at {cores} cores");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Figure 7: task execution times vs. number of concurrent pipelines on
+//! one compute node (1 core per pipeline task, all files in the BB).
+//!
+//! Paper findings to reproduce: Resample and Combine slow down as
+//! concurrent pipelines contend for BB bandwidth (up to ~3× on Cori at 32
+//! pipelines), even though aggregate usage stays below peak; the on-node
+//! implementation barely degrades for Stage-In and Resample; Stage-In
+//! grows with pipeline count (more files to copy) but suffers little
+//! concurrency interference (it is a single sequential task).
+
+use wfbb_calibration::measured::PIPELINE_COUNTS;
+use wfbb_storage::PlacementPolicy;
+use wfbb_workloads::SwarpConfig;
+
+use crate::harness::{emulate_mean, paper_scenarios, par_map, simulate, Scenario};
+use crate::table::{f2, Table};
+
+const REPS: u64 = 3;
+
+struct Point {
+    stage_m: f64,
+    stage_s: f64,
+    resample_m: f64,
+    resample_s: f64,
+    combine_m: f64,
+    combine_s: f64,
+}
+
+fn point(scenario: &Scenario, pipelines: usize, reps: u64) -> Point {
+    let wf = SwarpConfig::new(pipelines).with_cores_per_task(1).build();
+    let policy = PlacementPolicy::AllBb;
+    let measured = emulate_mean(&scenario.platform, &wf, &policy, reps);
+    let simulated = simulate(&scenario.platform, &wf, &policy);
+    Point {
+        stage_m: measured.stage_in,
+        stage_s: simulated.stage_in,
+        resample_m: measured.category("resample"),
+        resample_s: simulated.category("resample"),
+        combine_m: measured.category("combine"),
+        combine_s: simulated.category("combine"),
+    }
+}
+
+/// Builds the Figure 7 table.
+pub fn run() -> Vec<Table> {
+    let scenarios = paper_scenarios(1);
+    let grid: Vec<(usize, usize)> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| PIPELINE_COUNTS.iter().map(move |&p| (i, p)))
+        .collect();
+    let results = par_map(grid.clone(), |&(i, p)| point(&scenarios[i], p, REPS));
+
+    let mut t = Table::new(
+        "Figure 7: task times vs. concurrent pipelines (1 core per task, all files in BB)",
+        &[
+            "config",
+            "pipelines",
+            "stage-in m (s)",
+            "stage-in s (s)",
+            "resample m (s)",
+            "resample s (s)",
+            "combine m (s)",
+            "combine s (s)",
+        ],
+    );
+    for ((i, p), r) in grid.iter().zip(&results) {
+        t.push_row(vec![
+            scenarios[*i].label.into(),
+            p.to_string(),
+            f2(r.stage_m),
+            f2(r.stage_s),
+            f2(r.resample_m),
+            f2(r.resample_s),
+            f2(r.combine_m),
+            f2(r.combine_s),
+        ]);
+    }
+    let find = |label: &str, p: usize| {
+        grid.iter()
+            .position(|&(i, gp)| scenarios[i].label == label && gp == p)
+            .map(|k| &results[k])
+            .expect("grid point exists")
+    };
+    let cori1 = find("private", 1);
+    let cori32 = find("private", 32);
+    t.note(format!(
+        "measured Resample slowdown 1 -> 32 pipelines (private): {:.2}x (paper: up to ~3x on Cori)",
+        cori32.resample_m / cori1.resample_m
+    ));
+    let s1 = find("on-node", 1);
+    let s32 = find("on-node", 32);
+    t.note(format!(
+        "measured Resample slowdown 1 -> 32 pipelines (on-node): {:.2}x (paper: nearly negligible)",
+        s32.resample_m / s1.resample_m
+    ));
+    t.note("m = measured (emulated real runs), s = simulated (clean model)");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelines_slow_tasks_down_on_cori_but_barely_on_summit() {
+        let scenarios = paper_scenarios(1);
+        let c1 = point(&scenarios[0], 1, 1);
+        let c16 = point(&scenarios[0], 16, 1);
+        let o1 = point(&scenarios[2], 1, 1);
+        let o16 = point(&scenarios[2], 16, 1);
+        let cori_slowdown = c16.resample_m / c1.resample_m;
+        let summit_slowdown = o16.resample_m / o1.resample_m;
+        assert!(cori_slowdown > 1.02, "Cori resample must degrade: {cori_slowdown}");
+        assert!(
+            cori_slowdown > summit_slowdown,
+            "Cori degrades more than Summit: {cori_slowdown} vs {summit_slowdown}"
+        );
+    }
+
+    #[test]
+    fn stage_in_grows_with_pipeline_count() {
+        let scenarios = paper_scenarios(1);
+        let p1 = point(&scenarios[0], 1, 1);
+        let p8 = point(&scenarios[0], 8, 1);
+        assert!(p8.stage_s > 4.0 * p1.stage_s, "8x the files to stage");
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 8: run-to-run variation of the Resample task vs. number of
+//! pipelines (all files in the BB).
+//!
+//! Paper findings to reproduce: the on-node implementation is the fastest
+//! and the most stable (no network on the BB path); the private mode
+//! outperforms the striped mode by about an order of magnitude and is
+//! more stable; striped-mode executions vary by ~15 %.
+
+use wfbb_calibration::error::{coefficient_of_variation, mean_std};
+use wfbb_calibration::measured::{PIPELINE_COUNTS, STRIPED_VARIABILITY_CV};
+use wfbb_storage::PlacementPolicy;
+use wfbb_workloads::SwarpConfig;
+
+use crate::harness::{emulate_runs, paper_scenarios, par_map, Scenario};
+use crate::table::{f2, f3, Table};
+
+/// The paper's repetition count.
+const REPS: u64 = 15;
+
+fn samples(scenario: &Scenario, pipelines: usize, reps: u64) -> Vec<f64> {
+    let wf = SwarpConfig::new(pipelines).with_cores_per_task(1).build();
+    emulate_runs(&scenario.platform, &wf, &PlacementPolicy::AllBb, reps)
+        .iter()
+        .map(|m| m.category("resample"))
+        .collect()
+}
+
+/// Builds the Figure 8 table.
+pub fn run() -> Vec<Table> {
+    let scenarios = paper_scenarios(1);
+    let grid: Vec<(usize, usize)> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| PIPELINE_COUNTS.iter().map(move |&p| (i, p)))
+        .collect();
+    let results = par_map(grid.clone(), |&(i, p)| samples(&scenarios[i], p, REPS));
+
+    let mut t = Table::new(
+        "Figure 8: Resample time variation vs. pipelines (15 runs, all files in BB)",
+        &["config", "pipelines", "mean (s)", "std (s)", "CV"],
+    );
+    let mut cv_by_label: std::collections::HashMap<&str, Vec<f64>> =
+        std::collections::HashMap::new();
+    for ((i, p), sample) in grid.iter().zip(&results) {
+        let (mean, std) = mean_std(sample);
+        let cv = coefficient_of_variation(sample);
+        t.push_row(vec![
+            scenarios[*i].label.into(),
+            p.to_string(),
+            f2(mean),
+            f2(std),
+            f3(cv),
+        ]);
+        cv_by_label.entry(scenarios[*i].label).or_default().push(cv);
+    }
+    let mean_cv = |label: &str| {
+        let v = &cv_by_label[label];
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    t.note(format!(
+        "mean CV: striped = {:.3} (paper: ~{:.2}), private = {:.3}, on-node = {:.3} (paper: on-node most stable)",
+        mean_cv("striped"),
+        STRIPED_VARIABILITY_CV,
+        mean_cv("private"),
+        mean_cv("on-node"),
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variability_ordering_matches_the_paper() {
+        let scenarios = paper_scenarios(1);
+        let striped = coefficient_of_variation(&samples(&scenarios[1], 4, 10));
+        let onnode = coefficient_of_variation(&samples(&scenarios[2], 4, 10));
+        assert!(
+            striped > onnode,
+            "striped CV {striped} must exceed on-node CV {onnode}"
+        );
+        // Striped variability is in the paper's ballpark (~15 %).
+        assert!(striped > 0.05 && striped < 0.4, "striped CV {striped}");
+    }
+
+    #[test]
+    fn on_node_is_fastest() {
+        let scenarios = paper_scenarios(1);
+        let (p_mean, _) = mean_std(&samples(&scenarios[0], 2, 5));
+        let (o_mean, _) = mean_std(&samples(&scenarios[2], 2, 5));
+        assert!(o_mean < p_mean);
+    }
+}

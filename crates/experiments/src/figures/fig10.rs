@@ -1,0 +1,106 @@
+//! Figure 10: measured vs. simulated SWarp makespan as the fraction of
+//! input files staged into the BB varies (1 pipeline, 32 cores per task,
+//! intermediates in the BB).
+//!
+//! Paper findings to reproduce: average error ≈5.6 % (private), 12.8 %
+//! (striped), 6.5 % (on-node); the simulator slightly *overestimates*
+//! performance (underestimates makespan) for private/on-node and
+//! *underestimates* performance for striped; in the private mode the
+//! measured trend inverts (makespan grows with staging) while the
+//! simulated one decreases — the one trend the model misses.
+
+use wfbb_calibration::error::mean_absolute_percentage_error;
+use wfbb_calibration::measured::{fig10_stated_errors, FRACTIONS};
+use wfbb_workloads::SwarpConfig;
+
+use crate::harness::{emulate_mean, fraction_policy, paper_scenarios, par_map, Scenario};
+use crate::table::{f2, pct, Table};
+
+const REPS: u64 = 5;
+
+pub(crate) fn sweep(
+    scenario: &Scenario,
+    fractions: &[f64],
+    reps: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let wf = SwarpConfig::new(1).build();
+    let mut measured = Vec::with_capacity(fractions.len());
+    let mut simulated = Vec::with_capacity(fractions.len());
+    for &f in fractions {
+        let policy = fraction_policy(f);
+        measured.push(emulate_mean(&scenario.platform, &wf, &policy, reps).makespan);
+        simulated.push(crate::harness::simulate(&scenario.platform, &wf, &policy).makespan);
+    }
+    (measured, simulated)
+}
+
+/// Builds the Figure 10 tables (sweep + error summary).
+pub fn run() -> Vec<Table> {
+    let scenarios = paper_scenarios(1);
+    let results = par_map(scenarios.to_vec(), |s| {
+        sweep(s, &FRACTIONS, REPS)
+    });
+
+    let mut t = Table::new(
+        "Figure 10: real vs simulated makespan vs. files staged into BBs (1 pipeline, 32 cores)",
+        &["config", "staged", "measured (s)", "simulated (s)", "error"],
+    );
+    let mut errors = Table::new(
+        "Figure 10 (summary): average simulation error per configuration",
+        &["config", "our error (%)", "paper error (%)"],
+    );
+    let stated: std::collections::HashMap<_, _> = fig10_stated_errors().into_iter().collect();
+    for (s, (measured, simulated)) in scenarios.iter().zip(&results) {
+        for ((f, m), sim) in FRACTIONS.iter().zip(measured).zip(simulated) {
+            t.push_row(vec![
+                s.label.into(),
+                pct(*f),
+                f2(*m),
+                f2(*sim),
+                format!("{:+.1}%", 100.0 * (sim - m) / m),
+            ]);
+        }
+        let mape = mean_absolute_percentage_error(measured, simulated);
+        errors.push_row(vec![s.label.into(), f2(mape), f2(stated[s.label])]);
+    }
+    let (private_measured, private_sim) = &results[0];
+    t.note(format!(
+        "private trend: measured {} vs simulated {} across staging (paper: measured rises, simulated falls — Fig 10(a) inversion)",
+        if private_measured.last() > private_measured.first() { "rises" } else { "falls" },
+        if private_sim.last() < private_sim.first() { "falls" } else { "rises" },
+    ));
+    errors.note("paper: simulated makespans overestimate performance for private/on-node, underestimate for striped");
+    vec![t, errors]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_are_in_the_papers_ballpark() {
+        let scenarios = paper_scenarios(1);
+        // Endpoint-only sweep, few reps: still expect errors under ~35 %.
+        for s in &scenarios {
+            let (m, sim) = sweep(s, &[0.0, 1.0], 2);
+            let mape = mean_absolute_percentage_error(&m, &sim);
+            assert!(mape < 35.0, "{}: error {mape}% too large", s.label);
+        }
+    }
+
+    #[test]
+    fn private_measured_trend_inverts_while_simulated_falls() {
+        let scenarios = paper_scenarios(1);
+        let (m, sim) = sweep(&scenarios[0], &[0.0, 1.0], 4);
+        assert!(
+            sim[1] < sim[0],
+            "simulated private makespan falls with staging"
+        );
+        assert!(
+            m[1] > m[0] * 0.9,
+            "measured private makespan does not fall much (trend inversion): {} -> {}",
+            m[0],
+            m[1]
+        );
+    }
+}

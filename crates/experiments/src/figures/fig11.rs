@@ -1,0 +1,89 @@
+//! Figure 11: measured vs. simulated SWarp makespan as the number of
+//! concurrent pipelines varies (1 core per task, all files in the BB).
+//!
+//! Paper findings to reproduce: average error ≈11.8 % (private), 11.6 %
+//! (striped), 15.9 % (on-node); the simulator captures the contention
+//! trend (makespan grows with concurrency); accuracy does not degrade as
+//! concurrency rises.
+
+use wfbb_calibration::error::mean_absolute_percentage_error;
+use wfbb_calibration::measured::{fig11_stated_errors, PIPELINE_COUNTS};
+use wfbb_storage::PlacementPolicy;
+use wfbb_workloads::SwarpConfig;
+
+use crate::harness::{emulate_mean, paper_scenarios, par_map, simulate, Scenario};
+use crate::table::{f2, Table};
+
+const REPS: u64 = 5;
+
+pub(crate) fn sweep(
+    scenario: &Scenario,
+    pipelines: &[usize],
+    reps: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let policy = PlacementPolicy::AllBb;
+    let mut measured = Vec::with_capacity(pipelines.len());
+    let mut simulated = Vec::with_capacity(pipelines.len());
+    for &p in pipelines {
+        let wf = SwarpConfig::new(p).with_cores_per_task(1).build();
+        measured.push(emulate_mean(&scenario.platform, &wf, &policy, reps).makespan);
+        simulated.push(simulate(&scenario.platform, &wf, &policy).makespan);
+    }
+    (measured, simulated)
+}
+
+/// Builds the Figure 11 tables (sweep + error summary).
+pub fn run() -> Vec<Table> {
+    let scenarios = paper_scenarios(1);
+    let results = par_map(scenarios.to_vec(), |s| {
+        sweep(s, &PIPELINE_COUNTS, REPS)
+    });
+
+    let mut t = Table::new(
+        "Figure 11: real vs simulated makespan vs. pipelines (1 core per task, all files in BB)",
+        &["config", "pipelines", "measured (s)", "simulated (s)", "error"],
+    );
+    let mut errors = Table::new(
+        "Figure 11 (summary): average simulation error per configuration",
+        &["config", "our error (%)", "paper error (%)"],
+    );
+    let stated: std::collections::HashMap<_, _> = fig11_stated_errors().into_iter().collect();
+    for (s, (measured, simulated)) in scenarios.iter().zip(&results) {
+        for ((p, m), sim) in PIPELINE_COUNTS.iter().zip(measured).zip(simulated) {
+            t.push_row(vec![
+                s.label.into(),
+                p.to_string(),
+                f2(*m),
+                f2(*sim),
+                format!("{:+.1}%", 100.0 * (sim - m) / m),
+            ]);
+        }
+        let mape = mean_absolute_percentage_error(measured, simulated);
+        errors.push_row(vec![s.label.into(), f2(mape), f2(stated[s.label])]);
+    }
+    t.note("both series grow with concurrency: competition for BB bandwidth is captured (paper Section IV-B)");
+    vec![t, errors]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_grows_with_pipelines_in_both_series() {
+        let scenarios = paper_scenarios(1);
+        let (m, sim) = sweep(&scenarios[0], &[1, 16], 2);
+        assert!(m[1] > m[0], "measured grows: {} -> {}", m[0], m[1]);
+        assert!(sim[1] > sim[0], "simulated grows: {} -> {}", sim[0], sim[1]);
+    }
+
+    #[test]
+    fn errors_stay_bounded() {
+        let scenarios = paper_scenarios(1);
+        for s in &scenarios {
+            let (m, sim) = sweep(s, &[1, 8], 2);
+            let mape = mean_absolute_percentage_error(&m, &sim);
+            assert!(mape < 40.0, "{}: error {mape}%", s.label);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Figure 13: predicted makespan of the 903-task 1000Genomes workflow on
+//! Cori and Summit as the fraction of input files allocated in the BB
+//! varies.
+//!
+//! Paper findings to reproduce: performance improves steadily as more
+//! files live in the BB; Summit outperforms Cori (larger BB bandwidth);
+//! Cori reaches a performance plateau at ~80 % staged (its shared BB
+//! allocation saturates) while Summit's plateau arrives only near 100 %.
+//!
+//! This is a simulation-only figure in the paper too (no real execution of
+//! the 22-chromosome instance), run with the same calibration as Figures
+//! 10–11.
+
+use wfbb_platform::{presets, BbMode, PlatformSpec};
+use wfbb_workloads::GenomesConfig;
+
+use crate::harness::{fraction_policy, par_map, simulate};
+use crate::table::{f2, pct, Table};
+
+/// Compute nodes used for the 1000Genomes simulations (the paper does not
+/// fix a node count; 4 nodes give the workflow room to exploit its
+/// task-level parallelism on both platforms).
+pub const NODES: usize = 4;
+
+/// The staged fractions swept (finer than Figures 10–11 to localize the
+/// plateaus).
+pub fn fractions() -> Vec<f64> {
+    (0..=10).map(|k| k as f64 / 10.0).collect()
+}
+
+/// The two platforms of the figure.
+pub fn platforms() -> Vec<(&'static str, PlatformSpec)> {
+    vec![
+        ("cori", presets::cori(NODES, BbMode::Private)),
+        ("summit", presets::summit(NODES)),
+    ]
+}
+
+/// Simulated makespans over the fraction sweep for one platform.
+pub(crate) fn sweep(platform: &PlatformSpec, fractions: &[f64]) -> Vec<f64> {
+    let wf = GenomesConfig::paper_instance().build();
+    fractions
+        .iter()
+        .map(|&f| simulate(platform, &wf, &fraction_policy(f)).makespan)
+        .collect()
+}
+
+/// Fraction after which further staging improves the makespan by less
+/// than 5 % of the total range — the "plateau" onset.
+pub(crate) fn plateau_onset(fractions: &[f64], makespans: &[f64]) -> f64 {
+    let range = makespans.first().unwrap() - makespans.last().unwrap();
+    if range <= 0.0 {
+        return 0.0;
+    }
+    for k in 0..makespans.len() - 1 {
+        let remaining = makespans[k] - makespans.last().unwrap();
+        if remaining < 0.05 * range {
+            return fractions[k];
+        }
+    }
+    *fractions.last().unwrap()
+}
+
+/// Builds the Figure 13 table.
+pub fn run() -> Vec<Table> {
+    let fractions = fractions();
+    let platforms = platforms();
+    let results = par_map(platforms.clone(), |(_, p)| sweep(p, &fractions));
+
+    let mut t = Table::new(
+        "Figure 13: 1000Genomes (903 tasks) makespan vs. input files in BB",
+        &["platform", "staged", "makespan (s)"],
+    );
+    for ((label, _), series) in platforms.iter().zip(&results) {
+        for (f, m) in fractions.iter().zip(series) {
+            t.push_row(vec![label.to_string(), pct(*f), f2(*m)]);
+        }
+    }
+    let cori_plateau = plateau_onset(&fractions, &results[0]);
+    let summit_plateau = plateau_onset(&fractions, &results[1]);
+    t.note(format!(
+        "plateau onset: Cori at {:.0}% staged (paper: ~80%), Summit at {:.0}% (paper: near 100%)",
+        cori_plateau * 100.0,
+        summit_plateau * 100.0
+    ));
+    t.note(format!(
+        "Summit beats Cori at every fraction: {:.0}s vs {:.0}s fully staged",
+        results[1].last().unwrap(),
+        results[0].last().unwrap()
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staging_helps_and_summit_wins() {
+        // Reduced sweep on a smaller instance for test speed.
+        let wf = GenomesConfig::new(4).build();
+        let cori = presets::cori(NODES, BbMode::Private);
+        let summit = presets::summit(NODES);
+        let cori0 = simulate(&cori, &wf, &fraction_policy(0.0)).makespan;
+        let cori1 = simulate(&cori, &wf, &fraction_policy(1.0)).makespan;
+        let summit1 = simulate(&summit, &wf, &fraction_policy(1.0)).makespan;
+        assert!(cori1 < cori0, "staging improves Cori: {cori0} -> {cori1}");
+        assert!(summit1 < cori1, "Summit beats Cori: {summit1} vs {cori1}");
+    }
+
+    #[test]
+    fn plateau_onset_finds_the_knee() {
+        let fractions = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+        // Flat after 0.5.
+        let makespans = vec![100.0, 60.0, 20.0, 19.8, 19.7];
+        let onset = plateau_onset(&fractions, &makespans);
+        assert_eq!(onset, 0.5);
+        // Monotone to the end -> plateau only at 1.0.
+        let linear = vec![100.0, 80.0, 60.0, 40.0, 20.0];
+        assert_eq!(plateau_onset(&fractions, &linear), 1.0);
+        // No improvement at all.
+        let flat = vec![5.0; 5];
+        assert_eq!(plateau_onset(&fractions, &flat), 0.0);
+    }
+}

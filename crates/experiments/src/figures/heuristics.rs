@@ -1,0 +1,171 @@
+//! Extension experiment: capacity-constrained data-placement heuristics.
+//!
+//! The paper's conclusion proposes exploring "the heuristic-space of data
+//! placement strategies" with the calibrated simulator; this experiment
+//! does so. The 1000Genomes instance runs on Cori with a constrained
+//! burst buffer *budget* (the allocation a job would request); five
+//! greedy heuristics decide which files get BB residency, and the
+//! simulator scores the resulting makespans.
+//!
+//! Expected structure: with ample budget all heuristics converge; under
+//! tight budgets access-aware scores (bandwidth-savings, most-accessed)
+//! beat naive size-based ones, and every heuristic beats the PFS-only
+//! baseline.
+
+use wfbb_platform::{presets, BbMode};
+use wfbb_storage::heuristics::{plan_with_budget, BbBudgetHeuristic};
+use wfbb_storage::PlacementPolicy;
+use wfbb_wms::SimulationBuilder;
+use wfbb_workloads::GenomesConfig;
+
+use crate::harness::par_map;
+use crate::table::{f2, Table};
+
+/// BB budgets swept, as fractions of the workflow data footprint.
+const BUDGET_SHARES: [f64; 4] = [0.1, 0.25, 0.5, 1.0];
+
+fn genomes() -> wfbb_workflow::Workflow {
+    GenomesConfig::paper_instance().build()
+}
+
+fn platform() -> wfbb_platform::PlatformSpec {
+    presets::cori(4, BbMode::Private)
+}
+
+pub(crate) fn makespan_with(
+    workflow: &wfbb_workflow::Workflow,
+    heuristic: BbBudgetHeuristic,
+    budget: f64,
+) -> f64 {
+    let p = platform();
+    let plan = plan_with_budget(
+        workflow,
+        heuristic,
+        budget,
+        p.pfs_disk_bw,
+        p.bb_network_bw.min(p.bb_disk_bw),
+    );
+    SimulationBuilder::new(p, workflow.clone())
+        .placement_plan(plan)
+        .run()
+        .expect("simulation succeeds")
+        .makespan
+        .seconds()
+}
+
+/// Builds the heuristics comparison table.
+pub fn run() -> Vec<Table> {
+    let wf = genomes();
+    let footprint = wf.data_footprint();
+
+    let baseline = SimulationBuilder::new(platform(), wf.clone())
+        .placement(PlacementPolicy::AllPfs)
+        .run()
+        .expect("baseline succeeds")
+        .makespan
+        .seconds();
+
+    let grid: Vec<(BbBudgetHeuristic, f64)> = BbBudgetHeuristic::ALL
+        .iter()
+        .flat_map(|&h| BUDGET_SHARES.iter().map(move |&s| (h, s * footprint)))
+        .collect();
+    let results = {
+        let wf = &wf;
+        par_map(grid.clone(), move |&(h, budget)| {
+            makespan_with(wf, h, budget)
+        })
+    };
+
+    let mut t = Table::new(
+        "Heuristics (extension): 1000Genomes on Cori under a BB byte budget",
+        &["heuristic", "budget (% footprint)", "makespan (s)", "vs PFS-only"],
+    );
+    for ((h, budget), makespan) in grid.iter().zip(&results) {
+        t.push_row(vec![
+            h.label().into(),
+            format!("{:.0}%", 100.0 * budget / footprint),
+            f2(*makespan),
+            format!("{:.2}x", baseline / makespan),
+        ]);
+    }
+    t.note(format!("PFS-only baseline: {baseline:.2} s"));
+
+    // Identify the best heuristic at the tightest budget.
+    let tight: Vec<(&BbBudgetHeuristic, f64)> = grid
+        .iter()
+        .zip(&results)
+        .filter(|((_, b), _)| (*b / footprint - BUDGET_SHARES[0]).abs() < 1e-9)
+        .map(|((h, _), &m)| (h, m))
+        .collect();
+    let (best, best_m) = tight
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("non-empty");
+    let (worst, worst_m) = tight
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("non-empty");
+    t.note(format!(
+        "at a {:.0}% budget, {} ({:.1} s) beats {} ({:.1} s) by {:.2}x — placement choice matters under capacity pressure",
+        100.0 * BUDGET_SHARES[0],
+        best.label(),
+        best_m,
+        worst.label(),
+        worst_m,
+        worst_m / best_m
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_heuristic_beats_the_pfs_baseline_with_budget() {
+        let wf = GenomesConfig::new(4).build();
+        let footprint = wf.data_footprint();
+        let baseline = SimulationBuilder::new(platform(), wf.clone())
+            .placement(PlacementPolicy::AllPfs)
+            .run()
+            .unwrap()
+            .makespan
+            .seconds();
+        for h in BbBudgetHeuristic::ALL {
+            let m = makespan_with(&wf, h, 0.5 * footprint);
+            assert!(
+                m < baseline,
+                "{}: {m} !< baseline {baseline}",
+                h.label()
+            );
+        }
+    }
+
+    #[test]
+    fn more_budget_never_hurts_savings_heuristic_much() {
+        let wf = GenomesConfig::new(4).build();
+        let footprint = wf.data_footprint();
+        let tight = makespan_with(&wf, BbBudgetHeuristic::BandwidthSavings, 0.1 * footprint);
+        let ample = makespan_with(&wf, BbBudgetHeuristic::BandwidthSavings, footprint);
+        assert!(
+            ample <= tight * 1.1,
+            "ample budget {ample} should not lose to tight {tight}"
+        );
+    }
+
+    #[test]
+    fn heuristics_differ_under_tight_budgets() {
+        let wf = GenomesConfig::new(4).build();
+        let footprint = wf.data_footprint();
+        let makespans: Vec<f64> = BbBudgetHeuristic::ALL
+            .iter()
+            .map(|&h| makespan_with(&wf, h, 0.1 * footprint))
+            .collect();
+        let min = makespans.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = makespans.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max / min > 1.02,
+            "heuristics should separate under pressure: {makespans:?}"
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Extension experiment: how close do the placement heuristics get to
+//! optimal?
+//!
+//! For a small SWarp instance (few enough files to enumerate every
+//! placement), brute-force the best BB file-subset within a byte budget
+//! by simulating all of them, then measure each greedy heuristic's
+//! optimality gap. This is the kind of study the paper's conclusion
+//! motivates the simulator for — and it is only feasible because the
+//! simulator is fast (hundreds of full simulations per second).
+
+use wfbb_platform::{presets, BbMode, PlatformSpec};
+use wfbb_storage::heuristics::{plan_with_budget, BbBudgetHeuristic};
+use wfbb_storage::{PlacementPlan, Tier};
+use wfbb_wms::SimulationBuilder;
+use wfbb_workflow::Workflow;
+use wfbb_workloads::SwarpConfig;
+
+use crate::harness::par_map;
+use crate::table::{f2, Table};
+
+/// A small instance: one pipeline with 2 images (+2 weight maps) has
+/// 4 inputs + 4 intermediates + 1 output = 9 files → 512 placements.
+fn small_swarp() -> Workflow {
+    SwarpConfig::new(1)
+        .with_images_per_pipeline(2)
+        .with_cores_per_task(8)
+        .build()
+}
+
+fn platform() -> PlatformSpec {
+    presets::cori(1, BbMode::Private)
+}
+
+fn makespan_of(workflow: &Workflow, plan: PlacementPlan) -> f64 {
+    SimulationBuilder::new(platform(), workflow.clone())
+        .placement_plan(plan)
+        .run()
+        .expect("simulation succeeds")
+        .makespan
+        .seconds()
+}
+
+/// Exhaustive best placement within `budget` bytes: simulates every
+/// subset of files that fits and returns the minimum makespan.
+pub(crate) fn brute_force_optimum(workflow: &Workflow, budget: f64) -> f64 {
+    let n = workflow.file_count();
+    assert!(n <= 16, "brute force only for tiny instances (got {n} files)");
+    let sizes: Vec<f64> = workflow.files().iter().map(|f| f.size).collect();
+    let subsets: Vec<u32> = (0..(1u32 << n))
+        .filter(|mask| {
+            let used: f64 = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| sizes[i])
+                .sum();
+            used <= budget
+        })
+        .collect();
+    let makespans = par_map(subsets, |&mask| {
+        let tiers: Vec<Tier> = (0..n)
+            .map(|i| {
+                if mask & (1 << i) != 0 {
+                    Tier::BurstBuffer
+                } else {
+                    Tier::Pfs
+                }
+            })
+            .collect();
+        makespan_of(workflow, PlacementPlan::from_tiers(tiers))
+    });
+    makespans.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+/// Builds the optimality-gap table.
+pub fn run() -> Vec<Table> {
+    let wf = small_swarp();
+    let footprint = wf.data_footprint();
+    let p = platform();
+    let budgets: Vec<f64> = [0.25, 0.5, 0.75].iter().map(|s| s * footprint).collect();
+
+    let mut t = Table::new(
+        "Optimality (extension): heuristics vs brute-force optimal placement",
+        &["budget (% footprint)", "strategy", "makespan (s)", "gap vs optimal"],
+    );
+    for &budget in &budgets {
+        let optimum = brute_force_optimum(&wf, budget);
+        t.push_row(vec![
+            format!("{:.0}%", 100.0 * budget / footprint),
+            "optimal (exhaustive)".into(),
+            f2(optimum),
+            "0.0%".into(),
+        ]);
+        for h in BbBudgetHeuristic::ALL {
+            let plan = plan_with_budget(
+                &wf,
+                h,
+                budget,
+                p.pfs_disk_bw,
+                p.bb_network_bw.min(p.bb_disk_bw),
+            );
+            let m = makespan_of(&wf, plan);
+            t.push_row(vec![
+                format!("{:.0}%", 100.0 * budget / footprint),
+                h.label().into(),
+                f2(m),
+                format!("{:+.1}%", 100.0 * (m - optimum) / optimum),
+            ]);
+        }
+    }
+    t.note("the gap quantifies how much headroom smarter placement policies have — the design space the paper proposes exploring");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristics_never_beat_the_brute_force_optimum() {
+        let wf = small_swarp();
+        let p = platform();
+        let budget = 0.5 * wf.data_footprint();
+        let optimum = brute_force_optimum(&wf, budget);
+        for h in BbBudgetHeuristic::ALL {
+            let plan = plan_with_budget(
+                &wf,
+                h,
+                budget,
+                p.pfs_disk_bw,
+                p.bb_network_bw.min(p.bb_disk_bw),
+            );
+            let m = makespan_of(&wf, plan);
+            assert!(
+                m >= optimum - 1e-9,
+                "{} beat the optimum?! {m} < {optimum}",
+                h.label()
+            );
+        }
+    }
+
+    #[test]
+    fn best_heuristic_is_close_to_optimal_here() {
+        let wf = small_swarp();
+        let p = platform();
+        let budget = 0.75 * wf.data_footprint();
+        let optimum = brute_force_optimum(&wf, budget);
+        let best = BbBudgetHeuristic::ALL
+            .iter()
+            .map(|&h| {
+                let plan = plan_with_budget(
+                    &wf,
+                    h,
+                    budget,
+                    p.pfs_disk_bw,
+                    p.bb_network_bw.min(p.bb_disk_bw),
+                );
+                makespan_of(&wf, plan)
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best <= optimum * 1.10,
+            "some heuristic should land within 10% of optimal: {best} vs {optimum}"
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_optimum_equals_all_bb() {
+        let wf = small_swarp();
+        let optimum = brute_force_optimum(&wf, wf.data_footprint());
+        let all_bb = makespan_of(
+            &wf,
+            PlacementPlan::from_tiers(vec![Tier::BurstBuffer; wf.file_count()]),
+        );
+        // All-BB fits and is one of the enumerated subsets, so the optimum
+        // can only be at least as good.
+        assert!(optimum <= all_bb + 1e-9);
+    }
+}

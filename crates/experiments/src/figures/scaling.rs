@@ -1,0 +1,99 @@
+//! Extension experiment: multi-node scaling of the two BB architectures.
+//!
+//! Section III-D: *"This result indicates that the on-node implementation
+//! would likely scale well for large-scale workflow applications."* The
+//! paper demonstrates it indirectly through the 1000Genomes case study;
+//! this experiment isolates the claim: SWarp with a fixed per-node load
+//! (8 pipelines per node, 4 cores each) on 1–8 nodes. Perfect weak
+//! scaling keeps the makespan flat; a shared BB cannot, because its
+//! allocation's aggregate bandwidth is fixed while on-node capacity grows
+//! with every node.
+
+use wfbb_platform::{presets, BbMode};
+use wfbb_storage::PlacementPolicy;
+use wfbb_workloads::SwarpConfig;
+
+use crate::harness::{par_map, simulate};
+use crate::table::{f2, Table};
+
+/// Pipelines per compute node (fixed per-node load for weak scaling).
+const PIPELINES_PER_NODE: usize = 8;
+
+/// Node counts swept.
+const NODE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+pub(crate) fn weak_scaling_makespan(shared: bool, nodes: usize) -> f64 {
+    let platform = if shared {
+        presets::cori(nodes, BbMode::Private)
+    } else {
+        presets::summit(nodes)
+    };
+    let wf = SwarpConfig::new(PIPELINES_PER_NODE * nodes)
+        .with_cores_per_task(4)
+        .build();
+    simulate(&platform, &wf, &PlacementPolicy::AllBb).makespan
+}
+
+/// Builds the weak-scaling table.
+pub fn run() -> Vec<Table> {
+    let grid: Vec<(bool, usize)> = [true, false]
+        .into_iter()
+        .flat_map(|shared| NODE_COUNTS.iter().map(move |&n| (shared, n)))
+        .collect();
+    let results = par_map(grid.clone(), |&(shared, n)| weak_scaling_makespan(shared, n));
+
+    let mut t = Table::new(
+        "Scaling (extension): weak scaling, 8 pipelines per node, 4 cores per task",
+        &["architecture", "nodes", "pipelines", "makespan (s)", "vs 1 node"],
+    );
+    let mut base: std::collections::HashMap<bool, f64> = Default::default();
+    for ((shared, n), makespan) in grid.iter().zip(&results) {
+        let b = *base.entry(*shared).or_insert(*makespan);
+        t.push_row(vec![
+            if *shared { "shared (Cori/private)" } else { "on-node (Summit)" }.into(),
+            n.to_string(),
+            (PIPELINES_PER_NODE * n).to_string(),
+            f2(*makespan),
+            format!("{:.2}x", makespan / b),
+        ]);
+    }
+    let shared_blowup = results[NODE_COUNTS.len() - 1] / results[0];
+    let onnode_blowup = results[2 * NODE_COUNTS.len() - 1] / results[NODE_COUNTS.len()];
+    t.note(format!(
+        "weak-scaling blowup at 8 nodes: shared {:.2}x vs on-node {:.2}x — the paper's claim that the on-node architecture scales (its BB capacity grows with the allocation) while a shared allocation saturates",
+        shared_blowup, onnode_blowup
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_node_weak_scales_nearly_flat() {
+        let one = weak_scaling_makespan(false, 1);
+        let four = weak_scaling_makespan(false, 4);
+        assert!(
+            four < one * 1.15,
+            "on-node weak scaling should be near-flat: {one} -> {four}"
+        );
+    }
+
+    #[test]
+    fn shared_bb_degrades_with_scale() {
+        let one = weak_scaling_makespan(true, 1);
+        let four = weak_scaling_makespan(true, 4);
+        assert!(
+            four > one * 1.2,
+            "a fixed shared allocation must saturate: {one} -> {four}"
+        );
+    }
+
+    #[test]
+    fn on_node_scales_better_than_shared() {
+        let shared = weak_scaling_makespan(true, 4) / weak_scaling_makespan(true, 1);
+        let onnode = weak_scaling_makespan(false, 4) / weak_scaling_makespan(false, 1);
+        assert!(shared > onnode, "shared blowup {shared} !> on-node {onnode}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Table I: input parameters used in simulation.
+//!
+//! Prints the calibration constants exactly as the paper's Table I lays
+//! them out, cross-checked against the platform presets (a unit test in
+//! `wfbb-calibration` asserts the two sources agree).
+
+use wfbb_calibration::params::{CORI, LAMBDA_COMBINE, LAMBDA_RESAMPLE, SUMMIT};
+
+use crate::table::Table;
+
+/// Builds Table I.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "Table I: input parameters used in simulation",
+        &[
+            "platform",
+            "proc speed (GFlop/s/core)",
+            "BB net (MB/s)",
+            "BB disk (MB/s)",
+            "PFS net (MB/s)",
+            "PFS disk (MB/s)",
+        ],
+    );
+    for p in [CORI, SUMMIT] {
+        t.push_row(vec![
+            p.name.to_string(),
+            format!("{:.2}", p.gflops_per_core),
+            format!("{:.0}", p.bb_network_bw / 1e6),
+            format!("{:.0}", p.bb_disk_bw / 1e6),
+            format!("{:.0}", p.pfs_network_bw / 1e6),
+            format!("{:.0}", p.pfs_disk_bw / 1e6),
+        ]);
+    }
+    t.note(format!(
+        "lambda_io: resample = {LAMBDA_RESAMPLE}, combine = {LAMBDA_COMBINE} (from Daley et al. [24])"
+    ));
+    t.note("values match the paper's Table I verbatim; presets cross-checked by unit test");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table_one_has_two_rows() {
+        let tables = super::run();
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].rows.len(), 2);
+        assert_eq!(tables[0].rows[0][0], "Cori");
+        assert_eq!(tables[0].rows[1][0], "Summit");
+        // The Cori BB network column is 800 MB/s.
+        assert_eq!(tables[0].rows[0][2], "800");
+    }
+}

@@ -1,0 +1,242 @@
+//! Shared experiment machinery.
+//!
+//! Scenario definitions (the paper's three platform configurations),
+//! simulation/emulation wrappers that average repetitions, and a small
+//! thread-pool map for embarrassingly parallel sweeps.
+
+use std::collections::BTreeMap;
+
+use wfbb_calibration::emulator::Emulator;
+use wfbb_platform::{presets, BbMode, PlatformSpec};
+use wfbb_storage::PlacementPolicy;
+use wfbb_wms::{SimulationBuilder, SimulationReport};
+use wfbb_workflow::Workflow;
+
+/// A named platform configuration under study.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display label ("private", "striped", "on-node").
+    pub label: &'static str,
+    /// The platform.
+    pub platform: PlatformSpec,
+}
+
+/// The paper's three configurations on `nodes` compute node(s), in figure
+/// order: Cori/private, Cori/striped, Summit/on-node.
+pub fn paper_scenarios(nodes: usize) -> Vec<Scenario> {
+    vec![
+        Scenario {
+            label: "private",
+            platform: presets::cori(nodes, BbMode::Private),
+        },
+        Scenario {
+            label: "striped",
+            platform: presets::cori(nodes, BbMode::Striped),
+        },
+        Scenario {
+            label: "on-node",
+            platform: presets::summit(nodes),
+        },
+    ]
+}
+
+/// Condensed metrics of one (possibly averaged) execution.
+#[derive(Debug, Clone, Default)]
+pub struct RunMetrics {
+    /// Workflow makespan, seconds.
+    pub makespan: f64,
+    /// Stage-in duration, seconds.
+    pub stage_in: f64,
+    /// Mean task duration per category, seconds.
+    pub category_means: BTreeMap<String, f64>,
+    /// Mean task I/O time (read + write) per category, seconds.
+    pub category_io_means: BTreeMap<String, f64>,
+    /// Achieved BB bandwidth, B/s.
+    pub bb_achieved_bw: f64,
+    /// Achieved PFS bandwidth, B/s.
+    pub pfs_achieved_bw: f64,
+}
+
+impl RunMetrics {
+    /// Extracts metrics from a report.
+    pub fn from_report(report: &SimulationReport) -> Self {
+        RunMetrics {
+            makespan: report.makespan.seconds(),
+            stage_in: report.stage_in_time,
+            category_means: report
+                .by_category()
+                .into_iter()
+                .map(|(k, v)| (k, v.mean_duration))
+                .collect(),
+            category_io_means: report
+                .by_category()
+                .into_iter()
+                .map(|(k, v)| (k, v.mean_io_time))
+                .collect(),
+            bb_achieved_bw: report.bb_achieved_bw,
+            pfs_achieved_bw: report.pfs_achieved_bw,
+        }
+    }
+
+    /// Element-wise mean of several runs' metrics.
+    pub fn mean_of(runs: &[RunMetrics]) -> Self {
+        assert!(!runs.is_empty(), "mean_of needs at least one run");
+        let n = runs.len() as f64;
+        let mut out = RunMetrics {
+            makespan: runs.iter().map(|r| r.makespan).sum::<f64>() / n,
+            stage_in: runs.iter().map(|r| r.stage_in).sum::<f64>() / n,
+            ..Default::default()
+        };
+        out.bb_achieved_bw = runs.iter().map(|r| r.bb_achieved_bw).sum::<f64>() / n;
+        out.pfs_achieved_bw = runs.iter().map(|r| r.pfs_achieved_bw).sum::<f64>() / n;
+        for r in runs {
+            for (k, v) in &r.category_means {
+                *out.category_means.entry(k.clone()).or_insert(0.0) += v / n;
+            }
+            for (k, v) in &r.category_io_means {
+                *out.category_io_means.entry(k.clone()).or_insert(0.0) += v / n;
+            }
+        }
+        out
+    }
+
+    /// Mean task duration of a category (0 when the category is absent).
+    pub fn category(&self, category: &str) -> f64 {
+        self.category_means.get(category).copied().unwrap_or(0.0)
+    }
+
+    /// Mean task I/O time of a category (0 when the category is absent).
+    pub fn category_io(&self, category: &str) -> f64 {
+        self.category_io_means.get(category).copied().unwrap_or(0.0)
+    }
+}
+
+/// Runs the clean simulator once.
+pub fn simulate(
+    platform: &PlatformSpec,
+    workflow: &Workflow,
+    placement: &PlacementPolicy,
+) -> RunMetrics {
+    let report = SimulationBuilder::new(platform.clone(), workflow.clone())
+        .placement(placement.clone())
+        .run()
+        .expect("simulation succeeds");
+    RunMetrics::from_report(&report)
+}
+
+/// Runs the measurement emulator `reps` times and returns per-run
+/// metrics (the paper averages 15 repetitions per configuration).
+pub fn emulate_runs(
+    platform: &PlatformSpec,
+    workflow: &Workflow,
+    placement: &PlacementPolicy,
+    reps: u64,
+) -> Vec<RunMetrics> {
+    let emulator = Emulator::default();
+    emulator
+        .run_many(platform, workflow, placement, reps)
+        .expect("emulated runs succeed")
+        .iter()
+        .map(RunMetrics::from_report)
+        .collect()
+}
+
+/// Runs the emulator `reps` times and averages.
+pub fn emulate_mean(
+    platform: &PlatformSpec,
+    workflow: &Workflow,
+    placement: &PlacementPolicy,
+    reps: u64,
+) -> RunMetrics {
+    RunMetrics::mean_of(&emulate_runs(platform, workflow, placement, reps))
+}
+
+/// Maps `f` over `items` on scoped threads (sweeps are embarrassingly
+/// parallel); results keep the input order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    crossbeam::thread::scope(|scope| {
+        let items = &items;
+        let f = &f;
+        let next = &next;
+        for _ in 0..threads {
+            let tx = tx.clone();
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                tx.send((i, f(&items[i]))).expect("receiver alive");
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    drop(tx);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx {
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// The staged-fraction placement used throughout the figures: the given
+/// fraction of input files to the BB, intermediates and outputs too.
+pub fn fraction_policy(fraction: f64) -> PlacementPolicy {
+    PlacementPolicy::FractionToBb { fraction }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfbb_workloads::SwarpConfig;
+
+    #[test]
+    fn paper_scenarios_have_expected_labels() {
+        let s = paper_scenarios(1);
+        let labels: Vec<_> = s.iter().map(|x| x.label).collect();
+        assert_eq!(labels, vec!["private", "striped", "on-node"]);
+    }
+
+    #[test]
+    fn metrics_extract_and_average() {
+        let wf = SwarpConfig::new(1).with_cores_per_task(4).build();
+        let s = paper_scenarios(1);
+        let m = simulate(&s[2].platform, &wf, &fraction_policy(1.0));
+        assert!(m.makespan > 0.0);
+        assert!(m.category("resample") > 0.0);
+        let avg = RunMetrics::mean_of(&[m.clone(), m.clone()]);
+        assert!((avg.makespan - m.makespan).abs() < 1e-12);
+    }
+
+    #[test]
+    fn emulated_mean_differs_from_clean_simulation() {
+        let wf = SwarpConfig::new(1).with_cores_per_task(4).build();
+        let s = paper_scenarios(1);
+        let sim = simulate(&s[0].platform, &wf, &fraction_policy(1.0));
+        let emu = emulate_mean(&s[0].platform, &wf, &fraction_policy(1.0), 3);
+        assert!(emu.makespan != sim.makespan);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..50).collect::<Vec<_>>(), |&x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,70 @@
+//! # wfbb-experiments — regenerating the paper's tables and figures
+//!
+//! One module (and one binary) per table/figure of the paper's evaluation.
+//! Each experiment produces [`Table`]s: printable as aligned text and
+//! writable as CSV into `results/`. The binaries (`fig04` … `fig14`,
+//! `table1`) are thin wrappers over [`figures::by_name`].
+//!
+//! "Measured" columns come from the measurement emulator
+//! (`wfbb_calibration::emulator`) standing in for the real Cori/Summit
+//! runs; "simulated" columns come from the clean model, exactly as the
+//! paper compares real executions against its WRENCH simulator. See
+//! DESIGN.md §2 for the substitution argument and EXPERIMENTS.md for the
+//! recorded outcomes.
+
+pub mod figures;
+pub mod harness;
+pub mod table;
+
+pub use harness::Scenario;
+pub use table::Table;
+
+/// Runs the named experiment, prints its tables, and writes CSVs under
+/// `results/`. Entry point shared by all experiment binaries.
+pub fn run_and_save(name: &str) {
+    let run = figures::by_name(name).unwrap_or_else(|| {
+        eprintln!("unknown experiment {name:?}; known: {:?}", figures::NAMES);
+        std::process::exit(2);
+    });
+    let tables = run();
+    let dir = results_dir();
+    for t in &tables {
+        println!("{t}");
+        let path = dir.join(format!("{}.csv", t.slug()));
+        t.write_csv(&path).unwrap_or_else(|e| {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("  -> {}\n", path.display());
+    }
+}
+
+/// The `results/` directory at the workspace root (created on demand).
+pub fn results_dir() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR = crates/experiments; results/ sits two levels up.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results")
+        .to_path_buf();
+    std::fs::create_dir_all(&dir).expect("results directory is creatable");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn results_dir_is_creatable() {
+        let dir = super::results_dir();
+        assert!(dir.is_dir());
+    }
+
+    #[test]
+    fn all_experiment_names_resolve() {
+        for name in super::figures::NAMES {
+            assert!(
+                super::figures::by_name(name).is_some(),
+                "experiment {name} must resolve"
+            );
+        }
+        assert!(super::figures::by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,200 @@
+//! Result tables: aligned text output and CSV export.
+
+use std::fmt;
+use std::path::Path;
+
+/// A titled result table with named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title, e.g. `"Figure 4: stage-in time vs. fraction staged"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells; each row has exactly `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (paper comparisons,
+    /// caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width in table {:?}",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// A filesystem-friendly slug derived from the title
+    /// (`"Figure 4: ..."` → `"figure_4"`).
+    pub fn slug(&self) -> String {
+        let head = self.title.split(':').next().unwrap_or(&self.title);
+        head.trim()
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect::<String>()
+            .split('_')
+            .filter(|s| !s.is_empty())
+            .collect::<Vec<_>>()
+            .join("_")
+    }
+
+    /// Serializes the table as CSV (headers + rows; notes as trailing
+    /// comment lines).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("# {note}\n"));
+        }
+        out
+    }
+
+    /// Writes the CSV form to `path`.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimal places (the tables' default precision).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a fraction as a percent label ("75%").
+pub fn pct(fraction: f64) -> String {
+    format!("{:.0}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Figure 4: stage-in", &["config", "x", "y"]);
+        t.push_row(vec!["private".into(), "0".into(), "1.5".into()]);
+        t.note("paper states 5x");
+        t
+    }
+
+    #[test]
+    fn slug_extracts_figure_id() {
+        assert_eq!(sample().slug(), "figure_4");
+        let t = Table::new("Table I", &["a"]);
+        assert_eq!(t.slug(), "table_i");
+    }
+
+    #[test]
+    fn csv_round_trips_cells() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("config,x,y\n"));
+        assert!(csv.contains("private,0,1.5\n"));
+        assert!(csv.contains("# paper states 5x"));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new("t", &["a"]);
+        t.push_row(vec!["x,y\"z".into()]);
+        assert!(t.to_csv().contains("\"x,y\"\"z\""));
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let text = format!("{}", sample());
+        assert!(text.contains("== Figure 4"));
+        assert!(text.contains("private"));
+        assert!(text.contains("note: paper"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(1.2345), "1.234");
+        assert_eq!(pct(0.75), "75%");
+    }
+}

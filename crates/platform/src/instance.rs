@@ -1,0 +1,299 @@
+//! Instantiating a platform inside the simulation engine.
+//!
+//! [`PlatformSpec::instantiate`] registers one simulation resource per
+//! physical component — node CPU pools, node NICs, the interconnect fabric,
+//! the PFS SAN link and backing store, the staging source, and the burst
+//! buffer links/devices — and returns a [`PlatformInstance`] that maps
+//! logical components to `wfbb_simcore::ResourceId` handles and knows how to
+//! build routes between them.
+//!
+//! Routes are the fluid paths I/O flows traverse; every resource on a route
+//! constrains the flow simultaneously (SimGrid's fluid model), so
+//! contention at any layer — NIC, fabric, BB link, device — emerges
+//! naturally.
+
+use wfbb_simcore::{Engine, ResourceId};
+
+use crate::spec::{BbArchitecture, BbMode, PlatformSpec};
+
+/// Simulation-resource handles for the burst buffer tier.
+#[derive(Debug, Clone)]
+pub enum BbInstance {
+    /// Shared BB nodes: `links[i]`/`disks[i]` belong to BB node `i`.
+    Shared {
+        /// Network path into each BB node.
+        links: Vec<ResourceId>,
+        /// Flash device of each BB node.
+        disks: Vec<ResourceId>,
+        /// Per-BB-node metadata services (capacity in ops/s each).
+        meta: Vec<ResourceId>,
+        /// Allocation mode.
+        mode: BbMode,
+    },
+    /// On-node BBs: `links[n]`/`disks[n]` belong to compute node `n`.
+    OnNode {
+        /// NVMe link of each compute node's local BB.
+        links: Vec<ResourceId>,
+        /// NVMe device of each compute node's local BB.
+        disks: Vec<ResourceId>,
+    },
+    /// No burst buffer.
+    None,
+}
+
+/// A platform materialized as engine resources.
+#[derive(Debug, Clone)]
+pub struct PlatformInstance {
+    /// The originating specification.
+    pub spec: PlatformSpec,
+    /// CPU pool of each compute node (capacity = cores).
+    pub node_cpu: Vec<ResourceId>,
+    /// NIC of each compute node (capacity = `nic_bw`).
+    pub node_nic: Vec<ResourceId>,
+    /// Interconnect fabric.
+    pub interconnect: ResourceId,
+    /// PFS SAN link.
+    pub pfs_link: ResourceId,
+    /// PFS backing store.
+    pub pfs_disk: ResourceId,
+    /// PFS metadata service (capacity in ops/s).
+    pub pfs_meta: ResourceId,
+    /// Staging-area source the stage-in task reads from.
+    pub stage_source: ResourceId,
+    /// Burst buffer resources.
+    pub bb: BbInstance,
+}
+
+impl PlatformSpec {
+    /// Registers this platform's resources in `engine`.
+    ///
+    /// # Panics
+    /// Panics if the spec does not validate; call
+    /// [`PlatformSpec::validate`] first for a recoverable error.
+    pub fn instantiate<T>(&self, engine: &mut Engine<T>) -> PlatformInstance {
+        self.validate().expect("platform spec must be valid");
+
+        let mut node_cpu = Vec::with_capacity(self.compute_nodes);
+        let mut node_nic = Vec::with_capacity(self.compute_nodes);
+        for n in 0..self.compute_nodes {
+            node_cpu.push(engine.add_resource(
+                format!("{}/node{}/cpu", self.name, n),
+                self.cores_per_node as f64,
+            ));
+            node_nic.push(engine.add_resource(format!("{}/node{}/nic", self.name, n), self.nic_bw));
+        }
+        let interconnect =
+            engine.add_resource(format!("{}/fabric", self.name), self.interconnect_bw);
+        let pfs_link = engine.add_resource(format!("{}/pfs/link", self.name), self.pfs_network_bw);
+        let pfs_disk = engine.add_resource(format!("{}/pfs/disk", self.name), self.pfs_disk_bw);
+        let pfs_meta = engine.add_resource(format!("{}/pfs/meta", self.name), self.pfs_meta_ops);
+        let stage_source =
+            engine.add_resource(format!("{}/stage-source", self.name), self.stage_source_bw);
+
+        let bb = match self.bb {
+            BbArchitecture::None => BbInstance::None,
+            BbArchitecture::Shared { bb_nodes, mode } => {
+                let mut links = Vec::with_capacity(bb_nodes);
+                let mut disks = Vec::with_capacity(bb_nodes);
+                for b in 0..bb_nodes {
+                    links.push(engine.add_resource(
+                        format!("{}/bb{}/link", self.name, b),
+                        self.bb_network_bw,
+                    ));
+                    disks.push(engine.add_resource(
+                        format!("{}/bb{}/disk", self.name, b),
+                        self.bb_disk_bw,
+                    ));
+                }
+                let meta = (0..bb_nodes)
+                    .map(|b| {
+                        engine.add_resource(
+                            format!("{}/bb{}/meta", self.name, b),
+                            self.bb_meta_ops,
+                        )
+                    })
+                    .collect();
+                BbInstance::Shared {
+                    links,
+                    disks,
+                    meta,
+                    mode,
+                }
+            }
+            BbArchitecture::OnNode => {
+                let mut links = Vec::with_capacity(self.compute_nodes);
+                let mut disks = Vec::with_capacity(self.compute_nodes);
+                for n in 0..self.compute_nodes {
+                    links.push(engine.add_resource(
+                        format!("{}/node{}/bb-link", self.name, n),
+                        self.bb_network_bw,
+                    ));
+                    disks.push(engine.add_resource(
+                        format!("{}/node{}/bb-disk", self.name, n),
+                        self.bb_disk_bw,
+                    ));
+                }
+                BbInstance::OnNode { links, disks }
+            }
+        };
+
+        PlatformInstance {
+            spec: self.clone(),
+            node_cpu,
+            node_nic,
+            interconnect,
+            pfs_link,
+            pfs_disk,
+            pfs_meta,
+            stage_source,
+            bb,
+        }
+    }
+}
+
+impl PlatformInstance {
+    /// Number of compute nodes.
+    pub fn nodes(&self) -> usize {
+        self.node_cpu.len()
+    }
+
+    /// Route between compute node `node` and the PFS (symmetric; used for
+    /// both reads and writes).
+    pub fn route_node_pfs(&self, node: usize) -> Vec<ResourceId> {
+        vec![
+            self.node_nic[node],
+            self.interconnect,
+            self.pfs_link,
+            self.pfs_disk,
+        ]
+    }
+
+    /// Route between compute node `node` and shared BB node `bb_index`.
+    ///
+    /// # Panics
+    /// Panics if the platform has no shared BB.
+    pub fn route_node_shared_bb(&self, node: usize, bb_index: usize) -> Vec<ResourceId> {
+        match &self.bb {
+            BbInstance::Shared { links, disks, .. } => vec![
+                self.node_nic[node],
+                self.interconnect,
+                links[bb_index],
+                disks[bb_index],
+            ],
+            _ => panic!("platform {} has no shared burst buffer", self.spec.name),
+        }
+    }
+
+    /// The shared BB nodes' metadata services, if the platform has a
+    /// shared BB (index-aligned with the BB nodes).
+    pub fn shared_bb_metas(&self) -> Option<&[ResourceId]> {
+        match &self.bb {
+            BbInstance::Shared { meta, .. } => Some(meta),
+            _ => None,
+        }
+    }
+
+    /// Route between compute node `node` and its local on-node BB.
+    ///
+    /// # Panics
+    /// Panics if the platform has no on-node BB.
+    pub fn route_node_local_bb(&self, node: usize) -> Vec<ResourceId> {
+        match &self.bb {
+            BbInstance::OnNode { links, disks } => vec![links[node], disks[node]],
+            _ => panic!("platform {} has no on-node burst buffer", self.spec.name),
+        }
+    }
+
+    /// Route for staging data from the staging source into compute node
+    /// `node` (prepended to a destination-tier route by the storage layer).
+    pub fn route_stage_to_node(&self, node: usize) -> Vec<ResourceId> {
+        vec![self.stage_source, self.interconnect, self.node_nic[node]]
+    }
+
+    /// Number of shared BB nodes (0 for other architectures).
+    pub fn shared_bb_nodes(&self) -> usize {
+        match &self.bb {
+            BbInstance::Shared { disks, .. } => disks.len(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use wfbb_simcore::Engine;
+
+    #[test]
+    fn cori_instantiates_expected_resources() {
+        let mut engine: Engine<()> = Engine::new();
+        let inst = presets::cori(2, BbMode::Private).instantiate(&mut engine);
+        assert_eq!(inst.nodes(), 2);
+        assert_eq!(inst.shared_bb_nodes(), 1);
+        assert_eq!(
+            engine.resource(inst.node_cpu[0]).capacity,
+            32.0,
+            "node CPU capacity equals the core count"
+        );
+        assert_eq!(engine.resource(inst.pfs_disk).capacity, 100e6);
+    }
+
+    #[test]
+    fn summit_gets_one_local_bb_per_node() {
+        let mut engine: Engine<()> = Engine::new();
+        let inst = presets::summit(3).instantiate(&mut engine);
+        match &inst.bb {
+            BbInstance::OnNode { links, disks } => {
+                assert_eq!(links.len(), 3);
+                assert_eq!(disks.len(), 3);
+            }
+            _ => panic!("summit must have an on-node BB"),
+        }
+        let route = inst.route_node_local_bb(1);
+        assert_eq!(route.len(), 2, "local BB route never touches the network");
+    }
+
+    #[test]
+    fn striped_cori_has_multiple_bb_nodes() {
+        let mut engine: Engine<()> = Engine::new();
+        let inst = presets::cori(1, BbMode::Striped).instantiate(&mut engine);
+        assert_eq!(inst.shared_bb_nodes(), presets::CORI_STRIPE_NODES);
+        let route = inst.route_node_shared_bb(0, 2);
+        assert_eq!(route.len(), 4, "shared BB route crosses NIC, fabric, BB link, BB disk");
+    }
+
+    #[test]
+    fn pfs_route_crosses_the_network() {
+        let mut engine: Engine<()> = Engine::new();
+        let inst = presets::generic(1).instantiate(&mut engine);
+        let route = inst.route_node_pfs(0);
+        assert!(route.contains(&inst.interconnect));
+        assert!(route.contains(&inst.pfs_disk));
+    }
+
+    #[test]
+    #[should_panic(expected = "no on-node burst buffer")]
+    fn local_bb_route_on_cori_panics() {
+        let mut engine: Engine<()> = Engine::new();
+        let inst = presets::cori(1, BbMode::Private).instantiate(&mut engine);
+        let _ = inst.route_node_local_bb(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no shared burst buffer")]
+    fn shared_bb_route_on_summit_panics() {
+        let mut engine: Engine<()> = Engine::new();
+        let inst = presets::summit(1).instantiate(&mut engine);
+        let _ = inst.route_node_shared_bb(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be valid")]
+    fn invalid_spec_panics_on_instantiate() {
+        let mut p = presets::generic(1);
+        p.cores_per_node = 0;
+        let mut engine: Engine<()> = Engine::new();
+        let _ = p.instantiate(&mut engine);
+    }
+}

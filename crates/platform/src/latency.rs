@@ -1,0 +1,111 @@
+//! Per-operation latency calibration.
+//!
+//! The paper's key qualitative findings — striped-mode collapse on SWarp's
+//! many-small-files (1:N) pattern, the ~5× stage-in gap between Summit and
+//! Cori, metadata-bound behavior of workflow I/O — are latency effects, not
+//! bandwidth effects. [`LatencyProfile`] gathers the per-file and per-stripe
+//! fixed costs each storage tier charges before a transfer streams.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed per-operation costs of the platform's storage tiers, in seconds.
+///
+/// These are calibration knobs: the defaults (see
+/// [`presets`](crate::presets)) were chosen so the simulator reproduces the
+/// relative behaviors reported in the paper's Section III (Figures 4–9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyProfile {
+    /// One-way network latency of the interconnect (applied to every remote
+    /// transfer).
+    pub network: f64,
+    /// Metadata/open cost per file on the parallel file system.
+    pub pfs_per_file: f64,
+    /// Metadata/open cost per file on a shared burst buffer in *private*
+    /// mode (per-compute-node namespace, cheap metadata).
+    pub bb_private_per_file: f64,
+    /// Metadata/open cost **per stripe** on a shared burst buffer in
+    /// *striped* mode. A file striped over `k` BB nodes pays `k` times this
+    /// cost, which is what makes the mode pathological for the SWarp 1:N
+    /// pattern (many small files, each opened by one task).
+    pub bb_striped_per_stripe: f64,
+    /// Metadata/open cost per file on an on-node (local NVMe) burst buffer.
+    pub bb_onnode_per_file: f64,
+}
+
+impl LatencyProfile {
+    /// A zero-latency profile, useful for tests that isolate bandwidth
+    /// effects.
+    pub fn zero() -> Self {
+        LatencyProfile {
+            network: 0.0,
+            pfs_per_file: 0.0,
+            bb_private_per_file: 0.0,
+            bb_striped_per_stripe: 0.0,
+            bb_onnode_per_file: 0.0,
+        }
+    }
+
+    /// Validates that all latencies are finite and non-negative.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("network", self.network),
+            ("pfs_per_file", self.pfs_per_file),
+            ("bb_private_per_file", self.bb_private_per_file),
+            ("bb_striped_per_stripe", self.bb_striped_per_stripe),
+            ("bb_onnode_per_file", self.bb_onnode_per_file),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("latency {name} must be finite and >= 0, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for LatencyProfile {
+    /// The Cori-like defaults used by the presets.
+    fn default() -> Self {
+        LatencyProfile {
+            network: 1e-5,
+            pfs_per_file: 0.010,
+            bb_private_per_file: 0.020,
+            bb_striped_per_stripe: 0.250,
+            bb_onnode_per_file: 0.001,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        LatencyProfile::default().validate().unwrap();
+        LatencyProfile::zero().validate().unwrap();
+    }
+
+    #[test]
+    fn striped_is_the_most_expensive_mode_by_default() {
+        let l = LatencyProfile::default();
+        assert!(l.bb_striped_per_stripe > l.bb_private_per_file);
+        assert!(l.bb_private_per_file > l.bb_onnode_per_file);
+    }
+
+    #[test]
+    fn negative_latency_is_rejected() {
+        let l = LatencyProfile {
+            pfs_per_file: -0.1,
+            ..LatencyProfile::default()
+        };
+        assert!(l.validate().unwrap_err().contains("pfs_per_file"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let l = LatencyProfile::default();
+        let json = serde_json::to_string(&l).unwrap();
+        let back: LatencyProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(l, back);
+    }
+}

@@ -1,0 +1,31 @@
+//! # wfbb-platform — HPC platform descriptions
+//!
+//! Describes execution platforms in the way the paper's simulator consumes
+//! them: compute nodes (cores, per-core speed), the interconnect, a parallel
+//! file system (PFS), and a burst buffer (BB) in one of the two deployed
+//! architectures:
+//!
+//! * **Shared** (remote) burst buffers on dedicated BB nodes, reached over
+//!   the interconnect — Cori at NERSC (Cray DataWarp), with *private* and
+//!   *striped* allocation modes;
+//! * **On-node** (local) burst buffers — one NVMe SSD per compute node —
+//!   Summit at ORNL.
+//!
+//! [`PlatformSpec`] is a plain serializable description (our JSON equivalent
+//! of the paper's XML platform files). [`PlatformSpec::instantiate`] turns
+//! it into concrete simulation resources inside a `wfbb-simcore` engine and
+//! returns a [`PlatformInstance`] mapping logical components (node CPUs,
+//! NICs, BB disks, ...) to resource handles.
+//!
+//! The [`presets`] module provides the calibrated Cori and Summit
+//! descriptions of the paper's Table I.
+
+pub mod instance;
+pub mod latency;
+pub mod presets;
+pub mod spec;
+pub mod units;
+
+pub use instance::{BbInstance, PlatformInstance};
+pub use latency::LatencyProfile;
+pub use spec::{BbArchitecture, BbMode, PlatformError, PlatformSpec};

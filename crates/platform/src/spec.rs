@@ -1,0 +1,335 @@
+//! Platform specifications.
+//!
+//! A [`PlatformSpec`] is a complete, serializable description of an HPC
+//! platform: compute nodes, interconnect, PFS, and burst buffer
+//! architecture. It corresponds to the XML platform file consumed by the
+//! paper's WRENCH/SimGrid simulator (we use JSON via `serde`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::latency::LatencyProfile;
+
+/// Allocation mode of a shared (remote) burst buffer — Cray DataWarp's two
+/// performance tuning modes on Cori.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BbMode {
+    /// Each compute node gets its own namespace on one BB node; files are
+    /// only accessible from the node that created them. Cheap metadata.
+    Private,
+    /// Files are striped over all BB nodes of the allocation and visible
+    /// from every compute node. Optimized for N:1 access to large shared
+    /// files; expensive for 1:N access to many small files.
+    Striped,
+}
+
+impl BbMode {
+    /// Short lowercase label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            BbMode::Private => "private",
+            BbMode::Striped => "striped",
+        }
+    }
+}
+
+/// The burst buffer architecture of a platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BbArchitecture {
+    /// Dedicated BB nodes shared by all compute nodes (Cori-style).
+    Shared {
+        /// Number of BB nodes in the allocation. In striped mode files are
+        /// striped over all of them.
+        bb_nodes: usize,
+        /// Allocation mode.
+        mode: BbMode,
+    },
+    /// One local BB device per compute node (Summit-style).
+    OnNode,
+    /// No burst buffer; only the PFS is available.
+    None,
+}
+
+impl BbArchitecture {
+    /// Short label used in experiment output ("private", "striped",
+    /// "on-node", "none").
+    pub fn label(&self) -> &'static str {
+        match self {
+            BbArchitecture::Shared { mode, .. } => mode.label(),
+            BbArchitecture::OnNode => "on-node",
+            BbArchitecture::None => "none",
+        }
+    }
+}
+
+/// Errors produced by [`PlatformSpec::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformError(pub String);
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid platform: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// A complete platform description.
+///
+/// Bandwidths are SI bytes per second; speeds are GFlop/s per core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Platform name ("cori", "summit", ...).
+    pub name: String,
+    /// Number of compute nodes.
+    pub compute_nodes: usize,
+    /// Cores per compute node.
+    pub cores_per_node: usize,
+    /// Per-core speed in GFlop/s (Table I: 36.80 for Cori, 49.12 for
+    /// Summit).
+    pub gflops_per_core: f64,
+    /// Node injection (NIC) bandwidth, B/s.
+    pub nic_bw: f64,
+    /// Aggregate interconnect fabric bandwidth, B/s.
+    pub interconnect_bw: f64,
+    /// Burst buffer architecture.
+    pub bb: BbArchitecture,
+    /// BB network-path bandwidth, B/s: per BB node for shared
+    /// architectures; the NVMe link for on-node.
+    pub bb_network_bw: f64,
+    /// BB device bandwidth, B/s: per BB node (shared) or per local SSD
+    /// (on-node).
+    pub bb_disk_bw: f64,
+    /// PFS network (SAN) bandwidth, B/s.
+    pub pfs_network_bw: f64,
+    /// PFS backing-store bandwidth, B/s.
+    pub pfs_disk_bw: f64,
+    /// Bandwidth of the staging source the stage-in task reads from (the
+    /// login/staging area). The paper's measured stage-in times (seconds,
+    /// with a 5× Summit-vs-Cori gap) imply the source is not the
+    /// bottleneck; see DESIGN.md.
+    pub stage_source_bw: f64,
+    /// Effective per-core I/O throughput of task-level (POSIX) I/O, B/s.
+    /// A task running on `p` cores can drive at most `p × io_core_bw` of
+    /// bandwidth — the paper's assumption that I/O time decreases linearly
+    /// with the number of cores performing I/O, and the reason Resample's
+    /// I/O stops improving once `p × io_core_bw` saturates the BB path
+    /// (Figure 6). Stage-in (a bulk copy, not task I/O) is exempt.
+    pub io_core_bw: f64,
+    /// Throughput of the PFS metadata service, in file-open operations per
+    /// second, shared by all concurrent accesses.
+    pub pfs_meta_ops: f64,
+    /// Throughput of one BB node's metadata service, in operations per
+    /// second. Striped-mode accesses cost one operation per stripe (on the
+    /// stripe's own BB node), which is what makes the mode metadata-bound
+    /// on many-small-file workloads (the paper's Figures 5 and 7).
+    pub bb_meta_ops: f64,
+    /// Striping granularity of the shared BB, bytes: a file occupies
+    /// `ceil(size / stripe_unit)` stripes, capped by the allocation's BB
+    /// node count (Cray DataWarp defaults to 8 MiB), so small files are
+    /// never spread over many nodes.
+    pub stripe_unit: f64,
+    /// Usable capacity of one burst buffer device, bytes (per BB node for
+    /// shared architectures, per local NVMe for on-node). Cori BB nodes
+    /// hold ~6.4 TB; Summit's local drives 1.6 TB. Writes that do not fit
+    /// spill to the PFS at runtime.
+    pub bb_capacity: f64,
+    /// Fixed per-operation latencies.
+    pub latency: LatencyProfile,
+}
+
+impl PlatformSpec {
+    /// Total number of cores on the platform.
+    pub fn total_cores(&self) -> usize {
+        self.compute_nodes * self.cores_per_node
+    }
+
+    /// Aggregate burst buffer bandwidth available to the whole allocation,
+    /// B/s — the quantity whose saturation produces the Cori plateau in the
+    /// paper's Figure 13.
+    pub fn aggregate_bb_bw(&self) -> f64 {
+        match self.bb {
+            BbArchitecture::Shared { bb_nodes, .. } => {
+                (bb_nodes as f64) * self.bb_network_bw.min(self.bb_disk_bw)
+            }
+            BbArchitecture::OnNode => {
+                (self.compute_nodes as f64) * self.bb_network_bw.min(self.bb_disk_bw)
+            }
+            BbArchitecture::None => 0.0,
+        }
+    }
+
+    /// Checks structural and numerical validity.
+    pub fn validate(&self) -> Result<(), PlatformError> {
+        if self.compute_nodes == 0 {
+            return Err(PlatformError("compute_nodes must be > 0".into()));
+        }
+        if self.cores_per_node == 0 {
+            return Err(PlatformError("cores_per_node must be > 0".into()));
+        }
+        for (name, v) in [
+            ("gflops_per_core", self.gflops_per_core),
+            ("nic_bw", self.nic_bw),
+            ("interconnect_bw", self.interconnect_bw),
+            ("pfs_network_bw", self.pfs_network_bw),
+            ("pfs_disk_bw", self.pfs_disk_bw),
+            ("stage_source_bw", self.stage_source_bw),
+            ("io_core_bw", self.io_core_bw),
+            ("bb_capacity", self.bb_capacity),
+            ("pfs_meta_ops", self.pfs_meta_ops),
+            ("bb_meta_ops", self.bb_meta_ops),
+            ("stripe_unit", self.stripe_unit),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(PlatformError(format!(
+                    "{name} must be positive and finite, got {v}"
+                )));
+            }
+        }
+        match self.bb {
+            BbArchitecture::None => {}
+            BbArchitecture::Shared { bb_nodes, .. } => {
+                if bb_nodes == 0 {
+                    return Err(PlatformError("shared BB needs bb_nodes > 0".into()));
+                }
+                for (name, v) in [
+                    ("bb_network_bw", self.bb_network_bw),
+                    ("bb_disk_bw", self.bb_disk_bw),
+                ] {
+                    if !(v.is_finite() && v > 0.0) {
+                        return Err(PlatformError(format!(
+                            "{name} must be positive and finite, got {v}"
+                        )));
+                    }
+                }
+            }
+            BbArchitecture::OnNode => {
+                if !(self.bb_disk_bw.is_finite() && self.bb_disk_bw > 0.0) {
+                    return Err(PlatformError(format!(
+                        "bb_disk_bw must be positive and finite, got {}",
+                        self.bb_disk_bw
+                    )));
+                }
+            }
+        }
+        self.latency.validate().map_err(PlatformError)?;
+        Ok(())
+    }
+
+    /// Serializes the platform description to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("PlatformSpec serializes")
+    }
+
+    /// Parses a platform description from JSON and validates it.
+    pub fn from_json(json: &str) -> Result<Self, PlatformError> {
+        let spec: PlatformSpec =
+            serde_json::from_str(json).map_err(|e| PlatformError(e.to_string()))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::units::*;
+
+    #[test]
+    fn labels_match_modes() {
+        assert_eq!(BbMode::Private.label(), "private");
+        assert_eq!(BbMode::Striped.label(), "striped");
+        assert_eq!(BbArchitecture::OnNode.label(), "on-node");
+        assert_eq!(BbArchitecture::None.label(), "none");
+        assert_eq!(
+            BbArchitecture::Shared {
+                bb_nodes: 1,
+                mode: BbMode::Striped
+            }
+            .label(),
+            "striped"
+        );
+    }
+
+    #[test]
+    fn presets_validate() {
+        presets::cori(1, BbMode::Private).validate().unwrap();
+        presets::cori(4, BbMode::Striped).validate().unwrap();
+        presets::summit(1).validate().unwrap();
+        presets::generic(2).validate().unwrap();
+    }
+
+    #[test]
+    fn total_cores_multiplies() {
+        let p = presets::cori(3, BbMode::Private);
+        assert_eq!(p.total_cores(), 3 * 32);
+    }
+
+    #[test]
+    fn aggregate_bb_bandwidth_scales_with_architecture() {
+        let shared = presets::cori(8, BbMode::Private);
+        let local = presets::summit(8);
+        // Cori's aggregate is fixed by the BB allocation; Summit's grows
+        // with the number of compute nodes.
+        assert!(local.aggregate_bb_bw() > shared.aggregate_bb_bw());
+        let one = presets::summit(1);
+        assert!((local.aggregate_bb_bw() / one.aggregate_bb_bw() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        let mut p = presets::cori(1, BbMode::Private);
+        p.compute_nodes = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn zero_bb_nodes_rejected() {
+        let mut p = presets::cori(1, BbMode::Private);
+        p.bb = BbArchitecture::Shared {
+            bb_nodes: 0,
+            mode: BbMode::Private,
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn negative_bandwidth_rejected() {
+        let mut p = presets::summit(1);
+        p.pfs_disk_bw = -1.0;
+        let err = p.validate().unwrap_err();
+        assert!(err.to_string().contains("pfs_disk_bw"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = presets::cori(2, BbMode::Striped);
+        let json = p.to_json();
+        let back = PlatformSpec::from_json(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn from_json_rejects_invalid_spec() {
+        let mut p = presets::cori(1, BbMode::Private);
+        p.cores_per_node = 0;
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(PlatformSpec::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn table_one_constants_are_encoded() {
+        let cori = presets::cori(1, BbMode::Private);
+        assert_eq!(cori.gflops_per_core, 36.80);
+        assert_eq!(cori.bb_network_bw, 800.0 * MB);
+        assert_eq!(cori.bb_disk_bw, 950.0 * MB);
+        assert_eq!(cori.pfs_network_bw, 1.0 * GB);
+        assert_eq!(cori.pfs_disk_bw, 100.0 * MB);
+        let summit = presets::summit(1);
+        assert_eq!(summit.gflops_per_core, 49.12);
+        assert_eq!(summit.bb_network_bw, 6.5 * GB);
+        assert_eq!(summit.bb_disk_bw, 3.3 * GB);
+        assert_eq!(summit.pfs_network_bw, 2.1 * GB);
+        assert_eq!(summit.pfs_disk_bw, 100.0 * MB);
+    }
+}

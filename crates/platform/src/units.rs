@@ -1,0 +1,73 @@
+//! Unit helpers.
+//!
+//! All bandwidths in this workspace are SI bytes per second and all data
+//! sizes are bytes (`f64`). The paper mixes MB/s (Table I) and MiB (SWarp
+//! file sizes); these helpers make each constant's unit explicit at the
+//! definition site.
+
+/// One SI kilobyte (1e3 bytes).
+pub const KB: f64 = 1e3;
+/// One SI megabyte (1e6 bytes).
+pub const MB: f64 = 1e6;
+/// One SI gigabyte (1e9 bytes).
+pub const GB: f64 = 1e9;
+/// One SI terabyte (1e12 bytes).
+pub const TB: f64 = 1e12;
+
+/// One kibibyte (1024 bytes).
+pub const KIB: f64 = 1024.0;
+/// One mebibyte (1024^2 bytes).
+pub const MIB: f64 = 1024.0 * 1024.0;
+/// One gibibyte (1024^3 bytes).
+pub const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+/// One gigaflop (1e9 floating-point operations).
+pub const GFLOP: f64 = 1e9;
+
+/// Formats a byte count using the most readable SI unit.
+pub fn format_bytes(bytes: f64) -> String {
+    if bytes >= TB {
+        format!("{:.2} TB", bytes / TB)
+    } else if bytes >= GB {
+        format!("{:.2} GB", bytes / GB)
+    } else if bytes >= MB {
+        format!("{:.2} MB", bytes / MB)
+    } else if bytes >= KB {
+        format!("{:.2} kB", bytes / KB)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+/// Formats a bandwidth in B/s using the most readable SI unit.
+pub fn format_bandwidth(bytes_per_sec: f64) -> String {
+    format!("{}/s", format_bytes(bytes_per_sec))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn si_and_binary_units_differ() {
+        assert_eq!(MB, 1_000_000.0);
+        assert_eq!(MIB, 1_048_576.0);
+        let (gib, gb) = (GIB, GB);
+        assert!(gib > gb);
+    }
+
+    #[test]
+    fn formats_pick_sensible_units() {
+        assert_eq!(format_bytes(512.0), "512 B");
+        assert_eq!(format_bytes(32.0 * MB), "32.00 MB");
+        assert_eq!(format_bytes(6.4 * TB), "6.40 TB");
+        assert_eq!(format_bandwidth(800.0 * MB), "800.00 MB/s");
+    }
+
+    #[test]
+    fn swarp_file_sizes_in_bytes() {
+        // The SWarp inputs: 32 MiB images, 16 MiB weight maps.
+        assert_eq!(32.0 * MIB, 33_554_432.0);
+        assert_eq!(16.0 * MIB, 16_777_216.0);
+    }
+}

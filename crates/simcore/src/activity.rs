@@ -1,0 +1,145 @@
+//! Activity descriptions.
+//!
+//! Two kinds of activity exist:
+//!
+//! * **Delays** — fixed-duration timers that consume no resources. The
+//!   workflow layer uses them for pure compute phases on dedicated cores
+//!   (where the duration is precomputed from the Amdahl model) and for
+//!   bookkeeping timers.
+//! * **Flows** — fluid activities that stream `amount` units of work across
+//!   a `route` of resources after an initial fixed `latency`. Flows are used
+//!   both for data transfers (bytes over NIC → link → disk) and for
+//!   time-shared compute (core-seconds on a host CPU pool with a rate cap
+//!   equal to the core count of the task).
+
+use crate::ids::ResourceId;
+
+/// Specification of a fluid flow activity.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Total amount of work to stream (bytes, or core-seconds for compute).
+    pub amount: f64,
+    /// Resources traversed by the flow. The flow's rate is constrained by
+    /// every resource on the route simultaneously (store-and-forward is not
+    /// modeled, matching SimGrid's fluid network model).
+    pub route: Vec<ResourceId>,
+    /// Fixed startup latency in seconds (network round trips, metadata
+    /// operations, file opens). The flow consumes no bandwidth during this
+    /// phase.
+    pub latency: f64,
+    /// Optional upper bound on the flow's rate, regardless of available
+    /// capacity. Models e.g. a task that may use at most `p` cores of a
+    /// host, or a NIC-limited client of a fat link.
+    pub rate_cap: Option<f64>,
+}
+
+impl FlowSpec {
+    /// Creates a flow with zero latency and no rate cap.
+    pub fn new(amount: f64, route: Vec<ResourceId>) -> Self {
+        FlowSpec {
+            amount,
+            route,
+            latency: 0.0,
+            rate_cap: None,
+        }
+    }
+
+    /// Sets the startup latency.
+    pub fn with_latency(mut self, latency: f64) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the rate cap.
+    pub fn with_rate_cap(mut self, cap: f64) -> Self {
+        self.rate_cap = Some(cap);
+        self
+    }
+
+    /// Validates the specification, panicking on nonsensical values.
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.amount.is_finite() && self.amount >= 0.0,
+            "flow amount must be finite and non-negative, got {}",
+            self.amount
+        );
+        assert!(
+            self.latency.is_finite() && self.latency >= 0.0,
+            "flow latency must be finite and non-negative, got {}",
+            self.latency
+        );
+        if let Some(cap) = self.rate_cap {
+            assert!(
+                cap.is_finite() && cap > 0.0,
+                "flow rate cap must be positive and finite, got {cap}"
+            );
+        }
+        assert!(
+            !self.route.is_empty() || self.amount == 0.0,
+            "a flow with work must traverse at least one resource"
+        );
+    }
+}
+
+/// Internal state of an activity inside the engine.
+#[derive(Debug, Clone)]
+pub enum ActivityKind {
+    /// A fixed-duration timer; `end` is its absolute completion time.
+    Delay { end: crate::SimTime },
+    /// A fluid flow; see [`FlowSpec`].
+    Flow {
+        /// Remaining startup latency in seconds.
+        remaining_latency: f64,
+        /// Remaining amount of work.
+        remaining: f64,
+        /// Route across resources.
+        route: Vec<ResourceId>,
+        /// Optional per-flow rate cap.
+        rate_cap: Option<f64>,
+        /// Rate allocated by the most recent fair-share solve.
+        rate: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let spec = FlowSpec::new(10.0, vec![ResourceId::from_index(0)])
+            .with_latency(0.5)
+            .with_rate_cap(2.0);
+        assert_eq!(spec.amount, 10.0);
+        assert_eq!(spec.latency, 0.5);
+        assert_eq!(spec.rate_cap, Some(2.0));
+        spec.validate();
+    }
+
+    #[test]
+    fn zero_amount_flow_needs_no_route() {
+        FlowSpec::new(0.0, vec![]).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn nonzero_flow_requires_route() {
+        FlowSpec::new(1.0, vec![]).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "rate cap must be positive")]
+    fn rejects_zero_rate_cap() {
+        FlowSpec::new(1.0, vec![ResourceId::from_index(0)])
+            .with_rate_cap(0.0)
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be finite")]
+    fn rejects_negative_latency() {
+        FlowSpec::new(1.0, vec![ResourceId::from_index(0)])
+            .with_latency(-1.0)
+            .validate();
+    }
+}

@@ -1,0 +1,397 @@
+//! Max–min fair bandwidth sharing ("progressive filling").
+//!
+//! Given a set of resources with capacities and a set of flows, each
+//! traversing a subset of the resources and optionally rate-capped, the
+//! solver computes the max–min fair allocation: rates are grown uniformly
+//! until a resource saturates (or a flow hits its cap), the constrained
+//! flows are frozen, and the process repeats on the residual network.
+//!
+//! This is the same fluid model SimGrid uses for network sharing, and it is
+//! what makes contention effects — the paper's Figures 7 and 11, where
+//! concurrent SWarp pipelines slow each other down by competing for burst
+//! buffer bandwidth — emerge from first principles rather than from fitted
+//! slowdown curves.
+
+use crate::ids::ResourceId;
+use crate::EPSILON;
+
+/// A flow, as seen by the solver.
+#[derive(Debug, Clone)]
+pub struct FlowReq<'a> {
+    /// Resources traversed by the flow.
+    pub route: &'a [ResourceId],
+    /// Optional upper bound on the flow's rate.
+    pub rate_cap: Option<f64>,
+}
+
+/// Computes the max–min fair allocation.
+///
+/// Returns one rate per flow, in the order given. Flows with an empty route
+/// receive their cap, or `f64::INFINITY` if uncapped (the engine only
+/// spawns empty-route flows for zero-sized transfers, which complete
+/// immediately).
+///
+/// # Panics
+/// Panics if a route references a resource index out of bounds.
+pub fn solve(capacities: &[f64], flows: &[FlowReq<'_>]) -> Vec<f64> {
+    let mut rates = vec![0.0_f64; flows.len()];
+    let mut fixed = vec![false; flows.len()];
+    let mut remaining: Vec<f64> = capacities.to_vec();
+    // Number of unfixed flows crossing each resource.
+    let mut load = vec![0_usize; capacities.len()];
+
+    let mut unfixed = 0usize;
+    for (i, f) in flows.iter().enumerate() {
+        if f.route.is_empty() {
+            rates[i] = f.rate_cap.unwrap_or(f64::INFINITY);
+            fixed[i] = true;
+            continue;
+        }
+        unfixed += 1;
+        for r in f.route {
+            let idx = r.index();
+            assert!(idx < capacities.len(), "route references unknown resource {r}");
+            load[idx] += 1;
+        }
+    }
+
+    while unfixed > 0 {
+        // Fair share offered by the most constrained resource.
+        let mut min_share = f64::INFINITY;
+        for (idx, &n) in load.iter().enumerate() {
+            if n > 0 {
+                let share = (remaining[idx].max(0.0)) / n as f64;
+                if share < min_share {
+                    min_share = share;
+                }
+            }
+        }
+        // Smallest cap among unfixed capped flows.
+        let mut min_cap = f64::INFINITY;
+        for (i, f) in flows.iter().enumerate() {
+            if !fixed[i] {
+                if let Some(cap) = f.rate_cap {
+                    if cap < min_cap {
+                        min_cap = cap;
+                    }
+                }
+            }
+        }
+
+        let level = min_share.min(min_cap);
+        debug_assert!(level.is_finite(), "no constraint found for unfixed flows");
+
+        // Freeze every flow constrained at this level: flows whose cap is
+        // reached, and flows crossing a resource whose fair share is the
+        // bottleneck.
+        let mut froze_any = false;
+        for (i, f) in flows.iter().enumerate() {
+            if fixed[i] {
+                continue;
+            }
+            let capped = f.rate_cap.is_some_and(|c| c <= level + EPSILON);
+            let bottlenecked = f.route.iter().any(|r| {
+                let idx = r.index();
+                (remaining[idx].max(0.0)) / load[idx] as f64 <= level + EPSILON
+            });
+            if capped || bottlenecked {
+                let rate = match f.rate_cap {
+                    Some(c) => c.min(level),
+                    None => level,
+                };
+                rates[i] = rate;
+                fixed[i] = true;
+                froze_any = true;
+                unfixed -= 1;
+                for r in f.route {
+                    let idx = r.index();
+                    load[idx] -= 1;
+                    remaining[idx] = (remaining[idx] - rate).max(0.0);
+                }
+            }
+        }
+        // Progressive filling always freezes at least the flows on the
+        // bottleneck; guard against numerical stalemates anyway.
+        assert!(froze_any, "fair-share solver failed to make progress");
+    }
+
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(i: usize) -> ResourceId {
+        ResourceId::from_index(i)
+    }
+
+    fn req(route: &[ResourceId]) -> FlowReq<'_> {
+        FlowReq {
+            route,
+            rate_cap: None,
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let route = [rid(0)];
+        let rates = solve(&[100.0], &[req(&route)]);
+        assert!((rates[0] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_flows_split_a_link_evenly() {
+        let route = [rid(0)];
+        let rates = solve(&[100.0], &[req(&route), req(&route)]);
+        assert!((rates[0] - 50.0).abs() < 1e-9);
+        assert!((rates[1] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_cap_limits_a_flow_and_frees_capacity() {
+        let route = [rid(0)];
+        let capped = FlowReq {
+            route: &route,
+            rate_cap: Some(10.0),
+        };
+        let rates = solve(&[100.0], &[capped, req(&route)]);
+        assert!((rates[0] - 10.0).abs() < 1e-9);
+        assert!((rates[1] - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_three_flow_two_link_example() {
+        // Flow 0 crosses both links, flows 1 and 2 cross one each.
+        // Link capacities 10 and 10: max-min gives flow0 = 5, others 5.
+        let r01 = [rid(0), rid(1)];
+        let r0 = [rid(0)];
+        let r1 = [rid(1)];
+        let rates = solve(&[10.0, 10.0], &[req(&r01), req(&r0), req(&r1)]);
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+        assert!((rates[2] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_bottleneck() {
+        // Flow 0 crosses links A (cap 10) and B (cap 100); flow 1 crosses B.
+        // Flow 0 is bottlenecked at A with rate 10; flow 1 then gets 90.
+        let rab = [rid(0), rid(1)];
+        let rb = [rid(1)];
+        let rates = solve(&[10.0, 100.0], &[req(&rab), req(&rb)]);
+        assert!((rates[0] - 10.0).abs() < 1e-9);
+        assert!((rates[1] - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_route_flow_is_unconstrained() {
+        let rates = solve(&[10.0], &[req(&[])]);
+        assert!(rates[0].is_infinite());
+    }
+
+    #[test]
+    fn empty_route_with_cap_gets_cap() {
+        let rates = solve(
+            &[10.0],
+            &[FlowReq {
+                route: &[],
+                rate_cap: Some(3.0),
+            }],
+        );
+        assert!((rates[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_flows_on_one_resource_share_evenly() {
+        let route = [rid(0)];
+        let flows: Vec<FlowReq> = (0..32).map(|_| req(&route)).collect();
+        let rates = solve(&[32.0], &flows);
+        for r in rates {
+            assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn caps_below_fair_share_redistribute() {
+        // Four flows on a 100-unit link; two capped at 5. The uncapped pair
+        // shares the remaining 90 evenly.
+        let route = [rid(0)];
+        let c = |cap| FlowReq {
+            route: &route,
+            rate_cap: Some(cap),
+        };
+        let rates = solve(&[100.0], &[c(5.0), c(5.0), req(&route), req(&route)]);
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+        assert!((rates[2] - 45.0).abs() < 1e-9);
+        assert!((rates[3] - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_above_fair_share_is_inactive() {
+        let route = [rid(0)];
+        let rates = solve(
+            &[100.0],
+            &[
+                FlowReq {
+                    route: &route,
+                    rate_cap: Some(1000.0),
+                },
+                req(&route),
+            ],
+        );
+        assert!((rates[0] - 50.0).abs() < 1e-9);
+        assert!((rates[1] - 50.0).abs() < 1e-9);
+    }
+
+    /// Checks the three max–min invariants for an arbitrary instance.
+    fn check_invariants(capacities: &[f64], flows: &[FlowReq<'_>], rates: &[f64]) {
+        let tol = 1e-6;
+        // 1. No resource is over-subscribed.
+        for (idx, &cap) in capacities.iter().enumerate() {
+            let used: f64 = flows
+                .iter()
+                .zip(rates)
+                .filter(|(f, _)| f.route.iter().any(|r| r.index() == idx))
+                .map(|(_, &r)| r)
+                .sum();
+            assert!(
+                used <= cap * (1.0 + tol) + tol,
+                "resource {idx} oversubscribed: {used} > {cap}"
+            );
+        }
+        // 2. Every flow is bottlenecked: either at its cap, or it crosses a
+        //    resource that is saturated.
+        for (i, f) in flows.iter().enumerate() {
+            if f.route.is_empty() {
+                continue;
+            }
+            let at_cap = f.rate_cap.is_some_and(|c| rates[i] >= c - tol * c - tol);
+            let at_saturated = f.route.iter().any(|r| {
+                let idx = r.index();
+                let used: f64 = flows
+                    .iter()
+                    .zip(rates)
+                    .filter(|(g, _)| g.route.iter().any(|x| x.index() == idx))
+                    .map(|(_, &r)| r)
+                    .sum();
+                used >= capacities[idx] * (1.0 - tol) - tol
+            });
+            assert!(
+                at_cap || at_saturated,
+                "flow {i} with rate {} is not bottlenecked anywhere",
+                rates[i]
+            );
+        }
+        // 3. Rates respect caps.
+        for (i, f) in flows.iter().enumerate() {
+            if let Some(cap) = f.rate_cap {
+                assert!(rates[i] <= cap * (1.0 + tol) + tol);
+            }
+        }
+    }
+
+    #[test]
+    fn invariants_hold_on_handcrafted_instances() {
+        let r01 = [rid(0), rid(1)];
+        let r0 = [rid(0)];
+        let r1 = [rid(1)];
+        let flows = vec![
+            req(&r01),
+            req(&r0),
+            FlowReq {
+                route: &r1,
+                rate_cap: Some(2.0),
+            },
+        ];
+        let caps = [7.0, 13.0];
+        let rates = solve(&caps, &flows);
+        check_invariants(&caps, &flows, &rates);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A randomly generated sharing instance: resource capacities plus
+        /// per-flow (route, optional rate cap) descriptors.
+        type RawInstance = (Vec<f64>, Vec<(Vec<usize>, Option<f64>)>);
+
+        /// Random sharing instance: up to 6 resources, up to 12 flows, each
+        /// flow crossing a random non-empty subset of resources.
+        fn instance() -> impl Strategy<Value = RawInstance> {
+            (2usize..=6).prop_flat_map(|nres| {
+                let caps = proptest::collection::vec(1.0f64..1000.0, nres);
+                let flows = proptest::collection::vec(
+                    (
+                        proptest::collection::btree_set(0..nres, 1..=nres.min(3)),
+                        proptest::option::of(0.5f64..500.0),
+                    )
+                        .prop_map(|(set, cap)| (set.into_iter().collect::<Vec<_>>(), cap)),
+                    1..12,
+                );
+                (caps, flows)
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn solver_satisfies_maxmin_invariants((caps, raw) in instance()) {
+                let routes: Vec<Vec<ResourceId>> = raw
+                    .iter()
+                    .map(|(r, _)| r.iter().map(|&i| rid(i)).collect())
+                    .collect();
+                let flows: Vec<FlowReq> = routes
+                    .iter()
+                    .zip(&raw)
+                    .map(|(route, (_, cap))| FlowReq { route, rate_cap: *cap })
+                    .collect();
+                let rates = solve(&caps, &flows);
+                check_invariants(&caps, &flows, &rates);
+            }
+
+            #[test]
+            fn solver_is_order_independent((caps, raw) in instance()) {
+                let routes: Vec<Vec<ResourceId>> = raw
+                    .iter()
+                    .map(|(r, _)| r.iter().map(|&i| rid(i)).collect())
+                    .collect();
+                let flows: Vec<FlowReq> = routes
+                    .iter()
+                    .zip(&raw)
+                    .map(|(route, (_, cap))| FlowReq { route, rate_cap: *cap })
+                    .collect();
+                let rates = solve(&caps, &flows);
+                // Reverse the flow order and compare per-flow results.
+                let rev: Vec<FlowReq> = flows.iter().rev().cloned().collect();
+                let rev_rates = solve(&caps, &rev);
+                for (i, &r) in rates.iter().enumerate() {
+                    let j = flows.len() - 1 - i;
+                    prop_assert!((r - rev_rates[j]).abs() <= 1e-6 * r.max(1.0),
+                        "rate mismatch: {} vs {}", r, rev_rates[j]);
+                }
+            }
+
+            #[test]
+            fn more_capacity_never_hurts((caps, raw) in instance()) {
+                let routes: Vec<Vec<ResourceId>> = raw
+                    .iter()
+                    .map(|(r, _)| r.iter().map(|&i| rid(i)).collect())
+                    .collect();
+                let flows: Vec<FlowReq> = routes
+                    .iter()
+                    .zip(&raw)
+                    .map(|(route, (_, cap))| FlowReq { route, rate_cap: *cap })
+                    .collect();
+                let rates = solve(&caps, &flows);
+                let bigger: Vec<f64> = caps.iter().map(|c| c * 2.0).collect();
+                let rates2 = solve(&bigger, &flows);
+                // Doubling all capacities cannot reduce the minimum rate.
+                let min1 = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+                let min2 = rates2.iter().cloned().fold(f64::INFINITY, f64::min);
+                prop_assert!(min2 >= min1 - 1e-6 * min1.max(1.0));
+            }
+        }
+    }
+}

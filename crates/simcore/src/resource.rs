@@ -1,0 +1,55 @@
+//! Capacity-constrained resources.
+//!
+//! A resource is anything whose capacity is shared fluidly among concurrent
+//! activities: a network link or NIC (bytes/s), a disk (bytes/s), or a CPU
+//! pool (core-seconds/s, i.e. cores). The engine does not distinguish these
+//! — higher layers give resources meaningful names and units.
+
+/// A named, capacity-constrained resource.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Human-readable name, used in traces and error messages.
+    pub name: String,
+    /// Capacity in work units per second (bytes/s for links and disks,
+    /// cores for CPU pools). Must be positive and finite.
+    pub capacity: f64,
+}
+
+impl Resource {
+    /// Creates a resource, validating its capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not positive and finite.
+    pub fn new(name: impl Into<String>, capacity: f64) -> Self {
+        let name = name.into();
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "resource {name:?} must have positive finite capacity, got {capacity}"
+        );
+        Resource { name, capacity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_with_valid_capacity() {
+        let r = Resource::new("link", 125e6);
+        assert_eq!(r.name, "link");
+        assert_eq!(r.capacity, 125e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite capacity")]
+    fn rejects_zero_capacity() {
+        let _ = Resource::new("bad", 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite capacity")]
+    fn rejects_infinite_capacity() {
+        let _ = Resource::new("bad", f64::INFINITY);
+    }
+}

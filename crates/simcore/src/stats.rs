@@ -1,0 +1,69 @@
+//! Per-resource utilization accounting.
+//!
+//! The engine integrates, over simulated time, the amount of work served by
+//! each resource and the time during which it had at least one active flow.
+//! The experiment harness uses these counters to report achieved I/O
+//! bandwidth (the paper's Figure 9) without instrumenting the workload.
+
+/// Cumulative utilization counters for one resource.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceStats {
+    /// Total work units (bytes, core-seconds) served since simulation start.
+    pub total_served: f64,
+    /// Simulated seconds during which at least one flow crossed the
+    /// resource.
+    pub busy_time: f64,
+}
+
+impl ResourceStats {
+    /// Average rate achieved while busy (work units per busy second).
+    ///
+    /// Returns 0 when the resource was never busy.
+    pub fn mean_busy_rate(&self) -> f64 {
+        if self.busy_time > 0.0 {
+            self.total_served / self.busy_time
+        } else {
+            0.0
+        }
+    }
+
+    /// Utilization over a horizon: fraction of `[0, horizon]` during which
+    /// the resource was busy. Returns 0 for a zero horizon.
+    pub fn utilization(&self, horizon: f64) -> f64 {
+        if horizon > 0.0 {
+            (self.busy_time / horizon).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_busy_rate_divides_served_by_busy() {
+        let s = ResourceStats {
+            total_served: 100.0,
+            busy_time: 4.0,
+        };
+        assert_eq!(s.mean_busy_rate(), 25.0);
+    }
+
+    #[test]
+    fn idle_resource_reports_zero_rate() {
+        assert_eq!(ResourceStats::default().mean_busy_rate(), 0.0);
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let s = ResourceStats {
+            total_served: 1.0,
+            busy_time: 10.0,
+        };
+        assert_eq!(s.utilization(20.0), 0.5);
+        assert_eq!(s.utilization(5.0), 1.0);
+        assert_eq!(s.utilization(0.0), 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Simulated time.
+//!
+//! Simulated time is a non-negative `f64` number of seconds wrapped in
+//! [`SimTime`] so that it is totally ordered (NaN is rejected at
+//! construction) and so that time arithmetic is explicit at call sites.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since the start of the simulation.
+///
+/// `SimTime` is totally ordered; constructing one from NaN panics, which
+/// turns numerical bugs into loud failures instead of silent event-queue
+/// corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero, the start of every simulation.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time stamp from a number of seconds.
+    ///
+    /// # Panics
+    /// Panics if `seconds` is NaN or negative.
+    pub fn from_seconds(seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "SimTime must be finite and non-negative, got {seconds}"
+        );
+        SimTime(seconds)
+    }
+
+    /// The number of seconds since simulation start.
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier`, clamped at zero.
+    ///
+    /// Useful when floating-point round-off could make a nominally-later
+    /// time stamp marginally earlier.
+    pub fn duration_since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+
+    /// Returns whether two time stamps are within `tol` seconds of each
+    /// other.
+    pub fn approx_eq(self, other: SimTime, tol: f64) -> bool {
+        (self.0 - other.0).abs() <= tol
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are guaranteed finite by construction.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::from_seconds(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = f64;
+
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+        assert_eq!(SimTime::ZERO.seconds(), 0.0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_seconds(1.0);
+        let b = SimTime::from_seconds(2.0);
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn add_advances_time() {
+        let t = SimTime::from_seconds(1.5) + 2.5;
+        assert_eq!(t.seconds(), 4.0);
+    }
+
+    #[test]
+    fn duration_since_saturates() {
+        let a = SimTime::from_seconds(1.0);
+        let b = SimTime::from_seconds(3.0);
+        assert_eq!(b.duration_since(a), 2.0);
+        assert_eq!(a.duration_since(b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn nan_is_rejected() {
+        let _ = SimTime::from_seconds(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_is_rejected() {
+        let _ = SimTime::from_seconds(-1.0);
+    }
+
+    #[test]
+    fn approx_eq_uses_tolerance() {
+        let a = SimTime::from_seconds(1.0);
+        let b = SimTime::from_seconds(1.0 + 1e-12);
+        assert!(a.approx_eq(b, 1e-9));
+        assert!(!a.approx_eq(SimTime::from_seconds(2.0), 1e-9));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(format!("{}", SimTime::from_seconds(1.25)), "1.250000s");
+    }
+}

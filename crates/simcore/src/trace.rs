@@ -1,0 +1,142 @@
+//! Time-stamped event traces.
+//!
+//! The simulator's primary output, following the paper, is a time-stamped
+//! event trace; the date of the last event gives the workflow makespan.
+//! `TraceLog` records activity starts and completions with their labels so
+//! higher layers can reconstruct Gantt charts and per-phase timings.
+
+use crate::ids::ActivityId;
+use crate::time::SimTime;
+
+/// What happened at a trace point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// An activity was spawned.
+    Start,
+    /// An activity completed.
+    End,
+}
+
+/// One time-stamped trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Simulated time of the event.
+    pub time: SimTime,
+    /// The activity concerned.
+    pub activity: ActivityId,
+    /// Start or end.
+    pub kind: TraceEventKind,
+    /// Free-form label supplied at spawn time (task name, file name, ...).
+    pub label: String,
+}
+
+/// An append-only log of trace events, in chronological order.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event. Events must be recorded in non-decreasing time
+    /// order; the engine guarantees this.
+    pub fn record(&mut self, event: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.time <= event.time),
+            "trace events must be appended in chronological order"
+        );
+        self.events.push(event);
+    }
+
+    /// All recorded events, chronologically.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Time of the last recorded event — the makespan of the simulation if
+    /// the log covers a complete run. `None` when the log is empty.
+    pub fn last_event_time(&self) -> Option<SimTime> {
+        self.events.last().map(|e| e.time)
+    }
+
+    /// Iterates over the `(start, end)` interval of each completed
+    /// activity, keyed by label.
+    pub fn intervals(&self) -> Vec<(String, SimTime, SimTime)> {
+        let mut open: std::collections::HashMap<ActivityId, (String, SimTime)> =
+            std::collections::HashMap::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            match e.kind {
+                TraceEventKind::Start => {
+                    open.insert(e.activity, (e.label.clone(), e.time));
+                }
+                TraceEventKind::End => {
+                    if let Some((label, start)) = open.remove(&e.activity) {
+                        out.push((label, start, e.time));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, id: u64, kind: TraceEventKind, label: &str) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_seconds(t),
+            activity: ActivityId(id),
+            kind,
+            label: label.to_string(),
+        }
+    }
+
+    #[test]
+    fn records_and_reports_last_time() {
+        let mut log = TraceLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.last_event_time(), None);
+        log.record(ev(0.0, 1, TraceEventKind::Start, "t"));
+        log.record(ev(2.5, 1, TraceEventKind::End, "t"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.last_event_time(), Some(SimTime::from_seconds(2.5)));
+    }
+
+    #[test]
+    fn intervals_pair_start_and_end() {
+        let mut log = TraceLog::new();
+        log.record(ev(0.0, 1, TraceEventKind::Start, "a"));
+        log.record(ev(1.0, 2, TraceEventKind::Start, "b"));
+        log.record(ev(2.0, 1, TraceEventKind::End, "a"));
+        log.record(ev(3.0, 2, TraceEventKind::End, "b"));
+        let intervals = log.intervals();
+        assert_eq!(intervals.len(), 2);
+        assert_eq!(intervals[0].0, "a");
+        assert_eq!(intervals[0].2.seconds(), 2.0);
+        assert_eq!(intervals[1].0, "b");
+    }
+
+    #[test]
+    fn unmatched_start_produces_no_interval() {
+        let mut log = TraceLog::new();
+        log.record(ev(0.0, 1, TraceEventKind::Start, "a"));
+        assert!(log.intervals().is_empty());
+    }
+}

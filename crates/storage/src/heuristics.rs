@@ -1,0 +1,288 @@
+//! Capacity-aware data-placement heuristics.
+//!
+//! The paper's conclusion proposes exactly this: *"A natural future
+//! direction is to leverage our simulator to explore the heuristic-space
+//! of data placement strategies to optimize workflow executions."* This
+//! module implements that exploration surface: given a byte budget for
+//! the burst buffer (the allocation a job requests), a heuristic decides
+//! which files deserve BB residency; everything else stays on the PFS.
+//!
+//! All heuristics are greedy over a per-file score; they differ only in
+//! the score:
+//!
+//! | heuristic | intuition |
+//! |---|---|
+//! | [`LargestFirst`] | big files amortize per-file costs best |
+//! | [`SmallestFirst`] | many small files maximize the count served by the BB's cheap metadata |
+//! | [`MostAccessed`] | files read by many tasks multiply the benefit |
+//! | [`BandwidthSavings`] | estimated seconds saved: `size × accesses × (1/pfs_bw − 1/bb_bw)` |
+//! | [`CriticalPathFirst`] | files touched by critical-path tasks gate the makespan |
+//!
+//! [`LargestFirst`]: BbBudgetHeuristic::LargestFirst
+//! [`SmallestFirst`]: BbBudgetHeuristic::SmallestFirst
+//! [`MostAccessed`]: BbBudgetHeuristic::MostAccessed
+//! [`BandwidthSavings`]: BbBudgetHeuristic::BandwidthSavings
+//! [`CriticalPathFirst`]: BbBudgetHeuristic::CriticalPathFirst
+
+use serde::{Deserialize, Serialize};
+
+use wfbb_workflow::{FileId, Workflow};
+
+use crate::placement::PlacementPlan;
+use crate::tier::Tier;
+
+/// Greedy score used to rank files for burst buffer residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BbBudgetHeuristic {
+    /// Biggest files first.
+    LargestFirst,
+    /// Smallest files first (maximizes the number of BB-resident files).
+    SmallestFirst,
+    /// Files with the most reading tasks first.
+    MostAccessed,
+    /// Files with the highest estimated transfer-time savings first.
+    BandwidthSavings,
+    /// Files touched by critical-path tasks first, then by savings.
+    CriticalPathFirst,
+}
+
+impl BbBudgetHeuristic {
+    /// All heuristics, for sweeps.
+    pub const ALL: [BbBudgetHeuristic; 5] = [
+        BbBudgetHeuristic::LargestFirst,
+        BbBudgetHeuristic::SmallestFirst,
+        BbBudgetHeuristic::MostAccessed,
+        BbBudgetHeuristic::BandwidthSavings,
+        BbBudgetHeuristic::CriticalPathFirst,
+    ];
+
+    /// Short label for experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            BbBudgetHeuristic::LargestFirst => "largest-first",
+            BbBudgetHeuristic::SmallestFirst => "smallest-first",
+            BbBudgetHeuristic::MostAccessed => "most-accessed",
+            BbBudgetHeuristic::BandwidthSavings => "bandwidth-savings",
+            BbBudgetHeuristic::CriticalPathFirst => "critical-path",
+        }
+    }
+}
+
+/// Number of accesses a file sees during execution: one write (if
+/// produced or staged) plus one read per consumer.
+fn access_count(workflow: &Workflow, file: FileId) -> f64 {
+    1.0 + workflow.consumers(file).len() as f64
+}
+
+/// Plans BB placement under a byte budget.
+///
+/// Files are ranked by the heuristic's score (descending) and admitted to
+/// the burst buffer while they fit in `budget_bytes`; all remaining files
+/// go to the PFS. Ties break on file id, so plans are deterministic.
+///
+/// `pfs_bw` and `bb_bw` are the effective tier bandwidths used by the
+/// savings estimate (only their ratio matters for ranking).
+pub fn plan_with_budget(
+    workflow: &Workflow,
+    heuristic: BbBudgetHeuristic,
+    budget_bytes: f64,
+    pfs_bw: f64,
+    bb_bw: f64,
+) -> PlacementPlan {
+    assert!(
+        budget_bytes >= 0.0 && budget_bytes.is_finite(),
+        "budget must be finite and non-negative, got {budget_bytes}"
+    );
+    assert!(
+        pfs_bw > 0.0 && bb_bw > 0.0,
+        "tier bandwidths must be positive"
+    );
+
+    // Critical-path membership, computed once if needed.
+    let on_critical_path: std::collections::HashSet<usize> = match heuristic {
+        BbBudgetHeuristic::CriticalPathFirst => {
+            let (_, path) = workflow.critical_path(|t| workflow.task(t).flops);
+            let tasks: std::collections::HashSet<_> = path.into_iter().collect();
+            workflow
+                .files()
+                .iter()
+                .filter(|f| {
+                    workflow
+                        .producer(f.id)
+                        .is_some_and(|p| tasks.contains(&p))
+                        || workflow.consumers(f.id).iter().any(|c| tasks.contains(c))
+                })
+                .map(|f| f.id.index())
+                .collect()
+        }
+        _ => std::collections::HashSet::new(),
+    };
+
+    let savings = |file: FileId| {
+        let f = workflow.file(file);
+        f.size * access_count(workflow, file) * (1.0 / pfs_bw - 1.0 / bb_bw).max(0.0)
+    };
+
+    let mut ranked: Vec<FileId> = workflow.files().iter().map(|f| f.id).collect();
+    ranked.sort_by(|&a, &b| {
+        let score = |file: FileId| -> f64 {
+            match heuristic {
+                BbBudgetHeuristic::LargestFirst => workflow.file(file).size,
+                BbBudgetHeuristic::SmallestFirst => -workflow.file(file).size,
+                BbBudgetHeuristic::MostAccessed => access_count(workflow, file),
+                BbBudgetHeuristic::BandwidthSavings => savings(file),
+                BbBudgetHeuristic::CriticalPathFirst => {
+                    let bonus = if on_critical_path.contains(&file.index()) {
+                        1e18
+                    } else {
+                        0.0
+                    };
+                    bonus + savings(file)
+                }
+            }
+        };
+        score(b)
+            .partial_cmp(&score(a))
+            .expect("scores are finite")
+            .then(a.cmp(&b))
+    });
+
+    let mut tiers = vec![Tier::Pfs; workflow.file_count()];
+    let mut remaining = budget_bytes;
+    for file in ranked {
+        let size = workflow.file(file).size;
+        if size <= remaining {
+            tiers[file.index()] = Tier::BurstBuffer;
+            remaining -= size;
+        }
+    }
+    PlacementPlan::from_tiers(tiers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfbb_workflow::WorkflowBuilder;
+
+    /// in_big (100) -> t1 -> hot (10, read by 3 tasks) -> t2,t3,t4 -> outs.
+    fn workflow() -> Workflow {
+        let mut b = WorkflowBuilder::new("wf");
+        let in_big = b.add_file("in_big", 100.0);
+        let hot = b.add_file("hot", 10.0);
+        let outs: Vec<_> = (0..3).map(|i| b.add_file(format!("out{i}"), 1.0)).collect();
+        b.task("t1").flops(100.0).input(in_big).output(hot).add();
+        for (i, &o) in outs.iter().enumerate() {
+            b.task(format!("t{}", i + 2)).flops(1.0).input(hot).output(o).add();
+        }
+        b.build().unwrap()
+    }
+
+    fn plan(h: BbBudgetHeuristic, budget: f64) -> PlacementPlan {
+        plan_with_budget(&workflow(), h, budget, 100e6, 800e6)
+    }
+
+    #[test]
+    fn zero_budget_places_everything_on_pfs() {
+        for h in BbBudgetHeuristic::ALL {
+            assert!(plan(h, 0.0).bb_files().is_empty(), "{}", h.label());
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_places_everything_in_bb() {
+        let wf = workflow();
+        for h in BbBudgetHeuristic::ALL {
+            assert_eq!(
+                plan(h, 1e9).bb_files().len(),
+                wf.file_count(),
+                "{}",
+                h.label()
+            );
+        }
+    }
+
+    #[test]
+    fn largest_first_prefers_the_big_input() {
+        let wf = workflow();
+        let p = plan(BbBudgetHeuristic::LargestFirst, 100.0);
+        let big = wf.file_by_name("in_big").unwrap().id;
+        assert_eq!(p.tier(big), Tier::BurstBuffer);
+        assert_eq!(p.bb_files().len(), 1, "budget exhausted by the big file");
+    }
+
+    #[test]
+    fn smallest_first_packs_many_files() {
+        let p = plan(BbBudgetHeuristic::SmallestFirst, 13.0);
+        // The three 1-byte outputs plus the 10-byte hot file fit.
+        assert_eq!(p.bb_files().len(), 4);
+    }
+
+    #[test]
+    fn most_accessed_prefers_the_hot_file() {
+        let wf = workflow();
+        let p = plan(BbBudgetHeuristic::MostAccessed, 10.0);
+        let hot = wf.file_by_name("hot").unwrap().id;
+        assert_eq!(p.tier(hot), Tier::BurstBuffer);
+    }
+
+    #[test]
+    fn bandwidth_savings_weighs_size_times_accesses() {
+        let wf = workflow();
+        // savings(in_big) = 100 * 2 = 200 units; savings(hot) = 10 * 4 = 40.
+        let p = plan(BbBudgetHeuristic::BandwidthSavings, 100.0);
+        assert_eq!(p.tier(wf.file_by_name("in_big").unwrap().id), Tier::BurstBuffer);
+    }
+
+    #[test]
+    fn critical_path_files_win_ties() {
+        let wf = workflow();
+        // Critical path is t1 (flops 100) -> one of t2..t4; in_big and hot
+        // are both on it.
+        let p = plan(BbBudgetHeuristic::CriticalPathFirst, 110.0);
+        assert_eq!(p.tier(wf.file_by_name("in_big").unwrap().id), Tier::BurstBuffer);
+        assert_eq!(p.tier(wf.file_by_name("hot").unwrap().id), Tier::BurstBuffer);
+    }
+
+    #[test]
+    fn budget_is_respected_exactly() {
+        let wf = workflow();
+        for h in BbBudgetHeuristic::ALL {
+            for budget in [0.0, 5.0, 50.0, 111.0, 112.0, 113.0] {
+                let p = plan(h, budget);
+                let used: f64 = p
+                    .bb_files()
+                    .iter()
+                    .map(|&f| wf.file(f).size)
+                    .sum();
+                assert!(used <= budget + 1e-9, "{}: {used} > {budget}", h.label());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            BbBudgetHeuristic::ALL.iter().map(|h| h.label()).collect();
+        assert_eq!(labels.len(), BbBudgetHeuristic::ALL.len());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Plans always respect the budget and are deterministic.
+            #[test]
+            fn budget_respected_and_deterministic(budget in 0.0f64..250.0) {
+                let wf = workflow();
+                for h in BbBudgetHeuristic::ALL {
+                    let p1 = plan(h, budget);
+                    let p2 = plan(h, budget);
+                    prop_assert_eq!(&p1, &p2, "{} must be deterministic", h.label());
+                    let used: f64 = p1.bb_files().iter().map(|&f| wf.file(f).size).sum();
+                    prop_assert!(used <= budget + 1e-9);
+                }
+            }
+        }
+    }
+}

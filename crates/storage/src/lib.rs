@@ -1,0 +1,36 @@
+//! # wfbb-storage — storage tiers, placement, and I/O flow construction
+//!
+//! Models the storage side of the paper's platforms:
+//!
+//! * the **parallel file system** (PFS), always present;
+//! * **shared burst buffers** on dedicated BB nodes (Cori/DataWarp) in
+//!   *private* (whole file on one BB node, cheap metadata) or *striped*
+//!   (file split over all BB nodes, per-stripe open cost) mode;
+//! * **on-node burst buffers** (Summit), one NVMe device per compute node,
+//!   with remote access to another node's BB crossing the interconnect.
+//!
+//! The crate answers two questions for the executor in `wfbb-wms`:
+//!
+//! 1. *Where does each file live?* — [`PlacementPolicy`] turns the paper's
+//!    experimental knobs (fraction of input files staged into the BB, tier
+//!    of intermediate files) into a per-file [`Tier`]; the
+//!    [`StorageSystem`] refines a tier into a concrete [`Location`]
+//!    (which BB node, which stripes); the [`FileRegistry`] tracks locations
+//!    at runtime.
+//! 2. *What does an access cost?* — [`StorageSystem::read_flows`],
+//!    [`write_flows`](StorageSystem::write_flows), and
+//!    [`stage_in_flows`](StorageSystem::stage_in_flows) produce the
+//!    `wfbb_simcore::FlowSpec`s (routes + per-file/per-stripe latencies)
+//!    that the engine prices under contention.
+
+pub mod heuristics;
+pub mod placement;
+pub mod registry;
+pub mod system;
+pub mod tier;
+
+pub use heuristics::{plan_with_budget, BbBudgetHeuristic};
+pub use placement::{PlacementPlan, PlacementPolicy};
+pub use registry::FileRegistry;
+pub use system::StorageSystem;
+pub use tier::{Location, StorageKind, Tier};

@@ -1,0 +1,85 @@
+//! Runtime file-location registry.
+//!
+//! The executor consults the registry before every read (where is the file
+//! now?) and records every write (a file exists once its producer finished
+//! writing it). Reading a file that has no registered location is a
+//! scheduling bug and panics loudly.
+
+use wfbb_workflow::FileId;
+
+use crate::tier::Location;
+
+/// Tracks the concrete [`Location`] of every file during a simulated
+/// execution.
+#[derive(Debug, Clone, Default)]
+pub struct FileRegistry {
+    locations: Vec<Option<Location>>,
+}
+
+impl FileRegistry {
+    /// Creates a registry for `file_count` files, all initially absent.
+    pub fn new(file_count: usize) -> Self {
+        FileRegistry {
+            locations: vec![None; file_count],
+        }
+    }
+
+    /// Records that `file` now resides at `location`.
+    pub fn set(&mut self, file: FileId, location: Location) {
+        self.locations[file.index()] = Some(location);
+    }
+
+    /// The location of `file`, if it exists yet.
+    pub fn get(&self, file: FileId) -> Option<&Location> {
+        self.locations[file.index()].as_ref()
+    }
+
+    /// The location of `file`, panicking if the file does not exist — used
+    /// by the executor, where dependencies guarantee existence.
+    pub fn require(&self, file: FileId) -> &Location {
+        self.get(file)
+            .unwrap_or_else(|| panic!("file {file} read before being produced or staged"))
+    }
+
+    /// Whether `file` currently exists somewhere.
+    pub fn contains(&self, file: FileId) -> bool {
+        self.get(file).is_some()
+    }
+
+    /// Number of files registered so far.
+    pub fn registered_count(&self) -> usize {
+        self.locations.iter().filter(|l| l.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_contains() {
+        let mut r = FileRegistry::new(3);
+        let f = FileId::from_index(1);
+        assert!(!r.contains(f));
+        r.set(f, Location::Pfs);
+        assert!(r.contains(f));
+        assert_eq!(r.get(f), Some(&Location::Pfs));
+        assert_eq!(r.registered_count(), 1);
+    }
+
+    #[test]
+    fn overwrite_moves_a_file() {
+        let mut r = FileRegistry::new(1);
+        let f = FileId::from_index(0);
+        r.set(f, Location::Pfs);
+        r.set(f, Location::SharedBb { bb_node: 0 });
+        assert_eq!(r.get(f), Some(&Location::SharedBb { bb_node: 0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "read before being produced")]
+    fn require_missing_file_panics() {
+        let r = FileRegistry::new(1);
+        let _ = r.require(FileId::from_index(0));
+    }
+}

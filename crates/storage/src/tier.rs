@@ -1,0 +1,105 @@
+//! Storage tiers and concrete file locations.
+
+use serde::{Deserialize, Serialize};
+
+/// The two storage tiers a file can be assigned to — the knob every
+//  experiment in the paper sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// The parallel file system.
+    Pfs,
+    /// The burst buffer (whatever architecture the platform provides).
+    BurstBuffer,
+}
+
+impl Tier {
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Pfs => "PFS",
+            Tier::BurstBuffer => "BB",
+        }
+    }
+}
+
+/// The four concrete storage services studied in the paper, for labeling
+/// configurations in reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageKind {
+    /// Parallel file system.
+    Pfs,
+    /// Shared burst buffer, private mode (Cori).
+    SharedBbPrivate,
+    /// Shared burst buffer, striped mode (Cori).
+    SharedBbStriped,
+    /// On-node burst buffer (Summit).
+    OnNodeBb,
+}
+
+impl StorageKind {
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageKind::Pfs => "pfs",
+            StorageKind::SharedBbPrivate => "private",
+            StorageKind::SharedBbStriped => "striped",
+            StorageKind::OnNodeBb => "on-node",
+        }
+    }
+}
+
+/// Where a file concretely resides.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Location {
+    /// On the parallel file system.
+    Pfs,
+    /// Whole file on one shared BB node (private mode).
+    SharedBb {
+        /// Index of the BB node holding the file.
+        bb_node: usize,
+    },
+    /// Striped across shared BB nodes (striped mode).
+    StripedBb {
+        /// BB nodes holding one stripe each.
+        stripe_nodes: Vec<usize>,
+    },
+    /// On the local burst buffer of one compute node.
+    OnNodeBb {
+        /// Compute node owning the device.
+        node: usize,
+    },
+}
+
+impl Location {
+    /// The tier this location belongs to.
+    pub fn tier(&self) -> Tier {
+        match self {
+            Location::Pfs => Tier::Pfs,
+            _ => Tier::BurstBuffer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Tier::Pfs.label(), "PFS");
+        assert_eq!(Tier::BurstBuffer.label(), "BB");
+        assert_eq!(StorageKind::SharedBbStriped.label(), "striped");
+        assert_eq!(StorageKind::OnNodeBb.label(), "on-node");
+    }
+
+    #[test]
+    fn locations_map_to_tiers() {
+        assert_eq!(Location::Pfs.tier(), Tier::Pfs);
+        assert_eq!(Location::SharedBb { bb_node: 0 }.tier(), Tier::BurstBuffer);
+        assert_eq!(
+            Location::StripedBb { stripe_nodes: vec![0, 1] }.tier(),
+            Tier::BurstBuffer
+        );
+        assert_eq!(Location::OnNodeBb { node: 2 }.tier(), Tier::BurstBuffer);
+    }
+}

@@ -1,0 +1,217 @@
+//! Dynamic (runtime) data placement.
+//!
+//! Static placement plans decide every file's tier before execution; the
+//! executor's only runtime freedom is spilling to the PFS when a BB
+//! device is full — effectively first-come-first-served occupancy. A
+//! [`DynamicPlacer`] instead decides each write's tier *at write time*,
+//! seeing live BB occupancy, which lets it keep headroom for valuable
+//! files instead of letting whoever writes first win. This is the
+//! "data placement strategies" design space the paper's conclusion
+//! proposes exploring, extended from static to online decisions.
+
+use wfbb_storage::Tier;
+use wfbb_workflow::{FileId, TaskId, Workflow};
+
+/// Everything a placer may consult when deciding a write's tier.
+#[derive(Debug)]
+pub struct PlacementContext<'a> {
+    /// The workflow being executed.
+    pub workflow: &'a Workflow,
+    /// The file about to be written.
+    pub file: FileId,
+    /// The writing task.
+    pub task: TaskId,
+    /// The compute node the writer runs on.
+    pub node: usize,
+    /// Current bytes stored on each BB device.
+    pub bb_used: &'a [f64],
+    /// Capacity of one BB device, bytes.
+    pub bb_capacity: f64,
+}
+
+impl PlacementContext<'_> {
+    /// Total BB occupancy across devices, bytes.
+    pub fn total_used(&self) -> f64 {
+        self.bb_used.iter().sum()
+    }
+
+    /// Total BB capacity across devices, bytes.
+    pub fn total_capacity(&self) -> f64 {
+        self.bb_capacity * self.bb_used.len() as f64
+    }
+
+    /// Overall fill fraction of the burst buffer, in `[0, 1]`.
+    pub fn fill_fraction(&self) -> f64 {
+        let cap = self.total_capacity();
+        if cap > 0.0 {
+            (self.total_used() / cap).clamp(0.0, 1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// Number of tasks that will read the file being placed.
+    pub fn consumer_count(&self) -> usize {
+        self.workflow.consumers(self.file).len()
+    }
+}
+
+/// An online tier decision for every written file.
+///
+/// The returned tier is a *request*: if the BB device is full, the
+/// executor still spills to the PFS.
+pub trait DynamicPlacer {
+    /// Decides the tier of the write described by `ctx`.
+    fn place(&mut self, ctx: &PlacementContext<'_>) -> Tier;
+}
+
+/// Always requests the burst buffer (equivalent to a static all-BB plan
+/// plus first-come-first-served spilling).
+#[derive(Debug, Clone, Default)]
+pub struct GreedyBb;
+
+impl DynamicPlacer for GreedyBb {
+    fn place(&mut self, _ctx: &PlacementContext<'_>) -> Tier {
+        Tier::BurstBuffer
+    }
+}
+
+/// Stops using the BB for *cold* files once occupancy passes a watermark,
+/// keeping the remaining headroom for files with at least `hot_consumers`
+/// readers.
+///
+/// Below the watermark every file gets the BB; above it, only hot files
+/// do. This protects high-reuse files from being crowded out by
+/// early-written single-reader data.
+#[derive(Debug, Clone)]
+pub struct WatermarkPlacer {
+    /// Fill fraction beyond which cold files go to the PFS.
+    pub watermark: f64,
+    /// Minimum consumer count for a file to qualify as hot.
+    pub hot_consumers: usize,
+}
+
+impl Default for WatermarkPlacer {
+    fn default() -> Self {
+        WatermarkPlacer {
+            watermark: 0.5,
+            hot_consumers: 2,
+        }
+    }
+}
+
+impl DynamicPlacer for WatermarkPlacer {
+    fn place(&mut self, ctx: &PlacementContext<'_>) -> Tier {
+        if ctx.fill_fraction() < self.watermark || ctx.consumer_count() >= self.hot_consumers {
+            Tier::BurstBuffer
+        } else {
+            Tier::Pfs
+        }
+    }
+}
+
+/// Requests the BB only for files below a size cutoff (latency-sensitive
+/// small files benefit most per byte of scarce BB capacity).
+#[derive(Debug, Clone)]
+pub struct SmallFilePlacer {
+    /// Maximum size, bytes, for BB placement.
+    pub max_bytes: f64,
+}
+
+impl DynamicPlacer for SmallFilePlacer {
+    fn place(&mut self, ctx: &PlacementContext<'_>) -> Tier {
+        if ctx.workflow.file(ctx.file).size <= self.max_bytes {
+            Tier::BurstBuffer
+        } else {
+            Tier::Pfs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfbb_workflow::WorkflowBuilder;
+
+    fn workflow() -> Workflow {
+        let mut b = WorkflowBuilder::new("dyn");
+        let cold = b.add_file("cold", 100.0);
+        let hot = b.add_file("hot", 10.0);
+        let o1 = b.add_file("o1", 1.0);
+        let o2 = b.add_file("o2", 1.0);
+        b.task("w").outputs([cold, hot]).add();
+        b.task("r1").input(hot).output(o1).add();
+        b.task("r2").input(hot).output(o2).add();
+        b.build().unwrap()
+    }
+
+    fn ctx<'a>(wf: &'a Workflow, file: &str, used: &'a [f64]) -> PlacementContext<'a> {
+        PlacementContext {
+            workflow: wf,
+            file: wf.file_by_name(file).unwrap().id,
+            task: wf.task_by_name("w").unwrap().id,
+            node: 0,
+            bb_used: used,
+            bb_capacity: 100.0,
+        }
+    }
+
+    #[test]
+    fn context_accessors() {
+        let wf = workflow();
+        let used = [30.0, 50.0];
+        let c = ctx(&wf, "hot", &used);
+        assert_eq!(c.total_used(), 80.0);
+        assert_eq!(c.total_capacity(), 200.0);
+        assert_eq!(c.fill_fraction(), 0.4);
+        assert_eq!(c.consumer_count(), 2);
+    }
+
+    #[test]
+    fn greedy_always_says_bb() {
+        let wf = workflow();
+        let used = [99.0];
+        assert_eq!(GreedyBb.place(&ctx(&wf, "cold", &used)), Tier::BurstBuffer);
+    }
+
+    #[test]
+    fn watermark_protects_headroom_for_hot_files() {
+        let wf = workflow();
+        let mut placer = WatermarkPlacer {
+            watermark: 0.5,
+            hot_consumers: 2,
+        };
+        // Below watermark: everything goes to the BB.
+        let low = [10.0];
+        assert_eq!(placer.place(&ctx(&wf, "cold", &low)), Tier::BurstBuffer);
+        // Above watermark: cold (1 consumer... cold has 0 consumers) → PFS,
+        // hot (2 consumers) → BB.
+        let high = [80.0];
+        assert_eq!(placer.place(&ctx(&wf, "cold", &high)), Tier::Pfs);
+        assert_eq!(placer.place(&ctx(&wf, "hot", &high)), Tier::BurstBuffer);
+    }
+
+    #[test]
+    fn small_file_placer_uses_a_size_cutoff() {
+        let wf = workflow();
+        let mut placer = SmallFilePlacer { max_bytes: 50.0 };
+        let used = [0.0];
+        assert_eq!(placer.place(&ctx(&wf, "cold", &used)), Tier::Pfs);
+        assert_eq!(placer.place(&ctx(&wf, "hot", &used)), Tier::BurstBuffer);
+    }
+
+    #[test]
+    fn empty_bb_counts_as_full_for_fill_fraction() {
+        let wf = workflow();
+        let used: [f64; 0] = [];
+        let c = PlacementContext {
+            workflow: &wf,
+            file: wf.file_by_name("hot").unwrap().id,
+            task: wf.task_by_name("w").unwrap().id,
+            node: 0,
+            bb_used: &used,
+            bb_capacity: 100.0,
+        };
+        assert_eq!(c.fill_fraction(), 1.0, "no devices means no headroom");
+    }
+}

@@ -1,0 +1,786 @@
+//! The workflow executor state machine.
+//!
+//! [`Executor`] owns the simulation engine, the storage system, and the
+//! workflow, and drives execution event by event:
+//!
+//! * the **stage-in phase** copies BB-assigned input files into the burst
+//!   buffer one at a time (the paper's stage-in task is sequential); input
+//!   files left on the PFS are registered there directly;
+//! * each scheduled task walks `Reading → Computing → Writing`; every file
+//!   access is a metadata flow (if the tier charges one) followed by data
+//!   flows, with at most `cores` files in flight per task;
+//! * completed writes register file locations so consumers read from the
+//!   right tier; task completions release cores and unlock dependents.
+//!
+//! Scheduling uses pipeline affinity: tasks tagged with a pipeline run on
+//! node `pipeline mod nodes` (keeping SWarp pipelines node-local, as in the
+//! paper's single-node experiments); untagged tasks go to the node with the
+//! most free cores.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use wfbb_simcore::{Engine, FlowSpec, SimTime};
+use wfbb_storage::{FileRegistry, Location, PlacementPlan, StorageSystem, Tier};
+use wfbb_workflow::{amdahl_time, FileId, TaskId, Workflow};
+
+use crate::dynamic::{DynamicPlacer, PlacementContext};
+use crate::report::{SimulationReport, TaskRecord};
+
+/// Node-assignment policy of the WMS scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// Tasks tagged with a pipeline are pinned to node
+    /// `pipeline mod nodes` (keeps SWarp pipelines node-local, matching
+    /// the paper's experiments); untagged tasks go to the node with the
+    /// most free cores.
+    #[default]
+    PipelineAffinity,
+    /// Every task goes to the node with the most free cores, ignoring
+    /// pipeline tags.
+    LeastLoaded,
+    /// Tasks are statically spread: node `task_id mod nodes`.
+    RoundRobin,
+}
+
+/// Engine-activity tags: what each completion means to the executor.
+///
+/// Public only because [`Executor::new`] accepts a pre-built
+/// `Engine<Tag>`; treat it as an implementation detail.
+#[derive(Debug, Clone, Copy)]
+pub enum Tag {
+    /// Metadata phase of staging `file` into the BB.
+    StageMeta(FileId),
+    /// One data flow of staging `file`.
+    StageData(FileId),
+    /// Metadata phase of a task's file access.
+    TaskMeta {
+        /// The accessing task.
+        task: TaskId,
+        /// The accessed file.
+        file: FileId,
+        /// Whether the access is a write.
+        write: bool,
+    },
+    /// One data flow of a task's file access.
+    TaskData {
+        /// The accessing task.
+        task: TaskId,
+        /// The accessed file.
+        file: FileId,
+        /// Whether the access is a write.
+        write: bool,
+    },
+    /// A task's compute phase.
+    Compute(TaskId),
+}
+
+/// Task lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Waiting,
+    Reading,
+    Computing,
+    Writing,
+    Done,
+}
+
+#[derive(Debug)]
+struct TaskState {
+    phase: Phase,
+    node: usize,
+    cores: usize,
+    /// Files not yet accessed in the current phase.
+    pending: VecDeque<FileId>,
+    /// File access chains currently in flight.
+    in_flight: usize,
+    start: SimTime,
+    read_end: SimTime,
+    compute_end: SimTime,
+    end: SimTime,
+}
+
+impl TaskState {
+    fn new() -> Self {
+        TaskState {
+            phase: Phase::Waiting,
+            node: 0,
+            cores: 1,
+            pending: VecDeque::new(),
+            in_flight: 0,
+            start: SimTime::ZERO,
+            read_end: SimTime::ZERO,
+            compute_end: SimTime::ZERO,
+            end: SimTime::ZERO,
+        }
+    }
+}
+
+/// Errors surfaced by [`Executor::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecutorError {
+    /// The simulation ended with unexecuted tasks — a scheduling deadlock
+    /// (should be impossible for valid inputs; reported rather than
+    /// silently producing a truncated makespan).
+    Deadlock {
+        /// Tasks that never completed.
+        unfinished: usize,
+    },
+}
+
+impl std::fmt::Display for ExecutorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutorError::Deadlock { unfinished } => {
+                write!(f, "execution deadlocked with {unfinished} unfinished tasks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecutorError {}
+
+/// Drives one workflow execution through the engine.
+pub struct Executor {
+    engine: Engine<Tag>,
+    storage: StorageSystem,
+    workflow: Workflow,
+    plan: PlacementPlan,
+    registry: FileRegistry,
+    states: Vec<TaskState>,
+    deps_remaining: Vec<usize>,
+    free_cores: Vec<usize>,
+    ready: BTreeSet<TaskId>,
+    /// Remaining data flows per access, keyed by (task-or-stage, file,
+    /// is-write). Stage accesses use `u32::MAX` as the task key.
+    data_remaining: HashMap<(u32, u32, bool), usize>,
+    /// Remaining metadata flows per access (same keying); data flows
+    /// spawn once the access's metadata drains.
+    meta_remaining: HashMap<(u32, u32, bool), usize>,
+    stage_queue: VecDeque<FileId>,
+    stage_nodes: HashMap<FileId, usize>,
+    staging_done: bool,
+    stage_end: SimTime,
+    completed: usize,
+    io_concurrency: Option<usize>,
+    scheduler: SchedulerPolicy,
+    dynamic_placer: Option<Box<dyn DynamicPlacer>>,
+    /// Location resolved for each in-flight access (so metadata completion
+    /// and registration agree with the capacity decision made at start).
+    resolved: HashMap<(u32, u32, bool), Location>,
+    /// Bytes currently stored on each BB device.
+    bb_used: Vec<f64>,
+    /// Peak total BB occupancy observed, bytes.
+    bb_peak: f64,
+    /// Files that spilled to the PFS because their BB device was full.
+    spilled: usize,
+}
+
+const STAGE_KEY: u32 = u32::MAX;
+
+impl Executor {
+    /// Builds an executor from pre-instantiated parts. `engine` must be the
+    /// engine `storage`'s platform was instantiated into.
+    pub fn new(
+        engine: Engine<Tag>,
+        storage: StorageSystem,
+        workflow: Workflow,
+        plan: PlacementPlan,
+        io_concurrency: Option<usize>,
+        scheduler: SchedulerPolicy,
+    ) -> Self {
+        let n = workflow.task_count();
+        let nodes = storage.platform.nodes();
+        let cores = storage.platform.spec.cores_per_node;
+        let mut deps_remaining = vec![0usize; n];
+        for t in workflow.tasks() {
+            deps_remaining[t.id.index()] = workflow.dependencies(t.id).len();
+        }
+        let registry = FileRegistry::new(workflow.file_count());
+        let bb_devices = match &storage.platform.bb {
+            wfbb_platform::BbInstance::Shared { disks, .. } => disks.len(),
+            wfbb_platform::BbInstance::OnNode { disks, .. } => disks.len(),
+            wfbb_platform::BbInstance::None => 0,
+        };
+        Executor {
+            engine,
+            storage,
+            workflow,
+            plan,
+            registry,
+            states: (0..n).map(|_| TaskState::new()).collect(),
+            deps_remaining,
+            free_cores: vec![cores; nodes],
+            ready: BTreeSet::new(),
+            data_remaining: HashMap::new(),
+            meta_remaining: HashMap::new(),
+            stage_queue: VecDeque::new(),
+            stage_nodes: HashMap::new(),
+            staging_done: false,
+            stage_end: SimTime::ZERO,
+            completed: 0,
+            io_concurrency,
+            scheduler,
+            dynamic_placer: None,
+            resolved: HashMap::new(),
+            bb_used: vec![0.0; bb_devices],
+            bb_peak: 0.0,
+            spilled: 0,
+        }
+    }
+
+    /// Installs an online placer consulted for every task write.
+    pub fn set_dynamic_placer(&mut self, placer: Box<dyn DynamicPlacer>) {
+        self.dynamic_placer = Some(placer);
+    }
+
+    /// Reserves `size` bytes at `location`, returning whether it fits.
+    /// PFS capacity is unbounded; BB devices are bounded by
+    /// `spec.bb_capacity` (striped files need space on every stripe).
+    fn try_reserve(&mut self, location: &Location, size: f64) -> bool {
+        let cap = self.storage.platform.spec.bb_capacity;
+        let ok = match location {
+            Location::Pfs => true,
+            Location::SharedBb { bb_node } => {
+                if self.bb_used[*bb_node] + size <= cap {
+                    self.bb_used[*bb_node] += size;
+                    true
+                } else {
+                    false
+                }
+            }
+            Location::StripedBb { stripe_nodes } => {
+                let per_stripe = size / stripe_nodes.len() as f64;
+                if stripe_nodes.iter().all(|&b| self.bb_used[b] + per_stripe <= cap) {
+                    for &b in stripe_nodes {
+                        self.bb_used[b] += per_stripe;
+                    }
+                    true
+                } else {
+                    false
+                }
+            }
+            Location::OnNodeBb { node } => {
+                if self.bb_used[*node] + size <= cap {
+                    self.bb_used[*node] += size;
+                    true
+                } else {
+                    false
+                }
+            }
+        };
+        if ok {
+            let total: f64 = self.bb_used.iter().sum();
+            self.bb_peak = self.bb_peak.max(total);
+        }
+        ok
+    }
+
+    /// Runs the workflow to completion and produces the report.
+    pub fn run(mut self) -> Result<SimulationReport, ExecutorError> {
+        self.prepare_staging();
+        self.start_next_stage();
+
+        while let Some(c) = self.engine.step() {
+            match c.tag {
+                Tag::StageMeta(file) => self.on_stage_meta(file),
+                Tag::StageData(file) => self.on_stage_data(file),
+                Tag::TaskMeta { task, file, write } => self.on_task_meta(task, file, write),
+                Tag::TaskData { task, file, write } => self.on_task_data(task, file, write),
+                Tag::Compute(task) => self.on_compute_done(task),
+            }
+        }
+
+        if self.completed != self.workflow.task_count() {
+            return Err(ExecutorError::Deadlock {
+                unfinished: self.workflow.task_count() - self.completed,
+            });
+        }
+        Ok(self.report())
+    }
+
+    // ---- staging ----------------------------------------------------
+
+    /// Registers PFS-resident inputs and queues BB-assigned inputs for
+    /// sequential staging, distributing them round-robin across nodes (on
+    /// shared BBs the namespaces coincide; on on-node BBs this spreads
+    /// data like a data-local placement would).
+    fn prepare_staging(&mut self) {
+        let nodes = self.storage.platform.nodes();
+        let mut staged_idx = 0usize;
+        for f in self.workflow.input_files() {
+            match self.plan.tier(f) {
+                Tier::Pfs => self.registry.set(f, Location::Pfs),
+                Tier::BurstBuffer => {
+                    self.stage_nodes.insert(f, staged_idx % nodes);
+                    self.stage_queue.push_back(f);
+                    staged_idx += 1;
+                }
+            }
+        }
+    }
+
+    fn stage_key(file: FileId) -> (u32, u32, bool) {
+        (STAGE_KEY, file.index() as u32, false)
+    }
+
+    fn start_next_stage(&mut self) {
+        loop {
+            let Some(file) = self.stage_queue.pop_front() else {
+                self.finish_staging();
+                return;
+            };
+            let node = self.stage_nodes[&file];
+            let size = self.workflow.file(file).size;
+            let desired = self.storage.locate(Tier::BurstBuffer, node, size);
+            let loc = if self.try_reserve(&desired, size) {
+                desired
+            } else {
+                // BB full: the input stays on the PFS (spilled).
+                self.spilled += 1;
+                self.registry.set(file, Location::Pfs);
+                continue;
+            };
+            self.resolved.insert(Self::stage_key(file), loc.clone());
+            let access = self.storage.stage_in_flows(size, &loc, node);
+            if !access.metadata.is_empty() {
+                self.meta_remaining
+                    .insert(Self::stage_key(file), access.metadata.len());
+                let name = self.workflow.file(file).name.clone();
+                for meta in access.metadata {
+                    self.engine.spawn_flow_labeled(
+                        meta,
+                        Tag::StageMeta(file),
+                        Some(format!("stage-meta:{name}")),
+                    );
+                }
+                return;
+            }
+            if !access.data.is_empty() {
+                self.spawn_stage_data(file, access.data);
+                return;
+            }
+            // Degenerate: nothing to move (no BB on this platform) — the
+            // file effectively stays on the PFS.
+            self.resolved.remove(&Self::stage_key(file));
+            self.registry.set(file, loc);
+        }
+    }
+
+    fn spawn_stage_data(&mut self, file: FileId, data: Vec<FlowSpec>) {
+        self.data_remaining
+            .insert((STAGE_KEY, file.index() as u32, false), data.len());
+        let name = self.workflow.file(file).name.clone();
+        for flow in data {
+            self.engine
+                .spawn_flow_labeled(flow, Tag::StageData(file), Some(format!("stage:{name}")));
+        }
+    }
+
+    fn on_stage_meta(&mut self, file: FileId) {
+        let key = Self::stage_key(file);
+        let remaining = self.meta_remaining.get_mut(&key).expect("stage meta accounted");
+        *remaining -= 1;
+        if *remaining > 0 {
+            return;
+        }
+        self.meta_remaining.remove(&key);
+        let node = self.stage_nodes[&file];
+        let loc = self.resolved[&key].clone();
+        let size = self.workflow.file(file).size;
+        let access = self.storage.stage_in_flows(size, &loc, node);
+        if access.data.is_empty() {
+            self.resolved.remove(&key);
+            self.registry.set(file, loc);
+            self.start_next_stage();
+        } else {
+            self.spawn_stage_data(file, access.data);
+        }
+    }
+
+    fn on_stage_data(&mut self, file: FileId) {
+        let key = (STAGE_KEY, file.index() as u32, false);
+        let remaining = self
+            .data_remaining
+            .get_mut(&key)
+            .expect("stage data accounted");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.data_remaining.remove(&key);
+            let loc = self
+                .resolved
+                .remove(&Self::stage_key(file))
+                .expect("stage location resolved");
+            self.registry.set(file, loc);
+            self.start_next_stage();
+        }
+    }
+
+    fn finish_staging(&mut self) {
+        debug_assert!(!self.staging_done, "staging finishes once");
+        self.staging_done = true;
+        self.stage_end = self.engine.now();
+        for t in self.workflow.tasks() {
+            if self.deps_remaining[t.id.index()] == 0 {
+                self.ready.insert(t.id);
+            }
+        }
+        self.try_schedule();
+    }
+
+    // ---- scheduling -------------------------------------------------
+
+    /// Node a task must run on, or `None` for "any node".
+    fn pinned_node(&self, task: TaskId) -> Option<usize> {
+        let nodes = self.storage.platform.nodes();
+        match self.scheduler {
+            SchedulerPolicy::PipelineAffinity => {
+                self.workflow.task(task).pipeline.map(|p| p % nodes)
+            }
+            SchedulerPolicy::LeastLoaded => None,
+            SchedulerPolicy::RoundRobin => Some(task.index() % nodes),
+        }
+    }
+
+    fn try_schedule(&mut self) {
+        let candidates: Vec<TaskId> = self.ready.iter().copied().collect();
+        for task in candidates {
+            let t = self.workflow.task(task);
+            let cores = t.cores.min(self.storage.platform.spec.cores_per_node);
+            let node = match self.pinned_node(task) {
+                Some(n) => {
+                    if self.free_cores[n] < cores {
+                        continue;
+                    }
+                    n
+                }
+                None => {
+                    // Most free cores; ties to the lowest index.
+                    let Some((n, &free)) = self
+                        .free_cores
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|&(i, &f)| (f, std::cmp::Reverse(i)))
+                    else {
+                        continue;
+                    };
+                    if free < cores {
+                        continue;
+                    }
+                    n
+                }
+            };
+            self.ready.remove(&task);
+            self.free_cores[node] -= cores;
+            self.start_task(task, node, cores);
+        }
+    }
+
+    fn start_task(&mut self, task: TaskId, node: usize, cores: usize) {
+        let now = self.engine.now();
+        let inputs: VecDeque<FileId> = self.workflow.task(task).inputs.iter().copied().collect();
+        {
+            let st = &mut self.states[task.index()];
+            st.phase = Phase::Reading;
+            st.node = node;
+            st.cores = cores;
+            st.start = now;
+            st.pending = inputs;
+            st.in_flight = 0;
+        }
+        self.pump_accesses(task, false);
+    }
+
+    /// Starts queued file accesses for `task` up to its I/O concurrency
+    /// limit, then fires the phase transition if the phase has drained.
+    fn pump_accesses(&mut self, task: TaskId, write: bool) {
+        let limit = self
+            .io_concurrency
+            .unwrap_or(self.states[task.index()].cores)
+            .max(1);
+        loop {
+            let st = &self.states[task.index()];
+            if st.in_flight >= limit {
+                return;
+            }
+            let Some(file) = self.states[task.index()].pending.pop_front() else {
+                break;
+            };
+            self.states[task.index()].in_flight += 1;
+            self.start_access(task, file, write);
+        }
+        if self.states[task.index()].in_flight == 0 {
+            self.phase_done(task);
+        }
+    }
+
+    /// Resolves the concrete location of a new access. Reads come from
+    /// the registry; writes go where the placement plan dictates, spilling
+    /// to the PFS when the target BB device is full.
+    fn resolve_access(&mut self, task: TaskId, file: FileId, write: bool) -> Location {
+        if write {
+            let node = self.states[task.index()].node;
+            let size = self.workflow.file(file).size;
+            let tier = match &mut self.dynamic_placer {
+                Some(placer) => placer.place(&PlacementContext {
+                    workflow: &self.workflow,
+                    file,
+                    task,
+                    node,
+                    bb_used: &self.bb_used,
+                    bb_capacity: self.storage.platform.spec.bb_capacity,
+                }),
+                None => self.plan.tier(file),
+            };
+            let desired = self.storage.locate(tier, node, size);
+            if self.try_reserve(&desired, size) {
+                desired
+            } else {
+                self.spilled += 1;
+                Location::Pfs
+            }
+        } else {
+            self.registry.require(file).clone()
+        }
+    }
+
+    fn start_access(&mut self, task: TaskId, file: FileId, write: bool) {
+        let node = self.states[task.index()].node;
+        let loc = self.resolve_access(task, file, write);
+        self.resolved
+            .insert((task.index() as u32, file.index() as u32, write), loc.clone());
+        let size = self.workflow.file(file).size;
+        let access = if write {
+            self.storage.write_flows(size, &loc, node)
+        } else {
+            self.storage.read_flows(size, &loc, node)
+        };
+        if access.metadata.is_empty() {
+            self.spawn_access_data(task, file, write, access.data);
+        } else {
+            let label = format!(
+                "{}-meta:{}:{}",
+                if write { "write" } else { "read" },
+                self.workflow.task(task).name,
+                self.workflow.file(file).name
+            );
+            self.meta_remaining.insert(
+                (task.index() as u32, file.index() as u32, write),
+                access.metadata.len(),
+            );
+            for meta in access.metadata {
+                self.engine.spawn_flow_labeled(
+                    meta,
+                    Tag::TaskMeta { task, file, write },
+                    Some(label.clone()),
+                );
+            }
+        }
+    }
+
+    fn spawn_access_data(
+        &mut self,
+        task: TaskId,
+        file: FileId,
+        write: bool,
+        mut data: Vec<FlowSpec>,
+    ) {
+        if data.is_empty() {
+            // Zero-cost access (e.g. zero-byte file): complete immediately.
+            self.access_done(task, file, write);
+            return;
+        }
+        // Task-level I/O is driven by the task's threads: a p-core task
+        // moves at most p × io_core_bw, split across this access's flows
+        // (the paper's linear-in-cores I/O assumption).
+        let cores = self.states[task.index()].cores as f64;
+        let per_flow_cap = cores * self.storage.platform.spec.io_core_bw / data.len() as f64;
+        for flow in &mut data {
+            flow.rate_cap = Some(match flow.rate_cap {
+                Some(cap) => cap.min(per_flow_cap),
+                None => per_flow_cap,
+            });
+        }
+        self.data_remaining
+            .insert((task.index() as u32, file.index() as u32, write), data.len());
+        let label = format!(
+            "{}:{}:{}",
+            if write { "write" } else { "read" },
+            self.workflow.task(task).name,
+            self.workflow.file(file).name
+        );
+        for flow in data {
+            self.engine
+                .spawn_flow_labeled(flow, Tag::TaskData { task, file, write }, Some(label.clone()));
+        }
+    }
+
+    fn on_task_meta(&mut self, task: TaskId, file: FileId, write: bool) {
+        let key = (task.index() as u32, file.index() as u32, write);
+        let remaining = self.meta_remaining.get_mut(&key).expect("task meta accounted");
+        *remaining -= 1;
+        if *remaining > 0 {
+            return;
+        }
+        self.meta_remaining.remove(&key);
+        let node = self.states[task.index()].node;
+        let loc = self.resolved[&key].clone();
+        let size = self.workflow.file(file).size;
+        let access = if write {
+            self.storage.write_flows(size, &loc, node)
+        } else {
+            self.storage.read_flows(size, &loc, node)
+        };
+        self.spawn_access_data(task, file, write, access.data);
+    }
+
+    fn on_task_data(&mut self, task: TaskId, file: FileId, write: bool) {
+        let key = (task.index() as u32, file.index() as u32, write);
+        let remaining = self
+            .data_remaining
+            .get_mut(&key)
+            .expect("task data accounted");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.data_remaining.remove(&key);
+            self.access_done(task, file, write);
+        }
+    }
+
+    fn access_done(&mut self, task: TaskId, file: FileId, write: bool) {
+        let loc = self
+            .resolved
+            .remove(&(task.index() as u32, file.index() as u32, write))
+            .expect("access location resolved");
+        if write {
+            self.registry.set(file, loc);
+        }
+        self.states[task.index()].in_flight -= 1;
+        self.pump_accesses(task, write);
+    }
+
+    /// Current phase drained (no pending, no in-flight): advance the task.
+    fn phase_done(&mut self, task: TaskId) {
+        let now = self.engine.now();
+        match self.states[task.index()].phase {
+            Phase::Reading => {
+                self.states[task.index()].read_end = now;
+                self.states[task.index()].phase = Phase::Computing;
+                self.spawn_compute(task);
+            }
+            Phase::Writing => {
+                self.states[task.index()].end = now;
+                self.states[task.index()].phase = Phase::Done;
+                self.finish_task(task);
+            }
+            other => unreachable!("phase_done in phase {other:?}"),
+        }
+    }
+
+    fn spawn_compute(&mut self, task: TaskId) {
+        let t = self.workflow.task(task);
+        let st = &self.states[task.index()];
+        let speed = self.storage.platform.spec.gflops_per_core * 1e9;
+        let seq_seconds = t.flops / speed;
+        let duration = amdahl_time(seq_seconds, st.cores, t.alpha);
+        let core_seconds = duration * st.cores as f64;
+        let label = format!("compute:{}", t.name);
+        if core_seconds <= 0.0 {
+            self.engine.spawn_flow_labeled(
+                FlowSpec::new(0.0, vec![]),
+                Tag::Compute(task),
+                Some(label),
+            );
+        } else {
+            let cpu = self.storage.platform.node_cpu[st.node];
+            self.engine.spawn_flow_labeled(
+                FlowSpec::new(core_seconds, vec![cpu]).with_rate_cap(st.cores as f64),
+                Tag::Compute(task),
+                Some(label),
+            );
+        }
+    }
+
+    fn on_compute_done(&mut self, task: TaskId) {
+        let now = self.engine.now();
+        let outputs: VecDeque<FileId> = self.workflow.task(task).outputs.iter().copied().collect();
+        {
+            let st = &mut self.states[task.index()];
+            st.compute_end = now;
+            st.phase = Phase::Writing;
+            st.pending = outputs;
+            st.in_flight = 0;
+        }
+        self.pump_accesses(task, true);
+    }
+
+    fn finish_task(&mut self, task: TaskId) {
+        self.completed += 1;
+        let (node, cores) = {
+            let st = &self.states[task.index()];
+            (st.node, st.cores)
+        };
+        self.free_cores[node] += cores;
+        for dep in self.workflow.dependents(task) {
+            self.deps_remaining[dep.index()] -= 1;
+            if self.deps_remaining[dep.index()] == 0 {
+                self.ready.insert(dep);
+            }
+        }
+        self.try_schedule();
+    }
+
+    // ---- reporting --------------------------------------------------
+
+    fn report(&self) -> SimulationReport {
+        let tasks: Vec<TaskRecord> = self
+            .workflow
+            .tasks()
+            .iter()
+            .map(|t| {
+                let st = &self.states[t.id.index()];
+                TaskRecord {
+                    task: t.id,
+                    name: t.name.clone(),
+                    category: t.category.clone(),
+                    pipeline: t.pipeline,
+                    node: st.node,
+                    cores: st.cores,
+                    start: st.start,
+                    read_end: st.read_end,
+                    compute_end: st.compute_end,
+                    end: st.end,
+                }
+            })
+            .collect();
+
+        // Tier-level byte/bandwidth accounting from the devices.
+        let platform = &self.storage.platform;
+        let (mut bb_bytes, mut bb_busy) = (0.0, 0.0);
+        match &platform.bb {
+            wfbb_platform::BbInstance::Shared { disks, .. }
+            | wfbb_platform::BbInstance::OnNode { disks, .. } => {
+                for &d in disks {
+                    let s = self.engine.resource_stats(d);
+                    bb_bytes += s.total_served;
+                    bb_busy += s.busy_time;
+                }
+            }
+            wfbb_platform::BbInstance::None => {}
+        }
+        let pfs = self.engine.resource_stats(platform.pfs_disk);
+
+        SimulationReport {
+            makespan: self.engine.now(),
+            stage_in_time: self.stage_end.seconds(),
+            tasks,
+            bb_bytes,
+            pfs_bytes: pfs.total_served,
+            bb_achieved_bw: if bb_busy > 0.0 { bb_bytes / bb_busy } else { 0.0 },
+            pfs_achieved_bw: pfs.mean_busy_rate(),
+            bb_peak_bytes: self.bb_peak,
+            spilled_files: self.spilled,
+            nodes: platform.nodes(),
+            cores_per_node: platform.spec.cores_per_node,
+        }
+    }
+}

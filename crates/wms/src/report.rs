@@ -1,0 +1,257 @@
+//! Simulation results.
+//!
+//! The simulator's outputs mirror what the paper measures: the workflow
+//! makespan, the stage-in duration, per-task execution times (grouped by
+//! category: Resample, Combine, ...), and the achieved I/O bandwidth per
+//! storage tier.
+
+use std::collections::BTreeMap;
+
+use wfbb_simcore::SimTime;
+use wfbb_workflow::TaskId;
+
+/// Timing record of one executed task.
+#[derive(Debug, Clone)]
+pub struct TaskRecord {
+    /// Which task.
+    pub task: TaskId,
+    /// Task name.
+    pub name: String,
+    /// Task category ("resample", "combine", ...).
+    pub category: String,
+    /// Pipeline tag, if any.
+    pub pipeline: Option<usize>,
+    /// Compute node the task ran on.
+    pub node: usize,
+    /// Cores actually allocated.
+    pub cores: usize,
+    /// When the task started reading inputs.
+    pub start: SimTime,
+    /// When all input reads finished.
+    pub read_end: SimTime,
+    /// When the compute phase finished.
+    pub compute_end: SimTime,
+    /// When all output writes finished (task completion).
+    pub end: SimTime,
+}
+
+impl TaskRecord {
+    /// Total execution time (read + compute + write).
+    pub fn duration(&self) -> f64 {
+        self.end.duration_since(self.start)
+    }
+
+    /// Time spent reading inputs.
+    pub fn read_time(&self) -> f64 {
+        self.read_end.duration_since(self.start)
+    }
+
+    /// Time spent computing.
+    pub fn compute_time(&self) -> f64 {
+        self.compute_end.duration_since(self.read_end)
+    }
+
+    /// Time spent writing outputs.
+    pub fn write_time(&self) -> f64 {
+        self.end.duration_since(self.compute_end)
+    }
+
+    /// Fraction of the execution spent in I/O (the λ^io the calibration
+    /// model consumes).
+    pub fn io_fraction(&self) -> f64 {
+        let d = self.duration();
+        if d > 0.0 {
+            (self.read_time() + self.write_time()) / d
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregate statistics for one task category.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoryStats {
+    /// Number of tasks in the category.
+    pub count: usize,
+    /// Mean execution time, seconds.
+    pub mean_duration: f64,
+    /// Minimum execution time, seconds.
+    pub min_duration: f64,
+    /// Maximum execution time, seconds.
+    pub max_duration: f64,
+    /// Mean time in I/O (read + write), seconds.
+    pub mean_io_time: f64,
+    /// Mean time computing, seconds.
+    pub mean_compute_time: f64,
+}
+
+/// Complete result of one simulated workflow execution.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Workflow makespan: the date of the last completion event.
+    pub makespan: SimTime,
+    /// Duration of the sequential stage-in phase, seconds.
+    pub stage_in_time: f64,
+    /// Per-task timing records, in task-id order.
+    pub tasks: Vec<TaskRecord>,
+    /// Bytes transferred to/from the burst buffer tier.
+    pub bb_bytes: f64,
+    /// Bytes transferred to/from the PFS tier.
+    pub pfs_bytes: f64,
+    /// Achieved burst buffer bandwidth while busy, B/s (Figure 9).
+    pub bb_achieved_bw: f64,
+    /// Achieved PFS bandwidth while busy, B/s (Figure 9).
+    pub pfs_achieved_bw: f64,
+    /// Peak total burst buffer occupancy, bytes.
+    pub bb_peak_bytes: f64,
+    /// Files that spilled to the PFS because their BB device was full.
+    pub spilled_files: usize,
+    /// Compute nodes of the platform the run used.
+    pub nodes: usize,
+    /// Cores per compute node.
+    pub cores_per_node: usize,
+}
+
+impl SimulationReport {
+    /// Aggregates task records by category, in alphabetical order.
+    pub fn by_category(&self) -> BTreeMap<String, CategoryStats> {
+        let mut groups: BTreeMap<String, Vec<&TaskRecord>> = BTreeMap::new();
+        for t in &self.tasks {
+            groups.entry(t.category.clone()).or_default().push(t);
+        }
+        groups
+            .into_iter()
+            .map(|(cat, records)| {
+                let durations: Vec<f64> = records.iter().map(|r| r.duration()).collect();
+                let n = durations.len() as f64;
+                let stats = CategoryStats {
+                    count: records.len(),
+                    mean_duration: durations.iter().sum::<f64>() / n,
+                    min_duration: durations.iter().cloned().fold(f64::INFINITY, f64::min),
+                    max_duration: durations.iter().cloned().fold(0.0, f64::max),
+                    mean_io_time: records
+                        .iter()
+                        .map(|r| r.read_time() + r.write_time())
+                        .sum::<f64>()
+                        / n,
+                    mean_compute_time: records.iter().map(|r| r.compute_time()).sum::<f64>() / n,
+                };
+                (cat, stats)
+            })
+            .collect()
+    }
+
+    /// Mean execution time of tasks in `category`, or `None` if the
+    /// category is absent.
+    pub fn mean_duration(&self, category: &str) -> Option<f64> {
+        self.by_category().get(category).map(|s| s.mean_duration)
+    }
+
+    /// The record of a task by name.
+    pub fn task_by_name(&self, name: &str) -> Option<&TaskRecord> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Core-occupancy utilization per node over the makespan: the
+    /// core-seconds held by tasks on each node divided by the node's
+    /// capacity (cores × makespan). Values in `[0, 1]`; an empty run
+    /// reports zeros.
+    pub fn node_utilization(&self) -> Vec<f64> {
+        let horizon = self.makespan.seconds();
+        let mut busy = vec![0.0f64; self.nodes];
+        for t in &self.tasks {
+            busy[t.node] += t.duration() * t.cores as f64;
+        }
+        busy.iter()
+            .map(|b| {
+                if horizon > 0.0 {
+                    (b / (self.cores_per_node as f64 * horizon)).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Mean node utilization across the platform.
+    pub fn mean_utilization(&self) -> f64 {
+        let u = self.node_utilization();
+        if u.is_empty() {
+            0.0
+        } else {
+            u.iter().sum::<f64>() / u.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, cat: &str, start: f64, read: f64, compute: f64, end: f64) -> TaskRecord {
+        TaskRecord {
+            task: TaskId::from_index(0),
+            name: name.into(),
+            category: cat.into(),
+            pipeline: None,
+            node: 0,
+            cores: 1,
+            start: SimTime::from_seconds(start),
+            read_end: SimTime::from_seconds(read),
+            compute_end: SimTime::from_seconds(compute),
+            end: SimTime::from_seconds(end),
+        }
+    }
+
+    #[test]
+    fn task_record_phases() {
+        let r = record("t", "c", 1.0, 3.0, 7.0, 8.0);
+        assert_eq!(r.duration(), 7.0);
+        assert_eq!(r.read_time(), 2.0);
+        assert_eq!(r.compute_time(), 4.0);
+        assert_eq!(r.write_time(), 1.0);
+        assert!((r.io_fraction() - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_task_has_zero_io_fraction() {
+        let r = record("t", "c", 1.0, 1.0, 1.0, 1.0);
+        assert_eq!(r.io_fraction(), 0.0);
+    }
+
+    #[test]
+    fn category_stats_aggregate() {
+        let report = SimulationReport {
+            makespan: SimTime::from_seconds(10.0),
+            stage_in_time: 1.0,
+            tasks: vec![
+                record("r1", "resample", 0.0, 1.0, 4.0, 5.0),
+                record("r2", "resample", 0.0, 2.0, 5.0, 7.0),
+                record("c1", "combine", 5.0, 6.0, 9.0, 10.0),
+            ],
+            bb_bytes: 100.0,
+            pfs_bytes: 50.0,
+            bb_achieved_bw: 10.0,
+            pfs_achieved_bw: 5.0,
+            bb_peak_bytes: 0.0,
+            spilled_files: 0,
+            nodes: 1,
+            cores_per_node: 4,
+        };
+        let by_cat = report.by_category();
+        assert_eq!(by_cat.len(), 2);
+        let r = &by_cat["resample"];
+        assert_eq!(r.count, 2);
+        assert_eq!(r.mean_duration, 6.0);
+        assert_eq!(r.min_duration, 5.0);
+        assert_eq!(r.max_duration, 7.0);
+        assert_eq!(report.mean_duration("combine"), Some(5.0));
+        assert_eq!(report.mean_duration("missing"), None);
+        assert_eq!(report.task_by_name("c1").unwrap().category, "combine");
+        // Utilization: busy core-seconds (5+7+5) x 1 core over 4 cores x 10 s.
+        let u = report.node_utilization();
+        assert_eq!(u.len(), 1);
+        assert!((u[0] - 17.0 / 40.0).abs() < 1e-12);
+        assert!((report.mean_utilization() - u[0]).abs() < 1e-12);
+    }
+}

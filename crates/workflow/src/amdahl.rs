@@ -1,0 +1,124 @@
+//! Amdahl's Law speedup model — the paper's Equation (2).
+//!
+//! The execution time of task `i` on `p` cores is
+//!
+//! ```text
+//! T_i^c(p) = α_i · T_i^c(1) + (1 − α_i) · T_i^c(1) / p
+//! ```
+//!
+//! where `α_i` is the fraction of the sequential execution that cannot be
+//! parallelized. The paper's simulation runs use the perfect-speedup special
+//! case `α = 0` (Equation (4)); the measurement emulator uses non-zero `α`
+//! values (e.g. for Combine, whose synchronization-heavy merge does not
+//! scale — Figure 6).
+
+/// Parallel execution time under Amdahl's Law (Equation (2)).
+///
+/// # Panics
+/// Panics if `p == 0`, `alpha` is outside `[0, 1]`, or `seq_time` is not
+/// finite and non-negative.
+pub fn amdahl_time(seq_time: f64, p: usize, alpha: f64) -> f64 {
+    assert!(p >= 1, "core count must be at least 1");
+    assert!(
+        (0.0..=1.0).contains(&alpha),
+        "Amdahl serial fraction must be in [0, 1], got {alpha}"
+    );
+    assert!(
+        seq_time.is_finite() && seq_time >= 0.0,
+        "sequential time must be finite and non-negative, got {seq_time}"
+    );
+    alpha * seq_time + (1.0 - alpha) * seq_time / p as f64
+}
+
+/// Speedup `T(1) / T(p)` under Amdahl's Law.
+pub fn amdahl_speedup(p: usize, alpha: f64) -> f64 {
+    1.0 / (alpha + (1.0 - alpha) / p as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_core_is_sequential() {
+        assert_eq!(amdahl_time(100.0, 1, 0.3), 100.0);
+        assert_eq!(amdahl_speedup(1, 0.5), 1.0);
+    }
+
+    #[test]
+    fn perfect_speedup_divides_by_cores() {
+        assert_eq!(amdahl_time(100.0, 4, 0.0), 25.0);
+        assert_eq!(amdahl_speedup(8, 0.0), 8.0);
+    }
+
+    #[test]
+    fn fully_serial_task_never_speeds_up() {
+        assert_eq!(amdahl_time(100.0, 32, 1.0), 100.0);
+        assert_eq!(amdahl_speedup(32, 1.0), 1.0);
+    }
+
+    #[test]
+    fn speedup_is_bounded_by_inverse_alpha() {
+        // lim p→∞ speedup = 1/α.
+        let s = amdahl_speedup(1_000_000, 0.25);
+        assert!(s < 4.0);
+        assert!(s > 3.99);
+    }
+
+    #[test]
+    fn time_matches_speedup() {
+        let seq = 120.0;
+        for p in [1, 2, 4, 8, 32] {
+            for alpha in [0.0, 0.1, 0.5, 1.0] {
+                let t = amdahl_time(seq, p, alpha);
+                let s = amdahl_speedup(p, alpha);
+                assert!((seq / t - s).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_cores_rejected() {
+        let _ = amdahl_time(1.0, 0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn alpha_out_of_range_rejected() {
+        let _ = amdahl_time(1.0, 2, 1.5);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// More cores never slow a task down, and time is monotone in α.
+            #[test]
+            fn monotonicity(
+                seq in 0.0f64..1e6,
+                p in 1usize..512,
+                alpha in 0.0f64..1.0,
+            ) {
+                let t1 = amdahl_time(seq, p, alpha);
+                let t2 = amdahl_time(seq, p + 1, alpha);
+                prop_assert!(t2 <= t1 + 1e-9);
+                let ta = amdahl_time(seq, p, (alpha * 0.5).min(1.0));
+                prop_assert!(ta <= t1 + 1e-9);
+            }
+
+            /// Time is always between seq/p (perfect) and seq (serial).
+            #[test]
+            fn bounded_by_extremes(
+                seq in 0.0f64..1e6,
+                p in 1usize..512,
+                alpha in 0.0f64..1.0,
+            ) {
+                let t = amdahl_time(seq, p, alpha);
+                prop_assert!(t >= seq / p as f64 - 1e-9);
+                prop_assert!(t <= seq + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Structural analysis of workflows.
+//!
+//! Topological ordering, level decomposition, critical path, degree of
+//! parallelism, and data-footprint accounting. These drive both the
+//! executor (ready-task discovery) and the experiment harness (e.g. the
+//! 1000Genomes footprint figures quoted in Section IV-C).
+
+use crate::graph::Workflow;
+use crate::ids::{FileId, TaskId};
+
+/// Classification of a file by its position in the DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// No producer: must be staged in before execution.
+    Input,
+    /// Produced and consumed within the workflow.
+    Intermediate,
+    /// Produced but never consumed: a workflow result.
+    Output,
+}
+
+impl Workflow {
+    /// Tasks in a valid topological order (dependencies first). Ties are
+    /// broken by task id, so the order is deterministic.
+    pub fn topological_order(&self) -> Vec<TaskId> {
+        let n = self.task_count();
+        let mut indeg = vec![0usize; n];
+        for t in self.tasks() {
+            indeg[t.id.index()] = self.dependencies(t.id).len();
+        }
+        // Min-heap on task id for determinism.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<TaskId>> = self
+            .tasks()
+            .iter()
+            .filter(|t| indeg[t.id.index()] == 0)
+            .map(|t| std::cmp::Reverse(t.id))
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(u)) = heap.pop() {
+            order.push(u);
+            for v in self.dependents(u) {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    heap.push(std::cmp::Reverse(v));
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "validated workflows are acyclic");
+        order
+    }
+
+    /// The level (longest dependency distance from a source) of every task.
+    pub fn levels(&self) -> Vec<usize> {
+        let mut level = vec![0usize; self.task_count()];
+        for &u in &self.topological_order() {
+            for v in self.dependents(u) {
+                level[v.index()] = level[v.index()].max(level[u.index()] + 1);
+            }
+        }
+        level
+    }
+
+    /// Number of levels (depth of the DAG); 0 for an empty workflow.
+    pub fn depth(&self) -> usize {
+        self.levels().iter().max().map_or(0, |m| m + 1)
+    }
+
+    /// Maximum number of tasks on one level — an upper bound on useful
+    /// task-level parallelism.
+    pub fn width(&self) -> usize {
+        let levels = self.levels();
+        let depth = self.depth();
+        let mut counts = vec![0usize; depth];
+        for l in levels {
+            counts[l] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+
+    /// The critical path: the dependency chain maximizing the sum of
+    /// `weight(task)`. Returns `(total weight, path)`.
+    pub fn critical_path(&self, weight: impl Fn(TaskId) -> f64) -> (f64, Vec<TaskId>) {
+        let order = self.topological_order();
+        let n = self.task_count();
+        let mut best = vec![0.0f64; n];
+        let mut pred: Vec<Option<TaskId>> = vec![None; n];
+        for &u in &order {
+            let w = weight(u);
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+            best[u.index()] += w;
+            for v in self.dependents(u) {
+                if best[u.index()] >= best[v.index()] {
+                    best[v.index()] = best[u.index()];
+                    pred[v.index()] = Some(u);
+                }
+            }
+        }
+        let Some((end, &total)) = best
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        else {
+            return (0.0, Vec::new());
+        };
+        let mut path = vec![TaskId::from_index(end)];
+        while let Some(p) = pred[path.last().unwrap().index()] {
+            path.push(p);
+        }
+        path.reverse();
+        (total, path)
+    }
+
+    /// Classifies a file as input, intermediate, or output.
+    pub fn classify_file(&self, file: FileId) -> FileClass {
+        match (self.producer(file), self.consumers(file).is_empty()) {
+            (None, _) => FileClass::Input,
+            (Some(_), false) => FileClass::Intermediate,
+            (Some(_), true) => FileClass::Output,
+        }
+    }
+
+    /// All workflow input files (no producer), in id order.
+    pub fn input_files(&self) -> Vec<FileId> {
+        self.files()
+            .iter()
+            .filter(|f| self.classify_file(f.id) == FileClass::Input)
+            .map(|f| f.id)
+            .collect()
+    }
+
+    /// All intermediate files, in id order.
+    pub fn intermediate_files(&self) -> Vec<FileId> {
+        self.files()
+            .iter()
+            .filter(|f| self.classify_file(f.id) == FileClass::Intermediate)
+            .map(|f| f.id)
+            .collect()
+    }
+
+    /// All workflow output files, in id order.
+    pub fn output_files(&self) -> Vec<FileId> {
+        self.files()
+            .iter()
+            .filter(|f| self.classify_file(f.id) == FileClass::Output)
+            .map(|f| f.id)
+            .collect()
+    }
+
+    /// Total bytes across all files — the workflow "data footprint"
+    /// (1000Genomes: ~67 GB).
+    pub fn data_footprint(&self) -> f64 {
+        self.files().iter().map(|f| f.size).sum()
+    }
+
+    /// Total bytes of input files (1000Genomes: ~52 GB, 77 % of the
+    /// footprint).
+    pub fn input_data_size(&self) -> f64 {
+        self.input_files()
+            .iter()
+            .map(|&f| self.file(f).size)
+            .sum()
+    }
+
+    /// Tasks with no dependencies (sources), in id order.
+    pub fn source_tasks(&self) -> Vec<TaskId> {
+        self.tasks()
+            .iter()
+            .filter(|t| self.dependencies(t.id).is_empty())
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Tasks with no dependents (sinks), in id order.
+    pub fn sink_tasks(&self) -> Vec<TaskId> {
+        self.tasks()
+            .iter()
+            .filter(|t| self.dependents(t.id).is_empty())
+            .map(|t| t.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WorkflowBuilder;
+
+    /// stage -> (r0 -> c0), (r1 -> c1): a two-pipeline SWarp-like shape.
+    fn two_pipelines() -> Workflow {
+        let mut b = WorkflowBuilder::new("mini-swarp");
+        let raw0 = b.add_file("raw0", 100.0);
+        let raw1 = b.add_file("raw1", 100.0);
+        let staged0 = b.add_file("staged0", 100.0);
+        let staged1 = b.add_file("staged1", 100.0);
+        let mid0 = b.add_file("mid0", 50.0);
+        let mid1 = b.add_file("mid1", 50.0);
+        let out0 = b.add_file("out0", 25.0);
+        let out1 = b.add_file("out1", 25.0);
+        b.task("stage")
+            .category("stage-in")
+            .inputs([raw0, raw1])
+            .outputs([staged0, staged1])
+            .add();
+        b.task("r0").category("resample").flops(10.0).pipeline(0).input(staged0).output(mid0).add();
+        b.task("c0").category("combine").flops(20.0).pipeline(0).input(mid0).output(out0).add();
+        b.task("r1").category("resample").flops(10.0).pipeline(1).input(staged1).output(mid1).add();
+        b.task("c1").category("combine").flops(20.0).pipeline(1).input(mid1).output(out1).add();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let wf = two_pipelines();
+        let order = wf.topological_order();
+        assert_eq!(order.len(), 5);
+        let pos = |name: &str| {
+            let id = wf.task_by_name(name).unwrap().id;
+            order.iter().position(|&t| t == id).unwrap()
+        };
+        assert!(pos("stage") < pos("r0"));
+        assert!(pos("r0") < pos("c0"));
+        assert!(pos("r1") < pos("c1"));
+    }
+
+    #[test]
+    fn levels_width_depth() {
+        let wf = two_pipelines();
+        assert_eq!(wf.depth(), 3);
+        assert_eq!(wf.width(), 2);
+        let levels = wf.levels();
+        assert_eq!(levels[wf.task_by_name("stage").unwrap().id.index()], 0);
+        assert_eq!(levels[wf.task_by_name("c1").unwrap().id.index()], 2);
+    }
+
+    #[test]
+    fn critical_path_follows_heavier_chain() {
+        let wf = two_pipelines();
+        let (total, path) = wf.critical_path(|t| wf.task(t).flops);
+        assert_eq!(total, 30.0); // 0 + 10 + 20
+        assert_eq!(path.len(), 3);
+        assert_eq!(wf.task(path[0]).name, "stage");
+    }
+
+    #[test]
+    fn file_classification() {
+        let wf = two_pipelines();
+        let raw = wf.file_by_name("raw0").unwrap().id;
+        let staged = wf.file_by_name("staged0").unwrap().id;
+        let out = wf.file_by_name("out0").unwrap().id;
+        assert_eq!(wf.classify_file(raw), FileClass::Input);
+        assert_eq!(wf.classify_file(staged), FileClass::Intermediate);
+        assert_eq!(wf.classify_file(out), FileClass::Output);
+        assert_eq!(wf.input_files().len(), 2);
+        assert_eq!(wf.intermediate_files().len(), 4);
+        assert_eq!(wf.output_files().len(), 2);
+    }
+
+    #[test]
+    fn footprint_sums_file_sizes() {
+        let wf = two_pipelines();
+        assert_eq!(wf.data_footprint(), 550.0);
+        assert_eq!(wf.input_data_size(), 200.0);
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let wf = two_pipelines();
+        let sources = wf.source_tasks();
+        assert_eq!(sources.len(), 1);
+        assert_eq!(wf.task(sources[0]).name, "stage");
+        let sinks = wf.sink_tasks();
+        assert_eq!(sinks.len(), 2);
+    }
+
+    #[test]
+    fn empty_workflow_analysis_is_sane() {
+        let wf = WorkflowBuilder::new("empty").build().unwrap();
+        assert_eq!(wf.depth(), 0);
+        assert_eq!(wf.width(), 0);
+        assert_eq!(wf.critical_path(|_| 1.0), (0.0, vec![]));
+        assert_eq!(wf.data_footprint(), 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random layered DAG: `layers` layers of up to `w` tasks, each task
+        /// consuming a random subset of the previous layer's outputs.
+        fn layered(
+            layers: usize,
+            w: usize,
+        ) -> impl Strategy<Value = Workflow> {
+            proptest::collection::vec(
+                proptest::collection::vec(proptest::bits::u8::ANY, 1..=w),
+                1..=layers,
+            )
+            .prop_map(|spec| {
+                let mut b = WorkflowBuilder::new("random");
+                let mut prev_outputs: Vec<crate::FileId> = Vec::new();
+                for (li, layer) in spec.iter().enumerate() {
+                    let mut outs = Vec::new();
+                    for (ti, mask) in layer.iter().enumerate() {
+                        let out = b.add_file(format!("f{li}_{ti}"), 1.0);
+                        let mut t = b.task(format!("t{li}_{ti}")).flops(1.0).output(out);
+                        for (pi, &pf) in prev_outputs.iter().enumerate() {
+                            if mask & (1 << (pi % 8)) != 0 {
+                                t = t.input(pf);
+                            }
+                        }
+                        t.add();
+                        outs.push(out);
+                    }
+                    prev_outputs = outs;
+                }
+                b.build().expect("layered DAGs are acyclic")
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn topo_order_is_a_valid_linearization(wf in layered(4, 5)) {
+                let order = wf.topological_order();
+                prop_assert_eq!(order.len(), wf.task_count());
+                let pos: std::collections::HashMap<_, _> =
+                    order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+                for t in wf.tasks() {
+                    for d in wf.dependencies(t.id) {
+                        prop_assert!(pos[&d] < pos[&t.id]);
+                    }
+                }
+            }
+
+            #[test]
+            fn critical_path_weight_bounds_total(wf in layered(4, 5)) {
+                let (cp, path) = wf.critical_path(|t| wf.task(t).flops);
+                let total: f64 = wf.tasks().iter().map(|t| t.flops).sum();
+                prop_assert!(cp <= total + 1e-9);
+                // The returned path is a dependency chain.
+                for w in path.windows(2) {
+                    prop_assert!(wf.dependencies(w[1]).contains(&w[0]));
+                }
+            }
+
+            #[test]
+            fn every_file_is_classified(wf in layered(3, 4)) {
+                let ins = wf.input_files().len();
+                let mids = wf.intermediate_files().len();
+                let outs = wf.output_files().len();
+                prop_assert_eq!(ins + mids + outs, wf.file_count());
+            }
+        }
+    }
+}

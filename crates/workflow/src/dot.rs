@@ -1,0 +1,145 @@
+//! Graphviz DOT export.
+//!
+//! Renders a workflow as a DOT digraph for inspection (tasks as boxes
+//! colored by category, files as ellipses sized in the label), matching
+//! the style of the paper's Figure 2/12 workflow diagrams.
+
+use std::fmt::Write as _;
+
+use crate::graph::Workflow;
+
+/// Stable color palette assigned to categories in first-seen order.
+const PALETTE: [&str; 8] = [
+    "#4C72B0", "#DD8452", "#55A868", "#C44E52", "#8172B3", "#937860", "#DA8BC3", "#8C8C8C",
+];
+
+impl Workflow {
+    /// Renders the workflow as a Graphviz DOT digraph.
+    ///
+    /// Tasks are boxes (one fill color per category); files are gray
+    /// ellipses labeled with their size; edges follow data flow
+    /// (producer → file → consumers).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "digraph \"{}\" {{", escape(&self.name)).unwrap();
+        writeln!(out, "  rankdir=TB;").unwrap();
+        writeln!(out, "  node [fontname=\"Helvetica\"];").unwrap();
+
+        // Category colors in first-seen order.
+        let mut colors: std::collections::HashMap<&str, &str> = Default::default();
+        for t in self.tasks() {
+            let next = colors.len() % PALETTE.len();
+            colors.entry(t.category.as_str()).or_insert(PALETTE[next]);
+        }
+
+        for t in self.tasks() {
+            writeln!(
+                out,
+                "  \"t{}\" [shape=box style=filled fillcolor=\"{}\" label=\"{}\\n({})\"];",
+                t.id.index(),
+                colors[t.category.as_str()],
+                escape(&t.name),
+                escape(&t.category),
+            )
+            .unwrap();
+        }
+        for f in self.files() {
+            writeln!(
+                out,
+                "  \"f{}\" [shape=ellipse style=filled fillcolor=\"#DDDDDD\" label=\"{}\\n{}\"];",
+                f.id.index(),
+                escape(&f.name),
+                human_size(f.size),
+            )
+            .unwrap();
+        }
+        for t in self.tasks() {
+            for &f in &t.inputs {
+                writeln!(out, "  \"f{}\" -> \"t{}\";", f.index(), t.id.index()).unwrap();
+            }
+            for &f in &t.outputs {
+                writeln!(out, "  \"t{}\" -> \"f{}\";", t.id.index(), f.index()).unwrap();
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn human_size(bytes: f64) -> String {
+    if bytes >= 1e9 {
+        format!("{:.1} GB", bytes / 1e9)
+    } else if bytes >= 1e6 {
+        format!("{:.1} MB", bytes / 1e6)
+    } else if bytes >= 1e3 {
+        format!("{:.1} kB", bytes / 1e3)
+    } else {
+        format!("{bytes:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::WorkflowBuilder;
+
+    fn sample() -> crate::graph::Workflow {
+        let mut b = WorkflowBuilder::new("dot-sample");
+        let fi = b.add_file("in.dat", 32e6);
+        let fo = b.add_file("out.dat", 1e9);
+        b.task("work").category("proc").input(fi).output(fo).add();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let dot = sample().to_dot();
+        assert!(dot.starts_with("digraph \"dot-sample\""));
+        assert!(dot.contains("\"t0\" [shape=box"));
+        assert!(dot.contains("\"f0\" [shape=ellipse"));
+        assert!(dot.contains("\"f0\" -> \"t0\";"));
+        assert!(dot.contains("\"t0\" -> \"f1\";"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn sizes_are_humanized() {
+        let dot = sample().to_dot();
+        assert!(dot.contains("32.0 MB"));
+        assert!(dot.contains("1.0 GB"));
+    }
+
+    #[test]
+    fn quotes_in_names_are_escaped() {
+        let mut b = WorkflowBuilder::new("quo\"ted");
+        b.task("task\"x").add();
+        let dot = b.build().unwrap().to_dot();
+        assert!(dot.contains("quo\\\"ted"));
+        assert!(dot.contains("task\\\"x"));
+    }
+
+    #[test]
+    fn categories_get_distinct_colors() {
+        let mut b = WorkflowBuilder::new("colors");
+        b.task("a").category("one").add();
+        b.task("b").category("two").add();
+        let dot = b.build().unwrap().to_dot();
+        let color_of = |task: &str| {
+            dot.lines()
+                .find(|l| l.contains(&format!("({task})")))
+                .and_then(|l| l.split("fillcolor=\"").nth(1))
+                .map(|rest| rest.split('"').next().unwrap().to_string())
+                .unwrap()
+        };
+        assert_ne!(color_of("one"), color_of("two"));
+    }
+
+    #[test]
+    fn balanced_braces() {
+        let dot = sample().to_dot();
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

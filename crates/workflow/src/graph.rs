@@ -1,0 +1,639 @@
+//! Workflow graph structure, builder, and validation.
+//!
+//! A workflow couples a set of [`Task`]s and a set of [`File`]s; task
+//! dependencies are *induced* by files (the paper's model): if task `u`
+//! produces file `f` and task `v` consumes `f`, then `v` depends on `u`.
+//! Files without a producer are workflow inputs (to be staged in); files
+//! without a consumer are workflow outputs.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{FileId, TaskId};
+
+/// A data file flowing through the workflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct File {
+    /// Handle of this file.
+    pub id: FileId,
+    /// Unique name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: f64,
+}
+
+/// A workflow task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Handle of this task.
+    pub id: TaskId,
+    /// Unique name.
+    pub name: String,
+    /// Task category ("stage-in", "resample", "combine", "sifting", ...),
+    /// used by calibration tables and placement policies.
+    pub category: String,
+    /// Sequential compute work, in flops (excluding I/O) — the `T_i^c(1)`
+    /// of Equation (4), multiplied by the reference platform's per-core
+    /// speed so it is platform-independent.
+    pub flops: f64,
+    /// Amdahl serial fraction `α_i` of Equation (2). The paper's simulator
+    /// assumes 0 (perfect speedup).
+    pub alpha: f64,
+    /// Number of cores the task requests.
+    pub cores: usize,
+    /// Input files.
+    pub inputs: Vec<FileId>,
+    /// Output files.
+    pub outputs: Vec<FileId>,
+    /// Pipeline index for embarrassingly-parallel pipeline workflows
+    /// (SWarp); `None` for tasks outside any pipeline.
+    pub pipeline: Option<usize>,
+}
+
+/// Validation errors raised by [`WorkflowBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// A file name was registered twice.
+    DuplicateFile(String),
+    /// A task name was registered twice.
+    DuplicateTask(String),
+    /// Two tasks claim to produce the same file.
+    MultipleProducers(String),
+    /// A task consumes one of its own outputs.
+    SelfLoop(String),
+    /// The induced dependency graph contains a cycle.
+    Cycle,
+    /// A task requests zero cores or has invalid numeric attributes.
+    InvalidTask(String),
+    /// A file has a negative or non-finite size.
+    InvalidFile(String),
+}
+
+impl std::fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkflowError::DuplicateFile(n) => write!(f, "duplicate file name {n:?}"),
+            WorkflowError::DuplicateTask(n) => write!(f, "duplicate task name {n:?}"),
+            WorkflowError::MultipleProducers(n) => {
+                write!(f, "file {n:?} is produced by more than one task")
+            }
+            WorkflowError::SelfLoop(n) => write!(f, "task {n:?} consumes its own output"),
+            WorkflowError::Cycle => write!(f, "workflow dependency graph contains a cycle"),
+            WorkflowError::InvalidTask(n) => write!(f, "task {n:?} has invalid attributes"),
+            WorkflowError::InvalidFile(n) => write!(f, "file {n:?} has invalid attributes"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// A validated workflow DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workflow {
+    /// Workflow name.
+    pub name: String,
+    tasks: Vec<Task>,
+    files: Vec<File>,
+    /// Producer task of each file, if any (index-aligned with `files`).
+    producers: Vec<Option<TaskId>>,
+    /// Consumer tasks of each file (index-aligned with `files`).
+    consumers: Vec<Vec<TaskId>>,
+}
+
+impl Workflow {
+    /// All tasks, indexed by [`TaskId::index`].
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// All files, indexed by [`FileId::index`].
+    pub fn files(&self) -> &[File] {
+        &self.files
+    }
+
+    /// A task by handle.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// A file by handle.
+    pub fn file(&self, id: FileId) -> &File {
+        &self.files[id.index()]
+    }
+
+    /// The task producing `file`, or `None` for workflow inputs.
+    pub fn producer(&self, file: FileId) -> Option<TaskId> {
+        self.producers[file.index()]
+    }
+
+    /// Tasks consuming `file`.
+    pub fn consumers(&self, file: FileId) -> &[TaskId] {
+        &self.consumers[file.index()]
+    }
+
+    /// Direct dependencies of `task`: producers of its inputs, deduplicated
+    /// and in ascending id order.
+    pub fn dependencies(&self, task: TaskId) -> Vec<TaskId> {
+        let mut deps: Vec<TaskId> = self.tasks[task.index()]
+            .inputs
+            .iter()
+            .filter_map(|f| self.producers[f.index()])
+            .collect();
+        deps.sort_unstable();
+        deps.dedup();
+        deps
+    }
+
+    /// Direct dependents of `task`: consumers of its outputs, deduplicated
+    /// and in ascending id order.
+    pub fn dependents(&self, task: TaskId) -> Vec<TaskId> {
+        let mut deps: Vec<TaskId> = self.tasks[task.index()]
+            .outputs
+            .iter()
+            .flat_map(|f| self.consumers[f.index()].iter().copied())
+            .collect();
+        deps.sort_unstable();
+        deps.dedup();
+        deps
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Looks a task up by name.
+    pub fn task_by_name(&self, name: &str) -> Option<&Task> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Looks a file up by name.
+    pub fn file_by_name(&self, name: &str) -> Option<&File> {
+        self.files.iter().find(|f| f.name == name)
+    }
+
+    /// Returns a copy of the workflow with the Amdahl serial fraction of
+    /// every task overridden by category (tasks whose category is not in
+    /// `alphas` are unchanged). Used by the measurement emulator, which
+    /// replaces the paper's perfect-speedup assumption with realistic
+    /// per-task scalability.
+    pub fn with_category_alphas(&self, alphas: &std::collections::HashMap<String, f64>) -> Workflow {
+        self.map_tasks(|t| {
+            if let Some(&a) = alphas.get(&t.category) {
+                t.alpha = a;
+            }
+        })
+    }
+
+    /// Returns a copy of the workflow with `f` applied to every task.
+    /// Numeric attributes are re-validated after the mapping.
+    ///
+    /// # Panics
+    /// Panics if the mapping produces invalid attributes (alpha outside
+    /// `[0, 1]`, non-finite flops, zero cores).
+    pub fn map_tasks(&self, mut f: impl FnMut(&mut Task)) -> Workflow {
+        let mut wf = self.clone();
+        for t in &mut wf.tasks {
+            f(t);
+            assert!(
+                (0.0..=1.0).contains(&t.alpha),
+                "mapped task {:?} has alpha {} outside [0, 1]",
+                t.name,
+                t.alpha
+            );
+            assert!(
+                t.flops.is_finite() && t.flops >= 0.0,
+                "mapped task {:?} has invalid flops {}",
+                t.name,
+                t.flops
+            );
+            assert!(t.cores >= 1, "mapped task {:?} has zero cores", t.name);
+        }
+        wf
+    }
+}
+
+/// Incremental workflow constructor.
+///
+/// ```
+/// use wfbb_workflow::WorkflowBuilder;
+///
+/// let mut b = WorkflowBuilder::new("demo");
+/// let input = b.add_file("in.dat", 1e6);
+/// let out = b.add_file("out.dat", 2e6);
+/// b.task("process")
+///     .category("proc")
+///     .flops(1e9)
+///     .cores(4)
+///     .input(input)
+///     .output(out)
+///     .add();
+/// let wf = b.build().unwrap();
+/// assert_eq!(wf.task_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkflowBuilder {
+    name: String,
+    tasks: Vec<Task>,
+    files: Vec<File>,
+    file_names: HashMap<String, FileId>,
+    task_names: HashMap<String, TaskId>,
+    error: Option<WorkflowError>,
+}
+
+impl WorkflowBuilder {
+    /// Starts a new workflow.
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkflowBuilder {
+            name: name.into(),
+            tasks: Vec::new(),
+            files: Vec::new(),
+            file_names: HashMap::new(),
+            task_names: HashMap::new(),
+            error: None,
+        }
+    }
+
+    /// Registers a file. Duplicate names surface as an error at
+    /// [`WorkflowBuilder::build`].
+    pub fn add_file(&mut self, name: impl Into<String>, size: f64) -> FileId {
+        let name = name.into();
+        let id = FileId::from_index(self.files.len());
+        if !(size.is_finite() && size >= 0.0) {
+            self.error
+                .get_or_insert(WorkflowError::InvalidFile(name.clone()));
+        }
+        if self.file_names.insert(name.clone(), id).is_some() {
+            self.error.get_or_insert(WorkflowError::DuplicateFile(name.clone()));
+        }
+        self.files.push(File { id, name, size });
+        id
+    }
+
+    /// Begins describing a task; finish with [`TaskBuilder::add`].
+    pub fn task(&mut self, name: impl Into<String>) -> TaskBuilder<'_> {
+        TaskBuilder {
+            builder: self,
+            name: name.into(),
+            category: String::new(),
+            flops: 0.0,
+            alpha: 0.0,
+            cores: 1,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            pipeline: None,
+        }
+    }
+
+    fn push_task(&mut self, task: Task) {
+        if self.task_names.insert(task.name.clone(), task.id).is_some() {
+            self.error
+                .get_or_insert(WorkflowError::DuplicateTask(task.name.clone()));
+        }
+        if task.cores == 0
+            || !(task.flops.is_finite() && task.flops >= 0.0)
+            || !(0.0..=1.0).contains(&task.alpha)
+        {
+            self.error
+                .get_or_insert(WorkflowError::InvalidTask(task.name.clone()));
+        }
+        self.tasks.push(task);
+    }
+
+    /// Validates and freezes the workflow.
+    pub fn build(self) -> Result<Workflow, WorkflowError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let nfiles = self.files.len();
+        let mut producers: Vec<Option<TaskId>> = vec![None; nfiles];
+        let mut consumers: Vec<Vec<TaskId>> = vec![Vec::new(); nfiles];
+        for t in &self.tasks {
+            for f in &t.outputs {
+                if producers[f.index()].is_some() {
+                    return Err(WorkflowError::MultipleProducers(
+                        self.files[f.index()].name.clone(),
+                    ));
+                }
+                producers[f.index()] = Some(t.id);
+            }
+        }
+        for t in &self.tasks {
+            for f in &t.inputs {
+                if producers[f.index()] == Some(t.id) {
+                    return Err(WorkflowError::SelfLoop(t.name.clone()));
+                }
+                consumers[f.index()].push(t.id);
+            }
+        }
+
+        let wf = Workflow {
+            name: self.name,
+            tasks: self.tasks,
+            files: self.files,
+            producers,
+            consumers,
+        };
+
+        // Kahn's algorithm detects cycles.
+        let n = wf.tasks.len();
+        let mut indeg = vec![0usize; n];
+        for t in &wf.tasks {
+            indeg[t.id.index()] = wf.dependencies(t.id).len();
+        }
+        let mut queue: Vec<TaskId> = wf
+            .tasks
+            .iter()
+            .filter(|t| indeg[t.id.index()] == 0)
+            .map(|t| t.id)
+            .collect();
+        let mut visited = 0usize;
+        while let Some(u) = queue.pop() {
+            visited += 1;
+            for v in wf.dependents(u) {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if visited != n {
+            return Err(WorkflowError::Cycle);
+        }
+        Ok(wf)
+    }
+}
+
+/// Fluent description of one task; created by [`WorkflowBuilder::task`].
+pub struct TaskBuilder<'a> {
+    builder: &'a mut WorkflowBuilder,
+    name: String,
+    category: String,
+    flops: f64,
+    alpha: f64,
+    cores: usize,
+    inputs: Vec<FileId>,
+    outputs: Vec<FileId>,
+    pipeline: Option<usize>,
+}
+
+impl TaskBuilder<'_> {
+    /// Sets the task category.
+    pub fn category(mut self, category: impl Into<String>) -> Self {
+        self.category = category.into();
+        self
+    }
+
+    /// Sets the sequential compute work in flops.
+    pub fn flops(mut self, flops: f64) -> Self {
+        self.flops = flops;
+        self
+    }
+
+    /// Sets the Amdahl serial fraction.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the requested core count.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Adds an input file.
+    pub fn input(mut self, file: FileId) -> Self {
+        self.inputs.push(file);
+        self
+    }
+
+    /// Adds several input files.
+    pub fn inputs(mut self, files: impl IntoIterator<Item = FileId>) -> Self {
+        self.inputs.extend(files);
+        self
+    }
+
+    /// Adds an output file.
+    pub fn output(mut self, file: FileId) -> Self {
+        self.outputs.push(file);
+        self
+    }
+
+    /// Adds several output files.
+    pub fn outputs(mut self, files: impl IntoIterator<Item = FileId>) -> Self {
+        self.outputs.extend(files);
+        self
+    }
+
+    /// Tags the task with a pipeline index.
+    pub fn pipeline(mut self, pipeline: usize) -> Self {
+        self.pipeline = Some(pipeline);
+        self
+    }
+
+    /// Finalizes the task and returns its handle.
+    ///
+    /// Duplicate entries in the input or output lists collapse to one
+    /// (reading a file is idempotent for dependency purposes, and a file
+    /// has a single producer), preserving first-occurrence order.
+    pub fn add(self) -> TaskId {
+        let id = TaskId::from_index(self.builder.tasks.len());
+        let task = Task {
+            id,
+            name: self.name,
+            category: self.category,
+            flops: self.flops,
+            alpha: self.alpha,
+            cores: self.cores,
+            inputs: dedup_preserving_order(self.inputs),
+            outputs: dedup_preserving_order(self.outputs),
+            pipeline: self.pipeline,
+        };
+        self.builder.push_task(task);
+        id
+    }
+}
+
+/// Removes duplicate ids, keeping the first occurrence of each.
+fn dedup_preserving_order(ids: Vec<FileId>) -> Vec<FileId> {
+    let mut seen = std::collections::HashSet::new();
+    ids.into_iter().filter(|f| seen.insert(*f)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Workflow {
+        // a -> b, a -> c, {b, c} -> d, connected through files.
+        let mut b = WorkflowBuilder::new("diamond");
+        let f_in = b.add_file("in", 10.0);
+        let f_ab = b.add_file("ab", 10.0);
+        let f_ac = b.add_file("ac", 10.0);
+        let f_bd = b.add_file("bd", 10.0);
+        let f_cd = b.add_file("cd", 10.0);
+        let f_out = b.add_file("out", 10.0);
+        b.task("a").input(f_in).output(f_ab).output(f_ac).add();
+        b.task("b").input(f_ab).output(f_bd).add();
+        b.task("c").input(f_ac).output(f_cd).add();
+        b.task("d").input(f_bd).input(f_cd).output(f_out).add();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_a_diamond() {
+        let wf = diamond();
+        assert_eq!(wf.task_count(), 4);
+        assert_eq!(wf.file_count(), 6);
+        let d = wf.task_by_name("d").unwrap();
+        let deps = wf.dependencies(d.id);
+        assert_eq!(deps.len(), 2);
+        let a = wf.task_by_name("a").unwrap();
+        assert_eq!(wf.dependents(a.id).len(), 2);
+        assert_eq!(wf.dependencies(a.id), vec![]);
+    }
+
+    #[test]
+    fn producer_and_consumers_are_tracked() {
+        let wf = diamond();
+        let f = wf.file_by_name("ab").unwrap();
+        assert_eq!(wf.producer(f.id), Some(wf.task_by_name("a").unwrap().id));
+        assert_eq!(wf.consumers(f.id), &[wf.task_by_name("b").unwrap().id]);
+        let input = wf.file_by_name("in").unwrap();
+        assert_eq!(wf.producer(input.id), None);
+    }
+
+    #[test]
+    fn duplicate_file_names_rejected() {
+        let mut b = WorkflowBuilder::new("bad");
+        b.add_file("f", 1.0);
+        b.add_file("f", 2.0);
+        assert_eq!(b.build().unwrap_err(), WorkflowError::DuplicateFile("f".into()));
+    }
+
+    #[test]
+    fn duplicate_task_names_rejected() {
+        let mut b = WorkflowBuilder::new("bad");
+        b.task("t").add();
+        b.task("t").add();
+        assert_eq!(b.build().unwrap_err(), WorkflowError::DuplicateTask("t".into()));
+    }
+
+    #[test]
+    fn multiple_producers_rejected() {
+        let mut b = WorkflowBuilder::new("bad");
+        let f = b.add_file("f", 1.0);
+        b.task("t1").output(f).add();
+        b.task("t2").output(f).add();
+        assert_eq!(
+            b.build().unwrap_err(),
+            WorkflowError::MultipleProducers("f".into())
+        );
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = WorkflowBuilder::new("bad");
+        let f = b.add_file("f", 1.0);
+        b.task("t").input(f).output(f).add();
+        assert_eq!(b.build().unwrap_err(), WorkflowError::SelfLoop("t".into()));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = WorkflowBuilder::new("bad");
+        let f1 = b.add_file("f1", 1.0);
+        let f2 = b.add_file("f2", 1.0);
+        b.task("t1").input(f2).output(f1).add();
+        b.task("t2").input(f1).output(f2).add();
+        assert_eq!(b.build().unwrap_err(), WorkflowError::Cycle);
+    }
+
+    #[test]
+    fn zero_core_task_rejected() {
+        let mut b = WorkflowBuilder::new("bad");
+        b.task("t").cores(0).add();
+        assert_eq!(b.build().unwrap_err(), WorkflowError::InvalidTask("t".into()));
+    }
+
+    #[test]
+    fn negative_file_size_rejected() {
+        let mut b = WorkflowBuilder::new("bad");
+        b.add_file("f", -1.0);
+        assert_eq!(b.build().unwrap_err(), WorkflowError::InvalidFile("f".into()));
+    }
+
+    #[test]
+    fn invalid_alpha_rejected() {
+        let mut b = WorkflowBuilder::new("bad");
+        b.task("t").alpha(2.0).add();
+        assert_eq!(b.build().unwrap_err(), WorkflowError::InvalidTask("t".into()));
+    }
+
+    #[test]
+    fn duplicate_file_references_collapse() {
+        let mut b = WorkflowBuilder::new("dups");
+        let f = b.add_file("f", 1.0);
+        let g = b.add_file("g", 1.0);
+        b.task("w").outputs([f, g]).add();
+        let t = b.task("r").inputs([f, f, g, f]).add();
+        let wf = b.build().unwrap();
+        assert_eq!(wf.task(t).inputs, vec![f, g]);
+    }
+
+    #[test]
+    fn pipeline_tags_are_preserved() {
+        let mut b = WorkflowBuilder::new("p");
+        b.task("t0").pipeline(3).add();
+        let wf = b.build().unwrap();
+        assert_eq!(wf.tasks()[0].pipeline, Some(3));
+    }
+
+    #[test]
+    fn map_tasks_rewrites_attributes() {
+        let wf = diamond();
+        let doubled = wf.map_tasks(|t| t.flops *= 2.0);
+        for (a, b) in wf.tasks().iter().zip(doubled.tasks()) {
+            assert_eq!(b.flops, a.flops * 2.0);
+        }
+        // Structure untouched.
+        assert_eq!(doubled.task_count(), wf.task_count());
+        assert_eq!(
+            doubled.dependencies(TaskId::from_index(3)),
+            wf.dependencies(TaskId::from_index(3))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn map_tasks_validates_alpha() {
+        let wf = diamond();
+        let _ = wf.map_tasks(|t| t.alpha = 2.0);
+    }
+
+    #[test]
+    fn category_alpha_overrides_apply_selectively() {
+        let mut b = WorkflowBuilder::new("alphas");
+        b.task("r").category("resample").add();
+        b.task("c").category("combine").add();
+        let wf = b.build().unwrap();
+        let mut alphas = std::collections::HashMap::new();
+        alphas.insert("combine".to_string(), 0.5);
+        let adjusted = wf.with_category_alphas(&alphas);
+        assert_eq!(adjusted.task_by_name("r").unwrap().alpha, 0.0);
+        assert_eq!(adjusted.task_by_name("c").unwrap().alpha, 0.5);
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        assert!(WorkflowError::Cycle.to_string().contains("cycle"));
+        assert!(WorkflowError::SelfLoop("x".into()).to_string().contains("x"));
+    }
+}

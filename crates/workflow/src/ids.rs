@@ -1,0 +1,69 @@
+//! Typed identifiers for workflow entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense handle to a task within one [`Workflow`](crate::Workflow).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TaskId(pub(crate) u32);
+
+impl TaskId {
+    /// Dense index of this task.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `TaskId` from a raw index (test/serialization helper).
+    pub fn from_index(index: usize) -> Self {
+        TaskId(u32::try_from(index).expect("task index overflows u32"))
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Dense handle to a file within one [`Workflow`](crate::Workflow).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct FileId(pub(crate) u32);
+
+impl FileId {
+    /// Dense index of this file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `FileId` from a raw index (test/serialization helper).
+    pub fn from_index(index: usize) -> Self {
+        FileId(u32::try_from(index).expect("file index overflows u32"))
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_indices() {
+        assert_eq!(TaskId::from_index(3).index(), 3);
+        assert_eq!(FileId::from_index(9).index(), 9);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(format!("{}", TaskId::from_index(1)), "T1");
+        assert_eq!(format!("{}", FileId::from_index(2)), "F2");
+    }
+}

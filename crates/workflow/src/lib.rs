@@ -1,0 +1,30 @@
+//! # wfbb-workflow — scientific workflow DAGs
+//!
+//! The paper's application model: a workflow is a directed acyclic graph in
+//! which vertices are tasks and edges are induced by the input/output files
+//! of those tasks. Each task carries its sequential compute work (flops), an
+//! Amdahl serial fraction, and the number of cores it requests; each file
+//! carries a size in bytes.
+//!
+//! * [`WorkflowBuilder`] constructs workflows and validates them (single
+//!   producer per file, acyclicity, valid references).
+//! * [`Workflow`] offers structural queries: topological order, levels,
+//!   critical path, data footprint, input/intermediate/output file
+//!   classification.
+//! * [`amdahl`] implements the speedup model of Equation (2).
+//! * [`io`] serializes workflows to/from a JSON format (our equivalent of
+//!   the WfFormat/DAX descriptions the paper's tooling consumes).
+
+pub mod amdahl;
+pub mod analysis;
+pub mod dot;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod lint;
+pub mod stats;
+pub mod wfcommons;
+
+pub use amdahl::{amdahl_speedup, amdahl_time};
+pub use graph::{File, Task, Workflow, WorkflowBuilder, WorkflowError};
+pub use ids::{FileId, TaskId};

@@ -1,0 +1,241 @@
+//! Workflow linting.
+//!
+//! Structural validity (acyclicity, single producers) is enforced at
+//! build time; this module reports the *suspicious-but-legal* patterns
+//! that typically indicate authoring mistakes in real traces — dangling
+//! files, zero-work tasks, dead-end data — so users can check imported
+//! workflows (e.g. WfCommons traces) before spending simulation time on
+//! them.
+
+use crate::graph::Workflow;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lint {
+    /// A file nothing produces and nothing reads.
+    OrphanFile {
+        /// The file's name.
+        file: String,
+    },
+    /// A task with no compute work and no file I/O at all.
+    EmptyTask {
+        /// The task's name.
+        task: String,
+    },
+    /// An intermediate file larger than all data its producer read —
+    /// legal, but often a unit mistake (MB vs bytes) in imported traces.
+    AmplifiedOutput {
+        /// The producing task.
+        task: String,
+        /// The suspicious output file.
+        file: String,
+        /// Output bytes divided by the producer's input bytes.
+        factor: f64,
+    },
+    /// A task whose requested cores exceed a typical node (>= 1024) —
+    /// usually an import artifact.
+    HugeCoreRequest {
+        /// The task's name.
+        task: String,
+        /// Requested cores.
+        cores: usize,
+    },
+    /// Tasks whose names differ only by an index but whose categories
+    /// disagree — usually a category-derivation mistake.
+    InconsistentCategory {
+        /// The category observed most often for the stem.
+        expected: String,
+        /// The deviating task.
+        task: String,
+    },
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lint::OrphanFile { file } => write!(f, "file {file:?} is never produced or read"),
+            Lint::EmptyTask { task } => {
+                write!(f, "task {task:?} has no compute work and no file I/O")
+            }
+            Lint::AmplifiedOutput { task, file, factor } => write!(
+                f,
+                "task {task:?} writes {file:?}, {factor:.0}x larger than everything it read"
+            ),
+            Lint::HugeCoreRequest { task, cores } => {
+                write!(f, "task {task:?} requests {cores} cores")
+            }
+            Lint::InconsistentCategory { expected, task } => write!(
+                f,
+                "task {task:?} deviates from its name-stem's usual category {expected:?}"
+            ),
+        }
+    }
+}
+
+/// Output-amplification factor above which a lint fires.
+const AMPLIFICATION_THRESHOLD: f64 = 1000.0;
+
+impl Workflow {
+    /// Scans the workflow for suspicious-but-legal patterns.
+    pub fn lint(&self) -> Vec<Lint> {
+        let mut findings = Vec::new();
+
+        for file in self.files() {
+            if self.producer(file.id).is_none() && self.consumers(file.id).is_empty() {
+                findings.push(Lint::OrphanFile {
+                    file: file.name.clone(),
+                });
+            }
+        }
+
+        for task in self.tasks() {
+            if task.flops == 0.0 && task.inputs.is_empty() && task.outputs.is_empty() {
+                findings.push(Lint::EmptyTask {
+                    task: task.name.clone(),
+                });
+            }
+            if task.cores >= 1024 {
+                findings.push(Lint::HugeCoreRequest {
+                    task: task.name.clone(),
+                    cores: task.cores,
+                });
+            }
+            let read: f64 = task.inputs.iter().map(|&f| self.file(f).size).sum();
+            if read > 0.0 {
+                for &out in &task.outputs {
+                    let size = self.file(out).size;
+                    if size > read * AMPLIFICATION_THRESHOLD {
+                        findings.push(Lint::AmplifiedOutput {
+                            task: task.name.clone(),
+                            file: self.file(out).name.clone(),
+                            factor: size / read,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Name stem vs category: group "foo_1"/"foo_2" by stem "foo".
+        let mut stems: std::collections::HashMap<&str, Vec<&crate::Task>> = Default::default();
+        for task in self.tasks() {
+            if let Some((stem, suffix)) = task.name.rsplit_once(['_', '.']) {
+                if suffix.chars().all(|c| c.is_ascii_digit()) && !stem.is_empty() {
+                    stems.entry(stem).or_default().push(task);
+                }
+            }
+        }
+        for tasks in stems.values() {
+            if tasks.len() < 2 {
+                continue;
+            }
+            let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+            for t in tasks {
+                *counts.entry(t.category.as_str()).or_default() += 1;
+            }
+            if counts.len() > 1 {
+                let (&expected, _) = counts
+                    .iter()
+                    .max_by_key(|(cat, &n)| (n, std::cmp::Reverse(cat.len())))
+                    .expect("non-empty");
+                for t in tasks {
+                    if t.category != expected {
+                        findings.push(Lint::InconsistentCategory {
+                            expected: expected.to_string(),
+                            task: t.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::WorkflowBuilder;
+
+    #[test]
+    fn clean_workflows_produce_no_findings() {
+        let mut b = WorkflowBuilder::new("clean");
+        let fi = b.add_file("in", 10.0);
+        let fo = b.add_file("out", 10.0);
+        b.task("t_1").category("t").flops(1.0).input(fi).output(fo).add();
+        assert!(b.build().unwrap().lint().is_empty());
+    }
+
+    #[test]
+    fn orphan_files_are_flagged() {
+        let mut b = WorkflowBuilder::new("orphan");
+        b.add_file("nobody", 5.0);
+        b.task("t").flops(1.0).add();
+        let findings = b.build().unwrap().lint();
+        assert!(findings
+            .iter()
+            .any(|l| matches!(l, Lint::OrphanFile { file } if file == "nobody")));
+    }
+
+    #[test]
+    fn empty_tasks_are_flagged() {
+        let mut b = WorkflowBuilder::new("empty");
+        b.task("noop").add();
+        let findings = b.build().unwrap().lint();
+        assert!(findings
+            .iter()
+            .any(|l| matches!(l, Lint::EmptyTask { task } if task == "noop")));
+    }
+
+    #[test]
+    fn amplified_outputs_are_flagged() {
+        let mut b = WorkflowBuilder::new("amp");
+        let small = b.add_file("small", 1.0);
+        let huge = b.add_file("huge", 1e7);
+        b.task("expander").flops(1.0).input(small).output(huge).add();
+        let findings = b.build().unwrap().lint();
+        assert!(findings.iter().any(|l| matches!(
+            l,
+            Lint::AmplifiedOutput { factor, .. } if *factor > 1e6
+        )));
+    }
+
+    #[test]
+    fn huge_core_requests_are_flagged() {
+        let mut b = WorkflowBuilder::new("cores");
+        b.task("monster").cores(4096).flops(1.0).add();
+        let findings = b.build().unwrap().lint();
+        assert!(findings
+            .iter()
+            .any(|l| matches!(l, Lint::HugeCoreRequest { cores: 4096, .. })));
+    }
+
+    #[test]
+    fn inconsistent_categories_are_flagged() {
+        let mut b = WorkflowBuilder::new("cats");
+        b.task("proc_1").category("process").flops(1.0).add();
+        b.task("proc_2").category("process").flops(1.0).add();
+        b.task("proc_3").category("oops").flops(1.0).add();
+        let findings = b.build().unwrap().lint();
+        assert!(findings.iter().any(|l| matches!(
+            l,
+            Lint::InconsistentCategory { task, expected }
+                if task == "proc_3" && expected == "process"
+        )));
+    }
+
+    #[test]
+    fn generators_are_lint_clean() {
+        // Our own generators must never trip their own linter.
+        let wf = crate::graph::WorkflowBuilder::new("x").build().unwrap();
+        assert!(wf.lint().is_empty());
+    }
+
+    #[test]
+    fn findings_display_readably() {
+        let l = Lint::OrphanFile { file: "f".into() };
+        assert!(l.to_string().contains("never produced"));
+        let l = Lint::HugeCoreRequest { task: "t".into(), cores: 2048 };
+        assert!(l.to_string().contains("2048"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Aggregate workflow statistics.
+//!
+//! Summaries that characterize a workflow's I/O profile the way the
+//! paper's Section III discusses access patterns: how much data moves at
+//! each DAG level, how read- or write-heavy each task category is, and
+//! the file-size distribution that determines whether a burst buffer mode
+//! is metadata- or bandwidth-bound.
+
+use std::collections::BTreeMap;
+
+use crate::graph::Workflow;
+
+/// Per-category I/O totals.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CategoryIo {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Total bytes read by the category.
+    pub bytes_read: f64,
+    /// Total bytes written by the category.
+    pub bytes_written: f64,
+    /// Total input file accesses (one per task-input pair).
+    pub reads: usize,
+    /// Total output file accesses.
+    pub writes: usize,
+}
+
+impl CategoryIo {
+    /// Mean size of a file access, bytes (0 when no accesses).
+    pub fn mean_access_size(&self) -> f64 {
+        let accesses = self.reads + self.writes;
+        if accesses > 0 {
+            (self.bytes_read + self.bytes_written) / accesses as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Summary statistics over file sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileSizeStats {
+    /// Number of files.
+    pub count: usize,
+    /// Smallest file, bytes.
+    pub min: f64,
+    /// Median file size, bytes.
+    pub median: f64,
+    /// Largest file, bytes.
+    pub max: f64,
+    /// Total bytes.
+    pub total: f64,
+}
+
+impl Workflow {
+    /// Per-category I/O profile, alphabetically ordered.
+    pub fn category_io(&self) -> BTreeMap<String, CategoryIo> {
+        let mut out: BTreeMap<String, CategoryIo> = BTreeMap::new();
+        for t in self.tasks() {
+            let entry = out.entry(t.category.clone()).or_default();
+            entry.tasks += 1;
+            for &f in &t.inputs {
+                entry.bytes_read += self.file(f).size;
+                entry.reads += 1;
+            }
+            for &f in &t.outputs {
+                entry.bytes_written += self.file(f).size;
+                entry.writes += 1;
+            }
+        }
+        out
+    }
+
+    /// Bytes read and written by tasks at each DAG level (index = level).
+    pub fn level_data_volumes(&self) -> Vec<(f64, f64)> {
+        let levels = self.levels();
+        let depth = self.depth();
+        let mut volumes = vec![(0.0, 0.0); depth];
+        for t in self.tasks() {
+            let level = levels[t.id.index()];
+            for &f in &t.inputs {
+                volumes[level].0 += self.file(f).size;
+            }
+            for &f in &t.outputs {
+                volumes[level].1 += self.file(f).size;
+            }
+        }
+        volumes
+    }
+
+    /// Distribution statistics over all file sizes.
+    ///
+    /// Returns `None` for a workflow without files.
+    pub fn file_size_stats(&self) -> Option<FileSizeStats> {
+        if self.files().is_empty() {
+            return None;
+        }
+        let mut sizes: Vec<f64> = self.files().iter().map(|f| f.size).collect();
+        sizes.sort_by(f64::total_cmp);
+        let count = sizes.len();
+        Some(FileSizeStats {
+            count,
+            min: sizes[0],
+            median: sizes[count / 2],
+            max: sizes[count - 1],
+            total: sizes.iter().sum(),
+        })
+    }
+
+    /// Total bytes accessed (each file counted once per reading/writing
+    /// task) — the workflow's I/O traffic if every access hits storage.
+    pub fn total_io_traffic(&self) -> f64 {
+        self.category_io()
+            .values()
+            .map(|c| c.bytes_read + c.bytes_written)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::WorkflowBuilder;
+
+    fn sample() -> crate::graph::Workflow {
+        // two readers of one 10-byte input; one writer of a 4-byte output.
+        let mut b = WorkflowBuilder::new("stats");
+        let input = b.add_file("in", 10.0);
+        let mid_a = b.add_file("mid_a", 6.0);
+        let mid_b = b.add_file("mid_b", 2.0);
+        let out = b.add_file("out", 4.0);
+        b.task("r1").category("read").input(input).output(mid_a).add();
+        b.task("r2").category("read").input(input).output(mid_b).add();
+        b.task("w").category("write").inputs([mid_a, mid_b]).output(out).add();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn category_io_sums_reads_and_writes() {
+        let wf = sample();
+        let io = wf.category_io();
+        let read = &io["read"];
+        assert_eq!(read.tasks, 2);
+        assert_eq!(read.bytes_read, 20.0, "the shared input is read twice");
+        assert_eq!(read.bytes_written, 8.0);
+        assert_eq!(read.reads, 2);
+        assert_eq!(read.writes, 2);
+        assert_eq!(read.mean_access_size(), 7.0);
+        let write = &io["write"];
+        assert_eq!(write.bytes_read, 8.0);
+        assert_eq!(write.bytes_written, 4.0);
+    }
+
+    #[test]
+    fn level_volumes_follow_the_dag() {
+        let wf = sample();
+        let volumes = wf.level_data_volumes();
+        assert_eq!(volumes.len(), 2);
+        assert_eq!(volumes[0], (20.0, 8.0));
+        assert_eq!(volumes[1], (8.0, 4.0));
+    }
+
+    #[test]
+    fn file_size_stats_are_order_statistics() {
+        let wf = sample();
+        let stats = wf.file_size_stats().unwrap();
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.min, 2.0);
+        assert_eq!(stats.max, 10.0);
+        assert_eq!(stats.median, 6.0);
+        assert_eq!(stats.total, 22.0);
+    }
+
+    #[test]
+    fn empty_workflow_has_no_size_stats() {
+        let wf = WorkflowBuilder::new("empty").build().unwrap();
+        assert!(wf.file_size_stats().is_none());
+        assert_eq!(wf.total_io_traffic(), 0.0);
+        assert!(wf.level_data_volumes().is_empty());
+    }
+
+    #[test]
+    fn total_traffic_counts_every_access() {
+        let wf = sample();
+        // reads: 10+10+6+2 = 28; writes: 6+2+4 = 12.
+        assert_eq!(wf.total_io_traffic(), 40.0);
+    }
+
+    #[test]
+    fn zero_access_category_has_zero_mean() {
+        let mut b = WorkflowBuilder::new("solo");
+        b.task("t").category("pure-compute").add();
+        let wf = b.build().unwrap();
+        assert_eq!(wf.category_io()["pure-compute"].mean_access_size(), 0.0);
+    }
+}

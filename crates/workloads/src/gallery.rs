@@ -1,0 +1,305 @@
+//! A gallery of classic scientific-workflow shapes.
+//!
+//! Beyond the paper's two applications, these parameterized generators
+//! model the structural archetypes of the Pegasus/WorkflowHub benchmark
+//! family the workflow-systems literature (including the paper's own
+//! community-resources citation \[44\]) evaluates against:
+//!
+//! * [`montage`] — astronomy mosaicking: a diamond of project → diff-fit
+//!   (pairwise overlaps) → background model/match → add;
+//! * [`epigenomics`] — genome methylation: many independent deep
+//!   pipelines (split → filter → map → merge per lane, then a global
+//!   merge);
+//! * [`cybershake`] — seismic hazard: two huge generator tasks fan out to
+//!   thousands of small seismogram/peak-value pairs.
+//!
+//! Sizes and compute times are order-of-magnitude realistic and, as
+//! everywhere in this workspace, explicit parameters — these generators
+//! exist to exercise placement policies and BB architectures on diverse
+//! I/O patterns (1:N, N:1, deep chains), not to reproduce any specific
+//! published run.
+
+use wfbb_workflow::{FileId, Workflow, WorkflowBuilder};
+
+/// Flops equivalent of `seconds` of sequential compute at the Cori
+/// per-core speed (the workspace's reference calibration).
+fn secs(seconds: f64) -> f64 {
+    seconds * wfbb_calibration::params::CORI.gflops_per_core * 1e9
+}
+
+/// Montage-like mosaicking workflow over `tiles` input images.
+///
+/// Structure: per tile a `project` task; per overlapping tile pair (ring
+/// topology) a `diff` task; one `bgmodel` gathering all diffs; per tile a
+/// `background` correction; one final `add`.
+pub fn montage(tiles: usize) -> Workflow {
+    assert!(tiles >= 2, "a mosaic needs at least two tiles");
+    let mut b = WorkflowBuilder::new(format!("montage-{tiles}"));
+    let mut projected: Vec<FileId> = Vec::with_capacity(tiles);
+    for i in 0..tiles {
+        let raw = b.add_file(format!("raw_{i}.fits"), 40e6);
+        let proj = b.add_file(format!("proj_{i}.fits"), 48e6);
+        b.task(format!("project_{i}"))
+            .category("project")
+            .flops(secs(12.0))
+            .cores(1)
+            .input(raw)
+            .output(proj)
+            .add();
+        projected.push(proj);
+    }
+    // Ring of overlaps: tile i overlaps tile (i+1) % tiles. The index
+    // arithmetic over the ring is clearer than an enumerate chain.
+    let mut fits: Vec<FileId> = Vec::with_capacity(tiles);
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..tiles {
+        let j = (i + 1) % tiles;
+        let fit = b.add_file(format!("fit_{i}_{j}.txt"), 0.5e6);
+        b.task(format!("diff_{i}_{j}"))
+            .category("diff")
+            .flops(secs(4.0))
+            .cores(1)
+            .inputs([projected[i], projected[j]])
+            .output(fit)
+            .add();
+        fits.push(fit);
+    }
+    let corrections = b.add_file("corrections.tbl", 1e6);
+    b.task("bgmodel")
+        .category("bgmodel")
+        .flops(secs(20.0))
+        .cores(4)
+        .inputs(fits)
+        .output(corrections)
+        .add();
+    let mut corrected: Vec<FileId> = Vec::with_capacity(tiles);
+    for (i, &proj) in projected.iter().enumerate() {
+        let out = b.add_file(format!("corr_{i}.fits"), 48e6);
+        b.task(format!("background_{i}"))
+            .category("background")
+            .flops(secs(6.0))
+            .cores(1)
+            .inputs([proj, corrections])
+            .output(out)
+            .add();
+        corrected.push(out);
+    }
+    let mosaic = b.add_file("mosaic.fits", 60e6 * tiles as f64 / 2.0);
+    b.task("add")
+        .category("add")
+        .flops(secs(30.0))
+        .cores(8)
+        .inputs(corrected)
+        .output(mosaic)
+        .add();
+    b.build().expect("montage generator emits valid workflows")
+}
+
+/// Epigenomics-like methylation workflow: `lanes` independent deep
+/// pipelines of `split → filter → map → merge`, then a global merge.
+pub fn epigenomics(lanes: usize, chunks_per_lane: usize) -> Workflow {
+    assert!(lanes >= 1 && chunks_per_lane >= 1, "need at least one lane/chunk");
+    let mut b = WorkflowBuilder::new(format!("epigenomics-{lanes}x{chunks_per_lane}"));
+    let mut lane_outputs = Vec::with_capacity(lanes);
+    for l in 0..lanes {
+        let reads = b.add_file(format!("lane{l}.fastq"), 400e6);
+        let mut mapped = Vec::with_capacity(chunks_per_lane);
+        let mut split_outs = Vec::with_capacity(chunks_per_lane);
+        for c in 0..chunks_per_lane {
+            split_outs.push(b.add_file(format!("lane{l}.chunk{c}"), 400e6 / chunks_per_lane as f64));
+        }
+        b.task(format!("split_{l}"))
+            .category("split")
+            .flops(secs(8.0))
+            .cores(1)
+            .pipeline(l)
+            .input(reads)
+            .outputs(split_outs.iter().copied())
+            .add();
+        for (c, &chunk) in split_outs.iter().enumerate() {
+            let filtered = b.add_file(format!("lane{l}.filt{c}"), 300e6 / chunks_per_lane as f64);
+            b.task(format!("filter_{l}_{c}"))
+                .category("filter")
+                .flops(secs(15.0))
+                .cores(1)
+                .pipeline(l)
+                .input(chunk)
+                .output(filtered)
+                .add();
+            let map = b.add_file(format!("lane{l}.map{c}"), 250e6 / chunks_per_lane as f64);
+            b.task(format!("map_{l}_{c}"))
+                .category("map")
+                .flops(secs(60.0))
+                .cores(2)
+                .pipeline(l)
+                .input(filtered)
+                .output(map)
+                .add();
+            mapped.push(map);
+        }
+        let merged = b.add_file(format!("lane{l}.merged"), 250e6);
+        b.task(format!("merge_{l}"))
+            .category("merge")
+            .flops(secs(10.0))
+            .cores(4)
+            .pipeline(l)
+            .inputs(mapped)
+            .output(merged)
+            .add();
+        lane_outputs.push(merged);
+    }
+    let genome_map = b.add_file("genome.methylation", 200e6 * lanes as f64 / 2.0);
+    b.task("global_merge")
+        .category("global_merge")
+        .flops(secs(25.0))
+        .cores(8)
+        .inputs(lane_outputs)
+        .output(genome_map)
+        .add();
+    b.build().expect("epigenomics generator emits valid workflows")
+}
+
+/// CyberShake-like seismic hazard workflow: two large strain-Green-tensor
+/// generators feed `sites` pairs of small seismogram/peak-value tasks.
+pub fn cybershake(sites: usize) -> Workflow {
+    assert!(sites >= 1, "need at least one site");
+    let mut b = WorkflowBuilder::new(format!("cybershake-{sites}"));
+    let mesh = b.add_file("velocity_mesh", 1.5e9);
+    let sgt_x = b.add_file("sgt_x", 3e9);
+    let sgt_y = b.add_file("sgt_y", 3e9);
+    b.task("sgt_gen_x")
+        .category("sgt_gen")
+        .flops(secs(400.0))
+        .cores(16)
+        .input(mesh)
+        .output(sgt_x)
+        .add();
+    b.task("sgt_gen_y")
+        .category("sgt_gen")
+        .flops(secs(400.0))
+        .cores(16)
+        .input(mesh)
+        .output(sgt_y)
+        .add();
+    for s in 0..sites {
+        let seis = b.add_file(format!("seismogram_{s}"), 2e6);
+        b.task(format!("synth_{s}"))
+            .category("seismogram")
+            .flops(secs(9.0))
+            .cores(1)
+            .inputs([sgt_x, sgt_y])
+            .output(seis)
+            .add();
+        let peak = b.add_file(format!("peakval_{s}"), 0.1e6);
+        b.task(format!("peak_{s}"))
+            .category("peak")
+            .flops(secs(1.5))
+            .cores(1)
+            .input(seis)
+            .output(peak)
+            .add();
+    }
+    b.build().expect("cybershake generator emits valid workflows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn montage_shape() {
+        let wf = montage(6);
+        // 6 project + 6 diff + 1 bgmodel + 6 background + 1 add.
+        assert_eq!(wf.task_count(), 20);
+        assert_eq!(wf.depth(), 5);
+        let bg = wf.task_by_name("bgmodel").unwrap();
+        assert_eq!(wf.dependencies(bg.id).len(), 6);
+        let add = wf.task_by_name("add").unwrap();
+        assert_eq!(wf.dependencies(add.id).len(), 6);
+        assert_eq!(wf.output_files().len(), 1);
+    }
+
+    #[test]
+    fn epigenomics_shape() {
+        let wf = epigenomics(3, 4);
+        // Per lane: 1 split + 4 filter + 4 map + 1 merge = 10; +1 global.
+        assert_eq!(wf.task_count(), 3 * 10 + 1);
+        assert_eq!(wf.depth(), 5);
+        // Lanes are tagged as pipelines for node affinity.
+        assert_eq!(wf.task_by_name("map_2_1").unwrap().pipeline, Some(2));
+        let gm = wf.task_by_name("global_merge").unwrap();
+        assert_eq!(wf.dependencies(gm.id).len(), 3);
+    }
+
+    #[test]
+    fn cybershake_shape() {
+        let wf = cybershake(50);
+        assert_eq!(wf.task_count(), 2 + 2 * 50);
+        assert_eq!(wf.depth(), 3);
+        // The N:1 pattern: every synth task reads both giant SGT files.
+        let sgt_x = wf.file_by_name("sgt_x").unwrap();
+        assert_eq!(wf.consumers(sgt_x.id).len(), 50);
+        assert!(wf.data_footprint() > 7e9);
+    }
+
+    #[test]
+    fn gallery_workflows_simulate_end_to_end() {
+        use wfbb_platform::presets;
+        use wfbb_storage::PlacementPolicy;
+        use wfbb_wms::SimulationBuilder;
+        for wf in [montage(4), epigenomics(2, 2), cybershake(8)] {
+            let report = SimulationBuilder::new(presets::summit(2), wf.clone())
+                .placement(PlacementPolicy::AllBb)
+                .run()
+                .unwrap_or_else(|e| panic!("{} failed: {e}", wf.name));
+            assert_eq!(report.tasks.len(), wf.task_count());
+            assert!(report.makespan.seconds() > 0.0);
+        }
+    }
+
+    #[test]
+    fn cybershake_benefits_from_striped_bb() {
+        // CyberShake's N:1 giant-shared-file pattern is what the striped
+        // mode is built for — opposite of SWarp (paper Section III-D).
+        use wfbb_platform::{presets, BbMode};
+        use wfbb_storage::PlacementPolicy;
+        use wfbb_wms::SimulationBuilder;
+        let wf = cybershake(32);
+        let private = SimulationBuilder::new(presets::cori(1, BbMode::Private), wf.clone())
+            .placement(PlacementPolicy::AllBb)
+            .run()
+            .unwrap();
+        let striped = SimulationBuilder::new(presets::cori(1, BbMode::Striped), wf)
+            .placement(PlacementPolicy::AllBb)
+            .run()
+            .unwrap();
+        assert!(
+            striped.makespan < private.makespan,
+            "striped should win the N:1 pattern: {} !< {}",
+            striped.makespan,
+            private.makespan
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn generators_always_validate(
+                tiles in 2usize..10,
+                lanes in 1usize..5,
+                chunks in 1usize..5,
+                sites in 1usize..30,
+            ) {
+                let m = montage(tiles);
+                prop_assert_eq!(m.topological_order().len(), m.task_count());
+                let e = epigenomics(lanes, chunks);
+                prop_assert_eq!(e.topological_order().len(), e.task_count());
+                let c = cybershake(sites);
+                prop_assert_eq!(c.topological_order().len(), c.task_count());
+            }
+        }
+    }
+}

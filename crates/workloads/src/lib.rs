@@ -1,0 +1,25 @@
+//! # wfbb-workloads — workflow generators
+//!
+//! Generators for the two applications the paper studies plus generic DAG
+//! patterns for testing and exploration:
+//!
+//! * [`swarp`] — the SWarp cosmology workflow (Figure 2): a sequential
+//!   stage-in followed by embarrassingly parallel pipelines of
+//!   `Resample → Combine`, 16 input images (32 MiB) and 16 weight maps
+//!   (16 MiB) per pipeline, calibrated from the observed task times and
+//!   λ values in `wfbb-calibration`;
+//! * [`genomes`] — the 1000Genomes workflow (Figure 12): per-chromosome
+//!   fork–join lattices (individuals → merge; sifting) feeding
+//!   mutation-overlap and frequency tasks, sized to the paper's instance
+//!   (22 chromosomes, 903 tasks, ~67 GB footprint, ~52 GB input);
+//! * [`patterns`] — chains, fork–joins, and seeded random layered DAGs;
+//! * [`gallery`] — classic workflow archetypes (Montage, Epigenomics,
+//!   CyberShake) for exercising diverse I/O patterns.
+
+pub mod gallery;
+pub mod genomes;
+pub mod patterns;
+pub mod swarp;
+
+pub use genomes::GenomesConfig;
+pub use swarp::SwarpConfig;

@@ -1,0 +1,167 @@
+//! Generic workflow patterns.
+//!
+//! Simple parameterized DAG shapes for tests, examples, and exploration
+//! beyond the paper's two applications: linear chains, fork–joins, and
+//! seeded random layered DAGs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wfbb_workflow::{Workflow, WorkflowBuilder};
+
+/// A linear chain of `length` tasks, each passing one file of
+/// `file_size` bytes to the next; each task carries `flops` of work.
+pub fn chain(length: usize, file_size: f64, flops: f64) -> Workflow {
+    assert!(length >= 1, "a chain needs at least one task");
+    let mut b = WorkflowBuilder::new(format!("chain-{length}"));
+    let mut prev = b.add_file("chain_in", file_size);
+    for i in 0..length {
+        let out = b.add_file(format!("chain_{i}"), file_size);
+        b.task(format!("stage_{i}"))
+            .category("chain")
+            .flops(flops)
+            .input(prev)
+            .output(out)
+            .add();
+        prev = out;
+    }
+    b.build().expect("chains are valid workflows")
+}
+
+/// A fork–join: one `split` task fans out to `width` workers whose
+/// outputs a `join` task merges.
+pub fn fork_join(width: usize, file_size: f64, flops: f64) -> Workflow {
+    assert!(width >= 1, "a fork-join needs at least one branch");
+    let mut b = WorkflowBuilder::new(format!("forkjoin-{width}"));
+    let input = b.add_file("fj_in", file_size);
+    let mut branch_inputs = Vec::with_capacity(width);
+    for i in 0..width {
+        branch_inputs.push(b.add_file(format!("fj_split_{i}"), file_size / width as f64));
+    }
+    b.task("split")
+        .category("split")
+        .flops(flops)
+        .input(input)
+        .outputs(branch_inputs.iter().copied())
+        .add();
+    let mut branch_outputs = Vec::with_capacity(width);
+    for (i, f) in branch_inputs.into_iter().enumerate() {
+        let out = b.add_file(format!("fj_work_{i}"), file_size / width as f64);
+        b.task(format!("work_{i}"))
+            .category("work")
+            .flops(flops)
+            .input(f)
+            .output(out)
+            .add();
+        branch_outputs.push(out);
+    }
+    let result = b.add_file("fj_out", file_size);
+    b.task("join")
+        .category("join")
+        .flops(flops)
+        .inputs(branch_outputs)
+        .output(result)
+        .add();
+    b.build().expect("fork-joins are valid workflows")
+}
+
+/// A seeded random layered DAG: `layers` layers of 1..=`max_width` tasks;
+/// each task consumes 1–3 outputs of the previous layer (when one exists)
+/// and produces one file. Deterministic in `seed`.
+pub fn random_layered(layers: usize, max_width: usize, seed: u64) -> Workflow {
+    assert!(layers >= 1 && max_width >= 1, "need at least one task");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = WorkflowBuilder::new(format!("random-{layers}x{max_width}-{seed}"));
+    let mut prev_outputs: Vec<wfbb_workflow::FileId> = Vec::new();
+    for l in 0..layers {
+        let width = rng.gen_range(1..=max_width);
+        let mut outs = Vec::with_capacity(width);
+        for t in 0..width {
+            let size = rng.gen_range(1e6..64e6);
+            let out = b.add_file(format!("r{l}_{t}.dat"), size);
+            let mut task = b
+                .task(format!("task_{l}_{t}"))
+                .category(format!("layer{l}"))
+                .flops(rng.gen_range(1e9..1e12))
+                .cores(rng.gen_range(1..=8))
+                .output(out);
+            if !prev_outputs.is_empty() {
+                let fan_in = rng.gen_range(1..=3.min(prev_outputs.len()));
+                for _ in 0..fan_in {
+                    let pick = prev_outputs[rng.gen_range(0..prev_outputs.len())];
+                    task = task.input(pick);
+                }
+            }
+            task.add();
+            outs.push(out);
+        }
+        prev_outputs = outs;
+    }
+    b.build().expect("layered DAGs are valid workflows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_linear() {
+        let wf = chain(5, 1e6, 1e9);
+        assert_eq!(wf.task_count(), 5);
+        assert_eq!(wf.depth(), 5);
+        assert_eq!(wf.width(), 1);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let wf = fork_join(6, 12e6, 1e9);
+        assert_eq!(wf.task_count(), 8);
+        assert_eq!(wf.depth(), 3);
+        assert_eq!(wf.width(), 6);
+        let join = wf.task_by_name("join").unwrap();
+        assert_eq!(wf.dependencies(join.id).len(), 6);
+    }
+
+    #[test]
+    fn random_layered_is_deterministic_in_seed() {
+        let a = random_layered(4, 5, 42);
+        let b = random_layered(4, 5, 42);
+        assert_eq!(a.to_json(), b.to_json());
+        let c = random_layered(4, 5, 43);
+        assert_ne!(a.to_json(), c.to_json());
+    }
+
+    #[test]
+    fn random_layered_respects_bounds() {
+        let wf = random_layered(6, 4, 7);
+        assert!(wf.depth() <= 6);
+        assert!(wf.width() <= 4);
+        assert!(wf.task_count() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_length_chain_rejected() {
+        let _ = chain(0, 1.0, 1.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn random_dags_are_always_valid(
+                layers in 1usize..6,
+                width in 1usize..6,
+                seed in 0u64..1000,
+            ) {
+                let wf = random_layered(layers, width, seed);
+                // build() already validates; exercise the analyses too.
+                prop_assert_eq!(wf.topological_order().len(), wf.task_count());
+                let (cp, _) = wf.critical_path(|t| wf.task(t).flops);
+                prop_assert!(cp > 0.0);
+            }
+        }
+    }
+}

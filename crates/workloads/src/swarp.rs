@@ -1,0 +1,251 @@
+//! The SWarp cosmology workflow (paper Figure 2).
+//!
+//! Each pipeline resamples 16 raw images (32 MiB) guided by 16 weight maps
+//! (16 MiB) and combines the resampled products into one co-added image.
+//! The workflow is thousands of such pipelines in production; experiments
+//! sweep 1–32 of them. Input files are interleaved (image, weight, image,
+//! ...) so the paper's "% of files staged" knob selects a byte-balanced
+//! subset under the stride placement policy.
+//!
+//! Task compute work is calibrated from the observed execution times via
+//! Equation (4) (see `wfbb_calibration::params`), scaled linearly when a
+//! pipeline processes a non-default number of images.
+
+use wfbb_calibration::params;
+use wfbb_workflow::{Workflow, WorkflowBuilder};
+
+/// Mebibyte, in bytes (the paper gives SWarp file sizes in MiB).
+const MIB: f64 = 1024.0 * 1024.0;
+
+/// Configuration of a SWarp instance.
+#[derive(Debug, Clone)]
+pub struct SwarpConfig {
+    /// Number of parallel pipelines.
+    pub pipelines: usize,
+    /// Cores requested by each Resample/Combine task.
+    pub cores_per_task: usize,
+    /// Raw images (and weight maps) per pipeline.
+    pub images_per_pipeline: usize,
+    /// Size of one raw image, bytes (32 MiB in the paper).
+    pub image_size: f64,
+    /// Size of one weight map, bytes (16 MiB in the paper).
+    pub weight_size: f64,
+    /// Size of the final co-added image a Combine task writes, bytes.
+    pub coadd_size: f64,
+    /// Sequential compute work of one Resample task, flops.
+    pub resample_flops: f64,
+    /// Sequential compute work of one Combine task, flops.
+    pub combine_flops: f64,
+    /// Amdahl serial fraction for Resample (0 in the paper's model).
+    pub resample_alpha: f64,
+    /// Amdahl serial fraction for Combine (0 in the paper's model).
+    pub combine_alpha: f64,
+}
+
+impl SwarpConfig {
+    /// A paper-faithful instance with `pipelines` pipelines: 16 images +
+    /// 16 weight maps per pipeline, 32-core tasks, compute work derived
+    /// from the calibrated observations on Cori.
+    pub fn new(pipelines: usize) -> Self {
+        let gf = params::CORI.gflops_per_core;
+        SwarpConfig {
+            pipelines,
+            cores_per_task: 32,
+            images_per_pipeline: 16,
+            image_size: 32.0 * MIB,
+            weight_size: 16.0 * MIB,
+            coadd_size: 64.0 * MIB,
+            resample_flops: params::swarp_resample().flops(gf),
+            combine_flops: params::swarp_combine().flops(gf),
+            resample_alpha: 0.0,
+            combine_alpha: 0.0,
+        }
+    }
+
+    /// Sets the per-task core count (the Figure 6 sweep).
+    pub fn with_cores_per_task(mut self, cores: usize) -> Self {
+        self.cores_per_task = cores;
+        self
+    }
+
+    /// Sets the images (and weight maps) per pipeline; compute work scales
+    /// proportionally.
+    pub fn with_images_per_pipeline(mut self, images: usize) -> Self {
+        let scale = images as f64 / self.images_per_pipeline as f64;
+        self.resample_flops *= scale;
+        self.combine_flops *= scale;
+        self.images_per_pipeline = images;
+        self
+    }
+
+    /// Overrides the per-category Amdahl fractions (the measurement
+    /// emulator path injects these through
+    /// `Workflow::with_category_alphas` instead).
+    pub fn with_alphas(mut self, resample: f64, combine: f64) -> Self {
+        self.resample_alpha = resample;
+        self.combine_alpha = combine;
+        self
+    }
+
+    /// Total input bytes of the instance.
+    pub fn input_bytes(&self) -> f64 {
+        self.pipelines as f64
+            * self.images_per_pipeline as f64
+            * (self.image_size + self.weight_size)
+    }
+
+    /// Builds the workflow.
+    pub fn build(&self) -> Workflow {
+        let mut b = WorkflowBuilder::new(format!("swarp-{}p", self.pipelines));
+        for p in 0..self.pipelines {
+            let mut inputs = Vec::with_capacity(2 * self.images_per_pipeline);
+            let mut mids = Vec::with_capacity(2 * self.images_per_pipeline);
+            // Interleave image/weight so stride staging is byte-balanced.
+            for j in 0..self.images_per_pipeline {
+                inputs.push(b.add_file(format!("p{p}_img{j}.fits"), self.image_size));
+                inputs.push(b.add_file(format!("p{p}_wmap{j}.fits"), self.weight_size));
+            }
+            for j in 0..self.images_per_pipeline {
+                mids.push(b.add_file(format!("p{p}_rimg{j}.fits"), self.image_size));
+                mids.push(b.add_file(format!("p{p}_rwmap{j}.fits"), self.weight_size));
+            }
+            let coadd = b.add_file(format!("p{p}_coadd.fits"), self.coadd_size);
+            b.task(format!("resample_{p}"))
+                .category("resample")
+                .flops(self.resample_flops)
+                .alpha(self.resample_alpha)
+                .cores(self.cores_per_task)
+                .pipeline(p)
+                .inputs(inputs)
+                .outputs(mids.iter().copied())
+                .add();
+            b.task(format!("combine_{p}"))
+                .category("combine")
+                .flops(self.combine_flops)
+                .alpha(self.combine_alpha)
+                .cores(self.cores_per_task)
+                .pipeline(p)
+                .inputs(mids)
+                .output(coadd)
+                .add();
+        }
+        b.build().expect("SWarp generator emits valid workflows")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_instance_matches_the_paper() {
+        let config = SwarpConfig::new(1);
+        let wf = config.build();
+        assert_eq!(wf.task_count(), 2);
+        // 16 images + 16 weights in, the same resampled, 1 co-add out.
+        assert_eq!(wf.file_count(), 32 + 32 + 1);
+        assert_eq!(wf.input_files().len(), 32);
+        assert_eq!(wf.intermediate_files().len(), 32);
+        assert_eq!(wf.output_files().len(), 1);
+        assert_eq!(config.input_bytes(), 16.0 * (32.0 + 16.0) * MIB);
+    }
+
+    #[test]
+    fn pipelines_are_independent() {
+        let wf = SwarpConfig::new(4).build();
+        assert_eq!(wf.task_count(), 8);
+        assert_eq!(wf.width(), 4, "resample tasks of all pipelines can run together");
+        assert_eq!(wf.depth(), 2);
+        // No cross-pipeline dependencies.
+        for t in wf.tasks() {
+            for d in wf.dependencies(t.id) {
+                assert_eq!(wf.task(d).pipeline, t.pipeline);
+            }
+        }
+    }
+
+    #[test]
+    fn combine_depends_on_resample() {
+        let wf = SwarpConfig::new(1).build();
+        let combine = wf.task_by_name("combine_0").unwrap();
+        let deps = wf.dependencies(combine.id);
+        assert_eq!(deps.len(), 1);
+        assert_eq!(wf.task(deps[0]).name, "resample_0");
+    }
+
+    #[test]
+    fn compute_work_comes_from_the_calibration() {
+        let config = SwarpConfig::new(1);
+        let expected =
+            wfbb_calibration::params::swarp_resample().flops(wfbb_calibration::params::CORI.gflops_per_core);
+        assert_eq!(config.resample_flops, expected);
+        let wf = config.build();
+        assert_eq!(wf.task_by_name("resample_0").unwrap().flops, expected);
+    }
+
+    #[test]
+    fn image_count_scales_compute_work() {
+        let base = SwarpConfig::new(1);
+        let double = SwarpConfig::new(1).with_images_per_pipeline(32);
+        assert!((double.resample_flops / base.resample_flops - 2.0).abs() < 1e-12);
+        let wf = double.build();
+        assert_eq!(wf.input_files().len(), 64);
+    }
+
+    #[test]
+    fn cores_knob_reaches_the_tasks() {
+        let wf = SwarpConfig::new(1).with_cores_per_task(8).build();
+        for t in wf.tasks() {
+            assert_eq!(t.cores, 8);
+        }
+    }
+
+    #[test]
+    fn interleaved_inputs_balance_staged_bytes() {
+        // Staging 50 % of the input files by stride must stage close to
+        // 50 % of the input bytes (because images and weights alternate).
+        use wfbb_storage::{PlacementPolicy, Tier};
+        let config = SwarpConfig::new(1);
+        let wf = config.build();
+        let plan = PlacementPolicy::FractionToBb { fraction: 0.5 }.plan(&wf);
+        let staged: f64 = wf
+            .input_files()
+            .iter()
+            .filter(|&&f| plan.tier(f) == Tier::BurstBuffer)
+            .map(|&f| wf.file(f).size)
+            .sum();
+        let share = staged / config.input_bytes();
+        assert!((share - 0.5).abs() < 0.17, "staged byte share {share}");
+    }
+
+    #[test]
+    fn large_instance_builds_quickly_and_validly() {
+        let wf = SwarpConfig::new(32).build();
+        assert_eq!(wf.task_count(), 64);
+        assert_eq!(wf.input_files().len(), 32 * 32);
+        assert_eq!(wf.topological_order().len(), 64);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn generator_is_structurally_sound(
+                pipelines in 1usize..12,
+                images in 1usize..24,
+                cores in 1usize..64,
+            ) {
+                let wf = SwarpConfig::new(pipelines)
+                    .with_images_per_pipeline(images)
+                    .with_cores_per_task(cores)
+                    .build();
+                prop_assert_eq!(wf.task_count(), 2 * pipelines);
+                prop_assert_eq!(wf.input_files().len(), 2 * images * pipelines);
+                prop_assert_eq!(wf.output_files().len(), pipelines);
+                prop_assert_eq!(wf.depth(), 2);
+            }
+        }
+    }
+}

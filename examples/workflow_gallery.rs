@@ -1,0 +1,72 @@
+//! Tour of workflow archetypes across the burst buffer architectures.
+//!
+//! Runs Montage (diamond), Epigenomics (deep parallel pipelines),
+//! CyberShake (N:1 giant shared files), and SWarp (1:N small files) on
+//! the paper's three configurations, showing how the best architecture
+//! depends on the I/O pattern — the paper's central observation,
+//! generalized beyond its two applications.
+//!
+//! ```sh
+//! cargo run --release --example workflow_gallery
+//! ```
+
+use wfbb::prelude::*;
+use wfbb::workloads::gallery;
+
+fn main() {
+    let workloads: Vec<(&str, wfbb::workflow::Workflow)> = vec![
+        ("swarp (1:N small files)", SwarpConfig::new(8).with_cores_per_task(4).build()),
+        ("montage (diamond)", gallery::montage(16)),
+        ("epigenomics (deep pipelines)", gallery::epigenomics(4, 8)),
+        ("cybershake (N:1 giant files)", gallery::cybershake(64)),
+    ];
+    let platforms = [
+        ("cori-private", presets::cori(1, BbMode::Private)),
+        ("cori-striped", presets::cori(1, BbMode::Striped)),
+        ("summit", presets::summit(1)),
+    ];
+
+    println!(
+        "{:<30} {:>8} {:>9} | {:>13} {:>13} {:>13}",
+        "workflow", "tasks", "data GB", "private (s)", "striped (s)", "on-node (s)"
+    );
+    for (label, wf) in &workloads {
+        let mut cells = Vec::new();
+        for (_, platform) in &platforms {
+            let report = SimulationBuilder::new(platform.clone(), wf.clone())
+                .placement(PlacementPolicy::AllBb)
+                .run()
+                .expect("simulation runs");
+            cells.push(report.makespan.seconds());
+        }
+        println!(
+            "{:<30} {:>8} {:>9.1} | {:>13.1} {:>13.1} {:>13.1}",
+            label,
+            wf.task_count(),
+            wf.data_footprint() / 1e9,
+            cells[0],
+            cells[1],
+            cells[2]
+        );
+    }
+
+    println!();
+    println!("Patterns to notice (all emergent from the model):");
+    println!("  - on-node wins everywhere it fits (no network, no shared metadata);");
+    println!("  - striped collapses on SWarp's many small files but competes on");
+    println!("    CyberShake's two giant N:1 files (the paper's access-pattern rule);");
+    println!("  - deep pipelines (epigenomics) care less: compute hides I/O.");
+
+    // Bonus: the I/O profile that explains the table, via workflow stats.
+    println!();
+    println!("{:<30} {:>14} {:>16}", "workflow", "files", "median file size");
+    for (label, wf) in &workloads {
+        let stats = wf.file_size_stats().expect("non-empty workflows");
+        println!(
+            "{:<30} {:>14} {:>13.1} MB",
+            label,
+            stats.count,
+            stats.median / 1e6
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! # wfbb — Workflow executions on HPC platforms with Burst Buffers
+//!
+//! A from-scratch Rust reproduction of Pottier, Ferreira da Silva, Casanova,
+//! and Deelman, *"Modeling the Performance of Scientific Workflow Executions
+//! on HPC Platforms with Burst Buffers"* (IEEE CLUSTER 2020).
+//!
+//! This facade crate re-exports the full stack:
+//!
+//! * [`simcore`] — discrete-event fluid simulation kernel (max–min fair
+//!   bandwidth sharing, the SimGrid-style substrate);
+//! * [`platform`] — HPC platform descriptions (compute nodes, interconnect,
+//!   PFS, burst buffers) with Cori and Summit presets;
+//! * [`workflow`] — workflow DAGs (tasks, files, dependencies, Amdahl
+//!   speedup model);
+//! * [`storage`] — storage services: parallel file system, shared burst
+//!   buffers (private/striped modes), on-node burst buffers, and file
+//!   placement policies;
+//! * [`wms`] — the workflow management system that executes a workflow on a
+//!   platform through the simulator;
+//! * [`calibration`] — the paper's calibration model (Equations 1–4,
+//!   Table I constants) plus digitized measured data and the measurement
+//!   emulator used in place of real Cori/Summit runs;
+//! * [`workloads`] — SWarp and 1000Genomes workflow generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wfbb::prelude::*;
+//!
+//! // A Cori-like platform with 1 compute node and a shared burst buffer in
+//! // private mode.
+//! let platform = presets::cori(1, BbMode::Private);
+//! // One SWarp pipeline, 32 cores per task, everything staged to the BB.
+//! let workflow = SwarpConfig::new(1).with_cores_per_task(32).build();
+//! let placement = PlacementPolicy::FractionToBb { fraction: 1.0 };
+//! let report = SimulationBuilder::new(platform, workflow)
+//!     .placement(placement)
+//!     .run()
+//!     .expect("simulation runs");
+//! assert!(report.makespan.seconds() > 0.0);
+//! ```
+
+pub use wfbb_calibration as calibration;
+pub use wfbb_platform as platform;
+pub use wfbb_simcore as simcore;
+pub use wfbb_storage as storage;
+pub use wfbb_wms as wms;
+pub use wfbb_workflow as workflow;
+pub use wfbb_workloads as workloads;
+
+/// Convenience re-exports of the most frequently used types.
+pub mod prelude {
+    pub use wfbb_calibration::emulator::{Emulator, EmulatorConfig};
+    pub use wfbb_calibration::model::{amdahl_time, sequential_compute_time, CalibratedTask};
+    pub use wfbb_calibration::params::{CORI, SUMMIT};
+    pub use wfbb_platform::{presets, BbArchitecture, BbMode, PlatformSpec};
+    pub use wfbb_simcore::{Engine, FlowSpec, SimTime};
+    pub use wfbb_storage::{PlacementPolicy, StorageKind, Tier};
+    pub use wfbb_wms::{SimulationBuilder, SimulationReport};
+    pub use wfbb_workflow::{Workflow, WorkflowBuilder};
+    pub use wfbb_workloads::genomes::GenomesConfig;
+    pub use wfbb_workloads::swarp::SwarpConfig;
+}

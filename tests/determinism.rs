@@ -1,0 +1,96 @@
+//! Determinism and reproducibility guarantees.
+//!
+//! A simulation is a pure function of (platform, workflow, placement); the
+//! emulator is additionally a pure function of (seed, repetition). These
+//! properties make every figure in `results/` exactly reproducible.
+
+use wfbb::prelude::*;
+
+fn simulate_twice(
+    platform: wfbb::platform::PlatformSpec,
+    wf: wfbb::workflow::Workflow,
+    policy: PlacementPolicy,
+) -> (SimulationReport, SimulationReport) {
+    let a = SimulationBuilder::new(platform.clone(), wf.clone())
+        .placement(policy.clone())
+        .run()
+        .unwrap();
+    let b = SimulationBuilder::new(platform, wf)
+        .placement(policy)
+        .run()
+        .unwrap();
+    (a, b)
+}
+
+#[test]
+fn simulations_are_bit_identical_across_runs() {
+    let (a, b) = simulate_twice(
+        wfbb::platform::presets::cori(2, BbMode::Striped),
+        SwarpConfig::new(6).with_cores_per_task(4).build(),
+        PlacementPolicy::FractionToBb { fraction: 0.5 },
+    );
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.stage_in_time, b.stage_in_time);
+    assert_eq!(a.tasks.len(), b.tasks.len());
+    for (x, y) in a.tasks.iter().zip(&b.tasks) {
+        assert_eq!(x.start, y.start, "{}", x.name);
+        assert_eq!(x.end, y.end, "{}", x.name);
+        assert_eq!(x.node, y.node, "{}", x.name);
+    }
+}
+
+#[test]
+fn genomes_simulation_is_deterministic_at_scale() {
+    let wf = GenomesConfig::new(4).build();
+    let (a, b) = simulate_twice(
+        wfbb::platform::presets::summit(4),
+        wf,
+        PlacementPolicy::FractionToBb { fraction: 0.7 },
+    );
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.bb_bytes, b.bb_bytes);
+}
+
+#[test]
+fn emulator_is_deterministic_per_seed_and_rep() {
+    let emulator = Emulator::default();
+    let platform = wfbb::platform::presets::cori(1, BbMode::Private);
+    let wf = SwarpConfig::new(2).build();
+    let policy = PlacementPolicy::AllBb;
+    let a = emulator.run(&platform, &wf, &policy, 7).unwrap();
+    let b = emulator.run(&platform, &wf, &policy, 7).unwrap();
+    assert_eq!(a.makespan, b.makespan);
+    let c = emulator.run(&platform, &wf, &policy, 8).unwrap();
+    assert_ne!(a.makespan, c.makespan);
+}
+
+#[test]
+fn different_seeds_produce_different_measurement_noise() {
+    let platform = wfbb::platform::presets::cori(1, BbMode::Private);
+    let wf = SwarpConfig::new(1).build();
+    let policy = PlacementPolicy::AllBb;
+    let config_a = EmulatorConfig {
+        seed: 1,
+        ..EmulatorConfig::default()
+    };
+    let config_b = EmulatorConfig {
+        seed: 2,
+        ..EmulatorConfig::default()
+    };
+    let a = Emulator::new(config_a).run(&platform, &wf, &policy, 0).unwrap();
+    let b = Emulator::new(config_b).run(&platform, &wf, &policy, 0).unwrap();
+    assert_ne!(a.makespan, b.makespan);
+}
+
+#[test]
+fn task_order_in_reports_is_stable_task_id_order() {
+    let wf = SwarpConfig::new(4).build();
+    let report = SimulationBuilder::new(wfbb::platform::presets::summit(1), wf.clone())
+        .placement(PlacementPolicy::AllBb)
+        .run()
+        .unwrap();
+    for (record, task) in report.tasks.iter().zip(wf.tasks()) {
+        assert_eq!(record.task, task.id);
+        assert_eq!(record.name, task.name);
+    }
+}

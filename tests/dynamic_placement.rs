@@ -1,0 +1,127 @@
+//! Online data placement under capacity pressure: the watermark placer
+//! protects burst buffer headroom for hot files, beating the
+//! first-come-first-served occupancy of a static all-BB plan — the kind
+//! of data placement strategy the paper's conclusion proposes exploring.
+
+use wfbb::prelude::*;
+use wfbb::wms::dynamic::{GreedyBb, SmallFilePlacer, WatermarkPlacer};
+use wfbb::workflow::WorkflowBuilder;
+
+/// Producers write large cold files (one consumer each); a hub then
+/// distills them into one small hot file read by eight consumers.
+fn cold_then_hot_workflow() -> wfbb::workflow::Workflow {
+    let mut b = WorkflowBuilder::new("cold-then-hot");
+    let mut colds = Vec::new();
+    for i in 0..6 {
+        let cold = b.add_file(format!("cold{i}"), 240e6);
+        // Staggered compute times so the writes arrive one after another
+        // (concurrent producers would all see an empty BB and defeat any
+        // occupancy-based policy).
+        b.task(format!("produce{i}"))
+            .category("produce")
+            .flops(3e11 * (i + 1) as f64)
+            .cores(4)
+            .output(cold)
+            .add();
+        colds.push(cold);
+    }
+    let hot = b.add_file("hot", 50e6);
+    b.task("hub")
+        .category("hub")
+        .flops(2e11)
+        .cores(4)
+        .inputs(colds)
+        .output(hot)
+        .add();
+    for i in 0..8 {
+        let out = b.add_file(format!("result{i}"), 1e6);
+        b.task(format!("consume{i}"))
+            .category("consume")
+            .flops(1e11)
+            .cores(2)
+            .input(hot)
+            .output(out)
+            .add();
+    }
+    b.build().unwrap()
+}
+
+fn tight_platform() -> wfbb::platform::PlatformSpec {
+    let mut p = wfbb::platform::presets::summit(1);
+    p.bb_capacity = 500e6; // fits two cold files, or one plus the hot one
+    p
+}
+
+#[test]
+fn watermark_placer_beats_greedy_under_capacity_pressure() {
+    let wf = cold_then_hot_workflow();
+    let greedy = SimulationBuilder::new(tight_platform(), wf.clone())
+        .dynamic_placer(Box::new(GreedyBb))
+        .run()
+        .unwrap();
+    let watermark = SimulationBuilder::new(tight_platform(), wf)
+        .dynamic_placer(Box::new(WatermarkPlacer {
+            watermark: 0.4,
+            hot_consumers: 2,
+        }))
+        .run()
+        .unwrap();
+    // Greedy fills the BB with cold files and the hot file spills; the
+    // watermark keeps headroom so the hot file stays in the BB.
+    assert!(greedy.spilled_files > 0);
+    assert!(
+        watermark.makespan < greedy.makespan,
+        "watermark {} !< greedy {}",
+        watermark.makespan,
+        greedy.makespan
+    );
+}
+
+#[test]
+fn greedy_dynamic_equals_static_all_bb() {
+    // GreedyBb requests the BB for everything, exactly like the static
+    // all-BB plan with spill — same makespan, bit for bit.
+    let wf = cold_then_hot_workflow();
+    let dynamic = SimulationBuilder::new(tight_platform(), wf.clone())
+        .dynamic_placer(Box::new(GreedyBb))
+        .run()
+        .unwrap();
+    let static_plan = SimulationBuilder::new(tight_platform(), wf)
+        .placement(PlacementPolicy::AllBb)
+        .run()
+        .unwrap();
+    assert_eq!(dynamic.makespan, static_plan.makespan);
+    assert_eq!(dynamic.spilled_files, static_plan.spilled_files);
+}
+
+#[test]
+fn small_file_placer_sends_only_small_files_to_the_bb() {
+    let wf = cold_then_hot_workflow();
+    let report = SimulationBuilder::new(tight_platform(), wf)
+        .dynamic_placer(Box::new(SmallFilePlacer { max_bytes: 100e6 }))
+        .run()
+        .unwrap();
+    // Only the 50 MB hot file and the 1 MB results request the BB.
+    assert_eq!(report.spilled_files, 0);
+    assert!(report.bb_peak_bytes < 200e6, "peak {}", report.bb_peak_bytes);
+    assert!(report.bb_peak_bytes > 50e6, "hot file resides in the BB");
+}
+
+#[test]
+fn dynamic_placement_does_not_affect_staged_inputs() {
+    // Inputs are staged per the static plan; the dynamic placer only
+    // governs task writes.
+    let wf = SwarpConfig::new(1).with_cores_per_task(8).build();
+    let report = SimulationBuilder::new(
+        wfbb::platform::presets::cori(1, BbMode::Private),
+        wf,
+    )
+    .placement(PlacementPolicy::FractionToBb { fraction: 1.0 })
+    .dynamic_placer(Box::new(SmallFilePlacer { max_bytes: 0.0 }))
+    .run()
+    .unwrap();
+    // All inputs were staged to the BB even though the placer refuses
+    // every write.
+    assert!(report.stage_in_time > 0.0);
+    assert!(report.bb_bytes > 0.0, "staged inputs and their reads hit the BB");
+}

@@ -1,0 +1,206 @@
+//! Edge-case and robustness integration tests: degenerate workflows,
+//! zero-size files, I/O-concurrency overrides, cross-node on-node-BB
+//! reads, and scheduler/capacity interactions.
+
+use wfbb::prelude::*;
+use wfbb::wms::SchedulerPolicy;
+use wfbb::workflow::WorkflowBuilder;
+
+#[test]
+fn zero_byte_files_flow_through_the_whole_stack() {
+    let mut b = WorkflowBuilder::new("zeros");
+    let empty_in = b.add_file("empty.in", 0.0);
+    let empty_mid = b.add_file("empty.mid", 0.0);
+    let real_out = b.add_file("real.out", 1e6);
+    b.task("a").category("x").flops(1e10).input(empty_in).output(empty_mid).add();
+    b.task("b").category("x").flops(1e10).input(empty_mid).output(real_out).add();
+    let wf = b.build().unwrap();
+    for platform in wfbb::platform::presets::paper_configs(1) {
+        let report = SimulationBuilder::new(platform, wf.clone())
+            .placement(PlacementPolicy::AllBb)
+            .run()
+            .unwrap();
+        assert_eq!(report.tasks.len(), 2);
+        assert!(report.makespan.seconds() > 0.0, "compute still takes time");
+    }
+}
+
+#[test]
+fn compute_only_tasks_need_no_storage() {
+    let mut b = WorkflowBuilder::new("compute-only");
+    b.task("solo").category("x").flops(3.68e11).cores(4).add();
+    let wf = b.build().unwrap();
+    let report = SimulationBuilder::new(
+        wfbb::platform::presets::cori(1, BbMode::Private),
+        wf,
+    )
+    .run()
+    .unwrap();
+    // 10 s sequential at Cori speed on 4 cores = 2.5 s.
+    assert!((report.makespan.seconds() - 2.5).abs() < 1e-6);
+    assert_eq!(report.bb_bytes + report.pfs_bytes, 0.0);
+}
+
+#[test]
+fn io_concurrency_override_slows_parallel_reads() {
+    let wf = SwarpConfig::new(1).with_cores_per_task(32).build();
+    let platform = wfbb::platform::presets::cori(1, BbMode::Private);
+    let parallel = SimulationBuilder::new(platform.clone(), wf.clone())
+        .placement(PlacementPolicy::AllBb)
+        .run()
+        .unwrap();
+    let serial = SimulationBuilder::new(platform, wf)
+        .placement(PlacementPolicy::AllBb)
+        .io_concurrency(1)
+        .run()
+        .unwrap();
+    assert!(
+        serial.makespan > parallel.makespan,
+        "serialized file access must be slower: {} !> {}",
+        serial.makespan,
+        parallel.makespan
+    );
+}
+
+#[test]
+fn cross_node_on_node_bb_reads_work_and_cost_little() {
+    // The paper argues data movement between local BBs "would not
+    // significantly slow down the application". Force cross-node reads:
+    // producer on node 0 (pipeline 0), consumer on node 1 (pipeline 1).
+    let mut b = WorkflowBuilder::new("xnode");
+    let f = b.add_file("handoff", 100e6);
+    let out = b.add_file("out", 1e6);
+    b.task("produce").category("p").flops(1e11).cores(4).pipeline(0).output(f).add();
+    b.task("consume").category("c").flops(1e11).cores(4).pipeline(1).input(f).output(out).add();
+    let wf = b.build().unwrap();
+    let two_nodes = SimulationBuilder::new(wfbb::platform::presets::summit(2), wf.clone())
+        .placement(PlacementPolicy::AllBb)
+        .run()
+        .unwrap();
+    assert_eq!(two_nodes.task_by_name("produce").unwrap().node, 0);
+    assert_eq!(two_nodes.task_by_name("consume").unwrap().node, 1);
+    // Same workflow forced onto one node: local read.
+    let one_node = SimulationBuilder::new(wfbb::platform::presets::summit(1), wf)
+        .placement(PlacementPolicy::AllBb)
+        .run()
+        .unwrap();
+    let remote_penalty = two_nodes.makespan.seconds() / one_node.makespan.seconds();
+    assert!(
+        remote_penalty < 1.1,
+        "remote on-node read should cost little: penalty {remote_penalty}"
+    );
+}
+
+#[test]
+fn single_core_platform_executes_wide_workflows_serially() {
+    let mut platform = wfbb::platform::presets::generic(1);
+    platform.cores_per_node = 1;
+    let mut b = WorkflowBuilder::new("wide");
+    for i in 0..5 {
+        let f = b.add_file(format!("o{i}"), 1e6);
+        b.task(format!("t{i}")).category("w").flops(2e10).cores(1).output(f).add();
+    }
+    let wf = b.build().unwrap();
+    let report = SimulationBuilder::new(platform, wf)
+        .placement(PlacementPolicy::AllPfs)
+        .run()
+        .unwrap();
+    // Tasks serialize: no two compute phases overlap.
+    let mut intervals: Vec<(f64, f64)> = report
+        .tasks
+        .iter()
+        .map(|t| (t.start.seconds(), t.end.seconds()))
+        .collect();
+    intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    for w in intervals.windows(2) {
+        assert!(
+            w[1].0 >= w[0].1 - 1e-9,
+            "serial execution expected: {w:?}"
+        );
+    }
+}
+
+#[test]
+fn oversized_core_requests_are_clamped_to_the_node() {
+    let mut b = WorkflowBuilder::new("greedy");
+    let f = b.add_file("o", 1e6);
+    b.task("t").category("w").flops(3.68e11).cores(1000).output(f).add();
+    let wf = b.build().unwrap();
+    let report = SimulationBuilder::new(
+        wfbb::platform::presets::cori(1, BbMode::Private),
+        wf,
+    )
+    .run()
+    .unwrap();
+    assert_eq!(report.tasks[0].cores, 32, "clamped to the node's 32 cores");
+}
+
+#[test]
+fn round_robin_with_capacity_pressure_spills_deterministically() {
+    let mut platform = wfbb::platform::presets::summit(2);
+    platform.bb_capacity = 200e6;
+    let mut b = WorkflowBuilder::new("cap");
+    for i in 0..6 {
+        let f = b.add_file(format!("o{i}"), 90e6);
+        b.task(format!("t{i}")).category("w").flops(1e10).cores(1).output(f).add();
+    }
+    let wf = b.build().unwrap();
+    let run = || {
+        SimulationBuilder::new(platform.clone(), wf.clone())
+            .placement(PlacementPolicy::AllBb)
+            .scheduler(SchedulerPolicy::RoundRobin)
+            .run()
+            .unwrap()
+    };
+    let a = run();
+    let b_ = run();
+    assert_eq!(a.spilled_files, b_.spilled_files, "determinism under spill");
+    // 2 devices x 200 MB hold 2 x 90 MB each; 2 of 6 files spill.
+    assert_eq!(a.spilled_files, 2);
+    assert!(a.pfs_bytes > 0.0);
+}
+
+#[test]
+fn deep_chain_executes_strictly_in_order() {
+    let wf = wfbb::workloads::patterns::chain(20, 5e6, 1e10);
+    let report = SimulationBuilder::new(wfbb::platform::presets::summit(1), wf)
+        .placement(PlacementPolicy::AllBb)
+        .run()
+        .unwrap();
+    for w in report.tasks.windows(2) {
+        assert!(w[1].start >= w[0].end, "chain order violated");
+    }
+}
+
+#[test]
+fn workflow_with_only_inputs_and_no_consumers_still_stages() {
+    // A stage-only "workflow": one task reads the staged files and does
+    // nothing else; 100% staging must move every input byte.
+    let mut b = WorkflowBuilder::new("stage-only");
+    let files: Vec<_> = (0..8).map(|i| b.add_file(format!("in{i}"), 10e6)).collect();
+    b.task("reader").category("r").flops(0.0).cores(1).inputs(files).add();
+    let wf = b.build().unwrap();
+    let report = SimulationBuilder::new(
+        wfbb::platform::presets::cori(1, BbMode::Private),
+        wf,
+    )
+    .placement(PlacementPolicy::FractionToBb { fraction: 1.0 })
+    .run()
+    .unwrap();
+    assert!(report.stage_in_time > 0.0);
+    // Staged in (80 MB) and read back (80 MB).
+    assert!(report.bb_bytes >= 160e6 * 0.99);
+}
+
+#[test]
+fn bb_architecture_none_degrades_gracefully() {
+    let wf = SwarpConfig::new(2).with_cores_per_task(4).build();
+    let report = SimulationBuilder::new(wfbb::platform::presets::generic(1), wf)
+        .placement(PlacementPolicy::AllBb)
+        .run()
+        .unwrap();
+    // No BB exists: everything silently lands on the PFS.
+    assert_eq!(report.bb_bytes, 0.0);
+    assert!(report.pfs_bytes > 0.0);
+    assert_eq!(report.stage_in_time, 0.0, "nothing to stage without a BB");
+}

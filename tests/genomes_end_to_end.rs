@@ -1,0 +1,139 @@
+//! End-to-end 1000Genomes integration tests — the paper's Section IV-C
+//! case study, asserted on reduced and full instances.
+
+use wfbb::prelude::*;
+
+#[test]
+fn paper_instance_runs_to_completion_on_both_platforms() {
+    let wf = GenomesConfig::paper_instance().build();
+    assert_eq!(wf.task_count(), 903);
+    for platform in [
+        wfbb::platform::presets::cori(4, BbMode::Private),
+        wfbb::platform::presets::summit(4),
+    ] {
+        let report = SimulationBuilder::new(platform.clone(), wf.clone())
+            .placement(PlacementPolicy::FractionToBb { fraction: 0.5 })
+            .run()
+            .expect("903-task simulation completes");
+        assert_eq!(report.tasks.len(), 903);
+        assert!(report.makespan.seconds() > 0.0);
+        // Every task actually executed (no zero-width records).
+        for t in &report.tasks {
+            assert!(t.end >= t.start, "{} has inverted interval", t.name);
+        }
+    }
+}
+
+#[test]
+fn staging_improves_makespan_monotonically_until_plateau() {
+    let wf = GenomesConfig::new(6).build();
+    let platform = wfbb::platform::presets::summit(4);
+    let makespans: Vec<f64> = [0.0, 0.25, 0.5, 0.75]
+        .iter()
+        .map(|&fraction| {
+            SimulationBuilder::new(platform.clone(), wf.clone())
+                .placement(PlacementPolicy::FractionToBb { fraction })
+                .run()
+                .unwrap()
+                .makespan
+                .seconds()
+        })
+        .collect();
+    for w in makespans.windows(2) {
+        assert!(
+            w[1] <= w[0] * 1.02,
+            "staging should not hurt Summit: {} -> {}",
+            w[0],
+            w[1]
+        );
+    }
+    assert!(
+        makespans[3] < makespans[0] * 0.8,
+        "75% staging should clearly beat PFS-only"
+    );
+}
+
+#[test]
+fn summit_beats_cori_on_the_case_study() {
+    let wf = GenomesConfig::new(6).build();
+    let policy = PlacementPolicy::FractionToBb { fraction: 1.0 };
+    let cori = SimulationBuilder::new(wfbb::platform::presets::cori(4, BbMode::Private), wf.clone())
+        .placement(policy.clone())
+        .run()
+        .unwrap();
+    let summit = SimulationBuilder::new(wfbb::platform::presets::summit(4), wf)
+        .placement(policy)
+        .run()
+        .unwrap();
+    assert!(summit.makespan < cori.makespan);
+}
+
+#[test]
+fn cori_saturates_its_shared_bb_before_summit() {
+    // The paper's Figure 13 plateau argument: the relative gain from the
+    // last 30 % of staging is smaller on Cori than on Summit.
+    let wf = GenomesConfig::new(6).build();
+    let tail_gain = |platform: &wfbb::platform::PlatformSpec| {
+        let at70 = SimulationBuilder::new(platform.clone(), wf.clone())
+            .placement(PlacementPolicy::FractionToBb { fraction: 0.7 })
+            .run()
+            .unwrap()
+            .makespan
+            .seconds();
+        let at100 = SimulationBuilder::new(platform.clone(), wf.clone())
+            .placement(PlacementPolicy::FractionToBb { fraction: 1.0 })
+            .run()
+            .unwrap()
+            .makespan
+            .seconds();
+        at70 / at100
+    };
+    let cori_gain = tail_gain(&wfbb::platform::presets::cori(4, BbMode::Private));
+    let summit_gain = tail_gain(&wfbb::platform::presets::summit(4));
+    assert!(
+        summit_gain > cori_gain,
+        "Summit keeps gaining past 70% ({summit_gain}) more than Cori ({cori_gain})"
+    );
+}
+
+#[test]
+fn dependency_structure_is_respected_at_scale() {
+    let wf = GenomesConfig::new(3).build();
+    let report = SimulationBuilder::new(wfbb::platform::presets::summit(2), wf.clone())
+        .placement(PlacementPolicy::AllBb)
+        .run()
+        .unwrap();
+    // Every mutation_overlap/frequency task starts after its chromosome's
+    // merge and sifting tasks end.
+    for c in 0..3 {
+        let merge = report
+            .task_by_name(&format!("individuals_merge_c{c}"))
+            .unwrap();
+        let sift = report.task_by_name(&format!("sifting_c{c}")).unwrap();
+        for k in 0..7 {
+            let overlap = report
+                .task_by_name(&format!("mutation_overlap_c{c}_{k}"))
+                .unwrap();
+            assert!(overlap.start >= merge.end);
+            assert!(overlap.start >= sift.end);
+        }
+    }
+}
+
+#[test]
+fn workflow_json_round_trip_preserves_simulation_results() {
+    let wf = GenomesConfig::new(2).build();
+    let json = wf.to_json();
+    let back = wfbb::workflow::Workflow::from_json(&json).expect("round trip");
+    let platform = wfbb::platform::presets::summit(2);
+    let policy = PlacementPolicy::FractionToBb { fraction: 0.5 };
+    let a = SimulationBuilder::new(platform.clone(), wf)
+        .placement(policy.clone())
+        .run()
+        .unwrap();
+    let b = SimulationBuilder::new(platform, back)
+        .placement(policy)
+        .run()
+        .unwrap();
+    assert_eq!(a.makespan, b.makespan, "serialization must not change results");
+}

@@ -1,0 +1,142 @@
+//! Cross-crate property tests: physical invariants every simulation must
+//! satisfy, checked over randomized workflows and configurations.
+
+use proptest::prelude::*;
+
+use wfbb::prelude::*;
+use wfbb::workloads::patterns;
+
+fn platform_for(idx: usize, nodes: usize) -> wfbb::platform::PlatformSpec {
+    match idx % 3 {
+        0 => presets::cori(nodes, BbMode::Private),
+        1 => presets::cori(nodes, BbMode::Striped),
+        _ => presets::summit(nodes),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The makespan can never beat two physical lower bounds: the
+    /// critical path's compute time (at full-node parallelism) and the
+    /// total compute divided by the machine's core count.
+    #[test]
+    fn makespan_respects_compute_lower_bounds(
+        layers in 1usize..5,
+        width in 1usize..5,
+        seed in 0u64..500,
+        platform_idx in 0usize..3,
+        nodes in 1usize..3,
+        fraction in 0.0f64..=1.0,
+    ) {
+        let wf = patterns::random_layered(layers, width, seed);
+        let platform = platform_for(platform_idx, nodes);
+        let report = SimulationBuilder::new(platform.clone(), wf.clone())
+            .placement(PlacementPolicy::FractionToBb { fraction })
+            .run()
+            .unwrap();
+        let makespan = report.makespan.seconds();
+        let speed = platform.gflops_per_core * 1e9;
+
+        // Critical path at the most favorable parallelism.
+        let (cp_flops, _) = wf.critical_path(|t| {
+            let task = wf.task(t);
+            let cores = task.cores.min(platform.cores_per_node);
+            task.flops / cores as f64
+        });
+        let cp_bound = cp_flops / speed;
+        prop_assert!(
+            makespan >= cp_bound * (1.0 - 1e-9),
+            "makespan {makespan} below critical-path bound {cp_bound}"
+        );
+
+        // Throughput bound: all cores busy all the time.
+        let total_flops: f64 = wf.tasks().iter().map(|t| t.flops).sum();
+        let throughput_bound = total_flops / speed / platform.total_cores() as f64;
+        prop_assert!(
+            makespan >= throughput_bound * (1.0 - 1e-9),
+            "makespan {makespan} below throughput bound {throughput_bound}"
+        );
+    }
+
+    /// Tier byte accounting covers at least every file access the
+    /// workflow performs (each access moves the file's bytes through
+    /// exactly one tier; staged inputs additionally move once more).
+    #[test]
+    fn tier_bytes_cover_all_accesses(
+        layers in 1usize..4,
+        width in 1usize..5,
+        seed in 0u64..500,
+        platform_idx in 0usize..3,
+    ) {
+        let wf = patterns::random_layered(layers, width, seed);
+        let platform = platform_for(platform_idx, 1);
+        let report = SimulationBuilder::new(platform, wf.clone())
+            .placement(PlacementPolicy::AllBb)
+            .run()
+            .unwrap();
+        let traffic = wf.total_io_traffic();
+        let moved = report.bb_bytes + report.pfs_bytes;
+        prop_assert!(
+            moved >= traffic * (1.0 - 1e-6),
+            "moved {moved} < access traffic {traffic}"
+        );
+    }
+
+    /// Staging more files never slows the on-node architecture down
+    /// (its BB is strictly faster than the PFS and never contended
+    /// against other nodes' data in these single-node instances).
+    #[test]
+    fn staging_is_monotone_on_summit(
+        layers in 1usize..4,
+        width in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        let wf = patterns::random_layered(layers, width, seed);
+        let run = |fraction| {
+            SimulationBuilder::new(presets::summit(1), wf.clone())
+                .placement(PlacementPolicy::FractionToBb { fraction })
+                .run()
+                .unwrap()
+                .makespan
+                .seconds()
+        };
+        let none = run(0.0);
+        let all = run(1.0);
+        prop_assert!(
+            all <= none * (1.0 + 1e-6),
+            "staging everything must not hurt Summit: {none} -> {all}"
+        );
+    }
+
+    /// Every task report is internally consistent regardless of platform,
+    /// scheduler, or workflow shape.
+    #[test]
+    fn task_records_are_well_formed(
+        layers in 1usize..4,
+        width in 1usize..5,
+        seed in 0u64..500,
+        platform_idx in 0usize..3,
+        nodes in 1usize..4,
+    ) {
+        let wf = patterns::random_layered(layers, width, seed);
+        let platform = platform_for(platform_idx, nodes);
+        let report = SimulationBuilder::new(platform.clone(), wf.clone())
+            .placement(PlacementPolicy::AllBb)
+            .run()
+            .unwrap();
+        prop_assert_eq!(report.tasks.len(), wf.task_count());
+        for t in &report.tasks {
+            prop_assert!(t.start <= t.read_end);
+            prop_assert!(t.read_end <= t.compute_end);
+            prop_assert!(t.compute_end <= t.end);
+            prop_assert!(t.node < platform.compute_nodes);
+            prop_assert!(t.cores >= 1 && t.cores <= platform.cores_per_node);
+            prop_assert!(t.end <= report.makespan);
+            // Dependencies finished before this task started.
+            for dep in wf.dependencies(t.task) {
+                prop_assert!(report.tasks[dep.index()].end <= t.start);
+            }
+        }
+    }
+}
