@@ -152,10 +152,9 @@ impl Emulator {
             BbArchitecture::Shared {
                 mode: BbMode::Striped,
                 ..
+            } if (0.70..0.80).contains(&fraction) => {
+                p.bb_meta_ops /= self.config.striped_anomaly_slowdown;
             }
-                if (0.70..0.80).contains(&fraction) => {
-                    p.bb_meta_ops /= self.config.striped_anomaly_slowdown;
-                }
             _ => {}
         }
         // Interference among concurrent pipelines on a remote shared BB.
@@ -201,7 +200,8 @@ impl Emulator {
         if sigma == 0.0 {
             return 1.0;
         }
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ rep.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ rep.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         // Box–Muller.
         let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);
@@ -327,7 +327,10 @@ mod tests {
         assert_eq!(Emulator::staged_fraction(&policy, &wf), 0.25);
         // A workflow with no inputs stages nothing.
         let empty = wfbb_workflow::WorkflowBuilder::new("none").build().unwrap();
-        assert_eq!(Emulator::staged_fraction(&PlacementPolicy::AllBb, &empty), 0.0);
+        assert_eq!(
+            Emulator::staged_fraction(&PlacementPolicy::AllBb, &empty),
+            0.0
+        );
     }
 
     #[test]
@@ -365,10 +368,16 @@ mod tests {
         let emulator = Emulator::default();
         let platform = presets::cori(1, BbMode::Private);
         let wf = small_workflow();
-        let a = emulator.run(&platform, &wf, &PlacementPolicy::AllBb, 3).unwrap();
-        let b = emulator.run(&platform, &wf, &PlacementPolicy::AllBb, 3).unwrap();
+        let a = emulator
+            .run(&platform, &wf, &PlacementPolicy::AllBb, 3)
+            .unwrap();
+        let b = emulator
+            .run(&platform, &wf, &PlacementPolicy::AllBb, 3)
+            .unwrap();
         assert_eq!(a.makespan, b.makespan);
-        let c = emulator.run(&platform, &wf, &PlacementPolicy::AllBb, 4).unwrap();
+        let c = emulator
+            .run(&platform, &wf, &PlacementPolicy::AllBb, 4)
+            .unwrap();
         assert_ne!(a.makespan, c.makespan, "different reps see different noise");
     }
 
@@ -426,10 +435,20 @@ mod tests {
         let platform = presets::cori(1, BbMode::Striped);
         let wf = small_workflow();
         let at75 = emulator
-            .run(&platform, &wf, &PlacementPolicy::FractionToBb { fraction: 0.75 }, 0)
+            .run(
+                &platform,
+                &wf,
+                &PlacementPolicy::FractionToBb { fraction: 0.75 },
+                0,
+            )
             .unwrap();
         let at100 = emulator
-            .run(&platform, &wf, &PlacementPolicy::FractionToBb { fraction: 1.0 }, 0)
+            .run(
+                &platform,
+                &wf,
+                &PlacementPolicy::FractionToBb { fraction: 1.0 },
+                0,
+            )
             .unwrap();
         // 75 % stages 3 of 4 files but pays doubled metadata cost: slower
         // stage-in than staging all 4 normally.

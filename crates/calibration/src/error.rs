@@ -14,7 +14,10 @@ pub fn relative_error(reference: f64, predicted: f64) -> f64 {
         reference.is_finite() && predicted.is_finite(),
         "errors need finite inputs, got {reference} and {predicted}"
     );
-    assert!(reference != 0.0, "relative error undefined for zero reference");
+    assert!(
+        reference != 0.0,
+        "relative error undefined for zero reference"
+    );
     ((predicted - reference) / reference).abs()
 }
 

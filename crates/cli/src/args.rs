@@ -209,7 +209,10 @@ mod tests {
     #[test]
     fn platform_presets_parse() {
         assert_eq!(parse_platform("cori", 2).unwrap().compute_nodes, 2);
-        assert_eq!(parse_platform("cori:striped", 1).unwrap().bb.label(), "striped");
+        assert_eq!(
+            parse_platform("cori:striped", 1).unwrap().bb.label(),
+            "striped"
+        );
         assert_eq!(parse_platform("summit", 1).unwrap().bb.label(), "on-node");
         assert!(parse_platform("generic", 1).is_ok());
         assert!(parse_platform("/nonexistent.json", 1).is_err());

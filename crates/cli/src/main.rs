@@ -184,7 +184,14 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("wf.json");
         let path_str = path.to_str().unwrap();
-        run(&rawv(&["generate", "--workflow", "genomes:2", "--out", path_str])).unwrap();
+        run(&rawv(&[
+            "generate",
+            "--workflow",
+            "genomes:2",
+            "--out",
+            path_str,
+        ]))
+        .unwrap();
         let dot_path = dir.join("wf.dot");
         run(&rawv(&[
             "inspect",

@@ -59,7 +59,11 @@ pub fn run() -> Vec<Table> {
         .flat_map(|fast| BB_NODE_COUNTS.iter().map(move |&n| (fast, n)))
         .collect();
     let results = par_map(grid.clone(), |&(fast, n)| {
-        let p = if fast { striped_fast_meta(n) } else { striped_with(n) };
+        let p = if fast {
+            striped_fast_meta(n)
+        } else {
+            striped_with(n)
+        };
         genomes_makespan(&p)
     });
 
@@ -75,7 +79,12 @@ pub fn run() -> Vec<Table> {
     ]);
     for ((fast, n), makespan) in grid.iter().zip(&results) {
         t.push_row(vec![
-            if *fast { "striped + fast metadata" } else { "striped" }.into(),
+            if *fast {
+                "striped + fast metadata"
+            } else {
+                "striped"
+            }
+            .into(),
             n.to_string(),
             f2(*makespan),
             format!("{:.2}x", private / makespan),

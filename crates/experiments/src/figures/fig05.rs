@@ -67,11 +67,23 @@ pub fn run() -> Vec<Table> {
 
     let mut resample = Table::new(
         "Figure 5 (Resample): execution time vs. staged inputs and intermediate tier",
-        &["config", "intermediates", "staged", "measured (s)", "simulated (s)"],
+        &[
+            "config",
+            "intermediates",
+            "staged",
+            "measured (s)",
+            "simulated (s)",
+        ],
     );
     let mut combine = Table::new(
         "Figure 5 (Combine): execution time vs. staged inputs and intermediate tier",
-        &["config", "intermediates", "staged", "measured (s)", "simulated (s)"],
+        &[
+            "config",
+            "intermediates",
+            "staged",
+            "measured (s)",
+            "simulated (s)",
+        ],
     );
     for ((i, f, tier), p) in grid.iter().zip(&results) {
         let label = scenarios[*i].label;
@@ -94,7 +106,9 @@ pub fn run() -> Vec<Table> {
     // Headline comparisons.
     let find = |label: &str, f: f64, tier: Tier| {
         grid.iter()
-            .position(|&(i, gf, gt)| scenarios[i].label == label && (gf - f).abs() < 1e-9 && gt == tier)
+            .position(|&(i, gf, gt)| {
+                scenarios[i].label == label && (gf - f).abs() < 1e-9 && gt == tier
+            })
             .map(|k| &results[k])
             .expect("grid point exists")
     };

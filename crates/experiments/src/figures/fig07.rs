@@ -111,7 +111,10 @@ mod tests {
         let o16 = point(&scenarios[2], 16, 1);
         let cori_slowdown = c16.resample_m / c1.resample_m;
         let summit_slowdown = o16.resample_m / o1.resample_m;
-        assert!(cori_slowdown > 1.02, "Cori resample must degrade: {cori_slowdown}");
+        assert!(
+            cori_slowdown > 1.02,
+            "Cori resample must degrade: {cori_slowdown}"
+        );
         assert!(
             cori_slowdown > summit_slowdown,
             "Cori degrades more than Summit: {cori_slowdown} vs {summit_slowdown}"

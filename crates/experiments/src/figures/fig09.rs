@@ -22,10 +22,7 @@ fn workload() -> wfbb_workflow::Workflow {
 
 /// Effective per-task I/O bandwidth (B/s) achieved under `policy`:
 /// mean over tasks of (bytes accessed) / (read time + write time).
-pub(crate) fn effective_task_bandwidth(
-    scenario: &Scenario,
-    policy: &PlacementPolicy,
-) -> f64 {
+pub(crate) fn effective_task_bandwidth(scenario: &Scenario, policy: &PlacementPolicy) -> f64 {
     let wf = workload();
     let report = SimulationBuilder::new(scenario.platform.clone(), wf.clone())
         .placement(policy.clone())
@@ -109,7 +106,10 @@ mod tests {
             .platform
             .bb_network_bw
             .min(scenarios[0].platform.bb_disk_bw);
-        assert!(private < peak, "achieved {private} must be below peak {peak}");
+        assert!(
+            private < peak,
+            "achieved {private} must be below peak {peak}"
+        );
         assert!(private > 0.0);
     }
 

@@ -18,11 +18,7 @@ use crate::table::{f2, pct, Table};
 
 const REPS: u64 = 5;
 
-pub(crate) fn sweep(
-    scenario: &Scenario,
-    fractions: &[f64],
-    reps: u64,
-) -> (Vec<f64>, Vec<f64>) {
+pub(crate) fn sweep(scenario: &Scenario, fractions: &[f64], reps: u64) -> (Vec<f64>, Vec<f64>) {
     let wf = SwarpConfig::new(1).build();
     let mut measured = Vec::with_capacity(fractions.len());
     let mut simulated = Vec::with_capacity(fractions.len());
@@ -37,9 +33,7 @@ pub(crate) fn sweep(
 /// Builds the Figure 10 tables (sweep + error summary).
 pub fn run() -> Vec<Table> {
     let scenarios = paper_scenarios(1);
-    let results = par_map(scenarios.to_vec(), |s| {
-        sweep(s, &FRACTIONS, REPS)
-    });
+    let results = par_map(scenarios.to_vec(), |s| sweep(s, &FRACTIONS, REPS));
 
     let mut t = Table::new(
         "Figure 10: real vs simulated makespan vs. files staged into BBs (1 pipeline, 32 cores)",

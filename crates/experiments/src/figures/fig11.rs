@@ -16,11 +16,7 @@ use crate::table::{f2, Table};
 
 const REPS: u64 = 5;
 
-pub(crate) fn sweep(
-    scenario: &Scenario,
-    pipelines: &[usize],
-    reps: u64,
-) -> (Vec<f64>, Vec<f64>) {
+pub(crate) fn sweep(scenario: &Scenario, pipelines: &[usize], reps: u64) -> (Vec<f64>, Vec<f64>) {
     let policy = PlacementPolicy::AllBb;
     let mut measured = Vec::with_capacity(pipelines.len());
     let mut simulated = Vec::with_capacity(pipelines.len());
@@ -35,13 +31,17 @@ pub(crate) fn sweep(
 /// Builds the Figure 11 tables (sweep + error summary).
 pub fn run() -> Vec<Table> {
     let scenarios = paper_scenarios(1);
-    let results = par_map(scenarios.to_vec(), |s| {
-        sweep(s, &PIPELINE_COUNTS, REPS)
-    });
+    let results = par_map(scenarios.to_vec(), |s| sweep(s, &PIPELINE_COUNTS, REPS));
 
     let mut t = Table::new(
         "Figure 11: real vs simulated makespan vs. pipelines (1 core per task, all files in BB)",
-        &["config", "pipelines", "measured (s)", "simulated (s)", "error"],
+        &[
+            "config",
+            "pipelines",
+            "measured (s)",
+            "simulated (s)",
+            "error",
+        ],
     );
     let mut errors = Table::new(
         "Figure 11 (summary): average simulation error per configuration",

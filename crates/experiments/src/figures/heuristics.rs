@@ -78,7 +78,12 @@ pub fn run() -> Vec<Table> {
 
     let mut t = Table::new(
         "Heuristics (extension): 1000Genomes on Cori under a BB byte budget",
-        &["heuristic", "budget (% footprint)", "makespan (s)", "vs PFS-only"],
+        &[
+            "heuristic",
+            "budget (% footprint)",
+            "makespan (s)",
+            "vs PFS-only",
+        ],
     );
     for ((h, budget), makespan) in grid.iter().zip(&results) {
         t.push_row(vec![
@@ -133,11 +138,7 @@ mod tests {
             .seconds();
         for h in BbBudgetHeuristic::ALL {
             let m = makespan_with(&wf, h, 0.5 * footprint);
-            assert!(
-                m < baseline,
-                "{}: {m} !< baseline {baseline}",
-                h.label()
-            );
+            assert!(m < baseline, "{}: {m} !< baseline {baseline}", h.label());
         }
     }
 

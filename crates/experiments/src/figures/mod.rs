@@ -24,8 +24,24 @@ use crate::table::Table;
 /// Known experiment names: the paper's tables/figures in order, then the
 /// extension experiments (placement heuristics, model ablation).
 pub const NAMES: [&str; 18] = [
-    "table1", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig13",
-    "fig14", "heuristics", "ablation", "bigfiles", "scaling", "optimality", "refit", "bbnodes",
+    "table1",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig13",
+    "fig14",
+    "heuristics",
+    "ablation",
+    "bigfiles",
+    "scaling",
+    "optimality",
+    "refit",
+    "bbnodes",
 ];
 
 /// Resolves an experiment name to its runner.

@@ -44,7 +44,10 @@ fn makespan_of(workflow: &Workflow, plan: PlacementPlan) -> f64 {
 /// subset of files that fits and returns the minimum makespan.
 pub(crate) fn brute_force_optimum(workflow: &Workflow, budget: f64) -> f64 {
     let n = workflow.file_count();
-    assert!(n <= 16, "brute force only for tiny instances (got {n} files)");
+    assert!(
+        n <= 16,
+        "brute force only for tiny instances (got {n} files)"
+    );
     let sizes: Vec<f64> = workflow.files().iter().map(|f| f.size).collect();
     let subsets: Vec<u32> = (0..(1u32 << n))
         .filter(|mask| {
@@ -79,7 +82,12 @@ pub fn run() -> Vec<Table> {
 
     let mut t = Table::new(
         "Optimality (extension): heuristics vs brute-force optimal placement",
-        &["budget (% footprint)", "strategy", "makespan (s)", "gap vs optimal"],
+        &[
+            "budget (% footprint)",
+            "strategy",
+            "makespan (s)",
+            "gap vs optimal",
+        ],
     );
     for &budget in &budgets {
         let optimum = brute_force_optimum(&wf, budget);

@@ -69,7 +69,11 @@ pub fn run() -> Vec<Table> {
 
     let mut t = Table::new(
         "Auto-calibration (extension): fitting platform parameters to measured sweeps",
-        &["platform variant", "train error (%)", "validation error (%)"],
+        &[
+            "platform variant",
+            "train error (%)",
+            "validation error (%)",
+        ],
     );
     t.push_row(vec![
         "hand calibration (Table I)".into(),

@@ -40,17 +40,30 @@ pub fn run() -> Vec<Table> {
         .into_iter()
         .flat_map(|shared| NODE_COUNTS.iter().map(move |&n| (shared, n)))
         .collect();
-    let results = par_map(grid.clone(), |&(shared, n)| weak_scaling_makespan(shared, n));
+    let results = par_map(grid.clone(), |&(shared, n)| {
+        weak_scaling_makespan(shared, n)
+    });
 
     let mut t = Table::new(
         "Scaling (extension): weak scaling, 8 pipelines per node, 4 cores per task",
-        &["architecture", "nodes", "pipelines", "makespan (s)", "vs 1 node"],
+        &[
+            "architecture",
+            "nodes",
+            "pipelines",
+            "makespan (s)",
+            "vs 1 node",
+        ],
     );
     let mut base: std::collections::HashMap<bool, f64> = Default::default();
     for ((shared, n), makespan) in grid.iter().zip(&results) {
         let b = *base.entry(*shared).or_insert(*makespan);
         t.push_row(vec![
-            if *shared { "shared (Cori/private)" } else { "on-node (Summit)" }.into(),
+            if *shared {
+                "shared (Cori/private)"
+            } else {
+                "on-node (Summit)"
+            }
+            .into(),
             n.to_string(),
             (PIPELINES_PER_NODE * n).to_string(),
             f2(*makespan),
@@ -94,6 +107,9 @@ mod tests {
     fn on_node_scales_better_than_shared() {
         let shared = weak_scaling_makespan(true, 4) / weak_scaling_makespan(true, 1);
         let onnode = weak_scaling_makespan(false, 4) / weak_scaling_makespan(false, 1);
-        assert!(shared > onnode, "shared blowup {shared} !> on-node {onnode}");
+        assert!(
+            shared > onnode,
+            "shared blowup {shared} !> on-node {onnode}"
+        );
     }
 }

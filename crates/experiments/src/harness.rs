@@ -169,13 +169,13 @@ where
         .min(n);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let items = &items;
         let f = &f;
         let next = &next;
         for _ in 0..threads {
             let tx = tx.clone();
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -183,8 +183,7 @@ where
                 tx.send((i, f(&items[i]))).expect("receiver alive");
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     drop(tx);
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     for (i, r) in rx {

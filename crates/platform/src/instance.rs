@@ -96,21 +96,19 @@ impl PlatformSpec {
                 let mut links = Vec::with_capacity(bb_nodes);
                 let mut disks = Vec::with_capacity(bb_nodes);
                 for b in 0..bb_nodes {
-                    links.push(engine.add_resource(
-                        format!("{}/bb{}/link", self.name, b),
-                        self.bb_network_bw,
-                    ));
-                    disks.push(engine.add_resource(
-                        format!("{}/bb{}/disk", self.name, b),
-                        self.bb_disk_bw,
-                    ));
+                    links.push(
+                        engine.add_resource(
+                            format!("{}/bb{}/link", self.name, b),
+                            self.bb_network_bw,
+                        ),
+                    );
+                    disks.push(
+                        engine.add_resource(format!("{}/bb{}/disk", self.name, b), self.bb_disk_bw),
+                    );
                 }
                 let meta = (0..bb_nodes)
                     .map(|b| {
-                        engine.add_resource(
-                            format!("{}/bb{}/meta", self.name, b),
-                            self.bb_meta_ops,
-                        )
+                        engine.add_resource(format!("{}/bb{}/meta", self.name, b), self.bb_meta_ops)
                     })
                     .collect();
                 BbInstance::Shared {
@@ -128,10 +126,12 @@ impl PlatformSpec {
                         format!("{}/node{}/bb-link", self.name, n),
                         self.bb_network_bw,
                     ));
-                    disks.push(engine.add_resource(
-                        format!("{}/node{}/bb-disk", self.name, n),
-                        self.bb_disk_bw,
-                    ));
+                    disks.push(
+                        engine.add_resource(
+                            format!("{}/node{}/bb-disk", self.name, n),
+                            self.bb_disk_bw,
+                        ),
+                    );
                 }
                 BbInstance::OnNode { links, disks }
             }
@@ -260,7 +260,11 @@ mod tests {
         let inst = presets::cori(1, BbMode::Striped).instantiate(&mut engine);
         assert_eq!(inst.shared_bb_nodes(), presets::CORI_STRIPE_NODES);
         let route = inst.route_node_shared_bb(0, 2);
-        assert_eq!(route.len(), 4, "shared BB route crosses NIC, fabric, BB link, BB disk");
+        assert_eq!(
+            route.len(),
+            4,
+            "shared BB route crosses NIC, fabric, BB link, BB disk"
+        );
     }
 
     #[test]

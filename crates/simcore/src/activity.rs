@@ -82,23 +82,16 @@ impl FlowSpec {
 }
 
 /// Internal state of an activity inside the engine.
-#[derive(Debug, Clone)]
-pub enum ActivityKind {
+///
+/// Flow state (remaining work, route, rate) lives in the engine's flow
+/// arena, iterated densely by the integration and solve steps; the activity
+/// record only carries the arena index.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ActivityKind {
     /// A fixed-duration timer; `end` is its absolute completion time.
     Delay { end: crate::SimTime },
-    /// A fluid flow; see [`FlowSpec`].
-    Flow {
-        /// Remaining startup latency in seconds.
-        remaining_latency: f64,
-        /// Remaining amount of work.
-        remaining: f64,
-        /// Route across resources.
-        route: Vec<ResourceId>,
-        /// Optional per-flow rate cap.
-        rate_cap: Option<f64>,
-        /// Rate allocated by the most recent fair-share solve.
-        rate: f64,
-    },
+    /// A fluid flow; `slot` indexes the engine's flow arena.
+    Flow { slot: u32 },
 }
 
 #[cfg(test)]

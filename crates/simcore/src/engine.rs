@@ -10,11 +10,38 @@
 //! in ordinary Rust code instead of simulated processes, while remaining
 //! faithful to the fluid model of SimGrid on which the paper's simulator is
 //! built.
+//!
+//! ## Incremental stepping
+//!
+//! The default [`SolveMode::Incremental`] engine avoids the naive
+//! per-event rebuild in three ways:
+//!
+//! * **Dirty-set re-solve** — the fair-share allocation is recomputed only
+//!   when the set of streaming flows changes (a flow starts streaming,
+//!   finishes, or exits its latency phase). Events that leave rates
+//!   untouched — pure delays, the bulk of a workflow execution's events
+//!   (metadata timers, compute phases) — skip the solver entirely.
+//! * **Route grouping** — streaming flows are grouped by (route, rate cap)
+//!   signature and each group enters the solver as one weighted entry: `N`
+//!   concurrent transfers over the same link cost one solver slot. Rates
+//!   and solver buffers live in a persistent [`fairshare::Workspace`], so
+//!   steady-state stepping performs no allocations.
+//! * **Event heap** — the next event comes from a [`BinaryHeap`] holding
+//!   delay ends, latency expiries, and one flow-completion candidate per
+//!   solve epoch, instead of a linear scan over all active activities.
+//!   Candidates are invalidated lazily: re-solving bumps the epoch, and
+//!   stale entries are discarded when they surface.
+//!
+//! [`SolveMode::Naive`] preserves the reference behavior (full re-solve and
+//! linear scan every event) for A/B verification; in debug builds the
+//! incremental engine additionally cross-checks every chosen event time
+//! against the linear scan.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::activity::{ActivityKind, FlowSpec};
-use crate::fairshare::{self, FlowReq};
+use crate::fairshare::{self, WeightedReq};
 use crate::ids::{ActivityId, ResourceId};
 use crate::resource::Resource;
 use crate::stats::ResourceStats;
@@ -33,11 +60,141 @@ pub struct Completion<T> {
     pub tag: T,
 }
 
+/// How the engine recomputes rates and finds the next event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolveMode {
+    /// Re-solve the full allocation and scan every activity on every event.
+    /// The reference implementation, kept for A/B verification.
+    Naive,
+    /// Re-solve only when the streaming set changes, group identical flows,
+    /// and pull the next event from a heap. Equivalent to [`Self::Naive`]
+    /// up to floating-point noise far below [`EPSILON`].
+    #[default]
+    Incremental,
+}
+
+/// Errors surfaced by [`Engine::try_step`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Active activities exist but none can make progress: every streaming
+    /// flow has (numerically) zero rate and no delay or latency expiry is
+    /// pending. Indicates a malformed platform (e.g. a rate cap below the
+    /// solver tolerance), not a normal simulation outcome.
+    Stalled {
+        /// Simulated time at which progress stopped.
+        time: SimTime,
+        /// Number of stuck activities.
+        active: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Stalled { time, active } => write!(
+                f,
+                "simulation stalled at {time}: {active} active activities but no progress possible"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 #[derive(Debug)]
 struct Activity<T> {
     kind: ActivityKind,
     tag: T,
     label: Option<String>,
+}
+
+/// Sentinel for [`FlowSlot::stream_pos`]: the flow is still in its latency
+/// phase (or the slot is free).
+const LATENT: u32 = u32::MAX;
+
+/// Flow state, stored densely so integration and solving iterate flat
+/// arrays instead of walking the activity map.
+#[derive(Debug)]
+struct FlowSlot {
+    id: ActivityId,
+    /// Absolute time at which the startup latency elapses.
+    latency_until: f64,
+    remaining: f64,
+    route: Vec<ResourceId>,
+    rate_cap: Option<f64>,
+    rate: f64,
+    /// Position in `Engine::streams`, or [`LATENT`].
+    stream_pos: u32,
+    /// Grouping signature: flows with equal keys *and* equal (route, cap)
+    /// share one weighted solver entry. The key is a hash, so distinct
+    /// routes may collide; grouping re-checks actual equality.
+    group_key: u64,
+}
+
+impl FlowSlot {
+    /// Completion predicate for a streaming flow.
+    fn is_done(&self) -> bool {
+        self.remaining <= EPSILON || (self.rate > EPSILON && self.remaining / self.rate <= EPSILON)
+    }
+}
+
+/// FNV-1a over the route indices and cap bits; deterministic across runs.
+fn group_key(route: &[ResourceId], rate_cap: Option<f64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for r in route {
+        mix(r.index() as u64);
+    }
+    mix(rate_cap.map_or(u64::MAX, f64::to_bits));
+    h
+}
+
+/// What a heap entry announces ("ends" throughout: a delay elapsing, a
+/// flow's latency phase elapsing, a flow's predicted completion).
+#[allow(clippy::enum_variant_names)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    DelayEnd,
+    LatencyEnd,
+    FlowEnd,
+}
+
+/// An entry in the pending-event heap. Ordered by time (total order), then
+/// id, for deterministic pops.
+#[derive(Debug, Clone, Copy)]
+struct HeapEvent {
+    time: f64,
+    id: ActivityId,
+    kind: EventKind,
+    /// Solve epoch a `FlowEnd` prediction belongs to; stale epochs are
+    /// discarded lazily. Ignored for the other kinds.
+    epoch: u64,
+}
+
+impl PartialEq for HeapEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapEvent {}
+impl PartialOrd for HeapEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.id.cmp(&other.id))
+            .then_with(|| (self.kind as u8).cmp(&(other.kind as u8)))
+            .then_with(|| self.epoch.cmp(&other.epoch))
+    }
 }
 
 /// Discrete-event fluid simulation engine.
@@ -49,12 +206,45 @@ struct Activity<T> {
 pub struct Engine<T> {
     resources: Vec<Resource>,
     stats: Vec<ResourceStats>,
+    /// Mirror of `resources[i].capacity`, the shape the solver wants.
+    capacities: Vec<f64>,
     now: SimTime,
     next_id: u64,
     active: BTreeMap<ActivityId, Activity<T>>,
+    /// Flow arena; slots are recycled through `free_slots`.
+    flows: Vec<FlowSlot>,
+    free_slots: Vec<u32>,
+    /// Slots of flows currently streaming (latency elapsed, not finished).
+    streams: Vec<u32>,
     ready: std::collections::VecDeque<Completion<T>>,
     trace: TraceLog,
     trace_enabled: bool,
+    mode: SolveMode,
+    /// Streaming set changed since the last solve.
+    dirty: bool,
+    /// Bumped on every re-solve; invalidates outstanding predictions.
+    epoch: u64,
+    events: BinaryHeap<Reverse<HeapEvent>>,
+    ws: fairshare::Workspace,
+    /// How far stream integration has advanced. Between solves rates are
+    /// constant, so integration over a span of pure-delay events can be
+    /// deferred and applied in one multiplication per flow — `now` may run
+    /// ahead of this. Always caught up before the streaming set or rates
+    /// change.
+    integrated_until: f64,
+    /// Lower bound (from the last solve) on the earliest time any
+    /// streaming flow can satisfy the completion predicate. Events before
+    /// this bound with an unchanged streaming set skip integration and the
+    /// completion scan entirely.
+    earliest_done: f64,
+    // Reusable scratch buffers (steady-state stepping allocates nothing).
+    order: Vec<u32>,
+    groups: Vec<(u32, u32)>,
+    busy: Vec<bool>,
+    done_buf: Vec<ActivityId>,
+    promote_buf: Vec<u32>,
+    deferred: Vec<HeapEvent>,
+    window_buf: Vec<HeapEvent>,
 }
 
 impl<T> Default for Engine<T> {
@@ -69,18 +259,37 @@ impl<T> Engine<T> {
         Engine {
             resources: Vec::new(),
             stats: Vec::new(),
+            capacities: Vec::new(),
             now: SimTime::ZERO,
             next_id: 0,
             active: BTreeMap::new(),
+            flows: Vec::new(),
+            free_slots: Vec::new(),
+            streams: Vec::new(),
             ready: std::collections::VecDeque::new(),
             trace: TraceLog::new(),
             trace_enabled: false,
+            mode: SolveMode::default(),
+            dirty: false,
+            epoch: 0,
+            events: BinaryHeap::new(),
+            ws: fairshare::Workspace::new(),
+            integrated_until: 0.0,
+            earliest_done: f64::INFINITY,
+            order: Vec::new(),
+            groups: Vec::new(),
+            busy: Vec::new(),
+            done_buf: Vec::new(),
+            promote_buf: Vec::new(),
+            deferred: Vec::new(),
+            window_buf: Vec::new(),
         }
     }
 
     /// Registers a resource and returns its handle.
     pub fn add_resource(&mut self, name: impl Into<String>, capacity: f64) -> ResourceId {
         self.resources.push(Resource::new(name, capacity));
+        self.capacities.push(capacity);
         self.stats.push(ResourceStats::default());
         ResourceId::from_index(self.resources.len() - 1)
     }
@@ -118,6 +327,19 @@ impl<T> Engine<T> {
     /// The recorded trace (empty unless tracing was enabled).
     pub fn trace(&self) -> &TraceLog {
         &self.trace
+    }
+
+    /// The engine's solve mode.
+    pub fn solve_mode(&self) -> SolveMode {
+        self.mode
+    }
+
+    /// Selects between the incremental engine (default) and the naive
+    /// reference path. Usually set before the first step; switching mid-run
+    /// is supported and forces a re-solve.
+    pub fn set_solve_mode(&mut self, mode: SolveMode) {
+        self.mode = mode;
+        self.dirty = true;
     }
 
     fn fresh_id(&mut self) -> ActivityId {
@@ -164,12 +386,17 @@ impl<T> Engine<T> {
                 tag,
             });
         } else {
+            let end = self.now + duration;
+            self.events.push(Reverse(HeapEvent {
+                time: end.seconds(),
+                id,
+                kind: EventKind::DelayEnd,
+                epoch: 0,
+            }));
             self.active.insert(
                 id,
                 Activity {
-                    kind: ActivityKind::Delay {
-                        end: self.now + duration,
-                    },
+                    kind: ActivityKind::Delay { end },
                     tag,
                     label,
                 },
@@ -207,190 +434,488 @@ impl<T> Engine<T> {
                 time: self.now,
                 tag,
             });
-        } else {
-            self.active.insert(
-                id,
-                Activity {
-                    kind: ActivityKind::Flow {
-                        remaining_latency: spec.latency,
-                        remaining: spec.amount,
-                        route: spec.route,
-                        rate_cap: spec.rate_cap,
-                        rate: 0.0,
-                    },
-                    tag,
-                    label,
-                },
-            );
+            return id;
         }
+        let latency_until = self.now.seconds() + spec.latency;
+        let key = group_key(&spec.route, spec.rate_cap);
+        let slot = self.alloc_slot(FlowSlot {
+            id,
+            latency_until,
+            remaining: spec.amount,
+            route: spec.route,
+            rate_cap: spec.rate_cap,
+            rate: 0.0,
+            stream_pos: LATENT,
+            group_key: key,
+        });
+        if spec.latency > EPSILON {
+            self.events.push(Reverse(HeapEvent {
+                time: latency_until,
+                id,
+                kind: EventKind::LatencyEnd,
+                epoch: 0,
+            }));
+        } else {
+            self.make_streaming(slot);
+        }
+        self.active.insert(
+            id,
+            Activity {
+                kind: ActivityKind::Flow { slot },
+                tag,
+                label,
+            },
+        );
         id
     }
 
-    /// Re-solves the fair-share allocation for all streaming flows, storing
-    /// each flow's rate.
-    fn solve_rates(&mut self) {
-        let capacities: Vec<f64> = self.resources.iter().map(|r| r.capacity).collect();
-        // Collect streaming flows (latency already elapsed) in id order.
-        let mut ids: Vec<ActivityId> = Vec::new();
-        {
-            let mut reqs: Vec<FlowReq<'_>> = Vec::new();
-            for (id, act) in &self.active {
-                if let ActivityKind::Flow {
-                    remaining_latency,
-                    route,
-                    rate_cap,
-                    ..
-                } = &act.kind
-                {
-                    if *remaining_latency <= EPSILON {
-                        ids.push(*id);
-                        reqs.push(FlowReq {
-                            route,
-                            rate_cap: *rate_cap,
-                        });
+    fn alloc_slot(&mut self, slot: FlowSlot) -> u32 {
+        match self.free_slots.pop() {
+            Some(idx) => {
+                self.flows[idx as usize] = slot;
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.flows.len()).expect("flow arena overflows u32");
+                self.flows.push(slot);
+                idx
+            }
+        }
+    }
+
+    /// Moves a latent flow into the streaming set.
+    fn make_streaming(&mut self, slot: u32) {
+        // The previous streaming set must be fully integrated before it
+        // changes, or the newcomer would be charged for time before it
+        // existed.
+        self.integrate(self.now.seconds());
+        debug_assert_eq!(self.flows[slot as usize].stream_pos, LATENT);
+        self.flows[slot as usize].stream_pos = self.streams.len() as u32;
+        self.streams.push(slot);
+        self.dirty = true;
+    }
+
+    /// Removes a finished flow from the streaming set and recycles its slot.
+    fn release_flow(&mut self, slot: u32) {
+        let pos = self.flows[slot as usize].stream_pos;
+        debug_assert_ne!(pos, LATENT, "completed flow must be streaming");
+        self.streams.swap_remove(pos as usize);
+        if let Some(&moved) = self.streams.get(pos as usize) {
+            self.flows[moved as usize].stream_pos = pos;
+        }
+        self.flows[slot as usize].stream_pos = LATENT;
+        self.free_slots.push(slot);
+        self.dirty = true;
+    }
+
+    /// Recomputes the fair-share allocation for the streaming set and, in
+    /// incremental mode, pushes the next flow-completion candidate.
+    fn resolve_rates(&mut self) {
+        // Rates are about to change: close out the constant-rate span.
+        self.integrate(self.now.seconds());
+        self.epoch += 1;
+        self.dirty = false;
+        match self.mode {
+            SolveMode::Naive => {
+                let flows = &self.flows;
+                let entries = self.streams.iter().map(|&s| {
+                    let f = &flows[s as usize];
+                    WeightedReq {
+                        route: &f.route,
+                        rate_cap: f.rate_cap,
+                        weight: 1.0,
+                    }
+                });
+                fairshare::solve_into(&mut self.ws, &self.capacities, entries);
+                for (k, &s) in self.streams.iter().enumerate() {
+                    self.flows[s as usize].rate = self.ws.rates()[k];
+                }
+            }
+            SolveMode::Incremental => {
+                // Group streaming flows by (route, cap) signature. Sorting
+                // by the precomputed key keeps comparisons cheap; boundary
+                // detection re-checks actual equality, so hash collisions
+                // only cost an extra group, never a wrong one.
+                self.order.clear();
+                self.order.extend_from_slice(&self.streams);
+                let flows = &self.flows;
+                self.order.sort_unstable_by(|&a, &b| {
+                    flows[a as usize]
+                        .group_key
+                        .cmp(&flows[b as usize].group_key)
+                        .then_with(|| a.cmp(&b))
+                });
+                self.groups.clear();
+                let mut start = 0usize;
+                for k in 1..=self.order.len() {
+                    let boundary = k == self.order.len() || {
+                        let fa = &flows[self.order[k - 1] as usize];
+                        let fb = &flows[self.order[k] as usize];
+                        fa.group_key != fb.group_key
+                            || fa.route != fb.route
+                            || fa.rate_cap.map(f64::to_bits) != fb.rate_cap.map(f64::to_bits)
+                    };
+                    if boundary {
+                        self.groups.push((start as u32, k as u32));
+                        start = k;
+                    }
+                }
+                let order = &self.order;
+                let entries = self.groups.iter().map(|&(s, e)| {
+                    let f = &flows[order[s as usize] as usize];
+                    WeightedReq {
+                        route: &f.route,
+                        rate_cap: f.rate_cap,
+                        weight: (e - s) as f64,
+                    }
+                });
+                fairshare::solve_into(&mut self.ws, &self.capacities, entries);
+                for (g, &(s, e)) in self.groups.iter().enumerate() {
+                    let rate = self.ws.rates()[g];
+                    for &slot in &self.order[s as usize..e as usize] {
+                        self.flows[slot as usize].rate = rate;
+                    }
+                }
+                // One completion candidate per epoch: the earliest predicted
+                // flow end. Simultaneous (EPSILON-window) neighbors are
+                // collected by the completion scan when it fires. Alongside
+                // it, bound the earliest instant any flow could satisfy the
+                // completion predicate (which tolerates `EPSILON` of
+                // remaining work, i.e. fires up to `EPSILON / rate` early);
+                // events before that bound skip the scan entirely.
+                let now = self.now.seconds();
+                let mut best: Option<(f64, ActivityId)> = None;
+                let mut earliest = f64::INFINITY;
+                for &s in &self.streams {
+                    let f = &self.flows[s as usize];
+                    if f.rate > EPSILON {
+                        let t = now + f.remaining / f.rate;
+                        let slack = (EPSILON / f.rate).max(EPSILON);
+                        earliest = earliest.min(t - slack);
+                        if best.is_none_or(|(bt, bid)| t < bt || (t == bt && f.id < bid)) {
+                            best = Some((t, f.id));
+                        }
+                    }
+                }
+                self.earliest_done = earliest;
+                if let Some((time, id)) = best {
+                    self.events.push(Reverse(HeapEvent {
+                        time,
+                        id,
+                        kind: EventKind::FlowEnd,
+                        epoch: self.epoch,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Whether a heap entry no longer describes a live event.
+    fn event_is_stale(&self, ev: &HeapEvent) -> bool {
+        if !self.active.contains_key(&ev.id) {
+            return true;
+        }
+        ev.kind == EventKind::FlowEnd && ev.epoch != self.epoch
+    }
+
+    /// Earliest event time by linear scan (reference path; also the debug
+    /// cross-check for the heap). `INFINITY` means no progress is possible.
+    ///
+    /// Flow-end predictions are based at `integrated_until`, the instant
+    /// the stored `remaining` values refer to (equal to `now` except during
+    /// a deferred-integration span of pure-delay events).
+    fn next_event_scan(&self) -> f64 {
+        let now = self.now.seconds();
+        let base = self.integrated_until;
+        let mut t_next = f64::INFINITY;
+        for act in self.active.values() {
+            let t = match act.kind {
+                ActivityKind::Delay { end } => end.seconds(),
+                ActivityKind::Flow { slot } => {
+                    let f = &self.flows[slot as usize];
+                    if f.latency_until > now + EPSILON {
+                        f.latency_until
+                    } else if f.rate > EPSILON {
+                        base + f.remaining / f.rate
+                    } else {
+                        f64::INFINITY
+                    }
+                }
+            };
+            if t < t_next {
+                t_next = t;
+            }
+        }
+        t_next
+    }
+
+    /// Earliest event time from the heap, discarding stale entries.
+    fn next_event_heap(&mut self) -> f64 {
+        while let Some(&Reverse(ev)) = self.events.peek() {
+            if self.event_is_stale(&ev) {
+                self.events.pop();
+                continue;
+            }
+            return ev.time;
+        }
+        f64::INFINITY
+    }
+
+    /// Advances every streaming flow from `integrated_until` to `upto` and
+    /// accounts resource usage. Rates are constant over the span (solves
+    /// force integration first), so one deferred application is exact.
+    fn integrate(&mut self, upto: f64) {
+        let dt = upto - self.integrated_until;
+        if dt <= 0.0 {
+            return;
+        }
+        self.integrated_until = upto;
+        self.busy.clear();
+        self.busy.resize(self.resources.len(), false);
+        for &s in &self.streams {
+            let f = &mut self.flows[s as usize];
+            let moved = (f.rate * dt).min(f.remaining);
+            f.remaining -= moved;
+            for r in &f.route {
+                self.stats[r.index()].total_served += moved;
+                self.busy[r.index()] = true;
+            }
+        }
+        for (idx, b) in self.busy.iter().enumerate() {
+            if *b {
+                self.stats[idx].busy_time += dt;
+            }
+        }
+    }
+
+    /// Collects all completions at `t_next` (in id order), promotes flows
+    /// whose latency elapsed, and queues the completions.
+    fn collect_completions(&mut self, t_next: f64) {
+        self.done_buf.clear();
+        match self.mode {
+            SolveMode::Naive => {
+                self.integrate(t_next);
+                self.promote_buf.clear();
+                for (id, act) in &self.active {
+                    match act.kind {
+                        ActivityKind::Delay { end } => {
+                            if end.seconds() <= t_next + EPSILON {
+                                self.done_buf.push(*id);
+                            }
+                        }
+                        ActivityKind::Flow { slot } => {
+                            let f = &self.flows[slot as usize];
+                            if f.latency_until <= t_next + EPSILON {
+                                if f.stream_pos == LATENT {
+                                    self.promote_buf.push(slot);
+                                }
+                                if f.is_done() {
+                                    self.done_buf.push(*id);
+                                }
+                            }
+                        }
+                    }
+                }
+                for k in 0..self.promote_buf.len() {
+                    let slot = self.promote_buf[k];
+                    self.make_streaming(slot);
+                }
+                // The heap is not consulted in naive mode; drain the window
+                // anyway so it stays bounded and mode switches stay cheap.
+                while let Some(&Reverse(ev)) = self.events.peek() {
+                    if ev.time > t_next + EPSILON {
+                        break;
+                    }
+                    self.events.pop();
+                }
+            }
+            SolveMode::Incremental => {
+                self.window_buf.clear();
+                while let Some(&Reverse(ev)) = self.events.peek() {
+                    if ev.time > t_next + EPSILON {
+                        break;
+                    }
+                    self.events.pop();
+                    if !self.event_is_stale(&ev) {
+                        self.window_buf.push(ev);
+                    }
+                }
+                let delays_only = self
+                    .window_buf
+                    .iter()
+                    .all(|ev| ev.kind == EventKind::DelayEnd);
+                if delays_only && t_next + EPSILON < self.earliest_done {
+                    // Fast path: the streaming set is untouched and no flow
+                    // can satisfy the completion predicate yet, so neither
+                    // integration nor the stream scan is needed — rates are
+                    // constant and `remaining` stays based at
+                    // `integrated_until`.
+                    for k in 0..self.window_buf.len() {
+                        self.done_buf.push(self.window_buf[k].id);
+                    }
+                } else {
+                    self.integrate(t_next);
+                    self.deferred.clear();
+                    for k in 0..self.window_buf.len() {
+                        let ev = self.window_buf[k];
+                        match ev.kind {
+                            EventKind::DelayEnd => self.done_buf.push(ev.id),
+                            EventKind::LatencyEnd => {
+                                if let Some(ActivityKind::Flow { slot }) =
+                                    self.active.get(&ev.id).map(|a| a.kind)
+                                {
+                                    if self.flows[slot as usize].stream_pos == LATENT {
+                                        self.make_streaming(slot);
+                                    }
+                                }
+                            }
+                            EventKind::FlowEnd => self.deferred.push(ev),
+                        }
+                    }
+                    for k in 0..self.streams.len() {
+                        let f = &self.flows[self.streams[k] as usize];
+                        if f.latency_until <= t_next + EPSILON && f.is_done() {
+                            self.done_buf.push(f.id);
+                        }
+                    }
+                    self.done_buf.sort_unstable();
+                    // A consumed candidate whose flow did not finish (an
+                    // EPSILON-window artifact): re-predict from current
+                    // state so no completion is lost.
+                    for k in 0..self.deferred.len() {
+                        let ev = self.deferred[k];
+                        if self.done_buf.binary_search(&ev.id).is_err() {
+                            if let Some(ActivityKind::Flow { slot }) =
+                                self.active.get(&ev.id).map(|a| a.kind)
+                            {
+                                let f = &self.flows[slot as usize];
+                                if f.rate > EPSILON {
+                                    self.events.push(Reverse(HeapEvent {
+                                        time: t_next + f.remaining / f.rate,
+                                        id: ev.id,
+                                        kind: EventKind::FlowEnd,
+                                        epoch: self.epoch,
+                                    }));
+                                }
+                            }
+                        }
                     }
                 }
             }
-            let rates = fairshare::solve(&capacities, &reqs);
-            drop(reqs);
-            for (id, rate) in ids.iter().zip(rates) {
-                if let Some(act) = self.active.get_mut(id) {
-                    if let ActivityKind::Flow { rate: r, .. } = &mut act.kind {
-                        *r = rate;
-                    }
-                }
+        }
+        self.done_buf.sort_unstable();
+        for k in 0..self.done_buf.len() {
+            let id = self.done_buf[k];
+            let act = self.active.remove(&id).expect("completed activity exists");
+            if let ActivityKind::Flow { slot } = act.kind {
+                self.release_flow(slot);
             }
+            self.record(id, TraceEventKind::End, act.label.as_deref());
+            self.ready.push_back(Completion {
+                id,
+                time: self.now,
+                tag: act.tag,
+            });
+        }
+    }
+
+    /// Advances the simulation to the next completion and returns it, or
+    /// `Ok(None)` when no activity remains.
+    ///
+    /// Simultaneous completions are returned on successive calls, ordered by
+    /// activity id.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Stalled`] if active activities exist but none
+    /// can make progress (all starved with zero rate and no pending delay
+    /// or latency).
+    pub fn try_step(&mut self) -> Result<Option<Completion<T>>, EngineError> {
+        loop {
+            if let Some(c) = self.ready.pop_front() {
+                return Ok(Some(c));
+            }
+            if self.active.is_empty() {
+                return Ok(None);
+            }
+
+            let must_solve = match self.mode {
+                SolveMode::Naive => true,
+                SolveMode::Incremental => self.dirty,
+            };
+            if must_solve {
+                self.resolve_rates();
+            }
+
+            let t_next = match self.mode {
+                SolveMode::Naive => self.next_event_scan(),
+                SolveMode::Incremental => {
+                    let t = self.next_event_heap();
+                    #[cfg(debug_assertions)]
+                    {
+                        let scan = self.next_event_scan();
+                        debug_assert!(
+                            (t.is_infinite() && scan.is_infinite())
+                                || (t - scan).abs() <= 1e-9 * scan.abs().max(1.0),
+                            "event heap disagrees with linear scan: {t} vs {scan}"
+                        );
+                    }
+                    t
+                }
+            };
+            if !t_next.is_finite() {
+                return Err(EngineError::Stalled {
+                    time: self.now,
+                    active: self.active.len(),
+                });
+            }
+            let t_next = t_next.max(self.now.seconds());
+            self.now = SimTime::from_seconds(t_next);
+            // Integration happens inside collect_completions: the naive
+            // path integrates unconditionally, the incremental path defers
+            // it across pure-delay spans.
+            self.collect_completions(t_next);
+            // Loop: either we queued completions (returned next iteration)
+            // or only a latency expired (rates change, keep advancing).
         }
     }
 
     /// Advances the simulation to the next completion and returns it, or
     /// `None` when no activity remains.
     ///
-    /// Simultaneous completions are returned on successive calls, ordered by
-    /// activity id.
-    ///
     /// # Panics
-    /// Panics if active flows exist but none can make progress (all starved
-    /// with zero rate and no pending delay or latency) — this indicates a
-    /// malformed platform, not a normal simulation outcome.
+    /// Panics on [`EngineError::Stalled`]; use [`Engine::try_step`] to
+    /// handle stalls as values.
     pub fn step(&mut self) -> Option<Completion<T>> {
-        loop {
-            if let Some(c) = self.ready.pop_front() {
-                return Some(c);
-            }
-            if self.active.is_empty() {
-                return None;
-            }
-
-            self.solve_rates();
-
-            // Earliest event: delay end, latency expiry, or flow completion.
-            let mut t_next = f64::INFINITY;
-            for act in self.active.values() {
-                let t = match &act.kind {
-                    ActivityKind::Delay { end } => end.seconds(),
-                    ActivityKind::Flow {
-                        remaining_latency,
-                        remaining,
-                        rate,
-                        ..
-                    } => {
-                        if *remaining_latency > EPSILON {
-                            self.now.seconds() + remaining_latency
-                        } else if *rate > EPSILON {
-                            self.now.seconds() + remaining / rate
-                        } else {
-                            f64::INFINITY
-                        }
-                    }
-                };
-                if t < t_next {
-                    t_next = t;
-                }
-            }
-            assert!(
-                t_next.is_finite(),
-                "simulation stalled at {}: {} active activities but no progress possible",
-                self.now,
-                self.active.len()
-            );
-            let t_next = t_next.max(self.now.seconds());
-            let dt = t_next - self.now.seconds();
-
-            // Integrate flow progress and per-resource statistics.
-            if dt > 0.0 {
-                let mut busy = vec![false; self.resources.len()];
-                for act in self.active.values_mut() {
-                    if let ActivityKind::Flow {
-                        remaining_latency,
-                        remaining,
-                        route,
-                        rate,
-                        ..
-                    } = &mut act.kind
-                    {
-                        if *remaining_latency > EPSILON {
-                            *remaining_latency = (*remaining_latency - dt).max(0.0);
-                        } else {
-                            let moved = (*rate * dt).min(*remaining);
-                            *remaining -= moved;
-                            for r in route.iter() {
-                                self.stats[r.index()].total_served += moved;
-                                busy[r.index()] = true;
-                            }
-                        }
-                    }
-                }
-                for (idx, b) in busy.iter().enumerate() {
-                    if *b {
-                        self.stats[idx].busy_time += dt;
-                    }
-                }
-            }
-            self.now = SimTime::from_seconds(t_next);
-
-            // Collect all completions at this instant, in id order.
-            let done: Vec<ActivityId> = self
-                .active
-                .iter()
-                .filter(|(_, act)| match &act.kind {
-                    ActivityKind::Delay { end } => end.seconds() <= t_next + EPSILON,
-                    ActivityKind::Flow {
-                        remaining_latency,
-                        remaining,
-                        rate,
-                        ..
-                    } => {
-                        *remaining_latency <= EPSILON
-                            && (*remaining <= EPSILON
-                                || (*rate > EPSILON && remaining / rate <= EPSILON))
-                    }
-                })
-                .map(|(id, _)| *id)
-                .collect();
-
-            for id in done {
-                let act = self.active.remove(&id).expect("completed activity exists");
-                self.record(id, TraceEventKind::End, act.label.as_deref());
-                self.ready.push_back(Completion {
-                    id,
-                    time: self.now,
-                    tag: act.tag,
-                });
-            }
-            // Loop: either we queued completions (returned next iteration)
-            // or only a latency expired (rates change, keep advancing).
+        match self.try_step() {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// Runs the simulation until no activity remains, returning all
     /// completions in order.
-    pub fn run_to_completion(&mut self) -> Vec<Completion<T>> {
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Stalled`] under the same conditions as
+    /// [`Engine::try_step`].
+    pub fn try_run_to_completion(&mut self) -> Result<Vec<Completion<T>>, EngineError> {
         let mut out = Vec::new();
-        while let Some(c) = self.step() {
+        while let Some(c) = self.try_step()? {
             out.push(c);
         }
-        out
+        Ok(out)
+    }
+
+    /// Runs the simulation until no activity remains, returning all
+    /// completions in order.
+    ///
+    /// # Panics
+    /// Panics on [`EngineError::Stalled`]; see [`Engine::try_step`].
+    pub fn run_to_completion(&mut self) -> Vec<Completion<T>> {
+        match self.try_run_to_completion() {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -559,10 +1084,7 @@ mod tests {
         assert_eq!(trace.events()[0].kind, TraceEventKind::Start);
         assert_eq!(trace.events()[0].label, "read:file1");
         assert_eq!(trace.events()[1].kind, TraceEventKind::End);
-        assert_eq!(
-            trace.last_event_time().unwrap(),
-            SimTime::from_seconds(1.0)
-        );
+        assert_eq!(trace.last_event_time().unwrap(), SimTime::from_seconds(1.0));
     }
 
     #[test]
@@ -668,6 +1190,127 @@ mod tests {
         assert!(e.now().approx_eq(SimTime::from_seconds(expected), 1e-6));
         let s = e.resource_stats(link);
         assert!((s.total_served - 10.0 * n as f64).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stalled_engine_returns_typed_error() {
+        let mut e: Engine<&str> = Engine::new();
+        let link = e.add_resource("link", 100.0);
+        // A rate cap below the solver tolerance: the flow is allocated a
+        // (numerically) zero rate and can never finish.
+        e.spawn_flow(FlowSpec::new(1.0, vec![link]).with_rate_cap(1e-12), "stuck");
+        let err = e.try_step().unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::Stalled {
+                time: SimTime::ZERO,
+                active: 1
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("simulation stalled"), "message: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation stalled")]
+    fn step_panics_on_stall() {
+        let mut e: Engine<&str> = Engine::new();
+        let link = e.add_resource("link", 100.0);
+        e.spawn_flow(FlowSpec::new(1.0, vec![link]).with_rate_cap(1e-12), "stuck");
+        let _ = e.step();
+    }
+
+    #[test]
+    fn naive_mode_also_detects_stall() {
+        let mut e: Engine<&str> = Engine::new();
+        e.set_solve_mode(SolveMode::Naive);
+        let link = e.add_resource("link", 100.0);
+        e.spawn_flow(FlowSpec::new(1.0, vec![link]).with_rate_cap(1e-12), "stuck");
+        assert!(matches!(
+            e.try_step(),
+            Err(EngineError::Stalled { active: 1, .. })
+        ));
+    }
+
+    /// Runs the same scripted scenario in both modes and compares the
+    /// completion sequences (exact tags/ids, times within 1e-9).
+    fn assert_modes_agree(build: impl Fn(&mut Engine<usize>)) {
+        let run = |mode: SolveMode| {
+            let mut e: Engine<usize> = Engine::new();
+            e.set_solve_mode(mode);
+            build(&mut e);
+            e.run_to_completion()
+                .iter()
+                .map(|c| (c.id, c.tag, c.time.seconds()))
+                .collect::<Vec<_>>()
+        };
+        let naive = run(SolveMode::Naive);
+        let incremental = run(SolveMode::Incremental);
+        assert_eq!(naive.len(), incremental.len());
+        for (n, i) in naive.iter().zip(&incremental) {
+            assert_eq!(
+                n.0, i.0,
+                "completion order differs: {naive:?} vs {incremental:?}"
+            );
+            assert_eq!(n.1, i.1);
+            assert!(
+                (n.2 - i.2).abs() <= 1e-9 * n.2.abs().max(1.0),
+                "times differ: {} vs {}",
+                n.2,
+                i.2
+            );
+        }
+    }
+
+    #[test]
+    fn modes_agree_on_mixed_workload() {
+        assert_modes_agree(|e| {
+            let link = e.add_resource("link", 250.0);
+            let disk = e.add_resource("disk", 100.0);
+            for i in 0..10 {
+                e.spawn_flow(
+                    FlowSpec::new(50.0 + 13.0 * i as f64, vec![link]).with_latency(0.1 * i as f64),
+                    i,
+                );
+            }
+            for i in 0..6 {
+                e.spawn_flow(
+                    FlowSpec::new(120.0, vec![link, disk]).with_rate_cap(30.0),
+                    100 + i,
+                );
+            }
+            for i in 0..8 {
+                e.spawn_delay(0.7 * i as f64 + 0.3, 200 + i);
+            }
+        });
+    }
+
+    #[test]
+    fn modes_agree_on_identical_flow_groups() {
+        assert_modes_agree(|e| {
+            let link = e.add_resource("link", 1000.0);
+            let nic = e.add_resource("nic", 400.0);
+            for i in 0..40 {
+                e.spawn_flow(FlowSpec::new(25.0, vec![link]), i);
+            }
+            for i in 0..20 {
+                e.spawn_flow(FlowSpec::new(60.0, vec![nic, link]), 100 + i);
+            }
+        });
+    }
+
+    #[test]
+    fn mode_switch_mid_run_keeps_consistency() {
+        let mut e: Engine<u32> = Engine::new();
+        let link = e.add_resource("link", 100.0);
+        e.spawn_flow(FlowSpec::new(200.0, vec![link]), 1);
+        e.spawn_flow(FlowSpec::new(400.0, vec![link]), 2);
+        let c = e.step().unwrap();
+        assert_eq!(c.tag, 1);
+        e.set_solve_mode(SolveMode::Naive);
+        let c = e.step().unwrap();
+        assert_eq!(c.tag, 2);
+        assert!(c.time.approx_eq(SimTime::from_seconds(6.0), 1e-9));
     }
 
     mod properties {
@@ -776,6 +1419,48 @@ mod tests {
                 }
                 durations.sort_by(f64::total_cmp);
                 prop_assert!((times.last().unwrap() - durations.last().unwrap()).abs() < 1e-9);
+            }
+
+            /// The incremental engine and the naive reference produce the
+            /// same completion sequence on arbitrary mixed workloads.
+            #[test]
+            fn incremental_matches_naive(
+                flows in proptest::collection::vec(
+                    (1.0f64..1e4, 0.0f64..2.0, proptest::option::of(1.0f64..100.0)),
+                    1..14,
+                ),
+                delays in proptest::collection::vec(0.0f64..15.0, 0..8),
+            ) {
+                let run = |mode: SolveMode| {
+                    let mut e: Engine<usize> = Engine::new();
+                    e.set_solve_mode(mode);
+                    let link = e.add_resource("link", 500.0);
+                    let disk = e.add_resource("disk", 200.0);
+                    for (i, (size, lat, cap)) in flows.iter().enumerate() {
+                        let route = if i % 3 == 0 { vec![link, disk] } else { vec![link] };
+                        let mut spec = FlowSpec::new(*size, route).with_latency(*lat);
+                        if let Some(c) = cap {
+                            spec = spec.with_rate_cap(*c);
+                        }
+                        e.spawn_flow(spec, i);
+                    }
+                    for (i, d) in delays.iter().enumerate() {
+                        e.spawn_delay(*d, 1000 + i);
+                    }
+                    e.run_to_completion()
+                        .iter()
+                        .map(|c| (c.id, c.tag, c.time.seconds()))
+                        .collect::<Vec<_>>()
+                };
+                let naive = run(SolveMode::Naive);
+                let incr = run(SolveMode::Incremental);
+                prop_assert_eq!(naive.len(), incr.len());
+                for (n, i) in naive.iter().zip(&incr) {
+                    prop_assert_eq!(n.0, i.0);
+                    prop_assert_eq!(n.1, i.1);
+                    prop_assert!((n.2 - i.2).abs() <= 1e-9 * n.2.abs().max(1.0),
+                        "times differ: {} vs {}", n.2, i.2);
+                }
             }
         }
     }

@@ -11,9 +11,37 @@
 //! concurrent SWarp pipelines slow each other down by competing for burst
 //! buffer bandwidth — emerge from first principles rather than from fitted
 //! slowdown curves.
+//!
+//! ## Numerical robustness
+//!
+//! Each round of progressive filling decides its freeze set against a
+//! *snapshot* of the residual capacities and loads taken at the start of the
+//! round: freezing one flow never changes which other flows freeze in the
+//! same round. (An earlier version subtracted frozen rates mid-iteration, so
+//! decisions for later flows were judged against partially updated state —
+//! correct in exact arithmetic, but sensitive to flow order through
+//! rounding.) Freeze comparisons additionally use a tolerance with a
+//! relative component, because at burst-buffer capacities (~10⁸–10¹¹ B/s)
+//! one ulp exceeds the absolute [`EPSILON`]; shares within a few parts in
+//! 10¹² of the fill level are treated as ties and frozen together.
+//!
+//! ## Workspaces and weighted entries
+//!
+//! [`solve`] allocates fresh buffers per call. The engine instead keeps a
+//! persistent [`Workspace`] and calls [`solve_into`], which reuses the
+//! buffers across solves (zero allocations in steady state) and accepts
+//! *weighted* entries: `N` identical flows (same route, same cap) collapse
+//! into one entry of weight `N`, costing one solver slot instead of `N`. In
+//! the max–min solution identical flows always receive identical rates, so
+//! the weighted instance is equivalent to the expanded one.
 
 use crate::ids::ResourceId;
 use crate::EPSILON;
+
+/// Relative component of the freeze tolerance: shares within this relative
+/// distance of the fill level are considered tied with it. Far below any
+/// physically meaningful difference, far above rounding noise.
+const RELATIVE_TOLERANCE: f64 = 1e-12;
 
 /// A flow, as seen by the solver.
 #[derive(Debug, Clone)]
@@ -22,6 +50,46 @@ pub struct FlowReq<'a> {
     pub route: &'a [ResourceId],
     /// Optional upper bound on the flow's rate.
     pub rate_cap: Option<f64>,
+}
+
+/// A solver entry standing for `weight` identical flows.
+///
+/// The returned rate is the *per-flow* rate; the entry consumes
+/// `rate * weight` of every resource on its route.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedReq<'a> {
+    /// Resources traversed by each of the represented flows.
+    pub route: &'a [ResourceId],
+    /// Optional per-flow rate cap.
+    pub rate_cap: Option<f64>,
+    /// How many identical flows this entry stands for (a positive integer
+    /// stored as `f64`).
+    pub weight: f64,
+}
+
+/// Reusable solver buffers.
+///
+/// Holding one `Workspace` across [`solve_into`] calls amortizes all solver
+/// allocations: after warm-up, solving allocates nothing.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    rates: Vec<f64>,
+    fixed: Vec<bool>,
+    freeze: Vec<bool>,
+    remaining: Vec<f64>,
+    load: Vec<f64>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-entry rates computed by the most recent [`solve_into`] call.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
 }
 
 /// Computes the max–min fair allocation.
@@ -34,43 +102,81 @@ pub struct FlowReq<'a> {
 /// # Panics
 /// Panics if a route references a resource index out of bounds.
 pub fn solve(capacities: &[f64], flows: &[FlowReq<'_>]) -> Vec<f64> {
-    let mut rates = vec![0.0_f64; flows.len()];
-    let mut fixed = vec![false; flows.len()];
-    let mut remaining: Vec<f64> = capacities.to_vec();
-    // Number of unfixed flows crossing each resource.
-    let mut load = vec![0_usize; capacities.len()];
+    let mut ws = Workspace::new();
+    solve_into(
+        &mut ws,
+        capacities,
+        flows.iter().map(|f| WeightedReq {
+            route: f.route,
+            rate_cap: f.rate_cap,
+            weight: 1.0,
+        }),
+    )
+    .to_vec()
+}
+
+/// Computes the max–min fair allocation into a reusable [`Workspace`].
+///
+/// `entries` is consumed several times per filling round, hence `Clone`
+/// (callers pass cheap mapping iterators over borrowed data). Returns the
+/// per-entry rates, also available afterwards via [`Workspace::rates`].
+///
+/// # Panics
+/// Panics if a route references a resource index out of bounds.
+pub fn solve_into<'a, 'w, I>(ws: &'w mut Workspace, capacities: &[f64], entries: I) -> &'w [f64]
+where
+    I: Iterator<Item = WeightedReq<'a>> + Clone,
+{
+    ws.remaining.clear();
+    ws.remaining.extend_from_slice(capacities);
+    ws.load.clear();
+    ws.load.resize(capacities.len(), 0.0);
+    ws.rates.clear();
+    ws.fixed.clear();
+    ws.freeze.clear();
 
     let mut unfixed = 0usize;
-    for (i, f) in flows.iter().enumerate() {
-        if f.route.is_empty() {
-            rates[i] = f.rate_cap.unwrap_or(f64::INFINITY);
-            fixed[i] = true;
-            continue;
-        }
-        unfixed += 1;
-        for r in f.route {
-            let idx = r.index();
-            assert!(idx < capacities.len(), "route references unknown resource {r}");
-            load[idx] += 1;
+    for e in entries.clone() {
+        debug_assert!(
+            e.weight >= 1.0 && e.weight.fract() == 0.0,
+            "entry weight must be a positive integer, got {}",
+            e.weight
+        );
+        if e.route.is_empty() {
+            ws.rates.push(e.rate_cap.unwrap_or(f64::INFINITY));
+            ws.fixed.push(true);
+        } else {
+            ws.rates.push(0.0);
+            ws.fixed.push(false);
+            unfixed += 1;
+            for r in e.route {
+                let idx = r.index();
+                assert!(
+                    idx < capacities.len(),
+                    "route references unknown resource {r}"
+                );
+                ws.load[idx] += e.weight;
+            }
         }
     }
+    ws.freeze.resize(ws.rates.len(), false);
 
     while unfixed > 0 {
         // Fair share offered by the most constrained resource.
         let mut min_share = f64::INFINITY;
-        for (idx, &n) in load.iter().enumerate() {
-            if n > 0 {
-                let share = (remaining[idx].max(0.0)) / n as f64;
+        for (idx, &n) in ws.load.iter().enumerate() {
+            if n > 0.0 {
+                let share = ws.remaining[idx].max(0.0) / n;
                 if share < min_share {
                     min_share = share;
                 }
             }
         }
-        // Smallest cap among unfixed capped flows.
+        // Smallest cap among unfixed capped entries.
         let mut min_cap = f64::INFINITY;
-        for (i, f) in flows.iter().enumerate() {
-            if !fixed[i] {
-                if let Some(cap) = f.rate_cap {
+        for (i, e) in entries.clone().enumerate() {
+            if !ws.fixed[i] {
+                if let Some(cap) = e.rate_cap {
                     if cap < min_cap {
                         min_cap = cap;
                     }
@@ -80,42 +186,50 @@ pub fn solve(capacities: &[f64], flows: &[FlowReq<'_>]) -> Vec<f64> {
 
         let level = min_share.min(min_cap);
         debug_assert!(level.is_finite(), "no constraint found for unfixed flows");
+        let tol = EPSILON + level.abs() * RELATIVE_TOLERANCE;
 
-        // Freeze every flow constrained at this level: flows whose cap is
-        // reached, and flows crossing a resource whose fair share is the
-        // bottleneck.
+        // Phase 1: decide the freeze set against the round-start snapshot.
+        // `remaining` and `load` are not touched here, so the decision for
+        // each entry is independent of entry order.
         let mut froze_any = false;
-        for (i, f) in flows.iter().enumerate() {
-            if fixed[i] {
+        for (i, e) in entries.clone().enumerate() {
+            if ws.fixed[i] {
+                ws.freeze[i] = false;
                 continue;
             }
-            let capped = f.rate_cap.is_some_and(|c| c <= level + EPSILON);
-            let bottlenecked = f.route.iter().any(|r| {
+            let capped = e.rate_cap.is_some_and(|c| c <= level + tol);
+            let bottlenecked = e.route.iter().any(|r| {
                 let idx = r.index();
-                (remaining[idx].max(0.0)) / load[idx] as f64 <= level + EPSILON
+                ws.remaining[idx].max(0.0) / ws.load[idx] <= level + tol
             });
-            if capped || bottlenecked {
-                let rate = match f.rate_cap {
-                    Some(c) => c.min(level),
-                    None => level,
-                };
-                rates[i] = rate;
-                fixed[i] = true;
-                froze_any = true;
-                unfixed -= 1;
-                for r in f.route {
-                    let idx = r.index();
-                    load[idx] -= 1;
-                    remaining[idx] = (remaining[idx] - rate).max(0.0);
-                }
+            ws.freeze[i] = capped || bottlenecked;
+            froze_any |= ws.freeze[i];
+        }
+        // The entry achieving `min_share` (or `min_cap`) always satisfies
+        // its own freeze test, so a round cannot come up empty.
+        assert!(froze_any, "fair-share solver failed to make progress");
+
+        // Phase 2: apply the frozen rates to the residual network.
+        for (i, e) in entries.clone().enumerate() {
+            if !ws.freeze[i] {
+                continue;
+            }
+            let rate = match e.rate_cap {
+                Some(c) => c.min(level),
+                None => level,
+            };
+            ws.rates[i] = rate;
+            ws.fixed[i] = true;
+            unfixed -= 1;
+            for r in e.route {
+                let idx = r.index();
+                ws.load[idx] -= e.weight;
+                ws.remaining[idx] = (ws.remaining[idx] - rate * e.weight).max(0.0);
             }
         }
-        // Progressive filling always freezes at least the flows on the
-        // bottleneck; guard against numerical stalemates anyway.
-        assert!(froze_any, "fair-share solver failed to make progress");
     }
 
-    rates
+    &ws.rates
 }
 
 #[cfg(test)]
@@ -245,6 +359,103 @@ mod tests {
         assert!((rates[1] - 50.0).abs() < 1e-9);
     }
 
+    /// The old freeze pass compared shares against `level + EPSILON` with an
+    /// absolute-only tolerance, so at burst-buffer magnitudes (where one ulp
+    /// exceeds EPSILON) shares a hair above the fill level were *not*
+    /// frozen in the bottleneck round and ended up with a spuriously
+    /// different rate. The snapshot pass treats shares within a relative
+    /// tolerance of the level as ties: this instance fails on the old code
+    /// (flow 2 received 1e9 + 5e-4 there) and passes on the new one.
+    #[test]
+    fn near_tied_shares_freeze_together_at_scale() {
+        let ra = [rid(0)];
+        let rb = [rid(1)];
+        // Resource A: two flows sharing 2e9 -> level 1e9. Resource B: one
+        // flow alone on 1e9 * (1 + 5e-13), a share within the relative
+        // tolerance of the level but 5e5 ulps above the absolute EPSILON.
+        let caps = [2.0e9, 1.0e9 * (1.0 + 5.0e-13)];
+        let rates = solve(&caps, &[req(&ra), req(&ra), req(&rb)]);
+        assert_eq!(rates[0], 1.0e9);
+        assert_eq!(rates[1], 1.0e9);
+        assert!(
+            (rates[2] - 1.0e9).abs() < 1e-6,
+            "near-tied share must freeze at the level, got {}",
+            rates[2]
+        );
+    }
+
+    #[test]
+    fn weighted_entry_matches_repeated_flows() {
+        // 5 identical flows on a shared link plus a distinct competitor,
+        // once expanded and once as a weight-5 entry.
+        let shared = [rid(0)];
+        let both = [rid(0), rid(1)];
+        let mut expanded: Vec<FlowReq> = (0..5).map(|_| req(&shared)).collect();
+        expanded.push(FlowReq {
+            route: &both,
+            rate_cap: Some(11.0),
+        });
+        let rates = solve(&[100.0, 40.0], &expanded);
+
+        let mut ws = Workspace::new();
+        let grouped = [
+            WeightedReq {
+                route: &shared,
+                rate_cap: None,
+                weight: 5.0,
+            },
+            WeightedReq {
+                route: &both,
+                rate_cap: Some(11.0),
+                weight: 1.0,
+            },
+        ];
+        let grouped_rates = solve_into(&mut ws, &[100.0, 40.0], grouped.iter().copied());
+        for (i, rate) in rates.iter().enumerate().take(5) {
+            assert!(
+                (rate - grouped_rates[0]).abs() < 1e-9,
+                "member {i}: {rate} vs {}",
+                grouped_rates[0]
+            );
+        }
+        assert!((rates[5] - grouped_rates[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workspace_is_reusable_across_instances() {
+        let mut ws = Workspace::new();
+        let r0 = [rid(0)];
+        let r01 = [rid(0), rid(1)];
+        let first = solve_into(
+            &mut ws,
+            &[10.0],
+            [WeightedReq {
+                route: &r0,
+                rate_cap: None,
+                weight: 2.0,
+            }]
+            .into_iter(),
+        )
+        .to_vec();
+        assert!((first[0] - 5.0).abs() < 1e-9);
+        // A second, larger instance must not see stale state.
+        let entries = [
+            WeightedReq {
+                route: &r01,
+                rate_cap: None,
+                weight: 1.0,
+            },
+            WeightedReq {
+                route: &r0,
+                rate_cap: Some(2.0),
+                weight: 3.0,
+            },
+        ];
+        let second = solve_into(&mut ws, &[20.0, 6.0], entries.iter().copied());
+        assert!((second[1] - 2.0).abs() < 1e-9);
+        assert!((second[0] - 6.0).abs() < 1e-9);
+    }
+
     /// Checks the three max–min invariants for an arbitrary instance.
     fn check_invariants(capacities: &[f64], flows: &[FlowReq<'_>], rates: &[f64]) {
         let tol = 1e-6;
@@ -335,33 +546,39 @@ mod tests {
             })
         }
 
+        fn to_flows<'a>(
+            routes: &'a [Vec<ResourceId>],
+            raw: &'a [(Vec<usize>, Option<f64>)],
+        ) -> Vec<FlowReq<'a>> {
+            routes
+                .iter()
+                .zip(raw)
+                .map(|(route, (_, cap))| FlowReq {
+                    route,
+                    rate_cap: *cap,
+                })
+                .collect()
+        }
+
+        fn to_routes(raw: &[(Vec<usize>, Option<f64>)]) -> Vec<Vec<ResourceId>> {
+            raw.iter()
+                .map(|(r, _)| r.iter().map(|&i| rid(i)).collect())
+                .collect()
+        }
+
         proptest! {
             #[test]
             fn solver_satisfies_maxmin_invariants((caps, raw) in instance()) {
-                let routes: Vec<Vec<ResourceId>> = raw
-                    .iter()
-                    .map(|(r, _)| r.iter().map(|&i| rid(i)).collect())
-                    .collect();
-                let flows: Vec<FlowReq> = routes
-                    .iter()
-                    .zip(&raw)
-                    .map(|(route, (_, cap))| FlowReq { route, rate_cap: *cap })
-                    .collect();
+                let routes = to_routes(&raw);
+                let flows = to_flows(&routes, &raw);
                 let rates = solve(&caps, &flows);
                 check_invariants(&caps, &flows, &rates);
             }
 
             #[test]
             fn solver_is_order_independent((caps, raw) in instance()) {
-                let routes: Vec<Vec<ResourceId>> = raw
-                    .iter()
-                    .map(|(r, _)| r.iter().map(|&i| rid(i)).collect())
-                    .collect();
-                let flows: Vec<FlowReq> = routes
-                    .iter()
-                    .zip(&raw)
-                    .map(|(route, (_, cap))| FlowReq { route, rate_cap: *cap })
-                    .collect();
+                let routes = to_routes(&raw);
+                let flows = to_flows(&routes, &raw);
                 let rates = solve(&caps, &flows);
                 // Reverse the flow order and compare per-flow results.
                 let rev: Vec<FlowReq> = flows.iter().rev().cloned().collect();
@@ -375,15 +592,8 @@ mod tests {
 
             #[test]
             fn more_capacity_never_hurts((caps, raw) in instance()) {
-                let routes: Vec<Vec<ResourceId>> = raw
-                    .iter()
-                    .map(|(r, _)| r.iter().map(|&i| rid(i)).collect())
-                    .collect();
-                let flows: Vec<FlowReq> = routes
-                    .iter()
-                    .zip(&raw)
-                    .map(|(route, (_, cap))| FlowReq { route, rate_cap: *cap })
-                    .collect();
+                let routes = to_routes(&raw);
+                let flows = to_flows(&routes, &raw);
                 let rates = solve(&caps, &flows);
                 let bigger: Vec<f64> = caps.iter().map(|c| c * 2.0).collect();
                 let rates2 = solve(&bigger, &flows);
@@ -391,6 +601,68 @@ mod tests {
                 let min1 = rates.iter().cloned().fold(f64::INFINITY, f64::min);
                 let min2 = rates2.iter().cloned().fold(f64::INFINITY, f64::min);
                 prop_assert!(min2 >= min1 - 1e-6 * min1.max(1.0));
+            }
+
+            /// Workspace reuse across random instances matches fresh solves.
+            #[test]
+            fn workspace_reuse_matches_fresh_solves(
+                (caps_a, raw_a) in instance(),
+                (caps_b, raw_b) in instance(),
+            ) {
+                let mut ws = Workspace::new();
+                for (caps, raw) in [(caps_a, raw_a), (caps_b, raw_b)] {
+                    let routes = to_routes(&raw);
+                    let flows = to_flows(&routes, &raw);
+                    let fresh = solve(&caps, &flows);
+                    let reused = solve_into(
+                        &mut ws,
+                        &caps,
+                        flows.iter().map(|f| WeightedReq {
+                            route: f.route,
+                            rate_cap: f.rate_cap,
+                            weight: 1.0,
+                        }),
+                    );
+                    prop_assert_eq!(fresh.as_slice(), reused);
+                }
+            }
+
+            /// Collapsing duplicated flows into weighted entries yields the
+            /// same per-flow rates as the expanded instance.
+            #[test]
+            fn weighted_groups_match_expanded_instance(
+                (caps, raw) in instance(),
+                copies in 2usize..5,
+            ) {
+                let routes = to_routes(&raw);
+                let flows = to_flows(&routes, &raw);
+                // Expanded: each flow duplicated `copies` times, interleaved.
+                let mut expanded = Vec::new();
+                for _ in 0..copies {
+                    expanded.extend(flows.iter().cloned());
+                }
+                let expanded_rates = solve(&caps, &expanded);
+                let mut ws = Workspace::new();
+                let grouped_rates = solve_into(
+                    &mut ws,
+                    &caps,
+                    flows.iter().map(|f| WeightedReq {
+                        route: f.route,
+                        rate_cap: f.rate_cap,
+                        weight: copies as f64,
+                    }),
+                );
+                for (i, &g) in grouped_rates.iter().enumerate() {
+                    for c in 0..copies {
+                        let e = expanded_rates[c * flows.len() + i];
+                        if g.is_finite() {
+                            prop_assert!((e - g).abs() <= 1e-6 * g.max(1.0),
+                                "entry {i} copy {c}: {} vs {}", e, g);
+                        } else {
+                            prop_assert!(e.is_infinite());
+                        }
+                    }
+                }
             }
         }
     }

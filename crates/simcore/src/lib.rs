@@ -45,8 +45,8 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use activity::{ActivityKind, FlowSpec};
-pub use engine::{Completion, Engine};
+pub use activity::FlowSpec;
+pub use engine::{Completion, Engine, EngineError, SolveMode};
 pub use ids::{ActivityId, ResourceId};
 pub use resource::Resource;
 pub use stats::ResourceStats;

@@ -46,7 +46,9 @@ impl TraceLog {
     /// order; the engine guarantees this.
     pub fn record(&mut self, event: TraceEvent) {
         debug_assert!(
-            self.events.last().is_none_or(|last| last.time <= event.time),
+            self.events
+                .last()
+                .is_none_or(|last| last.time <= event.time),
             "trace events must be appended in chronological order"
         );
         self.events.push(event);

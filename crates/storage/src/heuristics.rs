@@ -107,9 +107,7 @@ pub fn plan_with_budget(
                 .files()
                 .iter()
                 .filter(|f| {
-                    workflow
-                        .producer(f.id)
-                        .is_some_and(|p| tasks.contains(&p))
+                    workflow.producer(f.id).is_some_and(|p| tasks.contains(&p))
                         || workflow.consumers(f.id).iter().any(|c| tasks.contains(c))
                 })
                 .map(|f| f.id.index())
@@ -172,7 +170,11 @@ mod tests {
         let outs: Vec<_> = (0..3).map(|i| b.add_file(format!("out{i}"), 1.0)).collect();
         b.task("t1").flops(100.0).input(in_big).output(hot).add();
         for (i, &o) in outs.iter().enumerate() {
-            b.task(format!("t{}", i + 2)).flops(1.0).input(hot).output(o).add();
+            b.task(format!("t{}", i + 2))
+                .flops(1.0)
+                .input(hot)
+                .output(o)
+                .add();
         }
         b.build().unwrap()
     }
@@ -230,7 +232,10 @@ mod tests {
         let wf = workflow();
         // savings(in_big) = 100 * 2 = 200 units; savings(hot) = 10 * 4 = 40.
         let p = plan(BbBudgetHeuristic::BandwidthSavings, 100.0);
-        assert_eq!(p.tier(wf.file_by_name("in_big").unwrap().id), Tier::BurstBuffer);
+        assert_eq!(
+            p.tier(wf.file_by_name("in_big").unwrap().id),
+            Tier::BurstBuffer
+        );
     }
 
     #[test]
@@ -239,8 +244,14 @@ mod tests {
         // Critical path is t1 (flops 100) -> one of t2..t4; in_big and hot
         // are both on it.
         let p = plan(BbBudgetHeuristic::CriticalPathFirst, 110.0);
-        assert_eq!(p.tier(wf.file_by_name("in_big").unwrap().id), Tier::BurstBuffer);
-        assert_eq!(p.tier(wf.file_by_name("hot").unwrap().id), Tier::BurstBuffer);
+        assert_eq!(
+            p.tier(wf.file_by_name("in_big").unwrap().id),
+            Tier::BurstBuffer
+        );
+        assert_eq!(
+            p.tier(wf.file_by_name("hot").unwrap().id),
+            Tier::BurstBuffer
+        );
     }
 
     #[test]
@@ -249,11 +260,7 @@ mod tests {
         for h in BbBudgetHeuristic::ALL {
             for budget in [0.0, 5.0, 50.0, 111.0, 112.0, 113.0] {
                 let p = plan(h, budget);
-                let used: f64 = p
-                    .bb_files()
-                    .iter()
-                    .map(|&f| wf.file(f).size)
-                    .sum();
+                let used: f64 = p.bb_files().iter().map(|&f| wf.file(f).size).sum();
                 assert!(used <= budget + 1e-9, "{}: {used} > {budget}", h.label());
             }
         }

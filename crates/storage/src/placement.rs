@@ -188,8 +188,16 @@ mod tests {
         }
         let mid = b.add_file("mid", 5.0);
         let out = b.add_file("out", 1.0);
-        b.task("t1").category("resample").inputs(ins).output(mid).add();
-        b.task("t2").category("combine").input(mid).output(out).add();
+        b.task("t1")
+            .category("resample")
+            .inputs(ins)
+            .output(mid)
+            .add();
+        b.task("t2")
+            .category("combine")
+            .input(mid)
+            .output(out)
+            .add();
         b.build().unwrap()
     }
 
@@ -259,7 +267,10 @@ mod tests {
         // 10-byte inputs -> BB; 5-byte mid and 1-byte out -> PFS.
         let mid = wf.file_by_name("mid").unwrap().id;
         assert_eq!(plan.tier(mid), Tier::Pfs);
-        assert_eq!(plan.tier(wf.file_by_name("in0").unwrap().id), Tier::BurstBuffer);
+        assert_eq!(
+            plan.tier(wf.file_by_name("in0").unwrap().id),
+            Tier::BurstBuffer
+        );
     }
 
     #[test]
@@ -273,7 +284,10 @@ mod tests {
         let out = wf.file_by_name("out").unwrap().id; // produced by combine (unmapped)
         assert_eq!(plan.tier(mid), Tier::BurstBuffer);
         assert_eq!(plan.tier(out), Tier::Pfs);
-        assert_eq!(plan.tier(wf.file_by_name("in0").unwrap().id), Tier::BurstBuffer);
+        assert_eq!(
+            plan.tier(wf.file_by_name("in0").unwrap().id),
+            Tier::BurstBuffer
+        );
     }
 
     #[test]

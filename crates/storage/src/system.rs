@@ -150,8 +150,10 @@ impl StorageSystem {
     pub fn read_flows(&self, size: f64, location: &Location, reader_node: usize) -> AccessPlan {
         let lat = &self.platform.spec.latency;
         let data = match location {
-            Location::Pfs => vec![FlowSpec::new(size, self.platform.route_node_pfs(reader_node))
-                .with_latency(lat.network + lat.pfs_per_file)],
+            Location::Pfs => vec![
+                FlowSpec::new(size, self.platform.route_node_pfs(reader_node))
+                    .with_latency(lat.network + lat.pfs_per_file),
+            ],
             Location::SharedBb { bb_node } => vec![FlowSpec::new(
                 size,
                 self.platform.route_node_shared_bb(reader_node, *bb_node),
@@ -162,18 +164,17 @@ impl StorageSystem {
                 stripe_nodes
                     .iter()
                     .map(|&b| {
-                        FlowSpec::new(
-                            size / k,
-                            self.platform.route_node_shared_bb(reader_node, b),
-                        )
-                        .with_latency(lat.network + lat.bb_striped_per_stripe)
+                        FlowSpec::new(size / k, self.platform.route_node_shared_bb(reader_node, b))
+                            .with_latency(lat.network + lat.bb_striped_per_stripe)
                     })
                     .collect()
             }
             Location::OnNodeBb { node } => {
                 if *node == reader_node {
-                    vec![FlowSpec::new(size, self.platform.route_node_local_bb(*node))
-                        .with_latency(lat.bb_onnode_per_file)]
+                    vec![
+                        FlowSpec::new(size, self.platform.route_node_local_bb(*node))
+                            .with_latency(lat.bb_onnode_per_file),
+                    ]
                 } else {
                     // Remote read from another node's local BB: cross both
                     // NICs and the fabric to reach the owner's device.
@@ -280,8 +281,14 @@ mod tests {
     #[test]
     fn locate_private_maps_namespaces_round_robin() {
         let (_, s) = system(presets::cori(3, BbMode::Private));
-        assert_eq!(s.locate(Tier::BurstBuffer, 0, 100e6), Location::SharedBb { bb_node: 0 });
-        assert_eq!(s.locate(Tier::BurstBuffer, 2, 100e6), Location::SharedBb { bb_node: 0 });
+        assert_eq!(
+            s.locate(Tier::BurstBuffer, 0, 100e6),
+            Location::SharedBb { bb_node: 0 }
+        );
+        assert_eq!(
+            s.locate(Tier::BurstBuffer, 2, 100e6),
+            Location::SharedBb { bb_node: 0 }
+        );
         assert_eq!(s.locate(Tier::Pfs, 1, 100e6), Location::Pfs);
     }
 
@@ -299,7 +306,10 @@ mod tests {
     #[test]
     fn locate_on_node_uses_writer_node() {
         let (_, s) = system(presets::summit(4));
-        assert_eq!(s.locate(Tier::BurstBuffer, 3, 100e6), Location::OnNodeBb { node: 3 });
+        assert_eq!(
+            s.locate(Tier::BurstBuffer, 3, 100e6),
+            Location::OnNodeBb { node: 3 }
+        );
     }
 
     #[test]
@@ -382,7 +392,12 @@ mod tests {
             let plan = s.stage_in_flows(1e6, &loc, 1);
             for f in &plan.data {
                 let set: std::collections::HashSet<_> = f.route.iter().collect();
-                assert_eq!(set.len(), f.route.len(), "route has duplicates: {:?}", f.route);
+                assert_eq!(
+                    set.len(),
+                    f.route.len(),
+                    "route has duplicates: {:?}",
+                    f.route
+                );
             }
         }
     }
@@ -420,9 +435,18 @@ mod tests {
             mode: BbMode::Private,
         };
         let (_, s) = system(spec);
-        assert_eq!(s.locate(Tier::BurstBuffer, 0, 100e6), Location::SharedBb { bb_node: 0 });
-        assert_eq!(s.locate(Tier::BurstBuffer, 1, 100e6), Location::SharedBb { bb_node: 1 });
-        assert_eq!(s.locate(Tier::BurstBuffer, 2, 100e6), Location::SharedBb { bb_node: 0 });
+        assert_eq!(
+            s.locate(Tier::BurstBuffer, 0, 100e6),
+            Location::SharedBb { bb_node: 0 }
+        );
+        assert_eq!(
+            s.locate(Tier::BurstBuffer, 1, 100e6),
+            Location::SharedBb { bb_node: 1 }
+        );
+        assert_eq!(
+            s.locate(Tier::BurstBuffer, 2, 100e6),
+            Location::SharedBb { bb_node: 0 }
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ mod tests {
         assert_eq!(Location::Pfs.tier(), Tier::Pfs);
         assert_eq!(Location::SharedBb { bb_node: 0 }.tier(), Tier::BurstBuffer);
         assert_eq!(
-            Location::StripedBb { stripe_nodes: vec![0, 1] }.tier(),
+            Location::StripedBb {
+                stripe_nodes: vec![0, 1]
+            }
+            .tier(),
             Tier::BurstBuffer
         );
         assert_eq!(Location::OnNodeBb { node: 2 }.tier(), Tier::BurstBuffer);

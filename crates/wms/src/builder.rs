@@ -24,7 +24,7 @@
 //! ```
 
 use wfbb_platform::{PlatformError, PlatformSpec};
-use wfbb_simcore::Engine;
+use wfbb_simcore::{Engine, SolveMode};
 use wfbb_storage::{PlacementPlan, PlacementPolicy, StorageSystem};
 use wfbb_workflow::Workflow;
 
@@ -60,6 +60,7 @@ pub struct SimulationBuilder {
     io_concurrency: Option<usize>,
     scheduler: SchedulerPolicy,
     dynamic_placer: Option<Box<dyn crate::dynamic::DynamicPlacer>>,
+    solve_mode: SolveMode,
 }
 
 impl SimulationBuilder {
@@ -77,6 +78,7 @@ impl SimulationBuilder {
             io_concurrency: None,
             scheduler: SchedulerPolicy::default(),
             dynamic_placer: None,
+            solve_mode: SolveMode::default(),
         }
     }
 
@@ -112,11 +114,16 @@ impl SimulationBuilder {
     /// Installs an online placer that decides every write's tier at
     /// runtime (overriding the static plan for non-input files; staging
     /// still follows the plan). See [`crate::dynamic`].
-    pub fn dynamic_placer(
-        mut self,
-        placer: Box<dyn crate::dynamic::DynamicPlacer>,
-    ) -> Self {
+    pub fn dynamic_placer(mut self, placer: Box<dyn crate::dynamic::DynamicPlacer>) -> Self {
         self.dynamic_placer = Some(placer);
+        self
+    }
+
+    /// Selects the engine's solve strategy (default:
+    /// [`SolveMode::Incremental`]). The naive mode exists for A/B
+    /// verification of the incremental engine.
+    pub fn solve_mode(mut self, mode: SolveMode) -> Self {
+        self.solve_mode = mode;
         self
     }
 
@@ -126,6 +133,7 @@ impl SimulationBuilder {
             .validate()
             .map_err(SimulationError::Platform)?;
         let mut engine = Engine::new();
+        engine.set_solve_mode(self.solve_mode);
         let instance = self.platform.instantiate(&mut engine);
         let storage = StorageSystem::new(instance);
         let plan = match self.plan_override {
@@ -212,13 +220,11 @@ mod tests {
 
     #[test]
     fn all_pfs_never_touches_the_bb() {
-        let report = SimulationBuilder::new(
-            presets::cori(1, BbMode::Private),
-            pipeline_workflow(4),
-        )
-        .placement(PlacementPolicy::AllPfs)
-        .run()
-        .unwrap();
+        let report =
+            SimulationBuilder::new(presets::cori(1, BbMode::Private), pipeline_workflow(4))
+                .placement(PlacementPolicy::AllPfs)
+                .run()
+                .unwrap();
         assert_eq!(report.bb_bytes, 0.0);
         assert!(report.pfs_bytes > 0.0);
         assert_eq!(report.stage_in_time, 0.0, "nothing to stage");
@@ -321,6 +327,57 @@ mod tests {
     }
 
     #[test]
+    fn engine_stall_surfaces_as_typed_error() {
+        use wfbb_simcore::{EngineError, FlowSpec};
+        use wfbb_storage::StorageSystem;
+        use wfbb_workflow::TaskId;
+
+        let platform = presets::summit(1);
+        platform.validate().unwrap();
+        let mut engine = Engine::new();
+        let instance = platform.instantiate(&mut engine);
+        // Poison the engine: a flow whose rate cap is below the solver
+        // tolerance can never progress, so once everything else finishes
+        // the engine stalls instead of completing.
+        let route = vec![instance.pfs_disk];
+        engine.spawn_flow(
+            FlowSpec::new(1.0, route).with_rate_cap(1e-12),
+            crate::executor::Tag::Compute(TaskId::from_index(0)),
+        );
+        let storage = StorageSystem::new(instance);
+        let wf = pipeline_workflow(2);
+        let plan = PlacementPolicy::AllBb.plan(&wf);
+        let executor = Executor::new(engine, storage, wf, plan, None, SchedulerPolicy::default());
+        let err = executor.run().unwrap_err();
+        assert!(
+            matches!(err, ExecutorError::Engine(EngineError::Stalled { .. })),
+            "expected stall, got {err:?}"
+        );
+        assert!(err.to_string().contains("simulation stalled"));
+    }
+
+    #[test]
+    fn solve_modes_agree_end_to_end() {
+        use wfbb_simcore::SolveMode;
+        let wf = pipeline_workflow(4);
+        let run = |mode| {
+            SimulationBuilder::new(presets::cori(1, BbMode::Private), wf.clone())
+                .placement(PlacementPolicy::AllBb)
+                .solve_mode(mode)
+                .run()
+                .unwrap()
+        };
+        let naive = run(SolveMode::Naive);
+        let incr = run(SolveMode::Incremental);
+        assert!(
+            (naive.makespan.seconds() - incr.makespan.seconds()).abs() < 1e-9,
+            "{} vs {}",
+            naive.makespan,
+            incr.makespan
+        );
+    }
+
+    #[test]
     fn invalid_platform_is_reported() {
         let mut p = presets::summit(1);
         p.pfs_disk_bw = -5.0;
@@ -331,7 +388,9 @@ mod tests {
     #[test]
     fn empty_workflow_completes_instantly() {
         let wf = WorkflowBuilder::new("empty").build().unwrap();
-        let report = SimulationBuilder::new(presets::summit(1), wf).run().unwrap();
+        let report = SimulationBuilder::new(presets::summit(1), wf)
+            .run()
+            .unwrap();
         assert_eq!(report.makespan.seconds(), 0.0);
         assert!(report.tasks.is_empty());
     }
@@ -342,7 +401,12 @@ mod tests {
         let mut b = WorkflowBuilder::new("spread");
         for i in 0..8 {
             let f = b.add_file(format!("o{i}"), 1e6);
-            b.task(format!("t{i}")).category("w").flops(1e11).cores(1).output(f).add();
+            b.task(format!("t{i}"))
+                .category("w")
+                .flops(1e11)
+                .cores(1)
+                .output(f)
+                .add();
         }
         let wf = b.build().unwrap();
         let run = |policy| {
@@ -389,7 +453,10 @@ mod tests {
             .unwrap();
         let nodes: std::collections::HashSet<_> = balanced.tasks.iter().map(|t| t.node).collect();
         assert_eq!(nodes.len(), 2);
-        assert!(balanced.makespan < affinity.makespan, "balancing helps here");
+        assert!(
+            balanced.makespan < affinity.makespan,
+            "balancing helps here"
+        );
     }
 
     #[test]
@@ -474,12 +541,27 @@ mod tests {
         let mut b = WorkflowBuilder::new("par");
         let o0 = b.add_file("o0", 1e6);
         let o1 = b.add_file("o1", 1e6);
-        b.task("a").category("work").flops(4.912e10).cores(1).output(o0).add();
-        b.task("b").category("work").flops(4.912e10).cores(1).output(o1).add();
+        b.task("a")
+            .category("work")
+            .flops(4.912e10)
+            .cores(1)
+            .output(o0)
+            .add();
+        b.task("b")
+            .category("work")
+            .flops(4.912e10)
+            .cores(1)
+            .output(o1)
+            .add();
         let wf = b.build().unwrap();
-        let report = SimulationBuilder::new(presets::summit(1), wf).run().unwrap();
+        let report = SimulationBuilder::new(presets::summit(1), wf)
+            .run()
+            .unwrap();
         let a = report.task_by_name("a").unwrap();
         let b_ = report.task_by_name("b").unwrap();
-        assert!(a.start < b_.end && b_.start < a.end, "tasks overlap in time");
+        assert!(
+            a.start < b_.end && b_.start < a.end,
+            "tasks overlap in time"
+        );
     }
 }

@@ -19,7 +19,7 @@
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
-use wfbb_simcore::{Engine, FlowSpec, SimTime};
+use wfbb_simcore::{Engine, EngineError, FlowSpec, SimTime};
 use wfbb_storage::{FileRegistry, Location, PlacementPlan, StorageSystem, Tier};
 use wfbb_workflow::{amdahl_time, FileId, TaskId, Workflow};
 
@@ -116,7 +116,7 @@ impl TaskState {
 }
 
 /// Errors surfaced by [`Executor::run`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ExecutorError {
     /// The simulation ended with unexecuted tasks — a scheduling deadlock
     /// (should be impossible for valid inputs; reported rather than
@@ -125,6 +125,9 @@ pub enum ExecutorError {
         /// Tasks that never completed.
         unfinished: usize,
     },
+    /// The engine could not make progress (e.g. a flow starved by a
+    /// sub-tolerance rate cap on a malformed platform).
+    Engine(EngineError),
 }
 
 impl std::fmt::Display for ExecutorError {
@@ -133,11 +136,18 @@ impl std::fmt::Display for ExecutorError {
             ExecutorError::Deadlock { unfinished } => {
                 write!(f, "execution deadlocked with {unfinished} unfinished tasks")
             }
+            ExecutorError::Engine(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for ExecutorError {}
+
+impl From<EngineError> for ExecutorError {
+    fn from(e: EngineError) -> Self {
+        ExecutorError::Engine(e)
+    }
+}
 
 /// Drives one workflow execution through the engine.
 pub struct Executor {
@@ -250,7 +260,10 @@ impl Executor {
             }
             Location::StripedBb { stripe_nodes } => {
                 let per_stripe = size / stripe_nodes.len() as f64;
-                if stripe_nodes.iter().all(|&b| self.bb_used[b] + per_stripe <= cap) {
+                if stripe_nodes
+                    .iter()
+                    .all(|&b| self.bb_used[b] + per_stripe <= cap)
+                {
                     for &b in stripe_nodes {
                         self.bb_used[b] += per_stripe;
                     }
@@ -280,7 +293,7 @@ impl Executor {
         self.prepare_staging();
         self.start_next_stage();
 
-        while let Some(c) = self.engine.step() {
+        while let Some(c) = self.engine.try_step()? {
             match c.tag {
                 Tag::StageMeta(file) => self.on_stage_meta(file),
                 Tag::StageData(file) => self.on_stage_data(file),
@@ -371,14 +384,20 @@ impl Executor {
             .insert((STAGE_KEY, file.index() as u32, false), data.len());
         let name = self.workflow.file(file).name.clone();
         for flow in data {
-            self.engine
-                .spawn_flow_labeled(flow, Tag::StageData(file), Some(format!("stage:{name}")));
+            self.engine.spawn_flow_labeled(
+                flow,
+                Tag::StageData(file),
+                Some(format!("stage:{name}")),
+            );
         }
     }
 
     fn on_stage_meta(&mut self, file: FileId) {
         let key = Self::stage_key(file);
-        let remaining = self.meta_remaining.get_mut(&key).expect("stage meta accounted");
+        let remaining = self
+            .meta_remaining
+            .get_mut(&key)
+            .expect("stage meta accounted");
         *remaining -= 1;
         if *remaining > 0 {
             return;
@@ -546,8 +565,10 @@ impl Executor {
     fn start_access(&mut self, task: TaskId, file: FileId, write: bool) {
         let node = self.states[task.index()].node;
         let loc = self.resolve_access(task, file, write);
-        self.resolved
-            .insert((task.index() as u32, file.index() as u32, write), loc.clone());
+        self.resolved.insert(
+            (task.index() as u32, file.index() as u32, write),
+            loc.clone(),
+        );
         let size = self.workflow.file(file).size;
         let access = if write {
             self.storage.write_flows(size, &loc, node)
@@ -600,8 +621,10 @@ impl Executor {
                 None => per_flow_cap,
             });
         }
-        self.data_remaining
-            .insert((task.index() as u32, file.index() as u32, write), data.len());
+        self.data_remaining.insert(
+            (task.index() as u32, file.index() as u32, write),
+            data.len(),
+        );
         let label = format!(
             "{}:{}:{}",
             if write { "write" } else { "read" },
@@ -609,14 +632,20 @@ impl Executor {
             self.workflow.file(file).name
         );
         for flow in data {
-            self.engine
-                .spawn_flow_labeled(flow, Tag::TaskData { task, file, write }, Some(label.clone()));
+            self.engine.spawn_flow_labeled(
+                flow,
+                Tag::TaskData { task, file, write },
+                Some(label.clone()),
+            );
         }
     }
 
     fn on_task_meta(&mut self, task: TaskId, file: FileId, write: bool) {
         let key = (task.index() as u32, file.index() as u32, write);
-        let remaining = self.meta_remaining.get_mut(&key).expect("task meta accounted");
+        let remaining = self
+            .meta_remaining
+            .get_mut(&key)
+            .expect("task meta accounted");
         *remaining -= 1;
         if *remaining > 0 {
             return;
@@ -775,7 +804,11 @@ impl Executor {
             tasks,
             bb_bytes,
             pfs_bytes: pfs.total_served,
-            bb_achieved_bw: if bb_busy > 0.0 { bb_bytes / bb_busy } else { 0.0 },
+            bb_achieved_bw: if bb_busy > 0.0 {
+                bb_bytes / bb_busy
+            } else {
+                0.0
+            },
             pfs_achieved_bw: pfs.mean_busy_rate(),
             bb_peak_bytes: self.bb_peak,
             spilled_files: self.spilled,

@@ -152,8 +152,21 @@ mod tests {
         let mut b = WorkflowBuilder::new("g");
         let f0 = b.add_file("f0", 1e6);
         let f1 = b.add_file("f1", 1e6);
-        b.task("a").category("x").flops(1e11).cores(2).pipeline(0).output(f0).add();
-        b.task("b").category("x").flops(1e11).cores(2).pipeline(1).input(f0).output(f1).add();
+        b.task("a")
+            .category("x")
+            .flops(1e11)
+            .cores(2)
+            .pipeline(0)
+            .output(f0)
+            .add();
+        b.task("b")
+            .category("x")
+            .flops(1e11)
+            .cores(2)
+            .pipeline(1)
+            .input(f0)
+            .output(f1)
+            .add();
         let wf = b.build().unwrap();
         SimulationBuilder::new(presets::summit(2), wf)
             .placement(PlacementPolicy::AllBb)
@@ -249,7 +262,9 @@ mod tests {
     #[test]
     fn empty_report_exports_are_well_formed() {
         let wf = WorkflowBuilder::new("void").build().unwrap();
-        let r = SimulationBuilder::new(presets::summit(1), wf).run().unwrap();
+        let r = SimulationBuilder::new(presets::summit(1), wf)
+            .run()
+            .unwrap();
         assert_eq!(r.gantt_json(), "[\n]");
         assert_eq!(r.chrome_trace_json(), "[]");
         assert!(r.gantt_by_node().is_empty());

@@ -155,10 +155,7 @@ impl Workflow {
     /// Total bytes of input files (1000Genomes: ~52 GB, 77 % of the
     /// footprint).
     pub fn input_data_size(&self) -> f64 {
-        self.input_files()
-            .iter()
-            .map(|&f| self.file(f).size)
-            .sum()
+        self.input_files().iter().map(|&f| self.file(f).size).sum()
     }
 
     /// Tasks with no dependencies (sources), in id order.
@@ -201,10 +198,34 @@ mod tests {
             .inputs([raw0, raw1])
             .outputs([staged0, staged1])
             .add();
-        b.task("r0").category("resample").flops(10.0).pipeline(0).input(staged0).output(mid0).add();
-        b.task("c0").category("combine").flops(20.0).pipeline(0).input(mid0).output(out0).add();
-        b.task("r1").category("resample").flops(10.0).pipeline(1).input(staged1).output(mid1).add();
-        b.task("c1").category("combine").flops(20.0).pipeline(1).input(mid1).output(out1).add();
+        b.task("r0")
+            .category("resample")
+            .flops(10.0)
+            .pipeline(0)
+            .input(staged0)
+            .output(mid0)
+            .add();
+        b.task("c0")
+            .category("combine")
+            .flops(20.0)
+            .pipeline(0)
+            .input(mid0)
+            .output(out0)
+            .add();
+        b.task("r1")
+            .category("resample")
+            .flops(10.0)
+            .pipeline(1)
+            .input(staged1)
+            .output(mid1)
+            .add();
+        b.task("c1")
+            .category("combine")
+            .flops(20.0)
+            .pipeline(1)
+            .input(mid1)
+            .output(out1)
+            .add();
         b.build().unwrap()
     }
 
@@ -287,10 +308,7 @@ mod tests {
 
         /// Random layered DAG: `layers` layers of up to `w` tasks, each task
         /// consuming a random subset of the previous layer's outputs.
-        fn layered(
-            layers: usize,
-            w: usize,
-        ) -> impl Strategy<Value = Workflow> {
+        fn layered(layers: usize, w: usize) -> impl Strategy<Value = Workflow> {
             proptest::collection::vec(
                 proptest::collection::vec(proptest::bits::u8::ANY, 1..=w),
                 1..=layers,

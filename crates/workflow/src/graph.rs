@@ -183,7 +183,10 @@ impl Workflow {
     /// `alphas` are unchanged). Used by the measurement emulator, which
     /// replaces the paper's perfect-speedup assumption with realistic
     /// per-task scalability.
-    pub fn with_category_alphas(&self, alphas: &std::collections::HashMap<String, f64>) -> Workflow {
+    pub fn with_category_alphas(
+        &self,
+        alphas: &std::collections::HashMap<String, f64>,
+    ) -> Workflow {
         self.map_tasks(|t| {
             if let Some(&a) = alphas.get(&t.category) {
                 t.alpha = a;
@@ -270,7 +273,8 @@ impl WorkflowBuilder {
                 .get_or_insert(WorkflowError::InvalidFile(name.clone()));
         }
         if self.file_names.insert(name.clone(), id).is_some() {
-            self.error.get_or_insert(WorkflowError::DuplicateFile(name.clone()));
+            self.error
+                .get_or_insert(WorkflowError::DuplicateFile(name.clone()));
         }
         self.files.push(File { id, name, size });
         id
@@ -515,7 +519,10 @@ mod tests {
         let mut b = WorkflowBuilder::new("bad");
         b.add_file("f", 1.0);
         b.add_file("f", 2.0);
-        assert_eq!(b.build().unwrap_err(), WorkflowError::DuplicateFile("f".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            WorkflowError::DuplicateFile("f".into())
+        );
     }
 
     #[test]
@@ -523,7 +530,10 @@ mod tests {
         let mut b = WorkflowBuilder::new("bad");
         b.task("t").add();
         b.task("t").add();
-        assert_eq!(b.build().unwrap_err(), WorkflowError::DuplicateTask("t".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            WorkflowError::DuplicateTask("t".into())
+        );
     }
 
     #[test]
@@ -560,21 +570,30 @@ mod tests {
     fn zero_core_task_rejected() {
         let mut b = WorkflowBuilder::new("bad");
         b.task("t").cores(0).add();
-        assert_eq!(b.build().unwrap_err(), WorkflowError::InvalidTask("t".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            WorkflowError::InvalidTask("t".into())
+        );
     }
 
     #[test]
     fn negative_file_size_rejected() {
         let mut b = WorkflowBuilder::new("bad");
         b.add_file("f", -1.0);
-        assert_eq!(b.build().unwrap_err(), WorkflowError::InvalidFile("f".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            WorkflowError::InvalidFile("f".into())
+        );
     }
 
     #[test]
     fn invalid_alpha_rejected() {
         let mut b = WorkflowBuilder::new("bad");
         b.task("t").alpha(2.0).add();
-        assert_eq!(b.build().unwrap_err(), WorkflowError::InvalidTask("t".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            WorkflowError::InvalidTask("t".into())
+        );
     }
 
     #[test]
@@ -634,6 +653,8 @@ mod tests {
     #[test]
     fn errors_display_helpfully() {
         assert!(WorkflowError::Cycle.to_string().contains("cycle"));
-        assert!(WorkflowError::SelfLoop("x".into()).to_string().contains("x"));
+        assert!(WorkflowError::SelfLoop("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

@@ -101,7 +101,11 @@ impl Workflow {
                     flops: t.flops,
                     alpha: t.alpha,
                     cores: t.cores,
-                    inputs: t.inputs.iter().map(|&f| self.file(f).name.clone()).collect(),
+                    inputs: t
+                        .inputs
+                        .iter()
+                        .map(|&f| self.file(f).name.clone())
+                        .collect(),
                     outputs: t
                         .outputs
                         .iter()
@@ -169,7 +173,11 @@ mod tests {
             .input(fi)
             .output(fm)
             .add();
-        b.task("second").category("merge").input(fm).output(fo).add();
+        b.task("second")
+            .category("merge")
+            .input(fm)
+            .output(fo)
+            .add();
         b.build().unwrap()
     }
 
@@ -188,7 +196,8 @@ mod tests {
         assert_eq!(t.cores, 4);
         assert_eq!(t.pipeline, Some(0));
         assert_eq!(
-            back.dependencies(back.task_by_name("second").unwrap().id).len(),
+            back.dependencies(back.task_by_name("second").unwrap().id)
+                .len(),
             1
         );
     }
@@ -235,6 +244,9 @@ mod tests {
                 {"name": "b", "outputs": ["f"]}
             ]
         }"#;
-        assert!(matches!(Workflow::from_json(json), Err(IoError::Workflow(_))));
+        assert!(matches!(
+            Workflow::from_json(json),
+            Err(IoError::Workflow(_))
+        ));
     }
 }

@@ -162,7 +162,12 @@ mod tests {
         let mut b = WorkflowBuilder::new("clean");
         let fi = b.add_file("in", 10.0);
         let fo = b.add_file("out", 10.0);
-        b.task("t_1").category("t").flops(1.0).input(fi).output(fo).add();
+        b.task("t_1")
+            .category("t")
+            .flops(1.0)
+            .input(fi)
+            .output(fo)
+            .add();
         assert!(b.build().unwrap().lint().is_empty());
     }
 
@@ -192,7 +197,11 @@ mod tests {
         let mut b = WorkflowBuilder::new("amp");
         let small = b.add_file("small", 1.0);
         let huge = b.add_file("huge", 1e7);
-        b.task("expander").flops(1.0).input(small).output(huge).add();
+        b.task("expander")
+            .flops(1.0)
+            .input(small)
+            .output(huge)
+            .add();
         let findings = b.build().unwrap().lint();
         assert!(findings.iter().any(|l| matches!(
             l,
@@ -235,7 +244,10 @@ mod tests {
     fn findings_display_readably() {
         let l = Lint::OrphanFile { file: "f".into() };
         assert!(l.to_string().contains("never produced"));
-        let l = Lint::HugeCoreRequest { task: "t".into(), cores: 2048 };
+        let l = Lint::HugeCoreRequest {
+            task: "t".into(),
+            cores: 2048,
+        };
         assert!(l.to_string().contains("2048"));
     }
 }

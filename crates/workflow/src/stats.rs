@@ -128,9 +128,21 @@ mod tests {
         let mid_a = b.add_file("mid_a", 6.0);
         let mid_b = b.add_file("mid_b", 2.0);
         let out = b.add_file("out", 4.0);
-        b.task("r1").category("read").input(input).output(mid_a).add();
-        b.task("r2").category("read").input(input).output(mid_b).add();
-        b.task("w").category("write").inputs([mid_a, mid_b]).output(out).add();
+        b.task("r1")
+            .category("read")
+            .input(input)
+            .output(mid_a)
+            .add();
+        b.task("r2")
+            .category("read")
+            .input(input)
+            .output(mid_b)
+            .add();
+        b.task("w")
+            .category("write")
+            .inputs([mid_a, mid_b])
+            .output(out)
+            .add();
         b.build().unwrap()
     }
 

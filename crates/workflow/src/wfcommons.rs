@@ -245,7 +245,10 @@ mod tests {
         assert_eq!(ind.cores, 1);
         assert!((ind.flops - 40.5 * 36.80e9).abs() < 1.0);
         let merge = wf.task_by_name("merge_ID01").unwrap();
-        assert_eq!(merge.category, "individuals_merge", "explicit category wins");
+        assert_eq!(
+            merge.category, "individuals_merge",
+            "explicit category wins"
+        );
         assert_eq!(merge.cores, 4);
     }
 

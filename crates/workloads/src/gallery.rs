@@ -98,7 +98,10 @@ pub fn montage(tiles: usize) -> Workflow {
 /// Epigenomics-like methylation workflow: `lanes` independent deep
 /// pipelines of `split → filter → map → merge`, then a global merge.
 pub fn epigenomics(lanes: usize, chunks_per_lane: usize) -> Workflow {
-    assert!(lanes >= 1 && chunks_per_lane >= 1, "need at least one lane/chunk");
+    assert!(
+        lanes >= 1 && chunks_per_lane >= 1,
+        "need at least one lane/chunk"
+    );
     let mut b = WorkflowBuilder::new(format!("epigenomics-{lanes}x{chunks_per_lane}"));
     let mut lane_outputs = Vec::with_capacity(lanes);
     for l in 0..lanes {
@@ -106,7 +109,8 @@ pub fn epigenomics(lanes: usize, chunks_per_lane: usize) -> Workflow {
         let mut mapped = Vec::with_capacity(chunks_per_lane);
         let mut split_outs = Vec::with_capacity(chunks_per_lane);
         for c in 0..chunks_per_lane {
-            split_outs.push(b.add_file(format!("lane{l}.chunk{c}"), 400e6 / chunks_per_lane as f64));
+            split_outs
+                .push(b.add_file(format!("lane{l}.chunk{c}"), 400e6 / chunks_per_lane as f64));
         }
         b.task(format!("split_{l}"))
             .category("split")
@@ -156,7 +160,8 @@ pub fn epigenomics(lanes: usize, chunks_per_lane: usize) -> Workflow {
         .inputs(lane_outputs)
         .output(genome_map)
         .add();
-    b.build().expect("epigenomics generator emits valid workflows")
+    b.build()
+        .expect("epigenomics generator emits valid workflows")
 }
 
 /// CyberShake-like seismic hazard workflow: two large strain-Green-tensor
@@ -199,7 +204,8 @@ pub fn cybershake(sites: usize) -> Workflow {
             .output(peak)
             .add();
     }
-    b.build().expect("cybershake generator emits valid workflows")
+    b.build()
+        .expect("cybershake generator emits valid workflows")
 }
 
 #[cfg(test)]

@@ -221,7 +221,8 @@ impl GenomesConfig {
                     .add();
             }
         }
-        b.build().expect("1000Genomes generator emits valid workflows")
+        b.build()
+            .expect("1000Genomes generator emits valid workflows")
     }
 }
 
@@ -253,7 +254,10 @@ mod tests {
             "input {input}"
         );
         let share = input / footprint;
-        assert!((share - genomes_facts::INPUT_SHARE).abs() < 0.05, "share {share}");
+        assert!(
+            (share - genomes_facts::INPUT_SHARE).abs() < 0.05,
+            "share {share}"
+        );
     }
 
     #[test]

@@ -154,7 +154,11 @@ mod tests {
     fn pipelines_are_independent() {
         let wf = SwarpConfig::new(4).build();
         assert_eq!(wf.task_count(), 8);
-        assert_eq!(wf.width(), 4, "resample tasks of all pipelines can run together");
+        assert_eq!(
+            wf.width(),
+            4,
+            "resample tasks of all pipelines can run together"
+        );
         assert_eq!(wf.depth(), 2);
         // No cross-pipeline dependencies.
         for t in wf.tasks() {
@@ -176,8 +180,8 @@ mod tests {
     #[test]
     fn compute_work_comes_from_the_calibration() {
         let config = SwarpConfig::new(1);
-        let expected =
-            wfbb_calibration::params::swarp_resample().flops(wfbb_calibration::params::CORI.gflops_per_core);
+        let expected = wfbb_calibration::params::swarp_resample()
+            .flops(wfbb_calibration::params::CORI.gflops_per_core);
         assert_eq!(config.resample_flops, expected);
         let wf = config.build();
         assert_eq!(wf.task_by_name("resample_0").unwrap().flops, expected);

@@ -86,7 +86,10 @@ fn main() {
         ),
     ];
 
-    println!("{:<38} {:>13} {:>10} {:>10}", "policy", "makespan (s)", "BB GB", "PFS GB");
+    println!(
+        "{:<38} {:>13} {:>10} {:>10}",
+        "policy", "makespan (s)", "BB GB", "PFS GB"
+    );
     for (name, policy) in policies {
         let report = SimulationBuilder::new(platform.clone(), workflow.clone())
             .placement(policy)

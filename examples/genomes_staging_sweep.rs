@@ -22,7 +22,10 @@ fn main() {
     );
 
     let platforms = [
-        ("Cori (shared BB, private)", presets::cori(4, BbMode::Private)),
+        (
+            "Cori (shared BB, private)",
+            presets::cori(4, BbMode::Private),
+        ),
         ("Summit (on-node BB)", presets::summit(4)),
     ];
 

@@ -19,7 +19,10 @@ fn main() {
         presets::summit(1),
     ];
 
-    println!("{:<14} {:>7} {:>13} {:>14} {:>8}", "config", "staged", "measured (s)", "simulated (s)", "error");
+    println!(
+        "{:<14} {:>7} {:>13} {:>14} {:>8}",
+        "config", "staged", "measured (s)", "simulated (s)", "error"
+    );
     for platform in &configs {
         for staged in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let workflow = SwarpConfig::new(1).build();

@@ -15,7 +15,10 @@ use wfbb::workloads::gallery;
 
 fn main() {
     let workloads: Vec<(&str, wfbb::workflow::Workflow)> = vec![
-        ("swarp (1:N small files)", SwarpConfig::new(8).with_cores_per_task(4).build()),
+        (
+            "swarp (1:N small files)",
+            SwarpConfig::new(8).with_cores_per_task(4).build(),
+        ),
         ("montage (diamond)", gallery::montage(16)),
         ("epigenomics (deep pipelines)", gallery::epigenomics(4, 8)),
         ("cybershake (N:1 giant files)", gallery::cybershake(64)),
@@ -59,7 +62,10 @@ fn main() {
 
     // Bonus: the I/O profile that explains the table, via workflow stats.
     println!();
-    println!("{:<30} {:>14} {:>16}", "workflow", "files", "median file size");
+    println!(
+        "{:<30} {:>14} {:>16}",
+        "workflow", "files", "median file size"
+    );
     for (label, wf) in &workloads {
         let stats = wf.file_size_stats().expect("non-empty workflows");
         println!(

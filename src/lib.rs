@@ -54,7 +54,7 @@ pub mod prelude {
     pub use wfbb_calibration::model::{amdahl_time, sequential_compute_time, CalibratedTask};
     pub use wfbb_calibration::params::{CORI, SUMMIT};
     pub use wfbb_platform::{presets, BbArchitecture, BbMode, PlatformSpec};
-    pub use wfbb_simcore::{Engine, FlowSpec, SimTime};
+    pub use wfbb_simcore::{Engine, EngineError, FlowSpec, SimTime, SolveMode};
     pub use wfbb_storage::{PlacementPolicy, StorageKind, Tier};
     pub use wfbb_wms::{SimulationBuilder, SimulationReport};
     pub use wfbb_workflow::{Workflow, WorkflowBuilder};

@@ -77,8 +77,12 @@ fn different_seeds_produce_different_measurement_noise() {
         seed: 2,
         ..EmulatorConfig::default()
     };
-    let a = Emulator::new(config_a).run(&platform, &wf, &policy, 0).unwrap();
-    let b = Emulator::new(config_b).run(&platform, &wf, &policy, 0).unwrap();
+    let a = Emulator::new(config_a)
+        .run(&platform, &wf, &policy, 0)
+        .unwrap();
+    let b = Emulator::new(config_b)
+        .run(&platform, &wf, &policy, 0)
+        .unwrap();
     assert_ne!(a.makespan, b.makespan);
 }
 

@@ -103,7 +103,11 @@ fn small_file_placer_sends_only_small_files_to_the_bb() {
         .unwrap();
     // Only the 50 MB hot file and the 1 MB results request the BB.
     assert_eq!(report.spilled_files, 0);
-    assert!(report.bb_peak_bytes < 200e6, "peak {}", report.bb_peak_bytes);
+    assert!(
+        report.bb_peak_bytes < 200e6,
+        "peak {}",
+        report.bb_peak_bytes
+    );
     assert!(report.bb_peak_bytes > 50e6, "hot file resides in the BB");
 }
 
@@ -112,16 +116,16 @@ fn dynamic_placement_does_not_affect_staged_inputs() {
     // Inputs are staged per the static plan; the dynamic placer only
     // governs task writes.
     let wf = SwarpConfig::new(1).with_cores_per_task(8).build();
-    let report = SimulationBuilder::new(
-        wfbb::platform::presets::cori(1, BbMode::Private),
-        wf,
-    )
-    .placement(PlacementPolicy::FractionToBb { fraction: 1.0 })
-    .dynamic_placer(Box::new(SmallFilePlacer { max_bytes: 0.0 }))
-    .run()
-    .unwrap();
+    let report = SimulationBuilder::new(wfbb::platform::presets::cori(1, BbMode::Private), wf)
+        .placement(PlacementPolicy::FractionToBb { fraction: 1.0 })
+        .dynamic_placer(Box::new(SmallFilePlacer { max_bytes: 0.0 }))
+        .run()
+        .unwrap();
     // All inputs were staged to the BB even though the placer refuses
     // every write.
     assert!(report.stage_in_time > 0.0);
-    assert!(report.bb_bytes > 0.0, "staged inputs and their reads hit the BB");
+    assert!(
+        report.bb_bytes > 0.0,
+        "staged inputs and their reads hit the BB"
+    );
 }

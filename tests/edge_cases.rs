@@ -12,8 +12,18 @@ fn zero_byte_files_flow_through_the_whole_stack() {
     let empty_in = b.add_file("empty.in", 0.0);
     let empty_mid = b.add_file("empty.mid", 0.0);
     let real_out = b.add_file("real.out", 1e6);
-    b.task("a").category("x").flops(1e10).input(empty_in).output(empty_mid).add();
-    b.task("b").category("x").flops(1e10).input(empty_mid).output(real_out).add();
+    b.task("a")
+        .category("x")
+        .flops(1e10)
+        .input(empty_in)
+        .output(empty_mid)
+        .add();
+    b.task("b")
+        .category("x")
+        .flops(1e10)
+        .input(empty_mid)
+        .output(real_out)
+        .add();
     let wf = b.build().unwrap();
     for platform in wfbb::platform::presets::paper_configs(1) {
         let report = SimulationBuilder::new(platform, wf.clone())
@@ -30,12 +40,9 @@ fn compute_only_tasks_need_no_storage() {
     let mut b = WorkflowBuilder::new("compute-only");
     b.task("solo").category("x").flops(3.68e11).cores(4).add();
     let wf = b.build().unwrap();
-    let report = SimulationBuilder::new(
-        wfbb::platform::presets::cori(1, BbMode::Private),
-        wf,
-    )
-    .run()
-    .unwrap();
+    let report = SimulationBuilder::new(wfbb::platform::presets::cori(1, BbMode::Private), wf)
+        .run()
+        .unwrap();
     // 10 s sequential at Cori speed on 4 cores = 2.5 s.
     assert!((report.makespan.seconds() - 2.5).abs() < 1e-6);
     assert_eq!(report.bb_bytes + report.pfs_bytes, 0.0);
@@ -70,8 +77,21 @@ fn cross_node_on_node_bb_reads_work_and_cost_little() {
     let mut b = WorkflowBuilder::new("xnode");
     let f = b.add_file("handoff", 100e6);
     let out = b.add_file("out", 1e6);
-    b.task("produce").category("p").flops(1e11).cores(4).pipeline(0).output(f).add();
-    b.task("consume").category("c").flops(1e11).cores(4).pipeline(1).input(f).output(out).add();
+    b.task("produce")
+        .category("p")
+        .flops(1e11)
+        .cores(4)
+        .pipeline(0)
+        .output(f)
+        .add();
+    b.task("consume")
+        .category("c")
+        .flops(1e11)
+        .cores(4)
+        .pipeline(1)
+        .input(f)
+        .output(out)
+        .add();
     let wf = b.build().unwrap();
     let two_nodes = SimulationBuilder::new(wfbb::platform::presets::summit(2), wf.clone())
         .placement(PlacementPolicy::AllBb)
@@ -98,7 +118,12 @@ fn single_core_platform_executes_wide_workflows_serially() {
     let mut b = WorkflowBuilder::new("wide");
     for i in 0..5 {
         let f = b.add_file(format!("o{i}"), 1e6);
-        b.task(format!("t{i}")).category("w").flops(2e10).cores(1).output(f).add();
+        b.task(format!("t{i}"))
+            .category("w")
+            .flops(2e10)
+            .cores(1)
+            .output(f)
+            .add();
     }
     let wf = b.build().unwrap();
     let report = SimulationBuilder::new(platform, wf)
@@ -113,10 +138,7 @@ fn single_core_platform_executes_wide_workflows_serially() {
         .collect();
     intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     for w in intervals.windows(2) {
-        assert!(
-            w[1].0 >= w[0].1 - 1e-9,
-            "serial execution expected: {w:?}"
-        );
+        assert!(w[1].0 >= w[0].1 - 1e-9, "serial execution expected: {w:?}");
     }
 }
 
@@ -124,14 +146,16 @@ fn single_core_platform_executes_wide_workflows_serially() {
 fn oversized_core_requests_are_clamped_to_the_node() {
     let mut b = WorkflowBuilder::new("greedy");
     let f = b.add_file("o", 1e6);
-    b.task("t").category("w").flops(3.68e11).cores(1000).output(f).add();
+    b.task("t")
+        .category("w")
+        .flops(3.68e11)
+        .cores(1000)
+        .output(f)
+        .add();
     let wf = b.build().unwrap();
-    let report = SimulationBuilder::new(
-        wfbb::platform::presets::cori(1, BbMode::Private),
-        wf,
-    )
-    .run()
-    .unwrap();
+    let report = SimulationBuilder::new(wfbb::platform::presets::cori(1, BbMode::Private), wf)
+        .run()
+        .unwrap();
     assert_eq!(report.tasks[0].cores, 32, "clamped to the node's 32 cores");
 }
 
@@ -142,7 +166,12 @@ fn round_robin_with_capacity_pressure_spills_deterministically() {
     let mut b = WorkflowBuilder::new("cap");
     for i in 0..6 {
         let f = b.add_file(format!("o{i}"), 90e6);
-        b.task(format!("t{i}")).category("w").flops(1e10).cores(1).output(f).add();
+        b.task(format!("t{i}"))
+            .category("w")
+            .flops(1e10)
+            .cores(1)
+            .output(f)
+            .add();
     }
     let wf = b.build().unwrap();
     let run = || {
@@ -178,15 +207,17 @@ fn workflow_with_only_inputs_and_no_consumers_still_stages() {
     // nothing else; 100% staging must move every input byte.
     let mut b = WorkflowBuilder::new("stage-only");
     let files: Vec<_> = (0..8).map(|i| b.add_file(format!("in{i}"), 10e6)).collect();
-    b.task("reader").category("r").flops(0.0).cores(1).inputs(files).add();
+    b.task("reader")
+        .category("r")
+        .flops(0.0)
+        .cores(1)
+        .inputs(files)
+        .add();
     let wf = b.build().unwrap();
-    let report = SimulationBuilder::new(
-        wfbb::platform::presets::cori(1, BbMode::Private),
-        wf,
-    )
-    .placement(PlacementPolicy::FractionToBb { fraction: 1.0 })
-    .run()
-    .unwrap();
+    let report = SimulationBuilder::new(wfbb::platform::presets::cori(1, BbMode::Private), wf)
+        .placement(PlacementPolicy::FractionToBb { fraction: 1.0 })
+        .run()
+        .unwrap();
     assert!(report.stage_in_time > 0.0);
     // Staged in (80 MB) and read back (80 MB).
     assert!(report.bb_bytes >= 160e6 * 0.99);

@@ -1,0 +1,128 @@
+//! A/B verification of the incremental engine: full paper workloads run
+//! through both solve paths must produce the same execution — identical
+//! task sequences and per-phase times to 1e-9 — on every architecture.
+//!
+//! The incremental engine (workspace reuse, dirty-set re-solve, grouped
+//! solver entries, event heap) is an optimization, not a model change;
+//! these tests are the contract that keeps it honest.
+
+use wfbb::prelude::*;
+
+/// Per-task execution fingerprint: everything the report records that the
+/// engine influences.
+type TaskKey = (String, usize, usize, f64, f64, f64, f64);
+
+fn fingerprint(report: &SimulationReport) -> (f64, f64, Vec<TaskKey>) {
+    let tasks = report
+        .tasks
+        .iter()
+        .map(|t| {
+            (
+                t.name.clone(),
+                t.node,
+                t.cores,
+                t.start.seconds(),
+                t.read_end.seconds(),
+                t.compute_end.seconds(),
+                t.end.seconds(),
+            )
+        })
+        .collect();
+    (report.makespan.seconds(), report.stage_in_time, tasks)
+}
+
+fn assert_equivalent(
+    platform: &wfbb::platform::PlatformSpec,
+    wf: &Workflow,
+    placement: PlacementPolicy,
+) {
+    let run = |mode| {
+        let report = SimulationBuilder::new(platform.clone(), wf.clone())
+            .placement(placement.clone())
+            .solve_mode(mode)
+            .run()
+            .expect("simulation completes");
+        fingerprint(&report)
+    };
+    let (mk_n, stage_n, tasks_n) = run(SolveMode::Naive);
+    let (mk_i, stage_i, tasks_i) = run(SolveMode::Incremental);
+
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * a.abs().max(1.0);
+    assert!(
+        close(mk_n, mk_i),
+        "{}: makespan differs: {mk_n} vs {mk_i}",
+        platform.name
+    );
+    assert!(
+        close(stage_n, stage_i),
+        "{}: stage-in differs: {stage_n} vs {stage_i}",
+        platform.name
+    );
+    assert_eq!(tasks_n.len(), tasks_i.len());
+    for (n, i) in tasks_n.iter().zip(&tasks_i) {
+        assert_eq!(n.0, i.0, "{}: task order differs", platform.name);
+        assert_eq!(
+            (n.1, n.2),
+            (i.1, i.2),
+            "{}: placement of {} differs",
+            platform.name,
+            n.0
+        );
+        for (tn, ti) in [(n.3, i.3), (n.4, i.4), (n.5, i.5), (n.6, i.6)] {
+            assert!(
+                close(tn, ti),
+                "{}: {} phase time differs: {tn} vs {ti}",
+                platform.name,
+                n.0
+            );
+        }
+    }
+}
+
+#[test]
+fn swarp_runs_identically_in_both_modes_on_all_architectures() {
+    let wf = SwarpConfig::new(2).with_cores_per_task(16).build();
+    for platform in wfbb::platform::presets::paper_configs(2) {
+        assert_equivalent(&platform, &wf, PlacementPolicy::AllBb);
+        assert_equivalent(&platform, &wf, PlacementPolicy::AllPfs);
+    }
+}
+
+#[test]
+fn swarp_partial_staging_runs_identically() {
+    let wf = SwarpConfig::new(1).with_cores_per_task(32).build();
+    let platform = wfbb::platform::presets::cori(1, BbMode::Striped);
+    for fraction in [0.25, 0.5, 0.75] {
+        assert_equivalent(&platform, &wf, PlacementPolicy::FractionToBb { fraction });
+    }
+}
+
+#[test]
+fn genomes_runs_identically_in_both_modes() {
+    // Reduced 1000Genomes instance: big enough to exercise contention,
+    // latency phases, and staged inputs across several nodes.
+    let wf = GenomesConfig::new(8).build();
+    for platform in [
+        wfbb::platform::presets::cori(4, BbMode::Private),
+        wfbb::platform::presets::summit(4),
+    ] {
+        assert_equivalent(
+            &platform,
+            &wf,
+            PlacementPolicy::FractionToBb { fraction: 0.5 },
+        );
+    }
+}
+
+#[test]
+fn genomes_paper_instance_runs_identically() {
+    // The full 903-task Section IV-C instance — the heaviest end-to-end
+    // scenario in the suite, and the one the incremental engine exists for.
+    let wf = GenomesConfig::paper_instance().build();
+    let platform = wfbb::platform::presets::summit(4);
+    assert_equivalent(
+        &platform,
+        &wf,
+        PlacementPolicy::FractionToBb { fraction: 0.5 },
+    );
+}

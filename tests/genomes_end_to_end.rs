@@ -57,10 +57,13 @@ fn staging_improves_makespan_monotonically_until_plateau() {
 fn summit_beats_cori_on_the_case_study() {
     let wf = GenomesConfig::new(6).build();
     let policy = PlacementPolicy::FractionToBb { fraction: 1.0 };
-    let cori = SimulationBuilder::new(wfbb::platform::presets::cori(4, BbMode::Private), wf.clone())
-        .placement(policy.clone())
-        .run()
-        .unwrap();
+    let cori = SimulationBuilder::new(
+        wfbb::platform::presets::cori(4, BbMode::Private),
+        wf.clone(),
+    )
+    .placement(policy.clone())
+    .run()
+    .unwrap();
     let summit = SimulationBuilder::new(wfbb::platform::presets::summit(4), wf)
         .placement(policy)
         .run()
@@ -135,5 +138,8 @@ fn workflow_json_round_trip_preserves_simulation_results() {
         .placement(policy)
         .run()
         .unwrap();
-    assert_eq!(a.makespan, b.makespan, "serialization must not change results");
+    assert_eq!(
+        a.makespan, b.makespan,
+        "serialization must not change results"
+    );
 }

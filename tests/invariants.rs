@@ -14,6 +14,71 @@ fn platform_for(idx: usize, nodes: usize) -> wfbb::platform::PlatformSpec {
     }
 }
 
+// ---- pinned regressions -------------------------------------------------
+//
+// Failure cases recorded in `invariants.proptest-regressions`, replayed
+// here as explicit tests so they run on every `cargo test` regardless of
+// which cases the property sampler draws.
+
+/// Regression: `makespan_respects_compute_lower_bounds` with
+/// layers = 2, width = 2, seed = 199, platform_idx = 0, nodes = 1,
+/// fraction = 0.0. A two-layer workflow on single-node Cori (private BB)
+/// with everything on the PFS once undershot the critical-path bound:
+/// near-tied fair shares at PFS-scale capacities froze at fractionally
+/// uneven rates, letting one access finish early.
+#[test]
+fn pinned_seed_199_cori_private_respects_compute_bounds() {
+    let wf = patterns::random_layered(2, 2, 199);
+    let platform = presets::cori(1, BbMode::Private);
+    let report = SimulationBuilder::new(platform.clone(), wf.clone())
+        .placement(PlacementPolicy::FractionToBb { fraction: 0.0 })
+        .run()
+        .unwrap();
+    let makespan = report.makespan.seconds();
+    let speed = platform.gflops_per_core * 1e9;
+
+    let (cp_flops, _) = wf.critical_path(|t| {
+        let task = wf.task(t);
+        let cores = task.cores.min(platform.cores_per_node);
+        task.flops / cores as f64
+    });
+    let cp_bound = cp_flops / speed;
+    assert!(
+        makespan >= cp_bound * (1.0 - 1e-9),
+        "makespan {makespan} below critical-path bound {cp_bound}"
+    );
+
+    let total_flops: f64 = wf.tasks().iter().map(|t| t.flops).sum();
+    let throughput_bound = total_flops / speed / platform.total_cores() as f64;
+    assert!(
+        makespan >= throughput_bound * (1.0 - 1e-9),
+        "makespan {makespan} below throughput bound {throughput_bound}"
+    );
+}
+
+/// Regression: `staging_is_monotone_on_summit` with layers = 2,
+/// width = 2, seed = 57. Staging all files to Summit's on-node BB once
+/// appeared slower than staging none, for the same near-tie rounding
+/// reason as above (the two runs resolved the tie differently).
+#[test]
+fn pinned_seed_57_summit_staging_is_monotone() {
+    let wf = patterns::random_layered(2, 2, 57);
+    let run = |fraction| {
+        SimulationBuilder::new(presets::summit(1), wf.clone())
+            .placement(PlacementPolicy::FractionToBb { fraction })
+            .run()
+            .unwrap()
+            .makespan
+            .seconds()
+    };
+    let none = run(0.0);
+    let all = run(1.0);
+    assert!(
+        all <= none * (1.0 + 1e-6),
+        "staging everything must not hurt Summit: {none} -> {all}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

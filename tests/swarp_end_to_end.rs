@@ -11,7 +11,9 @@ fn run(
     cores: usize,
     placement: PlacementPolicy,
 ) -> SimulationReport {
-    let wf = SwarpConfig::new(pipelines).with_cores_per_task(cores).build();
+    let wf = SwarpConfig::new(pipelines)
+        .with_cores_per_task(cores)
+        .build();
     SimulationBuilder::new(platform.clone(), wf)
         .placement(placement)
         .run()
@@ -134,16 +136,8 @@ fn pipelines_execute_independently_and_in_parallel() {
         .filter(|t| t.category == "resample")
         .collect();
     assert_eq!(resamples.len(), 4);
-    let earliest_end = resamples
-        .iter()
-        .map(|t| t.end)
-        .min()
-        .expect("non-empty");
-    let latest_start = resamples
-        .iter()
-        .map(|t| t.start)
-        .max()
-        .expect("non-empty");
+    let earliest_end = resamples.iter().map(|t| t.end).min().expect("non-empty");
+    let latest_start = resamples.iter().map(|t| t.start).max().expect("non-empty");
     assert!(
         latest_start < earliest_end,
         "all four resamples overlap in time"
@@ -157,7 +151,10 @@ fn combine_always_follows_its_pipelines_resample() {
     for p in 0..8 {
         let r = report.task_by_name(&format!("resample_{p}")).unwrap();
         let c = report.task_by_name(&format!("combine_{p}")).unwrap();
-        assert!(c.start >= r.end, "pipeline {p}: combine starts after resample");
+        assert!(
+            c.start >= r.end,
+            "pipeline {p}: combine starts after resample"
+        );
     }
 }
 

@@ -109,8 +109,16 @@ fn simulator_tracks_measured_trends_not_just_magnitudes() {
         &PlacementPolicy::FractionToBb { fraction: 1.0 },
         3,
     );
-    let s0 = simulated(&platform, &wf, &PlacementPolicy::FractionToBb { fraction: 0.0 });
-    let s1 = simulated(&platform, &wf, &PlacementPolicy::FractionToBb { fraction: 1.0 });
+    let s0 = simulated(
+        &platform,
+        &wf,
+        &PlacementPolicy::FractionToBb { fraction: 0.0 },
+    );
+    let s1 = simulated(
+        &platform,
+        &wf,
+        &PlacementPolicy::FractionToBb { fraction: 1.0 },
+    );
     assert!(m1 < m0, "measured: staging helps on Summit");
     assert!(s1 < s0, "simulated: staging helps on Summit");
 }
@@ -125,8 +133,14 @@ fn striped_anomaly_appears_only_in_measurements() {
     let at75 = PlacementPolicy::FractionToBb { fraction: 0.75 };
     let at100 = PlacementPolicy::FractionToBb { fraction: 1.0 };
 
-    let m75 = emulator.run(&platform, &wf, &at75, 0).unwrap().stage_in_time;
-    let m100 = emulator.run(&platform, &wf, &at100, 0).unwrap().stage_in_time;
+    let m75 = emulator
+        .run(&platform, &wf, &at75, 0)
+        .unwrap()
+        .stage_in_time;
+    let m100 = emulator
+        .run(&platform, &wf, &at100, 0)
+        .unwrap()
+        .stage_in_time;
     assert!(m75 > m100, "measured anomaly: {m75} !> {m100}");
 
     let s75 = SimulationBuilder::new(platform.clone(), wf.clone())
@@ -162,6 +176,12 @@ fn emulator_variability_ordering_matches_figure_8() {
     let private = cv(&wfbb::platform::presets::cori(1, BbMode::Private));
     let striped = cv(&wfbb::platform::presets::cori(1, BbMode::Striped));
     let onnode = cv(&wfbb::platform::presets::summit(1));
-    assert!(striped > private, "striped varies most: {striped} vs {private}");
-    assert!(private > onnode, "on-node is steadiest: {private} vs {onnode}");
+    assert!(
+        striped > private,
+        "striped varies most: {striped} vs {private}"
+    );
+    assert!(
+        private > onnode,
+        "on-node is steadiest: {private} vs {onnode}"
+    );
 }

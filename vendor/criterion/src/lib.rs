@@ -1,0 +1,308 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion 0.5 this workspace's benches use:
+//! `Criterion::default().sample_size(n)`, `benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_with_input, finish}`,
+//! `BenchmarkId::from_parameter`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark is timed with
+//! `std::time::Instant`: a short calibration run picks an iteration count per
+//! sample, `sample_size` samples are collected, and the median/min/max
+//! per-iteration times are printed. Command-line flags: `--test` runs every
+//! benchmark body exactly once (the CI smoke mode), a positional argument
+//! filters benchmarks by substring, and other flags (e.g. `--bench`, which
+//! cargo always passes) are ignored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (re-export convenience;
+/// the benches may also use `std::hint::black_box` directly).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line arguments (`--test`, name filter); called by the
+    /// `criterion_group!` expansion.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags cargo/criterion accept that take a value.
+                "--sample-size" | "--measurement-time" | "--warm-up-time" | "--save-baseline"
+                | "--baseline" => {
+                    let _ = args.next();
+                }
+                other if other.starts_with("--") => {}
+                other => self.filter = Some(other.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark identified by its parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// A benchmark with a function name and parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            parameter: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `routine`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut routine: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_name = format!("{}/{}", self.name, id.parameter);
+        if let Some(filter) = &self.criterion.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            report: None,
+        };
+        routine(&mut bencher, input);
+        match bencher.report {
+            _ if bencher.test_mode => println!("{full_name}: ok (test mode)"),
+            Some(report) => println!(
+                "{full_name}  time: [{} {} {}] ({} samples x {} iters)",
+                format_time(report.min),
+                format_time(report.median),
+                format_time(report.max),
+                bencher.sample_size,
+                report.iters_per_sample,
+            ),
+            None => println!("{full_name}: no measurement (Bencher::iter not called)"),
+        }
+    }
+
+    /// Benchmarks `routine` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = BenchmarkId::from_parameter(id.into());
+        self.bench_with_input(id, &(), |b, ()| routine(b));
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+struct Report {
+    min: Duration,
+    median: Duration,
+    max: Duration,
+    iters_per_sample: u64,
+}
+
+/// Times a closure; handed to each benchmark routine.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `routine` (or runs it once in `--test` mode).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: find how many iterations fit a ~5 ms sample.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
+                break elapsed / iters as u32;
+            }
+            iters *= 4;
+        };
+        let iters_per_sample = (Duration::from_millis(5).as_nanos() as u64)
+            .checked_div(per_iter.as_nanos().max(1) as u64)
+            .unwrap_or(1)
+            .clamp(1, 1 << 24);
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+        samples.sort();
+        self.report = Some(Report {
+            min: samples[0],
+            median: samples[samples.len() / 2],
+            max: samples[samples.len() - 1],
+            iters_per_sample,
+        });
+    }
+}
+
+fn format_time(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut runs = 0usize;
+        let mut group = criterion.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(1), &(), |b, _| {
+            b.iter(|| runs += 1)
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measurement_produces_ordered_samples() {
+        let mut criterion = Criterion::default().sample_size(3);
+        let mut group = criterion.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &7u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut criterion = Criterion {
+            filter: Some("other".into()),
+            ..Criterion::default()
+        };
+        let mut runs = 0usize;
+        let mut group = criterion.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter("this"), &(), |b, _| {
+            b.iter(|| runs += 1)
+        });
+        group.finish();
+        assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn format_time_units() {
+        assert_eq!(format_time(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(format_time(Duration::from_micros(1500)), "1.500 ms");
+    }
+}

@@ -1,0 +1,615 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a self-contained property-testing harness with proptest's spelling: the
+//! `proptest!` macro, `prop_assert!`/`prop_assert_eq!`, a [`Strategy`] trait
+//! with `prop_map`/`prop_flat_map`, range and tuple strategies,
+//! `collection::{vec, btree_set}`, `option::of`, and `bits::u8::ANY`.
+//!
+//! Differences from upstream, deliberate for an offline stub:
+//! - **No shrinking.** A failure reports the test name and case index; cases
+//!   are deterministic in `(test name, case index)`, so failures reproduce
+//!   exactly on re-run.
+//! - **Regression files are not consulted.** Seeds recorded by upstream
+//!   proptest (`*.proptest-regressions`) use its private RNG format; pinned
+//!   failures should be (and in this repo are) written out as explicit
+//!   `#[test]` cases alongside the properties.
+//! - **Edge-biased first cases.** Case 0 draws every range at its minimum and
+//!   case 1 at its maximum, so boundary values are always exercised; later
+//!   cases sample uniformly.
+//!
+//! The default case count is 64, overridable with the `PROPTEST_CASES`
+//! environment variable or `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (only the case count is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is false for this input.
+    Fail(String),
+    /// The input should be discarded (kept for API compatibility).
+    Reject(String),
+}
+
+/// How the current case draws from ranges; cases 0 and 1 probe the extremes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Low,
+    High,
+    Uniform,
+}
+
+/// Deterministic per-case random source (xoshiro256++ seeded from the test
+/// name and case index).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+    mode: Mode,
+}
+
+impl TestRng {
+    fn for_case(name: &str, case: u32) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut state = h ^ ((case as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+            mode: match case {
+                0 => Mode::Low,
+                1 => Mode::High,
+                _ => Mode::Uniform,
+            },
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive), honoring the edge mode.
+    fn int_in(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        match self.mode {
+            Mode::Low => lo,
+            Mode::High => hi,
+            Mode::Uniform => {
+                let span = hi - lo;
+                if span == u64::MAX {
+                    self.next_u64()
+                } else {
+                    lo + self.next_u64() % (span + 1)
+                }
+            }
+        }
+    }
+
+    /// Uniform float in `[lo, hi)` (or exactly `hi` when inclusive), honoring
+    /// the edge mode.
+    fn float_in(&mut self, lo: f64, hi: f64, inclusive: bool) -> f64 {
+        debug_assert!(lo <= hi);
+        match self.mode {
+            Mode::Low => lo,
+            Mode::High => {
+                if inclusive || hi == lo {
+                    hi
+                } else {
+                    // Largest representable value strictly below `hi`.
+                    f64::from_bits(hi.to_bits() - 1).max(lo)
+                }
+            }
+            Mode::Uniform => {
+                let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = lo + (hi - lo) * unit;
+                if !inclusive && v >= hi {
+                    f64::from_bits(hi.to_bits() - 1).max(lo)
+                } else {
+                    v.min(hi)
+                }
+            }
+        }
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, then generates from the strategy `f`
+    /// builds out of it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.int_in(self.start as u64, self.end as u64 - 1) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.int_in(*self.start() as u64, *self.end() as u64) as $t
+            }
+        }
+    )*};
+}
+
+// Signed ranges would need offset mapping; the workspace only samples
+// unsigned ranges.
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        rng.float_in(self.start, self.end, false)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start() <= self.end(), "empty range strategy");
+        rng.float_in(*self.start(), *self.end(), true)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.float_in(self.start as f64, self.end as f64, false) as f32
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+),)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+}
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything accepted as a collection size: an exact `usize`, `a..b`, or
+    /// `a..=b` (stand-in for proptest's `SizeRange` conversions).
+    pub trait IntoSizeRange {
+        /// Inclusive `(min, max)` bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start() <= self.end(), "empty size range");
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec<T>` with sizes drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A `Vec` of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.int_in(self.min as u64, self.max as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with sizes drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A `BTreeSet` of values from `element`, sized within `size` (best
+    /// effort: if the element domain is too small to reach the minimum size,
+    /// the set is as large as distinct draws allow).
+    pub fn btree_set<S>(element: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        let (min, max) = size.bounds();
+        BTreeSetStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.int_in(self.min as u64, self.max as u64) as usize;
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 16 * (target + 1) {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{Mode, Strategy, TestRng};
+
+    /// Strategy for `Option<T>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` or a value from `inner` (edge cases: case 0 is always `None`,
+    /// case 1 always `Some`; otherwise `Some` with probability 3/4).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            let some = match rng.mode {
+                Mode::Low => false,
+                Mode::High => true,
+                Mode::Uniform => !rng.next_u64().is_multiple_of(4),
+            };
+            some.then(|| self.inner.generate(rng))
+        }
+    }
+}
+
+/// Bit-level strategies (`bits::u8::ANY`).
+pub mod bits {
+    /// Strategies over all `u8` values.
+    #[allow(non_snake_case)]
+    pub mod u8 {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy type of [`ANY`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Any `u8` (uniform; edge cases draw 0 and 255).
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = u8;
+
+            fn generate(&self, rng: &mut TestRng) -> u8 {
+                rng.int_in(0, 255) as u8
+            }
+        }
+    }
+}
+
+/// Drives one property: runs `config.cases` deterministic cases (honoring the
+/// `PROPTEST_CASES` environment override) and panics with the case index on
+/// the first failure. Called by the `proptest!` macro expansion.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(config.cases);
+    for index in 0..cases {
+        let mut rng = TestRng::for_case(name, index);
+        match case(&mut rng) {
+            Ok(()) | Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(message)) => panic!(
+                "property `{name}` failed at case {index}/{cases}: {message} \
+                 (cases are deterministic; re-run to reproduce)"
+            ),
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_internal! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_internal! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_internal {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(&$config, stringify!($name), |__rng| {
+                let ($($arg,)+) = ($($crate::Strategy::generate(&$strategy, __rng),)+);
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                __outcome
+            });
+        }
+        $crate::__proptest_internal! { config = $config; $($rest)* }
+    };
+}
+
+/// Fails the current case if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?}` != `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, $($fmt)+);
+    }};
+}
+
+/// The glob-importable surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            super::run_cases(&ProptestConfig::with_cases(5), "det", |rng| {
+                out.push(Strategy::generate(&(0u64..1000), rng));
+                Ok(())
+            });
+        }
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 5);
+    }
+
+    #[test]
+    fn edge_cases_probe_bounds() {
+        let mut draws = Vec::new();
+        super::run_cases(&ProptestConfig::with_cases(2), "edges", |rng| {
+            draws.push(Strategy::generate(&(3usize..10), rng));
+            Ok(())
+        });
+        assert_eq!(draws, vec![3, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_index() {
+        super::run_cases(&ProptestConfig::with_cases(10), "boom", |rng| {
+            let v = Strategy::generate(&(0u64..100), rng);
+            Err(TestCaseError::Fail(format!("v = {v}")))
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// The macro wires patterns, strategies, and assertions together.
+        #[test]
+        fn macro_end_to_end(
+            a in 1usize..10,
+            mut b in 0.5f64..2.0,
+            (lo, hi) in (0u32..50, 50u32..100),
+            items in crate::collection::vec(0u64..5, 1..=4),
+            set in crate::collection::btree_set(0usize..8, 1..=3),
+            maybe in crate::option::of(1u8..=9),
+            raw in crate::bits::u8::ANY,
+        ) {
+            b += 1.0;
+            prop_assert!((1..10).contains(&a));
+            // Note `<=`: the largest draw below 2.0 plus 1.0 rounds up to
+            // exactly 3.0 at f64 precision.
+            prop_assert!((1.5..=3.0).contains(&b));
+            prop_assert!(lo < hi, "lo {} hi {}", lo, hi);
+            prop_assert!(!items.is_empty() && items.len() <= 4);
+            prop_assert!(!set.is_empty() && set.len() <= 3);
+            if let Some(m) = maybe {
+                prop_assert!((1..=9).contains(&m));
+            }
+            let _ = raw;
+            prop_assert_eq!(a + 1, 1 + a);
+        }
+    }
+
+    proptest! {
+        /// Flat-mapped strategies see dependent inputs.
+        #[test]
+        fn flat_map_dependent((n, xs) in (1usize..5).prop_flat_map(|n| {
+            (0usize..=n).prop_map(move |_| n).prop_flat_map(move |n| {
+                ((n..n + 1), crate::collection::vec(0usize..n.max(1), n))
+            })
+        })) {
+            prop_assert_eq!(xs.len(), n);
+        }
+    }
+}

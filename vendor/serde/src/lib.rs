@@ -1,0 +1,425 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal serialization framework with the same spelling as serde 1.x:
+//! `#[derive(Serialize, Deserialize)]`, `#[serde(default)]`, and
+//! `#[serde(default = "path")]`. Instead of serde's visitor architecture,
+//! everything round-trips through an owned [`Value`] tree (the `serde_json`
+//! stand-in renders and parses that tree). Enums use serde's default
+//! externally-tagged representation; missing `Option` fields deserialize to
+//! `None`; unknown fields are ignored.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree — the interchange format between
+/// [`Serialize`]/[`Deserialize`] impls and the `serde_json` stand-in.
+///
+/// Object keys keep insertion order (serde_json's `preserve_order`
+/// behavior), which makes serialized output deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Any JSON number (all numerics are carried as `f64`).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member access by key (objects only), mirroring `serde_json::Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as an unsigned integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure: a human-readable path/type mismatch message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// A "wanted X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> DeError {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into a [`Value`] tree (stand-in for `serde::Serialize`).
+pub trait Serialize {
+    /// Renders `self` as a data tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion from a [`Value`] tree (stand-in for `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of a data tree.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::expected("boolean", value))
+    }
+}
+
+macro_rules! number_impls {
+    ($($t:ty => $what:literal),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value.as_f64().ok_or_else(|| DeError::expected($what, value))?;
+                if n.fract() != 0.0 || n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(DeError(format!("number {n} does not fit {}", $what)));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+number_impls! {
+    u8 => "u8", u16 => "u16", u32 => "u32", u64 => "u64", usize => "usize",
+    i8 => "i8", i16 => "i16", i32 => "i32", i64 => "i64", isize => "isize",
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::expected("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(f64::from_value(value)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", value))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys so serialization is deterministic despite hash order.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+/// Helpers called by the generated derive code. Not part of the public
+/// stand-in API surface; kept `pub` so the expanded macros can reach them.
+pub mod de {
+    use super::{DeError, Deserialize, Value};
+
+    /// Views `value` as an object, or fails with the type's name.
+    pub fn as_object<'v>(value: &'v Value, ty: &str) -> Result<&'v [(String, Value)], DeError> {
+        match value {
+            Value::Object(entries) => Ok(entries),
+            other => Err(DeError(format!(
+                "expected object for {ty}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Looks up `name` among `entries` (first match wins).
+    pub fn get<'v>(entries: &'v [(String, Value)], name: &str) -> Option<&'v Value> {
+        entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Required field: present keys must parse; absent keys are an error —
+    /// except for `Option` fields, whose impl maps `Null` to `None` and which
+    /// the derive routes through [`field_opt`].
+    pub fn field<T: Deserialize>(entries: &[(String, Value)], name: &str) -> Result<T, DeError> {
+        match get(entries, name) {
+            Some(v) => T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {}", e.0))),
+            None => Err(DeError(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// `Option<T>` field: an absent key is `None` (serde's behavior for
+    /// in-struct options under default settings combined with
+    /// `#[serde(default)]`; this stand-in applies it to all options).
+    pub fn field_opt<T: Deserialize>(
+        entries: &[(String, Value)],
+        name: &str,
+    ) -> Result<Option<T>, DeError> {
+        match get(entries, name) {
+            Some(v) => {
+                Option::<T>::from_value(v).map_err(|e| DeError(format!("field `{name}`: {}", e.0)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// `#[serde(default)]` / `#[serde(default = "path")]` field: an absent
+    /// key falls back to `fallback()`.
+    pub fn field_or<T: Deserialize>(
+        entries: &[(String, Value)],
+        name: &str,
+        fallback: impl FnOnce() -> T,
+    ) -> Result<T, DeError> {
+        match get(entries, name) {
+            Some(v) => T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {}", e.0))),
+            None => Ok(fallback()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Number(3.0)),
+            ("b".into(), Value::String("x".into())),
+            ("c".into(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v.get("a").and_then(Value::as_f64), Some(3.0));
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x"));
+        assert_eq!(v.get("c").and_then(Value::as_array).map(Vec::len), Some(1));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Number(1.5).as_u64(), None);
+        assert_eq!(Value::Number(-1.0).as_u64(), None);
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(f64::from_value(&1.25f64.to_value()), Ok(1.25));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(
+            Vec::<u64>::from_value(&vec![1u64, 2, 3].to_value()),
+            Ok(vec![1, 2, 3])
+        );
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_value(&Value::Number(7.0)), Ok(Some(7)));
+    }
+
+    #[test]
+    fn narrowing_is_checked() {
+        assert!(u8::from_value(&Value::Number(300.0)).is_err());
+        assert!(u32::from_value(&Value::Number(1.5)).is_err());
+        assert!(u64::from_value(&Value::String("1".into())).is_err());
+    }
+
+    #[test]
+    fn field_helpers() {
+        let entries = vec![("x".to_string(), Value::Number(2.0))];
+        assert_eq!(de::field::<u32>(&entries, "x"), Ok(2));
+        assert!(de::field::<u32>(&entries, "y").is_err());
+        assert_eq!(de::field_opt::<u32>(&entries, "y"), Ok(None));
+        assert_eq!(de::field_or::<u32>(&entries, "y", || 9), Ok(9));
+    }
+}

@@ -1,0 +1,521 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde` stand-in's `Value` model, without depending on `syn` or
+//! `quote` (unavailable offline): the item is parsed directly from the
+//! `proc_macro::TokenStream` and the impls are emitted as source text.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! - structs with named fields, honoring `#[serde(default)]` and
+//!   `#[serde(default = "path")]`; `Option` fields tolerate missing keys;
+//! - tuple structs (newtypes serialize transparently, wider tuples as arrays);
+//! - enums in serde's externally-tagged form: unit variants as strings,
+//!   struct/newtype/tuple variants as single-key objects.
+//!
+//! Anything else (generics, unions, other `#[serde(...)]` attributes) is
+//! rejected with a compile-time panic so misuse is loud, not silent.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// A named field and its deserialization policy.
+struct Field {
+    name: String,
+    /// The field's type is a bare `Option<...>`.
+    is_option: bool,
+    /// `None`: required. `Some(None)`: `#[serde(default)]`.
+    /// `Some(Some(path))`: `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive emitted invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive emitted invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Collects leading `#[...]` attributes, returning each bracket body.
+fn take_attrs(iter: &mut TokenIter) -> Vec<TokenStream> {
+    let mut attrs = Vec::new();
+    loop {
+        let is_pound = matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+        if !is_pound {
+            return attrs;
+        }
+        iter.next();
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                attrs.push(g.stream());
+            }
+            other => panic!("expected #[...] attribute, found {other:?}"),
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`, etc.
+fn skip_visibility(iter: &mut TokenIter) {
+    let is_pub = matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub");
+    if is_pub {
+        iter.next();
+        let is_restriction = matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis);
+        if is_restriction {
+            iter.next();
+        }
+    }
+}
+
+/// Consumes the next identifier, if the next token is one.
+fn try_ident(iter: &mut TokenIter) -> Option<String> {
+    let is_ident = matches!(iter.peek(), Some(TokenTree::Ident(_)));
+    if is_ident {
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => Some(id.to_string()),
+            _ => unreachable!(),
+        }
+    } else {
+        None
+    }
+}
+
+/// Extracts the `#[serde(...)]` policy from a field's attributes.
+///
+/// Returns `None` (no serde attribute), `Some(None)` for bare `default`, or
+/// `Some(Some(path))` for `default = "path"`. Doc comments and other
+/// non-serde attributes are ignored; unsupported serde attributes panic.
+fn parse_serde_default(attrs: &[TokenStream]) -> Option<Option<String>> {
+    for attr in attrs {
+        let mut tokens = attr.clone().into_iter();
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+            _ => continue,
+        }
+        let Some(TokenTree::Group(g)) = tokens.next() else {
+            panic!("malformed #[serde] attribute");
+        };
+        let mut inner = g.stream().into_iter();
+        match inner.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+            other => panic!("unsupported #[serde(...)] attribute: {other:?}"),
+        }
+        match inner.next() {
+            None => return Some(None),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                let Some(TokenTree::Literal(lit)) = inner.next() else {
+                    panic!("expected string after #[serde(default = ...)]");
+                };
+                let text = lit.to_string();
+                let path = text.trim_matches('"').to_string();
+                return Some(Some(path));
+            }
+            other => panic!("unsupported #[serde(default ...)] form: {other:?}"),
+        }
+    }
+    None
+}
+
+/// Parses `name: Type` fields from the body of a braced struct or variant.
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let mut iter = group.stream().into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = take_attrs(&mut iter);
+        skip_visibility(&mut iter);
+        let Some(name) = try_ident(&mut iter) else {
+            break;
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Collect the type, stopping at a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        let mut first_ty_ident: Option<String> = None;
+        loop {
+            enum Step {
+                Done,
+                Comma,
+                Open,
+                Close,
+                Token,
+            }
+            let step = match iter.peek() {
+                None => Step::Done,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => Step::Comma,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => Step::Open,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => Step::Close,
+                Some(_) => Step::Token,
+            };
+            match step {
+                Step::Done => break,
+                Step::Comma => {
+                    iter.next();
+                    break;
+                }
+                Step::Open => angle_depth += 1,
+                Step::Close => angle_depth -= 1,
+                Step::Token => {}
+            }
+            let tt = iter.next().expect("peeked token exists");
+            if first_ty_ident.is_none() {
+                if let TokenTree::Ident(id) = &tt {
+                    first_ty_ident = Some(id.to_string());
+                }
+            }
+        }
+        let is_option = first_ty_ident.as_deref() == Some("Option");
+        fields.push(Field {
+            name,
+            is_option,
+            default: parse_serde_default(&attrs),
+        });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant (`(A, B, ...)`).
+fn tuple_arity(group: &Group) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0usize;
+    let mut chunk_has_tokens = false;
+    for tt in group.stream() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                chunk_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                chunk_has_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if chunk_has_tokens {
+                    count += 1;
+                }
+                chunk_has_tokens = false;
+            }
+            _ => chunk_has_tokens = true,
+        }
+    }
+    if chunk_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let mut iter = group.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _attrs = take_attrs(&mut iter);
+        let Some(name) = try_ident(&mut iter) else {
+            break;
+        };
+        enum Next {
+            Braced,
+            Parens,
+            Other,
+        }
+        let next = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Next::Braced,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Next::Parens,
+            _ => Next::Other,
+        };
+        let fields = match next {
+            Next::Braced | Next::Parens => {
+                let Some(TokenTree::Group(g)) = iter.next() else {
+                    unreachable!()
+                };
+                match next {
+                    Next::Braced => Fields::Named(parse_named_fields(&g)),
+                    _ => Fields::Tuple(tuple_arity(&g)),
+                }
+            }
+            Next::Other => Fields::Unit,
+        };
+        // Skip to the next variant (past the separating comma, and past any
+        // explicit discriminant, which derives here never carry).
+        for tt in iter.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let _attrs = take_attrs(&mut iter);
+    skip_visibility(&mut iter);
+    let kw = try_ident(&mut iter).expect("expected `struct` or `enum`");
+    let name = try_ident(&mut iter).expect("expected item name");
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("generic items are not supported by the vendored serde_derive");
+    }
+    let body = match (kw.as_str(), iter.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Struct(Fields::Named(parse_named_fields(&g)))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::Struct(Fields::Tuple(tuple_arity(&g)))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum(parse_variants(&g))
+        }
+        (kw, other) => panic!("unsupported item: {kw} ... {other:?}"),
+    };
+    Item { name, body }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(trait_name: &str, type_name: &str, fn_sig: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::{trait_name} for {type_name} {{\n\
+             {fn_sig} {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// `(String::from("k"), Serialize::to_value(expr)),` object entry.
+fn ser_entry(key: &str, expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), ::serde::Serialize::to_value({expr})),\n")
+}
+
+fn ser_named_object(fields: &[Field], access_prefix: &str) -> String {
+    let mut entries = String::new();
+    for f in fields {
+        entries.push_str(&ser_entry(&f.name, &format!("{}{}", access_prefix, f.name)));
+    }
+    format!("::serde::Value::Object(vec![\n{entries}])")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => ser_named_object(fields, "&self."),
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),\n"))
+                .collect();
+            format!("::serde::Value::Array(vec![\n{items}])")
+        }
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = ser_named_object(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Object(vec![(::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(vec![{}]),\n",
+                            ser_entry(vn, "__f0")
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: String = bindings
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),\n"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Array(vec![\n{items}]))]),\n",
+                            bindings.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    impl_header(
+        "Serialize",
+        name,
+        "fn to_value(&self) -> ::serde::Value",
+        &body,
+    )
+}
+
+/// Field initializers for a named struct/variant body.
+fn de_named_inits(fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let n = &f.name;
+        let init = match &f.default {
+            Some(None) => format!(
+                "::serde::de::field_or({source}, \"{n}\", ::std::default::Default::default)?"
+            ),
+            Some(Some(path)) => format!("::serde::de::field_or({source}, \"{n}\", {path})?"),
+            None if f.is_option => format!("::serde::de::field_opt({source}, \"{n}\")?"),
+            None => format!("::serde::de::field({source}, \"{n}\")?"),
+        };
+        inits.push_str(&format!("{n}: {init},\n"));
+    }
+    inits
+}
+
+fn de_tuple_from_array(constructor: &str, source: &str, n: usize, what: &str) -> String {
+    let items: String = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,\n"))
+        .collect();
+    format!(
+        "{{\n\
+         let __items = {source}.as_array().ok_or_else(|| ::serde::DeError::expected(\"array for {what}\", {source}))?;\n\
+         if __items.len() != {n} {{\n\
+             return ::std::result::Result::Err(::serde::DeError(::std::format!(\n\
+                 \"expected {n} elements for {what}, found {{}}\", __items.len())));\n\
+         }}\n\
+         ::std::result::Result::Ok({constructor}(\n{items}))\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            format!(
+                "let __entries = ::serde::de::as_object(__value, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{\n{}\n}})",
+                de_named_inits(fields, "__entries")
+            )
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Body::Struct(Fields::Tuple(n)) => de_tuple_from_array(name, "__value", *n, name),
+        Body::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_variants: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .collect();
+            let payload_variants: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .collect();
+            let mut arms = String::new();
+            if !unit_variants.is_empty() {
+                let mut unit_arms = String::new();
+                for v in &unit_variants {
+                    let vn = &v.name;
+                    unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "::serde::Value::String(__s) => match __s.as_str() {{\n\
+                     {unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\n\
+                         \"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }},\n"
+                ));
+            }
+            if !payload_variants.is_empty() {
+                let mut tag_arms = String::new();
+                for v in &payload_variants {
+                    let vn = &v.name;
+                    let construct = match &v.fields {
+                        Fields::Named(fields) => format!(
+                            "{{\n\
+                             let __fields = ::serde::de::as_object(__inner, \"{name}::{vn}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{}\n}})\n\
+                             }}",
+                            de_named_inits(fields, "__fields")
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?))"
+                        ),
+                        Fields::Tuple(n) => de_tuple_from_array(
+                            &format!("{name}::{vn}"),
+                            "__inner",
+                            *n,
+                            &format!("{name}::{vn}"),
+                        ),
+                        Fields::Unit => unreachable!("filtered to payload variants"),
+                    };
+                    tag_arms.push_str(&format!("\"{vn}\" => {construct},\n"));
+                }
+                arms.push_str(&format!(
+                    "::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                     let (__tag, __inner) = &__entries[0];\n\
+                     match __tag.as_str() {{\n\
+                     {tag_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError(::std::format!(\n\
+                         \"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }}\n\
+                     }},\n"
+                ));
+            }
+            format!(
+                "match __value {{\n\
+                 {arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::expected(\"{name} variant\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    impl_header(
+        "Deserialize",
+        name,
+        "fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError>",
+        &body,
+    )
+}
