@@ -263,6 +263,10 @@ fn scale_report(mut report: SimulationReport, factor: f64) -> SimulationReport {
     let scale = |t: SimTime| SimTime::from_seconds(t.seconds() * factor);
     report.makespan = scale(report.makespan);
     report.stage_in_time *= factor;
+    for s in &mut report.stage_spans {
+        s.start = scale(s.start);
+        s.end = scale(s.end);
+    }
     for r in &mut report.tasks {
         r.start = scale(r.start);
         r.read_end = scale(r.read_end);

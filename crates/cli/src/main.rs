@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! wfbb simulate --workflow swarp:4 --platform cori:private \
-//!               --placement fraction:0.5 [--nodes 1] [--scheduler affinity] [--gantt 60]
+//!               --placement fraction:0.5 [--nodes 1] [--scheduler affinity] [--gantt 60] \
+//!               [--trace-out trace.json --trace-format perfetto|jsonl]
 //! wfbb generate --workflow genomes:22 --out wf.json
 //! wfbb inspect  --workflow wf.json [--dot graph.dot]
 //! ```
@@ -15,13 +16,14 @@
 mod args;
 
 use args::{parse_placement, parse_platform, parse_scheduler, parse_workflow, Args, CliError};
-use wfbb_wms::SimulationBuilder;
+use wfbb_wms::{SimulationBuilder, TelemetryConfig};
 
 const USAGE: &str = "\
 usage:
   wfbb simulate --workflow <spec> --platform <spec> [--placement <spec>]
                 [--nodes <n>] [--scheduler affinity|least-loaded|round-robin]
                 [--gantt <width>] [--chrome <trace.json>]
+                [--trace-out <path> [--trace-format perfetto|jsonl]]
   wfbb generate --workflow <spec> --out <file.json>
   wfbb inspect  --workflow <spec> [--dot <file.dot>]
 
@@ -29,7 +31,12 @@ specs:
   workflow:  swarp:<pipelines>[:<cores>] | genomes:<chromosomes>
              | wfcommons:<trace.json>[:<gflops_per_core>] | <file.json>
   platform:  cori[:private|:striped] | summit | generic | <file.json>
-  placement: allbb | allpfs | fraction:<f> | threshold:<bytes>";
+  placement: allbb | allpfs | fraction:<f> | threshold:<bytes>
+
+observability (see docs/trace-format.md):
+  --trace-out    write a full run trace (stage spans, task phases, engine
+                 telemetry) to <path>; enables engine telemetry sampling
+  --trace-format perfetto (default; load in ui.perfetto.dev) | jsonl";
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -58,10 +65,22 @@ fn simulate(args: &Args) -> Result<(), CliError> {
     let platform = parse_platform(args.require("platform")?, nodes)?;
     let placement = parse_placement(args.get_or("placement", "allbb"))?;
     let scheduler = parse_scheduler(args.get_or("scheduler", "affinity"))?;
+    let trace_out = args.get("trace-out");
+    let trace_format = args.get_or("trace-format", "perfetto");
+    if !matches!(trace_format, "perfetto" | "jsonl") {
+        return Err(CliError(format!(
+            "unrecognized trace format {trace_format:?} (expected perfetto or jsonl)"
+        )));
+    }
 
-    let report = SimulationBuilder::new(platform.clone(), workflow)
+    let mut builder = SimulationBuilder::new(platform.clone(), workflow)
         .placement(placement)
-        .scheduler(scheduler)
+        .scheduler(scheduler);
+    if trace_out.is_some() {
+        // Full traces want the engine's resource series and histograms.
+        builder = builder.telemetry(TelemetryConfig::enabled());
+    }
+    let report = builder
         .run()
         .map_err(|e| CliError(format!("simulation failed: {e}")))?;
 
@@ -91,6 +110,17 @@ fn simulate(args: &Args) -> Result<(), CliError> {
         std::fs::write(path, report.chrome_trace_json())
             .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
         println!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+    }
+    if let Some(path) = trace_out {
+        let trace = match trace_format {
+            "jsonl" => report.jsonl_trace(),
+            _ => report.perfetto_trace_json(),
+        };
+        std::fs::write(path, trace).map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+        match trace_format {
+            "jsonl" => println!("wrote JSONL trace to {path} (schema in docs/trace-format.md)"),
+            _ => println!("wrote Perfetto trace to {path} (open in ui.perfetto.dev)"),
+        }
     }
     Ok(())
 }
@@ -217,6 +247,61 @@ mod tests {
         ]))
         .unwrap();
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trace_out_writes_both_formats() {
+        let dir = std::env::temp_dir().join("wfbb-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let perfetto = dir.join("trace.json");
+        run(&rawv(&[
+            "simulate",
+            "--workflow",
+            "swarp:1:4",
+            "--platform",
+            "summit",
+            "--trace-out",
+            perfetto.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&perfetto).unwrap();
+        assert!(body.contains("\"traceEvents\""));
+        assert!(body.contains("\"ph\":\"C\""), "telemetry counters present");
+        std::fs::remove_file(&perfetto).ok();
+        let jsonl = dir.join("trace.jsonl");
+        run(&rawv(&[
+            "simulate",
+            "--workflow",
+            "swarp:1:4",
+            "--platform",
+            "summit",
+            "--trace-out",
+            jsonl.to_str().unwrap(),
+            "--trace-format",
+            "jsonl",
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(body.starts_with("{\"type\":\"header\""));
+        assert!(body.contains("\"type\":\"resource_sample\""));
+        std::fs::remove_file(&jsonl).ok();
+    }
+
+    #[test]
+    fn bad_trace_format_is_rejected() {
+        let err = run(&rawv(&[
+            "simulate",
+            "--workflow",
+            "swarp:1",
+            "--platform",
+            "summit",
+            "--trace-out",
+            "/tmp/x.json",
+            "--trace-format",
+            "xml",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("trace format"));
     }
 
     #[test]

@@ -45,9 +45,27 @@ use crate::fairshare::{self, WeightedReq};
 use crate::ids::{ActivityId, ResourceId};
 use crate::resource::Resource;
 use crate::stats::ResourceStats;
+use crate::telemetry::{
+    EngineCounters, ResourceTelemetry, Telemetry, TelemetryConfig, TelemetrySnapshot,
+};
 use crate::time::SimTime;
 use crate::trace::{TraceEvent, TraceEventKind, TraceLog};
 use crate::EPSILON;
+
+/// Construction-time engine options, bundling the trace switch, the solve
+/// strategy, and the telemetry instruments (see [`crate::telemetry`]).
+///
+/// Everything defaults to the cheap path: no trace, incremental solving,
+/// telemetry sampling off.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Record start/end events into the [`TraceLog`].
+    pub trace: bool,
+    /// Solve strategy; see [`SolveMode`].
+    pub solve_mode: SolveMode,
+    /// Sampling instruments; see [`TelemetryConfig`].
+    pub telemetry: TelemetryConfig,
+}
 
 /// A completed activity, as returned by [`Engine::step`].
 #[derive(Debug)]
@@ -245,6 +263,12 @@ pub struct Engine<T> {
     promote_buf: Vec<u32>,
     deferred: Vec<HeapEvent>,
     window_buf: Vec<HeapEvent>,
+    telemetry: Telemetry,
+    // Telemetry scratch (per-resource accumulators, used only when
+    // sampling is enabled).
+    rate_accum: Vec<f64>,
+    depth_accum: Vec<u32>,
+    served_accum: Vec<f64>,
 }
 
 impl<T> Default for Engine<T> {
@@ -254,8 +278,14 @@ impl<T> Default for Engine<T> {
 }
 
 impl<T> Engine<T> {
-    /// Creates an empty engine at time zero.
+    /// Creates an empty engine at time zero with all options at their
+    /// defaults (no trace, incremental solving, telemetry sampling off).
     pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// Creates an empty engine at time zero with explicit options.
+    pub fn with_config(config: EngineConfig) -> Self {
         Engine {
             resources: Vec::new(),
             stats: Vec::new(),
@@ -268,8 +298,8 @@ impl<T> Engine<T> {
             streams: Vec::new(),
             ready: std::collections::VecDeque::new(),
             trace: TraceLog::new(),
-            trace_enabled: false,
-            mode: SolveMode::default(),
+            trace_enabled: config.trace,
+            mode: config.solve_mode,
             dirty: false,
             epoch: 0,
             events: BinaryHeap::new(),
@@ -283,6 +313,10 @@ impl<T> Engine<T> {
             promote_buf: Vec::new(),
             deferred: Vec::new(),
             window_buf: Vec::new(),
+            telemetry: Telemetry::new(config.telemetry),
+            rate_accum: Vec::new(),
+            depth_accum: Vec::new(),
+            served_accum: Vec::new(),
         }
     }
 
@@ -291,6 +325,7 @@ impl<T> Engine<T> {
         self.resources.push(Resource::new(name, capacity));
         self.capacities.push(capacity);
         self.stats.push(ResourceStats::default());
+        self.telemetry.ensure_resources(self.resources.len());
         ResourceId::from_index(self.resources.len() - 1)
     }
 
@@ -334,6 +369,54 @@ impl<T> Engine<T> {
         self.mode
     }
 
+    /// Read access to the telemetry state (counters are always live;
+    /// series and histograms only when sampling is enabled).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The engine-internal counters (always maintained).
+    pub fn counters(&self) -> &EngineCounters {
+        &self.telemetry.counters
+    }
+
+    /// Enables, disables, or resizes the sampling instruments. Counters
+    /// are unaffected. Usually set before the first step; enabling mid-run
+    /// starts sampling from the next solve.
+    pub fn set_telemetry_config(&mut self, config: TelemetryConfig) {
+        self.telemetry.set_config(config);
+        self.telemetry.ensure_resources(self.resources.len());
+    }
+
+    /// Detaches an owned copy of the run's telemetry — counters plus, per
+    /// resource, its identity, sample series, and utilization histogram.
+    /// `None` when sampling is disabled.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        if !self.telemetry.enabled() {
+            return None;
+        }
+        let resources = self
+            .resources
+            .iter()
+            .enumerate()
+            .map(|(i, r)| ResourceTelemetry {
+                name: r.name.clone(),
+                capacity: r.capacity,
+                samples: self
+                    .telemetry
+                    .series(i)
+                    .map(|s| s.to_vec())
+                    .unwrap_or_default(),
+                evicted: self.telemetry.series(i).map_or(0, |s| s.evicted()),
+                histogram: self.telemetry.histogram(i).cloned().unwrap_or_default(),
+            })
+            .collect();
+        Some(TelemetrySnapshot {
+            counters: self.telemetry.counters,
+            resources,
+        })
+    }
+
     /// Selects between the incremental engine (default) and the naive
     /// reference path. Usually set before the first step; switching mid-run
     /// is supported and forces a re-solve.
@@ -346,6 +429,35 @@ impl<T> Engine<T> {
         let id = ActivityId(self.next_id);
         self.next_id += 1;
         id
+    }
+
+    /// Pushes a pending event, counting heap traffic.
+    fn push_event(&mut self, ev: HeapEvent) {
+        self.telemetry.counters.heap_pushes += 1;
+        self.events.push(Reverse(ev));
+    }
+
+    /// Samples per-resource allocated rate and queue depth at the current
+    /// instant (called at every solver epoch when sampling is enabled).
+    fn sample_telemetry(&mut self) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let n = self.resources.len();
+        self.rate_accum.clear();
+        self.rate_accum.resize(n, 0.0);
+        self.depth_accum.clear();
+        self.depth_accum.resize(n, 0);
+        for &s in &self.streams {
+            let f = &self.flows[s as usize];
+            for r in &f.route {
+                self.rate_accum[r.index()] += f.rate;
+                self.depth_accum[r.index()] += 1;
+            }
+        }
+        let t = self.now.seconds();
+        self.telemetry
+            .record_samples(t, &self.rate_accum, &self.depth_accum);
     }
 
     fn record(&mut self, id: ActivityId, kind: TraceEventKind, label: Option<&str>) {
@@ -387,12 +499,12 @@ impl<T> Engine<T> {
             });
         } else {
             let end = self.now + duration;
-            self.events.push(Reverse(HeapEvent {
+            self.push_event(HeapEvent {
                 time: end.seconds(),
                 id,
                 kind: EventKind::DelayEnd,
                 epoch: 0,
-            }));
+            });
             self.active.insert(
                 id,
                 Activity {
@@ -449,12 +561,12 @@ impl<T> Engine<T> {
             group_key: key,
         });
         if spec.latency > EPSILON {
-            self.events.push(Reverse(HeapEvent {
+            self.push_event(HeapEvent {
                 time: latency_until,
                 id,
                 kind: EventKind::LatencyEnd,
                 epoch: 0,
-            }));
+            });
         } else {
             self.make_streaming(slot);
         }
@@ -515,8 +627,11 @@ impl<T> Engine<T> {
         self.integrate(self.now.seconds());
         self.epoch += 1;
         self.dirty = false;
+        self.telemetry.counters.solves += 1;
+        self.telemetry.counters.solver_flows += self.streams.len() as u64;
         match self.mode {
             SolveMode::Naive => {
+                self.telemetry.counters.solver_groups += self.streams.len() as u64;
                 let flows = &self.flows;
                 let entries = self.streams.iter().map(|&s| {
                     let f = &flows[s as usize];
@@ -560,6 +675,7 @@ impl<T> Engine<T> {
                         start = k;
                     }
                 }
+                self.telemetry.counters.solver_groups += self.groups.len() as u64;
                 let order = &self.order;
                 let entries = self.groups.iter().map(|&(s, e)| {
                     let f = &flows[order[s as usize] as usize];
@@ -599,15 +715,16 @@ impl<T> Engine<T> {
                 }
                 self.earliest_done = earliest;
                 if let Some((time, id)) = best {
-                    self.events.push(Reverse(HeapEvent {
+                    self.push_event(HeapEvent {
                         time,
                         id,
                         kind: EventKind::FlowEnd,
                         epoch: self.epoch,
-                    }));
+                    });
                 }
             }
         }
+        self.sample_telemetry();
     }
 
     /// Whether a heap entry no longer describes a live event.
@@ -654,6 +771,8 @@ impl<T> Engine<T> {
         while let Some(&Reverse(ev)) = self.events.peek() {
             if self.event_is_stale(&ev) {
                 self.events.pop();
+                self.telemetry.counters.heap_pops += 1;
+                self.telemetry.counters.heap_stale += 1;
                 continue;
             }
             return ev.time;
@@ -670,6 +789,12 @@ impl<T> Engine<T> {
             return;
         }
         self.integrated_until = upto;
+        self.telemetry.counters.integrations += 1;
+        let sampling = self.telemetry.enabled();
+        if sampling {
+            self.served_accum.clear();
+            self.served_accum.resize(self.resources.len(), 0.0);
+        }
         self.busy.clear();
         self.busy.resize(self.resources.len(), false);
         for &s in &self.streams {
@@ -679,12 +804,19 @@ impl<T> Engine<T> {
             for r in &f.route {
                 self.stats[r.index()].total_served += moved;
                 self.busy[r.index()] = true;
+                if sampling {
+                    self.served_accum[r.index()] += moved;
+                }
             }
         }
         for (idx, b) in self.busy.iter().enumerate() {
             if *b {
                 self.stats[idx].busy_time += dt;
             }
+        }
+        if sampling {
+            self.telemetry
+                .record_utilization(&self.served_accum, dt, &self.capacities);
         }
     }
 
@@ -727,6 +859,7 @@ impl<T> Engine<T> {
                         break;
                     }
                     self.events.pop();
+                    self.telemetry.counters.heap_pops += 1;
                 }
             }
             SolveMode::Incremental => {
@@ -736,7 +869,10 @@ impl<T> Engine<T> {
                         break;
                     }
                     self.events.pop();
-                    if !self.event_is_stale(&ev) {
+                    self.telemetry.counters.heap_pops += 1;
+                    if self.event_is_stale(&ev) {
+                        self.telemetry.counters.heap_stale += 1;
+                    } else {
                         self.window_buf.push(ev);
                     }
                 }
@@ -750,6 +886,7 @@ impl<T> Engine<T> {
                     // integration nor the stream scan is needed — rates are
                     // constant and `remaining` stays based at
                     // `integrated_until`.
+                    self.telemetry.counters.fastpath_events += self.window_buf.len() as u64;
                     for k in 0..self.window_buf.len() {
                         self.done_buf.push(self.window_buf[k].id);
                     }
@@ -790,12 +927,13 @@ impl<T> Engine<T> {
                             {
                                 let f = &self.flows[slot as usize];
                                 if f.rate > EPSILON {
-                                    self.events.push(Reverse(HeapEvent {
-                                        time: t_next + f.remaining / f.rate,
+                                    let time = t_next + f.remaining / f.rate;
+                                    self.push_event(HeapEvent {
+                                        time,
                                         id: ev.id,
                                         kind: EventKind::FlowEnd,
                                         epoch: self.epoch,
-                                    }));
+                                    });
                                 }
                             }
                         }
@@ -804,6 +942,7 @@ impl<T> Engine<T> {
             }
         }
         self.done_buf.sort_unstable();
+        self.telemetry.counters.completions += self.done_buf.len() as u64;
         for k in 0..self.done_buf.len() {
             let id = self.done_buf[k];
             let act = self.active.remove(&id).expect("completed activity exists");
@@ -870,6 +1009,7 @@ impl<T> Engine<T> {
             }
             let t_next = t_next.max(self.now.seconds());
             self.now = SimTime::from_seconds(t_next);
+            self.telemetry.counters.events += 1;
             // Integration happens inside collect_completions: the naive
             // path integrates unconditionally, the incremental path defers
             // it across pure-delay spans.
@@ -1230,6 +1370,72 @@ mod tests {
             e.try_step(),
             Err(EngineError::Stalled { active: 1, .. })
         ));
+    }
+
+    #[test]
+    fn counters_run_without_telemetry_sampling() {
+        let mut e: Engine<u32> = Engine::new();
+        let link = e.add_resource("link", 100.0);
+        e.spawn_flow(FlowSpec::new(100.0, vec![link]), 1);
+        e.spawn_delay(0.3, 2);
+        e.run_to_completion();
+        let c = e.counters();
+        assert!(c.solves >= 1, "at least one solve: {c:?}");
+        assert!(c.completions == 2, "two completions: {c:?}");
+        assert!(c.events >= 2, "two event instants: {c:?}");
+        assert!(c.heap_pushes >= 2);
+        assert!(e.telemetry_snapshot().is_none(), "sampling off by default");
+    }
+
+    #[test]
+    fn telemetry_sampling_records_series_and_histograms() {
+        let mut e: Engine<u32> = Engine::with_config(EngineConfig {
+            telemetry: TelemetryConfig::enabled(),
+            ..Default::default()
+        });
+        let link = e.add_resource("link", 100.0);
+        e.spawn_flow(FlowSpec::new(200.0, vec![link]), 1);
+        e.spawn_flow(FlowSpec::new(400.0, vec![link]), 2);
+        e.run_to_completion();
+        let snap = e.telemetry_snapshot().expect("sampling enabled");
+        assert_eq!(snap.resources.len(), 1);
+        let r = &snap.resources[0];
+        assert_eq!(r.name, "link");
+        assert_eq!(r.capacity, 100.0);
+        // First epoch: both flows streaming at 50 each -> rate 100, depth 2.
+        let first = r.samples.first().unwrap();
+        assert!((first.allocated_rate - 100.0).abs() < 1e-9);
+        assert_eq!(first.queue_depth, 2);
+        // Histogram time equals the resource's busy time (always saturated).
+        let busy = e.resource_stats(link).busy_time;
+        assert!((r.histogram.total_time() - busy).abs() < 1e-9);
+        assert!((r.histogram.mean_utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_makespan() {
+        let run = |sampling: bool| {
+            let mut e: Engine<usize> = Engine::with_config(EngineConfig {
+                telemetry: TelemetryConfig {
+                    enabled: sampling,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            let link = e.add_resource("link", 250.0);
+            for i in 0..12 {
+                e.spawn_flow(
+                    FlowSpec::new(40.0 + i as f64, vec![link]).with_latency(0.05 * i as f64),
+                    i,
+                );
+                e.spawn_delay(0.2 * i as f64, 100 + i);
+            }
+            e.run_to_completion()
+                .iter()
+                .map(|c| (c.id, c.time.seconds()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     /// Runs the same scripted scenario in both modes and compares the

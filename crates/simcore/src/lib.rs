@@ -24,6 +24,13 @@
 //! Simultaneous completions are delivered in ascending activity-id order, so
 //! a simulation is a pure function of its inputs.
 //!
+//! Beyond the simulation itself, the kernel is observable: [`trace`]
+//! records time-stamped start/end events, [`stats`] accumulates
+//! per-resource utilization counters, and [`telemetry`] adds per-resource
+//! rate/queue-depth time series, windowed utilization histograms, and
+//! engine-internal counters (solver and event-heap activity). Telemetry
+//! sampling is off by default and never affects simulated times.
+//!
 //! ```
 //! use wfbb_simcore::{Engine, FlowSpec};
 //!
@@ -36,20 +43,24 @@
 //! assert!((c.time.seconds() - 10.0).abs() < 1e-9);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod activity;
 pub mod engine;
 pub mod fairshare;
 pub mod ids;
 pub mod resource;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
 pub use activity::FlowSpec;
-pub use engine::{Completion, Engine, EngineError, SolveMode};
+pub use engine::{Completion, Engine, EngineConfig, EngineError, SolveMode};
 pub use ids::{ActivityId, ResourceId};
 pub use resource::Resource;
 pub use stats::ResourceStats;
+pub use telemetry::{EngineCounters, TelemetryConfig, TelemetrySnapshot};
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceEventKind, TraceLog};
 

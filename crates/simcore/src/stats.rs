@@ -4,6 +4,12 @@
 //! each resource and the time during which it had at least one active flow.
 //! The experiment harness uses these counters to report achieved I/O
 //! bandwidth (the paper's Figure 9) without instrumenting the workload.
+//!
+//! These two scalars are the always-on summary; when finer resolution is
+//! needed, the [`crate::telemetry`] layer extends them into time series
+//! (allocated rate and queue depth per solver epoch) and time-weighted
+//! utilization histograms, at the cost of an explicit opt-in
+//! ([`crate::TelemetryConfig`]).
 
 /// Cumulative utilization counters for one resource.
 #[derive(Debug, Clone, Default)]

@@ -4,6 +4,13 @@
 //! event trace; the date of the last event gives the workflow makespan.
 //! `TraceLog` records activity starts and completions with their labels so
 //! higher layers can reconstruct Gantt charts and per-phase timings.
+//!
+//! Start/end pairs are one layer of a larger observability surface: the
+//! [`crate::telemetry`] module adds per-resource rate and queue-depth time
+//! series sampled at solver epochs, windowed utilization histograms, and
+//! engine-internal counters. The executor in `wfbb-wms` combines both into
+//! exportable traces (line-delimited JSONL and Perfetto/Chrome JSON) whose
+//! schemas are the documented contract in `docs/trace-format.md`.
 
 use crate::ids::ActivityId;
 use crate::time::SimTime;

@@ -24,7 +24,7 @@
 //! ```
 
 use wfbb_platform::{PlatformError, PlatformSpec};
-use wfbb_simcore::{Engine, SolveMode};
+use wfbb_simcore::{Engine, SolveMode, TelemetryConfig};
 use wfbb_storage::{PlacementPlan, PlacementPolicy, StorageSystem};
 use wfbb_workflow::Workflow;
 
@@ -61,6 +61,7 @@ pub struct SimulationBuilder {
     scheduler: SchedulerPolicy,
     dynamic_placer: Option<Box<dyn crate::dynamic::DynamicPlacer>>,
     solve_mode: SolveMode,
+    telemetry: TelemetryConfig,
 }
 
 impl SimulationBuilder {
@@ -79,6 +80,7 @@ impl SimulationBuilder {
             scheduler: SchedulerPolicy::default(),
             dynamic_placer: None,
             solve_mode: SolveMode::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -127,6 +129,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Enables engine telemetry sampling for this run. The resulting
+    /// [`SimulationReport::telemetry`](crate::report::SimulationReport::telemetry)
+    /// carries per-resource time series, utilization histograms, and engine
+    /// counters; the trace exporters in [`crate::traceexport`] include them
+    /// in their output. Telemetry is off by default (zero sampling cost).
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = config;
+        self
+    }
+
     /// Runs the simulation and returns the report.
     pub fn run(self) -> Result<SimulationReport, SimulationError> {
         self.platform
@@ -134,6 +146,7 @@ impl SimulationBuilder {
             .map_err(SimulationError::Platform)?;
         let mut engine = Engine::new();
         engine.set_solve_mode(self.solve_mode);
+        engine.set_telemetry_config(self.telemetry);
         let instance = self.platform.instantiate(&mut engine);
         let storage = StorageSystem::new(instance);
         let plan = match self.plan_override {

@@ -24,7 +24,7 @@ use wfbb_storage::{FileRegistry, Location, PlacementPlan, StorageSystem, Tier};
 use wfbb_workflow::{amdahl_time, FileId, TaskId, Workflow};
 
 use crate::dynamic::{DynamicPlacer, PlacementContext};
-use crate::report::{SimulationReport, TaskRecord};
+use crate::report::{SimulationReport, StageSpan, TaskRecord};
 
 /// Node-assignment policy of the WMS scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -168,6 +168,10 @@ pub struct Executor {
     meta_remaining: HashMap<(u32, u32, bool), usize>,
     stage_queue: VecDeque<FileId>,
     stage_nodes: HashMap<FileId, usize>,
+    /// When the in-flight staged file's copy started (phase-span record).
+    stage_started: HashMap<FileId, SimTime>,
+    /// Completed per-file stage-in spans, in staging order.
+    stage_spans: Vec<StageSpan>,
     staging_done: bool,
     stage_end: SimTime,
     completed: usize,
@@ -225,6 +229,8 @@ impl Executor {
             meta_remaining: HashMap::new(),
             stage_queue: VecDeque::new(),
             stage_nodes: HashMap::new(),
+            stage_started: HashMap::new(),
+            stage_spans: Vec::new(),
             staging_done: false,
             stage_end: SimTime::ZERO,
             completed: 0,
@@ -353,6 +359,7 @@ impl Executor {
                 self.registry.set(file, Location::Pfs);
                 continue;
             };
+            self.stage_started.insert(file, self.engine.now());
             self.resolved.insert(Self::stage_key(file), loc.clone());
             let access = self.storage.stage_in_flows(size, &loc, node);
             if !access.metadata.is_empty() {
@@ -375,6 +382,7 @@ impl Executor {
             // Degenerate: nothing to move (no BB on this platform) — the
             // file effectively stays on the PFS.
             self.resolved.remove(&Self::stage_key(file));
+            self.finish_stage_span(file, &loc);
             self.registry.set(file, loc);
         }
     }
@@ -409,6 +417,7 @@ impl Executor {
         let access = self.storage.stage_in_flows(size, &loc, node);
         if access.data.is_empty() {
             self.resolved.remove(&key);
+            self.finish_stage_span(file, &loc);
             self.registry.set(file, loc);
             self.start_next_stage();
         } else {
@@ -429,9 +438,38 @@ impl Executor {
                 .resolved
                 .remove(&Self::stage_key(file))
                 .expect("stage location resolved");
+            self.finish_stage_span(file, &loc);
             self.registry.set(file, loc);
             self.start_next_stage();
         }
+    }
+
+    /// Human-readable destination label for a staged file, as documented
+    /// in `docs/trace-format.md`.
+    fn location_label(loc: &Location) -> String {
+        match loc {
+            Location::Pfs => "pfs".to_string(),
+            Location::SharedBb { bb_node } => format!("bb:{bb_node}"),
+            Location::StripedBb { stripe_nodes } => {
+                format!("bb:striped:{}", stripe_nodes.len())
+            }
+            Location::OnNodeBb { node } => format!("bb:node{node}"),
+        }
+    }
+
+    /// Closes the stage-in span of `file`: records `[start, now]` with the
+    /// destination it landed on.
+    fn finish_stage_span(&mut self, file: FileId, loc: &Location) {
+        let start = self
+            .stage_started
+            .remove(&file)
+            .expect("stage span opened before completion");
+        self.stage_spans.push(StageSpan {
+            file: self.workflow.file(file).name.clone(),
+            start,
+            end: self.engine.now(),
+            location: Self::location_label(loc),
+        });
     }
 
     fn finish_staging(&mut self) {
@@ -799,8 +837,10 @@ impl Executor {
         let pfs = self.engine.resource_stats(platform.pfs_disk);
 
         SimulationReport {
+            workflow: self.workflow.name.clone(),
             makespan: self.engine.now(),
             stage_in_time: self.stage_end.seconds(),
+            stage_spans: self.stage_spans.clone(),
             tasks,
             bb_bytes,
             pfs_bytes: pfs.total_served,
@@ -814,6 +854,7 @@ impl Executor {
             spilled_files: self.spilled,
             nodes: platform.nodes(),
             cores_per_node: platform.spec.cores_per_node,
+            telemetry: self.engine.telemetry_snapshot(),
         }
     }
 }

@@ -19,14 +19,22 @@
 //! The main entry point is [`SimulationBuilder`]; results come back as a
 //! [`SimulationReport`] with per-task records, per-category aggregates, and
 //! achieved-bandwidth accounting (the paper's Figure 9).
+//!
+//! For observability beyond the report scalars, enable engine telemetry
+//! with [`SimulationBuilder::telemetry`] and export the run through
+//! [`crate::traceexport`] as line-delimited JSONL or a Perfetto/Chrome
+//! trace (`docs/trace-format.md` documents both schemas).
 
 pub mod builder;
 pub mod dynamic;
 pub mod executor;
 pub mod gantt;
 pub mod report;
+pub mod traceexport;
 
 pub use builder::{SimulationBuilder, SimulationError};
 pub use dynamic::{DynamicPlacer, PlacementContext};
 pub use executor::SchedulerPolicy;
-pub use report::{CategoryStats, SimulationReport, TaskRecord};
+pub use report::{CategoryStats, SimulationReport, StageSpan, TaskRecord};
+pub use traceexport::TRACE_SCHEMA_VERSION;
+pub use wfbb_simcore::{EngineCounters, TelemetryConfig, TelemetrySnapshot};

@@ -3,11 +3,15 @@
 //! The simulator's outputs mirror what the paper measures: the workflow
 //! makespan, the stage-in duration, per-task execution times (grouped by
 //! category: Resample, Combine, ...), and the achieved I/O bandwidth per
-//! storage tier.
+//! storage tier. When telemetry sampling was enabled for the run, the
+//! report also carries the engine's [`TelemetrySnapshot`] (per-resource
+//! rate/queue series, utilization histograms, engine counters) and
+//! per-file stage-in spans, which the exporters in [`crate::traceexport`]
+//! turn into JSONL and Perfetto traces.
 
 use std::collections::BTreeMap;
 
-use wfbb_simcore::SimTime;
+use wfbb_simcore::{SimTime, TelemetrySnapshot};
 use wfbb_workflow::TaskId;
 
 /// Timing record of one executed task.
@@ -85,13 +89,33 @@ pub struct CategoryStats {
     pub mean_compute_time: f64,
 }
 
+/// One file's stage-in interval: when the sequential stage-in phase moved
+/// the file into the burst buffer, and where it landed.
+#[derive(Debug, Clone)]
+pub struct StageSpan {
+    /// Name of the staged file.
+    pub file: String,
+    /// When the copy started.
+    pub start: SimTime,
+    /// When the copy finished and the location was registered.
+    pub end: SimTime,
+    /// Destination label: `pfs`, `bb:<device>`, `bb:striped:<n>`, or
+    /// `bb:node<k>` (see `docs/trace-format.md`).
+    pub location: String,
+}
+
 /// Complete result of one simulated workflow execution.
 #[derive(Debug, Clone)]
 pub struct SimulationReport {
+    /// Name of the executed workflow.
+    pub workflow: String,
     /// Workflow makespan: the date of the last completion event.
     pub makespan: SimTime,
     /// Duration of the sequential stage-in phase, seconds.
     pub stage_in_time: f64,
+    /// Per-file stage-in spans, in staging order (empty when nothing was
+    /// staged to the burst buffer).
+    pub stage_spans: Vec<StageSpan>,
     /// Per-task timing records, in task-id order.
     pub tasks: Vec<TaskRecord>,
     /// Bytes transferred to/from the burst buffer tier.
@@ -110,6 +134,10 @@ pub struct SimulationReport {
     pub nodes: usize,
     /// Cores per compute node.
     pub cores_per_node: usize,
+    /// Engine telemetry (resource time series, utilization histograms,
+    /// counters). `Some` only when the run enabled telemetry sampling; see
+    /// [`crate::SimulationBuilder::telemetry`].
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl SimulationReport {
@@ -222,8 +250,10 @@ mod tests {
     #[test]
     fn category_stats_aggregate() {
         let report = SimulationReport {
+            workflow: "test".into(),
             makespan: SimTime::from_seconds(10.0),
             stage_in_time: 1.0,
+            stage_spans: Vec::new(),
             tasks: vec![
                 record("r1", "resample", 0.0, 1.0, 4.0, 5.0),
                 record("r2", "resample", 0.0, 2.0, 5.0, 7.0),
@@ -237,6 +267,7 @@ mod tests {
             spilled_files: 0,
             nodes: 1,
             cores_per_node: 4,
+            telemetry: None,
         };
         let by_cat = report.by_category();
         assert_eq!(by_cat.len(), 2);

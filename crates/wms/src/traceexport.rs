@@ -1,0 +1,362 @@
+//! Trace exporters: line-delimited JSONL and Perfetto/Chrome JSON.
+//!
+//! Both formats serialize a [`SimulationReport`] — phase-resolved task
+//! records, per-file stage-in spans, and (when the run enabled telemetry)
+//! the engine's resource time series, utilization histograms, and
+//! counters. The emitted field names, units, and record ordering are a
+//! versioned contract documented in `docs/trace-format.md`; golden-file
+//! tests in `tests/trace_export.rs` pin the JSONL output, so schema
+//! changes must bump [`TRACE_SCHEMA_VERSION`] and update the document.
+//!
+//! * [`SimulationReport::jsonl_trace`] — one self-describing JSON object
+//!   per line, machine-diffable, suitable for `jq`/pandas pipelines.
+//! * [`SimulationReport::perfetto_trace_json`] — the Chrome tracing JSON
+//!   object format, loadable in <https://ui.perfetto.dev> or
+//!   `chrome://tracing`.
+//!
+//! Exports are deterministic: a given report always serializes to the
+//! same bytes (stable ordering, fixed-precision floats).
+
+use crate::report::SimulationReport;
+
+/// Version of the exported trace schema (both formats). Bumped whenever a
+/// field is renamed, removed, or changes meaning; purely additive fields
+/// keep the version (see `docs/trace-format.md`).
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// Escapes a string for inclusion inside a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Fixed-precision float formatting shared by both exporters (seconds,
+/// bytes, rates). Six decimals keep sub-microsecond timing while staying
+/// byte-stable for golden files.
+fn num(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+impl SimulationReport {
+    /// Exports the run as line-delimited JSON (JSONL), one self-describing
+    /// object per line.
+    ///
+    /// Line order is fixed: `header`, `stage` spans, `task` records,
+    /// telemetry (`resource`, `resource_sample`, `counter` — only when the
+    /// run sampled telemetry; counters ride along with the snapshot), and
+    /// a final `summary`. Times are simulated seconds with six decimals.
+    /// See `docs/trace-format.md` for the field-by-field contract.
+    pub fn jsonl_trace(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"type\":\"header\",\"schema\":\"wfbb-trace\",\"version\":{},\
+             \"workflow\":\"{}\",\"nodes\":{},\"cores_per_node\":{},\
+             \"makespan\":{},\"stage_in_time\":{}}}\n",
+            TRACE_SCHEMA_VERSION,
+            esc(&self.workflow),
+            self.nodes,
+            self.cores_per_node,
+            num(self.makespan.seconds()),
+            num(self.stage_in_time),
+        ));
+        for s in &self.stage_spans {
+            out.push_str(&format!(
+                "{{\"type\":\"stage\",\"file\":\"{}\",\"start\":{},\"end\":{},\
+                 \"location\":\"{}\"}}\n",
+                esc(&s.file),
+                num(s.start.seconds()),
+                num(s.end.seconds()),
+                esc(&s.location),
+            ));
+        }
+        for t in &self.tasks {
+            out.push_str(&format!(
+                "{{\"type\":\"task\",\"name\":\"{}\",\"category\":\"{}\",\
+                 \"pipeline\":{},\"node\":{},\"cores\":{},\"start\":{},\
+                 \"read_end\":{},\"compute_end\":{},\"end\":{}}}\n",
+                esc(&t.name),
+                esc(&t.category),
+                t.pipeline.map_or("null".to_string(), |p| p.to_string()),
+                t.node,
+                t.cores,
+                num(t.start.seconds()),
+                num(t.read_end.seconds()),
+                num(t.compute_end.seconds()),
+                num(t.end.seconds()),
+            ));
+        }
+        if let Some(telemetry) = &self.telemetry {
+            for r in &telemetry.resources {
+                let bins = r
+                    .histogram
+                    .bins()
+                    .iter()
+                    .map(|b| num(*b))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                out.push_str(&format!(
+                    "{{\"type\":\"resource\",\"resource\":\"{}\",\"capacity\":{},\
+                     \"evicted\":{},\"mean_utilization\":{},\
+                     \"histogram_total\":{},\"histogram_bins\":[{}]}}\n",
+                    esc(&r.name),
+                    num(r.capacity),
+                    r.evicted,
+                    num(r.histogram.mean_utilization()),
+                    num(r.histogram.total_time()),
+                    bins,
+                ));
+                for s in &r.samples {
+                    out.push_str(&format!(
+                        "{{\"type\":\"resource_sample\",\"resource\":\"{}\",\
+                         \"time\":{},\"allocated_rate\":{},\"queue_depth\":{}}}\n",
+                        esc(&r.name),
+                        num(s.time),
+                        num(s.allocated_rate),
+                        s.queue_depth,
+                    ));
+                }
+            }
+            for (name, value) in telemetry.counters.as_named() {
+                out.push_str(&format!(
+                    "{{\"type\":\"counter\",\"name\":\"{name}\",\"value\":{value}}}\n",
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{{\"type\":\"summary\",\"bb_bytes\":{},\"pfs_bytes\":{},\
+             \"bb_achieved_bw\":{},\"pfs_achieved_bw\":{},\"bb_peak_bytes\":{},\
+             \"spilled_files\":{}}}\n",
+            num(self.bb_bytes),
+            num(self.pfs_bytes),
+            num(self.bb_achieved_bw),
+            num(self.pfs_achieved_bw),
+            num(self.bb_peak_bytes),
+            self.spilled_files,
+        ));
+        out
+    }
+
+    /// Exports the run in the Chrome tracing **JSON object format**, the
+    /// schema <https://ui.perfetto.dev> and `chrome://tracing` load
+    /// natively.
+    ///
+    /// Track layout (see `docs/trace-format.md`): one process per compute
+    /// node (`pid` = node index, `tid` = task index) carrying `ph:"X"`
+    /// complete events per task phase; process `nodes` is the sequential
+    /// stage-in lane; process `nodes + 1` hosts `ph:"C"` counter tracks for
+    /// the sampled resource rate/queue-depth series and a terminal instant
+    /// event with the engine counters. Timestamps are microseconds of
+    /// simulated time. Metadata events come first; the rest are sorted by
+    /// timestamp.
+    pub fn perfetto_trace_json(&self) -> String {
+        let stage_pid = self.nodes;
+        let engine_pid = self.nodes + 1;
+        let us = |sec: f64| format!("{:.3}", sec * 1e6);
+
+        let mut meta: Vec<String> = Vec::new();
+        let mut name_meta = |pid: usize, name: &str| {
+            meta.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                esc(name)
+            ));
+        };
+        for n in 0..self.nodes {
+            name_meta(n, &format!("node{n}"));
+        }
+        name_meta(stage_pid, "stage-in");
+        name_meta(engine_pid, "engine");
+
+        // (ts, rendered event) pairs, sorted by ts after collection.
+        let mut events: Vec<(f64, String)> = Vec::new();
+        for (i, s) in self.stage_spans.iter().enumerate() {
+            let (b, e) = (s.start.seconds(), s.end.seconds());
+            events.push((
+                b,
+                format!(
+                    "{{\"name\":\"stage:{}\",\"cat\":\"stage\",\"ph\":\"X\",\
+                     \"ts\":{},\"dur\":{},\"pid\":{},\"tid\":0,\
+                     \"args\":{{\"location\":\"{}\",\"order\":{}}}}}",
+                    esc(&s.file),
+                    us(b),
+                    us(e - b),
+                    stage_pid,
+                    esc(&s.location),
+                    i,
+                ),
+            ));
+        }
+        for t in &self.tasks {
+            let phases = [
+                ("read", t.start.seconds(), t.read_end.seconds()),
+                ("compute", t.read_end.seconds(), t.compute_end.seconds()),
+                ("write", t.compute_end.seconds(), t.end.seconds()),
+            ];
+            for (phase, begin, end) in phases {
+                if end > begin {
+                    events.push((
+                        begin,
+                        format!(
+                            "{{\"name\":\"{}:{}\",\"cat\":\"{}\",\"ph\":\"X\",\
+                             \"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+                            esc(&t.name),
+                            phase,
+                            esc(&t.category),
+                            us(begin),
+                            us(end - begin),
+                            t.node,
+                            t.task.index(),
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(telemetry) = &self.telemetry {
+            for r in &telemetry.resources {
+                for s in &r.samples {
+                    events.push((
+                        s.time,
+                        format!(
+                            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\
+                             \"tid\":0,\"args\":{{\"rate\":{},\"queue\":{}}}}}",
+                            esc(&r.name),
+                            us(s.time),
+                            engine_pid,
+                            num(s.allocated_rate),
+                            s.queue_depth,
+                        ),
+                    ));
+                }
+            }
+            let args = telemetry
+                .counters
+                .as_named()
+                .iter()
+                .map(|(n, v)| format!("\"{n}\":{v}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            events.push((
+                self.makespan.seconds(),
+                format!(
+                    "{{\"name\":\"engine_counters\",\"ph\":\"i\",\"s\":\"g\",\
+                     \"ts\":{},\"pid\":{},\"tid\":0,\"args\":{{{args}}}}}",
+                    us(self.makespan.seconds()),
+                    engine_pid,
+                ),
+            ));
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
+
+        let all: Vec<String> = meta
+            .into_iter()
+            .chain(events.into_iter().map(|(_, e)| e))
+            .collect();
+        format!(
+            "{{\"otherData\":{{\"schema\":\"wfbb-trace\",\"version\":{},\
+             \"workflow\":\"{}\"}},\"displayTimeUnit\":\"ms\",\
+             \"traceEvents\":[\n{}\n]}}",
+            TRACE_SCHEMA_VERSION,
+            esc(&self.workflow),
+            all.join(",\n"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use wfbb_platform::presets;
+    use wfbb_simcore::TelemetryConfig;
+    use wfbb_storage::PlacementPolicy;
+    use wfbb_workflow::WorkflowBuilder;
+
+    use super::*;
+    use crate::builder::SimulationBuilder;
+
+    fn report(telemetry: bool) -> SimulationReport {
+        let mut b = WorkflowBuilder::new("trace");
+        let input = b.add_file("in", 8e6);
+        let out = b.add_file("out", 4e6);
+        b.task("t")
+            .category("proc")
+            .flops(1e11)
+            .cores(2)
+            .input(input)
+            .output(out)
+            .add();
+        let wf = b.build().unwrap();
+        let mut builder =
+            SimulationBuilder::new(presets::summit(1), wf).placement(PlacementPolicy::AllBb);
+        if telemetry {
+            builder = builder.telemetry(TelemetryConfig::enabled());
+        }
+        builder.run().unwrap()
+    }
+
+    #[test]
+    fn jsonl_line_order_and_framing() {
+        let r = report(true);
+        let trace = r.jsonl_trace();
+        let lines: Vec<&str> = trace.lines().collect();
+        assert!(lines.len() > 3);
+        assert!(lines[0].contains("\"type\":\"header\""));
+        assert!(lines[0].contains(&format!("\"version\":{TRACE_SCHEMA_VERSION}")));
+        assert!(lines[1].contains("\"type\":\"stage\""));
+        assert!(lines.last().unwrap().contains("\"type\":\"summary\""));
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+        assert!(trace.contains("\"type\":\"counter\""));
+        assert!(trace.contains("\"name\":\"solves\""));
+        assert!(trace.contains("\"type\":\"resource_sample\""));
+    }
+
+    #[test]
+    fn jsonl_without_telemetry_omits_samples_but_keeps_tasks() {
+        let trace = report(false).jsonl_trace();
+        assert!(!trace.contains("\"type\":\"resource_sample\""));
+        assert!(!trace.contains("\"type\":\"counter\""));
+        assert!(trace.contains("\"type\":\"task\""));
+        assert!(trace.contains("\"type\":\"stage\""));
+    }
+
+    #[test]
+    fn perfetto_has_metadata_tracks_and_balanced_braces() {
+        let r = report(true);
+        let trace = r.perfetto_trace_json();
+        assert!(trace.starts_with('{') && trace.ends_with('}'));
+        assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"process_name\""));
+        assert!(trace.contains("\"name\":\"stage-in\""));
+        assert!(trace.contains("\"name\":\"engine\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"ph\":\"C\""));
+        assert!(trace.contains("\"name\":\"engine_counters\""));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let r = report(true);
+        assert_eq!(r.jsonl_trace(), r.jsonl_trace());
+        assert_eq!(r.perfetto_trace_json(), r.perfetto_trace_json());
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        assert_eq!(super::esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::esc("\u{1}"), "\\u0001");
+        assert_eq!(super::esc("plain"), "plain");
+    }
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Verifies that every relative markdown link in the repo's documentation
+# points at a file that exists. External (http/https/mailto) links and
+# pure #anchors are skipped; a `path#anchor` link is checked for `path`.
+# Run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Tracked markdown only: the link contract covers what ships in the repo.
+broken=$(
+    git ls-files '*.md' | while IFS= read -r doc; do
+        dir=$(dirname "$doc")
+        # Extract the (target) of every [text](target) occurrence.
+        grep -oE '\]\([^)]+\)' "$doc" 2>/dev/null |
+            sed -E 's/^\]\(//; s/\)$//' |
+            while IFS= read -r target; do
+                case "$target" in
+                    http://* | https://* | mailto:* | '#'*) continue ;;
+                esac
+                path="${target%%#*}"
+                [ -n "$path" ] || continue
+                if [ ! -e "$dir/$path" ]; then
+                    echo "BROKEN: $doc -> $target"
+                fi
+            done
+    done
+)
+
+if [ -n "$broken" ]; then
+    echo "$broken"
+    echo "doc link check failed" >&2
+    exit 1
+fi
+echo "doc links OK"

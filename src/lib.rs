@@ -56,7 +56,9 @@ pub mod prelude {
     pub use wfbb_platform::{presets, BbArchitecture, BbMode, PlatformSpec};
     pub use wfbb_simcore::{Engine, EngineError, FlowSpec, SimTime, SolveMode};
     pub use wfbb_storage::{PlacementPolicy, StorageKind, Tier};
-    pub use wfbb_wms::{SimulationBuilder, SimulationReport};
+    pub use wfbb_wms::{
+        SimulationBuilder, SimulationReport, StageSpan, TelemetryConfig, TRACE_SCHEMA_VERSION,
+    };
     pub use wfbb_workflow::{Workflow, WorkflowBuilder};
     pub use wfbb_workloads::genomes::GenomesConfig;
     pub use wfbb_workloads::swarp::SwarpConfig;

@@ -1,0 +1,281 @@
+//! Trace-export contract tests: golden-file pinning of the JSONL schema,
+//! Perfetto well-formedness, and the telemetry-is-an-observer property
+//! (enabling it never changes simulation results).
+//!
+//! The golden file under `tests/golden/` pins the exact bytes of the JSONL
+//! export for a tiny deterministic workflow. If an intentional schema
+//! change breaks it, regenerate with
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test trace_export
+//! ```
+//!
+//! and bump `TRACE_SCHEMA_VERSION` plus `docs/trace-format.md` when fields
+//! were renamed, removed, or changed meaning.
+
+use proptest::prelude::*;
+use serde_json::Value;
+
+use wfbb::prelude::*;
+use wfbb::workloads::patterns;
+
+/// Three tasks (two resamples feeding one combine), fixed sizes: small
+/// enough to read the golden file by eye, rich enough to exercise stage
+/// spans, all three task phases, and both storage tiers.
+fn tiny_workflow() -> Workflow {
+    let mut b = WorkflowBuilder::new("tiny3");
+    let in0 = b.add_file("in0", 32e6);
+    let in1 = b.add_file("in1", 16e6);
+    let mid0 = b.add_file("mid0", 24e6);
+    let mid1 = b.add_file("mid1", 8e6);
+    let out = b.add_file("out", 40e6);
+    b.task("resample0")
+        .category("resample")
+        .flops(3.68e11)
+        .cores(4)
+        .pipeline(0)
+        .input(in0)
+        .output(mid0)
+        .add();
+    b.task("resample1")
+        .category("resample")
+        .flops(1.84e11)
+        .cores(4)
+        .pipeline(0)
+        .input(in1)
+        .output(mid1)
+        .add();
+    b.task("combine")
+        .category("combine")
+        .flops(3.68e11)
+        .cores(4)
+        .pipeline(0)
+        .inputs([mid0, mid1])
+        .output(out)
+        .add();
+    b.build().unwrap()
+}
+
+fn tiny_report(telemetry: bool) -> SimulationReport {
+    let mut builder = SimulationBuilder::new(presets::cori(1, BbMode::Private), tiny_workflow())
+        .placement(PlacementPolicy::AllBb);
+    if telemetry {
+        builder = builder.telemetry(TelemetryConfig::enabled());
+    }
+    builder.run().unwrap()
+}
+
+// ---- golden file --------------------------------------------------------
+
+#[test]
+fn jsonl_matches_golden_file() {
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/tiny_trace.jsonl");
+    let trace = tiny_report(true).jsonl_trace();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(std::path::Path::new(golden).parent().unwrap()).unwrap();
+        std::fs::write(golden, &trace).unwrap();
+    }
+    let expected = std::fs::read_to_string(golden)
+        .expect("golden file missing; run UPDATE_GOLDEN=1 cargo test --test trace_export");
+    assert_eq!(
+        trace, expected,
+        "JSONL trace drifted from the golden file; if the schema change is \
+         intentional, regenerate with UPDATE_GOLDEN=1 and update \
+         docs/trace-format.md (bumping TRACE_SCHEMA_VERSION on breaking \
+         changes)"
+    );
+}
+
+#[test]
+fn jsonl_lines_all_parse_and_cover_schema() {
+    let trace = tiny_report(true).jsonl_trace();
+    let mut types = std::collections::BTreeSet::new();
+    for (i, line) in trace.lines().enumerate() {
+        let v: Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("line {} is not valid JSON ({e}): {line}", i + 1));
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| panic!("line {} lacks a type tag", i + 1));
+        types.insert(ty.to_string());
+    }
+    // The full schema-1 vocabulary appears in a telemetry-on run.
+    for expected in [
+        "header",
+        "stage",
+        "task",
+        "resource",
+        "resource_sample",
+        "counter",
+        "summary",
+    ] {
+        assert!(types.contains(expected), "no {expected:?} line in trace");
+    }
+    // Header declares the documented schema version.
+    let header: Value = serde_json::from_str(trace.lines().next().unwrap()).unwrap();
+    assert_eq!(
+        header.get("version").and_then(Value::as_u64),
+        Some(TRACE_SCHEMA_VERSION as u64)
+    );
+    assert_eq!(
+        header.get("schema").and_then(Value::as_str),
+        Some("wfbb-trace")
+    );
+}
+
+// ---- Perfetto well-formedness -------------------------------------------
+
+#[test]
+fn perfetto_trace_is_well_formed() {
+    let report = tiny_report(true);
+    let trace = report.perfetto_trace_json();
+    let v: Value = serde_json::from_str(&trace).expect("Perfetto trace parses as JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let nodes = report.nodes as u64;
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut seen_non_meta = false;
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("ph field");
+        let pid = e.get("pid").and_then(Value::as_u64).expect("pid field");
+        // pid scheme: 0..nodes-1 compute nodes, nodes = stage-in,
+        // nodes + 1 = engine counters.
+        assert!(pid <= nodes + 1, "pid {pid} outside the documented scheme");
+        match ph {
+            "M" => {
+                assert!(!seen_non_meta, "metadata events must precede timed events");
+                assert!(e.get("args").and_then(|a| a.get("name")).is_some());
+            }
+            "X" | "C" | "i" => {
+                seen_non_meta = true;
+                let ts = e.get("ts").and_then(Value::as_f64).expect("ts field");
+                assert!(ts >= 0.0);
+                assert!(ts >= last_ts, "events not sorted: {ts} after {last_ts}");
+                last_ts = ts;
+                if ph == "X" {
+                    let dur = e.get("dur").and_then(Value::as_f64).expect("dur field");
+                    assert!(dur >= 0.0);
+                    // Task phases live on compute-node pids with the task
+                    // index as tid; stage spans on the stage-in pid.
+                    let cat = e.get("cat").and_then(Value::as_str).unwrap_or("");
+                    if cat == "stage" {
+                        assert_eq!(pid, nodes);
+                    } else {
+                        assert!(pid < nodes);
+                        let tid = e.get("tid").and_then(Value::as_u64).expect("tid");
+                        assert!((tid as usize) < report.tasks.len());
+                    }
+                }
+                if ph == "C" {
+                    assert_eq!(pid, nodes + 1, "counter tracks live on the engine pid");
+                }
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert!(seen_non_meta, "trace contains timed events");
+    // Every X/C event's pid has a process_name metadata record.
+    let named_pids: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+        .map(|e| e.get("pid").and_then(Value::as_u64).unwrap())
+        .collect();
+    for e in events {
+        let pid = e.get("pid").and_then(Value::as_u64).unwrap();
+        assert!(named_pids.contains(&pid), "pid {pid} has no process_name");
+    }
+}
+
+#[test]
+fn perfetto_without_telemetry_has_no_counter_tracks() {
+    let trace = tiny_report(false).perfetto_trace_json();
+    let v: Value = serde_json::from_str(&trace).unwrap();
+    let events = v.get("traceEvents").and_then(Value::as_array).unwrap();
+    assert!(events
+        .iter()
+        .all(|e| e.get("ph").and_then(Value::as_str) != Some("C")));
+    // Task phases are still exported.
+    assert!(events
+        .iter()
+        .any(|e| e.get("ph").and_then(Value::as_str) == Some("X")));
+}
+
+// ---- telemetry is an observer -------------------------------------------
+
+fn platform_for(idx: usize, nodes: usize) -> wfbb::platform::PlatformSpec {
+    match idx % 3 {
+        0 => presets::cori(nodes, BbMode::Private),
+        1 => presets::cori(nodes, BbMode::Striped),
+        _ => presets::summit(nodes),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Telemetry must be a pure observer: the same run with sampling on
+    /// and off produces bit-identical makespans, task timings, and byte
+    /// accounting.
+    #[test]
+    fn telemetry_never_changes_results(
+        layers in 1usize..5,
+        width in 1usize..5,
+        seed in 0u64..500,
+        platform_idx in 0usize..3,
+        nodes in 1usize..3,
+        fraction in 0.0f64..=1.0,
+    ) {
+        let wf = patterns::random_layered(layers, width, seed);
+        let platform = platform_for(platform_idx, nodes);
+        let run = |telemetry: bool| {
+            let mut b = SimulationBuilder::new(platform.clone(), wf.clone())
+                .placement(PlacementPolicy::FractionToBb { fraction });
+            if telemetry {
+                b = b.telemetry(TelemetryConfig::enabled());
+            }
+            b.run().unwrap()
+        };
+        let plain = run(false);
+        let observed = run(true);
+        prop_assert_eq!(plain.makespan, observed.makespan);
+        prop_assert_eq!(plain.stage_in_time, observed.stage_in_time);
+        prop_assert_eq!(plain.bb_bytes, observed.bb_bytes);
+        prop_assert_eq!(plain.pfs_bytes, observed.pfs_bytes);
+        prop_assert_eq!(plain.spilled_files, observed.spilled_files);
+        prop_assert_eq!(plain.tasks.len(), observed.tasks.len());
+        for (a, b) in plain.tasks.iter().zip(&observed.tasks) {
+            prop_assert_eq!(a.start, b.start);
+            prop_assert_eq!(a.read_end, b.read_end);
+            prop_assert_eq!(a.compute_end, b.compute_end);
+            prop_assert_eq!(a.end, b.end);
+            prop_assert_eq!(a.node, b.node);
+        }
+        prop_assert!(plain.telemetry.is_none());
+        prop_assert!(observed.telemetry.is_some());
+    }
+}
+
+// ---- stage spans --------------------------------------------------------
+
+#[test]
+fn stage_spans_tile_the_stage_in_phase() {
+    let report = tiny_report(false);
+    // AllBb on Cori: both inputs staged sequentially.
+    assert_eq!(report.stage_spans.len(), 2);
+    let mut prev_end = 0.0;
+    for s in &report.stage_spans {
+        assert!(s.start.seconds() >= prev_end - 1e-9, "spans are sequential");
+        assert!(s.end > s.start, "stage copies take time");
+        assert!(s.location.starts_with("bb:"), "staged to the BB tier");
+        prev_end = s.end.seconds();
+    }
+    let last = report.stage_spans.last().unwrap();
+    assert!(
+        (last.end.seconds() - report.stage_in_time).abs() < 1e-9,
+        "the last span closes the stage-in phase"
+    );
+}
