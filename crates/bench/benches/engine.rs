@@ -119,9 +119,37 @@ fn bench_engine_10k(c: &mut Criterion) {
     group.finish();
 }
 
+/// Explainability overhead: building the full `explain` report (hotspot
+/// ranking, critical-path walk, composition, renderers) from a finished
+/// SWarp run. Attribution accounting itself is always on, so this bounds
+/// the *extra* cost of `--explain` over a plain run.
+fn bench_explain_report(c: &mut Criterion) {
+    use wfbb_platform::{presets, BbMode};
+    use wfbb_storage::PlacementPolicy;
+    use wfbb_wms::SimulationBuilder;
+    use wfbb_workloads::SwarpConfig;
+
+    let report = SimulationBuilder::new(
+        presets::cori(1, BbMode::Striped),
+        SwarpConfig::new(8).with_cores_per_task(4).build(),
+    )
+    .placement(PlacementPolicy::AllBb)
+    .run()
+    .expect("swarp run succeeds");
+
+    let mut group = c.benchmark_group("explain");
+    group.bench_function("report", |b| b.iter(|| black_box(report.explain(5))));
+    group.bench_function("render_text", |b| {
+        let explanation = report.explain(5);
+        b.iter(|| black_box(explanation.render_text()))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_fairshare, bench_engine_events, bench_engine_stress, bench_engine_10k
+    targets = bench_fairshare, bench_engine_events, bench_engine_stress, bench_engine_10k,
+              bench_explain_report
 }
 criterion_main!(benches);

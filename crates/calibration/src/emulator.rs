@@ -263,7 +263,11 @@ fn scale_report(mut report: SimulationReport, factor: f64) -> SimulationReport {
     let scale = |t: SimTime| SimTime::from_seconds(t.seconds() * factor);
     report.makespan = scale(report.makespan);
     report.stage_in_time *= factor;
-    for s in &mut report.stage_spans {
+    for s in report
+        .stage_spans
+        .iter_mut()
+        .chain(report.output_spans.iter_mut())
+    {
         s.start = scale(s.start);
         s.end = scale(s.end);
     }
@@ -272,6 +276,24 @@ fn scale_report(mut report: SimulationReport, factor: f64) -> SimulationReport {
         r.read_end = scale(r.read_end);
         r.compute_end = scale(r.compute_end);
         r.end = scale(r.end);
+        r.pure_compute *= factor;
+        r.serialized_io *= factor;
+        r.contention_wait *= factor;
+        for (_, wait) in &mut r.contention_by_resource {
+            *wait *= factor;
+        }
+    }
+    for c in &mut report.contention {
+        c.wait *= factor;
+        c.interval = (c.interval.0 * factor, c.interval.1 * factor);
+    }
+    for (_, wait) in &mut report.stage_contention {
+        *wait *= factor;
+    }
+    for step in &mut report.critical_path {
+        step.start = scale(step.start);
+        step.end = scale(step.end);
+        step.slack *= factor;
     }
     report.bb_achieved_bw /= factor;
     report.pfs_achieved_bw /= factor;

@@ -3,6 +3,7 @@
 //! ```text
 //! wfbb simulate --workflow swarp:4 --platform cori:private \
 //!               --placement fraction:0.5 [--nodes 1] [--scheduler affinity] [--gantt 60] \
+//!               [--explain 3 | --explain-json report.json] \
 //!               [--trace-out trace.json --trace-format perfetto|jsonl]
 //! wfbb generate --workflow genomes:22 --out wf.json
 //! wfbb inspect  --workflow wf.json [--dot graph.dot]
@@ -12,6 +13,14 @@
 //! platform JSON file. Workflow specs: `swarp:<pipelines>[:<cores>]`,
 //! `genomes:<chromosomes>`, or a workflow JSON file. Placement specs:
 //! `allbb`, `allpfs`, `fraction:<f>`, `threshold:<bytes>`.
+//!
+//! `--explain <k>` prints the makespan-explainability report (top-k
+//! contention hotspots with victims, the executed critical path and its
+//! compute/I-O/wait composition, achieved-vs-nominal tier bandwidth);
+//! `--explain-json <path>` writes the same report as machine-readable
+//! JSON. `--chrome <path>` is a deprecated alias for
+//! `--trace-out <path> --trace-format perfetto` kept for compatibility
+//! (it writes the task-phase-only Chrome trace without telemetry).
 
 mod args;
 
@@ -22,7 +31,7 @@ const USAGE: &str = "\
 usage:
   wfbb simulate --workflow <spec> --platform <spec> [--placement <spec>]
                 [--nodes <n>] [--scheduler affinity|least-loaded|round-robin]
-                [--gantt <width>] [--chrome <trace.json>]
+                [--gantt <width>] [--explain <k>] [--explain-json <path>]
                 [--trace-out <path> [--trace-format perfetto|jsonl]]
   wfbb generate --workflow <spec> --out <file.json>
   wfbb inspect  --workflow <spec> [--dot <file.dot>]
@@ -34,9 +43,14 @@ specs:
   placement: allbb | allpfs | fraction:<f> | threshold:<bytes>
 
 observability (see docs/trace-format.md):
+  --explain      print the makespan-explainability report: top-<k>
+                 contention hotspots, executed critical path, tier bandwidth
+  --explain-json write the explainability report as JSON to <path>
   --trace-out    write a full run trace (stage spans, task phases, engine
                  telemetry) to <path>; enables engine telemetry sampling
-  --trace-format perfetto (default; load in ui.perfetto.dev) | jsonl";
+  --trace-format perfetto (default; load in ui.perfetto.dev) | jsonl
+  --chrome       deprecated: task-phase-only Chrome trace to <path>; prefer
+                 --trace-out";
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -106,10 +120,25 @@ fn simulate(args: &Args) -> Result<(), CliError> {
             .map_err(|_| CliError("bad --gantt width".into()))?;
         println!("\n{}", report.gantt_ascii(width));
     }
+    if let Some(k) = args.get("explain") {
+        let k: usize = k
+            .parse()
+            .map_err(|_| CliError("bad --explain hotspot count".into()))?;
+        println!("\n{}", report.explain(k).render_text());
+    }
+    if let Some(path) = args.get("explain-json") {
+        std::fs::write(path, report.explain(5).to_json())
+            .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+        println!("wrote explainability report to {path}");
+    }
     if let Some(path) = args.get("chrome") {
+        // Deprecated alias; kept for compatibility with older scripts.
         std::fs::write(path, report.chrome_trace_json())
             .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
-        println!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+        println!(
+            "wrote Chrome trace to {path} (deprecated; prefer --trace-out {path} \
+             --trace-format perfetto)"
+        );
     }
     if let Some(path) = trace_out {
         let trace = match trace_format {
@@ -285,6 +314,50 @@ mod tests {
         assert!(body.starts_with("{\"type\":\"header\""));
         assert!(body.contains("\"type\":\"resource_sample\""));
         std::fs::remove_file(&jsonl).ok();
+    }
+
+    #[test]
+    fn explain_prints_and_writes_json() {
+        let dir = std::env::temp_dir().join("wfbb-cli-explain-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("explain.json");
+        run(&rawv(&[
+            "simulate",
+            "--workflow",
+            "swarp:4:8",
+            "--platform",
+            "cori:striped",
+            "--placement",
+            "allbb",
+            "--explain",
+            "3",
+            "--explain-json",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with('{') && body.ends_with('}'));
+        assert!(body.contains("\"hotspots\""));
+        assert!(body.contains("\"critical_path\""));
+        // SWarp on striped-mode Cori is bound by the shared burst buffer:
+        // the report names a BB resource among the hotspots.
+        assert!(body.contains("/bb"), "expected a BB hotspot in {body}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_explain_count_is_rejected() {
+        let err = run(&rawv(&[
+            "simulate",
+            "--workflow",
+            "swarp:1",
+            "--platform",
+            "summit",
+            "--explain",
+            "many",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("explain"));
     }
 
     #[test]

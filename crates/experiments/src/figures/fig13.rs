@@ -14,7 +14,7 @@
 use wfbb_platform::{presets, BbMode, PlatformSpec};
 use wfbb_workloads::GenomesConfig;
 
-use crate::harness::{fraction_policy, par_map, simulate};
+use crate::harness::{fraction_policy, par_map, simulate, RunMetrics};
 use crate::table::{f2, pct, Table};
 
 /// Compute nodes used for the 1000Genomes simulations (the paper does not
@@ -36,13 +36,20 @@ pub fn platforms() -> Vec<(&'static str, PlatformSpec)> {
     ]
 }
 
-/// Simulated makespans over the fraction sweep for one platform.
-pub(crate) fn sweep(platform: &PlatformSpec, fractions: &[f64]) -> Vec<f64> {
+/// Simulated metrics over the fraction sweep for one platform. Each point
+/// carries its binding resource ([`RunMetrics::top_hotspot`]), so the
+/// tables can annotate *which* tier a plateau comes from.
+pub(crate) fn sweep(platform: &PlatformSpec, fractions: &[f64]) -> Vec<RunMetrics> {
     let wf = GenomesConfig::paper_instance().build();
     fractions
         .iter()
-        .map(|&f| simulate(platform, &wf, &fraction_policy(f)).makespan)
+        .map(|&f| simulate(platform, &wf, &fraction_policy(f)))
         .collect()
+}
+
+/// The makespan series of a sweep.
+pub(crate) fn makespans(series: &[RunMetrics]) -> Vec<f64> {
+    series.iter().map(|m| m.makespan).collect()
 }
 
 /// Fraction after which further staging improves the makespan by less
@@ -69,15 +76,20 @@ pub fn run() -> Vec<Table> {
 
     let mut t = Table::new(
         "Figure 13: 1000Genomes (903 tasks) makespan vs. input files in BB",
-        &["platform", "staged", "makespan (s)"],
+        &["platform", "staged", "makespan (s)", "binding resource"],
     );
     for ((label, _), series) in platforms.iter().zip(&results) {
         for (f, m) in fractions.iter().zip(series) {
-            t.push_row(vec![label.to_string(), pct(*f), f2(*m)]);
+            t.push_row(vec![
+                label.to_string(),
+                pct(*f),
+                f2(m.makespan),
+                m.top_hotspot.clone().unwrap_or_else(|| "-".into()),
+            ]);
         }
     }
-    let cori_plateau = plateau_onset(&fractions, &results[0]);
-    let summit_plateau = plateau_onset(&fractions, &results[1]);
+    let cori_plateau = plateau_onset(&fractions, &makespans(&results[0]));
+    let summit_plateau = plateau_onset(&fractions, &makespans(&results[1]));
     t.note(format!(
         "plateau onset: Cori at {:.0}% staged (paper: ~80%), Summit at {:.0}% (paper: near 100%)",
         cori_plateau * 100.0,
@@ -85,9 +97,14 @@ pub fn run() -> Vec<Table> {
     ));
     t.note(format!(
         "Summit beats Cori at every fraction: {:.0}s vs {:.0}s fully staged",
-        results[1].last().unwrap(),
-        results[0].last().unwrap()
+        results[1].last().unwrap().makespan,
+        results[0].last().unwrap().makespan
     ));
+    if let Some(hotspot) = &results[0].last().unwrap().top_hotspot {
+        t.note(format!(
+            "Cori's fully-staged run is bound by {hotspot} (per-point attribution in the table)"
+        ));
+    }
     vec![t]
 }
 

@@ -26,9 +26,9 @@ pub fn run() -> Vec<Table> {
     );
     let mut speedups: std::collections::HashMap<&str, Vec<f64>> = std::collections::HashMap::new();
     for ((label, _), series) in platforms.iter().zip(&results) {
-        let base = series[0];
+        let base = series[0].makespan;
         for (f, m) in fractions.iter().zip(series) {
-            let speedup = base / m;
+            let speedup = base / m.makespan;
             t.push_row(vec![label.to_string(), pct(*f), f2(speedup)]);
             speedups.entry(label).or_default().push(speedup);
         }

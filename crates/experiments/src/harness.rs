@@ -55,6 +55,11 @@ pub struct RunMetrics {
     pub bb_achieved_bw: f64,
     /// Achieved PFS bandwidth, B/s.
     pub pfs_achieved_bw: f64,
+    /// The run's top contention hotspot — the resource with the most
+    /// attributed wait ([`SimulationReport::contention`]) — or `None` for
+    /// a contention-free run. Annotates sweep points with the binding
+    /// resource (which tier a plateau comes from).
+    pub top_hotspot: Option<String>,
 }
 
 impl RunMetrics {
@@ -75,6 +80,7 @@ impl RunMetrics {
                 .collect(),
             bb_achieved_bw: report.bb_achieved_bw,
             pfs_achieved_bw: report.pfs_achieved_bw,
+            top_hotspot: report.contention.first().map(|c| c.name.clone()),
         }
     }
 
@@ -89,6 +95,16 @@ impl RunMetrics {
         };
         out.bb_achieved_bw = runs.iter().map(|r| r.bb_achieved_bw).sum::<f64>() / n;
         out.pfs_achieved_bw = runs.iter().map(|r| r.pfs_achieved_bw).sum::<f64>() / n;
+        // Hotspot names don't average; keep the modal (most frequent) one,
+        // ties broken by name for determinism.
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for r in runs.iter().filter_map(|r| r.top_hotspot.as_deref()) {
+            *counts.entry(r).or_insert(0) += 1;
+        }
+        out.top_hotspot = counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(a.0)))
+            .map(|(name, _)| name.to_string());
         for r in runs {
             for (k, v) in &r.category_means {
                 *out.category_means.entry(k.clone()).or_insert(0.0) += v / n;

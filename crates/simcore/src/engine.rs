@@ -38,15 +38,16 @@
 //! against the linear scan.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use crate::activity::{ActivityKind, FlowSpec};
-use crate::fairshare::{self, WeightedReq};
+use crate::fairshare::{self, Binding, WeightedReq};
 use crate::ids::{ActivityId, ResourceId};
 use crate::resource::Resource;
 use crate::stats::ResourceStats;
 use crate::telemetry::{
-    EngineCounters, ResourceTelemetry, Telemetry, TelemetryConfig, TelemetrySnapshot,
+    ContentionRecord, EngineCounters, ResourceBlame, ResourceTelemetry, Telemetry, TelemetryConfig,
+    TelemetrySnapshot,
 };
 use crate::time::SimTime;
 use crate::trace::{TraceEvent, TraceEventKind, TraceLog};
@@ -147,6 +148,17 @@ struct FlowSlot {
     /// share one weighted solver entry. The key is a hash, so distinct
     /// routes may collide; grouping re-checks actual equality.
     group_key: u64,
+    /// Spawn time, seconds.
+    spawned: f64,
+    /// Work the flow was spawned with.
+    amount: f64,
+    /// Rate the flow would achieve alone: min capacity along its route,
+    /// clamped by the rate cap.
+    uncontended: f64,
+    /// Constraint that froze this flow in the latest solve.
+    binding: Binding,
+    /// Lost work accumulated per blamed resource, in first-blamed order.
+    lost_by: Vec<(ResourceId, f64)>,
 }
 
 impl FlowSlot {
@@ -269,6 +281,13 @@ pub struct Engine<T> {
     rate_accum: Vec<f64>,
     depth_accum: Vec<u32>,
     served_accum: Vec<f64>,
+    /// Contention records of completed flows, in completion order (always
+    /// maintained, one per non-instant flow).
+    contention_log: Vec<ContentionRecord>,
+    /// Index into `contention_log` by activity id.
+    contention_index: HashMap<ActivityId, u32>,
+    /// Per-resource blame accumulators, parallel to `resources`.
+    blame: Vec<ResourceBlame>,
 }
 
 impl<T> Default for Engine<T> {
@@ -317,6 +336,9 @@ impl<T> Engine<T> {
             rate_accum: Vec::new(),
             depth_accum: Vec::new(),
             served_accum: Vec::new(),
+            contention_log: Vec::new(),
+            contention_index: HashMap::new(),
+            blame: Vec::new(),
         }
     }
 
@@ -325,6 +347,7 @@ impl<T> Engine<T> {
         self.resources.push(Resource::new(name, capacity));
         self.capacities.push(capacity);
         self.stats.push(ResourceStats::default());
+        self.blame.push(ResourceBlame::default());
         self.telemetry.ensure_resources(self.resources.len());
         ResourceId::from_index(self.resources.len() - 1)
     }
@@ -389,8 +412,9 @@ impl<T> Engine<T> {
     }
 
     /// Detaches an owned copy of the run's telemetry — counters plus, per
-    /// resource, its identity, sample series, and utilization histogram.
-    /// `None` when sampling is disabled.
+    /// resource, its identity, sample series, utilization histogram, and
+    /// contention blame, plus the per-flow contention records. `None` when
+    /// sampling is disabled.
     pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
         if !self.telemetry.enabled() {
             return None;
@@ -409,12 +433,35 @@ impl<T> Engine<T> {
                     .unwrap_or_default(),
                 evicted: self.telemetry.series(i).map_or(0, |s| s.evicted()),
                 histogram: self.telemetry.histogram(i).cloned().unwrap_or_default(),
+                blame: self.blame[i],
             })
             .collect();
         Some(TelemetrySnapshot {
             counters: self.telemetry.counters,
             resources,
+            contention: self.contention_log.clone(),
         })
+    }
+
+    /// Contention records of all completed flows, in completion order
+    /// (always maintained, one per non-instant flow — see
+    /// [`ContentionRecord`]).
+    pub fn contention_records(&self) -> &[ContentionRecord] {
+        &self.contention_log
+    }
+
+    /// The contention record of a completed flow, if any. Instant flows
+    /// (zero work and zero latency) never stream and have no record.
+    pub fn flow_contention(&self, id: ActivityId) -> Option<&ContentionRecord> {
+        self.contention_index
+            .get(&id)
+            .map(|&i| &self.contention_log[i as usize])
+    }
+
+    /// Per-resource contention blame accumulated so far, indexed by
+    /// resource index (always maintained).
+    pub fn resource_blame(&self) -> &[ResourceBlame] {
+        &self.blame
     }
 
     /// Selects between the incremental engine (default) and the naive
@@ -550,6 +597,12 @@ impl<T> Engine<T> {
         }
         let latency_until = self.now.seconds() + spec.latency;
         let key = group_key(&spec.route, spec.rate_cap);
+        let uncontended = spec
+            .route
+            .iter()
+            .fold(spec.rate_cap.unwrap_or(f64::INFINITY), |acc, r| {
+                acc.min(self.capacities[r.index()])
+            });
         let slot = self.alloc_slot(FlowSlot {
             id,
             latency_until,
@@ -559,6 +612,11 @@ impl<T> Engine<T> {
             rate: 0.0,
             stream_pos: LATENT,
             group_key: key,
+            spawned: self.now.seconds(),
+            amount: spec.amount,
+            uncontended,
+            binding: Binding::Cap,
+            lost_by: Vec::new(),
         });
         if spec.latency > EPSILON {
             self.push_event(HeapEvent {
@@ -607,6 +665,40 @@ impl<T> Engine<T> {
         self.dirty = true;
     }
 
+    /// Seals a finishing flow's contention accounting into a
+    /// [`ContentionRecord`] (called just before the slot is recycled).
+    fn finish_flow_contention(&mut self, slot: u32) {
+        let f = &mut self.flows[slot as usize];
+        let blame = std::mem::take(&mut f.lost_by);
+        let lost_work: f64 = blame.iter().map(|(_, l)| l).sum();
+        // Dominant blamed resource: most lost work, ties to the lowest id.
+        let binding = blame
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            .map(|(r, _)| r);
+        let wait = if f.uncontended.is_finite() && f.uncontended > 0.0 {
+            lost_work / f.uncontended
+        } else {
+            0.0
+        };
+        let record = ContentionRecord {
+            id: f.id,
+            start: f.spawned,
+            end: self.now.seconds(),
+            latency: (f.latency_until - f.spawned).max(0.0),
+            amount: f.amount,
+            uncontended_rate: f.uncontended,
+            lost_work,
+            wait,
+            binding,
+            blame,
+        };
+        self.contention_index
+            .insert(f.id, self.contention_log.len() as u32);
+        self.contention_log.push(record);
+    }
+
     /// Removes a finished flow from the streaming set and recycles its slot.
     fn release_flow(&mut self, slot: u32) {
         let pos = self.flows[slot as usize].stream_pos;
@@ -644,6 +736,7 @@ impl<T> Engine<T> {
                 fairshare::solve_into(&mut self.ws, &self.capacities, entries);
                 for (k, &s) in self.streams.iter().enumerate() {
                     self.flows[s as usize].rate = self.ws.rates()[k];
+                    self.flows[s as usize].binding = self.ws.bindings()[k];
                 }
             }
             SolveMode::Incremental => {
@@ -688,8 +781,13 @@ impl<T> Engine<T> {
                 fairshare::solve_into(&mut self.ws, &self.capacities, entries);
                 for (g, &(s, e)) in self.groups.iter().enumerate() {
                     let rate = self.ws.rates()[g];
+                    // Identical flows freeze identically, so every member
+                    // inherits the group's binding — matching what the
+                    // naive per-flow solve would decide.
+                    let binding = self.ws.bindings()[g];
                     for &slot in &self.order[s as usize..e as usize] {
                         self.flows[slot as usize].rate = rate;
+                        self.flows[slot as usize].binding = binding;
                     }
                 }
                 // One completion candidate per epoch: the earliest predicted
@@ -788,6 +886,7 @@ impl<T> Engine<T> {
         if dt <= 0.0 {
             return;
         }
+        let span_start = self.integrated_until;
         self.integrated_until = upto;
         self.telemetry.counters.integrations += 1;
         let sampling = self.telemetry.enabled();
@@ -801,6 +900,26 @@ impl<T> Engine<T> {
             let f = &mut self.flows[s as usize];
             let moved = (f.rate * dt).min(f.remaining);
             f.remaining -= moved;
+            // Contention accounting: the gap between the flow's uncontended
+            // rate and its achieved rate, attributed to the binding
+            // resource the solver identified. Rates are constant over the
+            // span, so this is exact and identical in both solve modes.
+            if let Binding::Resource(res) = f.binding {
+                if f.uncontended.is_finite() {
+                    let gap = (f.uncontended - f.rate) * dt;
+                    if gap > 0.0 {
+                        match f.lost_by.iter_mut().find(|(r, _)| *r == res) {
+                            Some((_, lost)) => *lost += gap,
+                            None => f.lost_by.push((res, gap)),
+                        }
+                        let b = &mut self.blame[res.index()];
+                        b.lost_work += gap;
+                        b.wait += gap / f.uncontended;
+                        b.first = b.first.min(span_start);
+                        b.last = b.last.max(upto);
+                    }
+                }
+            }
             for r in &f.route {
                 self.stats[r.index()].total_served += moved;
                 self.busy[r.index()] = true;
@@ -947,6 +1066,7 @@ impl<T> Engine<T> {
             let id = self.done_buf[k];
             let act = self.active.remove(&id).expect("completed activity exists");
             if let ActivityKind::Flow { slot } = act.kind {
+                self.finish_flow_contention(slot);
                 self.release_flow(slot);
             }
             self.record(id, TraceEventKind::End, act.label.as_deref());
@@ -1517,6 +1637,149 @@ mod tests {
         let c = e.step().unwrap();
         assert_eq!(c.tag, 2);
         assert!(c.time.approx_eq(SimTime::from_seconds(6.0), 1e-9));
+    }
+
+    #[test]
+    fn solo_flow_accrues_exactly_zero_contention() {
+        let mut e: Engine<&str> = Engine::new();
+        let link = e.add_resource("link", 100.0);
+        e.spawn_flow(FlowSpec::new(500.0, vec![link]), "solo");
+        e.run_to_completion();
+        let recs = e.contention_records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].lost_work, 0.0, "alone on the route: no gap");
+        assert_eq!(recs[0].wait, 0.0);
+        assert_eq!(recs[0].binding, None);
+        assert_eq!(recs[0].uncontended_rate, 100.0);
+        assert_eq!(e.resource_blame()[link.index()].interval(), None);
+    }
+
+    #[test]
+    fn capped_solo_flow_accrues_zero_contention() {
+        let mut e: Engine<&str> = Engine::new();
+        let cpu = e.add_resource("cpu", 32.0);
+        e.spawn_flow(FlowSpec::new(10.0, vec![cpu]).with_rate_cap(4.0), "t");
+        e.run_to_completion();
+        let rec = &e.contention_records()[0];
+        assert_eq!(rec.uncontended_rate, 4.0, "cap bounds the solo rate");
+        assert_eq!(rec.lost_work, 0.0);
+        assert_eq!(rec.wait, 0.0);
+    }
+
+    #[test]
+    fn shared_link_contention_is_blamed_on_it() {
+        let mut e: Engine<u8> = Engine::new();
+        let link = e.add_resource("link", 100.0);
+        // Two 500 B flows at 50 B/s each for 10 s: each would do 100 B/s
+        // alone, so each loses 50 B/s * 10 s = 500 B, i.e. waits 5 s.
+        e.spawn_flow(FlowSpec::new(500.0, vec![link]), 1);
+        e.spawn_flow(FlowSpec::new(500.0, vec![link]), 2);
+        e.run_to_completion();
+        let recs = e.contention_records();
+        assert_eq!(recs.len(), 2);
+        for rec in recs {
+            assert!(
+                (rec.lost_work - 500.0).abs() < 1e-6,
+                "lost {}",
+                rec.lost_work
+            );
+            assert!((rec.wait - 5.0).abs() < 1e-9, "wait {}", rec.wait);
+            assert_eq!(rec.binding, Some(link));
+            // wait equals duration minus ideal duration.
+            let ideal = rec.ideal_duration();
+            assert!((rec.duration() - ideal - rec.wait).abs() < 1e-9);
+        }
+        let blame = e.resource_blame()[link.index()];
+        assert!((blame.lost_work - 1000.0).abs() < 1e-6);
+        assert!((blame.wait - 10.0).abs() < 1e-9);
+        assert_eq!(blame.interval(), Some((0.0, 10.0)));
+    }
+
+    #[test]
+    fn contention_attribution_follows_the_bottleneck() {
+        let mut e: Engine<&str> = Engine::new();
+        let a = e.add_resource("a", 10.0);
+        let b = e.add_resource("b", 100.0);
+        // Flow "both" crosses A and B but is bound at A (uncontended rate
+        // min(10, 100) = 10, achieved 5 sharing with "on_a"): all blame
+        // lands on A even though B is also on the route.
+        let both_id = e.spawn_flow(FlowSpec::new(50.0, vec![a, b]), "both");
+        e.spawn_flow(FlowSpec::new(50.0, vec![a]), "on_a");
+        e.run_to_completion();
+        let both = e.flow_contention(both_id).unwrap();
+        assert_eq!(both.binding, Some(a));
+        assert!(both.lost_work > 0.0);
+        assert!(e.resource_blame()[a.index()].lost_work > 0.0);
+        assert_eq!(e.resource_blame()[b.index()].lost_work, 0.0);
+    }
+
+    #[test]
+    fn contention_snapshot_requires_sampling() {
+        let mut e: Engine<u8> = Engine::with_config(EngineConfig {
+            telemetry: TelemetryConfig::enabled(),
+            ..Default::default()
+        });
+        let link = e.add_resource("link", 100.0);
+        e.spawn_flow(FlowSpec::new(200.0, vec![link]), 1);
+        e.spawn_flow(FlowSpec::new(200.0, vec![link]), 2);
+        e.run_to_completion();
+        let snap = e.telemetry_snapshot().unwrap();
+        assert_eq!(snap.contention.len(), 2);
+        assert!(snap.resources[0].blame.lost_work > 0.0);
+    }
+
+    /// Attribution must be A/B-identical across solve modes: same lost
+    /// work, waits, bindings, and per-resource blame.
+    #[test]
+    fn contention_attribution_matches_across_modes() {
+        let run = |mode: SolveMode| {
+            let mut e: Engine<usize> = Engine::new();
+            e.set_solve_mode(mode);
+            let link = e.add_resource("link", 500.0);
+            let disk = e.add_resource("disk", 200.0);
+            for i in 0..12 {
+                let route = if i % 3 == 0 {
+                    vec![link, disk]
+                } else {
+                    vec![link]
+                };
+                let mut spec = FlowSpec::new(80.0 + 11.0 * i as f64, route)
+                    .with_latency(0.05 * (i % 4) as f64);
+                if i % 5 == 0 {
+                    spec = spec.with_rate_cap(40.0);
+                }
+                e.spawn_flow(spec, i);
+            }
+            for i in 0..4 {
+                e.spawn_delay(0.4 * i as f64 + 0.1, 100 + i);
+            }
+            e.run_to_completion();
+            (e.contention_records().to_vec(), e.resource_blame().to_vec())
+        };
+        let (nrec, nblame) = run(SolveMode::Naive);
+        let (irec, iblame) = run(SolveMode::Incremental);
+        assert_eq!(nrec.len(), irec.len());
+        for (n, i) in nrec.iter().zip(&irec) {
+            assert_eq!(n.id, i.id);
+            assert_eq!(n.binding, i.binding, "binding differs for {}", n.id);
+            assert!(
+                (n.lost_work - i.lost_work).abs() <= 1e-6 * n.lost_work.max(1.0),
+                "lost work differs for {}: {} vs {}",
+                n.id,
+                n.lost_work,
+                i.lost_work
+            );
+            assert!((n.wait - i.wait).abs() <= 1e-6 * n.wait.max(1.0));
+        }
+        for (k, (n, i)) in nblame.iter().zip(&iblame).enumerate() {
+            assert!(
+                (n.lost_work - i.lost_work).abs() <= 1e-6 * n.lost_work.max(1.0),
+                "resource {k} blame differs: {} vs {}",
+                n.lost_work,
+                i.lost_work
+            );
+            assert_eq!(n.interval().is_some(), i.interval().is_some());
+        }
     }
 
     mod properties {

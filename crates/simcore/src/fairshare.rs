@@ -43,6 +43,25 @@ use crate::EPSILON;
 /// physically meaningful difference, far above rounding noise.
 const RELATIVE_TOLERANCE: f64 = 1e-12;
 
+/// The constraint that froze an entry in the most recent solve.
+///
+/// Every entry is frozen exactly once per solve, either because a resource
+/// on its route saturated at the fill level or because its own rate cap
+/// bound first. The engine uses this to attribute contention: a flow bound
+/// by [`Binding::Cap`] got everything it could use (no one to blame), while
+/// a flow bound by [`Binding::Resource`] was slowed by sharing that
+/// resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Binding {
+    /// Frozen at its own rate cap, or unconstrained (empty route): the
+    /// entry received its maximum usable rate.
+    #[default]
+    Cap,
+    /// Frozen because this resource — the most constrained one on the
+    /// entry's route — hit the fill level.
+    Resource(ResourceId),
+}
+
 /// A flow, as seen by the solver.
 #[derive(Debug, Clone)]
 pub struct FlowReq<'a> {
@@ -74,6 +93,7 @@ pub struct WeightedReq<'a> {
 #[derive(Debug, Default)]
 pub struct Workspace {
     rates: Vec<f64>,
+    bindings: Vec<Binding>,
     fixed: Vec<bool>,
     freeze: Vec<bool>,
     remaining: Vec<f64>,
@@ -89,6 +109,12 @@ impl Workspace {
     /// Per-entry rates computed by the most recent [`solve_into`] call.
     pub fn rates(&self) -> &[f64] {
         &self.rates
+    }
+
+    /// Per-entry binding constraints identified by the most recent
+    /// [`solve_into`] call, parallel to [`Workspace::rates`].
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
     }
 }
 
@@ -132,6 +158,7 @@ where
     ws.load.clear();
     ws.load.resize(capacities.len(), 0.0);
     ws.rates.clear();
+    ws.bindings.clear();
     ws.fixed.clear();
     ws.freeze.clear();
 
@@ -142,6 +169,7 @@ where
             "entry weight must be a positive integer, got {}",
             e.weight
         );
+        ws.bindings.push(Binding::Cap);
         if e.route.is_empty() {
             ws.rates.push(e.rate_cap.unwrap_or(f64::INFINITY));
             ws.fixed.push(true);
@@ -190,19 +218,40 @@ where
 
         // Phase 1: decide the freeze set against the round-start snapshot.
         // `remaining` and `load` are not touched here, so the decision for
-        // each entry is independent of entry order.
+        // each entry is independent of entry order. Frozen entries also
+        // record the constraint that bound them: the most constrained
+        // resource on their route (lowest share; ties broken by route
+        // position), or their own cap when it binds before that resource.
         let mut froze_any = false;
         for (i, e) in entries.clone().enumerate() {
             if ws.fixed[i] {
                 ws.freeze[i] = false;
                 continue;
             }
-            let capped = e.rate_cap.is_some_and(|c| c <= level + tol);
-            let bottlenecked = e.route.iter().any(|r| {
+            let mut min_share = f64::INFINITY;
+            let mut min_res = None;
+            for r in e.route {
                 let idx = r.index();
-                ws.remaining[idx].max(0.0) / ws.load[idx] <= level + tol
-            });
+                let share = ws.remaining[idx].max(0.0) / ws.load[idx];
+                if share < min_share {
+                    min_share = share;
+                    min_res = Some(*r);
+                }
+            }
+            let capped = e.rate_cap.is_some_and(|c| c <= level + tol);
+            let bottlenecked = min_share <= level + tol;
             ws.freeze[i] = capped || bottlenecked;
+            if ws.freeze[i] {
+                ws.bindings[i] = match min_res {
+                    Some(res)
+                        if bottlenecked
+                            && (!capped || min_share <= e.rate_cap.unwrap_or(f64::INFINITY)) =>
+                    {
+                        Binding::Resource(res)
+                    }
+                    _ => Binding::Cap,
+                };
+            }
             froze_any |= ws.freeze[i];
         }
         // The entry achieving `min_share` (or `min_cap`) always satisfies
@@ -454,6 +503,63 @@ mod tests {
         let second = solve_into(&mut ws, &[20.0, 6.0], entries.iter().copied());
         assert!((second[1] - 2.0).abs() < 1e-9);
         assert!((second[0] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bindings_identify_cap_and_bottleneck() {
+        let route = [rid(0)];
+        let mut ws = Workspace::new();
+        let entries = [
+            WeightedReq {
+                route: &route,
+                rate_cap: Some(10.0),
+                weight: 1.0,
+            },
+            WeightedReq {
+                route: &route,
+                rate_cap: None,
+                weight: 1.0,
+            },
+        ];
+        solve_into(&mut ws, &[100.0], entries.iter().copied());
+        assert_eq!(ws.bindings()[0], Binding::Cap);
+        assert_eq!(ws.bindings()[1], Binding::Resource(rid(0)));
+    }
+
+    #[test]
+    fn bindings_pick_the_most_constrained_route_resource() {
+        // Flow 0 crosses A (cap 10) and B (cap 100); flow 1 crosses B only.
+        // Flow 0 is bound at A, which frees B for flow 1 (bound at B).
+        let rab = [rid(0), rid(1)];
+        let rb = [rid(1)];
+        let mut ws = Workspace::new();
+        let entries = [
+            WeightedReq {
+                route: &rab,
+                rate_cap: None,
+                weight: 1.0,
+            },
+            WeightedReq {
+                route: &rb,
+                rate_cap: None,
+                weight: 1.0,
+            },
+        ];
+        solve_into(&mut ws, &[10.0, 100.0], entries.iter().copied());
+        assert_eq!(ws.bindings()[0], Binding::Resource(rid(0)));
+        assert_eq!(ws.bindings()[1], Binding::Resource(rid(1)));
+    }
+
+    #[test]
+    fn empty_route_entries_bind_at_cap() {
+        let mut ws = Workspace::new();
+        let entries = [WeightedReq {
+            route: &[],
+            rate_cap: Some(3.0),
+            weight: 1.0,
+        }];
+        solve_into(&mut ws, &[10.0], entries.iter().copied());
+        assert_eq!(ws.bindings()[0], Binding::Cap);
     }
 
     /// Checks the three max–min invariants for an arbitrary instance.

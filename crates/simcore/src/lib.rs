@@ -57,10 +57,13 @@ pub mod trace;
 
 pub use activity::FlowSpec;
 pub use engine::{Completion, Engine, EngineConfig, EngineError, SolveMode};
+pub use fairshare::Binding;
 pub use ids::{ActivityId, ResourceId};
 pub use resource::Resource;
 pub use stats::ResourceStats;
-pub use telemetry::{EngineCounters, TelemetryConfig, TelemetrySnapshot};
+pub use telemetry::{
+    ContentionRecord, EngineCounters, ResourceBlame, TelemetryConfig, TelemetrySnapshot,
+};
 pub use time::SimTime;
 pub use trace::{TraceEvent, TraceEventKind, TraceLog};
 

@@ -33,6 +33,8 @@
 //! completion order are identical with telemetry on or off (property-tested
 //! in `tests/trace_export.rs`).
 
+use crate::ids::{ActivityId, ResourceId};
+
 /// Configuration of the sampling instruments.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TelemetryConfig {
@@ -363,6 +365,92 @@ impl Telemetry {
     }
 }
 
+/// Contention accounting of one completed flow (always maintained, like
+/// [`EngineCounters`]).
+///
+/// The *uncontended rate* is what the flow would achieve alone: the minimum
+/// capacity along its route, clamped by its rate cap. Whenever the achieved
+/// fair-share rate falls short of it, the engine integrates the gap and
+/// attributes it to the binding resource identified by the fair-share
+/// solver's freeze pass ([`crate::fairshare::Binding`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionRecord {
+    /// The flow's activity id.
+    pub id: ActivityId,
+    /// Spawn time, seconds.
+    pub start: f64,
+    /// Completion time, seconds.
+    pub end: f64,
+    /// Startup latency the flow was spawned with, seconds.
+    pub latency: f64,
+    /// Work the flow was spawned with (bytes or core-seconds).
+    pub amount: f64,
+    /// Rate the flow would have achieved alone (min capacity along the
+    /// route, clamped by the rate cap).
+    pub uncontended_rate: f64,
+    /// Work not transferred due to contention: `∫ (uncontended − achieved)
+    /// dt` over the flow's streaming spans.
+    pub lost_work: f64,
+    /// Seconds lost to contention: `lost_work / uncontended_rate`, i.e. the
+    /// flow's duration minus its ideal (uncontended) duration.
+    pub wait: f64,
+    /// The resource that caused most of the lost work, or `None` when the
+    /// flow never lost work to a resource (it ran at its cap throughout).
+    pub binding: Option<ResourceId>,
+    /// Lost work per blamed resource, in first-blamed order.
+    pub blame: Vec<(ResourceId, f64)>,
+}
+
+impl ContentionRecord {
+    /// Wall-clock duration of the flow, seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Duration the flow would have had alone: latency plus work at the
+    /// uncontended rate (zero work at infinite rate).
+    pub fn ideal_duration(&self) -> f64 {
+        if self.uncontended_rate.is_finite() && self.uncontended_rate > 0.0 {
+            self.latency + self.amount / self.uncontended_rate
+        } else {
+            self.latency
+        }
+    }
+}
+
+/// Aggregate contention blamed on one resource (always maintained).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceBlame {
+    /// Total work victims failed to transfer while bound here.
+    pub lost_work: f64,
+    /// Total victim-seconds lost while bound here (each victim flow's
+    /// `gap / uncontended_rate`, integrated).
+    pub wait: f64,
+    /// Earliest instant blame accrued, seconds (`INFINITY` when none).
+    pub first: f64,
+    /// Latest instant blame accrued, seconds (`NEG_INFINITY` when none).
+    pub last: f64,
+}
+
+impl Default for ResourceBlame {
+    fn default() -> Self {
+        ResourceBlame {
+            lost_work: 0.0,
+            wait: 0.0,
+            first: f64::INFINITY,
+            last: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl ResourceBlame {
+    /// The `[first, last]` interval over which blame accrued, or `None`
+    /// when the resource was never a binding constraint with a gap.
+    pub fn interval(&self) -> Option<(f64, f64)> {
+        (self.first <= self.last).then_some((self.first, self.last))
+    }
+}
+
 /// Owned copy of one resource's telemetry, with identity attached.
 #[derive(Debug, Clone)]
 pub struct ResourceTelemetry {
@@ -377,6 +465,8 @@ pub struct ResourceTelemetry {
     pub evicted: u64,
     /// Time-weighted utilization distribution.
     pub histogram: UtilizationHistogram,
+    /// Contention blamed on this resource.
+    pub blame: ResourceBlame,
 }
 
 /// A self-contained copy of a run's telemetry, detached from the engine.
@@ -389,6 +479,8 @@ pub struct TelemetrySnapshot {
     pub counters: EngineCounters,
     /// Per-resource series and histograms, in resource-index order.
     pub resources: Vec<ResourceTelemetry>,
+    /// Per-flow contention records, in completion order.
+    pub contention: Vec<ContentionRecord>,
 }
 
 #[cfg(test)]
@@ -488,6 +580,39 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn blame_interval_requires_accrual() {
+        let empty = ResourceBlame::default();
+        assert_eq!(empty.interval(), None);
+        let accrued = ResourceBlame {
+            lost_work: 5.0,
+            wait: 0.5,
+            first: 1.0,
+            last: 3.0,
+        };
+        assert_eq!(accrued.interval(), Some((1.0, 3.0)));
+    }
+
+    #[test]
+    fn contention_record_ideal_duration() {
+        let rec = ContentionRecord {
+            id: ActivityId(0),
+            start: 0.0,
+            end: 12.0,
+            latency: 2.0,
+            amount: 100.0,
+            uncontended_rate: 20.0,
+            lost_work: 100.0,
+            wait: 5.0,
+            binding: Some(ResourceId::from_index(0)),
+            blame: vec![(ResourceId::from_index(0), 100.0)],
+        };
+        assert!((rec.ideal_duration() - 7.0).abs() < 1e-12);
+        assert!((rec.duration() - 12.0).abs() < 1e-12);
+        // wait = duration - ideal for a flow contended its whole life.
+        assert!((rec.duration() - rec.ideal_duration() - rec.wait).abs() < 1e-12);
     }
 
     #[test]

@@ -19,12 +19,14 @@
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
-use wfbb_simcore::{Engine, EngineError, FlowSpec, SimTime};
+use wfbb_simcore::{ActivityId, Engine, EngineError, FlowSpec, ResourceId, SimTime};
 use wfbb_storage::{FileRegistry, Location, PlacementPlan, StorageSystem, Tier};
 use wfbb_workflow::{amdahl_time, FileId, TaskId, Workflow};
 
 use crate::dynamic::{DynamicPlacer, PlacementContext};
-use crate::report::{SimulationReport, StageSpan, TaskRecord};
+use crate::report::{
+    CriticalStep, CriticalStepKind, ResourceContention, SimulationReport, StageSpan, TaskRecord,
+};
 
 /// Node-assignment policy of the WMS scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -97,6 +99,24 @@ struct TaskState {
     read_end: SimTime,
     compute_end: SimTime,
     end: SimTime,
+}
+
+/// Flow-level contention totals of one task phase: summed wall-clock and
+/// uncontended ("ideal") flow durations, plus the serialized per-flow
+/// wait, all in seconds.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseFlows {
+    ideal: f64,
+    actual: f64,
+    wait: f64,
+}
+
+/// Contention accumulated by one task across its read/compute/write
+/// phases (indices 0/1/2) and per binding resource.
+#[derive(Debug, Clone, Default)]
+struct TaskContention {
+    phases: [PhaseFlows; 3],
+    by_resource: Vec<(ResourceId, f64)>,
 }
 
 impl TaskState {
@@ -172,6 +192,14 @@ pub struct Executor {
     stage_started: HashMap<FileId, SimTime>,
     /// Completed per-file stage-in spans, in staging order.
     stage_spans: Vec<StageSpan>,
+    /// Completed output-write (stage-out) spans, in completion order.
+    output_spans: Vec<StageSpan>,
+    /// When each in-flight output write started, keyed by (task, file).
+    write_started: HashMap<(u32, u32), SimTime>,
+    /// Per-task contention accumulators (indexed by task).
+    contention: Vec<TaskContention>,
+    /// Contention wait suffered by stage-in flows, per binding resource.
+    stage_waits: HashMap<ResourceId, f64>,
     staging_done: bool,
     stage_end: SimTime,
     completed: usize,
@@ -231,6 +259,10 @@ impl Executor {
             stage_nodes: HashMap::new(),
             stage_started: HashMap::new(),
             stage_spans: Vec::new(),
+            output_spans: Vec::new(),
+            write_started: HashMap::new(),
+            contention: vec![TaskContention::default(); n],
+            stage_waits: HashMap::new(),
             staging_done: false,
             stage_end: SimTime::ZERO,
             completed: 0,
@@ -300,6 +332,7 @@ impl Executor {
         self.start_next_stage();
 
         while let Some(c) = self.engine.try_step()? {
+            self.absorb_contention(c.id, &c.tag);
             match c.tag {
                 Tag::StageMeta(file) => self.on_stage_meta(file),
                 Tag::StageData(file) => self.on_stage_data(file),
@@ -315,6 +348,64 @@ impl Executor {
             });
         }
         Ok(self.report())
+    }
+
+    /// Folds a completed flow's [`wfbb_simcore::ContentionRecord`] into the
+    /// accumulator of the task phase (or the stage-in phase) it belonged
+    /// to. Instant flows carry no record and are skipped.
+    fn absorb_contention(&mut self, id: ActivityId, tag: &Tag) {
+        let Some(rec) = self.engine.flow_contention(id) else {
+            return;
+        };
+        let (ideal, actual, wait) = (rec.ideal_duration(), rec.duration(), rec.wait);
+        // Per-resource share of the wait: lost work at each binding
+        // resource, converted to seconds at the flow's uncontended rate.
+        let blame: Vec<(ResourceId, f64)> = rec
+            .blame
+            .iter()
+            .map(|&(r, lost)| (r, lost / rec.uncontended_rate))
+            .collect();
+        match *tag {
+            Tag::StageMeta(_) | Tag::StageData(_) => {
+                for (r, w) in blame {
+                    *self.stage_waits.entry(r).or_insert(0.0) += w;
+                }
+            }
+            Tag::TaskMeta { task, write, .. } | Tag::TaskData { task, write, .. } => {
+                self.fold_task_contention(
+                    task,
+                    if write { 2 } else { 0 },
+                    ideal,
+                    actual,
+                    wait,
+                    blame,
+                );
+            }
+            Tag::Compute(task) => {
+                self.fold_task_contention(task, 1, ideal, actual, wait, blame);
+            }
+        }
+    }
+
+    fn fold_task_contention(
+        &mut self,
+        task: TaskId,
+        phase: usize,
+        ideal: f64,
+        actual: f64,
+        wait: f64,
+        blame: Vec<(ResourceId, f64)>,
+    ) {
+        let acc = &mut self.contention[task.index()];
+        acc.phases[phase].ideal += ideal;
+        acc.phases[phase].actual += actual;
+        acc.phases[phase].wait += wait;
+        for (r, w) in blame {
+            match acc.by_resource.iter_mut().find(|(res, _)| *res == r) {
+                Some((_, total)) => *total += w,
+                None => acc.by_resource.push((r, w)),
+            }
+        }
     }
 
     // ---- staging ----------------------------------------------------
@@ -603,6 +694,12 @@ impl Executor {
     fn start_access(&mut self, task: TaskId, file: FileId, write: bool) {
         let node = self.states[task.index()].node;
         let loc = self.resolve_access(task, file, write);
+        if write {
+            self.write_started.insert(
+                (task.index() as u32, file.index() as u32),
+                self.engine.now(),
+            );
+        }
         self.resolved.insert(
             (task.index() as u32, file.index() as u32, write),
             loc.clone(),
@@ -719,6 +816,16 @@ impl Executor {
             .remove(&(task.index() as u32, file.index() as u32, write))
             .expect("access location resolved");
         if write {
+            let start = self
+                .write_started
+                .remove(&(task.index() as u32, file.index() as u32))
+                .expect("output span opened before completion");
+            self.output_spans.push(StageSpan {
+                file: self.workflow.file(file).name.clone(),
+                start,
+                end: self.engine.now(),
+                location: Self::location_label(&loc),
+            });
             self.registry.set(file, loc);
         }
         self.states[task.index()].in_flight -= 1;
@@ -798,6 +905,87 @@ impl Executor {
 
     // ---- reporting --------------------------------------------------
 
+    /// Splits one task's three phase walls into contention wait and
+    /// useful time. Each phase `p` scales its wall by the flow-level
+    /// inefficiency `1 - ideal_p / actual_p` (concurrent flows share the
+    /// wall, so serialized per-flow waits would overcount); a phase whose
+    /// flows accrued no wait contributes exactly `0.0`.
+    fn decompose(&self, task: TaskId, st: &TaskState) -> (f64, f64, f64) {
+        let acc = &self.contention[task.index()];
+        let wall = [
+            st.read_end.duration_since(st.start),
+            st.compute_end.duration_since(st.read_end),
+            st.end.duration_since(st.compute_end),
+        ];
+        let mut waits = [0.0f64; 3];
+        for p in 0..3 {
+            let ph = &acc.phases[p];
+            if ph.wait > 0.0 && ph.actual > 0.0 {
+                waits[p] = (wall[p] * (1.0 - ph.ideal / ph.actual)).clamp(0.0, wall[p]);
+            }
+        }
+        let pure_compute = wall[1] - waits[1];
+        let serialized_io = (wall[0] - waits[0]) + (wall[2] - waits[2]);
+        (pure_compute, serialized_io, waits[0] + waits[1] + waits[2])
+    }
+
+    /// The executed critical path: from the last-finishing task, follow
+    /// the latest-finishing dependency backwards (ties to the lowest task
+    /// id), then prepend the stage-in phase that gates all task starts.
+    fn executed_critical_path(&self) -> Vec<CriticalStep> {
+        let by_end = |a: TaskId, b: TaskId| {
+            self.states[a.index()]
+                .end
+                .cmp(&self.states[b.index()].end)
+                .then_with(|| b.cmp(&a))
+        };
+        let mut chain: Vec<TaskId> = Vec::new();
+        if let Some(last) = self
+            .workflow
+            .tasks()
+            .iter()
+            .map(|t| t.id)
+            .max_by(|&a, &b| by_end(a, b))
+        {
+            chain.push(last);
+            let mut cur = last;
+            while let Some(&pred) = self
+                .workflow
+                .dependencies(cur)
+                .iter()
+                .max_by(|&&a, &&b| by_end(a, b))
+            {
+                chain.push(pred);
+                cur = pred;
+            }
+            chain.reverse();
+        }
+        let mut steps = Vec::new();
+        let mut prev_end = SimTime::ZERO;
+        if self.stage_end > SimTime::ZERO {
+            steps.push(CriticalStep {
+                label: "stage-in".to_string(),
+                kind: CriticalStepKind::StageIn,
+                start: SimTime::ZERO,
+                end: self.stage_end,
+                slack: 0.0,
+            });
+            prev_end = self.stage_end;
+        }
+        for t in chain {
+            let st = &self.states[t.index()];
+            steps.push(CriticalStep {
+                label: self.workflow.task(t).name.clone(),
+                kind: CriticalStepKind::Task,
+                start: st.start,
+                end: st.end,
+                slack: st.start.duration_since(prev_end).max(0.0),
+            });
+            prev_end = st.end;
+        }
+        steps
+    }
+
     fn report(&self) -> SimulationReport {
         let tasks: Vec<TaskRecord> = self
             .workflow
@@ -805,6 +993,14 @@ impl Executor {
             .iter()
             .map(|t| {
                 let st = &self.states[t.id.index()];
+                let (pure_compute, serialized_io, contention_wait) = self.decompose(t.id, st);
+                let mut contention_by_resource: Vec<(String, f64)> = self.contention[t.id.index()]
+                    .by_resource
+                    .iter()
+                    .map(|&(r, w)| (self.engine.resource(r).name.clone(), w))
+                    .collect();
+                contention_by_resource
+                    .sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
                 TaskRecord {
                     task: t.id,
                     name: t.name.clone(),
@@ -816,9 +1012,41 @@ impl Executor {
                     read_end: st.read_end,
                     compute_end: st.compute_end,
                     end: st.end,
+                    pure_compute,
+                    serialized_io,
+                    contention_wait,
+                    contention_by_resource,
                 }
             })
             .collect();
+
+        // Per-resource blame totals (always accumulated by the engine).
+        let mut contention: Vec<ResourceContention> = self
+            .engine
+            .resource_blame()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                b.interval().map(|interval| {
+                    let id = ResourceId::from_index(i);
+                    ResourceContention {
+                        name: self.engine.resource(id).name.clone(),
+                        capacity: self.engine.resource(id).capacity,
+                        lost_work: b.lost_work,
+                        wait: b.wait,
+                        interval,
+                    }
+                })
+            })
+            .collect();
+        contention.sort_by(|a, b| b.wait.total_cmp(&a.wait).then_with(|| a.name.cmp(&b.name)));
+
+        let mut stage_contention: Vec<(String, f64)> = self
+            .stage_waits
+            .iter()
+            .map(|(&r, &w)| (self.engine.resource(r).name.clone(), w))
+            .collect();
+        stage_contention.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
         // Tier-level byte/bandwidth accounting from the devices.
         let platform = &self.storage.platform;
@@ -836,12 +1064,22 @@ impl Executor {
         }
         let pfs = self.engine.resource_stats(platform.pfs_disk);
 
+        let bb_devices = match &platform.bb {
+            wfbb_platform::BbInstance::Shared { disks, .. }
+            | wfbb_platform::BbInstance::OnNode { disks, .. } => disks.len(),
+            wfbb_platform::BbInstance::None => 0,
+        };
+
         SimulationReport {
             workflow: self.workflow.name.clone(),
             makespan: self.engine.now(),
             stage_in_time: self.stage_end.seconds(),
             stage_spans: self.stage_spans.clone(),
+            output_spans: self.output_spans.clone(),
             tasks,
+            contention,
+            stage_contention,
+            critical_path: self.executed_critical_path(),
             bb_bytes,
             pfs_bytes: pfs.total_served,
             bb_achieved_bw: if bb_busy > 0.0 {
@@ -850,6 +1088,8 @@ impl Executor {
                 0.0
             },
             pfs_achieved_bw: pfs.mean_busy_rate(),
+            bb_nominal_bw: platform.spec.bb_disk_bw * bb_devices as f64,
+            pfs_nominal_bw: platform.spec.pfs_disk_bw,
             bb_peak_bytes: self.bb_peak,
             spilled_files: self.spilled,
             nodes: platform.nodes(),

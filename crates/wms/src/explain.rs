@@ -1,0 +1,519 @@
+//! Makespan explainability: ranked contention hotspots, executed
+//! critical-path composition, and achieved-vs-nominal tier bandwidth.
+//!
+//! [`SimulationReport::explain`] condenses a run into the attribution
+//! arguments the paper makes by hand: *which* resource the makespan
+//! serialized on (e.g. the striped BB's metadata services for SWarp's
+//! 1:N small-file pattern, Figs. 10–14), *which* tasks paid for it, and
+//! how the executed critical path splits into compute, serialized I/O,
+//! and contention wait — the observable counterparts of the paper's
+//! Eq. (1)–(2) terms. Both a human-readable text report
+//! ([`Explanation::render_text`]) and machine-readable JSON
+//! ([`Explanation::to_json`]) are provided; the CLI surfaces them via
+//! `wfbb simulate ... --explain <k>` and `--explain-json <path>`.
+//!
+//! All inputs are always-on (contention accounting is engine-side and
+//! never sampled), so `explain` works on any report, with or without
+//! telemetry.
+
+use crate::report::{CriticalStep, CriticalStepKind, SimulationReport};
+use crate::traceexport::{esc, num};
+
+/// One contention hotspot: a resource, how much delay it caused, when,
+/// and who paid for it.
+#[derive(Debug, Clone)]
+pub struct Hotspot {
+    /// Resource name (e.g. `cori-striped/bb0/meta`).
+    pub resource: String,
+    /// Resource capacity (B/s, ops/s, or cores).
+    pub capacity: f64,
+    /// Work-units of throughput lost to sharing at this resource.
+    pub lost_work: f64,
+    /// Serialized seconds of delay across all victim flows.
+    pub wait: f64,
+    /// `[first, last]` simulated seconds over which blame accrued.
+    pub interval: (f64, f64),
+    /// Victims (task name or `stage-in`) with their serialized wait
+    /// seconds at this resource, descending.
+    pub victims: Vec<(String, f64)>,
+}
+
+/// Time composition of the executed critical path, seconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PathComposition {
+    /// Pure compute along the path.
+    pub compute: f64,
+    /// Serialized (uncontended-equivalent) I/O along the path, including
+    /// the stage-in phase.
+    pub io: f64,
+    /// Contention wait plus scheduling slack along the path.
+    pub wait: f64,
+}
+
+impl PathComposition {
+    /// Total path time (≈ makespan when the path spans the run).
+    pub fn total(&self) -> f64 {
+        self.compute + self.io + self.wait
+    }
+
+    /// `(compute, io, wait)` as percentages of the total (zeros for an
+    /// empty path).
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let t = self.total();
+        if t <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.compute / t,
+            100.0 * self.io / t,
+            100.0 * self.wait / t,
+        )
+    }
+}
+
+/// Achieved vs. nominal bandwidth of one storage tier.
+#[derive(Debug, Clone)]
+pub struct TierBandwidth {
+    /// Tier label (`bb` or `pfs`).
+    pub tier: &'static str,
+    /// Achieved bandwidth while busy, B/s.
+    pub achieved: f64,
+    /// Nominal aggregate bandwidth, B/s.
+    pub nominal: f64,
+}
+
+impl TierBandwidth {
+    /// Achieved bandwidth as a fraction of nominal (0 when nominal is 0).
+    pub fn efficiency(&self) -> f64 {
+        if self.nominal > 0.0 {
+            self.achieved / self.nominal
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full explanation of one run, ready to render.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Workflow name.
+    pub workflow: String,
+    /// Makespan, seconds.
+    pub makespan: f64,
+    /// Top-k contention hotspots, descending by wait.
+    pub hotspots: Vec<Hotspot>,
+    /// The executed critical path (chronological).
+    pub critical_path: Vec<CriticalStep>,
+    /// Compute / I/O / wait split of the critical path.
+    pub composition: PathComposition,
+    /// Achieved-vs-nominal bandwidth per storage tier.
+    pub tiers: Vec<TierBandwidth>,
+}
+
+/// Victims shown per hotspot (more would drown the report).
+const MAX_VICTIMS: usize = 5;
+
+impl SimulationReport {
+    /// Builds the explanation with the top `k` contention hotspots.
+    pub fn explain(&self, k: usize) -> Explanation {
+        let hotspots = self
+            .contention
+            .iter()
+            .take(k)
+            .map(|c| {
+                let mut victims: Vec<(String, f64)> = self
+                    .tasks
+                    .iter()
+                    .filter_map(|t| {
+                        t.contention_by_resource
+                            .iter()
+                            .find(|(r, _)| *r == c.name)
+                            .map(|&(_, w)| (t.name.clone(), w))
+                    })
+                    .collect();
+                if let Some(&(_, w)) = self.stage_contention.iter().find(|(r, _)| *r == c.name) {
+                    victims.push(("stage-in".to_string(), w));
+                }
+                victims.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                victims.truncate(MAX_VICTIMS);
+                Hotspot {
+                    resource: c.name.clone(),
+                    capacity: c.capacity,
+                    lost_work: c.lost_work,
+                    wait: c.wait,
+                    interval: c.interval,
+                    victims,
+                }
+            })
+            .collect();
+
+        let mut composition = PathComposition::default();
+        for step in &self.critical_path {
+            composition.wait += step.slack;
+            match step.kind {
+                CriticalStepKind::StageIn => composition.io += step.duration(),
+                CriticalStepKind::Task => {
+                    if let Some(t) = self.task_by_name(&step.label) {
+                        composition.compute += t.pure_compute;
+                        composition.io += t.serialized_io;
+                        composition.wait += t.contention_wait;
+                    }
+                }
+            }
+        }
+
+        let mut tiers = Vec::new();
+        if self.bb_nominal_bw > 0.0 {
+            tiers.push(TierBandwidth {
+                tier: "bb",
+                achieved: self.bb_achieved_bw,
+                nominal: self.bb_nominal_bw,
+            });
+        }
+        tiers.push(TierBandwidth {
+            tier: "pfs",
+            achieved: self.pfs_achieved_bw,
+            nominal: self.pfs_nominal_bw,
+        });
+
+        Explanation {
+            workflow: self.workflow.clone(),
+            makespan: self.makespan.seconds(),
+            hotspots,
+            critical_path: self.critical_path.clone(),
+            composition,
+            tiers,
+        }
+    }
+}
+
+impl Explanation {
+    /// Renders the explanation as a plain-text report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== explain: {} (makespan {:.3} s) ==\n",
+            self.workflow, self.makespan
+        ));
+
+        let path: Vec<String> = self.critical_path.iter().map(|s| s.label.clone()).collect();
+        if path.is_empty() {
+            out.push_str("executed critical path: (empty run)\n");
+        } else {
+            out.push_str(&format!("executed critical path: {}\n", path.join(" -> ")));
+            let (c, i, w) = self.composition.percentages();
+            out.push_str(&format!(
+                "path composition: {c:.1}% compute, {i:.1}% I/O, {w:.1}% contention/wait \
+                 ({:.3} s of {:.3} s)\n",
+                self.composition.total(),
+                self.makespan,
+            ));
+            for step in &self.critical_path {
+                out.push_str(&format!(
+                    "  {:<24} [{:>10.3}, {:>10.3}] s{}\n",
+                    step.label,
+                    step.start.seconds(),
+                    step.end.seconds(),
+                    if step.slack > 0.0 {
+                        format!("  (+{:.3} s slack)", step.slack)
+                    } else {
+                        String::new()
+                    },
+                ));
+            }
+        }
+
+        if self.hotspots.is_empty() {
+            out.push_str("contention hotspots: none (no flow was resource-bound)\n");
+        } else {
+            out.push_str("contention hotspots:\n");
+            for (rank, h) in self.hotspots.iter().enumerate() {
+                out.push_str(&format!(
+                    "  {}. {}  (capacity {:.3})\n     {:.3} s serialized wait, \
+                     {:.3e} work-units lost over [{:.3}, {:.3}] s\n",
+                    rank + 1,
+                    h.resource,
+                    h.capacity,
+                    h.wait,
+                    h.lost_work,
+                    h.interval.0,
+                    h.interval.1,
+                ));
+                if !h.victims.is_empty() {
+                    let victims: Vec<String> = h
+                        .victims
+                        .iter()
+                        .map(|(name, w)| format!("{name} ({w:.3} s)"))
+                        .collect();
+                    out.push_str(&format!("     victims: {}\n", victims.join(", ")));
+                }
+            }
+        }
+
+        out.push_str("tier bandwidth (achieved vs nominal):\n");
+        for t in &self.tiers {
+            out.push_str(&format!(
+                "  {:<4} {:>12.3e} / {:>12.3e} B/s  ({:.0}%)\n",
+                t.tier,
+                t.achieved,
+                t.nominal,
+                100.0 * t.efficiency(),
+            ));
+        }
+        out
+    }
+
+    /// Renders the explanation as a single JSON object (machine-readable
+    /// counterpart of [`Explanation::render_text`]); deterministic for a
+    /// given report.
+    pub fn to_json(&self) -> String {
+        let hotspots: Vec<String> = self
+            .hotspots
+            .iter()
+            .map(|h| {
+                let victims: Vec<String> = h
+                    .victims
+                    .iter()
+                    .map(|(name, w)| format!("{{\"name\":\"{}\",\"wait\":{}}}", esc(name), num(*w)))
+                    .collect();
+                format!(
+                    "{{\"resource\":\"{}\",\"capacity\":{},\"lost_work\":{},\
+                     \"wait\":{},\"interval\":[{},{}],\"victims\":[{}]}}",
+                    esc(&h.resource),
+                    num(h.capacity),
+                    num(h.lost_work),
+                    num(h.wait),
+                    num(h.interval.0),
+                    num(h.interval.1),
+                    victims.join(","),
+                )
+            })
+            .collect();
+        let steps: Vec<String> = self
+            .critical_path
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"label\":\"{}\",\"kind\":\"{}\",\"start\":{},\"end\":{},\"slack\":{}}}",
+                    esc(&s.label),
+                    match s.kind {
+                        CriticalStepKind::StageIn => "stage-in",
+                        CriticalStepKind::Task => "task",
+                    },
+                    num(s.start.seconds()),
+                    num(s.end.seconds()),
+                    num(s.slack),
+                )
+            })
+            .collect();
+        let tiers: Vec<String> = self
+            .tiers
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"tier\":\"{}\",\"achieved_bw\":{},\"nominal_bw\":{}}}",
+                    t.tier,
+                    num(t.achieved),
+                    num(t.nominal),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"workflow\":\"{}\",\"makespan\":{},\"hotspots\":[{}],\
+             \"critical_path\":[{}],\"composition\":{{\"compute\":{},\"io\":{},\
+             \"wait\":{}}},\"tiers\":[{}]}}",
+            esc(&self.workflow),
+            num(self.makespan),
+            hotspots.join(","),
+            steps.join(","),
+            num(self.composition.compute),
+            num(self.composition.io),
+            num(self.composition.wait),
+            tiers.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use wfbb_platform::{presets, BbMode};
+    use wfbb_storage::PlacementPolicy;
+    use wfbb_workflow::{Workflow, WorkflowBuilder};
+
+    use crate::builder::SimulationBuilder;
+
+    /// A SWarp-shaped workflow: per pipeline, a resample task fans 8
+    /// small inputs into 8 intermediates that a combine task coadds —
+    /// the 1:N small-file pattern that serializes on striped-BB
+    /// metadata in the paper.
+    fn mini_swarp(pipelines: usize) -> Workflow {
+        let mut b = WorkflowBuilder::new("mini-swarp");
+        for p in 0..pipelines {
+            let inputs: Vec<_> = (0..8)
+                .map(|i| b.add_file(format!("in{p}_{i}"), 2e6))
+                .collect();
+            let mids: Vec<_> = (0..8)
+                .map(|i| b.add_file(format!("mid{p}_{i}"), 2e6))
+                .collect();
+            let out = b.add_file(format!("out{p}"), 8e6);
+            b.task(format!("resample{p}"))
+                .category("resample")
+                .flops(5e10)
+                .cores(4)
+                .pipeline(p)
+                .inputs(inputs)
+                .outputs(mids.clone())
+                .add();
+            b.task(format!("combine{p}"))
+                .category("combine")
+                .flops(5e10)
+                .cores(4)
+                .pipeline(p)
+                .inputs(mids)
+                .output(out)
+                .add();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_task_uncontended_run_has_exactly_zero_wait() {
+        let mut b = WorkflowBuilder::new("solo");
+        let input = b.add_file("in", 8e6);
+        let out = b.add_file("out", 4e6);
+        b.task("t")
+            .category("proc")
+            .flops(1e11)
+            .cores(1)
+            .input(input)
+            .output(out)
+            .add();
+        let report = SimulationBuilder::new(presets::cori(1, BbMode::Private), b.build().unwrap())
+            .placement(PlacementPolicy::AllPfs)
+            .io_concurrency(1)
+            .run()
+            .unwrap();
+        let t = &report.tasks[0];
+        assert_eq!(t.contention_wait, 0.0, "uncontended run waits exactly 0");
+        assert!(t.contention_by_resource.is_empty());
+        let e = report.explain(5);
+        assert_eq!(e.composition.wait, 0.0);
+        assert!(e.hotspots.is_empty(), "{:?}", e.hotspots);
+    }
+
+    #[test]
+    fn decomposition_sums_to_duration() {
+        let wf = mini_swarp(4);
+        let report = SimulationBuilder::new(presets::cori(1, BbMode::Striped), wf)
+            .placement(PlacementPolicy::AllBb)
+            .run()
+            .unwrap();
+        for t in &report.tasks {
+            let sum = t.pure_compute + t.serialized_io + t.contention_wait;
+            assert!(
+                (sum - t.duration()).abs() < 1e-9,
+                "{}: {} + {} + {} != {}",
+                t.name,
+                t.pure_compute,
+                t.serialized_io,
+                t.contention_wait,
+                t.duration()
+            );
+            assert!(t.pure_compute >= 0.0);
+            assert!(t.serialized_io >= 0.0);
+            assert!(t.contention_wait >= 0.0);
+        }
+    }
+
+    #[test]
+    fn swarp_striped_blames_the_burst_buffer() {
+        // The paper's pathological configuration: SWarp's 1:N small-file
+        // pattern on Cori's striped BB serializes on the BB nodes'
+        // metadata/bandwidth resources (Figs. 10-12).
+        let wf = mini_swarp(4);
+        let report = SimulationBuilder::new(presets::cori(1, BbMode::Striped), wf)
+            .placement(PlacementPolicy::AllBb)
+            .run()
+            .unwrap();
+        let e = report.explain(3);
+        let top = e.hotspots.first().expect("striped SWarp contends");
+        assert!(
+            top.resource.contains("/bb"),
+            "top hotspot is a BB resource, got {}",
+            top.resource
+        );
+        assert!(top.wait > 0.0);
+        assert!(top.interval.1 > top.interval.0);
+        assert!(!top.victims.is_empty());
+    }
+
+    #[test]
+    fn critical_path_is_chronological_and_composed() {
+        let wf = mini_swarp(2);
+        let report = SimulationBuilder::new(presets::summit(1), wf)
+            .placement(PlacementPolicy::AllBb)
+            .run()
+            .unwrap();
+        assert!(!report.critical_path.is_empty());
+        // Chronological, ends at the makespan, starts at 0.
+        let first = report.critical_path.first().unwrap();
+        let last = report.critical_path.last().unwrap();
+        assert_eq!(first.start.seconds(), 0.0);
+        assert!((last.end.seconds() - report.makespan.seconds()).abs() < 1e-9);
+        for w in report.critical_path.windows(2) {
+            assert!(w[0].end <= w[1].start, "steps ordered");
+        }
+        // Composition covers the makespan: durations + slack tile [0, end].
+        let e = report.explain(1);
+        assert!(
+            (e.composition.total() - report.makespan.seconds()).abs()
+                < 1e-6 * report.makespan.seconds().max(1.0),
+            "composition {} vs makespan {}",
+            e.composition.total(),
+            report.makespan
+        );
+    }
+
+    #[test]
+    fn renderers_are_deterministic_and_well_formed() {
+        let wf = mini_swarp(2);
+        let report = SimulationBuilder::new(presets::cori(1, BbMode::Striped), wf)
+            .placement(PlacementPolicy::AllBb)
+            .run()
+            .unwrap();
+        let e = report.explain(3);
+        let text = e.render_text();
+        assert!(text.contains("== explain:"));
+        assert!(text.contains("contention hotspots:"));
+        assert!(text.contains("tier bandwidth"));
+        assert_eq!(text, report.explain(3).render_text());
+        let json = e.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"hotspots\":["));
+        assert!(json.contains("\"critical_path\":["));
+        assert_eq!(json, report.explain(3).to_json());
+    }
+
+    #[test]
+    fn attribution_is_identical_across_solve_modes() {
+        use wfbb_simcore::SolveMode;
+        let wf = mini_swarp(3);
+        let run = |mode| {
+            SimulationBuilder::new(presets::cori(1, BbMode::Striped), wf.clone())
+                .placement(PlacementPolicy::AllBb)
+                .solve_mode(mode)
+                .run()
+                .unwrap()
+        };
+        let naive = run(SolveMode::Naive);
+        let incr = run(SolveMode::Incremental);
+        assert_eq!(naive.contention.len(), incr.contention.len());
+        for (a, b) in naive.contention.iter().zip(&incr.contention) {
+            assert_eq!(a.name, b.name);
+            assert!((a.lost_work - b.lost_work).abs() <= 1e-6 * a.lost_work.abs().max(1.0));
+            assert!((a.wait - b.wait).abs() <= 1e-6 * a.wait.abs().max(1.0));
+        }
+        assert_eq!(naive.explain(3).to_json(), incr.explain(3).to_json());
+    }
+}

@@ -65,6 +65,12 @@ impl SimulationReport {
     /// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)): one
     /// process per compute node, one complete event per task phase
     /// (read / compute / write), timestamps in microseconds.
+    ///
+    /// This is the task-phase-only export behind the CLI's deprecated
+    /// `--chrome` flag; prefer
+    /// [`SimulationReport::perfetto_trace_json`](crate::traceexport)
+    /// (`--trace-out`), which adds stage lanes, attribution args, and
+    /// telemetry counter tracks.
     pub fn chrome_trace_json(&self) -> String {
         let mut events = Vec::new();
         for t in &self.tasks {
@@ -270,6 +276,117 @@ mod tests {
         assert!(r.gantt_by_node().is_empty());
         assert_eq!(r.gantt_ascii(20), "");
         assert_eq!(r.mean_utilization(), 0.0);
+    }
+
+    /// Hand-built two-task report with round-number timestamps, so the
+    /// snapshot tests below are readable by eye and fully deterministic.
+    fn synthetic_report() -> crate::report::SimulationReport {
+        use wfbb_simcore::SimTime;
+        use wfbb_workflow::TaskId;
+        let task = |idx: usize,
+                    name: &str,
+                    cat: &str,
+                    pipeline: Option<usize>,
+                    node: usize,
+                    cores: usize,
+                    times: [f64; 4]| {
+            crate::report::TaskRecord {
+                task: TaskId::from_index(idx),
+                name: name.into(),
+                category: cat.into(),
+                pipeline,
+                node,
+                cores,
+                start: SimTime::from_seconds(times[0]),
+                read_end: SimTime::from_seconds(times[1]),
+                compute_end: SimTime::from_seconds(times[2]),
+                end: SimTime::from_seconds(times[3]),
+                pure_compute: times[2] - times[1],
+                serialized_io: (times[1] - times[0]) + (times[3] - times[2]),
+                contention_wait: 0.0,
+                contention_by_resource: Vec::new(),
+            }
+        };
+        crate::report::SimulationReport {
+            workflow: "synthetic".into(),
+            makespan: SimTime::from_seconds(10.0),
+            stage_in_time: 0.0,
+            stage_spans: Vec::new(),
+            output_spans: Vec::new(),
+            contention: Vec::new(),
+            stage_contention: Vec::new(),
+            critical_path: Vec::new(),
+            tasks: vec![
+                task(0, "a", "x", Some(0), 0, 2, [0.0, 2.0, 8.0, 10.0]),
+                task(1, "b", "y", None, 1, 1, [1.0, 1.5, 4.0, 5.0]),
+            ],
+            bb_bytes: 0.0,
+            pfs_bytes: 0.0,
+            bb_achieved_bw: 0.0,
+            pfs_achieved_bw: 0.0,
+            bb_nominal_bw: 0.0,
+            pfs_nominal_bw: 0.0,
+            bb_peak_bytes: 0.0,
+            spilled_files: 0,
+            nodes: 2,
+            cores_per_node: 4,
+            telemetry: None,
+        }
+    }
+
+    #[test]
+    fn json_snapshot_is_stable() {
+        let r = synthetic_report();
+        let expected = "[\n  \
+            {\"task\":\"a\",\"category\":\"x\",\"node\":0,\"cores\":2,\
+            \"pipeline\":0,\"start\":0.000000,\"read_end\":2.000000,\
+            \"compute_end\":8.000000,\"end\":10.000000},\n  \
+            {\"task\":\"b\",\"category\":\"y\",\"node\":1,\"cores\":1,\
+            \"pipeline\":null,\"start\":1.000000,\"read_end\":1.500000,\
+            \"compute_end\":4.000000,\"end\":5.000000}\n]";
+        assert_eq!(r.gantt_json(), expected);
+        // Stable across repeated calls (no hidden iteration-order state).
+        assert_eq!(r.gantt_json(), r.gantt_json());
+    }
+
+    #[test]
+    fn ascii_snapshot_at_width_40() {
+        let r = synthetic_report();
+        let expected = "\
+            n00 a |rrrrrrrrcccccccccccccccccccccccwwwwwwww |\n\
+            n01 b |    rrccccccccccwwww                    |\n";
+        assert_eq!(r.gantt_ascii(40), expected);
+    }
+
+    #[test]
+    fn ascii_rows_honor_the_requested_width() {
+        let r = synthetic_report();
+        for width in [10usize, 37, 64, 120] {
+            let chart = r.gantt_ascii(width);
+            for line in chart.lines() {
+                let open = line.find('|').unwrap();
+                let close = line.rfind('|').unwrap();
+                assert_eq!(
+                    close - open - 1,
+                    width,
+                    "timeline body must be exactly {width} cells wide"
+                );
+                assert_eq!(close, line.len() - 1, "the bar closes the row");
+            }
+        }
+    }
+
+    #[test]
+    fn ascii_truncates_long_names_to_24_columns() {
+        let mut r = synthetic_report();
+        r.tasks[0].name = "a".repeat(30);
+        let chart = r.gantt_ascii(40);
+        let first = chart.lines().next().unwrap();
+        assert!(first.contains(&"a".repeat(24)));
+        assert!(!first.contains(&"a".repeat(25)));
+        // Rows stay aligned: both rows open their bars at the same column.
+        let cols: Vec<usize> = chart.lines().map(|l| l.find('|').unwrap()).collect();
+        assert_eq!(cols[0], cols[1]);
     }
 
     #[test]

@@ -23,11 +23,18 @@
 //! For observability beyond the report scalars, enable engine telemetry
 //! with [`SimulationBuilder::telemetry`] and export the run through
 //! [`crate::traceexport`] as line-delimited JSONL or a Perfetto/Chrome
-//! trace (`docs/trace-format.md` documents both schemas).
+//! trace (`docs/trace-format.md` documents both schemas). To answer
+//! "why is this workflow slow", [`SimulationReport::explain`]
+//! ([`crate::explain`]) ranks contention hotspots, decomposes the
+//! executed critical path, and compares achieved to nominal tier
+//! bandwidth — all from always-on engine contention accounting.
+
+#![deny(missing_docs)]
 
 pub mod builder;
 pub mod dynamic;
 pub mod executor;
+pub mod explain;
 pub mod gantt;
 pub mod report;
 pub mod traceexport;
@@ -35,6 +42,10 @@ pub mod traceexport;
 pub use builder::{SimulationBuilder, SimulationError};
 pub use dynamic::{DynamicPlacer, PlacementContext};
 pub use executor::SchedulerPolicy;
-pub use report::{CategoryStats, SimulationReport, StageSpan, TaskRecord};
+pub use explain::{Explanation, Hotspot, PathComposition, TierBandwidth};
+pub use report::{
+    CategoryStats, CriticalStep, CriticalStepKind, ResourceContention, SimulationReport, StageSpan,
+    TaskRecord,
+};
 pub use traceexport::TRACE_SCHEMA_VERSION;
 pub use wfbb_simcore::{EngineCounters, TelemetryConfig, TelemetrySnapshot};

@@ -37,6 +37,22 @@ pub struct TaskRecord {
     pub compute_end: SimTime,
     /// When all output writes finished (task completion).
     pub end: SimTime,
+    /// Seconds of the compute phase actually spent computing (compute
+    /// wall time minus compute-phase contention wait).
+    pub pure_compute: f64,
+    /// Seconds of the read/write phases the task would have needed with
+    /// every I/O flow running at its uncontended rate (phase wall time
+    /// minus I/O contention wait).
+    pub serialized_io: f64,
+    /// Seconds lost to resource contention across all three phases.
+    /// `pure_compute + serialized_io + contention_wait == duration()`
+    /// by construction; exactly `0.0` for an uncontended run.
+    pub contention_wait: f64,
+    /// Contention wait attributed per binding resource, `(resource name,
+    /// serialized wait seconds)`, descending by wait. The per-flow waits
+    /// sum without concurrency folding, so entries can exceed
+    /// [`TaskRecord::contention_wait`]; use them for *ranking* culprits.
+    pub contention_by_resource: Vec<(String, f64)>,
 }
 
 impl TaskRecord {
@@ -104,6 +120,59 @@ pub struct StageSpan {
     pub location: String,
 }
 
+/// Per-resource contention summary: how much work the resource's
+/// congestion delayed, aggregated over every flow the fair-share solver
+/// froze at that resource. Always populated (independent of telemetry
+/// sampling); resources that never bound a flow are omitted.
+#[derive(Debug, Clone)]
+pub struct ResourceContention {
+    /// Resource name (e.g. `cori-striped/bb0/meta`).
+    pub name: String,
+    /// Resource capacity (B/s, ops/s, or cores).
+    pub capacity: f64,
+    /// Work-units of throughput lost to sharing at this resource.
+    pub lost_work: f64,
+    /// Serialized seconds of delay the contention caused across flows.
+    pub wait: f64,
+    /// `[first, last]` simulated seconds over which blame accrued.
+    pub interval: (f64, f64),
+}
+
+/// What a step of the executed critical path is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CriticalStepKind {
+    /// The sequential stage-in phase gating all task starts.
+    StageIn,
+    /// A task execution (read → compute → write).
+    Task,
+}
+
+/// One step of the *executed* critical path: the realized chain of
+/// schedule-ordered work ending at the last completion. Unlike the
+/// static flops-weighted `wfbb_workflow` critical path, this follows the
+/// latest-finishing dependency at each hop of the actual schedule.
+#[derive(Debug, Clone)]
+pub struct CriticalStep {
+    /// Task name, or `stage-in` for the staging step.
+    pub label: String,
+    /// Step kind.
+    pub kind: CriticalStepKind,
+    /// When the step started.
+    pub start: SimTime,
+    /// When the step ended.
+    pub end: SimTime,
+    /// Idle seconds between the previous step's end and this start (e.g.
+    /// waiting for cores); 0 for the first step.
+    pub slack: f64,
+}
+
+impl CriticalStep {
+    /// Step duration, seconds.
+    pub fn duration(&self) -> f64 {
+        self.end.duration_since(self.start)
+    }
+}
+
 /// Complete result of one simulated workflow execution.
 #[derive(Debug, Clone)]
 pub struct SimulationReport {
@@ -116,8 +185,19 @@ pub struct SimulationReport {
     /// Per-file stage-in spans, in staging order (empty when nothing was
     /// staged to the burst buffer).
     pub stage_spans: Vec<StageSpan>,
+    /// Per-file output-write (stage-out) spans, in completion order: when
+    /// each task output was written and the tier it landed on.
+    pub output_spans: Vec<StageSpan>,
     /// Per-task timing records, in task-id order.
     pub tasks: Vec<TaskRecord>,
+    /// Per-resource contention totals, descending by wait (resources that
+    /// never bound a flow are omitted). Always populated.
+    pub contention: Vec<ResourceContention>,
+    /// Contention wait suffered by the stage-in phase, per binding
+    /// resource, `(resource name, serialized wait seconds)`.
+    pub stage_contention: Vec<(String, f64)>,
+    /// The executed critical path, in chronological order.
+    pub critical_path: Vec<CriticalStep>,
     /// Bytes transferred to/from the burst buffer tier.
     pub bb_bytes: f64,
     /// Bytes transferred to/from the PFS tier.
@@ -126,6 +206,11 @@ pub struct SimulationReport {
     pub bb_achieved_bw: f64,
     /// Achieved PFS bandwidth while busy, B/s (Figure 9).
     pub pfs_achieved_bw: f64,
+    /// Nominal aggregate BB bandwidth (per-device bandwidth × devices),
+    /// B/s; 0 when the platform has no burst buffer.
+    pub bb_nominal_bw: f64,
+    /// Nominal PFS disk bandwidth, B/s.
+    pub pfs_nominal_bw: f64,
     /// Peak total burst buffer occupancy, bytes.
     pub bb_peak_bytes: f64,
     /// Files that spilled to the PFS because their BB device was full.
@@ -228,6 +313,10 @@ mod tests {
             read_end: SimTime::from_seconds(read),
             compute_end: SimTime::from_seconds(compute),
             end: SimTime::from_seconds(end),
+            pure_compute: compute - read,
+            serialized_io: (read - start) + (end - compute),
+            contention_wait: 0.0,
+            contention_by_resource: Vec::new(),
         }
     }
 
@@ -254,6 +343,10 @@ mod tests {
             makespan: SimTime::from_seconds(10.0),
             stage_in_time: 1.0,
             stage_spans: Vec::new(),
+            output_spans: Vec::new(),
+            contention: Vec::new(),
+            stage_contention: Vec::new(),
+            critical_path: Vec::new(),
             tasks: vec![
                 record("r1", "resample", 0.0, 1.0, 4.0, 5.0),
                 record("r2", "resample", 0.0, 2.0, 5.0, 7.0),
@@ -263,6 +356,8 @@ mod tests {
             pfs_bytes: 50.0,
             bb_achieved_bw: 10.0,
             pfs_achieved_bw: 5.0,
+            bb_nominal_bw: 20.0,
+            pfs_nominal_bw: 8.0,
             bb_peak_bytes: 0.0,
             spilled_files: 0,
             nodes: 1,

@@ -22,10 +22,14 @@ use crate::report::SimulationReport;
 /// Version of the exported trace schema (both formats). Bumped whenever a
 /// field is renamed, removed, or changes meaning; purely additive fields
 /// keep the version (see `docs/trace-format.md`).
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: stage-out (`stage_out`) records and Perfetto lane, per-task
+/// contention-attribution fields/args, per-resource `contention`
+/// records, and nominal tier bandwidths in the summary.
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 /// Escapes a string for inclusion inside a JSON string literal.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -44,7 +48,7 @@ fn esc(s: &str) -> String {
 /// Fixed-precision float formatting shared by both exporters (seconds,
 /// bytes, rates). Six decimals keep sub-microsecond timing while staying
 /// byte-stable for golden files.
-fn num(x: f64) -> String {
+pub(crate) fn num(x: f64) -> String {
     format!("{x:.6}")
 }
 
@@ -52,11 +56,13 @@ impl SimulationReport {
     /// Exports the run as line-delimited JSON (JSONL), one self-describing
     /// object per line.
     ///
-    /// Line order is fixed: `header`, `stage` spans, `task` records,
-    /// telemetry (`resource`, `resource_sample`, `counter` — only when the
-    /// run sampled telemetry; counters ride along with the snapshot), and
-    /// a final `summary`. Times are simulated seconds with six decimals.
-    /// See `docs/trace-format.md` for the field-by-field contract.
+    /// Line order is fixed: `header`, `stage` spans, `stage_out` spans,
+    /// `task` records, `contention` records (per blamed resource,
+    /// always present when contention occurred), telemetry (`resource`,
+    /// `resource_sample`, `counter` — only when the run sampled
+    /// telemetry; counters ride along with the snapshot), and a final
+    /// `summary`. Times are simulated seconds with six decimals. See
+    /// `docs/trace-format.md` for the field-by-field contract.
     pub fn jsonl_trace(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -80,11 +86,22 @@ impl SimulationReport {
                 esc(&s.location),
             ));
         }
+        for s in &self.output_spans {
+            out.push_str(&format!(
+                "{{\"type\":\"stage_out\",\"file\":\"{}\",\"start\":{},\"end\":{},\
+                 \"location\":\"{}\"}}\n",
+                esc(&s.file),
+                num(s.start.seconds()),
+                num(s.end.seconds()),
+                esc(&s.location),
+            ));
+        }
         for t in &self.tasks {
             out.push_str(&format!(
                 "{{\"type\":\"task\",\"name\":\"{}\",\"category\":\"{}\",\
                  \"pipeline\":{},\"node\":{},\"cores\":{},\"start\":{},\
-                 \"read_end\":{},\"compute_end\":{},\"end\":{}}}\n",
+                 \"read_end\":{},\"compute_end\":{},\"end\":{},\
+                 \"pure_compute\":{},\"serialized_io\":{},\"contention_wait\":{}}}\n",
                 esc(&t.name),
                 esc(&t.category),
                 t.pipeline.map_or("null".to_string(), |p| p.to_string()),
@@ -94,6 +111,21 @@ impl SimulationReport {
                 num(t.read_end.seconds()),
                 num(t.compute_end.seconds()),
                 num(t.end.seconds()),
+                num(t.pure_compute),
+                num(t.serialized_io),
+                num(t.contention_wait),
+            ));
+        }
+        for c in &self.contention {
+            out.push_str(&format!(
+                "{{\"type\":\"contention\",\"resource\":\"{}\",\"capacity\":{},\
+                 \"lost_work\":{},\"wait\":{},\"first\":{},\"last\":{}}}\n",
+                esc(&c.name),
+                num(c.capacity),
+                num(c.lost_work),
+                num(c.wait),
+                num(c.interval.0),
+                num(c.interval.1),
             ));
         }
         if let Some(telemetry) = &self.telemetry {
@@ -135,12 +167,15 @@ impl SimulationReport {
         }
         out.push_str(&format!(
             "{{\"type\":\"summary\",\"bb_bytes\":{},\"pfs_bytes\":{},\
-             \"bb_achieved_bw\":{},\"pfs_achieved_bw\":{},\"bb_peak_bytes\":{},\
+             \"bb_achieved_bw\":{},\"pfs_achieved_bw\":{},\
+             \"bb_nominal_bw\":{},\"pfs_nominal_bw\":{},\"bb_peak_bytes\":{},\
              \"spilled_files\":{}}}\n",
             num(self.bb_bytes),
             num(self.pfs_bytes),
             num(self.bb_achieved_bw),
             num(self.pfs_achieved_bw),
+            num(self.bb_nominal_bw),
+            num(self.pfs_nominal_bw),
             num(self.bb_peak_bytes),
             self.spilled_files,
         ));
@@ -153,15 +188,19 @@ impl SimulationReport {
     ///
     /// Track layout (see `docs/trace-format.md`): one process per compute
     /// node (`pid` = node index, `tid` = task index) carrying `ph:"X"`
-    /// complete events per task phase; process `nodes` is the sequential
-    /// stage-in lane; process `nodes + 1` hosts `ph:"C"` counter tracks for
-    /// the sampled resource rate/queue-depth series and a terminal instant
-    /// event with the engine counters. Timestamps are microseconds of
-    /// simulated time. Metadata events come first; the rest are sorted by
+    /// complete events per task phase, each with attribution args (the
+    /// task's `pure_compute` / `serialized_io` / `contention_wait`
+    /// decomposition); process `nodes` is the sequential stage-in lane;
+    /// process `nodes + 1` hosts `ph:"C"` counter tracks for the sampled
+    /// resource rate/queue-depth series and a terminal instant event with
+    /// the engine counters; process `nodes + 2` is the stage-out
+    /// (output-write) lane. Timestamps are microseconds of simulated
+    /// time. Metadata events come first; the rest are sorted by
     /// timestamp.
     pub fn perfetto_trace_json(&self) -> String {
         let stage_pid = self.nodes;
         let engine_pid = self.nodes + 1;
+        let stage_out_pid = self.nodes + 2;
         let us = |sec: f64| format!("{:.3}", sec * 1e6);
 
         let mut meta: Vec<String> = Vec::new();
@@ -177,6 +216,7 @@ impl SimulationReport {
         }
         name_meta(stage_pid, "stage-in");
         name_meta(engine_pid, "engine");
+        name_meta(stage_out_pid, "stage-out");
 
         // (ts, rendered event) pairs, sorted by ts after collection.
         let mut events: Vec<(f64, String)> = Vec::new();
@@ -197,7 +237,31 @@ impl SimulationReport {
                 ),
             ));
         }
+        for (i, s) in self.output_spans.iter().enumerate() {
+            let (b, e) = (s.start.seconds(), s.end.seconds());
+            events.push((
+                b,
+                format!(
+                    "{{\"name\":\"out:{}\",\"cat\":\"stage_out\",\"ph\":\"X\",\
+                     \"ts\":{},\"dur\":{},\"pid\":{},\"tid\":0,\
+                     \"args\":{{\"location\":\"{}\",\"order\":{}}}}}",
+                    esc(&s.file),
+                    us(b),
+                    us(e - b),
+                    stage_out_pid,
+                    esc(&s.location),
+                    i,
+                ),
+            ));
+        }
         for t in &self.tasks {
+            let attribution = format!(
+                "\"args\":{{\"pure_compute\":{},\"serialized_io\":{},\
+                 \"contention_wait\":{}}}",
+                num(t.pure_compute),
+                num(t.serialized_io),
+                num(t.contention_wait),
+            );
             let phases = [
                 ("read", t.start.seconds(), t.read_end.seconds()),
                 ("compute", t.read_end.seconds(), t.compute_end.seconds()),
@@ -209,7 +273,7 @@ impl SimulationReport {
                         begin,
                         format!(
                             "{{\"name\":\"{}:{}\",\"cat\":\"{}\",\"ph\":\"X\",\
-                             \"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+                             \"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},{attribution}}}",
                             esc(&t.name),
                             phase,
                             esc(&t.category),
@@ -320,6 +384,10 @@ mod tests {
         assert!(trace.contains("\"type\":\"counter\""));
         assert!(trace.contains("\"name\":\"solves\""));
         assert!(trace.contains("\"type\":\"resource_sample\""));
+        assert!(trace.contains("\"type\":\"stage_out\""));
+        assert!(trace.contains("\"pure_compute\""));
+        assert!(trace.contains("\"contention_wait\""));
+        assert!(trace.contains("\"bb_nominal_bw\""));
     }
 
     #[test]
@@ -341,6 +409,9 @@ mod tests {
         assert!(trace.contains("\"process_name\""));
         assert!(trace.contains("\"name\":\"stage-in\""));
         assert!(trace.contains("\"name\":\"engine\""));
+        assert!(trace.contains("\"name\":\"stage-out\""));
+        assert!(trace.contains("\"cat\":\"stage_out\""));
+        assert!(trace.contains("\"pure_compute\""));
         assert!(trace.contains("\"ph\":\"X\""));
         assert!(trace.contains("\"ph\":\"C\""));
         assert!(trace.contains("\"name\":\"engine_counters\""));

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Summarize Criterion results as machine-readable JSON.
+
+Walks ``target/criterion`` for ``new/estimates.json`` files (one per
+benchmark) and writes a flat ``{bench_id: median_ns}`` mapping, so CI can
+archive per-commit performance numbers as a build artifact and downstream
+tooling can diff them without parsing Criterion's directory layout.
+
+Usage:
+    python3 scripts/bench-summary.py [criterion_dir] [output.json]
+
+Defaults: ``target/criterion`` and ``BENCH_engine.json``.
+Exits non-zero when no estimates are found (a sampling run must have
+happened first, e.g. ``cargo bench -p wfbb-bench --bench engine``).
+"""
+
+import json
+import os
+import sys
+
+
+def collect(criterion_dir):
+    """Map benchmark id -> median point estimate in nanoseconds."""
+    medians = {}
+    for root, _dirs, files in os.walk(criterion_dir):
+        if os.path.basename(root) != "new" or "estimates.json" not in files:
+            continue
+        with open(os.path.join(root, "estimates.json")) as fh:
+            estimates = json.load(fh)
+        median = estimates.get("median", {}).get("point_estimate")
+        if median is None:
+            continue
+        # <criterion_dir>/<group>/<bench>/new -> "group/bench"; Criterion
+        # flattens ungrouped benches to <criterion_dir>/<bench>/new.
+        rel = os.path.relpath(os.path.dirname(root), criterion_dir)
+        bench_id = rel.replace(os.sep, "/")
+        medians[bench_id] = median
+    return medians
+
+
+def main():
+    criterion_dir = sys.argv[1] if len(sys.argv) > 1 else "target/criterion"
+    out_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_engine.json"
+    medians = collect(criterion_dir)
+    if not medians:
+        print(f"error: no Criterion estimates under {criterion_dir!r}", file=sys.stderr)
+        return 1
+    summary = {
+        "schema": "wfbb-bench-summary",
+        "version": 1,
+        "unit": "ns",
+        "medians": dict(sorted(medians.items())),
+    }
+    with open(out_path, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {out_path} ({len(medians)} benchmark(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,7 +88,8 @@ fn jsonl_matches_golden_file() {
 
 #[test]
 fn jsonl_lines_all_parse_and_cover_schema() {
-    let trace = tiny_report(true).jsonl_trace();
+    let report = tiny_report(true);
+    let trace = report.jsonl_trace();
     let mut types = std::collections::BTreeSet::new();
     for (i, line) in trace.lines().enumerate() {
         let v: Value = serde_json::from_str(line)
@@ -99,10 +100,11 @@ fn jsonl_lines_all_parse_and_cover_schema() {
             .unwrap_or_else(|| panic!("line {} lacks a type tag", i + 1));
         types.insert(ty.to_string());
     }
-    // The full schema-1 vocabulary appears in a telemetry-on run.
+    // The full schema-2 vocabulary appears in a telemetry-on run.
     for expected in [
         "header",
         "stage",
+        "stage_out",
         "task",
         "resource",
         "resource_sample",
@@ -111,6 +113,12 @@ fn jsonl_lines_all_parse_and_cover_schema() {
     ] {
         assert!(types.contains(expected), "no {expected:?} line in trace");
     }
+    // Contention lines mirror the report's blamed-resource table exactly.
+    assert_eq!(
+        types.contains("contention"),
+        !report.contention.is_empty(),
+        "contention lines must appear iff resources accrued blame"
+    );
     // Header declares the documented schema version.
     let header: Value = serde_json::from_str(trace.lines().next().unwrap()).unwrap();
     assert_eq!(
@@ -143,8 +151,8 @@ fn perfetto_trace_is_well_formed() {
         let ph = e.get("ph").and_then(Value::as_str).expect("ph field");
         let pid = e.get("pid").and_then(Value::as_u64).expect("pid field");
         // pid scheme: 0..nodes-1 compute nodes, nodes = stage-in,
-        // nodes + 1 = engine counters.
-        assert!(pid <= nodes + 1, "pid {pid} outside the documented scheme");
+        // nodes + 1 = engine counters, nodes + 2 = stage-out.
+        assert!(pid <= nodes + 2, "pid {pid} outside the documented scheme");
         match ph {
             "M" => {
                 assert!(!seen_non_meta, "metadata events must precede timed events");
@@ -160,14 +168,26 @@ fn perfetto_trace_is_well_formed() {
                     let dur = e.get("dur").and_then(Value::as_f64).expect("dur field");
                     assert!(dur >= 0.0);
                     // Task phases live on compute-node pids with the task
-                    // index as tid; stage spans on the stage-in pid.
+                    // index as tid; stage spans on the stage-in pid;
+                    // output-write spans on the stage-out pid.
                     let cat = e.get("cat").and_then(Value::as_str).unwrap_or("");
                     if cat == "stage" {
                         assert_eq!(pid, nodes);
+                    } else if cat == "stage_out" {
+                        assert_eq!(pid, nodes + 2);
                     } else {
                         assert!(pid < nodes);
                         let tid = e.get("tid").and_then(Value::as_u64).expect("tid");
                         assert!((tid as usize) < report.tasks.len());
+                        // Schema v2: every task phase event carries the
+                        // task's makespan-decomposition attribution args.
+                        let args = e.get("args").expect("task phase args");
+                        for key in ["pure_compute", "serialized_io", "contention_wait"] {
+                            assert!(
+                                args.get(key).and_then(Value::as_f64).is_some(),
+                                "task phase event lacks {key:?} arg"
+                            );
+                        }
                     }
                 }
                 if ph == "C" {
@@ -278,4 +298,28 @@ fn stage_spans_tile_the_stage_in_phase() {
         (last.end.seconds() - report.stage_in_time).abs() < 1e-9,
         "the last span closes the stage-in phase"
     );
+}
+
+#[test]
+fn output_spans_cover_every_task_write() {
+    let report = tiny_report(false);
+    // Each of the three tasks writes exactly one output file.
+    assert_eq!(report.output_spans.len(), 3);
+    for s in &report.output_spans {
+        assert!(s.end > s.start, "output writes take time");
+        assert!(
+            s.location.starts_with("bb:"),
+            "AllBb places outputs on the BB"
+        );
+        assert!(
+            s.end.seconds() <= report.makespan.seconds() + 1e-9,
+            "writes finish inside the run"
+        );
+    }
+    // Spans are recorded in completion order.
+    let mut prev = 0.0;
+    for s in &report.output_spans {
+        assert!(s.end.seconds() >= prev, "spans sorted by completion");
+        prev = s.end.seconds();
+    }
 }

@@ -13,6 +13,13 @@
 //! benchmark body exactly once (the CI smoke mode), a positional argument
 //! filters benchmarks by substring, and other flags (e.g. `--bench`, which
 //! cargo always passes) are ignored.
+//!
+//! Measured runs also persist each benchmark's median to
+//! `<target>/criterion/<group>/<bench>/new/estimates.json` in (a subset of)
+//! real criterion's on-disk layout, so tooling like
+//! `scripts/bench-summary.py` works unchanged against either harness. The
+//! output root honours `CRITERION_HOME`, then `CARGO_TARGET_DIR`, then the
+//! `target` directory containing the bench executable.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -134,14 +141,17 @@ impl BenchmarkGroup<'_> {
         routine(&mut bencher, input);
         match bencher.report {
             _ if bencher.test_mode => println!("{full_name}: ok (test mode)"),
-            Some(report) => println!(
-                "{full_name}  time: [{} {} {}] ({} samples x {} iters)",
-                format_time(report.min),
-                format_time(report.median),
-                format_time(report.max),
-                bencher.sample_size,
-                report.iters_per_sample,
-            ),
+            Some(report) => {
+                println!(
+                    "{full_name}  time: [{} {} {}] ({} samples x {} iters)",
+                    format_time(report.min),
+                    format_time(report.median),
+                    format_time(report.max),
+                    bencher.sample_size,
+                    report.iters_per_sample,
+                );
+                save_estimates(&self.name, &id.parameter, &report);
+            }
             None => println!("{full_name}: no measurement (Bencher::iter not called)"),
         }
     }
@@ -164,6 +174,45 @@ struct Report {
     median: Duration,
     max: Duration,
     iters_per_sample: u64,
+}
+
+/// The root of the criterion output tree: `CRITERION_HOME`, else
+/// `$CARGO_TARGET_DIR/criterion`, else the `target` ancestor of the bench
+/// executable (cargo places it under `target/release/deps/`).
+fn criterion_dir() -> Option<std::path::PathBuf> {
+    if let Ok(home) = std::env::var("CRITERION_HOME") {
+        return Some(std::path::PathBuf::from(home));
+    }
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return Some(std::path::PathBuf::from(dir).join("criterion"));
+    }
+    let exe = std::env::current_exe().ok()?;
+    exe.ancestors()
+        .find(|p| p.file_name().is_some_and(|n| n == "target"))
+        .map(|p| p.join("criterion"))
+}
+
+/// Writes `<root>/<group>/<bench>/new/estimates.json` with the median point
+/// estimate in nanoseconds — the slice of real criterion's layout that
+/// summary tooling reads. Benchmark ids may contain `/` (e.g.
+/// `BenchmarkId::new("naive", 250)`), yielding nested directories exactly
+/// as real criterion does. Failures are silent: persistence is best-effort
+/// and must never fail a bench run.
+fn save_estimates(group: &str, bench: &str, report: &Report) {
+    let Some(root) = criterion_dir() else { return };
+    let mut dir = root.join(group);
+    for part in bench.split('/') {
+        dir.push(part);
+    }
+    dir.push("new");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let body = format!(
+        "{{\"median\":{{\"point_estimate\":{:.1}}}}}\n",
+        report.median.as_nanos() as f64
+    );
+    let _ = std::fs::write(dir.join("estimates.json"), body);
 }
 
 /// Times a closure; handed to each benchmark routine.
@@ -260,6 +309,20 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Serializes tests that touch `CRITERION_HOME` (process-global env)
+    /// and keeps their estimate files out of the real `target/criterion`.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_criterion_home<R>(tag: &str, f: impl FnOnce() -> R) -> (std::path::PathBuf, R) {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let home =
+            std::env::temp_dir().join(format!("criterion-stub-{tag}-{}", std::process::id()));
+        std::env::set_var("CRITERION_HOME", &home);
+        let out = f();
+        std::env::remove_var("CRITERION_HOME");
+        (home, out)
+    }
+
     #[test]
     fn test_mode_runs_once() {
         let mut criterion = Criterion {
@@ -277,12 +340,15 @@ mod tests {
 
     #[test]
     fn measurement_produces_ordered_samples() {
-        let mut criterion = Criterion::default().sample_size(3);
-        let mut group = criterion.benchmark_group("g");
-        group.bench_with_input(BenchmarkId::from_parameter("x"), &7u64, |b, &n| {
-            b.iter(|| black_box(n) * 2)
+        let (home, ()) = with_criterion_home("measure", || {
+            let mut criterion = Criterion::default().sample_size(3);
+            let mut group = criterion.benchmark_group("g");
+            group.bench_with_input(BenchmarkId::from_parameter("x"), &7u64, |b, &n| {
+                b.iter(|| black_box(n) * 2)
+            });
+            group.finish();
         });
-        group.finish();
+        std::fs::remove_dir_all(&home).ok();
     }
 
     #[test]
@@ -298,6 +364,23 @@ mod tests {
         });
         group.finish();
         assert_eq!(runs, 0);
+    }
+
+    #[test]
+    fn measured_runs_persist_estimates() {
+        let (home, ()) = with_criterion_home("persist", || {
+            let mut criterion = Criterion::default().sample_size(2);
+            let mut group = criterion.benchmark_group("persist");
+            group.bench_with_input(BenchmarkId::new("case", 7), &3u64, |b, &n| {
+                b.iter(|| black_box(n) + 1)
+            });
+            group.finish();
+        });
+        let path = home.join("persist/case/7/new/estimates.json");
+        let body = std::fs::read_to_string(&path).expect("estimates written");
+        assert!(body.contains("\"median\""));
+        assert!(body.contains("point_estimate"));
+        std::fs::remove_dir_all(&home).ok();
     }
 
     #[test]
