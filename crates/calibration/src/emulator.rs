@@ -331,6 +331,15 @@ mod tests {
     }
 
     #[test]
+    fn documented_default_penalties_match_experiments_md() {
+        // EXPERIMENTS.md's Figure 4 row cites these constants by value;
+        // changing a default here must update the document too.
+        let c = EmulatorConfig::default();
+        assert_eq!(c.private_penalty, 1.2);
+        assert_eq!(c.striped_anomaly_slowdown, 2.5);
+    }
+
+    #[test]
     fn staged_fraction_tracks_policy() {
         let wf = small_workflow();
         assert_eq!(

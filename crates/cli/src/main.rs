@@ -21,6 +21,14 @@
 //! JSON. `--chrome <path>` is a deprecated alias for
 //! `--trace-out <path> --trace-format perfetto` kept for compatibility
 //! (it writes the task-phase-only Chrome trace without telemetry).
+//!
+//! `--faults <spec|file>` injects deterministic faults (BB node
+//! failures, tier degradations, task kills) using the grammar of
+//! `docs/failure-model.md`; when the argument names an existing file,
+//! the spec is read from it (one event per line, `#` comments).
+//! `--failover pfs|bb` selects where accesses re-route when a BB
+//! namespace dies, and `--retries <n>` caps re-execution attempts per
+//! killed task.
 
 mod args;
 
@@ -33,6 +41,7 @@ usage:
                 [--nodes <n>] [--scheduler affinity|least-loaded|round-robin]
                 [--gantt <width>] [--explain <k>] [--explain-json <path>]
                 [--trace-out <path> [--trace-format perfetto|jsonl]]
+                [--faults <spec|file>] [--failover pfs|bb] [--retries <n>]
   wfbb generate --workflow <spec> --out <file.json>
   wfbb inspect  --workflow <spec> [--dot <file.dot>]
 
@@ -50,7 +59,17 @@ observability (see docs/trace-format.md):
                  telemetry) to <path>; enables engine telemetry sampling
   --trace-format perfetto (default; load in ui.perfetto.dev) | jsonl
   --chrome       deprecated: task-phase-only Chrome trace to <path>; prefer
-                 --trace-out";
+                 --trace-out
+
+fault injection (see docs/failure-model.md):
+  --faults       comma/newline-separated events, or a path to a spec file:
+                 bb:<i>@<t> (kill BB node i at t s), bb:<i>@<t>*<f> and
+                 pfs@<t>*<f> (degrade to fraction f of nominal),
+                 task:<name>@<t> (kill a running task),
+                 seed:<s>:<k>@<horizon> (k seeded BB failures before t)
+  --failover     pfs (default: dead-BB accesses re-route to the PFS) | bb
+                 (re-place on surviving BB namespaces when possible)
+  --retries      max execution attempts per task (default 3)";
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -94,6 +113,37 @@ fn simulate(args: &Args) -> Result<(), CliError> {
         // Full traces want the engine's resource series and histograms.
         builder = builder.telemetry(TelemetryConfig::enabled());
     }
+    if let Some(spec) = args.get("faults") {
+        let text = if std::path::Path::new(spec).is_file() {
+            std::fs::read_to_string(spec)
+                .map_err(|e| CliError(format!("cannot read fault spec {spec:?}: {e}")))?
+        } else {
+            spec.to_string()
+        };
+        let spec = wfbb_wms::FaultSpec::parse(&text).map_err(|e| CliError(e.to_string()))?;
+        builder = builder.faults(spec);
+    }
+    if let Some(policy) = args.get("failover") {
+        let policy = match policy {
+            "pfs" => wfbb_storage::FailoverPolicy::RerouteToPfs,
+            "bb" => wfbb_storage::FailoverPolicy::SurvivingBb,
+            other => {
+                return Err(CliError(format!(
+                    "unrecognized failover policy {other:?} (expected pfs or bb)"
+                )))
+            }
+        };
+        builder = builder.failover(policy);
+    }
+    if let Some(n) = args.get("retries") {
+        let max_attempts: u32 = n
+            .parse()
+            .map_err(|_| CliError("bad --retries value".into()))?;
+        builder = builder.retry_policy(wfbb_wms::RetryPolicy {
+            max_attempts,
+            ..Default::default()
+        });
+    }
     let report = builder
         .run()
         .map_err(|e| CliError(format!("simulation failed: {e}")))?;
@@ -108,6 +158,19 @@ fn simulate(args: &Args) -> Result<(), CliError> {
         report.spilled_files
     );
     println!("PFS traffic: {:.2} GB", report.pfs_bytes / 1e9);
+    if !report.faults.is_empty() {
+        println!(
+            "faults     : {} event(s), {} retried execution(s), {:.3} s fault wait, \
+             {:.2} MB lost in flight",
+            report.faults.len(),
+            report.retries,
+            report.fault_wait_total,
+            report.fault_lost_bytes / 1e6,
+        );
+        for f in &report.faults {
+            println!("  t={:>10.3} s  {}", f.time, f.description);
+        }
+    }
     for (category, stats) in report.by_category() {
         println!(
             "  {:<20} {:>4} task(s)  mean {:>9.3} s  (I/O {:.3} s, compute {:.3} s)",
@@ -343,6 +406,77 @@ mod tests {
         // the report names a BB resource among the hotspots.
         assert!(body.contains("/bb"), "expected a BB hotspot in {body}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn faults_inline_spec_simulates_with_failover() {
+        run(&rawv(&[
+            "simulate",
+            "--workflow",
+            "swarp:2:8",
+            "--platform",
+            "cori:striped",
+            "--placement",
+            "allbb",
+            "--faults",
+            "bb:0@2",
+            "--failover",
+            "pfs",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn faults_spec_file_is_read_and_applied() {
+        let dir = std::env::temp_dir().join("wfbb-cli-faults-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faults.txt");
+        std::fs::write(
+            &path,
+            "# kill one BB node early, degrade the PFS\nbb:0@2\npfs@5*0.5\n",
+        )
+        .unwrap();
+        run(&rawv(&[
+            "simulate",
+            "--workflow",
+            "swarp:1:8",
+            "--platform",
+            "cori:striped",
+            "--placement",
+            "allbb",
+            "--faults",
+            path.to_str().unwrap(),
+            "--retries",
+            "5",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_fault_spec_and_failover_are_rejected() {
+        let err = run(&rawv(&[
+            "simulate",
+            "--workflow",
+            "swarp:1",
+            "--platform",
+            "summit",
+            "--faults",
+            "bb:zero@nope",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("fault spec"), "{err}");
+        let err = run(&rawv(&[
+            "simulate",
+            "--workflow",
+            "swarp:1",
+            "--platform",
+            "summit",
+            "--failover",
+            "tape",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("failover"), "{err}");
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod fig14;
 pub mod heuristics;
 pub mod optimality;
 pub mod refit;
+pub mod resilience;
 pub mod scaling;
 pub mod table1;
 
@@ -23,7 +24,7 @@ use crate::table::Table;
 
 /// Known experiment names: the paper's tables/figures in order, then the
 /// extension experiments (placement heuristics, model ablation).
-pub const NAMES: [&str; 18] = [
+pub const NAMES: [&str; 19] = [
     "table1",
     "fig04",
     "fig05",
@@ -42,6 +43,7 @@ pub const NAMES: [&str; 18] = [
     "optimality",
     "refit",
     "bbnodes",
+    "resilience",
 ];
 
 /// Resolves an experiment name to its runner.
@@ -65,6 +67,7 @@ pub fn by_name(name: &str) -> Option<fn() -> Vec<Table>> {
         "optimality" => Some(optimality::run),
         "refit" => Some(refit::run),
         "bbnodes" => Some(bbnodes::run),
+        "resilience" => Some(resilience::run),
         _ => None,
     }
 }

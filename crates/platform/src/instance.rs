@@ -217,6 +217,31 @@ impl PlatformInstance {
             _ => 0,
         }
     }
+
+    /// Number of BB devices of any architecture (shared BB nodes, on-node
+    /// devices, or 0 without a BB).
+    pub fn bb_devices(&self) -> usize {
+        match &self.bb {
+            BbInstance::Shared { disks, .. } | BbInstance::OnNode { disks, .. } => disks.len(),
+            BbInstance::None => 0,
+        }
+    }
+
+    /// Every simulation resource belonging to BB device `idx` — the
+    /// resources a node-loss fault zeroes: link + disk (+ the per-node
+    /// metadata service on shared BBs).
+    ///
+    /// # Panics
+    /// Panics if the platform has no BB or `idx` is out of range.
+    pub fn bb_device_resources(&self, idx: usize) -> Vec<ResourceId> {
+        match &self.bb {
+            BbInstance::Shared {
+                links, disks, meta, ..
+            } => vec![links[idx], disks[idx], meta[idx]],
+            BbInstance::OnNode { links, disks } => vec![links[idx], disks[idx]],
+            BbInstance::None => panic!("platform {} has no burst buffer", self.spec.name),
+        }
+    }
 }
 
 #[cfg(test)]

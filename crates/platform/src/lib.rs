@@ -20,6 +20,8 @@
 //! The [`presets`] module provides the calibrated Cori and Summit
 //! descriptions of the paper's Table I.
 
+#![deny(missing_docs)]
+
 pub mod instance;
 pub mod latency;
 pub mod presets;

@@ -42,6 +42,7 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use crate::activity::{ActivityKind, FlowSpec};
 use crate::fairshare::{self, Binding, WeightedReq};
+use crate::fault::{CapacityFault, FaultPlan};
 use crate::ids::{ActivityId, ResourceId};
 use crate::resource::Resource;
 use crate::stats::ResourceStats;
@@ -66,6 +67,19 @@ pub struct EngineConfig {
     pub solve_mode: SolveMode,
     /// Sampling instruments; see [`TelemetryConfig`].
     pub telemetry: TelemetryConfig,
+}
+
+/// What [`Engine::cancel_activity`] removed: the activity's tag plus how
+/// much of its work had been done at the cancellation instant.
+#[derive(Debug)]
+pub struct Cancelled<T> {
+    /// The caller-supplied tag of the cancelled activity.
+    pub tag: T,
+    /// Work completed before cancellation (bytes or core-seconds for
+    /// flows; `0.0` for delays).
+    pub work_done: f64,
+    /// Work outstanding at cancellation (seconds left for delays).
+    pub remaining: f64,
 }
 
 /// A completed activity, as returned by [`Engine::step`].
@@ -288,6 +302,10 @@ pub struct Engine<T> {
     contention_index: HashMap<ActivityId, u32>,
     /// Per-resource blame accumulators, parallel to `resources`.
     blame: Vec<ResourceBlame>,
+    /// Scheduled capacity faults, sorted by time; `fault_cursor` points at
+    /// the next unapplied event. Empty unless a fault plan was installed.
+    faults: Vec<CapacityFault>,
+    fault_cursor: usize,
 }
 
 impl<T> Default for Engine<T> {
@@ -339,6 +357,8 @@ impl<T> Engine<T> {
             contention_log: Vec::new(),
             contention_index: HashMap::new(),
             blame: Vec::new(),
+            faults: Vec::new(),
+            fault_cursor: 0,
         }
     }
 
@@ -470,6 +490,157 @@ impl<T> Engine<T> {
     pub fn set_solve_mode(&mut self, mode: SolveMode) {
         self.mode = mode;
         self.dirty = true;
+    }
+
+    /// Installs a deterministic fault schedule. Capacity events are applied
+    /// between simulation events at their scheduled times: the streaming
+    /// set is integrated up to the fault instant, the capacity changes, and
+    /// the next solve recomputes the allocation — a fault is just another
+    /// solver epoch. Installing an empty plan is a no-op and leaves the
+    /// engine's behavior bitwise identical to never installing one.
+    ///
+    /// Replaces any previously installed plan; events already applied are
+    /// not rolled back.
+    ///
+    /// # Panics
+    /// Panics if an event references an unknown resource.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        let events = plan.sorted_events();
+        for ev in &events {
+            assert!(
+                ev.resource.index() < self.resources.len(),
+                "fault plan references unknown resource {}",
+                ev.resource
+            );
+        }
+        self.faults = events;
+        self.fault_cursor = 0;
+    }
+
+    /// Time of the next unapplied capacity fault (`INFINITY` if none).
+    fn next_fault_time(&self) -> f64 {
+        self.faults
+            .get(self.fault_cursor)
+            .map_or(f64::INFINITY, |f| f.time)
+    }
+
+    /// Applies every scheduled fault due at or before the current time.
+    fn apply_due_faults(&mut self) {
+        let now = self.now.seconds();
+        while let Some(&CapacityFault {
+            time,
+            resource,
+            capacity,
+        }) = self.faults.get(self.fault_cursor)
+        {
+            if time > now {
+                break;
+            }
+            self.fault_cursor += 1;
+            self.set_capacity_now(resource, capacity);
+        }
+    }
+
+    /// Changes a resource's capacity at the current simulated time. The
+    /// streaming set is integrated up to now first (flows keep their old
+    /// rates until this instant), every active flow's uncontended baseline
+    /// is re-derived, and the next solve redistributes bandwidth.
+    ///
+    /// Setting a capacity to zero freezes flows crossing the resource at
+    /// rate zero; they stay active (and can stall the engine) until
+    /// cancelled with [`Engine::cancel_activity`] or the capacity is
+    /// restored by a later change.
+    pub fn set_capacity_now(&mut self, resource: ResourceId, capacity: f64) {
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "capacity must be finite and non-negative, got {capacity}"
+        );
+        assert!(
+            resource.index() < self.resources.len(),
+            "unknown resource {resource}"
+        );
+        self.integrate(self.now.seconds());
+        self.resources[resource.index()].capacity = capacity;
+        self.capacities[resource.index()] = capacity;
+        // Uncontended baselines were computed against the old capacities;
+        // re-derive them so contention attribution measures the gap to
+        // what the *degraded* platform could deliver.
+        let slots: Vec<u32> = self
+            .active
+            .values()
+            .filter_map(|a| match a.kind {
+                ActivityKind::Flow { slot } => Some(slot),
+                ActivityKind::Delay { .. } => None,
+            })
+            .collect();
+        for slot in slots {
+            let f = &mut self.flows[slot as usize];
+            if f.route.contains(&resource) {
+                f.uncontended = f
+                    .route
+                    .iter()
+                    .fold(f.rate_cap.unwrap_or(f64::INFINITY), |acc, r| {
+                        acc.min(self.capacities[r.index()])
+                    });
+            }
+        }
+        self.dirty = true;
+    }
+
+    /// Cancels an active activity, removing it without delivering a
+    /// completion or sealing a [`ContentionRecord`]. Returns the tag and
+    /// the work done/remaining at the cancellation instant, or `None` if
+    /// the activity already completed (including completions queued but
+    /// not yet returned by [`Engine::try_step`]).
+    pub fn cancel_activity(&mut self, id: ActivityId) -> Option<Cancelled<T>> {
+        // Catch up integration first so a streaming flow's `remaining`
+        // reflects the current instant.
+        self.integrate(self.now.seconds());
+        let act = self.active.remove(&id)?;
+        self.record(id, TraceEventKind::End, act.label.as_deref());
+        match act.kind {
+            ActivityKind::Delay { end } => Some(Cancelled {
+                tag: act.tag,
+                work_done: 0.0,
+                remaining: (end.seconds() - self.now.seconds()).max(0.0),
+            }),
+            ActivityKind::Flow { slot } => {
+                let f = &self.flows[slot as usize];
+                let work_done = f.amount - f.remaining;
+                let remaining = f.remaining;
+                if f.stream_pos == LATENT {
+                    // Never streamed: the slot was not in the streaming set,
+                    // so rates are unaffected.
+                    self.free_slots.push(slot);
+                } else {
+                    self.release_flow(slot);
+                }
+                // Stale heap entries (latency expiry, flow-end candidate)
+                // are discarded lazily: the id is no longer active.
+                Some(Cancelled {
+                    tag: act.tag,
+                    work_done,
+                    remaining,
+                })
+            }
+        }
+    }
+
+    /// Ids of all active flows whose route crosses `resource` (streaming
+    /// or still latent), in id order. Used by recovery logic to find the
+    /// victims of a dead resource.
+    pub fn flows_through(&self, resource: ResourceId) -> Vec<ActivityId> {
+        self.active
+            .iter()
+            .filter_map(|(id, act)| match act.kind {
+                ActivityKind::Flow { slot }
+                    if self.flows[slot as usize].route.contains(&resource) =>
+                {
+                    Some(*id)
+                }
+                _ => None,
+            })
+            .collect()
     }
 
     fn fresh_id(&mut self) -> ActivityId {
@@ -1121,6 +1292,17 @@ impl<T> Engine<T> {
                     t
                 }
             };
+            // A scheduled capacity fault due before the next event is
+            // itself the next event: advance there, apply it, and re-solve.
+            // A pending fault also rescues an otherwise-stalled engine (a
+            // later capacity restoration may unfreeze zero-rate flows).
+            let fault_t = self.next_fault_time();
+            if fault_t.is_finite() && fault_t <= t_next {
+                let t = fault_t.max(self.now.seconds());
+                self.now = SimTime::from_seconds(t);
+                self.apply_due_faults();
+                continue;
+            }
             if !t_next.is_finite() {
                 return Err(EngineError::Stalled {
                     time: self.now,
@@ -1780,6 +1962,170 @@ mod tests {
             );
             assert_eq!(n.interval().is_some(), i.interval().is_some());
         }
+    }
+
+    #[test]
+    fn capacity_fault_slows_flow_mid_transfer() {
+        // 1000 B over a 100 B/s link; at t=5 the link halves to 50 B/s.
+        // 500 B done at t=5, 500 B left at 50 B/s -> ends at t=15.
+        for mode in [SolveMode::Naive, SolveMode::Incremental] {
+            let mut e: Engine<&str> = Engine::new();
+            e.set_solve_mode(mode);
+            let link = e.add_resource("link", 100.0);
+            let mut plan = FaultPlan::new();
+            plan.push_capacity(5.0, link, 50.0);
+            e.set_fault_plan(&plan);
+            e.spawn_flow(FlowSpec::new(1000.0, vec![link]), "f");
+            let c = e.step().unwrap();
+            assert!(
+                c.time.approx_eq(SimTime::from_seconds(15.0), 1e-9),
+                "{mode:?}: finished at {}",
+                c.time
+            );
+            assert_eq!(e.resource(link).capacity, 50.0);
+        }
+    }
+
+    #[test]
+    fn capacity_restoration_unstalls_a_dead_resource() {
+        // The link dies at t=1 and revives at t=3: 100 B at 100 B/s for
+        // 1 s, frozen for 2 s, then 0 B left?  No: 100 B done at t=1 of
+        // 300 B; frozen until t=3; 200 B at 100 B/s -> t=5.
+        let mut e: Engine<&str> = Engine::new();
+        let link = e.add_resource("link", 100.0);
+        let mut plan = FaultPlan::new();
+        plan.push_capacity(1.0, link, 0.0);
+        plan.push_capacity(3.0, link, 100.0);
+        e.set_fault_plan(&plan);
+        e.spawn_flow(FlowSpec::new(300.0, vec![link]), "f");
+        let c = e.step().unwrap();
+        assert!(
+            c.time.approx_eq(SimTime::from_seconds(5.0), 1e-9),
+            "finished at {}",
+            c.time
+        );
+    }
+
+    #[test]
+    fn dead_resource_with_no_other_events_stalls() {
+        let mut e: Engine<&str> = Engine::new();
+        let link = e.add_resource("link", 100.0);
+        let mut plan = FaultPlan::new();
+        plan.push_capacity(1.0, link, 0.0);
+        e.set_fault_plan(&plan);
+        e.spawn_flow(FlowSpec::new(300.0, vec![link]), "f");
+        assert!(matches!(
+            e.try_step(),
+            Err(EngineError::Stalled { active: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn cancel_activity_returns_work_done_and_frees_bandwidth() {
+        let mut e: Engine<&str> = Engine::new();
+        let link = e.add_resource("link", 100.0);
+        let victim = e.spawn_flow(FlowSpec::new(400.0, vec![link]), "victim");
+        e.spawn_flow(FlowSpec::new(400.0, vec![link]), "other");
+        e.spawn_delay(2.0, "timer");
+        let c = e.step().unwrap();
+        assert_eq!(c.tag, "timer");
+        // At t=2 each flow has moved 100 B (50 B/s shared).
+        let cancelled = e.cancel_activity(victim).expect("victim is active");
+        assert_eq!(cancelled.tag, "victim");
+        assert!((cancelled.work_done - 100.0).abs() < 1e-9);
+        assert!((cancelled.remaining - 300.0).abs() < 1e-9);
+        // "other" now runs alone at 100 B/s: 300 B left -> t=5.
+        let c = e.step().unwrap();
+        assert_eq!(c.tag, "other");
+        assert!(c.time.approx_eq(SimTime::from_seconds(5.0), 1e-9));
+        // Cancelled flows leave no contention record.
+        assert!(e.flow_contention(victim).is_none());
+        // Cancelling again (or a completed activity) yields None.
+        assert!(e.cancel_activity(victim).is_none());
+    }
+
+    #[test]
+    fn cancel_latent_flow_and_delay() {
+        let mut e: Engine<&str> = Engine::new();
+        let link = e.add_resource("link", 100.0);
+        let latent = e.spawn_flow(
+            FlowSpec::new(100.0, vec![link]).with_latency(10.0),
+            "latent",
+        );
+        let delay = e.spawn_delay(7.0, "delay");
+        let l = e.cancel_activity(latent).unwrap();
+        assert_eq!(l.work_done, 0.0);
+        let d = e.cancel_activity(delay).unwrap();
+        assert!((d.remaining - 7.0).abs() < 1e-9);
+        assert!(e.step().is_none(), "nothing left after cancellations");
+    }
+
+    #[test]
+    fn flows_through_finds_victims_by_route() {
+        let mut e: Engine<u8> = Engine::new();
+        let a = e.add_resource("a", 100.0);
+        let b = e.add_resource("b", 100.0);
+        let f1 = e.spawn_flow(FlowSpec::new(100.0, vec![a]), 1);
+        let f2 = e.spawn_flow(FlowSpec::new(100.0, vec![a, b]), 2);
+        let _f3 = e.spawn_flow(FlowSpec::new(100.0, vec![b]).with_latency(5.0), 3);
+        let through_a = e.flows_through(a);
+        assert_eq!(through_a, vec![f1, f2]);
+        assert_eq!(e.flows_through(b).len(), 2, "latent flows count too");
+    }
+
+    #[test]
+    fn fault_modes_agree() {
+        let run = |mode: SolveMode| {
+            let mut e: Engine<usize> = Engine::new();
+            e.set_solve_mode(mode);
+            let link = e.add_resource("link", 200.0);
+            let disk = e.add_resource("disk", 100.0);
+            let mut plan = FaultPlan::new();
+            plan.push_capacity(1.5, disk, 40.0);
+            plan.push_capacity(4.0, link, 120.0);
+            e.set_fault_plan(&plan);
+            for i in 0..6 {
+                e.spawn_flow(
+                    FlowSpec::new(60.0 + 20.0 * i as f64, vec![link, disk])
+                        .with_latency(0.1 * i as f64),
+                    i,
+                );
+            }
+            e.spawn_delay(2.0, 100);
+            e.run_to_completion()
+                .iter()
+                .map(|c| (c.id, c.time.seconds()))
+                .collect::<Vec<_>>()
+        };
+        let naive = run(SolveMode::Naive);
+        let incremental = run(SolveMode::Incremental);
+        assert_eq!(naive.len(), incremental.len());
+        for (n, i) in naive.iter().zip(&incremental) {
+            assert_eq!(n.0, i.0);
+            assert!((n.1 - i.1).abs() <= 1e-9 * n.1.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let run = |install: bool| {
+            let mut e: Engine<usize> = Engine::new();
+            let link = e.add_resource("link", 250.0);
+            if install {
+                e.set_fault_plan(&FaultPlan::new());
+            }
+            for i in 0..8 {
+                e.spawn_flow(
+                    FlowSpec::new(40.0 + 7.0 * i as f64, vec![link]).with_latency(0.03 * i as f64),
+                    i,
+                );
+            }
+            e.run_to_completion()
+                .iter()
+                .map(|c| (c.id, c.time.seconds().to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true), "empty plan must be bitwise inert");
     }
 
     mod properties {

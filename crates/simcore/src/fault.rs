@@ -1,0 +1,205 @@
+//! Deterministic fault schedules.
+//!
+//! A [`FaultPlan`] lists *capacity faults* — absolute-time changes to a
+//! resource's capacity (a degradation when the new capacity is positive, a
+//! death when it is zero) — that the engine applies between events exactly
+//! like any other rate change: the streaming set is integrated up to the
+//! fault instant, the capacity mirror is updated, and the dirty-set
+//! re-solve recomputes the allocation. A mid-run degradation is therefore
+//! just another solver epoch; determinism is untouched because fault times
+//! are part of the plan, never sampled during execution.
+//!
+//! Plans are either explicit (every event listed) or seeded: the
+//! [`seeded_failures`] helper expands a `(seed, count, horizon)` triple
+//! into concrete `(time, device)` pairs with a self-contained SplitMix64
+//! generator, so the same seed yields the same schedule on every platform
+//! and build.
+//!
+//! Task-kill events live one layer up (the WMS knows what a task is; the
+//! engine does not) — see `wfbb-wms`'s fault module. The engine-level plan
+//! carries only capacity events.
+
+use crate::ids::ResourceId;
+
+/// One scheduled capacity change: at `time`, `resource`'s capacity becomes
+/// `capacity` (zero kills the resource; flows crossing it freeze at rate
+/// zero until cancelled or the capacity is restored).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityFault {
+    /// Absolute simulated time of the change, seconds.
+    pub time: f64,
+    /// The resource whose capacity changes.
+    pub resource: ResourceId,
+    /// The new absolute capacity (same unit as the resource).
+    pub capacity: f64,
+}
+
+/// A deterministic schedule of capacity faults, applied by
+/// [`crate::Engine::set_fault_plan`].
+///
+/// An empty plan is inert: installing it leaves the engine's behavior
+/// bitwise identical to never having called `set_fault_plan` at all (the
+/// empty-plan equivalence property pinned in `wfbb-wms`'s tests).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<CapacityFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan schedules no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled capacity events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Schedules a capacity change. `time` must be finite and
+    /// non-negative; `capacity` must be finite and non-negative.
+    pub fn push_capacity(&mut self, time: f64, resource: ResourceId, capacity: f64) -> &mut Self {
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "fault time must be finite and non-negative, got {time}"
+        );
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "fault capacity must be finite and non-negative, got {capacity}"
+        );
+        self.events.push(CapacityFault {
+            time,
+            resource,
+            capacity,
+        });
+        self
+    }
+
+    /// The scheduled events sorted by time (ties by resource index), the
+    /// order the engine applies them in.
+    pub fn sorted_events(&self) -> Vec<CapacityFault> {
+        let mut evs = self.events.clone();
+        evs.sort_by(|a, b| {
+            a.time
+                .total_cmp(&b.time)
+                .then_with(|| a.resource.index().cmp(&b.resource.index()))
+        });
+        evs
+    }
+}
+
+/// SplitMix64: a tiny, well-mixed deterministic generator (public-domain
+/// constants from Steele et al.), used so seeded schedules need no
+/// external RNG crate and never drift across platforms.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `(0, 1)` (never exactly 0 or 1).
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64 * (1.0 - 2.0 * f64::EPSILON)
+        + f64::EPSILON
+}
+
+/// Expands a seeded failure spec into concrete `(time, device)` pairs:
+/// `count` failures of distinct devices (clamped to `devices`), at times
+/// uniform in `(0, horizon)`, sorted by time.
+///
+/// Fully deterministic: the same `(seed, count, horizon, devices)` always
+/// yields the same schedule.
+pub fn seeded_failures(seed: u64, count: usize, horizon: f64, devices: usize) -> Vec<(f64, usize)> {
+    assert!(
+        horizon.is_finite() && horizon > 0.0,
+        "fault horizon must be finite and positive, got {horizon}"
+    );
+    let mut state = seed ^ 0x5dee_ce66_d1ce_4e5b;
+    // Fisher–Yates over the device indices, then take the first `k`.
+    let mut order: Vec<usize> = (0..devices).collect();
+    for i in (1..order.len()).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let k = count.min(devices);
+    let mut out: Vec<(f64, usize)> = order
+        .into_iter()
+        .take(k)
+        .map(|d| (unit(&mut state) * horizon, d))
+        .collect();
+    out.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert!(plan.sorted_events().is_empty());
+    }
+
+    #[test]
+    fn events_sort_by_time_then_resource() {
+        let mut plan = FaultPlan::new();
+        let r0 = ResourceId::from_index(0);
+        let r1 = ResourceId::from_index(1);
+        plan.push_capacity(5.0, r1, 0.0);
+        plan.push_capacity(2.0, r0, 10.0);
+        plan.push_capacity(5.0, r0, 1.0);
+        let evs = plan.sorted_events();
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].time, 2.0);
+        assert_eq!(evs[1].resource, r0);
+        assert_eq!(evs[2].resource, r1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault time")]
+    fn negative_time_is_rejected() {
+        FaultPlan::new().push_capacity(-1.0, ResourceId::from_index(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault capacity")]
+    fn nan_capacity_is_rejected() {
+        FaultPlan::new().push_capacity(1.0, ResourceId::from_index(0), f64::NAN);
+    }
+
+    #[test]
+    fn seeded_failures_are_deterministic_and_sorted() {
+        let a = seeded_failures(42, 3, 100.0, 8);
+        let b = seeded_failures(42, 3, 100.0, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        for w in a.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        for &(t, d) in &a {
+            assert!(t > 0.0 && t < 100.0);
+            assert!(d < 8);
+        }
+        // Distinct devices.
+        let set: std::collections::HashSet<usize> = a.iter().map(|&(_, d)| d).collect();
+        assert_eq!(set.len(), 3);
+        // Different seeds give different schedules.
+        assert_ne!(a, seeded_failures(43, 3, 100.0, 8));
+    }
+
+    #[test]
+    fn seeded_failures_clamp_to_device_count() {
+        let evs = seeded_failures(7, 10, 50.0, 2);
+        assert_eq!(evs.len(), 2);
+    }
+}

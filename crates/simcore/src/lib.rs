@@ -48,6 +48,7 @@
 pub mod activity;
 pub mod engine;
 pub mod fairshare;
+pub mod fault;
 pub mod ids;
 pub mod resource;
 pub mod stats;
@@ -56,8 +57,9 @@ pub mod time;
 pub mod trace;
 
 pub use activity::FlowSpec;
-pub use engine::{Completion, Engine, EngineConfig, EngineError, SolveMode};
+pub use engine::{Cancelled, Completion, Engine, EngineConfig, EngineError, SolveMode};
 pub use fairshare::Binding;
+pub use fault::{seeded_failures, CapacityFault, FaultPlan};
 pub use ids::{ActivityId, ResourceId};
 pub use resource::Resource;
 pub use stats::ResourceStats;

@@ -23,6 +23,8 @@
 //!    `wfbb_simcore::FlowSpec`s (routes + per-file/per-stripe latencies)
 //!    that the engine prices under contention.
 
+#![deny(missing_docs)]
+
 pub mod heuristics;
 pub mod placement;
 pub mod registry;
@@ -32,5 +34,5 @@ pub mod tier;
 pub use heuristics::{plan_with_budget, BbBudgetHeuristic};
 pub use placement::{PlacementPlan, PlacementPolicy};
 pub use registry::FileRegistry;
-pub use system::StorageSystem;
+pub use system::{FailoverPolicy, StorageSystem};
 pub use tier::{Location, StorageKind, Tier};

@@ -40,17 +40,81 @@ impl AccessPlan {
     }
 }
 
+/// How the storage system re-places data that would land on a dead BB
+/// device (see `docs/failure-model.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailoverPolicy {
+    /// Any placement that would touch a dead device is re-routed wholly to
+    /// the PFS — the conservative DataWarp-style behavior where a lost
+    /// namespace falls back to the always-available tier.
+    #[default]
+    RerouteToPfs,
+    /// Re-place on the surviving BB devices (private namespaces remap,
+    /// striped allocations narrow to the remaining width); falls back to
+    /// the PFS only when no device survives.
+    SurvivingBb,
+}
+
 /// Storage-access planner for one platform.
 #[derive(Debug, Clone)]
 pub struct StorageSystem {
     /// The underlying platform resources.
     pub platform: PlatformInstance,
+    /// Failover policy applied by [`StorageSystem::locate`] when the
+    /// natural placement touches a dead device.
+    failover: FailoverPolicy,
+    /// Liveness of each BB device (all alive until a fault marks one dead).
+    dead: Vec<bool>,
 }
 
 impl StorageSystem {
-    /// Wraps a platform instance.
+    /// Wraps a platform instance (all BB devices alive, default failover).
     pub fn new(platform: PlatformInstance) -> Self {
-        StorageSystem { platform }
+        let devices = platform.bb_devices();
+        StorageSystem {
+            platform,
+            failover: FailoverPolicy::default(),
+            dead: vec![false; devices],
+        }
+    }
+
+    /// Sets the failover policy consulted by [`StorageSystem::locate`].
+    pub fn set_failover(&mut self, policy: FailoverPolicy) {
+        self.failover = policy;
+    }
+
+    /// The active failover policy.
+    pub fn failover(&self) -> FailoverPolicy {
+        self.failover
+    }
+
+    /// Marks BB device `idx` dead: subsequent placements avoid it per the
+    /// failover policy. Idempotent.
+    pub fn mark_bb_dead(&mut self, idx: usize) {
+        self.dead[idx] = true;
+    }
+
+    /// Whether BB device `idx` has been marked dead.
+    pub fn bb_is_dead(&self, idx: usize) -> bool {
+        self.dead.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Whether any BB device has been marked dead.
+    pub fn any_bb_dead(&self) -> bool {
+        self.dead.iter().any(|&d| d)
+    }
+
+    /// Whether a concrete location touches a dead BB device — data there
+    /// is lost and accesses to it can never complete.
+    pub fn location_is_dead(&self, location: &Location) -> bool {
+        match location {
+            Location::Pfs => false,
+            Location::SharedBb { bb_node } => self.bb_is_dead(*bb_node),
+            Location::StripedBb { stripe_nodes } => {
+                stripe_nodes.iter().any(|&b| self.bb_is_dead(b))
+            }
+            Location::OnNodeBb { node } => self.bb_is_dead(*node),
+        }
     }
 
     /// The storage service the platform's BB tier corresponds to.
@@ -82,7 +146,23 @@ impl StorageSystem {
     /// * On-node: the writing node's local device.
     /// * Platforms without a BB silently degrade `BurstBuffer` to the PFS
     ///   (the PFS-only baseline).
+    ///
+    /// When the natural placement touches a dead BB device the
+    /// [`FailoverPolicy`] decides: re-route to the PFS, or re-place on the
+    /// surviving devices (PFS when none survive).
     pub fn locate(&self, tier: Tier, node: usize, size: f64) -> Location {
+        let natural = self.natural_location(tier, node, size);
+        if !self.location_is_dead(&natural) {
+            return natural;
+        }
+        match self.failover {
+            FailoverPolicy::RerouteToPfs => Location::Pfs,
+            FailoverPolicy::SurvivingBb => self.surviving_location(node, size),
+        }
+    }
+
+    /// The placement ignoring device liveness (the pre-fault geometry).
+    fn natural_location(&self, tier: Tier, node: usize, size: f64) -> Location {
         match tier {
             Tier::Pfs => Location::Pfs,
             Tier::BurstBuffer => match &self.platform.bb {
@@ -109,6 +189,38 @@ impl StorageSystem {
                 BbInstance::OnNode { .. } => Location::OnNodeBb { node },
                 BbInstance::None => Location::Pfs,
             },
+        }
+    }
+
+    /// Re-places a BB allocation on the surviving devices ([`FailoverPolicy::SurvivingBb`]).
+    fn surviving_location(&self, node: usize, size: f64) -> Location {
+        let alive: Vec<usize> = (0..self.dead.len()).filter(|&i| !self.dead[i]).collect();
+        if alive.is_empty() {
+            return Location::Pfs;
+        }
+        match &self.platform.bb {
+            BbInstance::Shared {
+                mode: BbMode::Private,
+                ..
+            } => Location::SharedBb {
+                bb_node: alive[node % alive.len()],
+            },
+            BbInstance::Shared {
+                mode: BbMode::Striped,
+                ..
+            } => {
+                let width = alive.len();
+                let unit = self.platform.spec.stripe_unit;
+                let stripes = ((size / unit).ceil() as usize).clamp(1, width);
+                let start = node % width;
+                Location::StripedBb {
+                    stripe_nodes: (0..stripes).map(|k| alive[(start + k) % width]).collect(),
+                }
+            }
+            BbInstance::OnNode { .. } => Location::OnNodeBb {
+                node: alive[node % alive.len()],
+            },
+            BbInstance::None => Location::Pfs,
         }
     }
 
@@ -532,6 +644,87 @@ mod tests {
                     prop_assert!(!flow.route.is_empty());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn dead_device_reroutes_to_pfs_by_default() {
+        let mut spec = presets::cori(4, BbMode::Private);
+        spec.bb = wfbb_platform::BbArchitecture::Shared {
+            bb_nodes: 2,
+            mode: BbMode::Private,
+        };
+        let (_, mut s) = system(spec);
+        assert_eq!(s.failover(), FailoverPolicy::RerouteToPfs);
+        let before = s.locate(Tier::BurstBuffer, 0, 1e6);
+        assert_eq!(before, Location::SharedBb { bb_node: 0 });
+        s.mark_bb_dead(0);
+        assert!(s.bb_is_dead(0) && s.any_bb_dead());
+        assert!(s.location_is_dead(&before));
+        // Node 0's namespace died: its placements go to the PFS; node 1's
+        // namespace (device 1) is untouched.
+        assert_eq!(s.locate(Tier::BurstBuffer, 0, 1e6), Location::Pfs);
+        assert_eq!(
+            s.locate(Tier::BurstBuffer, 1, 1e6),
+            Location::SharedBb { bb_node: 1 }
+        );
+    }
+
+    #[test]
+    fn surviving_bb_policy_remaps_private_namespaces() {
+        let mut spec = presets::cori(4, BbMode::Private);
+        spec.bb = wfbb_platform::BbArchitecture::Shared {
+            bb_nodes: 2,
+            mode: BbMode::Private,
+        };
+        let (_, mut s) = system(spec);
+        s.set_failover(FailoverPolicy::SurvivingBb);
+        s.mark_bb_dead(0);
+        assert_eq!(
+            s.locate(Tier::BurstBuffer, 0, 1e6),
+            Location::SharedBb { bb_node: 1 },
+            "dead namespace remaps to the survivor"
+        );
+        s.mark_bb_dead(1);
+        assert_eq!(
+            s.locate(Tier::BurstBuffer, 0, 1e6),
+            Location::Pfs,
+            "no survivors: PFS"
+        );
+    }
+
+    #[test]
+    fn surviving_bb_policy_narrows_striped_allocations() {
+        let (_, mut s) = system(presets::cori(1, BbMode::Striped));
+        s.set_failover(FailoverPolicy::SurvivingBb);
+        s.mark_bb_dead(1);
+        match s.locate(Tier::BurstBuffer, 0, 1e12) {
+            Location::StripedBb { stripe_nodes } => {
+                assert_eq!(stripe_nodes.len(), presets::CORI_STRIPE_NODES - 1);
+                assert!(!stripe_nodes.contains(&1), "dead stripe node excluded");
+            }
+            other => panic!("expected striped location, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_striped_location_detected_by_any_stripe() {
+        let (_, mut s) = system(presets::cori(1, BbMode::Striped));
+        let loc = s.locate(Tier::BurstBuffer, 0, 1e12);
+        s.mark_bb_dead(2);
+        assert!(s.location_is_dead(&loc));
+        assert!(!s.location_is_dead(&Location::Pfs));
+    }
+
+    #[test]
+    fn on_node_failover_avoids_the_dead_device() {
+        let (_, mut s) = system(presets::summit(3));
+        s.mark_bb_dead(1);
+        assert_eq!(s.locate(Tier::BurstBuffer, 1, 1e6), Location::Pfs);
+        s.set_failover(FailoverPolicy::SurvivingBb);
+        match s.locate(Tier::BurstBuffer, 1, 1e6) {
+            Location::OnNodeBb { node } => assert_ne!(node, 1),
+            other => panic!("expected on-node location, got {other:?}"),
         }
     }
 

@@ -25,10 +25,11 @@
 
 use wfbb_platform::{PlatformError, PlatformSpec};
 use wfbb_simcore::{Engine, SolveMode, TelemetryConfig};
-use wfbb_storage::{PlacementPlan, PlacementPolicy, StorageSystem};
+use wfbb_storage::{FailoverPolicy, PlacementPlan, PlacementPolicy, StorageSystem};
 use wfbb_workflow::Workflow;
 
 use crate::executor::{Executor, ExecutorError, SchedulerPolicy};
+use crate::fault::{FaultEvent, FaultSpec, RetryPolicy};
 use crate::report::SimulationReport;
 
 /// Errors surfaced by [`SimulationBuilder::run`].
@@ -36,8 +37,11 @@ use crate::report::SimulationReport;
 pub enum SimulationError {
     /// The platform specification failed validation.
     Platform(PlatformError),
-    /// Execution failed (scheduling deadlock).
+    /// Execution failed (scheduling deadlock or exhausted retries).
     Execution(ExecutorError),
+    /// The fault specification does not fit this platform or workflow
+    /// (unknown BB device, unknown task name, ...).
+    InvalidFaults(String),
 }
 
 impl std::fmt::Display for SimulationError {
@@ -45,6 +49,7 @@ impl std::fmt::Display for SimulationError {
         match self {
             SimulationError::Platform(e) => write!(f, "{e}"),
             SimulationError::Execution(e) => write!(f, "{e}"),
+            SimulationError::InvalidFaults(msg) => write!(f, "invalid fault spec: {msg}"),
         }
     }
 }
@@ -62,6 +67,9 @@ pub struct SimulationBuilder {
     dynamic_placer: Option<Box<dyn crate::dynamic::DynamicPlacer>>,
     solve_mode: SolveMode,
     telemetry: TelemetryConfig,
+    faults: FaultSpec,
+    retry: RetryPolicy,
+    failover: FailoverPolicy,
 }
 
 impl SimulationBuilder {
@@ -81,7 +89,34 @@ impl SimulationBuilder {
             dynamic_placer: None,
             solve_mode: SolveMode::default(),
             telemetry: TelemetryConfig::default(),
+            faults: FaultSpec::new(),
+            retry: RetryPolicy::default(),
+            failover: FailoverPolicy::default(),
         }
+    }
+
+    /// Injects a fault schedule into the run (default: none). The spec
+    /// is resolved against the platform when [`SimulationBuilder::run`]
+    /// is called; see `docs/failure-model.md` for semantics. An empty
+    /// spec leaves the simulation bitwise-identical to an uninjected
+    /// one.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = spec;
+        self
+    }
+
+    /// Sets the retry policy for kill faults (default: 3 attempts, no
+    /// backoff).
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the tier-failover policy applied after a BB device loss
+    /// (default: [`FailoverPolicy::RerouteToPfs`]).
+    pub fn failover(mut self, policy: FailoverPolicy) -> Self {
+        self.failover = policy;
+        self
     }
 
     /// Sets the file placement policy.
@@ -148,7 +183,21 @@ impl SimulationBuilder {
         engine.set_solve_mode(self.solve_mode);
         engine.set_telemetry_config(self.telemetry);
         let instance = self.platform.instantiate(&mut engine);
-        let storage = StorageSystem::new(instance);
+        let mut storage = StorageSystem::new(instance);
+        storage.set_failover(self.failover);
+        let fault_events = self
+            .faults
+            .resolve(storage.platform.bb_devices())
+            .map_err(|e| SimulationError::InvalidFaults(e.message))?;
+        for ev in &fault_events {
+            if let FaultEvent::TaskKill { task, .. } = ev {
+                if !self.workflow.tasks().iter().any(|t| t.name == *task) {
+                    return Err(SimulationError::InvalidFaults(format!(
+                        "kill targets unknown task {task:?}"
+                    )));
+                }
+            }
+        }
         let plan = match self.plan_override {
             Some(plan) => {
                 assert_eq!(
@@ -170,6 +219,9 @@ impl SimulationBuilder {
         );
         if let Some(placer) = self.dynamic_placer {
             executor.set_dynamic_placer(placer);
+        }
+        if !fault_events.is_empty() {
+            executor.set_fault_injection(fault_events, self.retry);
         }
         executor.run().map_err(SimulationError::Execution)
     }

@@ -17,15 +17,17 @@
 //! paper's single-node experiments); untagged tasks go to the node with the
 //! most free cores.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
-use wfbb_simcore::{ActivityId, Engine, EngineError, FlowSpec, ResourceId, SimTime};
+use wfbb_simcore::{ActivityId, Engine, EngineError, FaultPlan, FlowSpec, ResourceId, SimTime};
 use wfbb_storage::{FileRegistry, Location, PlacementPlan, StorageSystem, Tier};
 use wfbb_workflow::{amdahl_time, FileId, TaskId, Workflow};
 
 use crate::dynamic::{DynamicPlacer, PlacementContext};
+use crate::fault::{FaultEvent, RetryPolicy};
 use crate::report::{
-    CriticalStep, CriticalStepKind, ResourceContention, SimulationReport, StageSpan, TaskRecord,
+    CriticalStep, CriticalStepKind, FaultRecord, ResourceContention, SimulationReport, StageSpan,
+    TaskRecord,
 };
 
 /// Node-assignment policy of the WMS scheduler.
@@ -74,6 +76,12 @@ pub enum Tag {
     },
     /// A task's compute phase.
     Compute(TaskId),
+    /// Sentinel delay ending exactly at fault event `k` of the resolved
+    /// schedule (the engine applies the capacity change first, then
+    /// delivers this completion so the executor can run recovery).
+    Fault(u32),
+    /// Backoff delay before re-running a killed task.
+    Retry(TaskId),
 }
 
 /// Task lifecycle phase.
@@ -148,6 +156,14 @@ pub enum ExecutorError {
     /// The engine could not make progress (e.g. a flow starved by a
     /// sub-tolerance rate cap on a malformed platform).
     Engine(EngineError),
+    /// A kill fault hit a task that had already used every attempt its
+    /// [`RetryPolicy`] allows.
+    RetryExhausted {
+        /// Name of the task that ran out of attempts.
+        task: String,
+        /// Attempts the task used before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for ExecutorError {
@@ -157,6 +173,9 @@ impl std::fmt::Display for ExecutorError {
                 write!(f, "execution deadlocked with {unfinished} unfinished tasks")
             }
             ExecutorError::Engine(e) => write!(f, "{e}"),
+            ExecutorError::RetryExhausted { task, attempts } => {
+                write!(f, "task {task} killed after exhausting {attempts} attempts")
+            }
         }
     }
 }
@@ -215,6 +234,28 @@ pub struct Executor {
     bb_peak: f64,
     /// Files that spilled to the PFS because their BB device was full.
     spilled: usize,
+    /// Resolved fault schedule, sorted by time (empty without injection).
+    faults: Vec<FaultEvent>,
+    /// Retry policy for kill faults.
+    retry: RetryPolicy,
+    /// Engine activities currently in flight, for fault-time
+    /// cancellation (sentinel/retry delays are not tracked).
+    live: BTreeMap<ActivityId, Tag>,
+    /// Completions already queued inside the engine for activities a
+    /// fault cancelled; their delivery is skipped.
+    discard: HashSet<ActivityId>,
+    /// Execution attempts started per task.
+    attempts: Vec<u32>,
+    /// First attempt's start per task (`TaskState::start` tracks the
+    /// current attempt; the gap between the two is the fault wait).
+    first_start: Vec<SimTime>,
+    /// Outputs written (registered) by each task's current attempt, so a
+    /// kill releases exactly this attempt's BB reservations.
+    written: Vec<Vec<FileId>>,
+    /// Fault records for the report, in firing order.
+    fault_log: Vec<FaultRecord>,
+    /// Task re-executions triggered by kill faults.
+    retries: u32,
 }
 
 const STAGE_KEY: u32 = u32::MAX;
@@ -273,7 +314,24 @@ impl Executor {
             bb_used: vec![0.0; bb_devices],
             bb_peak: 0.0,
             spilled: 0,
+            faults: Vec::new(),
+            retry: RetryPolicy::default(),
+            live: BTreeMap::new(),
+            discard: HashSet::new(),
+            attempts: vec![0; n],
+            first_start: vec![SimTime::ZERO; n],
+            written: vec![Vec::new(); n],
+            fault_log: Vec::new(),
+            retries: 0,
         }
+    }
+
+    /// Installs a resolved fault schedule and the retry policy for kill
+    /// faults. An empty schedule leaves the run bitwise-identical to one
+    /// without fault injection.
+    pub fn set_fault_injection(&mut self, events: Vec<FaultEvent>, retry: RetryPolicy) {
+        self.faults = events;
+        self.retry = retry;
     }
 
     /// Installs an online placer consulted for every task write.
@@ -328,10 +386,17 @@ impl Executor {
 
     /// Runs the workflow to completion and produces the report.
     pub fn run(mut self) -> Result<SimulationReport, ExecutorError> {
+        self.install_faults();
         self.prepare_staging();
         self.start_next_stage();
 
         while let Some(c) = self.engine.try_step()? {
+            self.live.remove(&c.id);
+            if self.discard.remove(&c.id) {
+                // A fault cancelled this activity after its completion
+                // was already queued; its access has been re-issued.
+                continue;
+            }
             self.absorb_contention(c.id, &c.tag);
             match c.tag {
                 Tag::StageMeta(file) => self.on_stage_meta(file),
@@ -339,6 +404,18 @@ impl Executor {
                 Tag::TaskMeta { task, file, write } => self.on_task_meta(task, file, write),
                 Tag::TaskData { task, file, write } => self.on_task_data(task, file, write),
                 Tag::Compute(task) => self.on_compute_done(task),
+                Tag::Fault(k) => self.on_fault(k)?,
+                Tag::Retry(task) => self.on_retry(task),
+            }
+            if !self.faults.is_empty()
+                && self.staging_done
+                && self.completed == self.workflow.task_count()
+            {
+                // All work done; don't sit out sentinel delays for
+                // faults scheduled after the workflow finished. (Only
+                // with injection: fault-free runs keep draining the
+                // engine so stray activities still surface as stalls.)
+                break;
             }
         }
 
@@ -348,6 +425,61 @@ impl Executor {
             });
         }
         Ok(self.report())
+    }
+
+    /// Translates the fault schedule into engine capacity events and one
+    /// sentinel delay per event. The engine applies capacity changes
+    /// *before* delivering same-time completions, so each sentinel wakes
+    /// the executor with the failure already in effect. Degradation
+    /// factors are relative to *nominal* capacity.
+    fn install_faults(&mut self) {
+        if self.faults.is_empty() {
+            return;
+        }
+        let mut plan = FaultPlan::new();
+        for ev in &self.faults {
+            match *ev {
+                FaultEvent::BbNodeDown { time, device } => {
+                    for r in self.storage.platform.bb_device_resources(device) {
+                        plan.push_capacity(time, r, 0.0);
+                    }
+                }
+                FaultEvent::BbDegraded {
+                    time,
+                    device,
+                    factor,
+                } => {
+                    for r in self.storage.platform.bb_device_resources(device) {
+                        let nominal = self.engine.resource(r).capacity;
+                        plan.push_capacity(time, r, nominal * factor);
+                    }
+                }
+                FaultEvent::PfsDegraded { time, factor } => {
+                    for r in [
+                        self.storage.platform.pfs_link,
+                        self.storage.platform.pfs_disk,
+                    ] {
+                        let nominal = self.engine.resource(r).capacity;
+                        plan.push_capacity(time, r, nominal * factor);
+                    }
+                }
+                FaultEvent::TaskKill { .. } => {}
+            }
+        }
+        self.engine.set_fault_plan(&plan);
+        for (k, ev) in self.faults.iter().enumerate() {
+            self.engine.spawn_delay_labeled(
+                ev.time(),
+                Tag::Fault(k as u32),
+                Some(format!("fault:{}:{}", ev.kind(), ev.target())),
+            );
+        }
+    }
+
+    /// Spawns a flow and tracks it for fault-time cancellation.
+    fn spawn_tracked_flow(&mut self, spec: FlowSpec, tag: Tag, label: String) {
+        let id = self.engine.spawn_flow_labeled(spec, tag, Some(label));
+        self.live.insert(id, tag);
     }
 
     /// Folds a completed flow's [`wfbb_simcore::ContentionRecord`] into the
@@ -384,6 +516,7 @@ impl Executor {
             Tag::Compute(task) => {
                 self.fold_task_contention(task, 1, ideal, actual, wait, blame);
             }
+            Tag::Fault(_) | Tag::Retry(_) => {}
         }
     }
 
@@ -450,7 +583,10 @@ impl Executor {
                 self.registry.set(file, Location::Pfs);
                 continue;
             };
-            self.stage_started.insert(file, self.engine.now());
+            // or_insert: a copy restarted by a BB failure keeps its
+            // original start so the span covers the wasted work too.
+            let now = self.engine.now();
+            self.stage_started.entry(file).or_insert(now);
             self.resolved.insert(Self::stage_key(file), loc.clone());
             let access = self.storage.stage_in_flows(size, &loc, node);
             if !access.metadata.is_empty() {
@@ -458,10 +594,10 @@ impl Executor {
                     .insert(Self::stage_key(file), access.metadata.len());
                 let name = self.workflow.file(file).name.clone();
                 for meta in access.metadata {
-                    self.engine.spawn_flow_labeled(
+                    self.spawn_tracked_flow(
                         meta,
                         Tag::StageMeta(file),
-                        Some(format!("stage-meta:{name}")),
+                        format!("stage-meta:{name}"),
                     );
                 }
                 return;
@@ -483,11 +619,7 @@ impl Executor {
             .insert((STAGE_KEY, file.index() as u32, false), data.len());
         let name = self.workflow.file(file).name.clone();
         for flow in data {
-            self.engine.spawn_flow_labeled(
-                flow,
-                Tag::StageData(file),
-                Some(format!("stage:{name}")),
-            );
+            self.spawn_tracked_flow(flow, Tag::StageData(file), format!("stage:{name}"));
         }
     }
 
@@ -504,6 +636,13 @@ impl Executor {
         self.meta_remaining.remove(&key);
         let node = self.stage_nodes[&file];
         let loc = self.resolved[&key].clone();
+        if self.storage.location_is_dead(&loc) {
+            // The destination died exactly when the metadata phase
+            // finished (the flows escaped cancellation by completing at
+            // the fault instant): restart the copy elsewhere.
+            self.reissue_access(key);
+            return;
+        }
         let size = self.workflow.file(file).size;
         let access = self.storage.stage_in_flows(size, &loc, node);
         if access.data.is_empty() {
@@ -529,8 +668,16 @@ impl Executor {
                 .resolved
                 .remove(&Self::stage_key(file))
                 .expect("stage location resolved");
-            self.finish_stage_span(file, &loc);
-            self.registry.set(file, loc);
+            let landed = if self.storage.location_is_dead(&loc) {
+                // Destination died at the instant the copy finished:
+                // the file stays available from its PFS master copy.
+                self.release_reservation(&loc, self.workflow.file(file).size);
+                Location::Pfs
+            } else {
+                loc
+            };
+            self.finish_stage_span(file, &landed);
+            self.registry.set(file, landed);
             self.start_next_stage();
         }
     }
@@ -625,6 +772,11 @@ impl Executor {
 
     fn start_task(&mut self, task: TaskId, node: usize, cores: usize) {
         let now = self.engine.now();
+        self.attempts[task.index()] += 1;
+        if self.attempts[task.index()] == 1 {
+            self.first_start[task.index()] = now;
+        }
+        self.written[task.index()].clear();
         let inputs: VecDeque<FileId> = self.workflow.task(task).inputs.iter().copied().collect();
         {
             let st = &mut self.states[task.index()];
@@ -695,10 +847,12 @@ impl Executor {
         let node = self.states[task.index()].node;
         let loc = self.resolve_access(task, file, write);
         if write {
-            self.write_started.insert(
-                (task.index() as u32, file.index() as u32),
-                self.engine.now(),
-            );
+            // or_insert: a write restarted by a BB failure keeps its
+            // original start so the span covers the wasted work too.
+            let now = self.engine.now();
+            self.write_started
+                .entry((task.index() as u32, file.index() as u32))
+                .or_insert(now);
         }
         self.resolved.insert(
             (task.index() as u32, file.index() as u32, write),
@@ -724,11 +878,7 @@ impl Executor {
                 access.metadata.len(),
             );
             for meta in access.metadata {
-                self.engine.spawn_flow_labeled(
-                    meta,
-                    Tag::TaskMeta { task, file, write },
-                    Some(label.clone()),
-                );
+                self.spawn_tracked_flow(meta, Tag::TaskMeta { task, file, write }, label.clone());
             }
         }
     }
@@ -767,11 +917,7 @@ impl Executor {
             self.workflow.file(file).name
         );
         for flow in data {
-            self.engine.spawn_flow_labeled(
-                flow,
-                Tag::TaskData { task, file, write },
-                Some(label.clone()),
-            );
+            self.spawn_tracked_flow(flow, Tag::TaskData { task, file, write }, label.clone());
         }
     }
 
@@ -788,6 +934,12 @@ impl Executor {
         self.meta_remaining.remove(&key);
         let node = self.states[task.index()].node;
         let loc = self.resolved[&key].clone();
+        if self.storage.location_is_dead(&loc) {
+            // Location died exactly when the metadata phase finished:
+            // restart the access against the post-failure state.
+            self.reissue_access(key);
+            return;
+        }
         let size = self.workflow.file(file).size;
         let access = if write {
             self.storage.write_flows(size, &loc, node)
@@ -820,13 +972,22 @@ impl Executor {
                 .write_started
                 .remove(&(task.index() as u32, file.index() as u32))
                 .expect("output span opened before completion");
+            let landed = if self.storage.location_is_dead(&loc) {
+                // The destination died at the instant the write
+                // finished: count the copy as drained to the PFS.
+                self.release_reservation(&loc, self.workflow.file(file).size);
+                Location::Pfs
+            } else {
+                loc
+            };
             self.output_spans.push(StageSpan {
                 file: self.workflow.file(file).name.clone(),
                 start,
                 end: self.engine.now(),
-                location: Self::location_label(&loc),
+                location: Self::location_label(&landed),
             });
-            self.registry.set(file, loc);
+            self.registry.set(file, landed);
+            self.written[task.index()].push(file);
         }
         self.states[task.index()].in_flight -= 1;
         self.pump_accesses(task, write);
@@ -859,17 +1020,13 @@ impl Executor {
         let core_seconds = duration * st.cores as f64;
         let label = format!("compute:{}", t.name);
         if core_seconds <= 0.0 {
-            self.engine.spawn_flow_labeled(
-                FlowSpec::new(0.0, vec![]),
-                Tag::Compute(task),
-                Some(label),
-            );
+            self.spawn_tracked_flow(FlowSpec::new(0.0, vec![]), Tag::Compute(task), label);
         } else {
             let cpu = self.storage.platform.node_cpu[st.node];
-            self.engine.spawn_flow_labeled(
+            self.spawn_tracked_flow(
                 FlowSpec::new(core_seconds, vec![cpu]).with_rate_cap(st.cores as f64),
                 Tag::Compute(task),
-                Some(label),
+                label,
             );
         }
     }
@@ -901,6 +1058,318 @@ impl Executor {
             }
         }
         self.try_schedule();
+    }
+
+    // ---- fault recovery ---------------------------------------------
+
+    /// Runs recovery for fault event `k`. The engine has already applied
+    /// the capacity change (it processes faults before delivering
+    /// same-time completions), so this only does the WMS-level part:
+    /// cancellation, failover, retry, and bookkeeping.
+    fn on_fault(&mut self, k: u32) -> Result<(), ExecutorError> {
+        match self.faults[k as usize].clone() {
+            FaultEvent::BbNodeDown { time, device } => self.recover_bb_down(device, time),
+            FaultEvent::BbDegraded {
+                time,
+                device,
+                factor,
+            } => {
+                self.fault_log.push(FaultRecord {
+                    time,
+                    kind: "bb-degraded".into(),
+                    target: format!("bb:{device}"),
+                    cancelled_flows: 0,
+                    lost_bytes: 0.0,
+                    lost_compute: 0.0,
+                    description: format!(
+                        "BB device {device} degraded to {:.0}% of nominal capacity",
+                        factor * 100.0
+                    ),
+                });
+            }
+            FaultEvent::PfsDegraded { time, factor } => {
+                self.fault_log.push(FaultRecord {
+                    time,
+                    kind: "pfs-degraded".into(),
+                    target: "pfs".into(),
+                    cancelled_flows: 0,
+                    lost_bytes: 0.0,
+                    lost_compute: 0.0,
+                    description: format!(
+                        "PFS degraded to {:.0}% of nominal capacity",
+                        factor * 100.0
+                    ),
+                });
+            }
+            FaultEvent::TaskKill { time, task } => return self.kill_task_by_name(&task, time),
+        }
+        Ok(())
+    }
+
+    /// The access an activity belongs to, or `None` for compute flows
+    /// and sentinel/retry delays.
+    fn access_key(tag: &Tag) -> Option<(u32, u32, bool)> {
+        match *tag {
+            Tag::StageMeta(f) | Tag::StageData(f) => Some(Self::stage_key(f)),
+            Tag::TaskMeta { task, file, write } | Tag::TaskData { task, file, write } => {
+                Some((task.index() as u32, file.index() as u32, write))
+            }
+            Tag::Compute(_) | Tag::Fault(_) | Tag::Retry(_) => None,
+        }
+    }
+
+    /// The task an activity works for, or `None` for staging and
+    /// sentinel/retry delays.
+    fn tag_task(tag: &Tag) -> Option<TaskId> {
+        match *tag {
+            Tag::TaskMeta { task, .. } | Tag::TaskData { task, .. } | Tag::Compute(task) => {
+                Some(task)
+            }
+            Tag::StageMeta(_) | Tag::StageData(_) | Tag::Fault(_) | Tag::Retry(_) => None,
+        }
+    }
+
+    /// Cancels the given activities, returning `(count, lost transfer
+    /// bytes, lost compute core-seconds)`. An activity whose completion
+    /// is already queued inside the engine (it finished at the very
+    /// fault instant) is marked for discard instead.
+    fn cancel_all(&mut self, ids: &[ActivityId]) -> (usize, f64, f64) {
+        let (mut n, mut bytes, mut compute) = (0usize, 0.0f64, 0.0f64);
+        for &id in ids {
+            let Some(tag) = self.live.remove(&id) else {
+                continue;
+            };
+            match self.engine.cancel_activity(id) {
+                Some(c) => {
+                    n += 1;
+                    match tag {
+                        Tag::Compute(_) => compute += c.work_done,
+                        Tag::StageData(_) | Tag::TaskData { .. } => bytes += c.work_done,
+                        _ => {}
+                    }
+                }
+                None => {
+                    self.discard.insert(id);
+                }
+            }
+        }
+        (n, bytes, compute)
+    }
+
+    /// Returns previously reserved BB bytes (the inverse of
+    /// [`Executor::try_reserve`]; a PFS location holds nothing).
+    fn release_reservation(&mut self, location: &Location, size: f64) {
+        match location {
+            Location::Pfs => {}
+            Location::SharedBb { bb_node } => {
+                self.bb_used[*bb_node] = (self.bb_used[*bb_node] - size).max(0.0);
+            }
+            Location::StripedBb { stripe_nodes } => {
+                let per_stripe = size / stripe_nodes.len() as f64;
+                for &b in stripe_nodes {
+                    self.bb_used[b] = (self.bb_used[b] - per_stripe).max(0.0);
+                }
+            }
+            Location::OnNodeBb { node } => {
+                self.bb_used[*node] = (self.bb_used[*node] - size).max(0.0);
+            }
+        }
+    }
+
+    /// BB device `device` died: cancel transfers crossing it, re-source
+    /// its files from the PFS master copies, and re-issue the
+    /// interrupted accesses under the failover policy.
+    fn recover_bb_down(&mut self, device: usize, time: f64) {
+        self.storage.mark_bb_dead(device);
+
+        // Accesses with at least one in-flight flow crossing the device.
+        let mut victims: BTreeSet<ActivityId> = BTreeSet::new();
+        for r in self.storage.platform.bb_device_resources(device) {
+            victims.extend(self.engine.flows_through(r));
+        }
+        let mut affected: BTreeSet<(u32, u32, bool)> = BTreeSet::new();
+        for id in &victims {
+            if let Some(key) = self.live.get(id).and_then(Self::access_key) {
+                affected.insert(key);
+            }
+        }
+        // Cancel every flow of each affected access — healthy stripes of
+        // a partially-dead striped transfer included; the copy restarts.
+        let to_cancel: Vec<ActivityId> = self
+            .live
+            .iter()
+            .filter(|(_, tag)| Self::access_key(tag).is_some_and(|k| affected.contains(&k)))
+            .map(|(&id, _)| id)
+            .collect();
+        let (cancelled, lost_bytes, _) = self.cancel_all(&to_cancel);
+
+        // Files whose registered location died are re-sourced from their
+        // PFS master copies (DataWarp-style drain); free their BB space.
+        let mut lost_files = 0usize;
+        for f in (0..self.workflow.file_count()).map(FileId::from_index) {
+            let Some(loc) = self.registry.get(f) else {
+                continue;
+            };
+            if self.storage.location_is_dead(loc) {
+                let loc = loc.clone();
+                self.release_reservation(&loc, self.workflow.file(f).size);
+                self.registry.set(f, Location::Pfs);
+                lost_files += 1;
+            }
+        }
+
+        // Re-issue the interrupted accesses against the post-failure
+        // state: reads re-resolve via the registry, writes and stage-in
+        // re-place under the failover policy.
+        for key in affected {
+            self.reissue_access(key);
+        }
+
+        self.fault_log.push(FaultRecord {
+            time,
+            kind: "bb-down".into(),
+            target: format!("bb:{device}"),
+            cancelled_flows: cancelled,
+            lost_bytes,
+            lost_compute: 0.0,
+            description: format!(
+                "BB device {device} lost; {lost_files} file(s) re-sourced from the PFS"
+            ),
+        });
+    }
+
+    /// Restarts an access whose flows a fault cancelled: drops its
+    /// bookkeeping (including any BB reservation made for it) and issues
+    /// it again against the current storage state.
+    fn reissue_access(&mut self, key: (u32, u32, bool)) {
+        let (owner, fidx, write) = key;
+        self.meta_remaining.remove(&key);
+        self.data_remaining.remove(&key);
+        let file = FileId::from_index(fidx as usize);
+        if let Some(loc) = self.resolved.remove(&key) {
+            if write || owner == STAGE_KEY {
+                // Writes and stage-ins reserved space at their target.
+                self.release_reservation(&loc, self.workflow.file(file).size);
+            }
+        }
+        if owner == STAGE_KEY {
+            self.stage_queue.push_front(file);
+            self.start_next_stage();
+        } else {
+            self.start_access(TaskId::from_index(owner as usize), file, write);
+        }
+    }
+
+    /// Kills the named task if it is running: cancels its in-flight
+    /// activities, rolls back the attempt's reservations, and schedules
+    /// a retry (or fails the run once attempts are exhausted).
+    fn kill_task_by_name(&mut self, name: &str, time: f64) -> Result<(), ExecutorError> {
+        let no_effect = |why: String| FaultRecord {
+            time,
+            kind: "task-kill".into(),
+            target: name.to_string(),
+            cancelled_flows: 0,
+            lost_bytes: 0.0,
+            lost_compute: 0.0,
+            description: why,
+        };
+        let Some(task) = self
+            .workflow
+            .tasks()
+            .iter()
+            .find(|t| t.name == name)
+            .map(|t| t.id)
+        else {
+            // Builder validation rejects unknown names; tolerate direct
+            // executor use.
+            self.fault_log
+                .push(no_effect(format!("no task named {name}; kill ignored")));
+            return Ok(());
+        };
+        let phase = self.states[task.index()].phase;
+        if !matches!(phase, Phase::Reading | Phase::Computing | Phase::Writing) {
+            self.fault_log.push(no_effect(format!(
+                "task {name} was not running ({phase:?}); kill had no effect"
+            )));
+            return Ok(());
+        }
+        if self.attempts[task.index()] >= self.retry.max_attempts {
+            return Err(ExecutorError::RetryExhausted {
+                task: name.to_string(),
+                attempts: self.attempts[task.index()],
+            });
+        }
+
+        // Cancel everything the attempt has in flight.
+        let to_cancel: Vec<ActivityId> = self
+            .live
+            .iter()
+            .filter(|(_, tag)| Self::tag_task(tag) == Some(task))
+            .map(|(&id, _)| id)
+            .collect();
+        let (cancelled, lost_bytes, lost_compute) = self.cancel_all(&to_cancel);
+
+        // Drop the attempt's per-access bookkeeping and BB reservations.
+        let keys: Vec<(u32, u32, bool)> = self
+            .resolved
+            .keys()
+            .filter(|&&(o, _, _)| o == task.index() as u32)
+            .copied()
+            .collect();
+        for key in keys {
+            let (_, fidx, write) = key;
+            self.meta_remaining.remove(&key);
+            self.data_remaining.remove(&key);
+            let loc = self.resolved.remove(&key).expect("key just listed");
+            if write {
+                let file = FileId::from_index(fidx as usize);
+                self.release_reservation(&loc, self.workflow.file(file).size);
+                self.write_started.remove(&(task.index() as u32, fidx));
+            }
+        }
+        // Outputs the attempt already registered will be rewritten; free
+        // their BB space so the retry re-reserves from scratch.
+        let written = std::mem::take(&mut self.written[task.index()]);
+        for f in written {
+            let loc = self.registry.require(f).clone();
+            self.release_reservation(&loc, self.workflow.file(f).size);
+        }
+
+        {
+            let st = &mut self.states[task.index()];
+            st.phase = Phase::Waiting;
+            st.pending.clear();
+            st.in_flight = 0;
+        }
+        self.contention[task.index()] = TaskContention::default();
+        self.retries += 1;
+        let backoff = self.retry.backoff.max(0.0);
+        self.engine
+            .spawn_delay_labeled(backoff, Tag::Retry(task), Some(format!("retry:{name}")));
+        self.fault_log.push(FaultRecord {
+            time,
+            kind: "task-kill".into(),
+            target: name.to_string(),
+            cancelled_flows: cancelled,
+            lost_bytes,
+            lost_compute,
+            description: format!(
+                "task {name} killed on attempt {} of {}; retrying after {backoff} s",
+                self.attempts[task.index()],
+                self.retry.max_attempts,
+            ),
+        });
+        Ok(())
+    }
+
+    /// A retry backoff elapsed: re-run the task on the cores it still
+    /// holds (kills never release cores, so the retry cannot starve).
+    fn on_retry(&mut self, task: TaskId) {
+        let (node, cores) = {
+            let st = &self.states[task.index()];
+            (st.node, st.cores)
+        };
+        self.start_task(task, node, cores);
     }
 
     // ---- reporting --------------------------------------------------
@@ -994,6 +1463,10 @@ impl Executor {
             .map(|t| {
                 let st = &self.states[t.id.index()];
                 let (pure_compute, serialized_io, contention_wait) = self.decompose(t.id, st);
+                // Gap between the first attempt's start and the final
+                // (successful) attempt's start; exactly 0.0 without
+                // kills, keeping fault-free runs bitwise unchanged.
+                let fault_wait = st.start.duration_since(self.first_start[t.id.index()]);
                 let mut contention_by_resource: Vec<(String, f64)> = self.contention[t.id.index()]
                     .by_resource
                     .iter()
@@ -1008,17 +1481,20 @@ impl Executor {
                     pipeline: t.pipeline,
                     node: st.node,
                     cores: st.cores,
-                    start: st.start,
+                    start: self.first_start[t.id.index()],
                     read_end: st.read_end,
                     compute_end: st.compute_end,
                     end: st.end,
                     pure_compute,
                     serialized_io,
                     contention_wait,
+                    attempts: self.attempts[t.id.index()],
+                    fault_wait,
                     contention_by_resource,
                 }
             })
             .collect();
+        let fault_wait_total: f64 = tasks.iter().map(|t: &TaskRecord| t.fault_wait).sum();
 
         // Per-resource blame totals (always accumulated by the engine).
         let mut contention: Vec<ResourceContention> = self
@@ -1080,6 +1556,11 @@ impl Executor {
             contention,
             stage_contention,
             critical_path: self.executed_critical_path(),
+            faults: self.fault_log.clone(),
+            fault_lost_bytes: self.fault_log.iter().map(|f| f.lost_bytes).sum(),
+            fault_lost_compute: self.fault_log.iter().map(|f| f.lost_compute).sum(),
+            fault_wait_total,
+            retries: self.retries,
             bb_bytes,
             pfs_bytes: pfs.total_served,
             bb_achieved_bw: if bb_busy > 0.0 {

@@ -16,7 +16,7 @@
 //! never sampled), so `explain` works on any report, with or without
 //! telemetry.
 
-use crate::report::{CriticalStep, CriticalStepKind, SimulationReport};
+use crate::report::{CriticalStep, CriticalStepKind, FaultRecord, SimulationReport};
 use crate::traceexport::{esc, num};
 
 /// One contention hotspot: a resource, how much delay it caused, when,
@@ -46,7 +46,8 @@ pub struct PathComposition {
     /// Serialized (uncontended-equivalent) I/O along the path, including
     /// the stage-in phase.
     pub io: f64,
-    /// Contention wait plus scheduling slack along the path.
+    /// Contention wait, scheduling slack, and fault-recovery time along
+    /// the path.
     pub wait: f64,
 }
 
@@ -108,6 +109,15 @@ pub struct Explanation {
     pub composition: PathComposition,
     /// Achieved-vs-nominal bandwidth per storage tier.
     pub tiers: Vec<TierBandwidth>,
+    /// Injected faults and their measured impact (empty for fault-free
+    /// runs; see `docs/failure-model.md`).
+    pub faults: Vec<FaultRecord>,
+    /// Total wall-clock charged to fault recovery across tasks, seconds.
+    pub fault_wait: f64,
+    /// Transfer progress thrown away by fault cancellations, bytes.
+    pub fault_lost_bytes: f64,
+    /// Task re-executions triggered by kill faults.
+    pub retries: u32,
 }
 
 /// Victims shown per hotspot (more would drown the report).
@@ -156,7 +166,7 @@ impl SimulationReport {
                     if let Some(t) = self.task_by_name(&step.label) {
                         composition.compute += t.pure_compute;
                         composition.io += t.serialized_io;
-                        composition.wait += t.contention_wait;
+                        composition.wait += t.contention_wait + t.fault_wait;
                     }
                 }
             }
@@ -183,6 +193,10 @@ impl SimulationReport {
             critical_path: self.critical_path.clone(),
             composition,
             tiers,
+            faults: self.faults.clone(),
+            fault_wait: self.fault_wait_total,
+            fault_lost_bytes: self.fault_lost_bytes,
+            retries: self.retries,
         }
     }
 }
@@ -260,6 +274,23 @@ impl Explanation {
                 100.0 * t.efficiency(),
             ));
         }
+
+        if !self.faults.is_empty() {
+            out.push_str(&format!(
+                "faults: {} event(s), {} retried execution(s), {:.3} s fault wait, \
+                 {:.3e} B lost in flight\n",
+                self.faults.len(),
+                self.retries,
+                self.fault_wait,
+                self.fault_lost_bytes,
+            ));
+            for f in &self.faults {
+                out.push_str(&format!(
+                    "  t={:>10.3} s  {:<12} {:<12} {}\n",
+                    f.time, f.kind, f.target, f.description,
+                ));
+            }
+        }
         out
     }
 
@@ -318,10 +349,27 @@ impl Explanation {
                 )
             })
             .collect();
+        let faults: Vec<String> = self
+            .faults
+            .iter()
+            .map(|f| {
+                format!(
+                    "{{\"time\":{},\"kind\":\"{}\",\"target\":\"{}\",\
+                     \"cancelled_flows\":{},\"lost_bytes\":{},\"lost_compute\":{}}}",
+                    num(f.time),
+                    esc(&f.kind),
+                    esc(&f.target),
+                    f.cancelled_flows,
+                    num(f.lost_bytes),
+                    num(f.lost_compute),
+                )
+            })
+            .collect();
         format!(
             "{{\"workflow\":\"{}\",\"makespan\":{},\"hotspots\":[{}],\
              \"critical_path\":[{}],\"composition\":{{\"compute\":{},\"io\":{},\
-             \"wait\":{}}},\"tiers\":[{}]}}",
+             \"wait\":{}}},\"tiers\":[{}],\"faults\":[{}],\"fault_wait\":{},\
+             \"fault_lost_bytes\":{},\"retries\":{}}}",
             esc(&self.workflow),
             num(self.makespan),
             hotspots.join(","),
@@ -330,6 +378,10 @@ impl Explanation {
             num(self.composition.io),
             num(self.composition.wait),
             tiers.join(","),
+            faults.join(","),
+            num(self.fault_wait),
+            num(self.fault_lost_bytes),
+            self.retries,
         )
     }
 }
@@ -409,19 +461,24 @@ mod tests {
             .run()
             .unwrap();
         for t in &report.tasks {
-            let sum = t.pure_compute + t.serialized_io + t.contention_wait;
+            // The full 4-term identity; fault-free runs have fault_wait
+            // exactly 0.0 (bitwise, not just approximately).
+            let sum = t.pure_compute + t.serialized_io + t.contention_wait + t.fault_wait;
             assert!(
                 (sum - t.duration()).abs() < 1e-9,
-                "{}: {} + {} + {} != {}",
+                "{}: {} + {} + {} + {} != {}",
                 t.name,
                 t.pure_compute,
                 t.serialized_io,
                 t.contention_wait,
+                t.fault_wait,
                 t.duration()
             );
             assert!(t.pure_compute >= 0.0);
             assert!(t.serialized_io >= 0.0);
             assert!(t.contention_wait >= 0.0);
+            assert_eq!(t.fault_wait, 0.0, "no faults injected");
+            assert_eq!(t.attempts, 1, "no retries without faults");
         }
     }
 

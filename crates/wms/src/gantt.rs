@@ -304,6 +304,8 @@ mod tests {
                 pure_compute: times[2] - times[1],
                 serialized_io: (times[1] - times[0]) + (times[3] - times[2]),
                 contention_wait: 0.0,
+                attempts: 1,
+                fault_wait: 0.0,
                 contention_by_resource: Vec::new(),
             }
         };
@@ -316,6 +318,11 @@ mod tests {
             contention: Vec::new(),
             stage_contention: Vec::new(),
             critical_path: Vec::new(),
+            faults: Vec::new(),
+            fault_lost_bytes: 0.0,
+            fault_lost_compute: 0.0,
+            fault_wait_total: 0.0,
+            retries: 0,
             tasks: vec![
                 task(0, "a", "x", Some(0), 0, 2, [0.0, 2.0, 8.0, 10.0]),
                 task(1, "b", "y", None, 1, 1, [1.0, 1.5, 4.0, 5.0]),

@@ -35,6 +35,7 @@ pub mod builder;
 pub mod dynamic;
 pub mod executor;
 pub mod explain;
+pub mod fault;
 pub mod gantt;
 pub mod report;
 pub mod traceexport;
@@ -43,9 +44,10 @@ pub use builder::{SimulationBuilder, SimulationError};
 pub use dynamic::{DynamicPlacer, PlacementContext};
 pub use executor::SchedulerPolicy;
 pub use explain::{Explanation, Hotspot, PathComposition, TierBandwidth};
+pub use fault::{FaultEvent, FaultSpec, FaultSpecError, RetryPolicy};
 pub use report::{
-    CategoryStats, CriticalStep, CriticalStepKind, ResourceContention, SimulationReport, StageSpan,
-    TaskRecord,
+    CategoryStats, CriticalStep, CriticalStepKind, FaultRecord, ResourceContention,
+    SimulationReport, StageSpan, TaskRecord,
 };
 pub use traceexport::TRACE_SCHEMA_VERSION;
 pub use wfbb_simcore::{EngineCounters, TelemetryConfig, TelemetrySnapshot};

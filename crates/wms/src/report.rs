@@ -44,10 +44,21 @@ pub struct TaskRecord {
     /// every I/O flow running at its uncontended rate (phase wall time
     /// minus I/O contention wait).
     pub serialized_io: f64,
-    /// Seconds lost to resource contention across all three phases.
-    /// `pure_compute + serialized_io + contention_wait == duration()`
-    /// by construction; exactly `0.0` for an uncontended run.
+    /// Seconds lost to resource contention across the final attempt's
+    /// three phases.
+    /// `pure_compute + serialized_io + contention_wait + fault_wait
+    /// == duration()` by construction; exactly `0.0` for an uncontended
+    /// run.
     pub contention_wait: f64,
+    /// Execution attempts the task used (1 unless a kill fault forced a
+    /// retry; see [`crate::RetryPolicy`]).
+    pub attempts: u32,
+    /// Seconds lost to fault recovery: the gap between the first
+    /// attempt's start and the final attempt's start (failed attempts
+    /// plus retry backoff). Exactly `0.0` for tasks that were never
+    /// killed, so the decomposition reduces to the three-term identity
+    /// in fault-free runs.
+    pub fault_wait: f64,
     /// Contention wait attributed per binding resource, `(resource name,
     /// serialized wait seconds)`, descending by wait. The per-flow waits
     /// sum without concurrency folding, so entries can exceed
@@ -56,14 +67,15 @@ pub struct TaskRecord {
 }
 
 impl TaskRecord {
-    /// Total execution time (read + compute + write).
+    /// Total execution time from the *first* attempt's start to the
+    /// final completion (fault recovery included).
     pub fn duration(&self) -> f64 {
         self.end.duration_since(self.start)
     }
 
-    /// Time spent reading inputs.
+    /// Time the final attempt spent reading inputs.
     pub fn read_time(&self) -> f64 {
-        self.read_end.duration_since(self.start)
+        self.read_end.duration_since(self.start) - self.fault_wait
     }
 
     /// Time spent computing.
@@ -118,6 +130,29 @@ pub struct StageSpan {
     /// Destination label: `pfs`, `bb:<device>`, `bb:striped:<n>`, or
     /// `bb:node<k>` (see `docs/trace-format.md`).
     pub location: String,
+}
+
+/// One injected fault and its measured impact (see
+/// `docs/failure-model.md` for the taxonomy and recovery semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// When the fault fired, simulated seconds.
+    pub time: f64,
+    /// Fault kind: `bb-down`, `bb-degraded`, `pfs-degraded`, or
+    /// `task-kill`.
+    pub kind: String,
+    /// Target label: `bb:<device>`, `pfs`, or the task name.
+    pub target: String,
+    /// In-flight engine activities the fault cancelled (0 for
+    /// degradations, which only slow flows down).
+    pub cancelled_flows: usize,
+    /// Bytes of transfer progress thrown away by the cancellations
+    /// (work that must be redone).
+    pub lost_bytes: f64,
+    /// Core-seconds of compute progress thrown away.
+    pub lost_compute: f64,
+    /// Human-readable account of what the recovery did.
+    pub description: String,
 }
 
 /// Per-resource contention summary: how much work the resource's
@@ -198,6 +233,19 @@ pub struct SimulationReport {
     pub stage_contention: Vec<(String, f64)>,
     /// The executed critical path, in chronological order.
     pub critical_path: Vec<CriticalStep>,
+    /// Injected faults and their measured impact, in firing order.
+    /// Empty (and every `fault_*` aggregate exactly zero) when the run
+    /// injected no faults.
+    pub faults: Vec<FaultRecord>,
+    /// Total transfer progress cancelled by faults, bytes.
+    pub fault_lost_bytes: f64,
+    /// Total compute progress cancelled by faults, core-seconds.
+    pub fault_lost_compute: f64,
+    /// Total wall-clock charged to fault recovery across tasks (the sum
+    /// of per-task [`TaskRecord::fault_wait`]).
+    pub fault_wait_total: f64,
+    /// Task re-executions triggered by kill faults.
+    pub retries: u32,
     /// Bytes transferred to/from the burst buffer tier.
     pub bb_bytes: f64,
     /// Bytes transferred to/from the PFS tier.
@@ -316,6 +364,8 @@ mod tests {
             pure_compute: compute - read,
             serialized_io: (read - start) + (end - compute),
             contention_wait: 0.0,
+            attempts: 1,
+            fault_wait: 0.0,
             contention_by_resource: Vec::new(),
         }
     }
@@ -347,6 +397,11 @@ mod tests {
             contention: Vec::new(),
             stage_contention: Vec::new(),
             critical_path: Vec::new(),
+            faults: Vec::new(),
+            fault_lost_bytes: 0.0,
+            fault_lost_compute: 0.0,
+            fault_wait_total: 0.0,
+            retries: 0,
             tasks: vec![
                 record("r1", "resample", 0.0, 1.0, 4.0, 5.0),
                 record("r2", "resample", 0.0, 2.0, 5.0, 7.0),

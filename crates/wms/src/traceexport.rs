@@ -26,7 +26,13 @@ use crate::report::SimulationReport;
 /// v2: stage-out (`stage_out`) records and Perfetto lane, per-task
 /// contention-attribution fields/args, per-resource `contention`
 /// records, and nominal tier bandwidths in the summary.
-pub const TRACE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: fault injection (`docs/failure-model.md`) — `fault` records per
+/// injected event, `retry` records per re-executed task, `attempts` /
+/// `fault_wait` on task records (task `start` is the *first* attempt's
+/// start), fault aggregates and the retry count in the summary, and
+/// Perfetto instant events on the engine lane per fault.
+pub const TRACE_SCHEMA_VERSION: u32 = 3;
 
 /// Escapes a string for inclusion inside a JSON string literal.
 pub(crate) fn esc(s: &str) -> String {
@@ -58,11 +64,14 @@ impl SimulationReport {
     ///
     /// Line order is fixed: `header`, `stage` spans, `stage_out` spans,
     /// `task` records, `contention` records (per blamed resource,
-    /// always present when contention occurred), telemetry (`resource`,
-    /// `resource_sample`, `counter` — only when the run sampled
-    /// telemetry; counters ride along with the snapshot), and a final
-    /// `summary`. Times are simulated seconds with six decimals. See
-    /// `docs/trace-format.md` for the field-by-field contract.
+    /// always present when contention occurred), `fault` records (per
+    /// injected fault, chronological) and `retry` records (per task
+    /// that ran more than once) — both only for fault-injected runs —
+    /// telemetry (`resource`, `resource_sample`, `counter` — only when
+    /// the run sampled telemetry; counters ride along with the
+    /// snapshot), and a final `summary`. Times are simulated seconds
+    /// with six decimals. See `docs/trace-format.md` for the
+    /// field-by-field contract.
     pub fn jsonl_trace(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -101,7 +110,8 @@ impl SimulationReport {
                 "{{\"type\":\"task\",\"name\":\"{}\",\"category\":\"{}\",\
                  \"pipeline\":{},\"node\":{},\"cores\":{},\"start\":{},\
                  \"read_end\":{},\"compute_end\":{},\"end\":{},\
-                 \"pure_compute\":{},\"serialized_io\":{},\"contention_wait\":{}}}\n",
+                 \"pure_compute\":{},\"serialized_io\":{},\"contention_wait\":{},\
+                 \"attempts\":{},\"fault_wait\":{}}}\n",
                 esc(&t.name),
                 esc(&t.category),
                 t.pipeline.map_or("null".to_string(), |p| p.to_string()),
@@ -114,6 +124,8 @@ impl SimulationReport {
                 num(t.pure_compute),
                 num(t.serialized_io),
                 num(t.contention_wait),
+                t.attempts,
+                num(t.fault_wait),
             ));
         }
         for c in &self.contention {
@@ -127,6 +139,31 @@ impl SimulationReport {
                 num(c.interval.0),
                 num(c.interval.1),
             ));
+        }
+        for f in &self.faults {
+            out.push_str(&format!(
+                "{{\"type\":\"fault\",\"time\":{},\"kind\":\"{}\",\"target\":\"{}\",\
+                 \"cancelled_flows\":{},\"lost_bytes\":{},\"lost_compute\":{},\
+                 \"description\":\"{}\"}}\n",
+                num(f.time),
+                esc(&f.kind),
+                esc(&f.target),
+                f.cancelled_flows,
+                num(f.lost_bytes),
+                num(f.lost_compute),
+                esc(&f.description),
+            ));
+        }
+        for t in &self.tasks {
+            if t.attempts > 1 {
+                out.push_str(&format!(
+                    "{{\"type\":\"retry\",\"task\":\"{}\",\"attempts\":{},\
+                     \"fault_wait\":{}}}\n",
+                    esc(&t.name),
+                    t.attempts,
+                    num(t.fault_wait),
+                ));
+            }
         }
         if let Some(telemetry) = &self.telemetry {
             for r in &telemetry.resources {
@@ -169,7 +206,8 @@ impl SimulationReport {
             "{{\"type\":\"summary\",\"bb_bytes\":{},\"pfs_bytes\":{},\
              \"bb_achieved_bw\":{},\"pfs_achieved_bw\":{},\
              \"bb_nominal_bw\":{},\"pfs_nominal_bw\":{},\"bb_peak_bytes\":{},\
-             \"spilled_files\":{}}}\n",
+             \"spilled_files\":{},\"faults\":{},\"retries\":{},\
+             \"fault_wait\":{},\"fault_lost_bytes\":{},\"fault_lost_compute\":{}}}\n",
             num(self.bb_bytes),
             num(self.pfs_bytes),
             num(self.bb_achieved_bw),
@@ -178,6 +216,11 @@ impl SimulationReport {
             num(self.pfs_nominal_bw),
             num(self.bb_peak_bytes),
             self.spilled_files,
+            self.faults.len(),
+            self.retries,
+            num(self.fault_wait_total),
+            num(self.fault_lost_bytes),
+            num(self.fault_lost_compute),
         ));
         out
     }
@@ -192,11 +235,11 @@ impl SimulationReport {
     /// task's `pure_compute` / `serialized_io` / `contention_wait`
     /// decomposition); process `nodes` is the sequential stage-in lane;
     /// process `nodes + 1` hosts `ph:"C"` counter tracks for the sampled
-    /// resource rate/queue-depth series and a terminal instant event with
-    /// the engine counters; process `nodes + 2` is the stage-out
-    /// (output-write) lane. Timestamps are microseconds of simulated
-    /// time. Metadata events come first; the rest are sorted by
-    /// timestamp.
+    /// resource rate/queue-depth series, one `ph:"i"` instant event per
+    /// injected fault, and a terminal instant event with the engine
+    /// counters; process `nodes + 2` is the stage-out (output-write)
+    /// lane. Timestamps are microseconds of simulated time. Metadata
+    /// events come first; the rest are sorted by timestamp.
     pub fn perfetto_trace_json(&self) -> String {
         let stage_pid = self.nodes;
         let engine_pid = self.nodes + 1;
@@ -257,10 +300,12 @@ impl SimulationReport {
         for t in &self.tasks {
             let attribution = format!(
                 "\"args\":{{\"pure_compute\":{},\"serialized_io\":{},\
-                 \"contention_wait\":{}}}",
+                 \"contention_wait\":{},\"attempts\":{},\"fault_wait\":{}}}",
                 num(t.pure_compute),
                 num(t.serialized_io),
                 num(t.contention_wait),
+                t.attempts,
+                num(t.fault_wait),
             );
             let phases = [
                 ("read", t.start.seconds(), t.read_end.seconds()),
@@ -285,6 +330,24 @@ impl SimulationReport {
                     ));
                 }
             }
+        }
+        for f in &self.faults {
+            events.push((
+                f.time,
+                format!(
+                    "{{\"name\":\"fault:{}:{}\",\"cat\":\"fault\",\"ph\":\"i\",\
+                     \"s\":\"g\",\"ts\":{},\"pid\":{},\"tid\":0,\
+                     \"args\":{{\"cancelled_flows\":{},\"lost_bytes\":{},\
+                     \"lost_compute\":{}}}}}",
+                    esc(&f.kind),
+                    esc(&f.target),
+                    us(f.time),
+                    engine_pid,
+                    f.cancelled_flows,
+                    num(f.lost_bytes),
+                    num(f.lost_compute),
+                ),
+            ));
         }
         if let Some(telemetry) = &self.telemetry {
             for r in &telemetry.resources {
@@ -415,6 +478,46 @@ mod tests {
         assert!(trace.contains("\"ph\":\"X\""));
         assert!(trace.contains("\"ph\":\"C\""));
         assert!(trace.contains("\"name\":\"engine_counters\""));
+    }
+
+    #[test]
+    fn fault_injected_run_exports_fault_and_retry_records() {
+        use crate::fault::{FaultEvent, FaultSpec, RetryPolicy};
+        // Kill the single task mid-compute so it retries once.
+        let base = report(false);
+        let t0 = &base.tasks[0];
+        let mid = (t0.read_end.seconds() + t0.compute_end.seconds()) / 2.0;
+        let mut spec = FaultSpec::new();
+        spec.push(FaultEvent::TaskKill {
+            time: mid,
+            task: "t".to_string(),
+        });
+        let mut b = WorkflowBuilder::new("trace");
+        let input = b.add_file("in", 8e6);
+        let out = b.add_file("out", 4e6);
+        b.task("t")
+            .category("proc")
+            .flops(1e11)
+            .cores(2)
+            .input(input)
+            .output(out)
+            .add();
+        let r = SimulationBuilder::new(presets::summit(1), b.build().unwrap())
+            .placement(PlacementPolicy::AllBb)
+            .faults(spec)
+            .retry_policy(RetryPolicy::default())
+            .run()
+            .unwrap();
+        assert_eq!(r.retries, 1);
+        let jsonl = r.jsonl_trace();
+        assert!(jsonl.contains("\"type\":\"fault\""));
+        assert!(jsonl.contains("\"kind\":\"task-kill\""));
+        assert!(jsonl.contains("\"type\":\"retry\""));
+        assert!(jsonl.contains("\"attempts\":2"));
+        assert!(jsonl.contains("\"retries\":1"));
+        let perfetto = r.perfetto_trace_json();
+        assert!(perfetto.contains("\"cat\":\"fault\""));
+        assert!(perfetto.contains("fault:task-kill:t"));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`io`] serializes workflows to/from a JSON format (our equivalent of
 //!   the WfFormat/DAX descriptions the paper's tooling consumes).
 
+#![deny(missing_docs)]
+
 pub mod amdahl;
 pub mod analysis;
 pub mod dot;

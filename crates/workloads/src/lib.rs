@@ -16,6 +16,8 @@
 //! * [`gallery`] — classic workflow archetypes (Montage, Epigenomics,
 //!   CyberShake) for exercising diverse I/O patterns.
 
+#![deny(missing_docs)]
+
 pub mod gallery;
 pub mod genomes;
 pub mod patterns;
