@@ -1,0 +1,48 @@
+//! Campaign-scheduler benchmarks: a full multi-tenant batch campaign
+//! (synthetic job stream -> admission -> shared-engine execution) per
+//! policy, so scheduler-loop and shared-engine regressions show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wfbb_platform::{presets, BbMode};
+use wfbb_sched::{run_campaign, synthetic_jobs, BatchPolicy, CampaignConfig, SyntheticConfig};
+
+/// A seeded 12-job campaign on 8-node striped Cori under each policy.
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    let jobs = synthetic_jobs(
+        20260806,
+        &SyntheticConfig {
+            jobs: 12,
+            mean_interarrival: 15.0,
+            bb_request_scale: 1.0,
+            max_nodes: 2,
+        },
+    )
+    .expect("synthetic workload");
+    for policy in BatchPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, &p| {
+                let config = CampaignConfig::new(presets::cori(8, BbMode::Striped))
+                    .with_policy(p)
+                    .with_platform_label("cori:striped");
+                b.iter(|| {
+                    let report = run_campaign(&config, &jobs).unwrap();
+                    black_box(report.makespan)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_campaign_throughput
+}
+criterion_main!(benches);

@@ -71,6 +71,25 @@ impl Args {
         self.get(key)
             .ok_or_else(|| CliError(format!("missing required flag --{key}")))
     }
+
+    /// Errors on any flag outside `allowed` — unknown (or removed) flags
+    /// fail loudly instead of being silently ignored.
+    pub fn check_flags(&self, allowed: &[&str]) -> Result<(), CliError> {
+        let mut unknown: Vec<&str> = self
+            .options
+            .keys()
+            .map(String::as_str)
+            .filter(|k| !allowed.contains(k))
+            .collect();
+        unknown.sort_unstable();
+        if let Some(k) = unknown.first() {
+            return Err(CliError(format!(
+                "unknown flag --{k} for subcommand {:?}",
+                self.command
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Parses a platform spec: `cori:private`, `cori:striped`, `summit`,

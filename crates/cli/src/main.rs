@@ -5,6 +5,9 @@
 //!               --placement fraction:0.5 [--nodes 1] [--scheduler affinity] [--gantt 60] \
 //!               [--explain 3 | --explain-json report.json] \
 //!               [--trace-out trace.json --trace-format perfetto|jsonl]
+//! wfbb campaign --platform cori:striped --nodes 4 --policy bb-aware \
+//!               [--workload jobs.txt | --jobs 20 --seed 1] \
+//!               [--csv out.csv] [--json out.json] [--trace-out trace.json]
 //! wfbb generate --workflow genomes:22 --out wf.json
 //! wfbb inspect  --workflow wf.json [--dot graph.dot]
 //! ```
@@ -18,9 +21,12 @@
 //! contention hotspots with victims, the executed critical path and its
 //! compute/I-O/wait composition, achieved-vs-nominal tier bandwidth);
 //! `--explain-json <path>` writes the same report as machine-readable
-//! JSON. `--chrome <path>` is a deprecated alias for
-//! `--trace-out <path> --trace-format perfetto` kept for compatibility
-//! (it writes the task-phase-only Chrome trace without telemetry).
+//! JSON.
+//!
+//! `campaign` simulates a multi-tenant batch campaign: a stream of
+//! workflow jobs (from a workload file or seeded synthetic arrivals) is
+//! admitted onto one shared machine under `--policy fcfs|easy|bb-aware`
+//! and executed concurrently; see `docs/scheduler.md`.
 //!
 //! `--faults <spec|file>` injects deterministic faults (BB node
 //! failures, tier degradations, task kills) using the grammar of
@@ -42,6 +48,11 @@ usage:
                 [--gantt <width>] [--explain <k>] [--explain-json <path>]
                 [--trace-out <path> [--trace-format perfetto|jsonl]]
                 [--faults <spec|file>] [--failover pfs|bb] [--retries <n>]
+  wfbb campaign --platform <spec> [--nodes <n>] [--policy fcfs|easy|bb-aware]
+                (--workload <file> | [--jobs <n>] [--seed <s>]
+                 [--mean-interarrival <s>] [--bb-scale <f>] [--max-nodes <n>])
+                [--solver naive|incremental] [--csv <path>] [--json <path>]
+                [--trace-out <path>]
   wfbb generate --workflow <spec> --out <file.json>
   wfbb inspect  --workflow <spec> [--dot <file.dot>]
 
@@ -58,8 +69,15 @@ observability (see docs/trace-format.md):
   --trace-out    write a full run trace (stage spans, task phases, engine
                  telemetry) to <path>; enables engine telemetry sampling
   --trace-format perfetto (default; load in ui.perfetto.dev) | jsonl
-  --chrome       deprecated: task-phase-only Chrome trace to <path>; prefer
-                 --trace-out
+
+campaign scheduling (see docs/scheduler.md):
+  --policy       fcfs | easy (EASY backfilling on nodes) | bb-aware (EASY on
+                 nodes *and* burst-buffer capacity)
+  --workload     workload file (one `key=value ...` job per line); without it
+                 a synthetic campaign is drawn from --seed/--jobs/
+                 --mean-interarrival/--bb-scale/--max-nodes
+  --csv/--json   per-job outcomes as CSV / the full campaign report as JSON
+  --trace-out    Perfetto trace with one lane per job + cluster counters
 
 fault injection (see docs/failure-model.md):
   --faults       comma/newline-separated events, or a path to a spec file:
@@ -82,9 +100,50 @@ fn main() {
 fn run(raw: &[String]) -> Result<(), CliError> {
     let args = Args::parse(raw)?;
     match args.command.as_str() {
-        "simulate" => simulate(&args),
-        "generate" => generate(&args),
-        "inspect" => inspect(&args),
+        "simulate" => {
+            args.check_flags(&[
+                "workflow",
+                "platform",
+                "placement",
+                "nodes",
+                "scheduler",
+                "gantt",
+                "explain",
+                "explain-json",
+                "trace-out",
+                "trace-format",
+                "faults",
+                "failover",
+                "retries",
+            ])?;
+            simulate(&args)
+        }
+        "campaign" => {
+            args.check_flags(&[
+                "platform",
+                "nodes",
+                "policy",
+                "workload",
+                "jobs",
+                "seed",
+                "mean-interarrival",
+                "bb-scale",
+                "max-nodes",
+                "solver",
+                "csv",
+                "json",
+                "trace-out",
+            ])?;
+            campaign(&args)
+        }
+        "generate" => {
+            args.check_flags(&["workflow", "out"])?;
+            generate(&args)
+        }
+        "inspect" => {
+            args.check_flags(&["workflow", "dot"])?;
+            inspect(&args)
+        }
         other => Err(CliError(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -194,15 +253,6 @@ fn simulate(args: &Args) -> Result<(), CliError> {
             .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
         println!("wrote explainability report to {path}");
     }
-    if let Some(path) = args.get("chrome") {
-        // Deprecated alias; kept for compatibility with older scripts.
-        std::fs::write(path, report.chrome_trace_json())
-            .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
-        println!(
-            "wrote Chrome trace to {path} (deprecated; prefer --trace-out {path} \
-             --trace-format perfetto)"
-        );
-    }
     if let Some(path) = trace_out {
         let trace = match trace_format {
             "jsonl" => report.jsonl_trace(),
@@ -213,6 +263,96 @@ fn simulate(args: &Args) -> Result<(), CliError> {
             "jsonl" => println!("wrote JSONL trace to {path} (schema in docs/trace-format.md)"),
             _ => println!("wrote Perfetto trace to {path} (open in ui.perfetto.dev)"),
         }
+    }
+    Ok(())
+}
+
+fn campaign(args: &Args) -> Result<(), CliError> {
+    use wfbb_sched::{
+        parse_workload, run_campaign, synthetic_jobs, BatchPolicy, CampaignConfig, SyntheticConfig,
+    };
+
+    let nodes: usize = args
+        .get_or("nodes", "4")
+        .parse()
+        .map_err(|_| CliError("bad --nodes value".into()))?;
+    let platform_spec = args.require("platform")?;
+    let platform = parse_platform(platform_spec, nodes)?;
+    let policy_label = args.get_or("policy", "fcfs");
+    let policy = BatchPolicy::parse(policy_label).ok_or_else(|| {
+        CliError(format!(
+            "unrecognized policy {policy_label:?} (expected fcfs, easy, or bb-aware)"
+        ))
+    })?;
+    let solve_mode = match args.get_or("solver", "incremental") {
+        "incremental" => wfbb_simcore::SolveMode::Incremental,
+        "naive" => wfbb_simcore::SolveMode::Naive,
+        other => {
+            return Err(CliError(format!(
+                "unrecognized solver {other:?} (expected naive or incremental)"
+            )))
+        }
+    };
+
+    let jobs = if let Some(path) = args.get("workload") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError(format!("cannot read workload {path:?}: {e}")))?;
+        parse_workload(&text).map_err(|e| CliError(e.to_string()))?
+    } else {
+        let count: usize = args
+            .get_or("jobs", "20")
+            .parse()
+            .map_err(|_| CliError("bad --jobs value".into()))?;
+        let seed: u64 = args
+            .get_or("seed", "1")
+            .parse()
+            .map_err(|_| CliError("bad --seed value".into()))?;
+        let mean_interarrival: f64 = args
+            .get_or("mean-interarrival", "30")
+            .parse()
+            .map_err(|_| CliError("bad --mean-interarrival value".into()))?;
+        let bb_request_scale: f64 = args
+            .get_or("bb-scale", "1")
+            .parse()
+            .map_err(|_| CliError("bad --bb-scale value".into()))?;
+        let default_max = nodes.to_string();
+        let max_nodes: usize = args
+            .get_or("max-nodes", &default_max)
+            .parse()
+            .map_err(|_| CliError("bad --max-nodes value".into()))?;
+        synthetic_jobs(
+            seed,
+            &SyntheticConfig {
+                jobs: count,
+                mean_interarrival,
+                bb_request_scale,
+                max_nodes,
+            },
+        )
+        .map_err(|e| CliError(e.to_string()))?
+    };
+
+    let config = CampaignConfig::new(platform)
+        .with_policy(policy)
+        .with_solve_mode(solve_mode)
+        .with_platform_label(platform_spec);
+    let report =
+        run_campaign(&config, &jobs).map_err(|e| CliError(format!("campaign failed: {e}")))?;
+    print!("{}", report.summary_text());
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, report.jobs_csv())
+            .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+        println!("wrote per-job CSV to {path}");
+    }
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+        println!("wrote campaign report to {path}");
+    }
+    if let Some(path) = args.get("trace-out") {
+        std::fs::write(path, report.perfetto_trace_json())
+            .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+        println!("wrote Perfetto campaign trace to {path} (open in ui.perfetto.dev)");
     }
     Ok(())
 }
@@ -509,6 +649,98 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("trace format"));
+    }
+
+    #[test]
+    fn campaign_synthetic_writes_csv_json_and_trace() {
+        let dir = std::env::temp_dir().join("wfbb-cli-campaign-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("jobs.csv");
+        let json = dir.join("report.json");
+        let trace = dir.join("trace.json");
+        run(&rawv(&[
+            "campaign",
+            "--platform",
+            "cori:striped",
+            "--nodes",
+            "4",
+            "--policy",
+            "bb-aware",
+            "--jobs",
+            "6",
+            "--seed",
+            "7",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--json",
+            json.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let csv_body = std::fs::read_to_string(&csv).unwrap();
+        assert_eq!(csv_body.lines().count(), 7, "header + 6 jobs");
+        assert!(csv_body.contains("bb-aware"));
+        let json_body = std::fs::read_to_string(&json).unwrap();
+        assert!(json_body.contains("\"policy\":\"bb-aware\""));
+        let trace_body = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_body.contains("\"traceEvents\""));
+        assert!(trace_body.contains("\"name\":\"job:"));
+        for p in [&csv, &json, &trace] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn campaign_workload_file_runs_under_every_policy() {
+        let dir = std::env::temp_dir().join("wfbb-cli-campaign-wl-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let wl = dir.join("jobs.txt");
+        std::fs::write(
+            &wl,
+            "workflow=swarp:1:8 nodes=2 bb=2e9 walltime=600 name=a\n\
+             workflow=swarp:1:8 nodes=2 bb=2e9 walltime=600 submit=5 name=b\n",
+        )
+        .unwrap();
+        for policy in ["fcfs", "easy", "bb-aware"] {
+            run(&rawv(&[
+                "campaign",
+                "--platform",
+                "cori:striped",
+                "--policy",
+                policy,
+                "--workload",
+                wl.to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+        std::fs::remove_file(&wl).ok();
+    }
+
+    #[test]
+    fn campaign_rejects_bad_policy_and_chrome_flag_is_gone() {
+        let err = run(&rawv(&[
+            "campaign",
+            "--platform",
+            "summit",
+            "--policy",
+            "lottery",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("policy"), "{err}");
+        // --chrome was removed after its deprecation window: the parser
+        // now treats it as an unknown flag.
+        let err = run(&rawv(&[
+            "simulate",
+            "--workflow",
+            "swarp:1",
+            "--platform",
+            "summit",
+            "--chrome",
+            "/tmp/x.json",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("chrome"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! Regenerates the campaign-scheduling extension experiment; see
+//! `wfbb_experiments::figures`.
+fn main() {
+    wfbb_experiments::run_and_save("campaign");
+}

@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod bbnodes;
 pub mod bigfiles;
+pub mod campaign;
 pub mod fig04;
 pub mod fig05;
 pub mod fig06;
@@ -24,7 +25,7 @@ use crate::table::Table;
 
 /// Known experiment names: the paper's tables/figures in order, then the
 /// extension experiments (placement heuristics, model ablation).
-pub const NAMES: [&str; 19] = [
+pub const NAMES: [&str; 20] = [
     "table1",
     "fig04",
     "fig05",
@@ -44,6 +45,7 @@ pub const NAMES: [&str; 19] = [
     "refit",
     "bbnodes",
     "resilience",
+    "campaign",
 ];
 
 /// Resolves an experiment name to its runner.
@@ -68,6 +70,7 @@ pub fn by_name(name: &str) -> Option<fn() -> Vec<Table>> {
         "refit" => Some(refit::run),
         "bbnodes" => Some(bbnodes::run),
         "resilience" => Some(resilience::run),
+        "campaign" => Some(campaign::run),
         _ => None,
     }
 }

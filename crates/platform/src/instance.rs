@@ -227,6 +227,59 @@ impl PlatformInstance {
         }
     }
 
+    /// A view of this instance restricted to the compute nodes `nodes`
+    /// (indices into this instance's node vectors): the partition a
+    /// batch scheduler hands to one job of a multi-job campaign.
+    ///
+    /// The view re-indexes the selected nodes as `0..nodes.len()` but
+    /// keeps the *shared* fabric, PFS, staging-source, and (for shared
+    /// architectures) burst-buffer resources of the parent — flows
+    /// issued through the view therefore contend with every other job
+    /// on the same engine, which is exactly the cross-job interference
+    /// the campaign simulator models. `bb_capacity_per_device`
+    /// overrides the per-device BB capacity, carving the job's granted
+    /// BB allocation out of the machine-wide pool (`0.0` means "no BB
+    /// space": accesses spill to the PFS). On-node BBs are private to
+    /// their node, so the view keeps only the selected nodes' devices.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty or contains an out-of-range index.
+    pub fn slice(&self, nodes: &[usize], bb_capacity_per_device: f64) -> PlatformInstance {
+        assert!(!nodes.is_empty(), "a job slice needs at least one node");
+        let mut spec = self.spec.clone();
+        spec.compute_nodes = nodes.len();
+        spec.bb_capacity = bb_capacity_per_device;
+        let bb = match &self.bb {
+            BbInstance::Shared {
+                links,
+                disks,
+                meta,
+                mode,
+            } => BbInstance::Shared {
+                links: links.clone(),
+                disks: disks.clone(),
+                meta: meta.clone(),
+                mode: *mode,
+            },
+            BbInstance::OnNode { links, disks } => BbInstance::OnNode {
+                links: nodes.iter().map(|&n| links[n]).collect(),
+                disks: nodes.iter().map(|&n| disks[n]).collect(),
+            },
+            BbInstance::None => BbInstance::None,
+        };
+        PlatformInstance {
+            spec,
+            node_cpu: nodes.iter().map(|&n| self.node_cpu[n]).collect(),
+            node_nic: nodes.iter().map(|&n| self.node_nic[n]).collect(),
+            interconnect: self.interconnect,
+            pfs_link: self.pfs_link,
+            pfs_disk: self.pfs_disk,
+            pfs_meta: self.pfs_meta,
+            stage_source: self.stage_source,
+            bb,
+        }
+    }
+
     /// Every simulation resource belonging to BB device `idx` — the
     /// resources a node-loss fault zeroes: link + disk (+ the per-node
     /// metadata service on shared BBs).
@@ -299,6 +352,51 @@ mod tests {
         let route = inst.route_node_pfs(0);
         assert!(route.contains(&inst.interconnect));
         assert!(route.contains(&inst.pfs_disk));
+    }
+
+    #[test]
+    fn slice_shares_fabric_and_bb_but_not_nodes() {
+        let mut engine: Engine<()> = Engine::new();
+        let inst = presets::cori(4, BbMode::Striped).instantiate(&mut engine);
+        let view = inst.slice(&[1, 3], 2e9);
+        assert_eq!(view.nodes(), 2);
+        assert_eq!(view.node_cpu, vec![inst.node_cpu[1], inst.node_cpu[3]]);
+        assert_eq!(view.interconnect, inst.interconnect);
+        assert_eq!(view.pfs_disk, inst.pfs_disk);
+        assert_eq!(
+            view.bb_devices(),
+            inst.bb_devices(),
+            "shared BB stays whole"
+        );
+        assert_eq!(view.spec.compute_nodes, 2);
+        assert_eq!(view.spec.bb_capacity, 2e9);
+        // Route node 0 of the view == node 1 of the parent.
+        assert_eq!(view.route_node_pfs(0)[0], inst.node_nic[1]);
+    }
+
+    #[test]
+    fn slice_of_on_node_bb_keeps_only_selected_devices() {
+        let mut engine: Engine<()> = Engine::new();
+        let inst = presets::summit(3).instantiate(&mut engine);
+        let view = inst.slice(&[2], 1e9);
+        assert_eq!(view.bb_devices(), 1);
+        match (&view.bb, &inst.bb) {
+            (BbInstance::OnNode { disks: v, .. }, BbInstance::OnNode { disks: p, .. }) => {
+                assert_eq!(v[0], p[2], "view device 0 is parent node 2's NVMe");
+            }
+            _ => panic!("summit must have an on-node BB"),
+        }
+    }
+
+    #[test]
+    fn full_slice_is_identical_to_the_parent() {
+        let mut engine: Engine<()> = Engine::new();
+        let inst = presets::cori(2, BbMode::Private).instantiate(&mut engine);
+        let view = inst.slice(&[0, 1], inst.spec.bb_capacity);
+        assert_eq!(view.node_cpu, inst.node_cpu);
+        assert_eq!(view.node_nic, inst.node_nic);
+        assert_eq!(view.spec.bb_capacity, inst.spec.bb_capacity);
+        assert_eq!(view.spec.compute_nodes, inst.spec.compute_nodes);
     }
 
     #[test]

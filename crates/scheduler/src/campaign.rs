@@ -1,0 +1,669 @@
+//! The campaign driver: a multi-tenant batch simulation.
+//!
+//! One [`wfbb_simcore::Engine`] hosts the whole machine. Each admitted
+//! job gets an exclusive *slice* of the platform (its nodes, its carved
+//! share of the BB capacity) via [`wfbb_platform::PlatformInstance::slice`]
+//! and is executed by the ordinary single-run
+//! [`wfbb_wms::Executor`] on that slice — so stage-in/stage-out and
+//! PFS/interconnect traffic of concurrent jobs contend *naturally*
+//! inside the shared fluid engine, while compute and BB capacity are
+//! partitioned by the scheduler. Burst-buffer capacity is a
+//! reservation-pool resource ([`wfbb_storage::BbPool`]): granted at
+//! admission, released at completion or failure, conserved across the
+//! campaign.
+//!
+//! Scheduling decisions are delegated to the pure
+//! [`crate::policy::plan_admissions`] at every arrival and completion
+//! event; everything else here is deterministic bookkeeping (BTree
+//! collections, job-order arrival spawns), so identical inputs produce
+//! bitwise-identical [`CampaignReport`]s in both solve modes.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use crate::job::JobSpec;
+use crate::policy::{plan_admissions, BatchPolicy, QueuedReq, RunningRes};
+use crate::report::{job_metrics, CampaignReport, JobOutcome, JobStatus, UtilSample};
+use wfbb_platform::{BbArchitecture, PlatformSpec};
+use wfbb_simcore::{Engine, SolveMode, TelemetryConfig};
+use wfbb_storage::{BbPool, StorageSystem};
+use wfbb_wms::{Executor, FaultEvent, JobTag, RetryPolicy, SchedulerPolicy, Tag};
+
+/// Error from a campaign simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// The platform spec is invalid.
+    Platform(String),
+    /// The job list is empty.
+    EmptyCampaign,
+    /// The simulation engine failed.
+    Engine(String),
+    /// The event queue drained with jobs still queued or running — a
+    /// scheduler bug (unsatisfiable requests are rejected at submit).
+    Stalled(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Platform(m) => write!(f, "invalid platform: {m}"),
+            CampaignError::EmptyCampaign => write!(f, "campaign has no jobs"),
+            CampaignError::Engine(m) => write!(f, "engine error: {m}"),
+            CampaignError::Stalled(m) => write!(f, "campaign stalled: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// Cluster-level configuration of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// The machine every job shares.
+    pub platform: PlatformSpec,
+    /// Human-readable platform label echoed into reports (`cori:striped`).
+    pub platform_label: String,
+    /// Admission/backfilling policy.
+    pub policy: BatchPolicy,
+    /// Fair-share solver mode of the shared engine.
+    pub solve_mode: SolveMode,
+    /// Engine telemetry sampling (off by default).
+    pub telemetry: TelemetryConfig,
+    /// Per-node concurrent-I/O cap forwarded to every executor.
+    pub io_concurrency: Option<usize>,
+    /// Task-to-node mapping policy inside each job's partition.
+    pub node_scheduler: SchedulerPolicy,
+}
+
+impl CampaignConfig {
+    /// Default campaign config on `platform`: FCFS, incremental solver,
+    /// no telemetry.
+    pub fn new(platform: PlatformSpec) -> Self {
+        let platform_label = platform.name.clone();
+        CampaignConfig {
+            platform,
+            platform_label,
+            policy: BatchPolicy::Fcfs,
+            solve_mode: SolveMode::Incremental,
+            telemetry: TelemetryConfig::default(),
+            io_concurrency: None,
+            node_scheduler: SchedulerPolicy::default(),
+        }
+    }
+
+    /// Sets the admission policy.
+    pub fn with_policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the solver mode.
+    pub fn with_solve_mode(mut self, mode: SolveMode) -> Self {
+        self.solve_mode = mode;
+        self
+    }
+
+    /// Sets the report's platform label.
+    pub fn with_platform_label(mut self, label: impl Into<String>) -> Self {
+        self.platform_label = label.into();
+        self
+    }
+}
+
+/// Bookkeeping for one running job.
+struct RunningJob {
+    start: f64,
+    walltime_est: f64,
+    nodes: Vec<usize>,
+    bb: f64,
+}
+
+/// Per-job record accumulated by the driver.
+struct JobRecord {
+    status: JobStatus,
+    start: f64,
+    end: f64,
+    reserved_start: Option<f64>,
+    detail: Option<String>,
+    report: Option<wfbb_wms::SimulationReport>,
+}
+
+/// Why a request can never be satisfied on this machine, or `None`.
+fn rejection_reason(spec: &JobSpec, platform: &PlatformSpec, pool_bytes: f64) -> Option<String> {
+    if spec.nodes == 0 {
+        return Some("requests 0 nodes".into());
+    }
+    if spec.nodes > platform.compute_nodes {
+        return Some(format!(
+            "requests {} nodes, machine has {}",
+            spec.nodes, platform.compute_nodes
+        ));
+    }
+    if !spec.bb_bytes.is_finite() || spec.bb_bytes < 0.0 {
+        return Some(format!("invalid BB request {}", spec.bb_bytes));
+    }
+    if spec.bb_bytes > pool_bytes {
+        return Some(format!(
+            "requests {:.3e} B of BB, pool holds {:.3e} B",
+            spec.bb_bytes, pool_bytes
+        ));
+    }
+    if matches!(platform.bb, BbArchitecture::OnNode)
+        && spec.bb_bytes > spec.nodes as f64 * platform.bb_capacity
+    {
+        return Some(format!(
+            "on-node BB: {} nodes hold at most {:.3e} B",
+            spec.nodes,
+            spec.nodes as f64 * platform.bb_capacity
+        ));
+    }
+    if !spec.walltime_est.is_finite() || spec.walltime_est <= 0.0 {
+        return Some(format!(
+            "walltime estimate must be > 0, got {}",
+            spec.walltime_est
+        ));
+    }
+    if !spec.submit.is_finite() || spec.submit < 0.0 {
+        return Some(format!("invalid submit time {}", spec.submit));
+    }
+    for (task, time) in &spec.kills {
+        if !spec.workflow.tasks().iter().any(|t| t.name == *task) {
+            return Some(format!("kill targets unknown task {task:?}"));
+        }
+        if !time.is_finite() || *time < 0.0 {
+            return Some(format!("invalid kill time {time}"));
+        }
+    }
+    None
+}
+
+/// Runs a campaign of `jobs` (in submission order — sort by submit time
+/// first, ties broken by position) on one shared engine and returns the
+/// campaign report.
+pub fn run_campaign(
+    config: &CampaignConfig,
+    jobs: &[JobSpec],
+) -> Result<CampaignReport, CampaignError> {
+    if jobs.is_empty() {
+        return Err(CampaignError::EmptyCampaign);
+    }
+    config
+        .platform
+        .validate()
+        .map_err(|e| CampaignError::Platform(e.to_string()))?;
+
+    let mut engine = Engine::new();
+    engine.set_solve_mode(config.solve_mode);
+    engine.set_telemetry_config(config.telemetry.clone());
+    let instance = config.platform.instantiate(&mut engine);
+    let total_nodes = instance.nodes();
+    let bb_devices = instance.bb_devices();
+    let pool_bytes = bb_devices as f64 * config.platform.bb_capacity;
+    let engine = Rc::new(RefCell::new(engine));
+
+    let mut records: BTreeMap<u32, JobRecord> = BTreeMap::new();
+    let mut pool = BbPool::new(pool_bytes);
+    let mut free_nodes: BTreeSet<usize> = (0..total_nodes).collect();
+    let mut queue: Vec<u32> = Vec::new();
+    let mut running: BTreeMap<u32, RunningJob> = BTreeMap::new();
+    let mut executors: BTreeMap<u32, Executor> = BTreeMap::new();
+    let mut samples: Vec<UtilSample> = Vec::new();
+
+    // Submit-time screening + arrival sentinels, in job order (ascending
+    // activity ids make same-instant arrivals deterministic).
+    for (j, spec) in jobs.iter().enumerate() {
+        let j = j as u32;
+        if let Some(reason) = rejection_reason(spec, &config.platform, pool_bytes) {
+            records.insert(
+                j,
+                JobRecord {
+                    status: JobStatus::Rejected,
+                    start: 0.0,
+                    end: 0.0,
+                    reserved_start: None,
+                    detail: Some(reason),
+                    report: None,
+                },
+            );
+            continue;
+        }
+        engine.borrow_mut().spawn_delay_labeled(
+            spec.submit,
+            JobTag {
+                job: j,
+                tag: Tag::External(j),
+            },
+            Some(format!("arrival:{}", spec.name)),
+        );
+    }
+
+    let sample = |samples: &mut Vec<UtilSample>,
+                  now: f64,
+                  running: &BTreeMap<u32, RunningJob>,
+                  free_nodes: &BTreeSet<usize>,
+                  pool: &BbPool,
+                  queue: &Vec<u32>| {
+        samples.push(UtilSample {
+            time: now,
+            running_jobs: running.len(),
+            busy_nodes: total_nodes - free_nodes.len(),
+            bb_reserved: pool.capacity() - pool.free(),
+            queue_depth: queue.len(),
+        });
+    };
+
+    // Admission pass: ask the policy, start what it admits.
+    #[allow(clippy::too_many_arguments)]
+    fn try_admit(
+        config: &CampaignConfig,
+        jobs: &[JobSpec],
+        engine: &Rc<RefCell<Engine<JobTag>>>,
+        instance: &wfbb_platform::PlatformInstance,
+        now: f64,
+        queue: &mut Vec<u32>,
+        running: &mut BTreeMap<u32, RunningJob>,
+        executors: &mut BTreeMap<u32, Executor>,
+        free_nodes: &mut BTreeSet<usize>,
+        pool: &mut BbPool,
+        records: &mut BTreeMap<u32, JobRecord>,
+    ) {
+        if queue.is_empty() {
+            return;
+        }
+        let reqs: Vec<QueuedReq> = queue
+            .iter()
+            .map(|&j| {
+                let s = &jobs[j as usize];
+                QueuedReq {
+                    job: j,
+                    nodes: s.nodes,
+                    bb: s.bb_bytes,
+                    est: s.walltime_est,
+                }
+            })
+            .collect();
+        let holds: Vec<RunningRes> = running
+            .values()
+            .map(|r| RunningRes {
+                end_est: r.start + r.walltime_est,
+                nodes: r.nodes.len(),
+                bb: r.bb,
+            })
+            .collect();
+        let adm = plan_admissions(
+            config.policy,
+            now,
+            free_nodes.len(),
+            pool.free(),
+            &reqs,
+            &holds,
+        );
+        if let Some((job, shadow)) = adm.head_reservation {
+            // Record only the first promise: later re-plans may move the
+            // reservation, but the invariant we expose is "EASY never
+            // starts the head later than it first promised" (assuming
+            // conservative estimates).
+            if let Some(rec) = records.get_mut(&job) {
+                if rec.reserved_start.is_none() {
+                    rec.reserved_start = Some(shadow);
+                }
+            } else {
+                records.insert(
+                    job,
+                    JobRecord {
+                        status: JobStatus::Failed, // placeholder; overwritten at start
+                        start: 0.0,
+                        end: 0.0,
+                        reserved_start: Some(shadow),
+                        detail: None,
+                        report: None,
+                    },
+                );
+            }
+        }
+        for job in adm.start {
+            let spec = &jobs[job as usize];
+            queue.retain(|&q| q != job);
+            let node_ids: Vec<usize> = free_nodes.iter().copied().take(spec.nodes).collect();
+            assert_eq!(
+                node_ids.len(),
+                spec.nodes,
+                "policy admitted past free nodes"
+            );
+            for n in &node_ids {
+                free_nodes.remove(n);
+            }
+            assert!(
+                pool.try_reserve(job, spec.bb_bytes),
+                "policy admitted past free BB"
+            );
+            let view_devices = match config.platform.bb {
+                BbArchitecture::Shared { bb_nodes, .. } => bb_nodes,
+                BbArchitecture::OnNode => node_ids.len(),
+                BbArchitecture::None => 0,
+            };
+            let per_dev = if view_devices > 0 {
+                spec.bb_bytes / view_devices as f64
+            } else {
+                0.0
+            };
+            let view = instance.slice(&node_ids, per_dev);
+            let storage = StorageSystem::new(view);
+            let plan = spec.placement.plan(&spec.workflow);
+            let mut ex = Executor::shared(
+                engine.clone(),
+                job,
+                storage,
+                spec.workflow.clone(),
+                plan.clone(),
+                config.io_concurrency,
+                config.node_scheduler,
+            );
+            if !spec.kills.is_empty() {
+                let events: Vec<FaultEvent> = spec
+                    .kills
+                    .iter()
+                    .map(|(task, time)| FaultEvent::TaskKill {
+                        time: *time,
+                        task: task.clone(),
+                    })
+                    .collect();
+                ex.set_fault_injection(
+                    events,
+                    RetryPolicy {
+                        max_attempts: spec.max_attempts,
+                        backoff: 0.0,
+                    },
+                );
+            }
+            let reserved = records.get(&job).and_then(|r| r.reserved_start);
+            records.insert(
+                job,
+                JobRecord {
+                    status: JobStatus::Failed, // overwritten when it finishes
+                    start: now,
+                    end: now,
+                    reserved_start: reserved,
+                    detail: None,
+                    report: None,
+                },
+            );
+            running.insert(
+                job,
+                RunningJob {
+                    start: now,
+                    walltime_est: spec.walltime_est,
+                    nodes: node_ids,
+                    bb: spec.bb_bytes,
+                },
+            );
+            ex.start();
+            executors.insert(job, ex);
+        }
+    }
+
+    loop {
+        let step = engine.borrow_mut().try_step();
+        let completion = match step {
+            Err(e) => return Err(CampaignError::Engine(format!("{e:?}"))),
+            Ok(None) => break,
+            Ok(Some(c)) => c,
+        };
+        let now = completion.time.seconds();
+        let JobTag { job, tag } = completion.tag;
+        match tag {
+            Tag::External(_) => {
+                queue.push(job);
+                sample(&mut samples, now, &running, &free_nodes, &pool, &queue);
+                try_admit(
+                    config,
+                    jobs,
+                    &engine,
+                    &instance,
+                    now,
+                    &mut queue,
+                    &mut running,
+                    &mut executors,
+                    &mut free_nodes,
+                    &mut pool,
+                    &mut records,
+                );
+                sample(&mut samples, now, &running, &free_nodes, &pool, &queue);
+            }
+            tag => {
+                // Stale completions of finished/aborted jobs are dropped.
+                let Some(ex) = executors.get_mut(&job) else {
+                    continue;
+                };
+                let outcome = match ex.on_completion(completion.id, tag) {
+                    Ok(()) if ex.is_complete() => {
+                        // Build the job's report *now*, while engine time
+                        // is its final completion instant (so its makespan
+                        // matches a single run).
+                        Some((JobStatus::Completed, None, Some(ex.report())))
+                    }
+                    Ok(()) => None,
+                    Err(e) => {
+                        ex.abort();
+                        Some((JobStatus::Failed, Some(e.to_string()), None))
+                    }
+                };
+                let Some((status, detail, report)) = outcome else {
+                    continue;
+                };
+                executors.remove(&job);
+                let run = running.remove(&job).expect("finished job was running");
+                for n in run.nodes {
+                    free_nodes.insert(n);
+                }
+                pool.release(job);
+                let rec = records.get_mut(&job).expect("finished job has a record");
+                rec.status = status;
+                rec.end = now;
+                rec.detail = detail;
+                rec.report = report;
+                sample(&mut samples, now, &running, &free_nodes, &pool, &queue);
+                try_admit(
+                    config,
+                    jobs,
+                    &engine,
+                    &instance,
+                    now,
+                    &mut queue,
+                    &mut running,
+                    &mut executors,
+                    &mut free_nodes,
+                    &mut pool,
+                    &mut records,
+                );
+                sample(&mut samples, now, &running, &free_nodes, &pool, &queue);
+            }
+        }
+    }
+
+    if !queue.is_empty() || !executors.is_empty() {
+        return Err(CampaignError::Stalled(format!(
+            "{} queued, {} running after the event queue drained",
+            queue.len(),
+            executors.len()
+        )));
+    }
+
+    let outcomes: Vec<JobOutcome> = jobs
+        .iter()
+        .enumerate()
+        .map(|(j, spec)| {
+            let j = j as u32;
+            let rec = records.remove(&j).unwrap_or(JobRecord {
+                status: JobStatus::Rejected,
+                start: 0.0,
+                end: 0.0,
+                reserved_start: None,
+                detail: Some("never scheduled".into()),
+                report: None,
+            });
+            let (wait, run, stretch, bounded_slowdown) = if rec.status == JobStatus::Rejected {
+                (0.0, 0.0, 1.0, 1.0)
+            } else {
+                job_metrics(spec.submit, rec.start, rec.end)
+            };
+            JobOutcome {
+                job: j,
+                name: spec.name.clone(),
+                workflow: spec.workflow_spec.clone(),
+                submit: spec.submit,
+                nodes: spec.nodes,
+                bb_request: spec.bb_bytes,
+                walltime_est: spec.walltime_est,
+                status: rec.status,
+                start: rec.start,
+                end: rec.end,
+                wait,
+                run,
+                stretch,
+                bounded_slowdown,
+                reserved_start: rec.reserved_start,
+                detail: rec.detail,
+                report: rec.report,
+            }
+        })
+        .collect();
+
+    let mut report = CampaignReport {
+        policy: config.policy,
+        platform: config.platform_label.clone(),
+        total_nodes,
+        bb_pool_bytes: pool.capacity(),
+        jobs: outcomes,
+        makespan: 0.0,
+        mean_wait: 0.0,
+        max_wait: 0.0,
+        mean_stretch: 0.0,
+        mean_bounded_slowdown: 0.0,
+        node_utilization: 0.0,
+        bb_utilization: 0.0,
+        utilization: samples,
+        bb_pool_free_end: pool.free(),
+    };
+    report.finalize();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::build_workflow;
+    use wfbb_platform::presets;
+    use wfbb_platform::BbMode;
+
+    fn job(name: &str, submit: f64, spec: &str, nodes: usize, bb: f64, est: f64) -> JobSpec {
+        JobSpec::new(
+            name,
+            submit,
+            spec,
+            build_workflow(spec).unwrap(),
+            nodes,
+            bb,
+            est,
+        )
+    }
+
+    fn config(policy: BatchPolicy) -> CampaignConfig {
+        CampaignConfig::new(presets::cori(4, BbMode::Striped))
+            .with_policy(policy)
+            .with_platform_label("cori:striped")
+    }
+
+    #[test]
+    fn solo_campaign_completes_and_conserves_the_pool() {
+        let jobs = vec![job("solo", 0.0, "swarp:1:8", 1, 2e9, 600.0)];
+        let report = run_campaign(&config(BatchPolicy::Fcfs), &jobs).unwrap();
+        assert_eq!(report.jobs.len(), 1);
+        assert_eq!(report.jobs[0].status, JobStatus::Completed);
+        assert_eq!(report.jobs[0].wait, 0.0);
+        assert!(report.jobs[0].run > 0.0);
+        assert_eq!(report.bb_pool_free_end, report.bb_pool_bytes);
+        assert!(report.jobs[0].report.is_some());
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_not_deadlocked() {
+        let jobs = vec![
+            job("huge-nodes", 0.0, "swarp:1:8", 99, 1e9, 600.0),
+            job("huge-bb", 0.0, "swarp:1:8", 1, 1e18, 600.0),
+            job("ok", 0.0, "swarp:1:8", 1, 1e9, 600.0),
+        ];
+        let report = run_campaign(&config(BatchPolicy::EasyBackfill), &jobs).unwrap();
+        assert_eq!(report.jobs[0].status, JobStatus::Rejected);
+        assert_eq!(report.jobs[1].status, JobStatus::Rejected);
+        assert_eq!(report.jobs[2].status, JobStatus::Completed);
+    }
+
+    #[test]
+    fn fcfs_serializes_contending_jobs() {
+        // Two jobs that each want the whole machine: the second must
+        // wait for the first.
+        let jobs = vec![
+            job("a", 0.0, "swarp:1:8", 4, 1e9, 600.0),
+            job("b", 0.0, "swarp:1:8", 4, 1e9, 600.0),
+        ];
+        let report = run_campaign(&config(BatchPolicy::Fcfs), &jobs).unwrap();
+        let (a, b) = (&report.jobs[0], &report.jobs[1]);
+        assert_eq!(a.status, JobStatus::Completed);
+        assert_eq!(b.status, JobStatus::Completed);
+        assert_eq!(a.wait, 0.0);
+        assert!(b.start >= a.end - 1e-9, "b must wait for a");
+        assert!(b.stretch > 1.0);
+    }
+
+    #[test]
+    fn kill_faults_release_the_reservation() {
+        // A job whose task is killed more times than its retry budget
+        // fails — and must still release nodes and BB. Run the job solo
+        // first to find a time resample_0 is guaranteed to be computing.
+        let probe = vec![job("victim", 0.0, "swarp:1:8", 2, 4e9, 600.0)];
+        let solo = run_campaign(&config(BatchPolicy::Fcfs), &probe).unwrap();
+        let rep = solo.jobs[0].report.as_ref().unwrap();
+        let t = rep.task_by_name("resample_0").unwrap();
+        let kill_time = 0.5 * (t.read_end.seconds() + t.compute_end.seconds());
+        let mut victim = job("victim", 0.0, "swarp:1:8", 2, 4e9, 600.0).with_max_attempts(1);
+        victim.kills.push(("resample_0".into(), kill_time));
+        let jobs = vec![victim, job("after", 1.0, "swarp:1:8", 4, 1e9, 600.0)];
+        let report = run_campaign(&config(BatchPolicy::Fcfs), &jobs).unwrap();
+        assert_eq!(report.jobs[0].status, JobStatus::Failed);
+        assert_eq!(report.jobs[1].status, JobStatus::Completed);
+        assert_eq!(report.bb_pool_free_end, report.bb_pool_bytes);
+    }
+
+    #[test]
+    fn identical_seed_reports_are_bitwise_equal_across_solve_modes() {
+        let jobs: Vec<JobSpec> = crate::workload::synthetic_jobs(
+            11,
+            &crate::workload::SyntheticConfig {
+                jobs: 6,
+                mean_interarrival: 60.0,
+                bb_request_scale: 1.0,
+                max_nodes: 2,
+            },
+        )
+        .unwrap();
+        let a = run_campaign(&config(BatchPolicy::BbAware), &jobs).unwrap();
+        let b = run_campaign(&config(BatchPolicy::BbAware), &jobs).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+        let c = run_campaign(
+            &config(BatchPolicy::BbAware).with_solve_mode(SolveMode::Naive),
+            &jobs,
+        )
+        .unwrap();
+        for (x, y) in a.jobs.iter().zip(&c.jobs) {
+            assert!(
+                (x.end - y.end).abs() < 1e-6,
+                "{}: {} vs {}",
+                x.name,
+                x.end,
+                y.end
+            );
+        }
+    }
+}

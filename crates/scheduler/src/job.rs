@@ -1,0 +1,92 @@
+//! The campaign job model.
+//!
+//! A [`JobSpec`] is one entry of a batch-system workload: a workflow to
+//! execute, a resource request (compute nodes + burst-buffer bytes),
+//! a user walltime *estimate* (used only for scheduling decisions —
+//! jobs run to actual completion), and a submit time. Campaigns are
+//! just `Vec<JobSpec>`, parsed from a workload file or generated
+//! synthetically ([`crate::workload`]).
+
+use wfbb_storage::PlacementPolicy;
+use wfbb_workflow::Workflow;
+
+/// One job of a campaign workload.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Display name (unique names make reports/traces readable; the
+    /// scheduler itself keys jobs by index).
+    pub name: String,
+    /// Submission time, seconds from campaign start.
+    pub submit: f64,
+    /// The workflow to execute.
+    pub workflow: Workflow,
+    /// The spec string the workflow was built from (`swarp:2:8`, ...),
+    /// echoed into reports.
+    pub workflow_spec: String,
+    /// Requested compute nodes (the job's exclusive partition).
+    pub nodes: usize,
+    /// Requested burst-buffer allocation, bytes. Reserved from the
+    /// machine-wide pool at start, released at completion; the job's
+    /// executor sees exactly this much BB capacity (usage beyond it
+    /// spills to the PFS, modeling an under-request).
+    pub bb_bytes: f64,
+    /// User walltime estimate, seconds. Drives backfilling decisions
+    /// (shadow times, holes); jobs exceeding their estimate are *not*
+    /// killed, so EASY's reservation guarantee only holds when
+    /// estimates are conservative — exactly as on real machines.
+    pub walltime_est: f64,
+    /// File-placement policy inside the job's partition.
+    pub placement: PlacementPolicy,
+    /// Task-kill faults, `(task name, job-relative time)`. Campaigns
+    /// only allow kills — capacity faults are engine-global and would
+    /// hit every tenant.
+    pub kills: Vec<(String, f64)>,
+    /// Attempts each task may use when killed (see
+    /// `wfbb_wms::RetryPolicy`).
+    pub max_attempts: u32,
+}
+
+impl JobSpec {
+    /// A job with default placement ([`PlacementPolicy::AllBb`]), no
+    /// faults, and the default retry budget.
+    pub fn new(
+        name: impl Into<String>,
+        submit: f64,
+        workflow_spec: impl Into<String>,
+        workflow: Workflow,
+        nodes: usize,
+        bb_bytes: f64,
+        walltime_est: f64,
+    ) -> Self {
+        JobSpec {
+            name: name.into(),
+            submit,
+            workflow,
+            workflow_spec: workflow_spec.into(),
+            nodes,
+            bb_bytes,
+            walltime_est,
+            placement: PlacementPolicy::AllBb,
+            kills: Vec::new(),
+            max_attempts: 3,
+        }
+    }
+
+    /// Sets the file-placement policy.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Adds a task-kill fault at `time` seconds after the job starts.
+    pub fn with_kill(mut self, task: impl Into<String>, time: f64) -> Self {
+        self.kills.push((task.into(), time));
+        self
+    }
+
+    /// Sets the per-task attempt budget for kill faults.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+}

@@ -1,0 +1,604 @@
+//! Campaign-level results: per-job outcomes, cluster utilization
+//! series, aggregate metrics, and deterministic JSON / CSV / Perfetto
+//! exports.
+
+use std::fmt::Write as _;
+
+use crate::policy::BatchPolicy;
+use wfbb_wms::SimulationReport;
+
+/// Bounded-slowdown threshold τ, seconds: very short jobs do not get to
+/// claim astronomic slowdowns (Feitelson's bounded slowdown metric).
+pub const BOUNDED_SLOWDOWN_TAU: f64 = 10.0;
+
+/// Terminal state of a campaign job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Ran to workflow completion.
+    Completed,
+    /// Started but aborted on an executor error (e.g. retry budget
+    /// exhausted under kill faults).
+    Failed,
+    /// Never admitted: the request can never be satisfied on this
+    /// machine (too many nodes, more BB than the pool, ...).
+    Rejected,
+}
+
+impl JobStatus {
+    /// Stable lowercase label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Completed => "completed",
+            JobStatus::Failed => "failed",
+            JobStatus::Rejected => "rejected",
+        }
+    }
+}
+
+/// Everything the campaign learned about one job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Campaign job id (index in submission order).
+    pub job: u32,
+    /// Display name from the [`crate::JobSpec`].
+    pub name: String,
+    /// Workflow spec string (`swarp:2:8`, ...).
+    pub workflow: String,
+    /// Submit time, seconds.
+    pub submit: f64,
+    /// Nodes requested (and, if started, held).
+    pub nodes: usize,
+    /// BB bytes requested (and, if started, reserved).
+    pub bb_request: f64,
+    /// User walltime estimate, seconds.
+    pub walltime_est: f64,
+    /// Terminal state.
+    pub status: JobStatus,
+    /// Start (admission) time, seconds; 0 and meaningless for rejected
+    /// jobs — check `status`.
+    pub start: f64,
+    /// End time (completion or abort), seconds.
+    pub end: f64,
+    /// Queue wait `start - submit`, seconds.
+    pub wait: f64,
+    /// Execution time `end - start`, seconds.
+    pub run: f64,
+    /// Stretch `(wait + run) / run`.
+    pub stretch: f64,
+    /// Bounded slowdown `max(1, (wait + run) / max(run, τ))` with
+    /// τ = [`BOUNDED_SLOWDOWN_TAU`].
+    pub bounded_slowdown: f64,
+    /// The start time the scheduler first promised this job when it
+    /// blocked at the head of the queue (`None` if it never blocked or
+    /// under FCFS). Instrumentation for the EASY no-delay invariant:
+    /// with conservative estimates, `start <= reserved_start`.
+    pub reserved_start: Option<f64>,
+    /// Failure/rejection detail, if any.
+    pub detail: Option<String>,
+    /// The job's own single-run-shaped simulation report (`None` for
+    /// rejected jobs). Note: cluster-cumulative fields (`bb_bytes`,
+    /// `pfs_bytes`, achieved bandwidths) are measured engine-wide at the
+    /// job's completion instant, so in a campaign they include
+    /// co-tenants' traffic.
+    pub report: Option<SimulationReport>,
+}
+
+/// One sample of the cluster state, taken at every scheduling event
+/// (arrival, admission, completion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilSample {
+    /// Sample time, seconds.
+    pub time: f64,
+    /// Jobs currently executing.
+    pub running_jobs: usize,
+    /// Nodes held by running jobs.
+    pub busy_nodes: usize,
+    /// BB bytes reserved by running jobs.
+    pub bb_reserved: f64,
+    /// Jobs waiting in the queue.
+    pub queue_depth: usize,
+}
+
+/// The result of a campaign simulation.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Scheduling policy the campaign ran under.
+    pub policy: BatchPolicy,
+    /// Platform description string.
+    pub platform: String,
+    /// Total compute nodes of the machine.
+    pub total_nodes: usize,
+    /// Total BB pool capacity, bytes.
+    pub bb_pool_bytes: f64,
+    /// Per-job outcomes, in job-id order.
+    pub jobs: Vec<JobOutcome>,
+    /// Campaign makespan: last job end (0 if nothing ran).
+    pub makespan: f64,
+    /// Mean queue wait over non-rejected jobs, seconds.
+    pub mean_wait: f64,
+    /// Max queue wait over non-rejected jobs, seconds.
+    pub max_wait: f64,
+    /// Mean stretch over non-rejected jobs.
+    pub mean_stretch: f64,
+    /// Mean bounded slowdown over non-rejected jobs.
+    pub mean_bounded_slowdown: f64,
+    /// Time-averaged fraction of nodes busy over the makespan.
+    pub node_utilization: f64,
+    /// Time-averaged fraction of the BB pool reserved over the makespan.
+    pub bb_utilization: f64,
+    /// Cluster-state samples at every scheduling event, time order.
+    pub utilization: Vec<UtilSample>,
+    /// Free bytes in the BB reservation pool after the campaign drained.
+    /// Conservation demands this equals `bb_pool_bytes` exactly.
+    pub bb_pool_free_end: f64,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+impl CampaignReport {
+    /// Builds the aggregate metrics from per-job outcomes and the sample
+    /// series (the driver fills `jobs`/`utilization` and calls this).
+    pub(crate) fn finalize(&mut self) {
+        let ran: Vec<&JobOutcome> = self
+            .jobs
+            .iter()
+            .filter(|j| j.status != JobStatus::Rejected)
+            .collect();
+        self.makespan = ran.iter().map(|j| j.end).fold(0.0, f64::max);
+        let n = ran.len() as f64;
+        if !ran.is_empty() {
+            self.mean_wait = ran.iter().map(|j| j.wait).sum::<f64>() / n;
+            self.max_wait = ran.iter().map(|j| j.wait).fold(0.0, f64::max);
+            self.mean_stretch = ran.iter().map(|j| j.stretch).sum::<f64>() / n;
+            self.mean_bounded_slowdown = ran.iter().map(|j| j.bounded_slowdown).sum::<f64>() / n;
+        }
+        // Piecewise-constant integrals of the sample series.
+        let mut node_area = 0.0;
+        let mut bb_area = 0.0;
+        for w in self.utilization.windows(2) {
+            let dt = w[1].time - w[0].time;
+            node_area += w[0].busy_nodes as f64 * dt;
+            bb_area += w[0].bb_reserved * dt;
+        }
+        if self.makespan > 0.0 {
+            self.node_utilization = node_area / (self.total_nodes as f64 * self.makespan);
+            if self.bb_pool_bytes > 0.0 {
+                self.bb_utilization = bb_area / (self.bb_pool_bytes * self.makespan);
+            }
+        }
+    }
+
+    /// Human-readable summary table.
+    pub fn summary_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign: policy={} platform={} nodes={} bb_pool={:.3e} B",
+            self.policy.label(),
+            self.platform,
+            self.total_nodes,
+            self.bb_pool_bytes
+        );
+        let _ = writeln!(
+            out,
+            "  jobs={} makespan={:.1}s mean_wait={:.1}s max_wait={:.1}s \
+             mean_stretch={:.3} mean_bounded_slowdown={:.3}",
+            self.jobs.len(),
+            self.makespan,
+            self.mean_wait,
+            self.max_wait,
+            self.mean_stretch,
+            self.mean_bounded_slowdown
+        );
+        let _ = writeln!(
+            out,
+            "  node_utilization={:.1}% bb_utilization={:.1}%",
+            self.node_utilization * 100.0,
+            self.bb_utilization * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  {:>3} {:<22} {:<12} {:>9} {:>5} {:>10} {:>9} {:>9} {:>8} {:>8}",
+            "id",
+            "name",
+            "workflow",
+            "submit",
+            "nodes",
+            "bb(B)",
+            "wait",
+            "run",
+            "stretch",
+            "status"
+        );
+        for j in &self.jobs {
+            let _ = writeln!(
+                out,
+                "  {:>3} {:<22} {:<12} {:>9.1} {:>5} {:>10.2e} {:>9.1} {:>9.1} {:>8.2} {:>8}",
+                j.job,
+                j.name,
+                j.workflow,
+                j.submit,
+                j.nodes,
+                j.bb_request,
+                j.wait,
+                j.run,
+                j.stretch,
+                j.status.label()
+            );
+        }
+        out
+    }
+
+    /// Per-job outcomes as CSV (header + one row per job, job-id order).
+    pub fn jobs_csv(&self) -> String {
+        let mut out = String::from(
+            "job,name,workflow,policy,submit,nodes,bb_request,walltime_est,\
+             status,start,end,wait,run,stretch,bounded_slowdown\n",
+        );
+        for j in &self.jobs {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                j.job,
+                j.name,
+                j.workflow,
+                self.policy.label(),
+                num(j.submit),
+                j.nodes,
+                num(j.bb_request),
+                num(j.walltime_est),
+                j.status.label(),
+                num(j.start),
+                num(j.end),
+                num(j.wait),
+                num(j.run),
+                num(j.stretch),
+                num(j.bounded_slowdown)
+            );
+        }
+        out
+    }
+
+    /// The whole report as deterministic JSON (stable key order, fixed
+    /// float formatting — identical campaigns produce identical bytes).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"schema_version\":1,\"policy\":\"{}\",\"platform\":\"{}\",\
+             \"total_nodes\":{},\"bb_pool_bytes\":{},\"makespan\":{},\
+             \"mean_wait\":{},\"max_wait\":{},\"mean_stretch\":{},\
+             \"mean_bounded_slowdown\":{},\"node_utilization\":{},\
+             \"bb_utilization\":{},\"bb_pool_free_end\":{},\"jobs\":[",
+            self.policy.label(),
+            esc(&self.platform),
+            self.total_nodes,
+            num(self.bb_pool_bytes),
+            num(self.makespan),
+            num(self.mean_wait),
+            num(self.max_wait),
+            num(self.mean_stretch),
+            num(self.mean_bounded_slowdown),
+            num(self.node_utilization),
+            num(self.bb_utilization),
+            num(self.bb_pool_free_end),
+        );
+        for (i, j) in self.jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"job\":{},\"name\":\"{}\",\"workflow\":\"{}\",\"submit\":{},\
+                 \"nodes\":{},\"bb_request\":{},\"walltime_est\":{},\"status\":\"{}\",\
+                 \"start\":{},\"end\":{},\"wait\":{},\"run\":{},\"stretch\":{},\
+                 \"bounded_slowdown\":{}",
+                j.job,
+                esc(&j.name),
+                esc(&j.workflow),
+                num(j.submit),
+                j.nodes,
+                num(j.bb_request),
+                num(j.walltime_est),
+                j.status.label(),
+                num(j.start),
+                num(j.end),
+                num(j.wait),
+                num(j.run),
+                num(j.stretch),
+                num(j.bounded_slowdown),
+            );
+            if let Some(r) = j.reserved_start {
+                let _ = write!(out, ",\"reserved_start\":{}", num(r));
+            }
+            if let Some(d) = &j.detail {
+                let _ = write!(out, ",\"detail\":\"{}\"", esc(d));
+            }
+            if let Some(rep) = &j.report {
+                let _ = write!(
+                    out,
+                    ",\"tasks\":{},\"retries\":{},\"stage_in_time\":{}",
+                    rep.tasks.len(),
+                    rep.retries,
+                    num(rep.stage_in_time)
+                );
+            }
+            out.push('}');
+        }
+        out.push_str("],\"utilization\":[");
+        for (i, s) in self.utilization.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"time\":{},\"running_jobs\":{},\"busy_nodes\":{},\
+                 \"bb_reserved\":{},\"queue_depth\":{}}}",
+                num(s.time),
+                s.running_jobs,
+                s.busy_nodes,
+                num(s.bb_reserved),
+                s.queue_depth
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Perfetto/Chrome trace of the campaign: one process lane per job
+    /// (a `queued` slice from submit to start, a `run` slice from start
+    /// to end) plus a counter process tracking busy nodes, reserved BB
+    /// bytes, and queue depth. Load at `ui.perfetto.dev`.
+    pub fn perfetto_trace_json(&self) -> String {
+        let us = |sec: f64| format!("{:.3}", sec * 1e6);
+        let mut events: Vec<(f64, String)> = Vec::new();
+        let mut meta: Vec<String> = Vec::new();
+        for j in &self.jobs {
+            let pid = j.job + 1;
+            meta.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"job:{}\"}}}}",
+                esc(&j.name)
+            ));
+            if j.status == JobStatus::Rejected {
+                continue;
+            }
+            if j.wait > 0.0 {
+                events.push((
+                    j.submit,
+                    format!(
+                        "{{\"name\":\"queued\",\"cat\":\"queue\",\"ph\":\"X\",\"ts\":{},\
+                         \"dur\":{},\"pid\":{pid},\"tid\":0,\"args\":{{\"workflow\":\"{}\"}}}}",
+                        us(j.submit),
+                        us(j.wait),
+                        esc(&j.workflow)
+                    ),
+                ));
+            }
+            events.push((
+                j.start,
+                format!(
+                    "{{\"name\":\"run:{}\",\"cat\":\"job\",\"ph\":\"X\",\"ts\":{},\
+                     \"dur\":{},\"pid\":{pid},\"tid\":0,\"args\":{{\"workflow\":\"{}\",\
+                     \"nodes\":{},\"bb_request\":{},\"status\":\"{}\"}}}}",
+                    esc(&j.name),
+                    us(j.start),
+                    us(j.run),
+                    esc(&j.workflow),
+                    j.nodes,
+                    num(j.bb_request),
+                    j.status.label()
+                ),
+            ));
+        }
+        let counter_pid = self.jobs.len() as u32 + 1;
+        meta.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{counter_pid},\"tid\":0,\
+             \"args\":{{\"name\":\"cluster\"}}}}"
+        ));
+        for s in &self.utilization {
+            events.push((
+                s.time,
+                format!(
+                    "{{\"name\":\"busy_nodes\",\"ph\":\"C\",\"ts\":{},\"pid\":{counter_pid},\
+                     \"tid\":0,\"args\":{{\"nodes\":{}}}}}",
+                    us(s.time),
+                    s.busy_nodes
+                ),
+            ));
+            events.push((
+                s.time,
+                format!(
+                    "{{\"name\":\"queue_depth\",\"ph\":\"C\",\"ts\":{},\"pid\":{counter_pid},\
+                     \"tid\":0,\"args\":{{\"jobs\":{}}}}}",
+                    us(s.time),
+                    s.queue_depth
+                ),
+            ));
+            events.push((
+                s.time,
+                format!(
+                    "{{\"name\":\"bb_reserved\",\"ph\":\"C\",\"ts\":{},\"pid\":{counter_pid},\
+                     \"tid\":0,\"args\":{{\"bytes\":{}}}}}",
+                    us(s.time),
+                    num(s.bb_reserved)
+                ),
+            ));
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        for m in meta {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&m);
+        }
+        for (_, e) in events {
+            out.push(',');
+            out.push_str(&e);
+        }
+        let _ = write!(
+            out,
+            "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"policy\":\"{}\",\
+             \"platform\":\"{}\"}}}}",
+            self.policy.label(),
+            esc(&self.platform)
+        );
+        out
+    }
+}
+
+/// Computes `(wait, run, stretch, bounded_slowdown)` from job times.
+pub(crate) fn job_metrics(submit: f64, start: f64, end: f64) -> (f64, f64, f64, f64) {
+    let wait = (start - submit).max(0.0);
+    let run = (end - start).max(0.0);
+    let stretch = if run > 0.0 { (wait + run) / run } else { 1.0 };
+    let bsld = ((wait + run) / run.max(BOUNDED_SLOWDOWN_TAU)).max(1.0);
+    (wait, run, stretch, bsld)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(job: u32, submit: f64, start: f64, end: f64) -> JobOutcome {
+        let (wait, run, stretch, bounded_slowdown) = job_metrics(submit, start, end);
+        JobOutcome {
+            job,
+            name: format!("j{job}"),
+            workflow: "swarp:1:8".into(),
+            submit,
+            nodes: 1,
+            bb_request: 1e9,
+            walltime_est: 100.0,
+            status: JobStatus::Completed,
+            start,
+            end,
+            wait,
+            run,
+            stretch,
+            bounded_slowdown,
+            reserved_start: None,
+            detail: None,
+            report: None,
+        }
+    }
+
+    fn report() -> CampaignReport {
+        let mut r = CampaignReport {
+            policy: BatchPolicy::Fcfs,
+            platform: "cori:striped".into(),
+            total_nodes: 2,
+            bb_pool_bytes: 4e9,
+            jobs: vec![outcome(0, 0.0, 0.0, 100.0), outcome(1, 0.0, 100.0, 200.0)],
+            makespan: 0.0,
+            mean_wait: 0.0,
+            max_wait: 0.0,
+            mean_stretch: 0.0,
+            mean_bounded_slowdown: 0.0,
+            node_utilization: 0.0,
+            bb_utilization: 0.0,
+            utilization: vec![
+                UtilSample {
+                    time: 0.0,
+                    running_jobs: 1,
+                    busy_nodes: 1,
+                    bb_reserved: 1e9,
+                    queue_depth: 1,
+                },
+                UtilSample {
+                    time: 100.0,
+                    running_jobs: 1,
+                    busy_nodes: 1,
+                    bb_reserved: 1e9,
+                    queue_depth: 0,
+                },
+                UtilSample {
+                    time: 200.0,
+                    running_jobs: 0,
+                    busy_nodes: 0,
+                    bb_reserved: 0.0,
+                    queue_depth: 0,
+                },
+            ],
+            bb_pool_free_end: 4e9,
+        };
+        r.finalize();
+        r
+    }
+
+    #[test]
+    fn finalize_computes_aggregates() {
+        let r = report();
+        assert_eq!(r.makespan, 200.0);
+        assert_eq!(r.mean_wait, 50.0);
+        assert_eq!(r.max_wait, 100.0);
+        assert!((r.mean_stretch - 1.5).abs() < 1e-12);
+        // node area = 1*100 + 1*100 = 200 over 2 nodes * 200 s.
+        assert!((r.node_utilization - 0.5).abs() < 1e-12);
+        assert!((r.bb_utilization - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_and_csv_are_deterministic_and_well_formed() {
+        let a = report();
+        let b = report();
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.jobs_csv(), b.jobs_csv());
+        let json = a.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert!(json.contains("\"policy\":\"fcfs\""));
+        assert_eq!(a.jobs_csv().lines().count(), 3);
+    }
+
+    #[test]
+    fn perfetto_has_one_lane_per_job_and_counters() {
+        let trace = a_trace();
+        assert!(trace.contains("\"name\":\"job:j0\""));
+        assert!(trace.contains("\"name\":\"job:j1\""));
+        assert!(trace.contains("\"name\":\"cluster\""));
+        assert!(trace.contains("\"ph\":\"C\""));
+        // Job 1 waited 100 s; job 0 never queued.
+        assert!(trace.contains("\"name\":\"queued\""));
+        assert_eq!(trace.matches("\"name\":\"queued\"").count(), 1);
+    }
+
+    fn a_trace() -> String {
+        report().perfetto_trace_json()
+    }
+
+    #[test]
+    fn bounded_slowdown_is_clamped() {
+        // A 1-second job that waited 9 seconds: raw slowdown 10, bounded
+        // uses τ=10 -> (9+1)/10 = 1.
+        let (_, _, stretch, bsld) = job_metrics(0.0, 9.0, 10.0);
+        assert_eq!(stretch, 10.0);
+        assert_eq!(bsld, 1.0);
+    }
+}

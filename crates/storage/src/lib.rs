@@ -28,11 +28,13 @@
 pub mod heuristics;
 pub mod placement;
 pub mod registry;
+pub mod reservation;
 pub mod system;
 pub mod tier;
 
 pub use heuristics::{plan_with_budget, BbBudgetHeuristic};
 pub use placement::{PlacementPlan, PlacementPolicy};
 pub use registry::FileRegistry;
+pub use reservation::BbPool;
 pub use system::{FailoverPolicy, StorageSystem};
 pub use tier::{Location, StorageKind, Tier};

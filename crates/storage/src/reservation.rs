@@ -1,0 +1,149 @@
+//! Machine-wide burst-buffer capacity ledger for multi-job campaigns.
+//!
+//! On DataWarp-style machines the batch system carves the shared BB
+//! pool into per-job allocations at admission time and returns them
+//! when the job ends (normally or not). [`BbPool`] is that ledger: a
+//! campaign scheduler reserves a job's requested bytes before starting
+//! it and releases them exactly once afterwards. The pool is pure
+//! bookkeeping — actual BB *occupancy* during a run is still tracked by
+//! the executor against the job's carved-out capacity slice.
+//!
+//! Invariants (checked on every operation, and pinned by property tests
+//! in `tests/bb_reservation.rs`):
+//!
+//! * free capacity never goes negative;
+//! * `free + Σ granted == capacity` at all times;
+//! * after every job has released, `free == capacity` again.
+
+use std::collections::BTreeMap;
+
+/// Shared burst-buffer capacity ledger (bytes).
+#[derive(Debug, Clone)]
+pub struct BbPool {
+    capacity: f64,
+    free: f64,
+    granted: BTreeMap<u32, f64>,
+}
+
+impl BbPool {
+    /// Creates a pool of `capacity` bytes (the machine-wide aggregate
+    /// BB capacity; may be `0.0` on BB-less platforms).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is negative or not finite.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "BB pool capacity must be finite and non-negative"
+        );
+        BbPool {
+            capacity,
+            free: capacity,
+            granted: BTreeMap::new(),
+        }
+    }
+
+    /// Total pool capacity, bytes.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Currently unreserved bytes.
+    pub fn free(&self) -> f64 {
+        self.free
+    }
+
+    /// Bytes currently granted to `job`, or `None` if it holds nothing.
+    pub fn granted(&self, job: u32) -> Option<f64> {
+        self.granted.get(&job).copied()
+    }
+
+    /// Whether a request of `bytes` could be reserved right now.
+    pub fn fits(&self, bytes: f64) -> bool {
+        bytes <= self.free
+    }
+
+    /// Reserves `bytes` for `job`. Returns `false` (and changes
+    /// nothing) if the pool cannot cover the request.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is negative/non-finite or `job` already holds
+    /// a grant (jobs reserve exactly once).
+    pub fn try_reserve(&mut self, job: u32, bytes: f64) -> bool {
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "BB request must be finite and non-negative"
+        );
+        assert!(
+            !self.granted.contains_key(&job),
+            "job {job} already holds a BB grant"
+        );
+        if !self.fits(bytes) {
+            return false;
+        }
+        self.free -= bytes;
+        self.granted.insert(job, bytes);
+        debug_assert!(self.free >= -1e-6, "free BB capacity went negative");
+        true
+    }
+
+    /// Releases `job`'s grant, returning the freed bytes (`0.0` if the
+    /// job held nothing — releasing twice is a no-op, so fault paths
+    /// can release unconditionally).
+    pub fn release(&mut self, job: u32) -> f64 {
+        let bytes = self.granted.remove(&job).unwrap_or(0.0);
+        self.free = (self.free + bytes).min(self.capacity);
+        bytes
+    }
+
+    /// `free + Σ granted == capacity` within `tol` — the conservation
+    /// invariant the property tests assert after every operation.
+    pub fn is_conserved(&self, tol: f64) -> bool {
+        let held: f64 = self.granted.values().sum();
+        self.free >= 0.0 && (self.free + held - self.capacity).abs() <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_then_release_restores_the_pool() {
+        let mut pool = BbPool::new(10.0);
+        assert!(pool.try_reserve(1, 6.0));
+        assert!(!pool.fits(5.0));
+        assert!(pool.try_reserve(2, 4.0));
+        assert_eq!(pool.free(), 0.0);
+        assert!(!pool.try_reserve(3, 1e-9), "an exhausted pool rejects");
+        assert_eq!(pool.release(1), 6.0);
+        assert_eq!(pool.release(2), 4.0);
+        assert_eq!(pool.free(), pool.capacity());
+        assert!(pool.is_conserved(1e-12));
+    }
+
+    #[test]
+    fn double_release_is_a_no_op() {
+        let mut pool = BbPool::new(5.0);
+        assert!(pool.try_reserve(7, 5.0));
+        assert_eq!(pool.release(7), 5.0);
+        assert_eq!(pool.release(7), 0.0);
+        assert_eq!(pool.free(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds")]
+    fn double_reserve_panics() {
+        let mut pool = BbPool::new(5.0);
+        assert!(pool.try_reserve(1, 1.0));
+        let _ = pool.try_reserve(1, 1.0);
+    }
+
+    #[test]
+    fn zero_byte_grants_are_fine() {
+        let mut pool = BbPool::new(0.0);
+        assert!(pool.try_reserve(0, 0.0), "BB-less jobs reserve 0 bytes");
+        assert_eq!(pool.release(0), 0.0);
+        assert!(pool.is_conserved(0.0));
+    }
+}

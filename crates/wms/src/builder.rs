@@ -407,7 +407,10 @@ mod tests {
         let route = vec![instance.pfs_disk];
         engine.spawn_flow(
             FlowSpec::new(1.0, route).with_rate_cap(1e-12),
-            crate::executor::Tag::Compute(TaskId::from_index(0)),
+            crate::executor::JobTag {
+                job: 0,
+                tag: crate::executor::Tag::Compute(TaskId::from_index(0)),
+            },
         );
         let storage = StorageSystem::new(instance);
         let wf = pipeline_workflow(2);

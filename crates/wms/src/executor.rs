@@ -1,7 +1,12 @@
 //! The workflow executor state machine.
 //!
-//! [`Executor`] owns the simulation engine, the storage system, and the
-//! workflow, and drives execution event by event:
+//! [`Executor`] drives one workflow execution through a simulation
+//! engine, event by event. The engine is held behind `Rc<RefCell<..>>`
+//! so several executors can share it: a campaign driver (see the
+//! `wfbb-sched` crate) runs many concurrent jobs on one engine, each
+//! executor reacting only to completions tagged with its job id, while
+//! single runs keep the classic one-executor-per-engine shape via
+//! [`Executor::new`] + [`Executor::run`]:
 //!
 //! * the **stage-in phase** copies BB-assigned input files into the burst
 //!   buffer one at a time (the paper's stage-in task is sequential); input
@@ -17,7 +22,9 @@
 //! paper's single-node experiments); untagged tasks go to the node with the
 //! most free cores.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 
 use wfbb_simcore::{ActivityId, Engine, EngineError, FaultPlan, FlowSpec, ResourceId, SimTime};
 use wfbb_storage::{FileRegistry, Location, PlacementPlan, StorageSystem, Tier};
@@ -49,7 +56,7 @@ pub enum SchedulerPolicy {
 /// Engine-activity tags: what each completion means to the executor.
 ///
 /// Public only because [`Executor::new`] accepts a pre-built
-/// `Engine<Tag>`; treat it as an implementation detail.
+/// `Engine<JobTag>`; treat it as an implementation detail.
 #[derive(Debug, Clone, Copy)]
 pub enum Tag {
     /// Metadata phase of staging `file` into the BB.
@@ -82,6 +89,22 @@ pub enum Tag {
     Fault(u32),
     /// Backoff delay before re-running a killed task.
     Retry(TaskId),
+    /// Driver-level sentinel (e.g. a job arrival in a campaign). Never
+    /// produced by the executor; [`Executor::on_completion`] ignores it
+    /// so drivers may share the tag space.
+    External(u32),
+}
+
+/// An executor [`Tag`] namespaced by the job it belongs to. The shared
+/// engine of a multi-job campaign is an `Engine<JobTag>`: the campaign
+/// driver routes each completion to the executor whose `job` matches,
+/// and single runs use job `0` throughout.
+#[derive(Debug, Clone, Copy)]
+pub struct JobTag {
+    /// Owning job (always `0` for single runs).
+    pub job: u32,
+    /// The executor-level meaning of the completion.
+    pub tag: Tag,
 }
 
 /// Task lifecycle phase.
@@ -190,7 +213,13 @@ impl From<EngineError> for ExecutorError {
 
 /// Drives one workflow execution through the engine.
 pub struct Executor {
-    engine: Engine<Tag>,
+    engine: Rc<RefCell<Engine<JobTag>>>,
+    /// Job id stamped on every activity this executor spawns (`0` for
+    /// single runs).
+    job: u32,
+    /// Prefix applied to every activity label (empty for single runs;
+    /// `"j<id>/"` in campaigns so shared-engine traces stay readable).
+    label_prefix: String,
     storage: StorageSystem,
     workflow: Workflow,
     plan: PlacementPlan,
@@ -264,7 +293,37 @@ impl Executor {
     /// Builds an executor from pre-instantiated parts. `engine` must be the
     /// engine `storage`'s platform was instantiated into.
     pub fn new(
-        engine: Engine<Tag>,
+        engine: Engine<JobTag>,
+        storage: StorageSystem,
+        workflow: Workflow,
+        plan: PlacementPlan,
+        io_concurrency: Option<usize>,
+        scheduler: SchedulerPolicy,
+    ) -> Self {
+        let mut ex = Self::shared(
+            Rc::new(RefCell::new(engine)),
+            0,
+            storage,
+            workflow,
+            plan,
+            io_concurrency,
+            scheduler,
+        );
+        // Single runs keep unprefixed labels (trace goldens predate the
+        // campaign layer).
+        ex.label_prefix = String::new();
+        ex
+    }
+
+    /// Builds an executor for job `job` on a *shared* engine (multi-job
+    /// campaigns). Activities are tagged `JobTag { job, .. }` and labels
+    /// are prefixed `"j<job>/"` so shared-engine traces stay readable.
+    /// `storage`'s platform view must reference resources that live in
+    /// `engine`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn shared(
+        engine: Rc<RefCell<Engine<JobTag>>>,
+        job: u32,
         storage: StorageSystem,
         workflow: Workflow,
         plan: PlacementPlan,
@@ -286,6 +345,8 @@ impl Executor {
         };
         Executor {
             engine,
+            job,
+            label_prefix: format!("j{job}/"),
             storage,
             workflow,
             plan,
@@ -384,33 +445,21 @@ impl Executor {
         ok
     }
 
-    /// Runs the workflow to completion and produces the report.
+    /// Runs the workflow to completion and produces the report
+    /// (single-run driver: this executor must be the engine's sole
+    /// client).
     pub fn run(mut self) -> Result<SimulationReport, ExecutorError> {
-        self.install_faults();
-        self.prepare_staging();
-        self.start_next_stage();
+        self.start();
 
-        while let Some(c) = self.engine.try_step()? {
-            self.live.remove(&c.id);
-            if self.discard.remove(&c.id) {
-                // A fault cancelled this activity after its completion
-                // was already queued; its access has been re-issued.
-                continue;
-            }
-            self.absorb_contention(c.id, &c.tag);
-            match c.tag {
-                Tag::StageMeta(file) => self.on_stage_meta(file),
-                Tag::StageData(file) => self.on_stage_data(file),
-                Tag::TaskMeta { task, file, write } => self.on_task_meta(task, file, write),
-                Tag::TaskData { task, file, write } => self.on_task_data(task, file, write),
-                Tag::Compute(task) => self.on_compute_done(task),
-                Tag::Fault(k) => self.on_fault(k)?,
-                Tag::Retry(task) => self.on_retry(task),
-            }
-            if !self.faults.is_empty()
-                && self.staging_done
-                && self.completed == self.workflow.task_count()
-            {
+        loop {
+            let step = self.engine.borrow_mut().try_step()?;
+            let Some(c) = step else { break };
+            debug_assert_eq!(
+                c.tag.job, self.job,
+                "single-run engine only carries this executor's activities"
+            );
+            self.on_completion(c.id, c.tag.tag)?;
+            if !self.faults.is_empty() && self.is_complete() {
                 // All work done; don't sit out sentinel delays for
                 // faults scheduled after the workflow finished. (Only
                 // with injection: fault-free runs keep draining the
@@ -427,6 +476,68 @@ impl Executor {
         Ok(self.report())
     }
 
+    /// Kicks the execution off: installs faults, registers/stages
+    /// inputs, and spawns the first activities. Campaign drivers call
+    /// this once per job at its start time, then feed completions via
+    /// [`Executor::on_completion`].
+    pub fn start(&mut self) {
+        self.install_faults();
+        self.prepare_staging();
+        self.start_next_stage();
+    }
+
+    /// Reacts to one engine completion belonging to this executor's job
+    /// (the campaign driver strips the [`JobTag`] wrapper and routes by
+    /// job id). Safe to call with completions of cancelled activities —
+    /// they are discarded, exactly as in the single-run loop.
+    pub fn on_completion(&mut self, id: ActivityId, tag: Tag) -> Result<(), ExecutorError> {
+        self.live.remove(&id);
+        if self.discard.remove(&id) {
+            // A fault cancelled this activity after its completion
+            // was already queued; its access has been re-issued.
+            return Ok(());
+        }
+        self.absorb_contention(id, &tag);
+        match tag {
+            Tag::StageMeta(file) => self.on_stage_meta(file),
+            Tag::StageData(file) => self.on_stage_data(file),
+            Tag::TaskMeta { task, file, write } => self.on_task_meta(task, file, write),
+            Tag::TaskData { task, file, write } => self.on_task_data(task, file, write),
+            Tag::Compute(task) => self.on_compute_done(task),
+            Tag::Fault(k) => self.on_fault(k)?,
+            Tag::Retry(task) => self.on_retry(task),
+            Tag::External(_) => {
+                debug_assert!(false, "External tags are driver-level, not executor-level");
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether staging and every task have finished (the job is done and
+    /// [`Executor::report`] is meaningful).
+    pub fn is_complete(&self) -> bool {
+        self.staging_done && self.completed == self.workflow.task_count()
+    }
+
+    /// The job id stamped on this executor's activities.
+    pub fn job(&self) -> u32 {
+        self.job
+    }
+
+    /// Cancels every in-flight activity of this executor. Campaign
+    /// drivers call this when abandoning a failed job so its flows stop
+    /// contending with the survivors (already-queued completions are
+    /// marked for discard, as in fault recovery).
+    pub fn abort(&mut self) {
+        let ids: Vec<ActivityId> = self.live.keys().copied().collect();
+        let _ = self.cancel_all(&ids);
+    }
+
+    /// Current simulated time.
+    fn now(&self) -> SimTime {
+        self.engine.borrow().now()
+    }
+
     /// Translates the fault schedule into engine capacity events and one
     /// sentinel delay per event. The engine applies capacity changes
     /// *before* delivering same-time completions, so each sentinel wakes
@@ -437,11 +548,13 @@ impl Executor {
             return;
         }
         let mut plan = FaultPlan::new();
+        let mut any_capacity = false;
         for ev in &self.faults {
             match *ev {
                 FaultEvent::BbNodeDown { time, device } => {
                     for r in self.storage.platform.bb_device_resources(device) {
                         plan.push_capacity(time, r, 0.0);
+                        any_capacity = true;
                     }
                 }
                 FaultEvent::BbDegraded {
@@ -450,8 +563,9 @@ impl Executor {
                     factor,
                 } => {
                     for r in self.storage.platform.bb_device_resources(device) {
-                        let nominal = self.engine.resource(r).capacity;
+                        let nominal = self.engine.borrow().resource(r).capacity;
                         plan.push_capacity(time, r, nominal * factor);
+                        any_capacity = true;
                     }
                 }
                 FaultEvent::PfsDegraded { time, factor } => {
@@ -459,26 +573,45 @@ impl Executor {
                         self.storage.platform.pfs_link,
                         self.storage.platform.pfs_disk,
                     ] {
-                        let nominal = self.engine.resource(r).capacity;
+                        let nominal = self.engine.borrow().resource(r).capacity;
                         plan.push_capacity(time, r, nominal * factor);
+                        any_capacity = true;
                     }
                 }
                 FaultEvent::TaskKill { .. } => {}
             }
         }
-        self.engine.set_fault_plan(&plan);
+        if any_capacity {
+            // Capacity faults are engine-global (absolute times, shared
+            // resources); kill-only schedules — the only kind campaigns
+            // allow — must not replace another job's installed plan.
+            self.engine.borrow_mut().set_fault_plan(&plan);
+        }
         for (k, ev) in self.faults.iter().enumerate() {
-            self.engine.spawn_delay_labeled(
+            self.engine.borrow_mut().spawn_delay_labeled(
                 ev.time(),
-                Tag::Fault(k as u32),
-                Some(format!("fault:{}:{}", ev.kind(), ev.target())),
+                JobTag {
+                    job: self.job,
+                    tag: Tag::Fault(k as u32),
+                },
+                Some(format!(
+                    "{}fault:{}:{}",
+                    self.label_prefix,
+                    ev.kind(),
+                    ev.target()
+                )),
             );
         }
     }
 
     /// Spawns a flow and tracks it for fault-time cancellation.
     fn spawn_tracked_flow(&mut self, spec: FlowSpec, tag: Tag, label: String) {
-        let id = self.engine.spawn_flow_labeled(spec, tag, Some(label));
+        let label = format!("{}{label}", self.label_prefix);
+        let id = self.engine.borrow_mut().spawn_flow_labeled(
+            spec,
+            JobTag { job: self.job, tag },
+            Some(label),
+        );
         self.live.insert(id, tag);
     }
 
@@ -486,17 +619,21 @@ impl Executor {
     /// accumulator of the task phase (or the stage-in phase) it belonged
     /// to. Instant flows carry no record and are skipped.
     fn absorb_contention(&mut self, id: ActivityId, tag: &Tag) {
-        let Some(rec) = self.engine.flow_contention(id) else {
-            return;
+        let (ideal, actual, wait, blame) = {
+            let engine = self.engine.borrow();
+            let Some(rec) = engine.flow_contention(id) else {
+                return;
+            };
+            // Per-resource share of the wait: lost work at each binding
+            // resource, converted to seconds at the flow's uncontended
+            // rate.
+            let blame: Vec<(ResourceId, f64)> = rec
+                .blame
+                .iter()
+                .map(|&(r, lost)| (r, lost / rec.uncontended_rate))
+                .collect();
+            (rec.ideal_duration(), rec.duration(), rec.wait, blame)
         };
-        let (ideal, actual, wait) = (rec.ideal_duration(), rec.duration(), rec.wait);
-        // Per-resource share of the wait: lost work at each binding
-        // resource, converted to seconds at the flow's uncontended rate.
-        let blame: Vec<(ResourceId, f64)> = rec
-            .blame
-            .iter()
-            .map(|&(r, lost)| (r, lost / rec.uncontended_rate))
-            .collect();
         match *tag {
             Tag::StageMeta(_) | Tag::StageData(_) => {
                 for (r, w) in blame {
@@ -516,7 +653,7 @@ impl Executor {
             Tag::Compute(task) => {
                 self.fold_task_contention(task, 1, ideal, actual, wait, blame);
             }
-            Tag::Fault(_) | Tag::Retry(_) => {}
+            Tag::Fault(_) | Tag::Retry(_) | Tag::External(_) => {}
         }
     }
 
@@ -585,7 +722,7 @@ impl Executor {
             };
             // or_insert: a copy restarted by a BB failure keeps its
             // original start so the span covers the wasted work too.
-            let now = self.engine.now();
+            let now = self.now();
             self.stage_started.entry(file).or_insert(now);
             self.resolved.insert(Self::stage_key(file), loc.clone());
             let access = self.storage.stage_in_flows(size, &loc, node);
@@ -705,7 +842,7 @@ impl Executor {
         self.stage_spans.push(StageSpan {
             file: self.workflow.file(file).name.clone(),
             start,
-            end: self.engine.now(),
+            end: self.now(),
             location: Self::location_label(loc),
         });
     }
@@ -713,7 +850,7 @@ impl Executor {
     fn finish_staging(&mut self) {
         debug_assert!(!self.staging_done, "staging finishes once");
         self.staging_done = true;
-        self.stage_end = self.engine.now();
+        self.stage_end = self.now();
         for t in self.workflow.tasks() {
             if self.deps_remaining[t.id.index()] == 0 {
                 self.ready.insert(t.id);
@@ -771,7 +908,7 @@ impl Executor {
     }
 
     fn start_task(&mut self, task: TaskId, node: usize, cores: usize) {
-        let now = self.engine.now();
+        let now = self.now();
         self.attempts[task.index()] += 1;
         if self.attempts[task.index()] == 1 {
             self.first_start[task.index()] = now;
@@ -849,7 +986,7 @@ impl Executor {
         if write {
             // or_insert: a write restarted by a BB failure keeps its
             // original start so the span covers the wasted work too.
-            let now = self.engine.now();
+            let now = self.now();
             self.write_started
                 .entry((task.index() as u32, file.index() as u32))
                 .or_insert(now);
@@ -983,7 +1120,7 @@ impl Executor {
             self.output_spans.push(StageSpan {
                 file: self.workflow.file(file).name.clone(),
                 start,
-                end: self.engine.now(),
+                end: self.now(),
                 location: Self::location_label(&landed),
             });
             self.registry.set(file, landed);
@@ -995,7 +1132,7 @@ impl Executor {
 
     /// Current phase drained (no pending, no in-flight): advance the task.
     fn phase_done(&mut self, task: TaskId) {
-        let now = self.engine.now();
+        let now = self.now();
         match self.states[task.index()].phase {
             Phase::Reading => {
                 self.states[task.index()].read_end = now;
@@ -1032,7 +1169,7 @@ impl Executor {
     }
 
     fn on_compute_done(&mut self, task: TaskId) {
-        let now = self.engine.now();
+        let now = self.now();
         let outputs: VecDeque<FileId> = self.workflow.task(task).outputs.iter().copied().collect();
         {
             let st = &mut self.states[task.index()];
@@ -1114,7 +1251,7 @@ impl Executor {
             Tag::TaskMeta { task, file, write } | Tag::TaskData { task, file, write } => {
                 Some((task.index() as u32, file.index() as u32, write))
             }
-            Tag::Compute(_) | Tag::Fault(_) | Tag::Retry(_) => None,
+            Tag::Compute(_) | Tag::Fault(_) | Tag::Retry(_) | Tag::External(_) => None,
         }
     }
 
@@ -1125,7 +1262,11 @@ impl Executor {
             Tag::TaskMeta { task, .. } | Tag::TaskData { task, .. } | Tag::Compute(task) => {
                 Some(task)
             }
-            Tag::StageMeta(_) | Tag::StageData(_) | Tag::Fault(_) | Tag::Retry(_) => None,
+            Tag::StageMeta(_)
+            | Tag::StageData(_)
+            | Tag::Fault(_)
+            | Tag::Retry(_)
+            | Tag::External(_) => None,
         }
     }
 
@@ -1139,7 +1280,7 @@ impl Executor {
             let Some(tag) = self.live.remove(&id) else {
                 continue;
             };
-            match self.engine.cancel_activity(id) {
+            match self.engine.borrow_mut().cancel_activity(id) {
                 Some(c) => {
                     n += 1;
                     match tag {
@@ -1185,7 +1326,7 @@ impl Executor {
         // Accesses with at least one in-flight flow crossing the device.
         let mut victims: BTreeSet<ActivityId> = BTreeSet::new();
         for r in self.storage.platform.bb_device_resources(device) {
-            victims.extend(self.engine.flows_through(r));
+            victims.extend(self.engine.borrow().flows_through(r));
         }
         let mut affected: BTreeSet<(u32, u32, bool)> = BTreeSet::new();
         for id in &victims {
@@ -1344,8 +1485,14 @@ impl Executor {
         self.contention[task.index()] = TaskContention::default();
         self.retries += 1;
         let backoff = self.retry.backoff.max(0.0);
-        self.engine
-            .spawn_delay_labeled(backoff, Tag::Retry(task), Some(format!("retry:{name}")));
+        self.engine.borrow_mut().spawn_delay_labeled(
+            backoff,
+            JobTag {
+                job: self.job,
+                tag: Tag::Retry(task),
+            },
+            Some(format!("{}retry:{name}", self.label_prefix)),
+        );
         self.fault_log.push(FaultRecord {
             time,
             kind: "task-kill".into(),
@@ -1455,7 +1602,12 @@ impl Executor {
         steps
     }
 
-    fn report(&self) -> SimulationReport {
+    /// Builds the [`SimulationReport`] of this job. In a campaign the
+    /// driver calls this at the instant the job's final completion is
+    /// processed, so `makespan` (the engine's current time) equals the
+    /// job's end time.
+    pub fn report(&self) -> SimulationReport {
+        let engine = self.engine.borrow();
         let tasks: Vec<TaskRecord> = self
             .workflow
             .tasks()
@@ -1470,7 +1622,7 @@ impl Executor {
                 let mut contention_by_resource: Vec<(String, f64)> = self.contention[t.id.index()]
                     .by_resource
                     .iter()
-                    .map(|&(r, w)| (self.engine.resource(r).name.clone(), w))
+                    .map(|&(r, w)| (engine.resource(r).name.clone(), w))
                     .collect();
                 contention_by_resource
                     .sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
@@ -1497,8 +1649,7 @@ impl Executor {
         let fault_wait_total: f64 = tasks.iter().map(|t: &TaskRecord| t.fault_wait).sum();
 
         // Per-resource blame totals (always accumulated by the engine).
-        let mut contention: Vec<ResourceContention> = self
-            .engine
+        let mut contention: Vec<ResourceContention> = engine
             .resource_blame()
             .iter()
             .enumerate()
@@ -1506,8 +1657,8 @@ impl Executor {
                 b.interval().map(|interval| {
                     let id = ResourceId::from_index(i);
                     ResourceContention {
-                        name: self.engine.resource(id).name.clone(),
-                        capacity: self.engine.resource(id).capacity,
+                        name: engine.resource(id).name.clone(),
+                        capacity: engine.resource(id).capacity,
                         lost_work: b.lost_work,
                         wait: b.wait,
                         interval,
@@ -1520,7 +1671,7 @@ impl Executor {
         let mut stage_contention: Vec<(String, f64)> = self
             .stage_waits
             .iter()
-            .map(|(&r, &w)| (self.engine.resource(r).name.clone(), w))
+            .map(|(&r, &w)| (engine.resource(r).name.clone(), w))
             .collect();
         stage_contention.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
@@ -1531,14 +1682,14 @@ impl Executor {
             wfbb_platform::BbInstance::Shared { disks, .. }
             | wfbb_platform::BbInstance::OnNode { disks, .. } => {
                 for &d in disks {
-                    let s = self.engine.resource_stats(d);
+                    let s = engine.resource_stats(d);
                     bb_bytes += s.total_served;
                     bb_busy += s.busy_time;
                 }
             }
             wfbb_platform::BbInstance::None => {}
         }
-        let pfs = self.engine.resource_stats(platform.pfs_disk);
+        let pfs = engine.resource_stats(platform.pfs_disk);
 
         let bb_devices = match &platform.bb {
             wfbb_platform::BbInstance::Shared { disks, .. }
@@ -1548,7 +1699,7 @@ impl Executor {
 
         SimulationReport {
             workflow: self.workflow.name.clone(),
-            makespan: self.engine.now(),
+            makespan: engine.now(),
             stage_in_time: self.stage_end.seconds(),
             stage_spans: self.stage_spans.clone(),
             output_spans: self.output_spans.clone(),
@@ -1575,7 +1726,7 @@ impl Executor {
             spilled_files: self.spilled,
             nodes: platform.nodes(),
             cores_per_node: platform.spec.cores_per_node,
-            telemetry: self.engine.telemetry_snapshot(),
+            telemetry: engine.telemetry_snapshot(),
         }
     }
 }

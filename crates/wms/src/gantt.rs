@@ -66,11 +66,10 @@ impl SimulationReport {
     /// process per compute node, one complete event per task phase
     /// (read / compute / write), timestamps in microseconds.
     ///
-    /// This is the task-phase-only export behind the CLI's deprecated
-    /// `--chrome` flag; prefer
+    /// This is the minimal task-phase-only export; prefer
     /// [`SimulationReport::perfetto_trace_json`](crate::traceexport)
-    /// (`--trace-out`), which adds stage lanes, attribution args, and
-    /// telemetry counter tracks.
+    /// (the CLI's `--trace-out`), which adds stage lanes, attribution
+    /// args, and telemetry counter tracks.
     pub fn chrome_trace_json(&self) -> String {
         let mut events = Vec::new();
         for t in &self.tasks {

@@ -42,7 +42,7 @@ pub mod traceexport;
 
 pub use builder::{SimulationBuilder, SimulationError};
 pub use dynamic::{DynamicPlacer, PlacementContext};
-pub use executor::SchedulerPolicy;
+pub use executor::{Executor, ExecutorError, JobTag, SchedulerPolicy, Tag};
 pub use explain::{Explanation, Hotspot, PathComposition, TierBandwidth};
 pub use fault::{FaultEvent, FaultSpec, FaultSpecError, RetryPolicy};
 pub use report::{

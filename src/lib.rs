@@ -17,6 +17,9 @@
 //!   placement policies;
 //! * [`wms`] — the workflow management system that executes a workflow on a
 //!   platform through the simulator;
+//! * [`sched`] — the multi-tenant campaign layer: batch scheduling policies
+//!   (FCFS, EASY backfill, BB-aware backfill) admitting concurrent workflow
+//!   jobs onto one shared platform;
 //! * [`calibration`] — the paper's calibration model (Equations 1–4,
 //!   Table I constants) plus digitized measured data and the measurement
 //!   emulator used in place of real Cori/Summit runs;
@@ -42,6 +45,7 @@
 
 pub use wfbb_calibration as calibration;
 pub use wfbb_platform as platform;
+pub use wfbb_sched as sched;
 pub use wfbb_simcore as simcore;
 pub use wfbb_storage as storage;
 pub use wfbb_wms as wms;

@@ -1,0 +1,134 @@
+//! Property tests for the machine-wide burst-buffer reservation pool:
+//! across randomized campaigns (any policy, any pressure, with and
+//! without kill faults), reserved BB capacity never exceeds the pool,
+//! never goes negative, and the pool returns to its initial free
+//! capacity once the campaign drains.
+
+use proptest::prelude::*;
+
+use wfbb::prelude::*;
+use wfbb::sched::{
+    run_campaign, synthetic_jobs, BatchPolicy, CampaignConfig, JobSpec, JobStatus, SyntheticConfig,
+};
+use wfbb::storage::BbPool;
+
+fn campaign(seed: u64, jobs: usize, scale: f64) -> Vec<JobSpec> {
+    synthetic_jobs(
+        seed,
+        &SyntheticConfig {
+            jobs,
+            mean_interarrival: 20.0,
+            bb_request_scale: scale,
+            max_nodes: 2,
+        },
+    )
+    .unwrap()
+}
+
+/// Asserts the pool invariants on a finished campaign report.
+fn check_pool(report: &wfbb::sched::CampaignReport) -> Result<(), TestCaseError> {
+    let pool = report.bb_pool_bytes;
+    for s in &report.utilization {
+        prop_assert!(
+            s.bb_reserved >= 0.0,
+            "reserved BB went negative: {} at t={}",
+            s.bb_reserved,
+            s.time
+        );
+        prop_assert!(
+            s.bb_reserved <= pool + 1e-3,
+            "reserved BB {} exceeds the pool {} at t={}",
+            s.bb_reserved,
+            pool,
+            s.time
+        );
+    }
+    prop_assert!(
+        (report.bb_pool_free_end - pool).abs() <= pool * 1e-9,
+        "pool did not return to its initial capacity: free_end {} vs {}",
+        report.bb_pool_free_end,
+        pool
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Fault-free campaigns: any policy, any BB pressure.
+    #[test]
+    fn bb_pool_invariants_hold_for_random_campaigns(
+        seed in 0u64..10_000,
+        jobs in 2usize..7,
+        scale in 0.25f64..2.5,
+        policy_idx in 0usize..3,
+    ) {
+        let jobs = campaign(seed, jobs, scale);
+        let config = CampaignConfig::new(presets::cori(8, BbMode::Striped))
+            .with_policy(BatchPolicy::ALL[policy_idx])
+            .with_platform_label("cori:striped");
+        let report = run_campaign(&config, &jobs).unwrap();
+        check_pool(&report)?;
+    }
+
+    /// Campaigns with kill faults: killed tasks retry or fail the job,
+    /// and either way the reservation must come back.
+    #[test]
+    fn bb_pool_returns_after_faulty_campaigns(
+        seed in 0u64..10_000,
+        kill_time in 1.0f64..400.0,
+        attempts in 1u32..3,
+    ) {
+        let jobs: Vec<JobSpec> = campaign(seed, 5, 1.0)
+            .into_iter()
+            .map(|j| {
+                if j.workflow_spec.starts_with("swarp") {
+                    // Every SWarp instance has a resample_0 task; kills
+                    // landing outside its compute window are no-ops, so
+                    // cases cover clean runs, retries, and job failures.
+                    j.with_kill("resample_0", kill_time)
+                        .with_max_attempts(attempts)
+                } else {
+                    j
+                }
+            })
+            .collect();
+        let config = CampaignConfig::new(presets::cori(8, BbMode::Striped))
+            .with_policy(BatchPolicy::BbAware)
+            .with_platform_label("cori:striped");
+        let report = run_campaign(&config, &jobs).unwrap();
+        // Failed jobs still release; nothing may be left queued.
+        for j in &report.jobs {
+            prop_assert!(j.status == JobStatus::Completed || j.status == JobStatus::Failed);
+        }
+        check_pool(&report)?;
+    }
+
+    /// The ledger itself, exercised directly with random interleavings
+    /// of reserve/release: conservation holds after every operation.
+    #[test]
+    fn ledger_conserves_capacity_under_random_interleavings(
+        capacity in 1.0f64..1e15,
+        ops in proptest::collection::vec((0u32..8, 0.0f64..1e15, 0u32..2), 1..40),
+    ) {
+        let mut pool = BbPool::new(capacity);
+        for (job, bytes, release) in ops {
+            if release == 1 {
+                let _ = pool.release(job);
+            } else if pool.granted(job).is_none() {
+                let _ = pool.try_reserve(job, bytes);
+            }
+            prop_assert!(pool.free() >= 0.0, "free went negative");
+            prop_assert!(
+                pool.is_conserved(capacity * 1e-12),
+                "conservation violated: free {} capacity {}",
+                pool.free(),
+                capacity
+            );
+        }
+        for job in 0..8 {
+            let _ = pool.release(job);
+        }
+        prop_assert!((pool.free() - capacity).abs() <= capacity * 1e-12);
+    }
+}
