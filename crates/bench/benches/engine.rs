@@ -119,6 +119,41 @@ fn bench_engine_10k(c: &mut Criterion) {
     group.finish();
 }
 
+/// Snapshot/fork cost vs live engine size: `n` flows contending on one
+/// link plus `n` delay timers, stepped partway so the lazy heap and the
+/// solver workspace are warm. `snapshot` measures the deep clone,
+/// `restore` measures overwriting a live engine from a held snapshot;
+/// together they bound the per-candidate cost of the plan scheduler's
+/// speculative rollouts (docs/snapshot.md).
+fn bench_snapshot_fork(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_fork");
+    for n in [16usize, 128, 512] {
+        let mut engine: Engine<usize> = Engine::new();
+        let link = engine.add_resource("link", 1000.0);
+        for i in 0..n {
+            engine.spawn_flow(FlowSpec::new(100.0 + i as f64, vec![link]), i);
+        }
+        for k in 0..n {
+            engine.spawn_delay(0.01 * k as f64, n + k);
+        }
+        for _ in 0..n / 2 {
+            engine.try_step().expect("warm-up steps succeed");
+        }
+        group.bench_with_input(BenchmarkId::new("snapshot", n), &n, |b, _| {
+            b.iter(|| black_box(engine.snapshot()))
+        });
+        let snap = engine.snapshot();
+        group.bench_with_input(BenchmarkId::new("restore", n), &n, |b, _| {
+            let mut target = engine.fork();
+            b.iter(|| {
+                target.restore(black_box(&snap));
+                black_box(&target);
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Explainability overhead: building the full `explain` report (hotspot
 /// ranking, critical-path walk, composition, renderers) from a finished
 /// SWarp run. Attribution accounting itself is always on, so this bounds
@@ -150,6 +185,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_fairshare, bench_engine_events, bench_engine_stress, bench_engine_10k,
-              bench_explain_report
+              bench_snapshot_fork, bench_explain_report
 }
 criterion_main!(benches);

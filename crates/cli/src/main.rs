@@ -48,7 +48,8 @@ usage:
                 [--gantt <width>] [--explain <k>] [--explain-json <path>]
                 [--trace-out <path> [--trace-format perfetto|jsonl]]
                 [--faults <spec|file>] [--failover pfs|bb] [--retries <n>]
-  wfbb campaign --platform <spec> [--nodes <n>] [--policy fcfs|easy|bb-aware]
+  wfbb campaign --platform <spec> [--nodes <n>]
+                [--policy fcfs|easy|bb-aware|plan] [--plan-horizon <s>]
                 (--workload <file> | [--jobs <n>] [--seed <s>]
                  [--mean-interarrival <s>] [--bb-scale <f>] [--max-nodes <n>])
                 [--solver naive|incremental] [--csv <path>] [--json <path>]
@@ -72,7 +73,11 @@ observability (see docs/trace-format.md):
 
 campaign scheduling (see docs/scheduler.md):
   --policy       fcfs | easy (EASY backfilling on nodes) | bb-aware (EASY on
-                 nodes *and* burst-buffer capacity)
+                 nodes *and* burst-buffer capacity) | plan (fork the whole
+                 simulation at each scheduling point, play candidate queue
+                 orders forward, commit the best projected bounded slowdown)
+  --plan-horizon lookahead of plan's speculative forks, seconds past the
+                 scheduling point (default 86400)
   --workload     workload file (one `key=value ...` job per line); without it
                  a synthetic campaign is drawn from --seed/--jobs/
                  --mean-interarrival/--bb-scale/--max-nodes
@@ -123,6 +128,7 @@ fn run(raw: &[String]) -> Result<(), CliError> {
                 "platform",
                 "nodes",
                 "policy",
+                "plan-horizon",
                 "workload",
                 "jobs",
                 "seed",
@@ -281,9 +287,16 @@ fn campaign(args: &Args) -> Result<(), CliError> {
     let policy_label = args.get_or("policy", "fcfs");
     let policy = BatchPolicy::parse(policy_label).ok_or_else(|| {
         CliError(format!(
-            "unrecognized policy {policy_label:?} (expected fcfs, easy, or bb-aware)"
+            "unrecognized policy {policy_label:?} (expected fcfs, easy, bb-aware, or plan)"
         ))
     })?;
+    let plan_horizon: f64 = args
+        .get_or("plan-horizon", "86400")
+        .parse()
+        .map_err(|_| CliError("bad --plan-horizon value".into()))?;
+    if !plan_horizon.is_finite() || plan_horizon <= 0.0 {
+        return Err(CliError("--plan-horizon must be a positive number".into()));
+    }
     let solve_mode = match args.get_or("solver", "incremental") {
         "incremental" => wfbb_simcore::SolveMode::Incremental,
         "naive" => wfbb_simcore::SolveMode::Naive,
@@ -335,7 +348,8 @@ fn campaign(args: &Args) -> Result<(), CliError> {
     let config = CampaignConfig::new(platform)
         .with_policy(policy)
         .with_solve_mode(solve_mode)
-        .with_platform_label(platform_spec);
+        .with_platform_label(platform_spec)
+        .with_plan_horizon(plan_horizon);
     let report =
         run_campaign(&config, &jobs).map_err(|e| CliError(format!("campaign failed: {e}")))?;
     print!("{}", report.summary_text());

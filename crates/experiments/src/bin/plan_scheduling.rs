@@ -1,0 +1,5 @@
+//! Regenerates the plan-vs-greedy scheduling sweep (walltime-estimate
+//! error x policy); see `wfbb_experiments::figures::plan_scheduling`.
+fn main() {
+    wfbb_experiments::run_and_save("plan_scheduling");
+}

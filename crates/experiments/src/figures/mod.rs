@@ -16,6 +16,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod heuristics;
 pub mod optimality;
+pub mod plan_scheduling;
 pub mod refit;
 pub mod resilience;
 pub mod scaling;
@@ -25,7 +26,7 @@ use crate::table::Table;
 
 /// Known experiment names: the paper's tables/figures in order, then the
 /// extension experiments (placement heuristics, model ablation).
-pub const NAMES: [&str; 20] = [
+pub const NAMES: [&str; 21] = [
     "table1",
     "fig04",
     "fig05",
@@ -46,6 +47,7 @@ pub const NAMES: [&str; 20] = [
     "bbnodes",
     "resilience",
     "campaign",
+    "plan_scheduling",
 ];
 
 /// Resolves an experiment name to its runner.
@@ -71,6 +73,7 @@ pub fn by_name(name: &str) -> Option<fn() -> Vec<Table>> {
         "bbnodes" => Some(bbnodes::run),
         "resilience" => Some(resilience::run),
         "campaign" => Some(campaign::run),
+        "plan_scheduling" => Some(plan_scheduling::run),
         _ => None,
     }
 }

@@ -1,0 +1,146 @@
+//! Extension experiment: plan-based vs greedy BB-aware scheduling.
+//!
+//! Runs an oversubscribed 20-job campaign (2x BB pressure, 15 s mean
+//! interarrivals on 8-node striped-BB Cori, jobs up to half the
+//! machine so backfilling stays live) under greedy
+//! BB-aware backfilling and under the plan policy, while sweeping the
+//! *walltime-estimate error*: at error factor `f`, odd-indexed jobs
+//! over-estimate (`est * f`) and even-indexed jobs under-estimate
+//! (`est / f`), so `f = 1` is the exact workload and larger `f` makes
+//! the scheduler's beliefs increasingly wrong in both directions (jobs
+//! always run to their actual completion — only beliefs change). A
+//! *uniform* multiplier would be a much weaker probe: it preserves
+//! every est-vs-est comparison the policies make (backfill shadow
+//! tests, shortest-first candidate orders) and barely moves the
+//! schedule.
+//!
+//! The question this answers is the practical one for plan-based
+//! scheduling (Kopanski & Rzadca, arXiv:2109.00082): lookahead
+//! simulation scores candidate admission orders using the *estimates*,
+//! so how much of the plan policy's advantage survives when users
+//! under- or over-estimate their walltimes? Greedy BB-aware uses the
+//! same estimates only for backfill shadow times, so it degrades
+//! differently.
+
+use wfbb_platform::{presets, BbMode};
+use wfbb_sched::{
+    run_campaign, synthetic_jobs, BatchPolicy, CampaignConfig, CampaignReport, JobSpec,
+    SyntheticConfig,
+};
+
+use crate::harness::par_map;
+use crate::table::{f2, Table};
+
+/// Compute nodes of the shared machine.
+const NODES: usize = 8;
+/// Campaign length: long enough that admission order compounds.
+const JOBS: usize = 20;
+/// Workload seed (fixed; campaigns are deterministic).
+const SEED: u64 = 1;
+/// Walltime-estimate error factors: 1x is perfect information; at
+/// factor `f` half the jobs believe `est * f` and half `est / f`.
+const EST_ERROR: [f64; 5] = [1.0, 1.5, 2.0, 3.0, 4.0];
+/// The two contenders: greedy BB-aware backfilling vs plan-based.
+const POLICIES: [BatchPolicy; 2] = [BatchPolicy::BbAware, BatchPolicy::Plan];
+
+/// The oversubscribed acceptance workload with per-job estimate error:
+/// odd-indexed jobs over-estimate by `est_factor`, even-indexed jobs
+/// under-estimate by the same factor.
+fn workload(est_factor: f64) -> Vec<JobSpec> {
+    let mut jobs = synthetic_jobs(
+        SEED,
+        &SyntheticConfig {
+            jobs: JOBS,
+            mean_interarrival: 15.0,
+            bb_request_scale: 2.0,
+            max_nodes: NODES / 2,
+        },
+    )
+    .expect("synthetic workload");
+    for (i, j) in jobs.iter_mut().enumerate() {
+        if i % 2 == 0 {
+            j.walltime_est /= est_factor;
+        } else {
+            j.walltime_est *= est_factor;
+        }
+    }
+    jobs
+}
+
+fn run_one(policy: BatchPolicy, est_factor: f64) -> CampaignReport {
+    let config = CampaignConfig::new(presets::cori(NODES, BbMode::Striped))
+        .with_policy(policy)
+        .with_platform_label("cori:striped");
+    run_campaign(&config, &workload(est_factor)).expect("campaign completes")
+}
+
+/// Builds the estimate-error x policy table.
+pub fn run() -> Vec<Table> {
+    let grid: Vec<(f64, BatchPolicy)> = EST_ERROR
+        .iter()
+        .flat_map(|&e| POLICIES.into_iter().map(move |p| (e, p)))
+        .collect();
+    let reports = par_map(grid.clone(), |&(e, p)| run_one(p, e));
+
+    let mut t = Table::new(
+        "Plan scheduling: walltime-estimate error x policy, oversubscribed 20-job campaign on 8-node Cori striped",
+        &[
+            "estimate error",
+            "policy",
+            "jobs ran",
+            "mean wait (s)",
+            "max wait (s)",
+            "mean bounded slowdown",
+            "makespan (s)",
+            "node util",
+            "bb util",
+        ],
+    );
+    for ((e, p), r) in grid.iter().zip(&reports) {
+        t.push_row(vec![
+            format!("{e:.2}x"),
+            p.label().into(),
+            format!("{}", r.jobs_ran),
+            f2(r.mean_wait),
+            f2(r.max_wait),
+            format!("{:.3}", r.mean_bounded_slowdown),
+            f2(r.makespan),
+            format!("{:.1}%", r.node_utilization * 100.0),
+            format!("{:.1}%", r.bb_utilization * 100.0),
+        ]);
+    }
+
+    let pick = |policy: BatchPolicy, e: f64| {
+        grid.iter()
+            .zip(&reports)
+            .find(|((ge, gp), _)| *gp == policy && *ge == e)
+            .map(|(_, r)| r.mean_bounded_slowdown)
+            .unwrap()
+    };
+    t.note(format!(
+        "with perfect estimates (1x) the mean bounded slowdown is {:.3} (bb-aware) vs {:.3} (plan), and at 4x error {:.3} vs {:.3}: greedy backfilling leans on estimates for its shadow-time tests, so bad estimates make it hold jobs back (or backfill the wrong ones), while the plan policy's rollouts *execute* candidate orders in the forked simulator and only use estimates to propose orderings and to project still-running jobs — so its schedule barely moves and the gap widens (arXiv:2109.00082)",
+        pick(BatchPolicy::BbAware, 1.0),
+        pick(BatchPolicy::Plan, 1.0),
+        pick(BatchPolicy::BbAware, 4.0),
+        pick(BatchPolicy::Plan, 4.0),
+    ));
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_strictly_beats_greedy_with_perfect_estimates() {
+        let greedy = run_one(BatchPolicy::BbAware, 1.0);
+        let plan = run_one(BatchPolicy::Plan, 1.0);
+        assert_eq!(plan.jobs_ran, greedy.jobs_ran, "plan must not lose jobs");
+        assert!(
+            plan.mean_bounded_slowdown < greedy.mean_bounded_slowdown - 1e-9,
+            "plan {} !< bb-aware {}",
+            plan.mean_bounded_slowdown,
+            greedy.mean_bounded_slowdown
+        );
+    }
+}

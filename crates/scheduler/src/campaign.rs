@@ -17,6 +17,20 @@
 //! event; everything else here is deterministic bookkeeping (BTree
 //! collections, job-order arrival spawns), so identical inputs produce
 //! bitwise-identical [`CampaignReport`]s in both solve modes.
+//!
+//! ## Forking and plan-based scheduling
+//!
+//! The driver's state lives in [`CampaignSim`], which is *forkable*: the
+//! shared engine is copied via [`wfbb_simcore::Engine::fork`], every
+//! live executor is re-bound to the copy via [`wfbb_wms::Executor::fork`],
+//! and the scheduler bookkeeping (queue, reservation ledger, records) is
+//! cloned. A fork stepped forward produces bitwise-identical events to
+//! the original — the foundation of the [`BatchPolicy::Plan`] policy,
+//! which at each scheduling point plays candidate queue orderings
+//! forward in speculative forks, scores them by projected mean bounded
+//! slowdown, and commits the best (Kopanski & Rzadca, arXiv:2109.00082).
+//! See `docs/snapshot.md` for the determinism contract and
+//! `docs/scheduler.md` for the policy.
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
@@ -25,7 +39,7 @@ use std::rc::Rc;
 use crate::job::JobSpec;
 use crate::policy::{plan_admissions, BatchPolicy, QueuedReq, RunningRes};
 use crate::report::{job_metrics, CampaignReport, JobOutcome, JobStatus, UtilSample};
-use wfbb_platform::{BbArchitecture, PlatformSpec};
+use wfbb_platform::{BbArchitecture, PlatformInstance, PlatformSpec};
 use wfbb_simcore::{Engine, SolveMode, TelemetryConfig};
 use wfbb_storage::{BbPool, StorageSystem};
 use wfbb_wms::{Executor, FaultEvent, JobTag, RetryPolicy, SchedulerPolicy, Tag};
@@ -57,6 +71,10 @@ impl std::fmt::Display for CampaignError {
 
 impl std::error::Error for CampaignError {}
 
+/// Default lookahead of the `plan` policy, seconds: speculative forks
+/// stop once they pass this far beyond the scheduling point.
+pub const DEFAULT_PLAN_HORIZON: f64 = 86_400.0;
+
 /// Cluster-level configuration of a campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -74,6 +92,10 @@ pub struct CampaignConfig {
     pub io_concurrency: Option<usize>,
     /// Task-to-node mapping policy inside each job's partition.
     pub node_scheduler: SchedulerPolicy,
+    /// Lookahead of the `plan` policy's speculative forks, seconds past
+    /// the scheduling point ([`DEFAULT_PLAN_HORIZON`] by default).
+    /// Ignored by the other policies.
+    pub plan_horizon: f64,
 }
 
 impl CampaignConfig {
@@ -89,6 +111,7 @@ impl CampaignConfig {
             telemetry: TelemetryConfig::default(),
             io_concurrency: None,
             node_scheduler: SchedulerPolicy::default(),
+            plan_horizon: DEFAULT_PLAN_HORIZON,
         }
     }
 
@@ -109,9 +132,16 @@ impl CampaignConfig {
         self.platform_label = label.into();
         self
     }
+
+    /// Sets the `plan` policy's lookahead horizon, seconds.
+    pub fn with_plan_horizon(mut self, horizon: f64) -> Self {
+        self.plan_horizon = horizon;
+        self
+    }
 }
 
 /// Bookkeeping for one running job.
+#[derive(Debug, Clone)]
 struct RunningJob {
     start: f64,
     walltime_est: f64,
@@ -120,6 +150,7 @@ struct RunningJob {
 }
 
 /// Per-job record accumulated by the driver.
+#[derive(Debug, Clone)]
 struct JobRecord {
     status: JobStatus,
     start: f64,
@@ -128,6 +159,32 @@ struct JobRecord {
     detail: Option<String>,
     report: Option<wfbb_wms::SimulationReport>,
 }
+
+/// Candidate queue orderings the `plan` policy evaluates. `Arrival`
+/// (the untouched queue, i.e. plain BB-aware behavior) is always the
+/// first candidate and wins ties, so `plan` never does worse than
+/// `bb-aware` *in projection*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OrderRule {
+    /// Queue order as-is (FIFO by submit time) — the BB-aware baseline.
+    Arrival,
+    /// Shortest walltime estimate first.
+    ShortestFirst,
+    /// Smallest BB request first.
+    SmallestBbFirst,
+    /// Largest BB request first (drain the big reservation early).
+    LargestBbFirst,
+    /// Fewest nodes first.
+    FewestNodesFirst,
+}
+
+const PLAN_RULES: [OrderRule; 5] = [
+    OrderRule::Arrival,
+    OrderRule::ShortestFirst,
+    OrderRule::SmallestBbFirst,
+    OrderRule::LargestBbFirst,
+    OrderRule::FewestNodesFirst,
+];
 
 /// Why a request can never be satisfied on this machine, or `None`.
 fn rejection_reason(spec: &JobSpec, platform: &PlatformSpec, pool_bytes: f64) -> Option<String> {
@@ -178,103 +235,257 @@ fn rejection_reason(spec: &JobSpec, platform: &PlatformSpec, pool_bytes: f64) ->
     None
 }
 
-/// Runs a campaign of `jobs` (in submission order — sort by submit time
-/// first, ties broken by position) on one shared engine and returns the
-/// campaign report.
-pub fn run_campaign(
-    config: &CampaignConfig,
-    jobs: &[JobSpec],
-) -> Result<CampaignReport, CampaignError> {
-    if jobs.is_empty() {
-        return Err(CampaignError::EmptyCampaign);
-    }
-    config
-        .platform
-        .validate()
-        .map_err(|e| CampaignError::Platform(e.to_string()))?;
+/// A stepwise, forkable campaign simulation.
+///
+/// [`run_campaign`] wraps the common drive-to-completion case; the
+/// stepwise API exists for mid-campaign snapshotting and for the `plan`
+/// policy's speculative rollouts:
+///
+/// * [`CampaignSim::step`] processes one engine event (an arrival, or a
+///   completion routed to its job's executor) and re-plans admissions.
+/// * [`CampaignSim::fork`] deep-copies the entire simulation — engine,
+///   executors, scheduler bookkeeping — into an independent sim whose
+///   subsequent events are bitwise identical to the original's.
+/// * [`CampaignSim::finish`] closes the books and builds the report.
+pub struct CampaignSim<'a> {
+    config: &'a CampaignConfig,
+    jobs: &'a [JobSpec],
+    engine: Rc<RefCell<Engine<JobTag>>>,
+    instance: PlatformInstance,
+    total_nodes: usize,
+    records: BTreeMap<u32, JobRecord>,
+    pool: BbPool,
+    free_nodes: BTreeSet<usize>,
+    queue: Vec<u32>,
+    running: BTreeMap<u32, RunningJob>,
+    executors: BTreeMap<u32, Executor>,
+    samples: Vec<UtilSample>,
+    now: f64,
+    /// Speculative rollouts of the `plan` policy replay upcoming
+    /// arrivals but never re-plan (admissions fall back to BB-aware on
+    /// the candidate order, later arrivals queue behind it) and skip
+    /// utilization sampling.
+    speculative: bool,
+}
 
-    let mut engine = Engine::new();
-    engine.set_solve_mode(config.solve_mode);
-    engine.set_telemetry_config(config.telemetry.clone());
-    let instance = config.platform.instantiate(&mut engine);
-    let total_nodes = instance.nodes();
-    let bb_devices = instance.bb_devices();
-    let pool_bytes = bb_devices as f64 * config.platform.bb_capacity;
-    let engine = Rc::new(RefCell::new(engine));
-
-    let mut records: BTreeMap<u32, JobRecord> = BTreeMap::new();
-    let mut pool = BbPool::new(pool_bytes);
-    let mut free_nodes: BTreeSet<usize> = (0..total_nodes).collect();
-    let mut queue: Vec<u32> = Vec::new();
-    let mut running: BTreeMap<u32, RunningJob> = BTreeMap::new();
-    let mut executors: BTreeMap<u32, Executor> = BTreeMap::new();
-    let mut samples: Vec<UtilSample> = Vec::new();
-
-    // Submit-time screening + arrival sentinels, in job order (ascending
-    // activity ids make same-instant arrivals deterministic).
-    for (j, spec) in jobs.iter().enumerate() {
-        let j = j as u32;
-        if let Some(reason) = rejection_reason(spec, &config.platform, pool_bytes) {
-            records.insert(
-                j,
-                JobRecord {
-                    status: JobStatus::Rejected,
-                    start: 0.0,
-                    end: 0.0,
-                    reserved_start: None,
-                    detail: Some(reason),
-                    report: None,
-                },
-            );
-            continue;
+impl<'a> CampaignSim<'a> {
+    /// Validates inputs, instantiates the platform into a fresh engine,
+    /// screens submissions, and spawns arrival sentinels.
+    pub fn new(config: &'a CampaignConfig, jobs: &'a [JobSpec]) -> Result<Self, CampaignError> {
+        if jobs.is_empty() {
+            return Err(CampaignError::EmptyCampaign);
         }
-        engine.borrow_mut().spawn_delay_labeled(
-            spec.submit,
-            JobTag {
-                job: j,
-                tag: Tag::External(j),
-            },
-            Some(format!("arrival:{}", spec.name)),
-        );
+        config
+            .platform
+            .validate()
+            .map_err(|e| CampaignError::Platform(e.to_string()))?;
+
+        let mut engine = Engine::new();
+        engine.set_solve_mode(config.solve_mode);
+        engine.set_telemetry_config(config.telemetry.clone());
+        let instance = config.platform.instantiate(&mut engine);
+        let total_nodes = instance.nodes();
+        let bb_devices = instance.bb_devices();
+        let pool_bytes = bb_devices as f64 * config.platform.bb_capacity;
+        let engine = Rc::new(RefCell::new(engine));
+
+        let mut records: BTreeMap<u32, JobRecord> = BTreeMap::new();
+
+        // Submit-time screening + arrival sentinels, in job order
+        // (ascending activity ids make same-instant arrivals
+        // deterministic).
+        for (j, spec) in jobs.iter().enumerate() {
+            let j = j as u32;
+            if let Some(reason) = rejection_reason(spec, &config.platform, pool_bytes) {
+                records.insert(
+                    j,
+                    JobRecord {
+                        status: JobStatus::Rejected,
+                        start: 0.0,
+                        end: 0.0,
+                        reserved_start: None,
+                        detail: Some(reason),
+                        report: None,
+                    },
+                );
+                continue;
+            }
+            engine.borrow_mut().spawn_delay_labeled(
+                spec.submit,
+                JobTag {
+                    job: j,
+                    tag: Tag::External(j),
+                },
+                Some(format!("arrival:{}", spec.name)),
+            );
+        }
+
+        Ok(CampaignSim {
+            config,
+            jobs,
+            engine,
+            instance,
+            total_nodes,
+            records,
+            pool: BbPool::new(pool_bytes),
+            free_nodes: (0..total_nodes).collect(),
+            queue: Vec::new(),
+            running: BTreeMap::new(),
+            executors: BTreeMap::new(),
+            samples: Vec::new(),
+            now: 0.0,
+            speculative: false,
+        })
     }
 
-    let sample = |samples: &mut Vec<UtilSample>,
-                  now: f64,
-                  running: &BTreeMap<u32, RunningJob>,
-                  free_nodes: &BTreeSet<usize>,
-                  pool: &BbPool,
-                  queue: &Vec<u32>| {
-        samples.push(UtilSample {
-            time: now,
-            running_jobs: running.len(),
-            busy_nodes: total_nodes - free_nodes.len(),
-            bb_reserved: pool.capacity() - pool.free(),
-            queue_depth: queue.len(),
-        });
-    };
+    /// Current simulated time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
 
-    // Admission pass: ask the policy, start what it admits.
-    #[allow(clippy::too_many_arguments)]
-    fn try_admit(
-        config: &CampaignConfig,
-        jobs: &[JobSpec],
-        engine: &Rc<RefCell<Engine<JobTag>>>,
-        instance: &wfbb_platform::PlatformInstance,
-        now: f64,
-        queue: &mut Vec<u32>,
-        running: &mut BTreeMap<u32, RunningJob>,
-        executors: &mut BTreeMap<u32, Executor>,
-        free_nodes: &mut BTreeSet<usize>,
-        pool: &mut BbPool,
-        records: &mut BTreeMap<u32, JobRecord>,
-    ) {
-        if queue.is_empty() {
+    /// Jobs currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs currently executing.
+    pub fn running_jobs(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Deep-copies the whole simulation into an independent sim.
+    ///
+    /// The shared engine is forked ([`Engine::fork`]), every live
+    /// executor is re-bound to the fork ([`Executor::fork`]), and the
+    /// scheduler bookkeeping is cloned. Stepping the fork and the
+    /// original identically produces bitwise-identical reports.
+    pub fn fork(&self) -> CampaignSim<'a> {
+        let engine = Rc::new(RefCell::new(self.engine.borrow().fork()));
+        let executors = self
+            .executors
+            .iter()
+            .map(|(&j, ex)| (j, ex.fork(engine.clone())))
+            .collect();
+        CampaignSim {
+            config: self.config,
+            jobs: self.jobs,
+            engine,
+            instance: self.instance.clone(),
+            total_nodes: self.total_nodes,
+            records: self.records.clone(),
+            pool: self.pool.clone(),
+            free_nodes: self.free_nodes.clone(),
+            queue: self.queue.clone(),
+            running: self.running.clone(),
+            executors,
+            samples: self.samples.clone(),
+            now: self.now,
+            speculative: self.speculative,
+        }
+    }
+
+    fn sample(&mut self) {
+        if self.speculative {
             return;
         }
-        let reqs: Vec<QueuedReq> = queue
+        self.samples.push(UtilSample {
+            time: self.now,
+            running_jobs: self.running.len(),
+            busy_nodes: self.total_nodes - self.free_nodes.len(),
+            bb_reserved: self.pool.capacity() - self.pool.free(),
+            queue_depth: self.queue.len(),
+        });
+    }
+
+    /// Processes one engine event. Returns `Ok(false)` once the engine
+    /// has drained (no more events).
+    pub fn step(&mut self) -> Result<bool, CampaignError> {
+        let step = self.engine.borrow_mut().try_step();
+        let completion = match step {
+            Err(e) => return Err(CampaignError::Engine(format!("{e:?}"))),
+            Ok(None) => return Ok(false),
+            Ok(Some(c)) => c,
+        };
+        self.now = completion.time.seconds();
+        let JobTag { job, tag } = completion.tag;
+        match tag {
+            Tag::External(_) => {
+                // Arrivals replay inside speculative rollouts too: a
+                // campaign's submission schedule is part of the workload,
+                // so lookahead may account for jobs that will arrive
+                // during the plan window (they join the queue *behind*
+                // the candidate order being evaluated). Without this the
+                // rollouts over-commit to reorderings that only pay off
+                // if nothing else shows up.
+                self.queue.push(job);
+                self.sample();
+                self.try_admit();
+                self.sample();
+            }
+            tag => {
+                // Stale completions of finished/aborted jobs are dropped.
+                let Some(ex) = self.executors.get_mut(&job) else {
+                    return Ok(true);
+                };
+                let outcome = match ex.on_completion(completion.id, tag) {
+                    Ok(()) if ex.is_complete() => {
+                        // Build the job's report *now*, while engine time
+                        // is its final completion instant (so its
+                        // makespan matches a single run).
+                        Some((JobStatus::Completed, None, Some(ex.report())))
+                    }
+                    Ok(()) => None,
+                    Err(e) => {
+                        ex.abort();
+                        Some((JobStatus::Failed, Some(e.to_string()), None))
+                    }
+                };
+                let Some((status, detail, report)) = outcome else {
+                    return Ok(true);
+                };
+                self.executors.remove(&job);
+                let run = self.running.remove(&job).expect("finished job was running");
+                for n in run.nodes {
+                    self.free_nodes.insert(n);
+                }
+                self.pool.release(job);
+                let rec = self
+                    .records
+                    .get_mut(&job)
+                    .expect("finished job has a record");
+                rec.status = status;
+                rec.end = self.now;
+                rec.detail = detail;
+                rec.report = report;
+                self.sample();
+                self.try_admit();
+                self.sample();
+            }
+        }
+        Ok(true)
+    }
+
+    /// Admission pass: ask the policy, start what it admits. Under
+    /// [`BatchPolicy::Plan`] this first commits the best queue ordering
+    /// found by speculative rollouts, then admits BB-aware on it.
+    fn try_admit(&mut self) {
+        if self.queue.is_empty() {
+            return;
+        }
+        // Speculative rollouts never re-plan: they inherit the candidate
+        // ordering they were forked with and admit BB-aware on it.
+        let mut policy = self.config.policy;
+        if policy == BatchPolicy::Plan {
+            if !self.speculative && self.queue.len() >= 2 {
+                self.plan_queue_order();
+            }
+            policy = BatchPolicy::BbAware;
+        }
+        let reqs: Vec<QueuedReq> = self
+            .queue
             .iter()
             .map(|&j| {
-                let s = &jobs[j as usize];
+                let s = &self.jobs[j as usize];
                 QueuedReq {
                     job: j,
                     nodes: s.nodes,
@@ -283,7 +494,8 @@ pub fn run_campaign(
                 }
             })
             .collect();
-        let holds: Vec<RunningRes> = running
+        let holds: Vec<RunningRes> = self
+            .running
             .values()
             .map(|r| RunningRes {
                 end_est: r.start + r.walltime_est,
@@ -292,10 +504,10 @@ pub fn run_campaign(
             })
             .collect();
         let adm = plan_admissions(
-            config.policy,
-            now,
-            free_nodes.len(),
-            pool.free(),
+            policy,
+            self.now,
+            self.free_nodes.len(),
+            self.pool.free(),
             &reqs,
             &holds,
         );
@@ -304,12 +516,12 @@ pub fn run_campaign(
             // reservation, but the invariant we expose is "EASY never
             // starts the head later than it first promised" (assuming
             // conservative estimates).
-            if let Some(rec) = records.get_mut(&job) {
+            if let Some(rec) = self.records.get_mut(&job) {
                 if rec.reserved_start.is_none() {
                     rec.reserved_start = Some(shadow);
                 }
             } else {
-                records.insert(
+                self.records.insert(
                     job,
                     JobRecord {
                         status: JobStatus::Failed, // placeholder; overwritten at start
@@ -323,231 +535,286 @@ pub fn run_campaign(
             }
         }
         for job in adm.start {
-            let spec = &jobs[job as usize];
-            queue.retain(|&q| q != job);
-            let node_ids: Vec<usize> = free_nodes.iter().copied().take(spec.nodes).collect();
-            assert_eq!(
-                node_ids.len(),
-                spec.nodes,
-                "policy admitted past free nodes"
-            );
-            for n in &node_ids {
-                free_nodes.remove(n);
-            }
-            assert!(
-                pool.try_reserve(job, spec.bb_bytes),
-                "policy admitted past free BB"
-            );
-            let view_devices = match config.platform.bb {
-                BbArchitecture::Shared { bb_nodes, .. } => bb_nodes,
-                BbArchitecture::OnNode => node_ids.len(),
-                BbArchitecture::None => 0,
-            };
-            let per_dev = if view_devices > 0 {
-                spec.bb_bytes / view_devices as f64
-            } else {
-                0.0
-            };
-            let view = instance.slice(&node_ids, per_dev);
-            let storage = StorageSystem::new(view);
-            let plan = spec.placement.plan(&spec.workflow);
-            let mut ex = Executor::shared(
-                engine.clone(),
-                job,
-                storage,
-                spec.workflow.clone(),
-                plan.clone(),
-                config.io_concurrency,
-                config.node_scheduler,
-            );
-            if !spec.kills.is_empty() {
-                let events: Vec<FaultEvent> = spec
-                    .kills
-                    .iter()
-                    .map(|(task, time)| FaultEvent::TaskKill {
-                        time: *time,
-                        task: task.clone(),
-                    })
-                    .collect();
-                ex.set_fault_injection(
-                    events,
-                    RetryPolicy {
-                        max_attempts: spec.max_attempts,
-                        backoff: 0.0,
-                    },
-                );
-            }
-            let reserved = records.get(&job).and_then(|r| r.reserved_start);
-            records.insert(
-                job,
-                JobRecord {
-                    status: JobStatus::Failed, // overwritten when it finishes
-                    start: now,
-                    end: now,
-                    reserved_start: reserved,
-                    detail: None,
-                    report: None,
-                },
-            );
-            running.insert(
-                job,
-                RunningJob {
-                    start: now,
-                    walltime_est: spec.walltime_est,
-                    nodes: node_ids,
-                    bb: spec.bb_bytes,
-                },
-            );
-            ex.start();
-            executors.insert(job, ex);
+            self.admit(job);
         }
     }
 
-    loop {
-        let step = engine.borrow_mut().try_step();
-        let completion = match step {
-            Err(e) => return Err(CampaignError::Engine(format!("{e:?}"))),
-            Ok(None) => break,
-            Ok(Some(c)) => c,
+    /// Starts one admitted job: carves its platform slice, reserves BB,
+    /// builds its executor, and records the start.
+    fn admit(&mut self, job: u32) {
+        let spec = &self.jobs[job as usize];
+        self.queue.retain(|&q| q != job);
+        let node_ids: Vec<usize> = self.free_nodes.iter().copied().take(spec.nodes).collect();
+        assert_eq!(
+            node_ids.len(),
+            spec.nodes,
+            "policy admitted past free nodes"
+        );
+        for n in &node_ids {
+            self.free_nodes.remove(n);
+        }
+        assert!(
+            self.pool.try_reserve(job, spec.bb_bytes),
+            "policy admitted past free BB"
+        );
+        let view_devices = match self.config.platform.bb {
+            BbArchitecture::Shared { bb_nodes, .. } => bb_nodes,
+            BbArchitecture::OnNode => node_ids.len(),
+            BbArchitecture::None => 0,
         };
-        let now = completion.time.seconds();
-        let JobTag { job, tag } = completion.tag;
-        match tag {
-            Tag::External(_) => {
-                queue.push(job);
-                sample(&mut samples, now, &running, &free_nodes, &pool, &queue);
-                try_admit(
-                    config,
-                    jobs,
-                    &engine,
-                    &instance,
-                    now,
-                    &mut queue,
-                    &mut running,
-                    &mut executors,
-                    &mut free_nodes,
-                    &mut pool,
-                    &mut records,
-                );
-                sample(&mut samples, now, &running, &free_nodes, &pool, &queue);
+        let per_dev = if view_devices > 0 {
+            spec.bb_bytes / view_devices as f64
+        } else {
+            0.0
+        };
+        let view = self.instance.slice(&node_ids, per_dev);
+        let storage = StorageSystem::new(view);
+        let plan = spec.placement.plan(&spec.workflow);
+        let mut ex = Executor::shared(
+            self.engine.clone(),
+            job,
+            storage,
+            spec.workflow.clone(),
+            plan,
+            self.config.io_concurrency,
+            self.config.node_scheduler,
+        );
+        if !spec.kills.is_empty() {
+            let events: Vec<FaultEvent> = spec
+                .kills
+                .iter()
+                .map(|(task, time)| FaultEvent::TaskKill {
+                    time: *time,
+                    task: task.clone(),
+                })
+                .collect();
+            ex.set_fault_injection(
+                events,
+                RetryPolicy {
+                    max_attempts: spec.max_attempts,
+                    backoff: 0.0,
+                },
+            );
+        }
+        let reserved = self.records.get(&job).and_then(|r| r.reserved_start);
+        self.records.insert(
+            job,
+            JobRecord {
+                status: JobStatus::Failed, // overwritten when it finishes
+                start: self.now,
+                end: self.now,
+                reserved_start: reserved,
+                detail: None,
+                report: None,
+            },
+        );
+        self.running.insert(
+            job,
+            RunningJob {
+                start: self.now,
+                walltime_est: spec.walltime_est,
+                nodes: node_ids,
+                bb: spec.bb_bytes,
+            },
+        );
+        ex.start();
+        self.executors.insert(job, ex);
+    }
+
+    /// The `plan` policy's ordering search: fork the sim per candidate
+    /// rule, roll each fork forward (BB-aware on the candidate order,
+    /// upcoming arrivals replayed) until the campaign drains or the
+    /// horizon passes, score by projected mean bounded slowdown over
+    /// every job the rollout saw, and commit the best ordering to the
+    /// real queue. The arrival order is always a candidate and wins
+    /// ties, so `plan` degenerates to `bb-aware` when lookahead finds
+    /// nothing better.
+    fn plan_queue_order(&mut self) {
+        let horizon_end = self.now + self.config.plan_horizon;
+        let mut best: Option<(f64, Vec<u32>)> = None;
+        let mut seen: Vec<Vec<u32>> = Vec::new();
+        for rule in PLAN_RULES {
+            let order = self.ordered_queue(rule);
+            if seen.contains(&order) {
+                continue; // identical ordering already scored
             }
-            tag => {
-                // Stale completions of finished/aborted jobs are dropped.
-                let Some(ex) = executors.get_mut(&job) else {
-                    continue;
-                };
-                let outcome = match ex.on_completion(completion.id, tag) {
-                    Ok(()) if ex.is_complete() => {
-                        // Build the job's report *now*, while engine time
-                        // is its final completion instant (so its makespan
-                        // matches a single run).
-                        Some((JobStatus::Completed, None, Some(ex.report())))
-                    }
-                    Ok(()) => None,
-                    Err(e) => {
-                        ex.abort();
-                        Some((JobStatus::Failed, Some(e.to_string()), None))
-                    }
-                };
-                let Some((status, detail, report)) = outcome else {
-                    continue;
-                };
-                executors.remove(&job);
-                let run = running.remove(&job).expect("finished job was running");
-                for n in run.nodes {
-                    free_nodes.insert(n);
-                }
-                pool.release(job);
-                let rec = records.get_mut(&job).expect("finished job has a record");
-                rec.status = status;
-                rec.end = now;
-                rec.detail = detail;
-                rec.report = report;
-                sample(&mut samples, now, &running, &free_nodes, &pool, &queue);
-                try_admit(
-                    config,
-                    jobs,
-                    &engine,
-                    &instance,
-                    now,
-                    &mut queue,
-                    &mut running,
-                    &mut executors,
-                    &mut free_nodes,
-                    &mut pool,
-                    &mut records,
-                );
-                sample(&mut samples, now, &running, &free_nodes, &pool, &queue);
+            seen.push(order.clone());
+            let mut rollout = self.fork();
+            rollout.speculative = true;
+            rollout.samples.clear();
+            rollout.queue = order.clone();
+            if rollout.run_rollout(horizon_end).is_err() {
+                // A rollout that errors (it explores states the real run
+                // may never reach) simply drops out of the candidate set.
+                continue;
+            }
+            let score = rollout.projected_bounded_slowdown();
+            let better = match &best {
+                None => true,
+                Some((b, _)) => score < b - 1e-12,
+            };
+            if better {
+                best = Some((score, order));
+            }
+        }
+        if let Some((_, order)) = best {
+            self.queue = order;
+        }
+    }
+
+    /// The queue reordered by `rule` (stable: ties keep arrival order).
+    fn ordered_queue(&self, rule: OrderRule) -> Vec<u32> {
+        let mut order = self.queue.clone();
+        let spec = |j: u32| &self.jobs[j as usize];
+        match rule {
+            OrderRule::Arrival => {}
+            OrderRule::ShortestFirst => {
+                order.sort_by(|&a, &b| spec(a).walltime_est.total_cmp(&spec(b).walltime_est));
+            }
+            OrderRule::SmallestBbFirst => {
+                order.sort_by(|&a, &b| spec(a).bb_bytes.total_cmp(&spec(b).bb_bytes));
+            }
+            OrderRule::LargestBbFirst => {
+                order.sort_by(|&a, &b| spec(b).bb_bytes.total_cmp(&spec(a).bb_bytes));
+            }
+            OrderRule::FewestNodesFirst => {
+                order.sort_by_key(|&a| spec(a).nodes);
+            }
+        }
+        order
+    }
+
+    /// Drives a speculative fork: admit on the candidate order, then
+    /// step (replaying upcoming arrivals) until the campaign drains or
+    /// the horizon passes.
+    fn run_rollout(&mut self, t_end: f64) -> Result<(), CampaignError> {
+        self.try_admit();
+        loop {
+            if self.now > t_end || !self.step()? {
+                return Ok(());
             }
         }
     }
 
-    if !queue.is_empty() || !executors.is_empty() {
-        return Err(CampaignError::Stalled(format!(
-            "{} queued, {} running after the event queue drained",
-            queue.len(),
-            executors.len()
-        )));
+    /// Projected mean bounded slowdown over every job that has entered
+    /// the system and was not rejected: finished jobs contribute their
+    /// realized metric; running jobs are projected to end at
+    /// `max(now, start + estimate)`; still-queued jobs are charged as if
+    /// starting now. Arrivals are time-driven, so competing rollouts cut
+    /// off at the same horizon score the identical job set; jobs that
+    /// finished before the planning instant add the same constant to
+    /// every candidate and never tip a comparison.
+    fn projected_bounded_slowdown(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &j in &self.queue {
+            let spec = &self.jobs[j as usize];
+            sum += job_metrics(spec.submit, self.now, self.now + spec.walltime_est).3;
+            n += 1;
+        }
+        for (&j, run) in &self.running {
+            let spec = &self.jobs[j as usize];
+            let end = self.now.max(run.start + run.walltime_est);
+            sum += job_metrics(spec.submit, run.start, end).3;
+            n += 1;
+        }
+        for (&j, rec) in &self.records {
+            if rec.status == JobStatus::Rejected {
+                continue;
+            }
+            let spec = &self.jobs[j as usize];
+            sum += job_metrics(spec.submit, rec.start, rec.end).3;
+            n += 1;
+        }
+        if n == 0 {
+            return 1.0;
+        }
+        sum / n as f64
     }
 
-    let outcomes: Vec<JobOutcome> = jobs
-        .iter()
-        .enumerate()
-        .map(|(j, spec)| {
-            let j = j as u32;
-            let rec = records.remove(&j).unwrap_or(JobRecord {
-                status: JobStatus::Rejected,
-                start: 0.0,
-                end: 0.0,
-                reserved_start: None,
-                detail: Some("never scheduled".into()),
-                report: None,
-            });
-            let (wait, run, stretch, bounded_slowdown) = if rec.status == JobStatus::Rejected {
-                (0.0, 0.0, 1.0, 1.0)
-            } else {
-                job_metrics(spec.submit, rec.start, rec.end)
-            };
-            JobOutcome {
-                job: j,
-                name: spec.name.clone(),
-                workflow: spec.workflow_spec.clone(),
-                submit: spec.submit,
-                nodes: spec.nodes,
-                bb_request: spec.bb_bytes,
-                walltime_est: spec.walltime_est,
-                status: rec.status,
-                start: rec.start,
-                end: rec.end,
-                wait,
-                run,
-                stretch,
-                bounded_slowdown,
-                reserved_start: rec.reserved_start,
-                detail: rec.detail,
-                report: rec.report,
-            }
-        })
-        .collect();
+    /// Closes the books after the engine drained and builds the report.
+    pub fn finish(mut self) -> Result<CampaignReport, CampaignError> {
+        if !self.queue.is_empty() || !self.executors.is_empty() {
+            return Err(CampaignError::Stalled(format!(
+                "{} queued, {} running after the event queue drained",
+                self.queue.len(),
+                self.executors.len()
+            )));
+        }
 
-    let mut report = CampaignReport {
-        policy: config.policy,
-        platform: config.platform_label.clone(),
-        total_nodes,
-        bb_pool_bytes: pool.capacity(),
-        jobs: outcomes,
-        makespan: 0.0,
-        mean_wait: 0.0,
-        max_wait: 0.0,
-        mean_stretch: 0.0,
-        mean_bounded_slowdown: 0.0,
-        node_utilization: 0.0,
-        bb_utilization: 0.0,
-        utilization: samples,
-        bb_pool_free_end: pool.free(),
-    };
-    report.finalize();
-    Ok(report)
+        let outcomes: Vec<JobOutcome> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(j, spec)| {
+                let j = j as u32;
+                let rec = self.records.remove(&j).unwrap_or(JobRecord {
+                    status: JobStatus::Rejected,
+                    start: 0.0,
+                    end: 0.0,
+                    reserved_start: None,
+                    detail: Some("never scheduled".into()),
+                    report: None,
+                });
+                let (wait, run, stretch, bounded_slowdown) = if rec.status == JobStatus::Rejected {
+                    (0.0, 0.0, 1.0, 1.0)
+                } else {
+                    job_metrics(spec.submit, rec.start, rec.end)
+                };
+                JobOutcome {
+                    job: j,
+                    name: spec.name.clone(),
+                    workflow: spec.workflow_spec.clone(),
+                    submit: spec.submit,
+                    nodes: spec.nodes,
+                    bb_request: spec.bb_bytes,
+                    walltime_est: spec.walltime_est,
+                    status: rec.status,
+                    start: rec.start,
+                    end: rec.end,
+                    wait,
+                    run,
+                    stretch,
+                    bounded_slowdown,
+                    reserved_start: rec.reserved_start,
+                    detail: rec.detail,
+                    report: rec.report,
+                }
+            })
+            .collect();
+
+        let mut report = CampaignReport {
+            policy: self.config.policy,
+            platform: self.config.platform_label.clone(),
+            total_nodes: self.total_nodes,
+            bb_pool_bytes: self.pool.capacity(),
+            jobs: outcomes,
+            makespan: 0.0,
+            mean_wait: 0.0,
+            max_wait: 0.0,
+            mean_stretch: 0.0,
+            mean_bounded_slowdown: 0.0,
+            jobs_ran: 0,
+            node_utilization: 0.0,
+            bb_utilization: 0.0,
+            utilization: self.samples,
+            bb_pool_free_end: self.pool.free(),
+        };
+        report.finalize();
+        Ok(report)
+    }
+}
+
+/// Runs a campaign of `jobs` (in submission order — sort by submit time
+/// first, ties broken by position) on one shared engine and returns the
+/// campaign report.
+pub fn run_campaign(
+    config: &CampaignConfig,
+    jobs: &[JobSpec],
+) -> Result<CampaignReport, CampaignError> {
+    let mut sim = CampaignSim::new(config, jobs)?;
+    while sim.step()? {}
+    sim.finish()
 }
 
 #[cfg(test)]
@@ -665,5 +932,50 @@ mod tests {
                 y.end
             );
         }
+    }
+
+    #[test]
+    fn mid_campaign_fork_matches_the_original_bitwise() {
+        let jobs: Vec<JobSpec> = crate::workload::synthetic_jobs(
+            7,
+            &crate::workload::SyntheticConfig {
+                jobs: 5,
+                mean_interarrival: 30.0,
+                bb_request_scale: 1.0,
+                max_nodes: 2,
+            },
+        )
+        .unwrap();
+        let cfg = config(BatchPolicy::BbAware);
+        let mut sim = CampaignSim::new(&cfg, &jobs).unwrap();
+        // Step partway in, fork, then drive both to completion.
+        for _ in 0..25 {
+            if !sim.step().unwrap() {
+                break;
+            }
+        }
+        let mut forked = sim.fork();
+        while sim.step().unwrap() {}
+        while forked.step().unwrap() {}
+        let a = sim.finish().unwrap();
+        let b = forked.finish().unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "fork must replay bitwise");
+    }
+
+    #[test]
+    fn plan_policy_completes_and_conserves_the_pool() {
+        let jobs: Vec<JobSpec> = crate::workload::synthetic_jobs(
+            3,
+            &crate::workload::SyntheticConfig {
+                jobs: 6,
+                mean_interarrival: 20.0,
+                bb_request_scale: 1.5,
+                max_nodes: 2,
+            },
+        )
+        .unwrap();
+        let report = run_campaign(&config(BatchPolicy::Plan), &jobs).unwrap();
+        assert!(report.jobs.iter().all(|j| j.status == JobStatus::Completed));
+        assert_eq!(report.bb_pool_free_end, report.bb_pool_bytes);
     }
 }

@@ -12,13 +12,17 @@
 //! * [`workload`] — workload-file parsing and seeded synthetic
 //!   campaign generation;
 //! * [`BatchPolicy`] / [`policy::plan_admissions`] ([`policy`]) — FCFS,
-//!   EASY backfilling, and the BB-aware backfilling variant that plans
-//!   burst-buffer capacity as a second schedulable resource (after
-//!   Kopanski & Rzadca, arXiv:2109.00082);
-//! * [`run_campaign`] ([`campaign`]) — the driver: carves platform
-//!   slices per admitted job, reserves BB capacity from a
-//!   [`wfbb_storage::BbPool`], and routes engine completions to each
-//!   job's [`wfbb_wms::Executor`] until the campaign drains;
+//!   EASY backfilling, the BB-aware backfilling variant that plans
+//!   burst-buffer capacity as a second schedulable resource, and the
+//!   plan-based policy that simulates candidate admission orders
+//!   forward before committing (both after Kopanski & Rzadca,
+//!   arXiv:2109.00082);
+//! * [`run_campaign`] / [`CampaignSim`] ([`campaign`]) — the driver:
+//!   carves platform slices per admitted job, reserves BB capacity from
+//!   a [`wfbb_storage::BbPool`], and routes engine completions to each
+//!   job's [`wfbb_wms::Executor`] until the campaign drains; the
+//!   stepwise [`CampaignSim`] additionally supports deterministic
+//!   mid-campaign forking (`docs/snapshot.md`);
 //! * [`CampaignReport`] ([`report`]) — per-job wait/run/stretch/
 //!   bounded-slowdown, cluster utilization series, and deterministic
 //!   JSON / CSV / Perfetto exports.
@@ -36,7 +40,9 @@ pub mod policy;
 pub mod report;
 pub mod workload;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignError};
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignError, CampaignSim, DEFAULT_PLAN_HORIZON,
+};
 pub use job::JobSpec;
 pub use policy::{Admissions, BatchPolicy, QueuedReq, RunningRes};
 pub use report::{CampaignReport, JobOutcome, JobStatus, UtilSample, BOUNDED_SLOWDOWN_TAU};

@@ -114,14 +114,23 @@ pub struct CampaignReport {
     pub jobs: Vec<JobOutcome>,
     /// Campaign makespan: last job end (0 if nothing ran).
     pub makespan: f64,
-    /// Mean queue wait over non-rejected jobs, seconds.
+    /// Mean queue wait over non-rejected jobs, seconds. `0.0` (an
+    /// explicit NaN-free sentinel, rendered `n/a` in the text summary)
+    /// when `jobs_ran == 0`.
     pub mean_wait: f64,
-    /// Max queue wait over non-rejected jobs, seconds.
+    /// Max queue wait over non-rejected jobs, seconds; sentinel `0.0`
+    /// when `jobs_ran == 0`.
     pub max_wait: f64,
-    /// Mean stretch over non-rejected jobs.
+    /// Mean stretch over non-rejected jobs; sentinel `0.0` when
+    /// `jobs_ran == 0`.
     pub mean_stretch: f64,
-    /// Mean bounded slowdown over non-rejected jobs.
+    /// Mean bounded slowdown over non-rejected jobs; sentinel `0.0`
+    /// when `jobs_ran == 0`.
     pub mean_bounded_slowdown: f64,
+    /// Number of non-rejected jobs the means aggregate over. When every
+    /// job was rejected this is `0` and the mean fields hold their
+    /// sentinel — check this before comparing means across campaigns.
+    pub jobs_ran: usize,
     /// Time-averaged fraction of nodes busy over the makespan.
     pub node_utilization: f64,
     /// Time-averaged fraction of the BB pool reserved over the makespan.
@@ -165,7 +174,17 @@ impl CampaignReport {
             .collect();
         self.makespan = ran.iter().map(|j| j.end).fold(0.0, f64::max);
         let n = ran.len() as f64;
-        if !ran.is_empty() {
+        self.jobs_ran = ran.len();
+        if ran.is_empty() {
+            // Every job was rejected/killed before starting: pin the
+            // aggregates to an explicit NaN-free sentinel instead of
+            // whatever the caller initialized them to. `summary_text`
+            // renders these as `n/a`.
+            self.mean_wait = 0.0;
+            self.max_wait = 0.0;
+            self.mean_stretch = 0.0;
+            self.mean_bounded_slowdown = 0.0;
+        } else {
             self.mean_wait = ran.iter().map(|j| j.wait).sum::<f64>() / n;
             self.max_wait = ran.iter().map(|j| j.wait).fold(0.0, f64::max);
             self.mean_stretch = ran.iter().map(|j| j.stretch).sum::<f64>() / n;
@@ -198,17 +217,30 @@ impl CampaignReport {
             self.total_nodes,
             self.bb_pool_bytes
         );
-        let _ = writeln!(
-            out,
-            "  jobs={} makespan={:.1}s mean_wait={:.1}s max_wait={:.1}s \
-             mean_stretch={:.3} mean_bounded_slowdown={:.3}",
-            self.jobs.len(),
-            self.makespan,
-            self.mean_wait,
-            self.max_wait,
-            self.mean_stretch,
-            self.mean_bounded_slowdown
-        );
+        if self.jobs_ran == 0 {
+            // Nothing ran: the aggregate means are undefined (their
+            // fields hold the 0.0 sentinel), so print n/a rather than a
+            // number that looks like a perfect score.
+            let _ = writeln!(
+                out,
+                "  jobs={} makespan={:.1}s mean_wait=n/a max_wait=n/a \
+                 mean_stretch=n/a mean_bounded_slowdown=n/a (no jobs ran)",
+                self.jobs.len(),
+                self.makespan,
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  jobs={} makespan={:.1}s mean_wait={:.1}s max_wait={:.1}s \
+                 mean_stretch={:.3} mean_bounded_slowdown={:.3}",
+                self.jobs.len(),
+                self.makespan,
+                self.mean_wait,
+                self.max_wait,
+                self.mean_stretch,
+                self.mean_bounded_slowdown
+            );
+        }
         let _ = writeln!(
             out,
             "  node_utilization={:.1}% bb_utilization={:.1}%",
@@ -284,10 +316,10 @@ impl CampaignReport {
         let mut out = String::from("{");
         let _ = write!(
             out,
-            "\"schema_version\":1,\"policy\":\"{}\",\"platform\":\"{}\",\
+            "\"schema_version\":2,\"policy\":\"{}\",\"platform\":\"{}\",\
              \"total_nodes\":{},\"bb_pool_bytes\":{},\"makespan\":{},\
              \"mean_wait\":{},\"max_wait\":{},\"mean_stretch\":{},\
-             \"mean_bounded_slowdown\":{},\"node_utilization\":{},\
+             \"mean_bounded_slowdown\":{},\"jobs_ran\":{},\"node_utilization\":{},\
              \"bb_utilization\":{},\"bb_pool_free_end\":{},\"jobs\":[",
             self.policy.label(),
             esc(&self.platform),
@@ -298,6 +330,7 @@ impl CampaignReport {
             num(self.max_wait),
             num(self.mean_stretch),
             num(self.mean_bounded_slowdown),
+            self.jobs_ran,
             num(self.node_utilization),
             num(self.bb_utilization),
             num(self.bb_pool_free_end),
@@ -517,6 +550,7 @@ mod tests {
             max_wait: 0.0,
             mean_stretch: 0.0,
             mean_bounded_slowdown: 0.0,
+            jobs_ran: 0,
             node_utilization: 0.0,
             bb_utilization: 0.0,
             utilization: vec![
@@ -591,6 +625,31 @@ mod tests {
 
     fn a_trace() -> String {
         report().perfetto_trace_json()
+    }
+
+    #[test]
+    fn all_rejected_campaign_reports_na_means() {
+        let mut r = report();
+        for j in &mut r.jobs {
+            j.status = JobStatus::Rejected;
+        }
+        // Poison the aggregates to prove finalize pins the sentinels.
+        r.mean_wait = 123.0;
+        r.mean_stretch = f64::NAN;
+        r.mean_bounded_slowdown = f64::NAN;
+        r.max_wait = -1.0;
+        r.finalize();
+        assert_eq!(r.jobs_ran, 0);
+        assert_eq!(r.mean_wait, 0.0);
+        assert_eq!(r.max_wait, 0.0);
+        assert_eq!(r.mean_stretch, 0.0);
+        assert_eq!(r.mean_bounded_slowdown, 0.0);
+        let text = r.summary_text();
+        assert!(text.contains("mean_wait=n/a"), "{text}");
+        assert!(text.contains("mean_bounded_slowdown=n/a"), "{text}");
+        assert!(text.contains("(no jobs ran)"), "{text}");
+        assert!(!r.to_json().contains("NaN"), "JSON must stay NaN-free");
+        assert!(r.to_json().contains("\"jobs_ran\":0"));
     }
 
     #[test]

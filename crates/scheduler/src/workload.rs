@@ -256,6 +256,25 @@ impl SplitMix64 {
     fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
+
+    /// Uniform in `[0, n)` by bounded rejection sampling: draws whose
+    /// residue class is over-represented in `[0, 2^64)` are rejected, so
+    /// every value is *exactly* equally likely (a plain `% n` is biased
+    /// toward small values whenever `n` does not divide `2^64`). For
+    /// power-of-two `n` — like the current 4-entry class table — the
+    /// threshold is 0, nothing is ever rejected, and the output stream
+    /// is bit-identical to the old modulo code.
+    fn next_bounded(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // 2^64 mod n, computed without overflowing u64.
+        let threshold = (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.next_u64();
+            if v >= threshold {
+                return v % n;
+            }
+        }
+    }
 }
 
 /// A synthetic job class: workflow shape + base resource request.
@@ -324,7 +343,7 @@ pub fn synthetic_jobs(seed: u64, cfg: &SyntheticConfig) -> Result<Vec<JobSpec>, 
     for i in 0..cfg.jobs {
         // Exponential interarrival: -ln(1-u) * mean, u in [0,1).
         t += -(1.0 - rng.next_f64()).ln() * cfg.mean_interarrival;
-        let class = &CLASSES[(rng.next_u64() % CLASSES.len() as u64) as usize];
+        let class = &CLASSES[rng.next_bounded(CLASSES.len() as u64) as usize];
         let jitter = 0.75 + 0.5 * rng.next_f64();
         let nodes = class.nodes.min(cfg.max_nodes);
         let workflow = build_workflow(class.spec)?;
@@ -397,6 +416,44 @@ workflow=swarp:2 nodes=2 bb=1e9 walltime=400 submit=30 kill=resample_0_0@10
         let jobs = synthetic_jobs(7, &SyntheticConfig::default()).unwrap();
         for w in jobs.windows(2) {
             assert!(w[0].submit <= w[1].submit);
+        }
+    }
+
+    #[test]
+    fn bounded_sampling_matches_modulo_for_power_of_two_n() {
+        // CLASSES.len() is 4, a power of two: the rejection threshold is
+        // 0 and the draw stream must be bit-identical to the old
+        // `next_u64() % n` code (no regenerated workload goldens).
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        for _ in 0..10_000 {
+            assert_eq!(a.next_bounded(4), b.next_u64() % 4);
+        }
+    }
+
+    #[test]
+    fn bounded_sampling_is_unbiased_for_awkward_n() {
+        // n = 3 does not divide 2^64; `% 3` over-represents some residues
+        // by construction, while rejection sampling keeps every class
+        // within tight binomial bounds of the uniform expectation.
+        let mut rng = SplitMix64::new(1234);
+        let n = 3u64;
+        let draws = 300_000usize;
+        let mut counts = [0usize; 3];
+        for _ in 0..draws {
+            let v = rng.next_bounded(n);
+            assert!(v < n);
+            counts[v as usize] += 1;
+        }
+        let expect = draws as f64 / n as f64;
+        // ~13 standard deviations of slack: astronomically unlikely to
+        // flake, tight enough to catch a systematic bias.
+        let tol = 13.0 * (expect * (1.0 - 1.0 / n as f64)).sqrt();
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < tol,
+                "class {i}: {c} draws vs expectation {expect:.0} ± {tol:.0}"
+            );
         }
     }
 }

@@ -83,7 +83,7 @@ pub struct Cancelled<T> {
 }
 
 /// A completed activity, as returned by [`Engine::step`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Completion<T> {
     /// Which activity completed.
     pub id: ActivityId,
@@ -134,7 +134,7 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Activity<T> {
     kind: ActivityKind,
     tag: T,
@@ -147,7 +147,7 @@ const LATENT: u32 = u32::MAX;
 
 /// Flow state, stored densely so integration and solving iterate flat
 /// arrays instead of walking the activity map.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FlowSlot {
     id: ActivityId,
     /// Absolute time at which the startup latency elapses.
@@ -246,7 +246,11 @@ impl Ord for HeapEvent {
 /// The type parameter `T` is an opaque per-activity tag returned with each
 /// completion; higher layers use it to identify what finished (a task's
 /// input transfer, its compute phase, ...).
-#[derive(Debug)]
+///
+/// When `T: Clone` the whole engine state is cloneable, which is the basis
+/// of the snapshot/fork API ([`Engine::snapshot`], [`Engine::restore`],
+/// [`Engine::fork`]) — see `docs/snapshot.md` for the determinism contract.
+#[derive(Debug, Clone)]
 pub struct Engine<T> {
     resources: Vec<Resource>,
     stats: Vec<ResourceStats>,
@@ -311,6 +315,60 @@ pub struct Engine<T> {
 impl<T> Default for Engine<T> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// A frozen copy of an [`Engine`]'s complete state, taken with
+/// [`Engine::snapshot`] and reinstated with [`Engine::restore`].
+///
+/// The snapshot captures *everything* that influences future behavior:
+/// resources and capacities, the activity map, the flow arena (including
+/// per-flow rates, latency phases, and contention blame), the lazy event
+/// heap with its epoch counters, the persistent fair-share workspace, the
+/// deferred-integration watermarks, telemetry and trace state, and any
+/// installed fault plan with its cursor. Restoring and then stepping is
+/// therefore **bitwise identical** to having continued the original run, in
+/// both [`SolveMode::Naive`] and [`SolveMode::Incremental`].
+///
+/// A snapshot is a value: it never goes stale, can be restored any number
+/// of times, and can outlive the engine it came from. Restoring into an
+/// engine discards that engine's current state entirely. See
+/// `docs/snapshot.md` for the full contract.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot<T> {
+    state: Engine<T>,
+}
+
+impl<T: Clone> Engine<T> {
+    /// Captures the engine's complete state as a value.
+    ///
+    /// Cost is a deep copy of all live state — O(resources + active
+    /// activities + pending heap events). Scratch buffers are cloned too
+    /// (they are cheap and keeping them preserves capacity warm-up
+    /// behavior, though their *contents* never affect results).
+    pub fn snapshot(&self) -> EngineSnapshot<T> {
+        EngineSnapshot {
+            state: self.clone(),
+        }
+    }
+
+    /// Replaces this engine's entire state with the snapshot's.
+    ///
+    /// After `restore`, stepping the engine produces completions bitwise
+    /// identical (ids, tags, and `f64` time bits) to the run the snapshot
+    /// was taken from, under either solve mode.
+    pub fn restore(&mut self, snap: &EngineSnapshot<T>) {
+        *self = snap.state.clone();
+    }
+
+    /// Clones the engine into an independent copy that can be stepped
+    /// forward hypothetically without affecting `self`.
+    ///
+    /// Equivalent to `snapshot()` + restore-into-new-engine, without the
+    /// intermediate value. The fork and the original produce bitwise
+    /// identical event sequences if driven identically.
+    pub fn fork(&self) -> Engine<T> {
+        self.clone()
     }
 }
 

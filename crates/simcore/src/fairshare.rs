@@ -90,7 +90,7 @@ pub struct WeightedReq<'a> {
 ///
 /// Holding one `Workspace` across [`solve_into`] calls amortizes all solver
 /// allocations: after warm-up, solving allocates nothing.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Workspace {
     rates: Vec<f64>,
     bindings: Vec<Binding>,

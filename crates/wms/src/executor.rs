@@ -117,7 +117,7 @@ enum Phase {
     Done,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct TaskState {
     phase: Phase,
     node: usize,
@@ -384,6 +384,70 @@ impl Executor {
             written: vec![Vec::new(); n],
             fault_log: Vec::new(),
             retries: 0,
+        }
+    }
+
+    /// Clones this executor against a forked engine, so the copy can be
+    /// driven forward hypothetically without touching the original run.
+    ///
+    /// `engine` must be a fork (or snapshot-restore) of the engine this
+    /// executor currently drives — activity ids and resource handles held
+    /// by the executor's state are only meaningful against that engine's
+    /// state. All task, stage, contention, reservation, and fault-recovery
+    /// state is deep-copied; driving the fork and the original identically
+    /// yields bitwise-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dynamic placer is installed: boxed placers are
+    /// stateful trait objects and cannot be cloned. Campaign executors
+    /// never install one.
+    pub fn fork(&self, engine: Rc<RefCell<Engine<JobTag>>>) -> Executor {
+        assert!(
+            self.dynamic_placer.is_none(),
+            "cannot fork an executor with a dynamic placer installed"
+        );
+        Executor {
+            engine,
+            job: self.job,
+            label_prefix: self.label_prefix.clone(),
+            storage: self.storage.clone(),
+            workflow: self.workflow.clone(),
+            plan: self.plan.clone(),
+            registry: self.registry.clone(),
+            states: self.states.clone(),
+            deps_remaining: self.deps_remaining.clone(),
+            free_cores: self.free_cores.clone(),
+            ready: self.ready.clone(),
+            data_remaining: self.data_remaining.clone(),
+            meta_remaining: self.meta_remaining.clone(),
+            stage_queue: self.stage_queue.clone(),
+            stage_nodes: self.stage_nodes.clone(),
+            stage_started: self.stage_started.clone(),
+            stage_spans: self.stage_spans.clone(),
+            output_spans: self.output_spans.clone(),
+            write_started: self.write_started.clone(),
+            contention: self.contention.clone(),
+            stage_waits: self.stage_waits.clone(),
+            staging_done: self.staging_done,
+            stage_end: self.stage_end,
+            completed: self.completed,
+            io_concurrency: self.io_concurrency,
+            scheduler: self.scheduler,
+            dynamic_placer: None,
+            resolved: self.resolved.clone(),
+            bb_used: self.bb_used.clone(),
+            bb_peak: self.bb_peak,
+            spilled: self.spilled,
+            faults: self.faults.clone(),
+            retry: self.retry,
+            live: self.live.clone(),
+            discard: self.discard.clone(),
+            attempts: self.attempts.clone(),
+            first_start: self.first_start.clone(),
+            written: self.written.clone(),
+            fault_log: self.fault_log.clone(),
+            retries: self.retries,
         }
     }
 
@@ -1451,12 +1515,17 @@ impl Executor {
         let (cancelled, lost_bytes, lost_compute) = self.cancel_all(&to_cancel);
 
         // Drop the attempt's per-access bookkeeping and BB reservations.
-        let keys: Vec<(u32, u32, bool)> = self
+        // `resolved` is a HashMap whose iteration order varies per
+        // instance; sort so the float accumulation in
+        // `release_reservation` happens in a reproducible order (bitwise
+        // determinism across runs and forks).
+        let mut keys: Vec<(u32, u32, bool)> = self
             .resolved
             .keys()
             .filter(|&&(o, _, _)| o == task.index() as u32)
             .copied()
             .collect();
+        keys.sort_unstable();
         for key in keys {
             let (_, fidx, write) = key;
             self.meta_remaining.remove(&key);

@@ -61,7 +61,7 @@ proptest! {
         seed in 0u64..10_000,
         jobs in 2usize..7,
         scale in 0.25f64..2.5,
-        policy_idx in 0usize..3,
+        policy_idx in 0usize..4,
     ) {
         let jobs = campaign(seed, jobs, scale);
         let config = CampaignConfig::new(presets::cori(8, BbMode::Striped))
