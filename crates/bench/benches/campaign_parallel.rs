@@ -1,0 +1,70 @@
+//! Solver-scaling benchmark: one large oversubscribed campaign through
+//! the shared engine, monolithic vs partitioned fair-share solver, so
+//! solver-throughput regressions on campaign-scale workloads show up.
+//!
+//! The default workload is the full 1000-job (~60.8k-task) campaign
+//! from the `parallel_scaling` experiment — minutes of wall-clock per
+//! sampling run. Set `WFBB_CAMPAIGN_PARALLEL_JOBS` to bench a smaller
+//! campaign with the same shape (CI samples at a reduced size; the
+//! committed BENCH_engine.json numbers come from the full size).
+//!
+//! Campaigns are deterministic, so every series computes the same
+//! makespan; only solver wall-clock differs. Build with `--features
+//! parallel` for real worker threads — without it the partitioned
+//! series still run the component decomposition, executed serially
+//! with bit-identical results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use wfbb_platform::{presets, BbMode};
+use wfbb_sched::{run_campaign, synthetic_jobs, BatchPolicy, CampaignConfig, SyntheticConfig};
+
+/// Campaign size: the 1000-job experiment workload unless overridden.
+fn campaign_jobs() -> usize {
+    std::env::var("WFBB_CAMPAIGN_PARALLEL_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+/// Solver series: the monolithic baseline, then the partitioned solver
+/// at 1 and 4 worker threads (the 1/2/4/8 sweep lives in the
+/// `parallel_scaling` experiment; the bench tracks the two ends CI
+/// cares about).
+const SERIES: [(&str, usize); 3] = [("serial", 0), ("threads/1", 1), ("threads/4", 4)];
+
+fn bench_campaign_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_parallel");
+    group.sample_size(10);
+    let jobs = synthetic_jobs(
+        42,
+        &SyntheticConfig {
+            jobs: campaign_jobs(),
+            mean_interarrival: 0.2,
+            bb_request_scale: 0.05,
+            max_nodes: 2,
+        },
+    )
+    .expect("synthetic workload");
+    for (label, threads) in SERIES {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &threads, |b, &t| {
+            let config = CampaignConfig::new(presets::cori(256, BbMode::Striped))
+                .with_policy(BatchPolicy::BbAware)
+                .with_platform_label("cori:striped")
+                .with_solver_threads(t);
+            b.iter(|| {
+                let report = run_campaign(&config, &jobs).unwrap();
+                black_box(report.makespan)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_campaign_parallel
+}
+criterion_main!(benches);

@@ -52,8 +52,8 @@ usage:
                 [--policy fcfs|easy|bb-aware|plan] [--plan-horizon <s>]
                 (--workload <file> | [--jobs <n>] [--seed <s>]
                  [--mean-interarrival <s>] [--bb-scale <f>] [--max-nodes <n>])
-                [--solver naive|incremental] [--csv <path>] [--json <path>]
-                [--trace-out <path>]
+                [--solver naive|incremental] [--solver-threads <n>]
+                [--csv <path>] [--json <path>] [--trace-out <path>]
   wfbb generate --workflow <spec> --out <file.json>
   wfbb inspect  --workflow <spec> [--dot <file.dot>]
 
@@ -83,6 +83,13 @@ campaign scheduling (see docs/scheduler.md):
                  --mean-interarrival/--bb-scale/--max-nodes
   --csv/--json   per-job outcomes as CSV / the full campaign report as JSON
   --trace-out    Perfetto trace with one lane per job + cluster counters
+
+performance (see docs/performance.md):
+  --solver-threads  0 (default) keeps the monolithic fair-share solve;
+                 n >= 1 partitions each solve into connected components and
+                 runs them on n worker threads (build with `--features
+                 parallel` for real threads; without it the decomposition
+                 still applies, executed serially with identical results)
 
 fault injection (see docs/failure-model.md):
   --faults       comma/newline-separated events, or a path to a spec file:
@@ -136,6 +143,7 @@ fn run(raw: &[String]) -> Result<(), CliError> {
                 "bb-scale",
                 "max-nodes",
                 "solver",
+                "solver-threads",
                 "csv",
                 "json",
                 "trace-out",
@@ -306,6 +314,10 @@ fn campaign(args: &Args) -> Result<(), CliError> {
             )))
         }
     };
+    let solver_threads: usize = args
+        .get_or("solver-threads", "0")
+        .parse()
+        .map_err(|_| CliError("bad --solver-threads value".into()))?;
 
     let jobs = if let Some(path) = args.get("workload") {
         let text = std::fs::read_to_string(path)
@@ -349,7 +361,8 @@ fn campaign(args: &Args) -> Result<(), CliError> {
         .with_policy(policy)
         .with_solve_mode(solve_mode)
         .with_platform_label(platform_spec)
-        .with_plan_horizon(plan_horizon);
+        .with_plan_horizon(plan_horizon)
+        .with_solver_threads(solver_threads);
     let report =
         run_campaign(&config, &jobs).map_err(|e| CliError(format!("campaign failed: {e}")))?;
     print!("{}", report.summary_text());

@@ -1,0 +1,6 @@
+//! Regenerates the solver-scaling sweep (1000-job campaign wall-clock,
+//! monolithic vs partitioned solver at 1/2/4/8 worker threads); see
+//! `wfbb_experiments::figures::parallel_scaling`.
+fn main() {
+    wfbb_experiments::run_and_save("parallel_scaling");
+}

@@ -16,6 +16,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod heuristics;
 pub mod optimality;
+pub mod parallel_scaling;
 pub mod plan_scheduling;
 pub mod refit;
 pub mod resilience;
@@ -26,7 +27,7 @@ use crate::table::Table;
 
 /// Known experiment names: the paper's tables/figures in order, then the
 /// extension experiments (placement heuristics, model ablation).
-pub const NAMES: [&str; 21] = [
+pub const NAMES: [&str; 22] = [
     "table1",
     "fig04",
     "fig05",
@@ -48,6 +49,7 @@ pub const NAMES: [&str; 21] = [
     "resilience",
     "campaign",
     "plan_scheduling",
+    "parallel_scaling",
 ];
 
 /// Resolves an experiment name to its runner.
@@ -74,6 +76,7 @@ pub fn by_name(name: &str) -> Option<fn() -> Vec<Table>> {
         "resilience" => Some(resilience::run),
         "campaign" => Some(campaign::run),
         "plan_scheduling" => Some(plan_scheduling::run),
+        "parallel_scaling" => Some(parallel_scaling::run),
         _ => None,
     }
 }

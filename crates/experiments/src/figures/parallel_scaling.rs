@@ -1,0 +1,172 @@
+//! Extension experiment: solver scaling on a 1000-job campaign.
+//!
+//! Runs the same oversubscribed 1000-job campaign (256-node striped-BB
+//! Cori, 0.2 s mean interarrivals, BB requests scaled down so admission
+//! stays wide open — ~145 concurrent jobs at peak) once with the
+//! monolithic incremental solver (the default) and once per
+//! `--solver-threads` setting with the partitioned solver, and records
+//! the wall-clock of each run next to the engine's decomposition
+//! counters. Campaigns are deterministic, so every configuration must
+//! produce the same makespan — the experiment asserts it — and the only
+//! thing that varies is how long the solve takes.
+//!
+//! Wall-clock numbers are machine-dependent (and this sweep is expected
+//! to run on a single-CPU container, where extra worker threads add
+//! pool overhead and no parallel speedup); the interesting signal is
+//! the serial-vs-partitioned ratio, which comes from the algorithmic
+//! changes the partitioned configuration enables — incremental order
+//! maintenance, component decomposition with memoized re-solves, and
+//! group-aggregated accounting (docs/performance.md).
+
+use std::time::Instant;
+
+use wfbb_platform::{presets, BbMode};
+use wfbb_sched::{synthetic_jobs, BatchPolicy, CampaignConfig, CampaignSim, SyntheticConfig};
+
+use crate::table::{f2, Table};
+
+/// Compute nodes of the shared machine.
+const NODES: usize = 256;
+/// Campaign length; with `MAX_NODES = 2` this is ~60.8k tasks.
+const JOBS: usize = 1000;
+/// Mean interarrival (s): fast arrivals keep the machine saturated.
+const INTERARRIVAL: f64 = 0.2;
+/// BB request scale: small requests so the striped pool admits ~145
+/// concurrent jobs instead of throttling the campaign to a trickle.
+const BB_SCALE: f64 = 0.05;
+/// Max nodes per job.
+const MAX_NODES: usize = 2;
+/// Workload seed (fixed; campaigns are deterministic).
+const SEED: u64 = 42;
+/// `--solver-threads` sweep: 0 is the monolithic baseline.
+const THREADS: [usize; 5] = [0, 1, 2, 4, 8];
+
+/// One timed campaign run; returns (wall seconds, makespan, counters).
+fn run_one(threads: usize) -> (f64, f64, wfbb_simcore::EngineCounters) {
+    let jobs = synthetic_jobs(
+        SEED,
+        &SyntheticConfig {
+            jobs: JOBS,
+            mean_interarrival: INTERARRIVAL,
+            bb_request_scale: BB_SCALE,
+            max_nodes: MAX_NODES,
+        },
+    )
+    .expect("synthetic workload");
+    let config = CampaignConfig::new(presets::cori(NODES, BbMode::Striped))
+        .with_policy(BatchPolicy::BbAware)
+        .with_platform_label("cori:striped")
+        .with_solver_threads(threads);
+    let start = Instant::now();
+    let mut sim = CampaignSim::new(&config, &jobs).expect("campaign starts");
+    while sim.step().expect("campaign steps") {}
+    let wall = start.elapsed().as_secs_f64();
+    let counters = sim.counters();
+    let report = sim.finish().expect("campaign completes");
+    (wall, report.makespan, counters)
+}
+
+/// Builds the solver-threads x wall-clock table.
+pub fn run() -> Vec<Table> {
+    // Timed sequentially on purpose: concurrent runs would share cores
+    // and corrupt each other's wall-clock.
+    let results: Vec<(usize, f64, f64, wfbb_simcore::EngineCounters)> = THREADS
+        .iter()
+        .map(|&t| {
+            let (wall, makespan, counters) = run_one(t);
+            (t, wall, makespan, counters)
+        })
+        .collect();
+    let base_makespan = results[0].2;
+    let base_wall = results[0].1;
+    for &(t, _, makespan, _) in &results {
+        assert!(
+            (makespan - base_makespan).abs() <= 1e-9 * base_makespan.abs(),
+            "solver-threads {t} changed the makespan: {makespan} vs {base_makespan}"
+        );
+    }
+
+    let mut t = Table::new(
+        "Parallel scaling: 1000-job campaign wall-clock, monolithic vs partitioned solver",
+        &[
+            "solver threads",
+            "wall (s)",
+            "speedup",
+            "makespan (s)",
+            "solves",
+            "components",
+            "reused",
+            "singletons",
+            "max component",
+        ],
+    );
+    for &(threads, wall, makespan, c) in &results {
+        t.push_row(vec![
+            if threads == 0 {
+                "serial (monolithic)".into()
+            } else {
+                format!("{threads}")
+            },
+            f2(wall),
+            format!("{:.2}x", base_wall / wall),
+            f2(makespan),
+            format!("{}", c.solves),
+            format!("{}", c.components),
+            format!("{}", c.components_reused),
+            format!("{}", c.singleton_components),
+            format!("{}", c.component_max),
+        ]);
+    }
+    t.note(format!(
+        "identical makespan ({}) in every configuration, as required by the determinism \
+         contract; wall-clock is machine-dependent and single-run, so treat ratios, not \
+         absolute times, as the signal",
+        f2(base_makespan),
+    ));
+    t.note(
+        "on a single-CPU host the partitioned speedup is purely algorithmic (incremental \
+         order maintenance, component decomposition with memoized re-solves, fused and \
+         group-aggregated accounting); thread counts above 1 only add worker-pool overhead \
+         there — see docs/performance.md",
+    );
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use wfbb_platform::{presets, BbMode};
+    use wfbb_sched::{run_campaign, synthetic_jobs, BatchPolicy, CampaignConfig, SyntheticConfig};
+
+    /// A small version of the sweep's invariant: the partitioned solver
+    /// must not change campaign outcomes at any thread count.
+    #[test]
+    fn solver_threads_do_not_change_outcomes() {
+        let jobs = synthetic_jobs(
+            super::SEED,
+            &SyntheticConfig {
+                jobs: 30,
+                mean_interarrival: super::INTERARRIVAL,
+                bb_request_scale: super::BB_SCALE,
+                max_nodes: super::MAX_NODES,
+            },
+        )
+        .expect("synthetic workload");
+        let run = |threads: usize| {
+            let config = CampaignConfig::new(presets::cori(64, BbMode::Striped))
+                .with_policy(BatchPolicy::BbAware)
+                .with_solver_threads(threads);
+            run_campaign(&config, &jobs).expect("campaign completes")
+        };
+        let serial = run(0);
+        for threads in [1, 4] {
+            let partitioned = run(threads);
+            assert_eq!(serial.jobs_ran, partitioned.jobs_ran);
+            assert!(
+                (serial.makespan - partitioned.makespan).abs() <= 1e-9 * serial.makespan,
+                "threads {threads}: {} vs {}",
+                partitioned.makespan,
+                serial.makespan
+            );
+        }
+    }
+}

@@ -44,6 +44,7 @@ use crate::activity::{ActivityKind, FlowSpec};
 use crate::fairshare::{self, Binding, WeightedReq};
 use crate::fault::{CapacityFault, FaultPlan};
 use crate::ids::{ActivityId, ResourceId};
+use crate::partition;
 use crate::resource::Resource;
 use crate::stats::ResourceStats;
 use crate::telemetry::{
@@ -58,8 +59,8 @@ use crate::EPSILON;
 /// strategy, and the telemetry instruments (see [`crate::telemetry`]).
 ///
 /// Everything defaults to the cheap path: no trace, incremental solving,
-/// telemetry sampling off.
-#[derive(Debug, Clone, Default)]
+/// telemetry sampling off, monolithic (unpartitioned) solves.
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Record start/end events into the [`TraceLog`].
     pub trace: bool,
@@ -67,6 +68,31 @@ pub struct EngineConfig {
     pub solve_mode: SolveMode,
     /// Sampling instruments; see [`TelemetryConfig`].
     pub telemetry: TelemetryConfig,
+    /// Decompose every solve into connected components over shared
+    /// resources and solve them independently (see [`crate::partition`]).
+    /// Off by default: the partitioned allocation can differ from the
+    /// monolithic one by cross-component tolerance ties (far below
+    /// [`crate::EPSILON`]), so flipping this knob may move completion
+    /// times by sub-nanosecond amounts — pinned golden traces assume the
+    /// default. Results never depend on [`Self::solver_threads`].
+    pub partition: bool,
+    /// Worker threads for component solves, clamped to at least 1. More
+    /// than one takes effect only with [`Self::partition`] on and the
+    /// `parallel` cargo feature enabled; otherwise components run in
+    /// order on the calling thread with bitwise-identical results.
+    pub solver_threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            trace: false,
+            solve_mode: SolveMode::default(),
+            telemetry: TelemetryConfig::default(),
+            partition: false,
+            solver_threads: 1,
+        }
+    }
 }
 
 /// What [`Engine::cancel_activity`] removed: the activity's tag plus how
@@ -144,6 +170,16 @@ struct Activity<T> {
 /// Sentinel for [`FlowSlot::stream_pos`]: the flow is still in its latency
 /// phase (or the slot is free).
 const LATENT: u32 = u32::MAX;
+
+/// Folds the decomposition statistics of one partitioned solve into the
+/// engine counters.
+fn note_partitioned_solve(counters: &mut EngineCounters, pws: &partition::PartitionWorkspace) {
+    counters.partitioned_solves += 1;
+    counters.components += pws.components() as u64;
+    counters.component_max = counters.component_max.max(pws.max_component() as u64);
+    counters.singleton_components += pws.singletons() as u64;
+    counters.components_reused += pws.reused() as u64;
+}
 
 /// Flow state, stored densely so integration and solving iterate flat
 /// arrays instead of walking the activity map.
@@ -274,6 +310,14 @@ pub struct Engine<T> {
     epoch: u64,
     events: BinaryHeap<Reverse<HeapEvent>>,
     ws: fairshare::Workspace,
+    /// Partitioned-solve buffers, used instead of `ws` when `partition`
+    /// is on.
+    pws: partition::PartitionWorkspace,
+    /// Solve by connected components (see [`EngineConfig::partition`]).
+    partition: bool,
+    /// Worker threads for component solves (≥ 1; see
+    /// [`EngineConfig::solver_threads`]).
+    solver_threads: usize,
     /// How far stream integration has advanced. Between solves rates are
     /// constant, so integration over a span of pure-delay events can be
     /// deferred and applied in one multiplication per flow — `now` may run
@@ -287,8 +331,25 @@ pub struct Engine<T> {
     earliest_done: f64,
     // Reusable scratch buffers (steady-state stepping allocates nothing).
     order: Vec<u32>,
+    /// Activity ids parallel to `order`, to detect slot recycling when the
+    /// order is incrementally rebuilt (see [`Engine::rebuild_order`]).
+    order_ids: Vec<ActivityId>,
+    /// Slots made streaming since the last incremental solve, merged into
+    /// `order` by [`Engine::rebuild_order`] and then cleared.
+    newly_streaming: Vec<u32>,
+    order_scratch: Vec<u32>,
+    order_ids_scratch: Vec<ActivityId>,
     groups: Vec<(u32, u32)>,
+    /// True while `groups`/`order` still describe the exact current
+    /// streaming set: set by the incremental regroup, cleared by any
+    /// mutation of `streams`. Gates the group-aggregated served/blame
+    /// accounting in [`Engine::integrate`].
+    groups_current: bool,
     busy: Vec<bool>,
+    /// Resources marked busy by the current integration span (partitioned
+    /// fast path only), so busy-time accrual walks the handful of touched
+    /// resources instead of the whole platform.
+    touched: Vec<u32>,
     done_buf: Vec<ActivityId>,
     promote_buf: Vec<u32>,
     deferred: Vec<HeapEvent>,
@@ -399,10 +460,19 @@ impl<T> Engine<T> {
             epoch: 0,
             events: BinaryHeap::new(),
             ws: fairshare::Workspace::new(),
+            pws: partition::PartitionWorkspace::new(),
+            partition: config.partition,
+            solver_threads: config.solver_threads.max(1),
             integrated_until: 0.0,
             earliest_done: f64::INFINITY,
             order: Vec::new(),
+            order_ids: Vec::new(),
+            newly_streaming: Vec::new(),
+            order_scratch: Vec::new(),
+            order_ids_scratch: Vec::new(),
             groups: Vec::new(),
+            groups_current: false,
+            touched: Vec::new(),
             busy: Vec::new(),
             done_buf: Vec::new(),
             promote_buf: Vec::new(),
@@ -548,6 +618,34 @@ impl<T> Engine<T> {
     pub fn set_solve_mode(&mut self, mode: SolveMode) {
         self.mode = mode;
         self.dirty = true;
+    }
+
+    /// Whether solves are decomposed into connected components (see
+    /// [`EngineConfig::partition`]).
+    pub fn partition(&self) -> bool {
+        self.partition
+    }
+
+    /// Enables or disables the connected-component decomposition of every
+    /// solve. Takes effect from the next solve; see
+    /// [`EngineConfig::partition`] for the (sub-`EPSILON`) semantic
+    /// difference from the monolithic path.
+    pub fn set_partition(&mut self, enabled: bool) {
+        self.partition = enabled;
+        self.dirty = true;
+    }
+
+    /// Worker threads used for component solves (≥ 1).
+    pub fn solver_threads(&self) -> usize {
+        self.solver_threads
+    }
+
+    /// Sets the number of worker threads for component solves, clamped to
+    /// at least 1. Only affects wall-clock time, never results, and only
+    /// with [`Engine::set_partition`] on and the `parallel` cargo feature
+    /// enabled.
+    pub fn set_solver_threads(&mut self, threads: usize) {
+        self.solver_threads = threads.max(1);
     }
 
     /// Installs a deterministic fault schedule. Capacity events are applied
@@ -891,7 +989,90 @@ impl<T> Engine<T> {
         debug_assert_eq!(self.flows[slot as usize].stream_pos, LATENT);
         self.flows[slot as usize].stream_pos = self.streams.len() as u32;
         self.streams.push(slot);
+        self.newly_streaming.push(slot);
         self.dirty = true;
+        self.groups_current = false;
+    }
+
+    /// Rebuilds `order` — the streaming set sorted by `(group_key, slot)`
+    /// — incrementally: entries whose flow stopped streaming since the
+    /// last incremental solve are filtered out (matched by activity id,
+    /// which guards against slot recycling), and flows that started
+    /// streaming are merged in at their sorted positions. The result is
+    /// exactly what re-sorting `streams` from scratch would produce, in
+    /// O(streams + new log new) instead of O(streams log streams).
+    fn rebuild_order(&mut self) {
+        let flows = &self.flows;
+        // Drop entries whose slot no longer holds the same streaming flow.
+        let mut w = 0usize;
+        for r in 0..self.order.len() {
+            let slot = self.order[r];
+            let f = &flows[slot as usize];
+            if f.stream_pos != LATENT && f.id == self.order_ids[r] {
+                self.order[w] = slot;
+                self.order_ids[w] = f.id;
+                w += 1;
+            }
+        }
+        self.order.truncate(w);
+        self.order_ids.truncate(w);
+        // Sort and validate the newcomers. A slot released and re-streamed
+        // between solves appears twice describing the same current flow;
+        // equal slots sort adjacent, so `dedup` collapses them.
+        self.newly_streaming
+            .retain(|&s| flows[s as usize].stream_pos != LATENT);
+        self.newly_streaming.sort_unstable_by(|&a, &b| {
+            flows[a as usize]
+                .group_key
+                .cmp(&flows[b as usize].group_key)
+                .then_with(|| a.cmp(&b))
+        });
+        self.newly_streaming.dedup();
+        if !self.newly_streaming.is_empty() {
+            self.order_scratch.clear();
+            self.order_ids_scratch.clear();
+            let total = self.order.len() + self.newly_streaming.len();
+            self.order_scratch.reserve(total);
+            self.order_ids_scratch.reserve(total);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < self.order.len() || j < self.newly_streaming.len() {
+                let take_old = if i == self.order.len() {
+                    false
+                } else if j == self.newly_streaming.len() {
+                    true
+                } else {
+                    let a = self.order[i];
+                    let b = self.newly_streaming[j];
+                    (flows[a as usize].group_key, a) <= (flows[b as usize].group_key, b)
+                };
+                let slot = if take_old {
+                    i += 1;
+                    self.order[i - 1]
+                } else {
+                    j += 1;
+                    self.newly_streaming[j - 1]
+                };
+                self.order_scratch.push(slot);
+                self.order_ids_scratch.push(flows[slot as usize].id);
+            }
+            std::mem::swap(&mut self.order, &mut self.order_scratch);
+            std::mem::swap(&mut self.order_ids, &mut self.order_ids_scratch);
+            self.newly_streaming.clear();
+        }
+        debug_assert_eq!(self.order.len(), self.streams.len());
+        #[cfg(debug_assertions)]
+        {
+            // Cross-check against the from-scratch sort (debug builds
+            // only, like the heap-vs-scan check in try_step).
+            let mut reference = self.streams.clone();
+            reference.sort_unstable_by(|&a, &b| {
+                flows[a as usize]
+                    .group_key
+                    .cmp(&flows[b as usize].group_key)
+                    .then_with(|| a.cmp(&b))
+            });
+            debug_assert_eq!(self.order, reference, "incremental order diverged");
+        }
     }
 
     /// Seals a finishing flow's contention accounting into a
@@ -939,10 +1120,16 @@ impl<T> Engine<T> {
         self.flows[slot as usize].stream_pos = LATENT;
         self.free_slots.push(slot);
         self.dirty = true;
+        self.groups_current = false;
     }
 
     /// Recomputes the fair-share allocation for the streaming set and, in
     /// incremental mode, pushes the next flow-completion candidate.
+    ///
+    /// With [`EngineConfig::partition`] on, the solve (in either mode)
+    /// goes through the connected-component decomposition of
+    /// [`crate::partition`] instead of one monolithic progressive-filling
+    /// pass.
     fn resolve_rates(&mut self) {
         // Rates are about to change: close out the constant-rate span.
         self.integrate(self.now.seconds());
@@ -952,6 +1139,9 @@ impl<T> Engine<T> {
         self.telemetry.counters.solver_flows += self.streams.len() as u64;
         match self.mode {
             SolveMode::Naive => {
+                // The naive solve keeps no sorted order; drop the
+                // incremental-order log so it cannot grow without bound.
+                self.newly_streaming.clear();
                 self.telemetry.counters.solver_groups += self.streams.len() as u64;
                 let flows = &self.flows;
                 let entries = self.streams.iter().map(|&s| {
@@ -962,26 +1152,48 @@ impl<T> Engine<T> {
                         weight: 1.0,
                     }
                 });
-                fairshare::solve_into(&mut self.ws, &self.capacities, entries);
-                for (k, &s) in self.streams.iter().enumerate() {
-                    self.flows[s as usize].rate = self.ws.rates()[k];
-                    self.flows[s as usize].binding = self.ws.bindings()[k];
+                if self.partition {
+                    self.pws
+                        .solve(&self.capacities, entries, self.solver_threads);
+                    note_partitioned_solve(&mut self.telemetry.counters, &self.pws);
+                    for (k, &s) in self.streams.iter().enumerate() {
+                        self.flows[s as usize].rate = self.pws.rates()[k];
+                        self.flows[s as usize].binding = self.pws.bindings()[k];
+                    }
+                } else {
+                    fairshare::solve_into(&mut self.ws, &self.capacities, entries);
+                    for (k, &s) in self.streams.iter().enumerate() {
+                        self.flows[s as usize].rate = self.ws.rates()[k];
+                        self.flows[s as usize].binding = self.ws.bindings()[k];
+                    }
                 }
             }
             SolveMode::Incremental => {
-                // Group streaming flows by (route, cap) signature. Sorting
-                // by the precomputed key keeps comparisons cheap; boundary
-                // detection re-checks actual equality, so hash collisions
-                // only cost an extra group, never a wrong one.
-                self.order.clear();
-                self.order.extend_from_slice(&self.streams);
+                // Group streaming flows by (route, cap) signature, ordered
+                // by the precomputed key; boundary detection re-checks
+                // actual equality, so hash collisions only cost an extra
+                // group, never a wrong one. The partitioned configuration
+                // maintains the sorted order incrementally across solves;
+                // the default re-sorts from scratch, exactly as before the
+                // partitioner existed (see docs/performance.md).
+                if self.partition {
+                    self.rebuild_order();
+                } else {
+                    self.order.clear();
+                    self.order.extend_from_slice(&self.streams);
+                    let flows = &self.flows;
+                    self.order.sort_unstable_by(|&a, &b| {
+                        flows[a as usize]
+                            .group_key
+                            .cmp(&flows[b as usize].group_key)
+                            .then_with(|| a.cmp(&b))
+                    });
+                    self.order_ids.clear();
+                    self.order_ids
+                        .extend(self.order.iter().map(|&s| flows[s as usize].id));
+                    self.newly_streaming.clear();
+                }
                 let flows = &self.flows;
-                self.order.sort_unstable_by(|&a, &b| {
-                    flows[a as usize]
-                        .group_key
-                        .cmp(&flows[b as usize].group_key)
-                        .then_with(|| a.cmp(&b))
-                });
                 self.groups.clear();
                 let mut start = 0usize;
                 for k in 1..=self.order.len() {
@@ -1007,18 +1219,15 @@ impl<T> Engine<T> {
                         weight: (e - s) as f64,
                     }
                 });
-                fairshare::solve_into(&mut self.ws, &self.capacities, entries);
-                for (g, &(s, e)) in self.groups.iter().enumerate() {
-                    let rate = self.ws.rates()[g];
-                    // Identical flows freeze identically, so every member
-                    // inherits the group's binding — matching what the
-                    // naive per-flow solve would decide.
-                    let binding = self.ws.bindings()[g];
-                    for &slot in &self.order[s as usize..e as usize] {
-                        self.flows[slot as usize].rate = rate;
-                        self.flows[slot as usize].binding = binding;
-                    }
-                }
+                let (rates, bindings): (&[f64], &[Binding]) = if self.partition {
+                    self.pws
+                        .solve(&self.capacities, entries, self.solver_threads);
+                    note_partitioned_solve(&mut self.telemetry.counters, &self.pws);
+                    (self.pws.rates(), self.pws.bindings())
+                } else {
+                    fairshare::solve_into(&mut self.ws, &self.capacities, entries);
+                    (self.ws.rates(), self.ws.bindings())
+                };
                 // One completion candidate per epoch: the earliest predicted
                 // flow end. Simultaneous (EPSILON-window) neighbors are
                 // collected by the completion scan when it fires. Alongside
@@ -1026,17 +1235,51 @@ impl<T> Engine<T> {
                 // completion predicate (which tolerates `EPSILON` of
                 // remaining work, i.e. fires up to `EPSILON / rate` early);
                 // events before that bound skip the scan entirely.
+                //
+                // The candidate is the minimum of `(t, id)` pairs under a
+                // total order, so the result does not depend on which
+                // order the streaming set is walked; in the partitioned
+                // configuration the scan is fused into the rate writeback
+                // below (one pass over the flows instead of two).
                 let now = self.now.seconds();
                 let mut best: Option<(f64, ActivityId)> = None;
                 let mut earliest = f64::INFINITY;
-                for &s in &self.streams {
-                    let f = &self.flows[s as usize];
-                    if f.rate > EPSILON {
-                        let t = now + f.remaining / f.rate;
-                        let slack = (EPSILON / f.rate).max(EPSILON);
-                        earliest = earliest.min(t - slack);
-                        if best.is_none_or(|(bt, bid)| t < bt || (t == bt && f.id < bid)) {
-                            best = Some((t, f.id));
+                let fused = self.partition;
+                for (g, &(s, e)) in self.groups.iter().enumerate() {
+                    let rate = rates[g];
+                    // Identical flows freeze identically, so every member
+                    // inherits the group's binding — matching what the
+                    // naive per-flow solve would decide.
+                    let binding = bindings[g];
+                    let slack = if fused && rate > EPSILON {
+                        (EPSILON / rate).max(EPSILON)
+                    } else {
+                        0.0
+                    };
+                    for &slot in &self.order[s as usize..e as usize] {
+                        let f = &mut self.flows[slot as usize];
+                        f.rate = rate;
+                        f.binding = binding;
+                        if fused && rate > EPSILON {
+                            let t = now + f.remaining / rate;
+                            earliest = earliest.min(t - slack);
+                            if best.is_none_or(|(bt, bid)| t < bt || (t == bt && f.id < bid)) {
+                                best = Some((t, f.id));
+                            }
+                        }
+                    }
+                }
+                self.groups_current = true;
+                if !fused {
+                    for &s in &self.streams {
+                        let f = &self.flows[s as usize];
+                        if f.rate > EPSILON {
+                            let t = now + f.remaining / f.rate;
+                            let slack = (EPSILON / f.rate).max(EPSILON);
+                            earliest = earliest.min(t - slack);
+                            if best.is_none_or(|(bt, bid)| t < bt || (t == bt && f.id < bid)) {
+                                best = Some((t, f.id));
+                            }
                         }
                     }
                 }
@@ -1125,41 +1368,101 @@ impl<T> Engine<T> {
         }
         self.busy.clear();
         self.busy.resize(self.resources.len(), false);
-        for &s in &self.streams {
-            let f = &mut self.flows[s as usize];
-            let moved = (f.rate * dt).min(f.remaining);
-            f.remaining -= moved;
-            // Contention accounting: the gap between the flow's uncontended
-            // rate and its achieved rate, attributed to the binding
-            // resource the solver identified. Rates are constant over the
-            // span, so this is exact and identical in both solve modes.
-            if let Binding::Resource(res) = f.binding {
-                if f.uncontended.is_finite() {
-                    let gap = (f.uncontended - f.rate) * dt;
-                    if gap > 0.0 {
-                        match f.lost_by.iter_mut().find(|(r, _)| *r == res) {
-                            Some((_, lost)) => *lost += gap,
-                            None => f.lost_by.push((res, gap)),
+        let grouped = self.partition && self.mode == SolveMode::Incremental && self.groups_current;
+        if grouped {
+            // Partitioned fast path: flows of one solver group share a
+            // route, so the per-resource served accounting walks each
+            // group's route once with the group's total instead of once
+            // per member. Per-flow `remaining` updates (which decide
+            // event times) are unchanged; only the *summation order* of
+            // the served/blame accumulators differs, which is why this
+            // path is tied to the opt-in partitioned mode.
+            for gi in 0..self.groups.len() {
+                let (s, e) = self.groups[gi];
+                let mut group_moved = 0.0;
+                for &slot in &self.order[s as usize..e as usize] {
+                    let f = &mut self.flows[slot as usize];
+                    let moved = (f.rate * dt).min(f.remaining);
+                    f.remaining -= moved;
+                    group_moved += moved;
+                    if let Binding::Resource(res) = f.binding {
+                        if f.uncontended.is_finite() {
+                            let gap = (f.uncontended - f.rate) * dt;
+                            if gap > 0.0 {
+                                match f.lost_by.iter_mut().find(|(r, _)| *r == res) {
+                                    Some((_, lost)) => *lost += gap,
+                                    None => f.lost_by.push((res, gap)),
+                                }
+                                let b = &mut self.blame[res.index()];
+                                b.lost_work += gap;
+                                b.wait += gap / f.uncontended;
+                                b.first = b.first.min(span_start);
+                                b.last = b.last.max(upto);
+                            }
                         }
-                        let b = &mut self.blame[res.index()];
-                        b.lost_work += gap;
-                        b.wait += gap / f.uncontended;
-                        b.first = b.first.min(span_start);
-                        b.last = b.last.max(upto);
+                    }
+                }
+                let leader = &self.flows[self.order[s as usize] as usize];
+                for r in &leader.route {
+                    let ri = r.index();
+                    self.stats[ri].total_served += group_moved;
+                    if !self.busy[ri] {
+                        self.busy[ri] = true;
+                        self.touched.push(ri as u32);
+                    }
+                    if sampling {
+                        self.served_accum[ri] += group_moved;
                     }
                 }
             }
-            for r in &f.route {
-                self.stats[r.index()].total_served += moved;
-                self.busy[r.index()] = true;
-                if sampling {
-                    self.served_accum[r.index()] += moved;
+        } else {
+            for &s in &self.streams {
+                let f = &mut self.flows[s as usize];
+                let moved = (f.rate * dt).min(f.remaining);
+                f.remaining -= moved;
+                // Contention accounting: the gap between the flow's
+                // uncontended rate and its achieved rate, attributed to the
+                // binding resource the solver identified. Rates are constant
+                // over the span, so this is exact and identical in both
+                // solve modes.
+                if let Binding::Resource(res) = f.binding {
+                    if f.uncontended.is_finite() {
+                        let gap = (f.uncontended - f.rate) * dt;
+                        if gap > 0.0 {
+                            match f.lost_by.iter_mut().find(|(r, _)| *r == res) {
+                                Some((_, lost)) => *lost += gap,
+                                None => f.lost_by.push((res, gap)),
+                            }
+                            let b = &mut self.blame[res.index()];
+                            b.lost_work += gap;
+                            b.wait += gap / f.uncontended;
+                            b.first = b.first.min(span_start);
+                            b.last = b.last.max(upto);
+                        }
+                    }
+                }
+                for r in &f.route {
+                    self.stats[r.index()].total_served += moved;
+                    self.busy[r.index()] = true;
+                    if sampling {
+                        self.served_accum[r.index()] += moved;
+                    }
                 }
             }
         }
-        for (idx, b) in self.busy.iter().enumerate() {
-            if *b {
-                self.stats[idx].busy_time += dt;
+        if grouped {
+            // Busy-time accrual per touched resource; each accumulator
+            // receives one `+= dt` either way, so this matches the full
+            // scan bit for bit.
+            for &ri in &self.touched {
+                self.stats[ri as usize].busy_time += dt;
+            }
+            self.touched.clear();
+        } else {
+            for (idx, b) in self.busy.iter().enumerate() {
+                if *b {
+                    self.stats[idx].busy_time += dt;
+                }
             }
         }
         if sampling {

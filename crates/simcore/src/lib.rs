@@ -50,6 +50,7 @@ pub mod engine;
 pub mod fairshare;
 pub mod fault;
 pub mod ids;
+pub mod partition;
 pub mod resource;
 pub mod stats;
 pub mod telemetry;
@@ -63,6 +64,7 @@ pub use engine::{
 pub use fairshare::Binding;
 pub use fault::{seeded_failures, CapacityFault, FaultPlan};
 pub use ids::{ActivityId, ResourceId};
+pub use partition::PartitionWorkspace;
 pub use resource::Resource;
 pub use stats::ResourceStats;
 pub use telemetry::{

@@ -1,0 +1,851 @@
+//! Connected-component decomposition of the fair-share solve.
+//!
+//! One epoch of progressive filling ([`crate::fairshare::solve_into`])
+//! freezes entries level by level: every round scans *all* entries and
+//! *all* resources to find the next global fill level. A campaign of
+//! concurrent jobs mostly runs on disjoint resource groups (each job's
+//! compute nodes, its carved burst-buffer share), so the monolithic solve
+//! pays roughly one round per *distinct* saturation level — one per busy
+//! node group — and every round rescans the whole platform. That is the
+//! quadratic the ROADMAP's "raw speed" item points at.
+//!
+//! This module splits the entry set into connected components over shared
+//! resources (union-find over each entry's route) and solves every
+//! component as an independent sub-problem:
+//!
+//! * **Arena/SoA entry tables.** Entries are ingested once into flat
+//!   parallel arrays (`route_start`/`route_len` into one route arena, plus
+//!   caps and weights), so component discovery and bucketing walk dense
+//!   memory instead of re-running the engine's flow-map iterators.
+//! * **Local compaction.** Each component is renumbered into a dense local
+//!   resource space (`global → local` map plus a local capacity vector),
+//!   so a 4-entry component solves over its 5 resources, not the whole
+//!   platform's.
+//! * **Component-result reuse.** An engine event usually perturbs one or
+//!   two components (a flow completed, a job spawned work) and leaves the
+//!   other hundred untouched. Each component's sub-problem is hashed into
+//!   a content key — member weights, caps, routes by *global* resource id,
+//!   and the capacities of those resources — and looked up in the memo of
+//!   the previous solve. On an exact key match the previous rates and
+//!   bindings are copied back verbatim: [`crate::fairshare::solve_into`]
+//!   is a pure function of exactly the hashed inputs, so reuse is
+//!   bit-for-bit identical to re-solving (hash collisions are guarded by
+//!   a full key comparison). Only missed components are (re-)solved.
+//! * **Optional parallelism.** Missed components are grouped into
+//!   contiguous chunks balanced by entry count, and with the `parallel`
+//!   feature the chunks run on the rayon pool
+//!   ([`PartitionWorkspace::solve`]'s `threads` argument; serial fallback
+//!   without the feature).
+//!
+//! # Why canonical merge order guarantees bitwise equality
+//!
+//! Determinism is non-negotiable: the engine's snapshot/fork replay
+//! contract promises bitwise-identical event streams, and the campaign
+//! scheduler's speculative rollouts rely on it. The partitioned solve is
+//! bitwise *reproducible across thread counts* by construction:
+//!
+//! 1. **Component identity is data-dependent, not schedule-dependent.**
+//!    Components are discovered by a deterministic union-find sweep over
+//!    the entry list and indexed in order of first appearance among the
+//!    entries — the same input always yields the same components in the
+//!    same order.
+//! 2. **Each component's sub-problem is self-contained.** Its local
+//!    resource numbering is assigned by walking the component's own
+//!    entries in entry order, so the `f64` operations performed by
+//!    [`crate::fairshare::solve_into`] on that component are *the same
+//!    instruction stream* no matter which thread (or how many threads)
+//!    executes it. IEEE-754 arithmetic is deterministic; only operation
+//!    *order* can change results, and the order within a component is
+//!    fixed.
+//! 3. **Results are merged serially in canonical order.** Every chunk
+//!    writes rates and bindings into its own output buffer; after all
+//!    chunks complete, a single-threaded scatter copies them back into
+//!    entry order, component by component in discovery order. No shared
+//!    mutable state is touched concurrently, so there is nothing a race
+//!    could reorder.
+//!
+//! Hence `threads = 1` and `threads = N` produce identical bits, which is
+//! what the A/B proptests in `tests/partition.rs` pin.
+//!
+//! # Relation to the monolithic solve
+//!
+//! Partitioning is *opt-in* ([`crate::EngineConfig::partition`], default
+//! off) because the per-component result is not bit-for-bit the
+//! monolithic result: the monolithic solve freezes entries against a
+//! *global* fill level with a relative tie tolerance (~1e-12), so two
+//! components whose levels land within that tolerance of each other can
+//! couple through it. Exact ties behave identically (the frozen rate is
+//! `cap.min(level)` either way), and all differences stay far below the
+//! engine's `EPSILON`; the equivalence tests compare the two paths at the
+//! same 1e-9 relative tolerance used for `SolveMode::Naive` vs
+//! `SolveMode::Incremental`.
+
+use std::collections::HashMap;
+
+use crate::fairshare::{self, Binding, WeightedReq};
+use crate::ids::ResourceId;
+
+/// Sentinel for "no local index assigned" in the global → local resource
+/// maps, and for "no component" (empty-route entries).
+const NONE: u32 = u32::MAX;
+
+/// Below this many bucketed entries a solve always runs on the calling
+/// thread: dispatch overhead would dominate. The cutoff affects wall-clock
+/// time only — never results — because thread count never affects results.
+const MIN_PARALLEL_ENTRIES: usize = 64;
+
+/// One solver entry of one component, with its route re-based into the
+/// chunk's local route arena.
+#[derive(Debug, Clone, Copy, Default)]
+struct LocalEntry {
+    route_start: u32,
+    route_len: u32,
+    rate_cap: Option<f64>,
+    weight: f64,
+}
+
+/// Per-chunk scratch: everything one worker needs to compact and solve its
+/// components without touching shared mutable state.
+#[derive(Debug, Clone, Default)]
+struct ChunkScratch {
+    /// Inner progressive-filling workspace, reused across components.
+    ws: fairshare::Workspace,
+    /// Capacities of the current component's resources, locally indexed.
+    local_caps: Vec<f64>,
+    /// Local resource index → global id (for mapping bindings back).
+    local_ids: Vec<ResourceId>,
+    /// Global resource index → local index; entries are reset to [`NONE`]
+    /// after each component via `local_ids`, so the map stays warm.
+    global2local: Vec<u32>,
+    /// Route arena of the current component, in local resource ids.
+    local_routes: Vec<ResourceId>,
+    /// Entries of the current component, in bucketed order.
+    entries: Vec<LocalEntry>,
+    /// Per-flow rates of all components of this chunk, bucketed order.
+    out_rates: Vec<f64>,
+    /// Binding constraints (global resource ids), parallel to `out_rates`.
+    out_bindings: Vec<Binding>,
+}
+
+impl ChunkScratch {
+    /// Compacts and solves the component whose bucketed entry indices are
+    /// `members`, appending per-entry results to the chunk's output
+    /// buffers. All reads go through the shared SoA tables; all writes go
+    /// to this scratch.
+    fn solve_component(&mut self, tables: &Tables<'_>, members: &[u32]) {
+        let ChunkScratch {
+            ws,
+            local_caps,
+            local_ids,
+            global2local,
+            local_routes,
+            entries,
+            out_rates,
+            out_bindings,
+        } = self;
+        global2local.resize(tables.capacities.len(), NONE);
+        local_caps.clear();
+        local_ids.clear();
+        local_routes.clear();
+        entries.clear();
+        for &e in members {
+            let e = e as usize;
+            let start = tables.route_start[e] as usize;
+            let len = tables.route_len[e] as usize;
+            let local_start = local_routes.len() as u32;
+            for &rid in &tables.routes[start..start + len] {
+                let gi = rid.index();
+                let mut li = global2local[gi];
+                if li == NONE {
+                    li = local_caps.len() as u32;
+                    global2local[gi] = li;
+                    local_caps.push(tables.capacities[gi]);
+                    local_ids.push(rid);
+                }
+                local_routes.push(ResourceId::from_index(li as usize));
+            }
+            entries.push(LocalEntry {
+                route_start: local_start,
+                route_len: len as u32,
+                rate_cap: tables.caps[e],
+                weight: tables.weights[e],
+            });
+        }
+        let local_routes = &*local_routes;
+        fairshare::solve_into(
+            ws,
+            local_caps,
+            entries.iter().map(|le| WeightedReq {
+                route: &local_routes
+                    [le.route_start as usize..(le.route_start + le.route_len) as usize],
+                rate_cap: le.rate_cap,
+                weight: le.weight,
+            }),
+        );
+        out_rates.extend_from_slice(ws.rates());
+        out_bindings.extend(ws.bindings().iter().map(|b| match *b {
+            Binding::Resource(local) => Binding::Resource(local_ids[local.index()]),
+            Binding::Cap => Binding::Cap,
+        }));
+        // Reset only the touched map entries so the next component starts
+        // clean without an O(resources) wipe.
+        for rid in local_ids.iter() {
+            global2local[rid.index()] = NONE;
+        }
+    }
+}
+
+/// Stored result of one solved component: a slice of the memo's key arena
+/// plus parallel slices of its rates/bindings arenas.
+#[derive(Debug, Clone, Copy)]
+struct MemoSlot {
+    key_start: u32,
+    key_len: u32,
+    /// Start of this component's rates/bindings in the result arenas (the
+    /// length is implied by the caller's member list).
+    res_start: u32,
+    /// Next slot with the same key hash ([`NONE`] terminates the chain).
+    next: u32,
+}
+
+/// Component results of one solve, content-addressed by key hash. Two
+/// arenas are kept and swapped every solve, so lookups always hit the
+/// previous epoch's results with zero steady-state allocation.
+#[derive(Debug, Clone, Default)]
+struct MemoArena {
+    /// Key hash → head slot of the collision chain.
+    index: HashMap<u64, u32>,
+    slots: Vec<MemoSlot>,
+    keys: Vec<u64>,
+    rates: Vec<f64>,
+    bindings: Vec<Binding>,
+}
+
+impl MemoArena {
+    fn clear(&mut self) {
+        self.index.clear();
+        self.slots.clear();
+        self.keys.clear();
+        self.rates.clear();
+        self.bindings.clear();
+    }
+
+    /// Finds a stored component whose full key equals `key`, or `None`.
+    fn lookup(&self, hash: u64, key: &[u64]) -> Option<&MemoSlot> {
+        let mut at = *self.index.get(&hash)?;
+        while at != NONE {
+            let slot = &self.slots[at as usize];
+            let stored =
+                &self.keys[slot.key_start as usize..(slot.key_start + slot.key_len) as usize];
+            if stored == key {
+                return Some(slot);
+            }
+            at = slot.next;
+        }
+        None
+    }
+
+    /// Appends a component's key and results, gathering the per-member
+    /// rates/bindings out of the entry-ordered output tables, and chains
+    /// the slot under `hash`. New slots are prepended to the chain; chain
+    /// order never affects results because lookups compare full keys and
+    /// equal keys carry equal data.
+    fn insert_gather(
+        &mut self,
+        hash: u64,
+        key: &[u64],
+        members: &[u32],
+        rates: &[f64],
+        bindings: &[Binding],
+    ) {
+        let id = self.slots.len() as u32;
+        let head = self.index.insert(hash, id).unwrap_or(NONE);
+        self.slots.push(MemoSlot {
+            key_start: self.keys.len() as u32,
+            key_len: key.len() as u32,
+            res_start: self.rates.len() as u32,
+            next: head,
+        });
+        self.keys.extend_from_slice(key);
+        for &e in members {
+            self.rates.push(rates[e as usize]);
+            self.bindings.push(bindings[e as usize]);
+        }
+    }
+}
+
+/// FNV-1a over 64-bit words; only used to index the memo (exact key
+/// comparison decides reuse, so collisions cost time, never correctness).
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &w in words {
+        h ^= w;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Borrowed views of the ingested SoA entry tables, shared read-only by
+/// every chunk.
+#[derive(Clone, Copy)]
+struct Tables<'a> {
+    capacities: &'a [f64],
+    route_start: &'a [u32],
+    route_len: &'a [u32],
+    routes: &'a [ResourceId],
+    caps: &'a [Option<f64>],
+    weights: &'a [f64],
+}
+
+/// Reusable buffers for the partitioned fair-share solve.
+///
+/// Like [`fairshare::Workspace`], holding one `PartitionWorkspace` across
+/// [`PartitionWorkspace::solve`] calls amortizes all allocations: after
+/// warm-up, a solve allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionWorkspace {
+    // Ingested entry tables (SoA, canonical entry order).
+    route_start: Vec<u32>,
+    route_len: Vec<u32>,
+    routes: Vec<ResourceId>,
+    caps: Vec<Option<f64>>,
+    weights: Vec<f64>,
+    // Union-find over resource indices.
+    parent: Vec<u32>,
+    // Component assignment and bucketing.
+    comp_of_entry: Vec<u32>,
+    root_comp: Vec<u32>,
+    comp_sizes: Vec<u32>,
+    comp_offsets: Vec<u32>,
+    cursor: Vec<u32>,
+    by_comp: Vec<u32>,
+    chunk_bounds: Vec<(u32, u32)>,
+    // Per-worker scratch (index = chunk).
+    scratch: Vec<ChunkScratch>,
+    // Component-result memo: previous solve's results (looked up) and the
+    // current solve's results (built), swapped at the end of each solve.
+    memo_prev: MemoArena,
+    memo_next: MemoArena,
+    // Per-component content keys of the current solve.
+    key_arena: Vec<u64>,
+    comp_key_start: Vec<u32>,
+    comp_hash: Vec<u64>,
+    // Components that missed the memo, in discovery order.
+    missed: Vec<u32>,
+    // Outputs, parallel to the ingested entry order.
+    rates: Vec<f64>,
+    bindings: Vec<Binding>,
+    // Decomposition statistics of the most recent solve.
+    components: usize,
+    max_component: usize,
+    singletons: usize,
+    reused: usize,
+}
+
+/// Union-find `find` with path halving.
+fn find(parent: &mut [u32], mut x: u32) -> u32 {
+    while parent[x as usize] != x {
+        parent[x as usize] = parent[parent[x as usize] as usize];
+        x = parent[x as usize];
+    }
+    x
+}
+
+impl PartitionWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-entry rates computed by the most recent [`Self::solve`] call,
+    /// in the order the entries were given.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Per-entry binding constraints (global resource ids) identified by
+    /// the most recent [`Self::solve`] call, parallel to [`Self::rates`].
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+
+    /// Number of connected components in the most recent solve
+    /// (empty-route entries are unconstrained and not counted).
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Entry count of the largest component in the most recent solve.
+    pub fn max_component(&self) -> usize {
+        self.max_component
+    }
+
+    /// Number of single-entry components in the most recent solve.
+    pub fn singletons(&self) -> usize {
+        self.singletons
+    }
+
+    /// Components of the most recent solve whose results were copied from
+    /// the previous solve's memo instead of being re-solved (exact
+    /// content-key match; bit-for-bit identical to re-solving).
+    pub fn reused(&self) -> usize {
+        self.reused
+    }
+
+    /// Computes the max–min fair allocation by independent component
+    /// solves, merged in canonical (discovery) order.
+    ///
+    /// Semantics match [`fairshare::solve_into`] up to cross-component
+    /// tolerance ties (see the module docs); results are identical for
+    /// every `threads` value. `threads` is clamped to at least 1 and, in
+    /// builds without the `parallel` feature, chunks simply run in order
+    /// on the calling thread.
+    ///
+    /// # Panics
+    /// Panics if a route references a resource index out of bounds.
+    pub fn solve<'a, I>(&mut self, capacities: &[f64], entries: I, threads: usize)
+    where
+        I: Iterator<Item = WeightedReq<'a>>,
+    {
+        // ---- ingest into the SoA tables -------------------------------
+        self.route_start.clear();
+        self.route_len.clear();
+        self.routes.clear();
+        self.caps.clear();
+        self.weights.clear();
+        for e in entries {
+            self.route_start.push(self.routes.len() as u32);
+            self.route_len.push(e.route.len() as u32);
+            for r in e.route {
+                assert!(
+                    r.index() < capacities.len(),
+                    "route references unknown resource {r}"
+                );
+            }
+            self.routes.extend_from_slice(e.route);
+            self.caps.push(e.rate_cap);
+            self.weights.push(e.weight);
+        }
+        let n = self.caps.len();
+        let n_res = capacities.len();
+        self.rates.clear();
+        self.rates.resize(n, 0.0);
+        self.bindings.clear();
+        self.bindings.resize(n, Binding::Cap);
+
+        // ---- union-find over each entry's route -----------------------
+        self.parent.clear();
+        self.parent.extend(0..n_res as u32);
+        for i in 0..n {
+            let start = self.route_start[i] as usize;
+            let len = self.route_len[i] as usize;
+            let route = &self.routes[start..start + len];
+            if let Some((&first, rest)) = route.split_first() {
+                let mut root = find(&mut self.parent, first.index() as u32);
+                for r in rest {
+                    let other = find(&mut self.parent, r.index() as u32);
+                    if other != root {
+                        // Smaller index wins so the root choice is a pure
+                        // function of the input, not of union order.
+                        let (lo, hi) = if root < other {
+                            (root, other)
+                        } else {
+                            (other, root)
+                        };
+                        self.parent[hi as usize] = lo;
+                        root = lo;
+                    }
+                }
+            }
+        }
+
+        // ---- assign components in entry-discovery order ---------------
+        self.root_comp.clear();
+        self.root_comp.resize(n_res, NONE);
+        self.comp_of_entry.clear();
+        self.comp_sizes.clear();
+        for i in 0..n {
+            let start = self.route_start[i] as usize;
+            if self.route_len[i] == 0 {
+                // Unconstrained: fixed right here, exactly as the
+                // monolithic solver does before its first round.
+                self.comp_of_entry.push(NONE);
+                self.rates[i] = self.caps[i].unwrap_or(f64::INFINITY);
+                continue;
+            }
+            let root = find(&mut self.parent, self.routes[start].index() as u32);
+            let mut comp = self.root_comp[root as usize];
+            if comp == NONE {
+                comp = self.comp_sizes.len() as u32;
+                self.root_comp[root as usize] = comp;
+                self.comp_sizes.push(0);
+            }
+            self.comp_of_entry.push(comp);
+            self.comp_sizes[comp as usize] += 1;
+        }
+        let n_comp = self.comp_sizes.len();
+        self.components = n_comp;
+        self.max_component = self.comp_sizes.iter().copied().max().unwrap_or(0) as usize;
+        self.singletons = self.comp_sizes.iter().filter(|&&s| s == 1).count();
+
+        // ---- bucket entries component-major ---------------------------
+        self.comp_offsets.clear();
+        let mut acc = 0u32;
+        for &s in &self.comp_sizes {
+            self.comp_offsets.push(acc);
+            acc += s;
+        }
+        let bucketed = acc as usize;
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.comp_offsets);
+        self.by_comp.clear();
+        self.by_comp.resize(bucketed, 0);
+        for i in 0..n {
+            let comp = self.comp_of_entry[i];
+            if comp != NONE {
+                let pos = self.cursor[comp as usize];
+                self.by_comp[pos as usize] = i as u32;
+                self.cursor[comp as usize] = pos + 1;
+            }
+        }
+
+        // ---- memo lookup: reuse results of unchanged components -------
+        // The key captures everything fairshare::solve_into reads for the
+        // component — member weights, caps, routes by global resource id,
+        // and those resources' capacities — so an exact match means the
+        // stored rates/bindings are bit-for-bit what re-solving would give.
+        let mut missed_entries = 0usize;
+        {
+            let Self {
+                key_arena,
+                comp_key_start,
+                comp_hash,
+                missed,
+                by_comp,
+                comp_offsets,
+                comp_sizes,
+                route_start,
+                route_len,
+                routes,
+                caps,
+                weights,
+                memo_prev,
+                rates,
+                bindings,
+                reused,
+                ..
+            } = self;
+            key_arena.clear();
+            comp_key_start.clear();
+            comp_hash.clear();
+            missed.clear();
+            *reused = 0;
+            for c in 0..n_comp {
+                let key_start = key_arena.len();
+                comp_key_start.push(key_start as u32);
+                let off = comp_offsets[c] as usize;
+                let size = comp_sizes[c] as usize;
+                let members = &by_comp[off..off + size];
+                for &e in members {
+                    let e = e as usize;
+                    let start = route_start[e] as usize;
+                    let len = route_len[e] as usize;
+                    key_arena.push(weights[e].to_bits());
+                    key_arena.push(caps[e].is_some() as u64);
+                    key_arena.push(caps[e].map_or(0, f64::to_bits));
+                    key_arena.push(len as u64);
+                    for &rid in &routes[start..start + len] {
+                        key_arena.push(rid.index() as u64);
+                        key_arena.push(capacities[rid.index()].to_bits());
+                    }
+                }
+                let key = &key_arena[key_start..];
+                let hash = fnv1a(key);
+                comp_hash.push(hash);
+                if let Some(slot) = memo_prev.lookup(hash, key) {
+                    let res = slot.res_start as usize;
+                    for (j, &entry) in members.iter().enumerate() {
+                        rates[entry as usize] = memo_prev.rates[res + j];
+                        bindings[entry as usize] = memo_prev.bindings[res + j];
+                    }
+                    *reused += 1;
+                } else {
+                    missed.push(c as u32);
+                    missed_entries += size;
+                }
+            }
+            comp_key_start.push(key_arena.len() as u32);
+        }
+
+        // ---- plan contiguous chunks of *missed* components ------------
+        let threads = threads.max(1);
+        let n_missed = self.missed.len();
+        let workers = if missed_entries < MIN_PARALLEL_ENTRIES {
+            1
+        } else {
+            threads.min(n_missed.max(1))
+        };
+        self.chunk_bounds.clear();
+        if n_missed > 0 {
+            let target = missed_entries.div_ceil(workers).max(1) as u32;
+            let mut start = 0u32;
+            let mut in_chunk = 0u32;
+            for (mi, &c) in self.missed.iter().enumerate() {
+                in_chunk += self.comp_sizes[c as usize];
+                if in_chunk >= target || mi + 1 == n_missed {
+                    self.chunk_bounds.push((start, mi as u32 + 1));
+                    start = mi as u32 + 1;
+                    in_chunk = 0;
+                }
+            }
+        }
+        let n_chunks = self.chunk_bounds.len();
+        if self.scratch.len() < n_chunks {
+            self.scratch.resize_with(n_chunks, ChunkScratch::default);
+        }
+
+        // ---- solve chunks (parallel when available and asked for) -----
+        let tables = Tables {
+            capacities,
+            route_start: &self.route_start,
+            route_len: &self.route_len,
+            routes: &self.routes,
+            caps: &self.caps,
+            weights: &self.weights,
+        };
+        let comp_offsets = &self.comp_offsets;
+        let comp_sizes = &self.comp_sizes;
+        let by_comp = &self.by_comp;
+        let chunk_bounds = &self.chunk_bounds;
+        let missed = &self.missed;
+        let run_chunk = |k: usize, scratch: &mut ChunkScratch| {
+            scratch.out_rates.clear();
+            scratch.out_bindings.clear();
+            let (lo, hi) = chunk_bounds[k];
+            for &c in &missed[lo as usize..hi as usize] {
+                let off = comp_offsets[c as usize] as usize;
+                let size = comp_sizes[c as usize] as usize;
+                scratch.solve_component(&tables, &by_comp[off..off + size]);
+            }
+        };
+        let scratch = &mut self.scratch[..n_chunks];
+        #[cfg(feature = "parallel")]
+        if workers > 1 && n_chunks > 1 {
+            rayon::scope(|s| {
+                for (k, chunk_scratch) in scratch.iter_mut().enumerate() {
+                    let run_chunk = &run_chunk;
+                    s.spawn(move |_| run_chunk(k, chunk_scratch));
+                }
+            });
+        } else {
+            for (k, chunk_scratch) in scratch.iter_mut().enumerate() {
+                run_chunk(k, chunk_scratch);
+            }
+        }
+        #[cfg(not(feature = "parallel"))]
+        for (k, chunk_scratch) in scratch.iter_mut().enumerate() {
+            run_chunk(k, chunk_scratch);
+        }
+
+        // ---- canonical merge: serial scatter back to entry order ------
+        // Memo hits were scattered during lookup; chunk outputs cover the
+        // missed components, in missed order within each chunk.
+        for (k, &(lo, hi)) in self.chunk_bounds.iter().enumerate() {
+            let chunk = &self.scratch[k];
+            let mut j = 0usize;
+            for &c in &self.missed[lo as usize..hi as usize] {
+                let off = self.comp_offsets[c as usize] as usize;
+                let size = self.comp_sizes[c as usize] as usize;
+                for pos in off..off + size {
+                    let entry = self.by_comp[pos] as usize;
+                    self.rates[entry] = chunk.out_rates[j];
+                    self.bindings[entry] = chunk.out_bindings[j];
+                    j += 1;
+                }
+            }
+        }
+        // ---- refresh the memo with this solve's results ---------------
+        self.memo_next.clear();
+        for c in 0..n_comp {
+            let key = &self.key_arena
+                [self.comp_key_start[c] as usize..self.comp_key_start[c + 1] as usize];
+            let off = self.comp_offsets[c] as usize;
+            let size = self.comp_sizes[c] as usize;
+            self.memo_next.insert_gather(
+                self.comp_hash[c],
+                key,
+                &self.by_comp[off..off + size],
+                &self.rates,
+                &self.bindings,
+            );
+        }
+        std::mem::swap(&mut self.memo_prev, &mut self.memo_next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fairshare::{solve, FlowReq, Workspace};
+
+    fn rid(i: usize) -> ResourceId {
+        ResourceId::from_index(i)
+    }
+
+    fn weighted<'a>(route: &'a [ResourceId], cap: Option<f64>, weight: f64) -> WeightedReq<'a> {
+        WeightedReq {
+            route,
+            rate_cap: cap,
+            weight,
+        }
+    }
+
+    #[test]
+    fn disjoint_pairs_solve_like_the_monolith() {
+        // Two independent links, two flows each: exact answers, so the
+        // partitioned result must equal the monolithic one bitwise.
+        let caps = [100.0, 60.0];
+        let r0 = [rid(0)];
+        let r1 = [rid(1)];
+        let flows = vec![req(&r0), req(&r0), req(&r1), req(&r1)];
+        let reference = solve(&caps, &flows);
+
+        let mut pw = PartitionWorkspace::new();
+        pw.solve(
+            &caps,
+            flows.iter().map(|f| weighted(f.route, f.rate_cap, 1.0)),
+            1,
+        );
+        assert_eq!(pw.components(), 2);
+        assert_eq!(pw.max_component(), 2);
+        assert_eq!(pw.singletons(), 0);
+        for (a, b) in pw.rates().iter().zip(reference.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    fn req(route: &[ResourceId]) -> FlowReq<'_> {
+        FlowReq {
+            route,
+            rate_cap: None,
+        }
+    }
+
+    #[test]
+    fn shared_resource_merges_components() {
+        // Flow 1 bridges resources 0 and 1, so all three flows are one
+        // component and the result is exactly the monolithic solve.
+        let caps = [10.0, 10.0];
+        let r0 = [rid(0)];
+        let r01 = [rid(0), rid(1)];
+        let r1 = [rid(1)];
+        let entries = [
+            weighted(&r0, None, 1.0),
+            weighted(&r01, None, 1.0),
+            weighted(&r1, None, 1.0),
+        ];
+        let mut pw = PartitionWorkspace::new();
+        pw.solve(&caps, entries.iter().copied(), 4);
+        assert_eq!(pw.components(), 1);
+        assert_eq!(pw.max_component(), 3);
+        let mut ws = Workspace::new();
+        let reference = fairshare::solve_into(&mut ws, &caps, entries.iter().copied()).to_vec();
+        for (a, b) in pw.rates().iter().zip(reference.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(pw.bindings(), ws.bindings());
+    }
+
+    #[test]
+    fn empty_routes_get_cap_or_infinity() {
+        let caps = [50.0];
+        let shared = [rid(0)];
+        let empty: [ResourceId; 0] = [];
+        let entries = [
+            weighted(&empty, Some(7.0), 1.0),
+            weighted(&shared, None, 1.0),
+            weighted(&empty, None, 1.0),
+        ];
+        let mut pw = PartitionWorkspace::new();
+        pw.solve(&caps, entries.iter().copied(), 2);
+        assert_eq!(pw.rates()[0], 7.0);
+        assert_eq!(pw.rates()[1], 50.0);
+        assert_eq!(pw.rates()[2], f64::INFINITY);
+        assert_eq!(pw.components(), 1);
+        assert_eq!(pw.singletons(), 1);
+    }
+
+    #[test]
+    fn thread_count_never_changes_bits() {
+        // A mixed instance: several disjoint groups of varying size, rate
+        // caps, weighted entries, and a weird capacity to make the
+        // divisions inexact.
+        let mut caps = Vec::new();
+        let mut routes: Vec<Vec<ResourceId>> = Vec::new();
+        for g in 0..37 {
+            let base = caps.len();
+            caps.push(93.7 + g as f64);
+            caps.push(41.3 + (g % 5) as f64);
+            for k in 0..(1 + g % 4) {
+                routes.push(if k % 2 == 0 {
+                    vec![rid(base)]
+                } else {
+                    vec![rid(base), rid(base + 1)]
+                });
+            }
+        }
+        let entries: Vec<(usize, Option<f64>, f64)> = routes
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let cap = (i % 3 == 0).then_some(7.0 + i as f64);
+                (i, cap, 1.0 + (i % 2) as f64)
+            })
+            .collect();
+        let make = |pw: &mut PartitionWorkspace, threads: usize| {
+            pw.solve(
+                &caps,
+                entries
+                    .iter()
+                    .map(|&(i, cap, w)| weighted(&routes[i], cap, w)),
+                threads,
+            );
+            (pw.rates().to_vec(), pw.bindings().to_vec())
+        };
+        let mut pw = PartitionWorkspace::new();
+        let (serial_rates, serial_bindings) = make(&mut pw, 1);
+        for threads in [2, 4, 8] {
+            let mut pw = PartitionWorkspace::new();
+            let (rates, bindings) = make(&mut pw, threads);
+            assert_eq!(bindings, serial_bindings);
+            for (a, b) in rates.iter().zip(serial_rates.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_clean_across_shapes() {
+        // Solving a big instance and then a small one must not leak state.
+        let caps = [10.0, 20.0, 30.0];
+        let r0 = [rid(0)];
+        let r1 = [rid(1)];
+        let r2 = [rid(2)];
+        let mut pw = PartitionWorkspace::new();
+        pw.solve(
+            &caps,
+            [
+                weighted(&r0, None, 1.0),
+                weighted(&r1, None, 1.0),
+                weighted(&r2, Some(5.0), 2.0),
+            ]
+            .into_iter(),
+            4,
+        );
+        assert_eq!(pw.components(), 3);
+        pw.solve(&caps, [weighted(&r1, None, 1.0)].into_iter(), 4);
+        assert_eq!(pw.components(), 1);
+        assert_eq!(pw.rates(), &[20.0]);
+        assert_eq!(pw.singletons(), 1);
+    }
+}

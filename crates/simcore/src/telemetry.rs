@@ -235,13 +235,29 @@ pub struct EngineCounters {
     pub fastpath_events: u64,
     /// Integration spans applied with `dt > 0`.
     pub integrations: u64,
+    /// Solves that went through the connected-component partitioner
+    /// (zero unless [`crate::EngineConfig::partition`] is on).
+    pub partitioned_solves: u64,
+    /// Connected components summed over all partitioned solves; divide by
+    /// `partitioned_solves` for the mean decomposition width.
+    pub components: u64,
+    /// Entry count of the largest component seen in any partitioned solve
+    /// (a running maximum, not a sum).
+    pub component_max: u64,
+    /// Single-entry components summed over all partitioned solves.
+    pub singleton_components: u64,
+    /// Components whose results were reused from the previous solve's
+    /// memo (exact content-key match; bit-for-bit identical to solving),
+    /// summed over all partitioned solves. `components -
+    /// components_reused` is the number of sub-problems actually solved.
+    pub components_reused: u64,
 }
 
 impl EngineCounters {
     /// All counters as `(name, value)` pairs, in a stable order; the names
     /// are the exported identifiers of the trace-format contract (see
     /// `docs/trace-format.md`).
-    pub fn as_named(&self) -> [(&'static str, u64); 10] {
+    pub fn as_named(&self) -> [(&'static str, u64); 15] {
         [
             ("events", self.events),
             ("completions", self.completions),
@@ -253,6 +269,11 @@ impl EngineCounters {
             ("heap_stale", self.heap_stale),
             ("fastpath_events", self.fastpath_events),
             ("integrations", self.integrations),
+            ("partitioned_solves", self.partitioned_solves),
+            ("components", self.components),
+            ("component_max", self.component_max),
+            ("singleton_components", self.singleton_components),
+            ("components_reused", self.components_reused),
         ]
     }
 }
@@ -573,13 +594,13 @@ mod tests {
             ..Default::default()
         };
         let named = c.as_named();
-        assert_eq!(named.len(), 10);
+        assert_eq!(named.len(), 15);
         assert!(named.contains(&("solves", 3)));
         // Names are unique.
         let mut names: Vec<_> = named.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 10);
+        assert_eq!(names.len(), 15);
     }
 
     #[test]

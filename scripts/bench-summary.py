@@ -7,9 +7,14 @@ archive per-commit performance numbers as a build artifact and downstream
 tooling can diff them without parsing Criterion's directory layout.
 
 Usage:
-    python3 scripts/bench-summary.py [criterion_dir] [output.json]
+    python3 scripts/bench-summary.py [criterion_dir] [output.json] \
+        [--groups GROUP ...]
 
-Defaults: ``target/criterion`` and ``BENCH_engine.json``.
+Defaults: ``target/criterion`` and ``BENCH_engine.json``. With
+``--groups``, only benchmark ids whose first path component is one of
+the named Criterion groups are summarized — so one criterion tree can
+feed several summary files (e.g. ``--groups campaign_throughput
+campaign_parallel`` for the scheduler summary).
 Exits non-zero when no estimates are found (a sampling run must have
 happened first, e.g. ``cargo bench -p wfbb-bench --bench engine``).
 """
@@ -19,7 +24,7 @@ import os
 import sys
 
 
-def collect(criterion_dir):
+def collect(criterion_dir, groups=None):
     """Map benchmark id -> median point estimate in nanoseconds."""
     medians = {}
     for root, _dirs, files in os.walk(criterion_dir):
@@ -34,14 +39,25 @@ def collect(criterion_dir):
         # flattens ungrouped benches to <criterion_dir>/<bench>/new.
         rel = os.path.relpath(os.path.dirname(root), criterion_dir)
         bench_id = rel.replace(os.sep, "/")
+        if groups is not None and bench_id.split("/", 1)[0] not in groups:
+            continue
         medians[bench_id] = median
     return medians
 
 
 def main():
-    criterion_dir = sys.argv[1] if len(sys.argv) > 1 else "target/criterion"
-    out_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_engine.json"
-    medians = collect(criterion_dir)
+    args = sys.argv[1:]
+    groups = None
+    if "--groups" in args:
+        split = args.index("--groups")
+        groups = set(args[split + 1 :])
+        args = args[:split]
+        if not groups:
+            print("error: --groups needs at least one group name", file=sys.stderr)
+            return 2
+    criterion_dir = args[0] if len(args) > 0 else "target/criterion"
+    out_path = args[1] if len(args) > 1 else "BENCH_engine.json"
+    medians = collect(criterion_dir, groups)
     if not medians:
         print(f"error: no Criterion estimates under {criterion_dir!r}", file=sys.stderr)
         return 1

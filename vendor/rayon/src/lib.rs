@@ -1,0 +1,276 @@
+//! Offline stand-in for the [rayon](https://docs.rs/rayon) crate.
+//!
+//! Implements the subset of the rayon 1.x API this workspace uses —
+//! [`scope`] with [`Scope::spawn`] and [`current_num_threads`] — on top of
+//! one process-wide persistent worker pool. Workers are spawned lazily on
+//! first use (one per available hardware thread) and live for the rest of
+//! the process, so dispatching a scope costs a queue push, not a thread
+//! spawn; callers that invoke [`scope`] hot (the simulation engine solves
+//! many thousands of epochs per run) pay no per-call thread setup.
+//!
+//! Scheduling differences from real rayon (a global FIFO queue instead of
+//! per-worker deques with stealing) only affect *which* thread runs a job,
+//! never its result: the workspace's only parallel workload writes to
+//! disjoint buffers and merges serially in a canonical order.
+//!
+//! While a scope waits for its spawned jobs it helps execute queued work,
+//! so nested scopes make progress even on a pool with a single worker.
+//! A panic in any spawned job is captured and re-thrown from [`scope`]
+//! after all jobs of that scope have finished, matching rayon's contract.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A unit of work after its `'scope` lifetime has been erased. Safety of
+/// the erasure rests on [`scope`] never returning before the job has run.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide worker pool: a FIFO job queue and the threads
+/// draining it.
+struct Pool {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+    workers: usize,
+}
+
+impl Pool {
+    fn push(&self, job: Job) {
+        self.queue.lock().unwrap().push_back(job);
+        self.work_ready.notify_one();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+/// The lazily-initialized global pool, with one worker per available
+/// hardware thread (at least one).
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            workers,
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("rayon-worker-{i}"))
+                .spawn(move || worker_loop(pool))
+                .expect("failed to spawn rayon worker thread");
+        }
+        pool
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut queue = pool.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = pool.work_ready.wait(queue).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+/// Number of worker threads in the global pool.
+pub fn current_num_threads() -> usize {
+    pool().workers
+}
+
+/// Shared bookkeeping of one [`scope`] invocation: how many spawned jobs
+/// are still outstanding, and the first panic payload captured from them.
+struct ScopeState {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A scope in which borrowed-data tasks can be spawned; see [`scope`].
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    /// Makes `'scope` invariant, as in real rayon, so a longer-lived scope
+    /// cannot be smuggled where a shorter-lived one is expected.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `body` for execution on the pool. The closure may borrow
+    /// anything that outlives the scope; [`scope`] does not return until
+    /// every spawned body has finished.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        *self.state.pending.lock().unwrap() += 1;
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let nested = Scope {
+                state: Arc::clone(&state),
+                _marker: PhantomData,
+            };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&nested))) {
+                state.panic.lock().unwrap().get_or_insert(payload);
+            }
+            let mut pending = state.pending.lock().unwrap();
+            *pending -= 1;
+            if *pending == 0 {
+                state.all_done.notify_all();
+            }
+        });
+        // SAFETY: `scope` blocks until `pending` reaches zero, i.e. until
+        // this job has run to completion, so the job can never observe a
+        // dangling `'scope` borrow even though the queue stores it as
+        // `'static`.
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+        pool().push(job);
+    }
+}
+
+/// Creates a scope whose spawned tasks may borrow non-`'static` data, and
+/// blocks until all of them have completed.
+///
+/// Returns the closure's result. If any spawned task panicked, the first
+/// captured payload is re-thrown here after all tasks have finished.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        state: Arc::new(ScopeState {
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+            panic: Mutex::new(None),
+        }),
+        _marker: PhantomData,
+    };
+    let result = f(&s);
+    wait_for_scope(&s.state);
+    let panic = s.state.panic.lock().unwrap().take();
+    if let Some(payload) = panic {
+        resume_unwind(payload);
+    }
+    result
+}
+
+/// Blocks until the scope's pending count reaches zero, helping execute
+/// queued jobs in the meantime (required for nested scopes to make
+/// progress when every pool worker is itself blocked in a scope).
+fn wait_for_scope(state: &ScopeState) {
+    loop {
+        {
+            let pending = state.pending.lock().unwrap();
+            if *pending == 0 {
+                return;
+            }
+        }
+        if let Some(job) = pool().try_pop() {
+            job();
+            continue;
+        }
+        let pending = state.pending.lock().unwrap();
+        if *pending == 0 {
+            return;
+        }
+        // A short timeout papers over the benign race where the last job
+        // finishes (and notifies) between the queue poll above and this
+        // wait; the loop re-checks both conditions on every wake-up.
+        let _ = state
+            .all_done
+            .wait_timeout(pending, Duration::from_millis(1))
+            .unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_tasks_borrow_and_complete() {
+        let mut out = vec![0u64; 64];
+        scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = (i as u64) * 2);
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == (i as u64) * 2));
+    }
+
+    #[test]
+    fn scope_returns_closure_result() {
+        let hits = AtomicUsize::new(0);
+        let r = scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            42
+        });
+        assert_eq!(r, 42);
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_scopes_make_progress() {
+        let total = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(|_| {
+                                total.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn nested_spawn_on_same_scope() {
+        let total = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                total.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    total.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn panics_propagate_to_scope_caller() {
+        let result = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn reports_at_least_one_worker() {
+        assert!(current_num_threads() >= 1);
+    }
+}
