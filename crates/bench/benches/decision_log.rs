@@ -1,0 +1,71 @@
+//! Decision-log overhead benchmark: the same seeded campaign with the
+//! scheduler decision log off vs. on (including the JSONL render), so
+//! the observability layer's cost is measured rather than assumed. The
+//! simulated results are bitwise identical either way (pinned by
+//! `tests/decision_log.rs`); only host wall-clock may differ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use wfbb_platform::{presets, BbMode};
+use wfbb_sched::{
+    run_campaign, run_campaign_logged, synthetic_jobs, BatchPolicy, CampaignConfig, JobSpec,
+    SyntheticConfig,
+};
+
+fn workload() -> Vec<JobSpec> {
+    synthetic_jobs(
+        20260806,
+        &SyntheticConfig {
+            jobs: 12,
+            mean_interarrival: 15.0,
+            bb_request_scale: 1.0,
+            max_nodes: 2,
+        },
+    )
+    .expect("synthetic workload")
+}
+
+fn config(log: bool) -> CampaignConfig {
+    CampaignConfig::new(presets::cori(8, BbMode::Striped))
+        .with_policy(BatchPolicy::BbAware)
+        .with_platform_label("cori:striped")
+        .with_decision_log(log)
+}
+
+/// The seeded 12-job bb-aware campaign, log off / log on / log on with
+/// the JSONL export rendered.
+fn bench_decision_log(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_log");
+    group.sample_size(10);
+    let jobs = workload();
+    group.bench_function("off", |b| {
+        let config = config(false);
+        b.iter(|| {
+            let report = run_campaign(&config, &jobs).unwrap();
+            black_box(report.makespan)
+        })
+    });
+    group.bench_function("on", |b| {
+        let config = config(true);
+        b.iter(|| {
+            let run = run_campaign_logged(&config, &jobs).unwrap();
+            black_box((run.report.makespan, run.log.len()))
+        })
+    });
+    group.bench_function("on_jsonl", |b| {
+        let config = config(true);
+        b.iter(|| {
+            let run = run_campaign_logged(&config, &jobs).unwrap();
+            black_box(run.log.to_jsonl().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_decision_log
+}
+criterion_main!(benches);

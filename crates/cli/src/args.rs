@@ -33,8 +33,11 @@ impl std::fmt::Display for CliError {
 impl std::error::Error for CliError {}
 
 impl Args {
-    /// Parses raw arguments (without the program name).
-    pub fn parse(raw: &[String]) -> Result<Args, CliError> {
+    /// Parses raw arguments (without the program name), treating any
+    /// flag named in `switches` as a valueless boolean (present ⇒
+    /// `"true"`, query with [`Args::flag`]). All other flags require a
+    /// value.
+    pub fn parse_with_switches(raw: &[String], switches: &[&str]) -> Result<Args, CliError> {
         let Some(command) = raw.first() else {
             return Err(CliError("missing subcommand".into()));
         };
@@ -44,6 +47,11 @@ impl Args {
             let key = raw[i]
                 .strip_prefix("--")
                 .ok_or_else(|| CliError(format!("expected --flag, got {:?}", raw[i])))?;
+            if switches.contains(&key) {
+                options.insert(key.to_string(), "true".to_string());
+                i += 1;
+                continue;
+            }
             let value = raw
                 .get(i + 1)
                 .ok_or_else(|| CliError(format!("flag --{key} needs a value")))?;
@@ -54,6 +62,12 @@ impl Args {
             command: command.clone(),
             options,
         })
+    }
+
+    /// Whether a boolean switch was given (see
+    /// [`Args::parse_with_switches`]).
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
     }
 
     /// An option's value, if present.
@@ -205,7 +219,7 @@ mod tests {
 
     fn args(list: &[&str]) -> Result<Args, CliError> {
         let raw: Vec<String> = list.iter().map(|s| s.to_string()).collect();
-        Args::parse(&raw)
+        Args::parse_with_switches(&raw, &[])
     }
 
     #[test]
@@ -223,6 +237,26 @@ mod tests {
         assert!(args(&[]).is_err());
         assert!(args(&["simulate", "notaflag"]).is_err());
         assert!(args(&["simulate", "--dangling"]).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let raw: Vec<String> = ["campaign", "--progress", "--jobs", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = Args::parse_with_switches(&raw, &["progress"]).unwrap();
+        assert!(a.flag("progress"));
+        assert!(!a.flag("verbose"));
+        assert_eq!(a.get("jobs"), Some("5"));
+        // Without the switch registered, a trailing valueless flag is
+        // malformed.
+        let raw: Vec<String> = ["campaign", "--progress"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(Args::parse_with_switches(&raw, &[]).is_err());
+        assert!(Args::parse_with_switches(&raw, &["progress"]).is_ok());
     }
 
     #[test]

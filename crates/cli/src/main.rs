@@ -7,7 +7,9 @@
 //!               [--trace-out trace.json --trace-format perfetto|jsonl]
 //! wfbb campaign --platform cori:striped --nodes 4 --policy bb-aware \
 //!               [--workload jobs.txt | --jobs 20 --seed 1] \
-//!               [--csv out.csv] [--json out.json] [--trace-out trace.json]
+//!               [--csv out.csv] [--json out.json] [--trace-out trace.json] \
+//!               [--decision-log decisions.jsonl] [--explain-sched 5] \
+//!               [--explain-sched-json explain.json] [--progress]
 //! wfbb generate --workflow genomes:22 --out wf.json
 //! wfbb inspect  --workflow wf.json [--dot graph.dot]
 //! ```
@@ -54,6 +56,8 @@ usage:
                  [--mean-interarrival <s>] [--bb-scale <f>] [--max-nodes <n>])
                 [--solver naive|incremental] [--solver-threads <n>]
                 [--csv <path>] [--json <path>] [--trace-out <path>]
+                [--decision-log <path>] [--explain-sched <k>]
+                [--explain-sched-json <path>] [--progress]
   wfbb generate --workflow <spec> --out <file.json>
   wfbb inspect  --workflow <spec> [--dot <file.dot>]
 
@@ -82,7 +86,18 @@ campaign scheduling (see docs/scheduler.md):
                  a synthetic campaign is drawn from --seed/--jobs/
                  --mean-interarrival/--bb-scale/--max-nodes
   --csv/--json   per-job outcomes as CSV / the full campaign report as JSON
-  --trace-out    Perfetto trace with one lane per job + cluster counters
+  --trace-out    Perfetto trace with one lane per job, cluster counters, and
+                 (with the decision log on) a scheduler decision lane
+  --decision-log write the structured scheduler decision log as JSONL (every
+                 admission verdict with its typed block reason, BB-pool
+                 ledger, plan-search records; docs/observability.md)
+  --explain-sched      print why the campaign waited: top-<k> blocked jobs
+                 with their nodes/bb/reservation wait decomposition, the
+                 dominant blocking resource, the plan win/loss table
+  --explain-sched-json write the same explanation as JSON to <path>
+  --progress     stderr heartbeat (sim time, jobs admitted/finished, queue
+                 depth, wall-clock) plus a final scheduler wall-clock
+                 profile; never alters stdout or any artifact bytes
 
 performance (see docs/performance.md):
   --solver-threads  0 (default) keeps the monolithic fair-share solve;
@@ -110,7 +125,7 @@ fn main() {
 }
 
 fn run(raw: &[String]) -> Result<(), CliError> {
-    let args = Args::parse(raw)?;
+    let args = Args::parse_with_switches(raw, &["progress"])?;
     match args.command.as_str() {
         "simulate" => {
             args.check_flags(&[
@@ -147,6 +162,10 @@ fn run(raw: &[String]) -> Result<(), CliError> {
                 "csv",
                 "json",
                 "trace-out",
+                "decision-log",
+                "explain-sched",
+                "explain-sched-json",
+                "progress",
             ])?;
             campaign(&args)
         }
@@ -283,7 +302,8 @@ fn simulate(args: &Args) -> Result<(), CliError> {
 
 fn campaign(args: &Args) -> Result<(), CliError> {
     use wfbb_sched::{
-        parse_workload, run_campaign, synthetic_jobs, BatchPolicy, CampaignConfig, SyntheticConfig,
+        explain_json, explain_text, parse_workload, synthetic_jobs, BatchPolicy, CampaignConfig,
+        CampaignSim, SyntheticConfig,
     };
 
     let nodes: usize = args
@@ -357,15 +377,76 @@ fn campaign(args: &Args) -> Result<(), CliError> {
         .map_err(|e| CliError(e.to_string()))?
     };
 
+    let explain_k = args
+        .get("explain-sched")
+        .map(|k| {
+            k.parse::<usize>()
+                .map_err(|_| CliError("bad --explain-sched job count".into()))
+        })
+        .transpose()?;
+    // The log is collected whenever anything will read it; the report is
+    // byte-identical either way (pinned by tests/decision_log.rs).
+    let want_log = args.get("decision-log").is_some()
+        || explain_k.is_some()
+        || args.get("explain-sched-json").is_some();
+    let progress = args.flag("progress");
+
     let config = CampaignConfig::new(platform)
         .with_policy(policy)
         .with_solve_mode(solve_mode)
         .with_platform_label(platform_spec)
         .with_plan_horizon(plan_horizon)
-        .with_solver_threads(solver_threads);
-    let report =
-        run_campaign(&config, &jobs).map_err(|e| CliError(format!("campaign failed: {e}")))?;
+        .with_solver_threads(solver_threads)
+        .with_decision_log(want_log);
+    let mut sim =
+        CampaignSim::new(&config, &jobs).map_err(|e| CliError(format!("campaign failed: {e}")))?;
+    let wall_start = std::time::Instant::now();
+    let mut last_beat = std::time::Instant::now();
+    loop {
+        let more = sim
+            .step()
+            .map_err(|e| CliError(format!("campaign failed: {e}")))?;
+        // The heartbeat writes to stderr only, so stdout and every
+        // artifact stay byte-identical with or without --progress.
+        if progress && last_beat.elapsed().as_millis() >= 500 {
+            eprintln!(
+                "[campaign] t={:.1}s admitted={} finished={} queue={} wall={:.1}s",
+                sim.now(),
+                sim.jobs_admitted(),
+                sim.jobs_finished(),
+                sim.queue_depth(),
+                wall_start.elapsed().as_secs_f64(),
+            );
+            last_beat = std::time::Instant::now();
+        }
+        if !more {
+            break;
+        }
+    }
+    let log = sim.export_decision_log();
+    let profile = sim.profile();
+    if progress {
+        eprintln!(
+            "[campaign] done: t={:.1}s admitted={} finished={} wall={:.2}s",
+            sim.now(),
+            sim.jobs_admitted(),
+            sim.jobs_finished(),
+            wall_start.elapsed().as_secs_f64(),
+        );
+        eprintln!("[sched-profile] {}", profile.summary_text());
+    }
+    let report = sim
+        .finish()
+        .map_err(|e| CliError(format!("campaign failed: {e}")))?;
     print!("{}", report.summary_text());
+    if let Some(k) = explain_k {
+        print!("{}", explain_text(&report, &log, k));
+    }
+    if let Some(path) = args.get("explain-sched-json") {
+        std::fs::write(path, explain_json(&report, &log, 10))
+            .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+        println!("wrote scheduler explanation to {path}");
+    }
     if let Some(path) = args.get("csv") {
         std::fs::write(path, report.jobs_csv())
             .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
@@ -376,9 +457,18 @@ fn campaign(args: &Args) -> Result<(), CliError> {
             .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
         println!("wrote campaign report to {path}");
     }
-    if let Some(path) = args.get("trace-out") {
-        std::fs::write(path, report.perfetto_trace_json())
+    if let Some(path) = args.get("decision-log") {
+        std::fs::write(path, log.to_jsonl())
             .map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
+        println!("wrote scheduler decision log to {path} (schema in docs/trace-format.md)");
+    }
+    if let Some(path) = args.get("trace-out") {
+        let trace = if log.enabled() {
+            report.perfetto_trace_with_decisions(&log)
+        } else {
+            report.perfetto_trace_json()
+        };
+        std::fs::write(path, trace).map_err(|e| CliError(format!("cannot write {path:?}: {e}")))?;
         println!("wrote Perfetto campaign trace to {path} (open in ui.perfetto.dev)");
     }
     Ok(())
@@ -714,6 +804,84 @@ mod tests {
         assert!(trace_body.contains("\"traceEvents\""));
         assert!(trace_body.contains("\"name\":\"job:"));
         for p in [&csv, &json, &trace] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn campaign_decision_log_explain_and_progress() {
+        let dir = std::env::temp_dir().join("wfbb-cli-campaign-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dlog = dir.join("decisions.jsonl");
+        let explain = dir.join("explain.json");
+        let json_a = dir.join("report-a.json");
+        let json_b = dir.join("report-b.json");
+        run(&rawv(&[
+            "campaign",
+            "--platform",
+            "cori:striped",
+            "--nodes",
+            "4",
+            "--policy",
+            "plan",
+            "--jobs",
+            "8",
+            "--seed",
+            "7",
+            "--mean-interarrival",
+            "15",
+            "--progress",
+            "--decision-log",
+            dlog.to_str().unwrap(),
+            "--explain-sched",
+            "3",
+            "--explain-sched-json",
+            explain.to_str().unwrap(),
+            "--json",
+            json_a.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let log_body = std::fs::read_to_string(&dlog).unwrap();
+        assert!(log_body.starts_with("{\"type\":\"header\""), "{log_body}");
+        assert!(log_body.contains("\"schema\":\"wfbb-sched-decisions\""));
+        assert!(log_body.contains("\"type\":\"counters\""));
+        assert!(log_body
+            .trim_end()
+            .lines()
+            .last()
+            .unwrap()
+            .contains("\"type\":\"summary\""));
+        let explain_body = std::fs::read_to_string(&explain).unwrap();
+        assert!(
+            explain_body.contains("\"dominant_block\":"),
+            "{explain_body}"
+        );
+        // The same campaign without any observability flags writes a
+        // byte-identical report.
+        run(&rawv(&[
+            "campaign",
+            "--platform",
+            "cori:striped",
+            "--nodes",
+            "4",
+            "--policy",
+            "plan",
+            "--jobs",
+            "8",
+            "--seed",
+            "7",
+            "--mean-interarrival",
+            "15",
+            "--json",
+            json_b.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&json_a).unwrap(),
+            std::fs::read_to_string(&json_b).unwrap(),
+            "decision log must not perturb the report"
+        );
+        for p in [&dlog, &explain, &json_a, &json_b] {
             std::fs::remove_file(p).ok();
         }
     }

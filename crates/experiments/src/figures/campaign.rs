@@ -4,7 +4,10 @@
 //! burst-buffer pressure (the `bb_request_scale` knob of the synthetic workload) and
 //! arrival rate on 8-node striped-BB Cori, measuring the cluster-level
 //! metrics the scheduling literature cares about: mean/max queue wait,
-//! mean bounded slowdown, campaign makespan, and node/BB utilization.
+//! mean bounded slowdown, campaign makespan, node/BB utilization, and
+//! the dominant blocking resource from the scheduler's three-way wait
+//! decomposition (which resource — nodes, BB, or the head reservation
+//! shadow — cost the campaign the most queue time).
 //!
 //! The point of the sweep is the Kopanski & Rzadca (arXiv:2109.00082)
 //! effect: when aggregate BB requests are small, EASY and BB-aware
@@ -83,6 +86,7 @@ pub fn run() -> Vec<Table> {
             "makespan (s)",
             "node util",
             "bb util",
+            "dominant block",
         ],
     );
     for ((p, s, a), r) in grid.iter().zip(&reports) {
@@ -96,6 +100,7 @@ pub fn run() -> Vec<Table> {
             f2(r.makespan),
             format!("{:.1}%", r.node_utilization * 100.0),
             format!("{:.1}%", r.bb_utilization * 100.0),
+            r.dominant_block().into(),
         ]);
     }
 

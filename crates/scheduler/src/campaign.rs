@@ -35,9 +35,11 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
+use std::time::Instant;
 
+use crate::decisionlog::{DecisionLog, DecisionRecord, PlanCandidate, SchedProfile};
 use crate::job::JobSpec;
-use crate::policy::{plan_admissions, BatchPolicy, QueuedReq, RunningRes};
+use crate::policy::{plan_admissions, BatchPolicy, BlockReason, QueuedReq, RunningRes, Verdict};
 use crate::report::{job_metrics, CampaignReport, JobOutcome, JobStatus, UtilSample};
 use wfbb_platform::{BbArchitecture, PlatformInstance, PlatformSpec};
 use wfbb_simcore::{Engine, SolveMode, TelemetryConfig};
@@ -103,6 +105,11 @@ pub struct CampaignConfig {
     /// count, only on whether partitioning is on at all — and then only
     /// by sub-`EPSILON` tolerance ties.
     pub solver_threads: usize,
+    /// Collect the structured [`DecisionLog`] (off by default). Purely
+    /// additive observability: the per-job wait decomposition is always
+    /// accrued, and enabling the log leaves every [`CampaignReport`]
+    /// byte-identical (pinned by `tests/decision_log.rs`).
+    pub log_decisions: bool,
 }
 
 impl CampaignConfig {
@@ -120,6 +127,7 @@ impl CampaignConfig {
             node_scheduler: SchedulerPolicy::default(),
             plan_horizon: DEFAULT_PLAN_HORIZON,
             solver_threads: 0,
+            log_decisions: false,
         }
     }
 
@@ -153,6 +161,45 @@ impl CampaignConfig {
         self.solver_threads = threads;
         self
     }
+
+    /// Enables (or disables) collection of the structured decision log.
+    pub fn with_decision_log(mut self, on: bool) -> Self {
+        self.log_decisions = on;
+        self
+    }
+}
+
+/// Which resource a queued job is currently classified as blocked on —
+/// the accrual key of the wait decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    Nodes,
+    Bb,
+    Reservation,
+}
+
+impl BlockKind {
+    fn of(reason: &BlockReason) -> BlockKind {
+        match reason {
+            BlockReason::InsufficientNodes { .. } => BlockKind::Nodes,
+            BlockReason::InsufficientBb { .. } => BlockKind::Bb,
+            BlockReason::ReservationShadow { .. } => BlockKind::Reservation,
+        }
+    }
+}
+
+/// Per-job wait-decomposition accumulator. Every admission pass closes
+/// the segment since `mark` against the previous classification and
+/// re-marks, so the components telescope from arrival to start:
+/// `blocked_on_nodes + blocked_on_bb + blocked_on_reservation == wait`
+/// (exactly 0.0 each for jobs admitted in their arrival pass).
+#[derive(Debug, Clone, Copy)]
+struct WaitAcc {
+    mark: f64,
+    kind: Option<BlockKind>,
+    nodes: f64,
+    bb: f64,
+    reservation: f64,
 }
 
 /// Bookkeeping for one running job.
@@ -191,6 +238,19 @@ enum OrderRule {
     LargestBbFirst,
     /// Fewest nodes first.
     FewestNodesFirst,
+}
+
+impl OrderRule {
+    /// Stable label for plan-exploration records.
+    fn label(&self) -> &'static str {
+        match self {
+            OrderRule::Arrival => "arrival",
+            OrderRule::ShortestFirst => "shortest_first",
+            OrderRule::SmallestBbFirst => "smallest_bb_first",
+            OrderRule::LargestBbFirst => "largest_bb_first",
+            OrderRule::FewestNodesFirst => "fewest_nodes_first",
+        }
+    }
 }
 
 const PLAN_RULES: [OrderRule; 5] = [
@@ -278,9 +338,18 @@ pub struct CampaignSim<'a> {
     now: f64,
     /// Speculative rollouts of the `plan` policy replay upcoming
     /// arrivals but never re-plan (admissions fall back to BB-aware on
-    /// the candidate order, later arrivals queue behind it) and skip
-    /// utilization sampling.
+    /// the candidate order, later arrivals queue behind it), skip
+    /// utilization sampling, and never emit decision records.
     speculative: bool,
+    /// Per-job wait-decomposition accumulators, keyed by job id from
+    /// arrival until the campaign ends (always accrued, log on or off).
+    waits: BTreeMap<u32, WaitAcc>,
+    /// The structured decision log (drops pushes when disabled).
+    log: DecisionLog,
+    /// Host-side wall-clock profile of the scheduler loop.
+    profile: SchedProfile,
+    admitted_total: usize,
+    finished_total: usize,
 }
 
 impl<'a> CampaignSim<'a> {
@@ -309,6 +378,7 @@ impl<'a> CampaignSim<'a> {
         let engine = Rc::new(RefCell::new(engine));
 
         let mut records: BTreeMap<u32, JobRecord> = BTreeMap::new();
+        let mut log = DecisionLog::new(config.log_decisions, config.policy.label());
 
         // Submit-time screening + arrival sentinels, in job order
         // (ascending activity ids make same-instant arrivals
@@ -316,6 +386,10 @@ impl<'a> CampaignSim<'a> {
         for (j, spec) in jobs.iter().enumerate() {
             let j = j as u32;
             if let Some(reason) = rejection_reason(spec, &config.platform, pool_bytes) {
+                log.push(DecisionRecord::Rejected {
+                    job: j,
+                    reason: reason.clone(),
+                });
                 records.insert(
                     j,
                     JobRecord {
@@ -354,6 +428,11 @@ impl<'a> CampaignSim<'a> {
             samples: Vec::new(),
             now: 0.0,
             speculative: false,
+            waits: BTreeMap::new(),
+            log,
+            profile: SchedProfile::default(),
+            admitted_total: 0,
+            finished_total: 0,
         })
     }
 
@@ -370,6 +449,35 @@ impl<'a> CampaignSim<'a> {
     /// Jobs currently executing.
     pub fn running_jobs(&self) -> usize {
         self.running.len()
+    }
+
+    /// Jobs admitted so far (head or backfill).
+    pub fn jobs_admitted(&self) -> usize {
+        self.admitted_total
+    }
+
+    /// Jobs that finished (completed or failed) so far.
+    pub fn jobs_finished(&self) -> usize {
+        self.finished_total
+    }
+
+    /// The decision log collected so far (empty unless
+    /// [`CampaignConfig::log_decisions`] is set).
+    pub fn decision_log(&self) -> &DecisionLog {
+        &self.log
+    }
+
+    /// Host-side wall-clock profile of the scheduler loop so far.
+    pub fn profile(&self) -> SchedProfile {
+        self.profile
+    }
+
+    /// A copy of the decision log with the engine counters stamped for
+    /// the JSONL `counters` line — the exportable form.
+    pub fn export_decision_log(&self) -> DecisionLog {
+        let mut log = self.log.clone();
+        log.set_counters(self.counters());
+        log
     }
 
     /// Cumulative counters of the shared engine (solves, events, component
@@ -407,6 +515,11 @@ impl<'a> CampaignSim<'a> {
             samples: self.samples.clone(),
             now: self.now,
             speculative: self.speculative,
+            waits: self.waits.clone(),
+            log: self.log.clone(),
+            profile: self.profile,
+            admitted_total: self.admitted_total,
+            finished_total: self.finished_total,
         }
     }
 
@@ -426,12 +539,17 @@ impl<'a> CampaignSim<'a> {
     /// Processes one engine event. Returns `Ok(false)` once the engine
     /// has drained (no more events).
     pub fn step(&mut self) -> Result<bool, CampaignError> {
+        let t_solve = Instant::now();
         let step = self.engine.borrow_mut().try_step();
+        self.profile.solve_ns += t_solve.elapsed().as_nanos() as u64;
         let completion = match step {
             Err(e) => return Err(CampaignError::Engine(format!("{e:?}"))),
             Ok(None) => return Ok(false),
             Ok(Some(c)) => c,
         };
+        if !self.speculative {
+            self.profile.events += 1;
+        }
         self.now = completion.time.seconds();
         let JobTag { job, tag } = completion.tag;
         match tag {
@@ -443,6 +561,13 @@ impl<'a> CampaignSim<'a> {
                 // the candidate order being evaluated). Without this the
                 // rollouts over-commit to reorderings that only pay off
                 // if nothing else shows up.
+                self.waits.entry(job).or_insert(WaitAcc {
+                    mark: self.now,
+                    kind: None,
+                    nodes: 0.0,
+                    bb: 0.0,
+                    reservation: 0.0,
+                });
                 self.queue.push(job);
                 self.sample();
                 self.try_admit();
@@ -471,10 +596,20 @@ impl<'a> CampaignSim<'a> {
                 };
                 self.executors.remove(&job);
                 let run = self.running.remove(&job).expect("finished job was running");
+                let released_bb = run.bb;
                 for n in run.nodes {
                     self.free_nodes.insert(n);
                 }
                 self.pool.release(job);
+                self.finished_total += 1;
+                if !self.speculative {
+                    self.log.push(DecisionRecord::PoolRelease {
+                        time: self.now,
+                        job,
+                        bytes: released_bb,
+                        free_after: self.pool.free(),
+                    });
+                }
                 let rec = self
                     .records
                     .get_mut(&job)
@@ -498,15 +633,19 @@ impl<'a> CampaignSim<'a> {
         if self.queue.is_empty() {
             return;
         }
+        self.profile.admission_passes += 1;
         // Speculative rollouts never re-plan: they inherit the candidate
         // ordering they were forked with and admit BB-aware on it.
         let mut policy = self.config.policy;
         if policy == BatchPolicy::Plan {
             if !self.speculative && self.queue.len() >= 2 {
+                let t_plan = Instant::now();
                 self.plan_queue_order();
+                self.profile.plan_ns += t_plan.elapsed().as_nanos() as u64;
             }
             policy = BatchPolicy::BbAware;
         }
+        let t_admit = Instant::now();
         let reqs: Vec<QueuedReq> = self
             .queue
             .iter()
@@ -560,9 +699,59 @@ impl<'a> CampaignSim<'a> {
                 );
             }
         }
+        self.profile.admit_ns += t_admit.elapsed().as_nanos() as u64;
+
+        // Wait-decomposition accrual + transition-gated decision records.
+        // Each pass closes every queued job's open segment against its
+        // previous classification (telescoping from arrival to start),
+        // then re-classifies; a `Blocked` record is emitted only when the
+        // blocking resource changes.
+        let t_log = Instant::now();
+        for d in &adm.decisions {
+            let Some(acc) = self.waits.get_mut(&d.job) else {
+                continue;
+            };
+            let dt = self.now - acc.mark;
+            if dt > 0.0 {
+                match acc.kind {
+                    Some(BlockKind::Nodes) => acc.nodes += dt,
+                    Some(BlockKind::Bb) => acc.bb += dt,
+                    Some(BlockKind::Reservation) => acc.reservation += dt,
+                    None => {}
+                }
+            }
+            acc.mark = self.now;
+            match &d.verdict {
+                Verdict::Admit(kind) => {
+                    acc.kind = None;
+                    if !self.speculative {
+                        self.log.push(DecisionRecord::Admitted {
+                            time: self.now,
+                            job: d.job,
+                            kind: *kind,
+                        });
+                    }
+                }
+                Verdict::Blocked(reason) => {
+                    let kind = BlockKind::of(reason);
+                    if acc.kind != Some(kind) && !self.speculative {
+                        self.log.push(DecisionRecord::Blocked {
+                            time: self.now,
+                            job: d.job,
+                            reason: *reason,
+                        });
+                    }
+                    acc.kind = Some(kind);
+                }
+            }
+        }
+        self.profile.log_ns += t_log.elapsed().as_nanos() as u64;
+
+        let t_start = Instant::now();
         for job in adm.start {
             self.admit(job);
         }
+        self.profile.admit_ns += t_start.elapsed().as_nanos() as u64;
     }
 
     /// Starts one admitted job: carves its platform slice, reserves BB,
@@ -583,6 +772,15 @@ impl<'a> CampaignSim<'a> {
             self.pool.try_reserve(job, spec.bb_bytes),
             "policy admitted past free BB"
         );
+        self.admitted_total += 1;
+        if !self.speculative {
+            self.log.push(DecisionRecord::PoolReserve {
+                time: self.now,
+                job,
+                bytes: spec.bb_bytes,
+                free_after: self.pool.free(),
+            });
+        }
         let view_devices = match self.config.platform.bb {
             BbArchitecture::Shared { bb_nodes, .. } => bb_nodes,
             BbArchitecture::OnNode => node_ids.len(),
@@ -657,8 +855,9 @@ impl<'a> CampaignSim<'a> {
     /// nothing better.
     fn plan_queue_order(&mut self) {
         let horizon_end = self.now + self.config.plan_horizon;
-        let mut best: Option<(f64, Vec<u32>)> = None;
+        let mut best: Option<(f64, Vec<u32>, &'static str)> = None;
         let mut seen: Vec<Vec<u32>> = Vec::new();
+        let mut candidates: Vec<PlanCandidate> = Vec::new();
         for rule in PLAN_RULES {
             let order = self.ordered_queue(rule);
             if seen.contains(&order) {
@@ -668,22 +867,39 @@ impl<'a> CampaignSim<'a> {
             let mut rollout = self.fork();
             rollout.speculative = true;
             rollout.samples.clear();
+            // Rollouts never log; drop the inherited records so each of
+            // the (up to) five forks doesn't clone a growing log.
+            rollout.log = DecisionLog::new(false, "");
             rollout.queue = order.clone();
+            self.profile.plan_forks += 1;
             if rollout.run_rollout(horizon_end).is_err() {
                 // A rollout that errors (it explores states the real run
                 // may never reach) simply drops out of the candidate set.
                 continue;
             }
             let score = rollout.projected_bounded_slowdown();
+            if self.log.enabled() {
+                candidates.push(PlanCandidate {
+                    rule: rule.label(),
+                    order: order.clone(),
+                    score,
+                });
+            }
             let better = match &best {
                 None => true,
-                Some((b, _)) => score < b - 1e-12,
+                Some((b, _, _)) => score < b - 1e-12,
             };
             if better {
-                best = Some((score, order));
+                best = Some((score, order, rule.label()));
             }
         }
-        if let Some((_, order)) = best {
+        if let Some((_, order, winner)) = best {
+            self.profile.plan_choices += 1;
+            self.log.push(DecisionRecord::PlanChoice {
+                time: self.now,
+                winner,
+                candidates,
+            });
             self.queue = order;
         }
     }
@@ -787,6 +1003,11 @@ impl<'a> CampaignSim<'a> {
                 } else {
                     job_metrics(spec.submit, rec.start, rec.end)
                 };
+                let acc = if rec.status == JobStatus::Rejected {
+                    None
+                } else {
+                    self.waits.get(&j).copied()
+                };
                 JobOutcome {
                     job: j,
                     name: spec.name.clone(),
@@ -802,6 +1023,9 @@ impl<'a> CampaignSim<'a> {
                     run,
                     stretch,
                     bounded_slowdown,
+                    blocked_on_nodes: acc.map_or(0.0, |a| a.nodes),
+                    blocked_on_bb: acc.map_or(0.0, |a| a.bb),
+                    blocked_on_reservation: acc.map_or(0.0, |a| a.reservation),
                     reserved_start: rec.reserved_start,
                     detail: rec.detail,
                     report: rec.report,
@@ -825,6 +1049,10 @@ impl<'a> CampaignSim<'a> {
             bb_utilization: 0.0,
             utilization: self.samples,
             bb_pool_free_end: self.pool.free(),
+            blocked_on_nodes_total: 0.0,
+            blocked_on_bb_total: 0.0,
+            blocked_on_reservation_total: 0.0,
+            counters: *self.engine.borrow().counters(),
         };
         report.finalize();
         Ok(report)
@@ -841,6 +1069,39 @@ pub fn run_campaign(
     let mut sim = CampaignSim::new(config, jobs)?;
     while sim.step()? {}
     sim.finish()
+}
+
+/// A finished campaign plus its observability artifacts: the report,
+/// the decision log (counters stamped, ready for
+/// [`DecisionLog::to_jsonl`]), and the host-side scheduler profile.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// The campaign report (byte-identical to a [`run_campaign`] of the
+    /// same config — the log never perturbs results).
+    pub report: CampaignReport,
+    /// The structured decision log (empty records unless
+    /// [`CampaignConfig::log_decisions`] was set).
+    pub log: DecisionLog,
+    /// Wall-clock spent in solve / admission / plan search / logging.
+    pub profile: SchedProfile,
+}
+
+/// Like [`run_campaign`], but also returns the decision log and the
+/// scheduler profile.
+pub fn run_campaign_logged(
+    config: &CampaignConfig,
+    jobs: &[JobSpec],
+) -> Result<CampaignRun, CampaignError> {
+    let mut sim = CampaignSim::new(config, jobs)?;
+    while sim.step()? {}
+    let log = sim.export_decision_log();
+    let profile = sim.profile();
+    let report = sim.finish()?;
+    Ok(CampaignRun {
+        report,
+        log,
+        profile,
+    })
 }
 
 #[cfg(test)]

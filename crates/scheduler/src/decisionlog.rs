@@ -1,0 +1,529 @@
+//! The scheduler decision log: a deterministic, structured record of
+//! every admission decision, burst-buffer-pool ledger operation, and
+//! plan-policy ordering search of a campaign — plus the host-side
+//! wall-clock profile of the scheduler loop.
+//!
+//! Two layers, deliberately separate:
+//!
+//! * [`DecisionLog`] — *simulation-domain* records (sim times, job ids,
+//!   typed block reasons from [`crate::policy::BlockReason`]). Fully
+//!   deterministic: the same seed, workload, and policy produce
+//!   byte-identical [`DecisionLog::to_jsonl`] output regardless of
+//!   solver thread count or wall-clock conditions — and enabling the
+//!   log leaves the [`crate::CampaignReport`] byte-identical (pinned by
+//!   `tests/decision_log.rs`).
+//! * [`SchedProfile`] — *host-domain* wall-clock nanoseconds spent in
+//!   the engine solve, admission passes, the plan policy's fork+rollout
+//!   search, and log emission. Kept out of the records entirely, so
+//!   profiling can never perturb simulation output; the one datum the
+//!   ISSUE's plan-exploration records would otherwise carry (fork
+//!   wall-clock cost) lives here as [`SchedProfile::plan_ns`] /
+//!   [`SchedProfile::plan_forks`].
+//!
+//! Admission verdicts are logged as *transitions*: a `blocked` record
+//! is emitted when a job is first classified and whenever its blocking
+//! resource changes, not once per admission pass — between two records
+//! the job keeps accruing wait against the last recorded reason, which
+//! makes the log align one-to-one with the per-job wait decomposition
+//! on [`crate::JobOutcome`].
+
+use std::fmt::Write as _;
+
+use crate::policy::{AdmitKind, BlockReason};
+use crate::report::{esc, num};
+use wfbb_simcore::EngineCounters;
+
+/// One plan-policy candidate ordering and its rollout score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanCandidate {
+    /// Ordering-rule label (`arrival`, `shortest_first`,
+    /// `smallest_bb_first`, `largest_bb_first`, `fewest_nodes_first`).
+    pub rule: &'static str,
+    /// The queue in candidate order (campaign job ids).
+    pub order: Vec<u32>,
+    /// Projected mean bounded slowdown of the candidate's rollout.
+    pub score: f64,
+}
+
+/// One record of the decision log, in emission (time) order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecisionRecord {
+    /// A job started.
+    Admitted {
+        /// Sim time, seconds.
+        time: f64,
+        /// Campaign job id.
+        job: u32,
+        /// Head-of-queue admission or a backfill fit.
+        kind: AdmitKind,
+    },
+    /// A queued job's blocking classification changed (first
+    /// classification, or a transition to a different blocked resource).
+    Blocked {
+        /// Sim time, seconds.
+        time: f64,
+        /// Campaign job id.
+        job: u32,
+        /// Typed reason, with the resource snapshot at classification.
+        reason: BlockReason,
+    },
+    /// BB bytes reserved from the pool at admission.
+    PoolReserve {
+        /// Sim time, seconds.
+        time: f64,
+        /// Campaign job id.
+        job: u32,
+        /// Bytes reserved.
+        bytes: f64,
+        /// Pool balance after the reservation.
+        free_after: f64,
+    },
+    /// BB bytes released back to the pool at completion or failure.
+    PoolRelease {
+        /// Sim time, seconds.
+        time: f64,
+        /// Campaign job id.
+        job: u32,
+        /// Bytes released.
+        bytes: f64,
+        /// Pool balance after the release.
+        free_after: f64,
+    },
+    /// A plan-policy ordering search: every scored candidate and the
+    /// committed winner (see `docs/scheduler.md`).
+    PlanChoice {
+        /// Sim time of the scheduling point, seconds.
+        time: f64,
+        /// Rule label of the committed ordering.
+        winner: &'static str,
+        /// All candidates that produced a finished rollout, in rule
+        /// order (duplicate orderings are evaluated once).
+        candidates: Vec<PlanCandidate>,
+    },
+    /// A job rejected at submit-time screening (never enters the queue).
+    Rejected {
+        /// Campaign job id.
+        job: u32,
+        /// Human-readable screening reason.
+        reason: String,
+    },
+}
+
+/// The structured decision log of one campaign.
+///
+/// Created by the campaign driver when
+/// [`crate::CampaignConfig::log_decisions`] is set; a disabled log
+/// drops every [`DecisionLog::push`] so the driver's call sites stay
+/// unconditional. Export with [`DecisionLog::to_jsonl`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DecisionLog {
+    enabled: bool,
+    policy: String,
+    records: Vec<DecisionRecord>,
+    counters: Option<EngineCounters>,
+}
+
+impl DecisionLog {
+    /// A log for a campaign under `policy` (its label is echoed into the
+    /// JSONL header). When `enabled` is false every push is a no-op.
+    pub fn new(enabled: bool, policy: impl Into<String>) -> Self {
+        DecisionLog {
+            enabled,
+            policy: policy.into(),
+            records: Vec::new(),
+            counters: None,
+        }
+    }
+
+    /// Whether records are being collected.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends a record (no-op when the log is disabled).
+    pub fn push(&mut self, record: DecisionRecord) {
+        if self.enabled {
+            self.records.push(record);
+        }
+    }
+
+    /// All collected records, in emission order.
+    pub fn records(&self) -> &[DecisionRecord] {
+        &self.records
+    }
+
+    /// Number of collected records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Stamps the engine counters emitted as the JSONL `counters` line
+    /// (the same 15 identifiers single-run traces export via
+    /// [`EngineCounters::as_named`], including the five partition
+    /// counters).
+    pub fn set_counters(&mut self, counters: EngineCounters) {
+        self.counters = Some(counters);
+    }
+
+    /// The stamped engine counters, if any.
+    pub fn counters(&self) -> Option<&EngineCounters> {
+        self.counters.as_ref()
+    }
+
+    /// The log as deterministic JSONL: a `header` line (schema name +
+    /// trace schema version), one line per record, an optional
+    /// `counters` line, and a closing `summary` line with record tallies
+    /// and the minimum pool balance ever observed. Byte-stable across
+    /// runs; see `docs/trace-format.md` (schema v4) for the contract.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"header\",\"schema\":\"wfbb-sched-decisions\",\"version\":{},\
+             \"policy\":\"{}\",\"records\":{}}}",
+            wfbb_wms::TRACE_SCHEMA_VERSION,
+            esc(&self.policy),
+            self.records.len()
+        );
+        let mut admitted_head = 0u64;
+        let mut admitted_backfill = 0u64;
+        let mut blocked_nodes = 0u64;
+        let mut blocked_bb = 0u64;
+        let mut blocked_reservation = 0u64;
+        let mut pool_reserves = 0u64;
+        let mut pool_releases = 0u64;
+        let mut plan_choices = 0u64;
+        let mut rejected = 0u64;
+        let mut min_pool_free: Option<f64> = None;
+        for rec in &self.records {
+            match rec {
+                DecisionRecord::Admitted { time, job, kind } => {
+                    match kind {
+                        AdmitKind::Head => admitted_head += 1,
+                        AdmitKind::Backfill => admitted_backfill += 1,
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"decision\",\"time\":{},\"job\":{job},\
+                         \"verdict\":\"admit\",\"kind\":\"{}\"}}",
+                        num(*time),
+                        kind.label()
+                    );
+                }
+                DecisionRecord::Blocked { time, job, reason } => {
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"decision\",\"time\":{},\"job\":{job},\
+                         \"verdict\":\"blocked\"",
+                        num(*time)
+                    );
+                    match reason {
+                        BlockReason::InsufficientNodes { requested, free } => {
+                            blocked_nodes += 1;
+                            let _ = write!(
+                                out,
+                                ",\"reason\":\"insufficient_nodes\",\"requested\":{requested},\
+                                 \"free\":{free}"
+                            );
+                        }
+                        BlockReason::InsufficientBb { requested, free } => {
+                            blocked_bb += 1;
+                            let _ = write!(
+                                out,
+                                ",\"reason\":\"insufficient_bb\",\"requested\":{},\"free\":{}",
+                                num(*requested),
+                                num(*free)
+                            );
+                        }
+                        BlockReason::ReservationShadow { head, shadow } => {
+                            blocked_reservation += 1;
+                            let _ = write!(
+                                out,
+                                ",\"reason\":\"reservation_shadow\",\"head\":{head},\
+                                 \"shadow\":{}",
+                                num(*shadow)
+                            );
+                        }
+                    }
+                    out.push_str("}\n");
+                }
+                DecisionRecord::PoolReserve {
+                    time,
+                    job,
+                    bytes,
+                    free_after,
+                }
+                | DecisionRecord::PoolRelease {
+                    time,
+                    job,
+                    bytes,
+                    free_after,
+                } => {
+                    let op = if matches!(rec, DecisionRecord::PoolReserve { .. }) {
+                        pool_reserves += 1;
+                        "reserve"
+                    } else {
+                        pool_releases += 1;
+                        "release"
+                    };
+                    min_pool_free =
+                        Some(min_pool_free.map_or(*free_after, |m: f64| m.min(*free_after)));
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"pool\",\"time\":{},\"op\":\"{op}\",\"job\":{job},\
+                         \"bytes\":{},\"free_after\":{}}}",
+                        num(*time),
+                        num(*bytes),
+                        num(*free_after)
+                    );
+                }
+                DecisionRecord::PlanChoice {
+                    time,
+                    winner,
+                    candidates,
+                } => {
+                    plan_choices += 1;
+                    let _ = write!(
+                        out,
+                        "{{\"type\":\"plan\",\"time\":{},\"winner\":\"{winner}\",\
+                         \"candidates\":[",
+                        num(*time)
+                    );
+                    for (i, c) in candidates.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(
+                            out,
+                            "{{\"rule\":\"{}\",\"score\":{},\"order\":[",
+                            c.rule,
+                            num(c.score)
+                        );
+                        for (k, j) in c.order.iter().enumerate() {
+                            if k > 0 {
+                                out.push(',');
+                            }
+                            let _ = write!(out, "{j}");
+                        }
+                        out.push_str("]}");
+                    }
+                    out.push_str("]}\n");
+                }
+                DecisionRecord::Rejected { job, reason } => {
+                    rejected += 1;
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"reject\",\"job\":{job},\"reason\":\"{}\"}}",
+                        esc(reason)
+                    );
+                }
+            }
+        }
+        if let Some(c) = &self.counters {
+            out.push_str("{\"type\":\"counters\"");
+            for (name, value) in c.as_named() {
+                let _ = write!(out, ",\"{name}\":{value}");
+            }
+            out.push_str("}\n");
+        }
+        let min_free = min_pool_free.map_or("null".to_string(), num);
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"summary\",\"admitted_head\":{admitted_head},\
+             \"admitted_backfill\":{admitted_backfill},\"blocked_nodes\":{blocked_nodes},\
+             \"blocked_bb\":{blocked_bb},\"blocked_reservation\":{blocked_reservation},\
+             \"pool_reserves\":{pool_reserves},\"pool_releases\":{pool_releases},\
+             \"plan_choices\":{plan_choices},\"rejected\":{rejected},\
+             \"min_pool_free\":{min_free}}}"
+        );
+        out
+    }
+}
+
+/// Host-side wall-clock profile of the campaign scheduler loop.
+///
+/// All fields are real (host) nanoseconds or call counts — never sim
+/// time — and the profile is reported separately from every simulation
+/// artifact, so results stay bitwise identical whether or not anyone
+/// looks at it. Speculative plan rollouts run entire nested sims; their
+/// cost is attributed to [`SchedProfile::plan_ns`] by the parent, not
+/// double-counted into [`SchedProfile::solve_ns`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedProfile {
+    /// Nanoseconds inside `Engine::try_step` (fluid solve + dispatch).
+    pub solve_ns: u64,
+    /// Nanoseconds in admission passes (the policy call, reservation
+    /// bookkeeping, and job starts), excluding plan search and logging.
+    pub admit_ns: u64,
+    /// Nanoseconds in the plan policy's ordering search: forking the
+    /// sim and driving speculative rollouts to the horizon.
+    pub plan_ns: u64,
+    /// Nanoseconds accruing the wait decomposition and emitting
+    /// decision records.
+    pub log_ns: u64,
+    /// Engine events processed by the real (non-speculative) sim.
+    pub events: u64,
+    /// Admission passes run over a non-empty queue.
+    pub admission_passes: u64,
+    /// Plan ordering searches that committed an ordering.
+    pub plan_choices: u64,
+    /// Speculative forks spawned by plan searches.
+    pub plan_forks: u64,
+}
+
+impl SchedProfile {
+    /// One-line human rendering, seconds. Wall-clock: not deterministic,
+    /// print to stderr only.
+    pub fn summary_text(&self) -> String {
+        let s = |ns: u64| ns as f64 / 1e9;
+        format!(
+            "sched profile: solve={:.3}s admit={:.3}s plan={:.3}s \
+             ({} searches, {} forks) log={:.3}s over {} events, {} passes",
+            s(self.solve_ns),
+            s(self.admit_ns),
+            s(self.plan_ns),
+            self.plan_choices,
+            self.plan_forks,
+            s(self.log_ns),
+            self.events,
+            self.admission_passes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a_log() -> DecisionLog {
+        let mut log = DecisionLog::new(true, "bb-aware");
+        log.push(DecisionRecord::Rejected {
+            job: 9,
+            reason: "requests 99 nodes, machine has 8".into(),
+        });
+        log.push(DecisionRecord::Blocked {
+            time: 10.0,
+            job: 1,
+            reason: BlockReason::InsufficientBb {
+                requested: 2e9,
+                free: 1e9,
+            },
+        });
+        log.push(DecisionRecord::Admitted {
+            time: 20.0,
+            job: 2,
+            kind: AdmitKind::Backfill,
+        });
+        log.push(DecisionRecord::PoolReserve {
+            time: 20.0,
+            job: 2,
+            bytes: 5e8,
+            free_after: 5e8,
+        });
+        log.push(DecisionRecord::PoolRelease {
+            time: 30.0,
+            job: 2,
+            bytes: 5e8,
+            free_after: 1e9,
+        });
+        log.push(DecisionRecord::PlanChoice {
+            time: 20.0,
+            winner: "shortest_first",
+            candidates: vec![
+                PlanCandidate {
+                    rule: "arrival",
+                    order: vec![1, 2],
+                    score: 2.5,
+                },
+                PlanCandidate {
+                    rule: "shortest_first",
+                    order: vec![2, 1],
+                    score: 1.5,
+                },
+            ],
+        });
+        log
+    }
+
+    #[test]
+    fn disabled_log_drops_records() {
+        let mut log = DecisionLog::new(false, "fcfs");
+        log.push(DecisionRecord::Admitted {
+            time: 0.0,
+            job: 0,
+            kind: AdmitKind::Head,
+        });
+        assert!(log.is_empty());
+        assert!(!log.enabled());
+        // The export still renders a valid header + summary.
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"records\":0"));
+        assert!(jsonl.contains("\"min_pool_free\":null"));
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_and_line_shaped() {
+        let a = a_log().to_jsonl();
+        let b = a_log().to_jsonl();
+        assert_eq!(a, b);
+        // header + 6 records + summary (no counters stamped).
+        assert_eq!(a.lines().count(), 8);
+        for line in a.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert_eq!(
+                line.matches('{').count(),
+                line.matches('}').count(),
+                "balanced: {line}"
+            );
+        }
+        assert!(a.starts_with("{\"type\":\"header\""));
+        assert!(a.contains("\"reason\":\"insufficient_bb\""));
+        assert!(a.contains("\"winner\":\"shortest_first\""));
+        assert!(a.contains("\"op\":\"reserve\""));
+        assert!(a
+            .trim_end()
+            .ends_with("\"min_pool_free\":500000000.000000}"));
+        let summary = a.lines().last().unwrap();
+        assert!(summary.contains("\"admitted_backfill\":1"), "{summary}");
+        assert!(summary.contains("\"blocked_bb\":1"), "{summary}");
+        assert!(summary.contains("\"plan_choices\":1"), "{summary}");
+        assert!(summary.contains("\"rejected\":1"), "{summary}");
+    }
+
+    #[test]
+    fn counters_line_matches_as_named() {
+        let mut log = a_log();
+        let counters = EngineCounters {
+            partitioned_solves: 7,
+            components_reused: 3,
+            ..Default::default()
+        };
+        log.set_counters(counters);
+        let jsonl = log.to_jsonl();
+        let line = jsonl
+            .lines()
+            .find(|l| l.starts_with("{\"type\":\"counters\""))
+            .expect("counters line present");
+        for (name, value) in counters.as_named() {
+            assert!(line.contains(&format!("\"{name}\":{value}")), "{line}");
+        }
+    }
+
+    #[test]
+    fn profile_renders_seconds() {
+        let p = SchedProfile {
+            solve_ns: 1_500_000_000,
+            plan_forks: 4,
+            ..Default::default()
+        };
+        let text = p.summary_text();
+        assert!(text.contains("solve=1.500s"), "{text}");
+        assert!(text.contains("4 forks"), "{text}");
+    }
+}

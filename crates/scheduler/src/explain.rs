@@ -1,0 +1,362 @@
+//! `--explain-sched`: deterministic renderings of *why* a campaign
+//! waited — the top blocked jobs with their wait decomposition, the
+//! dominant blocking resource, the plan policy's win/loss table, and
+//! decision-record tallies.
+//!
+//! Everything here is a pure function of the [`CampaignReport`] and the
+//! [`DecisionLog`]: same campaign, same bytes. The wait decomposition
+//! is always available (it is accrued whether or not the log is
+//! enabled); the plan table and record tallies are empty when the log
+//! was off.
+
+use std::fmt::Write as _;
+
+use crate::decisionlog::{DecisionLog, DecisionRecord};
+use crate::policy::{AdmitKind, BlockReason};
+use crate::report::{esc, num, CampaignReport, JobOutcome, JobStatus};
+
+/// The plan-rule labels in exploration order (mirrors the campaign
+/// driver's candidate list).
+const RULE_LABELS: [&str; 5] = [
+    "arrival",
+    "shortest_first",
+    "smallest_bb_first",
+    "largest_bb_first",
+    "fewest_nodes_first",
+];
+
+/// Which resource dominated one job's queue wait (`nodes`, `bb`,
+/// `reservation`, ties in that order), or `none` if it never waited
+/// blocked.
+fn job_dominant(j: &JobOutcome) -> &'static str {
+    let (n, b, r) = (
+        j.blocked_on_nodes,
+        j.blocked_on_bb,
+        j.blocked_on_reservation,
+    );
+    if n <= 0.0 && b <= 0.0 && r <= 0.0 {
+        "none"
+    } else if n >= b && n >= r {
+        "nodes"
+    } else if b >= r {
+        "bb"
+    } else {
+        "reservation"
+    }
+}
+
+/// The `k` non-rejected jobs with the longest queue waits, longest
+/// first (ties by job id — deterministic).
+fn top_blocked(report: &CampaignReport, k: usize) -> Vec<&JobOutcome> {
+    let mut jobs: Vec<&JobOutcome> = report
+        .jobs
+        .iter()
+        .filter(|j| j.status != JobStatus::Rejected && j.wait > 0.0)
+        .collect();
+    jobs.sort_by(|a, b| b.wait.total_cmp(&a.wait).then(a.job.cmp(&b.job)));
+    jobs.truncate(k);
+    jobs
+}
+
+/// Per-rule aggregate of the plan policy's ordering searches.
+#[derive(Debug, Clone, Copy, Default)]
+struct RuleStats {
+    wins: u64,
+    evaluated: u64,
+    score_sum: f64,
+    best_score: f64,
+}
+
+/// Tallies of the decision records, mirroring the JSONL `summary` line.
+#[derive(Debug, Clone, Copy, Default)]
+struct RecordTallies {
+    admitted_head: u64,
+    admitted_backfill: u64,
+    blocked_nodes: u64,
+    blocked_bb: u64,
+    blocked_reservation: u64,
+    pool_reserves: u64,
+    pool_releases: u64,
+    plan_choices: u64,
+    rejected: u64,
+}
+
+fn tally(log: &DecisionLog) -> (RecordTallies, Vec<(&'static str, RuleStats)>) {
+    let mut t = RecordTallies::default();
+    let mut rules: Vec<(&'static str, RuleStats)> = RULE_LABELS
+        .iter()
+        .map(|&r| (r, RuleStats::default()))
+        .collect();
+    for rec in log.records() {
+        match rec {
+            DecisionRecord::Admitted { kind, .. } => match kind {
+                AdmitKind::Head => t.admitted_head += 1,
+                AdmitKind::Backfill => t.admitted_backfill += 1,
+            },
+            DecisionRecord::Blocked { reason, .. } => match reason {
+                BlockReason::InsufficientNodes { .. } => t.blocked_nodes += 1,
+                BlockReason::InsufficientBb { .. } => t.blocked_bb += 1,
+                BlockReason::ReservationShadow { .. } => t.blocked_reservation += 1,
+            },
+            DecisionRecord::PoolReserve { .. } => t.pool_reserves += 1,
+            DecisionRecord::PoolRelease { .. } => t.pool_releases += 1,
+            DecisionRecord::PlanChoice {
+                winner, candidates, ..
+            } => {
+                t.plan_choices += 1;
+                for c in candidates {
+                    if let Some((_, s)) = rules.iter_mut().find(|(r, _)| r == &c.rule) {
+                        if s.evaluated == 0 || c.score < s.best_score {
+                            s.best_score = c.score;
+                        }
+                        s.evaluated += 1;
+                        s.score_sum += c.score;
+                    }
+                }
+                if let Some((_, s)) = rules.iter_mut().find(|(r, _)| r == winner) {
+                    s.wins += 1;
+                }
+            }
+            DecisionRecord::Rejected { .. } => t.rejected += 1,
+        }
+    }
+    (t, rules)
+}
+
+/// Human-readable explanation of a campaign's scheduling, at most `k`
+/// jobs deep. Deterministic: byte-stable for the same campaign.
+pub fn explain_text(report: &CampaignReport, log: &DecisionLog, k: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scheduler explain: policy={} platform={} jobs={} ran={}",
+        report.policy.label(),
+        report.platform,
+        report.jobs.len(),
+        report.jobs_ran,
+    );
+    let _ = writeln!(
+        out,
+        "  wait blocked on: nodes={:.1}s bb={:.1}s reservation={:.1}s (dominant: {})",
+        report.blocked_on_nodes_total,
+        report.blocked_on_bb_total,
+        report.blocked_on_reservation_total,
+        report.dominant_block(),
+    );
+    let top = top_blocked(report, k);
+    if top.is_empty() {
+        let _ = writeln!(out, "  no job ever waited in the queue");
+    } else {
+        let _ = writeln!(out, "  top {} blocked jobs (by wait):", top.len());
+        for j in top {
+            let _ = writeln!(
+                out,
+                "    job {:>3} {}: wait={:.1}s nodes={:.1}s bb={:.1}s \
+                 reservation={:.1}s (dominant: {})",
+                j.job,
+                j.name,
+                j.wait,
+                j.blocked_on_nodes,
+                j.blocked_on_bb,
+                j.blocked_on_reservation,
+                job_dominant(j),
+            );
+        }
+    }
+    let (t, rules) = tally(log);
+    if t.plan_choices > 0 {
+        let _ = writeln!(out, "  plan win/loss ({} searches):", t.plan_choices);
+        for (rule, s) in &rules {
+            if s.evaluated == 0 && s.wins == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "    {:<20} wins={:<3} evaluated={:<3} best_score={:.3} mean_score={:.3}",
+                rule,
+                s.wins,
+                s.evaluated,
+                s.best_score,
+                s.score_sum / (s.evaluated.max(1)) as f64,
+            );
+        }
+    }
+    if log.enabled() {
+        let _ = writeln!(
+            out,
+            "  decision log: {} records (admit head={} backfill={}, blocked \
+             nodes={} bb={} reservation={}, pool reserve={} release={}, rejected={})",
+            log.len(),
+            t.admitted_head,
+            t.admitted_backfill,
+            t.blocked_nodes,
+            t.blocked_bb,
+            t.blocked_reservation,
+            t.pool_reserves,
+            t.pool_releases,
+            t.rejected,
+        );
+    }
+    out
+}
+
+/// The same explanation as deterministic JSON (one object, byte-stable;
+/// `plan` is `null` unless the campaign ran plan searches with the log
+/// enabled, `records` is `null` unless the log was enabled).
+pub fn explain_json(report: &CampaignReport, log: &DecisionLog, k: usize) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"policy\":\"{}\",\"platform\":\"{}\",\"jobs\":{},\"jobs_ran\":{},\
+         \"blocked_on_nodes_total\":{},\"blocked_on_bb_total\":{},\
+         \"blocked_on_reservation_total\":{},\"dominant_block\":\"{}\",\
+         \"top_blocked\":[",
+        report.policy.label(),
+        esc(&report.platform),
+        report.jobs.len(),
+        report.jobs_ran,
+        num(report.blocked_on_nodes_total),
+        num(report.blocked_on_bb_total),
+        num(report.blocked_on_reservation_total),
+        report.dominant_block(),
+    );
+    for (i, j) in top_blocked(report, k).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"job\":{},\"name\":\"{}\",\"wait\":{},\"blocked_on_nodes\":{},\
+             \"blocked_on_bb\":{},\"blocked_on_reservation\":{},\"dominant\":\"{}\"}}",
+            j.job,
+            esc(&j.name),
+            num(j.wait),
+            num(j.blocked_on_nodes),
+            num(j.blocked_on_bb),
+            num(j.blocked_on_reservation),
+            job_dominant(j),
+        );
+    }
+    out.push(']');
+    let (t, rules) = tally(log);
+    if t.plan_choices > 0 {
+        let _ = write!(
+            out,
+            ",\"plan\":{{\"searches\":{},\"rules\":[",
+            t.plan_choices
+        );
+        let mut first = true;
+        for (rule, s) in &rules {
+            if s.evaluated == 0 && s.wins == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"rule\":\"{}\",\"wins\":{},\"evaluated\":{},\"best_score\":{},\
+                 \"mean_score\":{}}}",
+                rule,
+                s.wins,
+                s.evaluated,
+                num(s.best_score),
+                num(s.score_sum / (s.evaluated.max(1)) as f64),
+            );
+        }
+        out.push_str("]}");
+    } else {
+        out.push_str(",\"plan\":null");
+    }
+    if log.enabled() {
+        let _ = write!(
+            out,
+            ",\"records\":{{\"total\":{},\"admitted_head\":{},\"admitted_backfill\":{},\
+             \"blocked_nodes\":{},\"blocked_bb\":{},\"blocked_reservation\":{},\
+             \"pool_reserves\":{},\"pool_releases\":{},\"rejected\":{}}}",
+            log.len(),
+            t.admitted_head,
+            t.admitted_backfill,
+            t.blocked_nodes,
+            t.blocked_bb,
+            t.blocked_reservation,
+            t.pool_reserves,
+            t.pool_releases,
+            t.rejected,
+        );
+    } else {
+        out.push_str(",\"records\":null");
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign_logged;
+    use crate::workload::{synthetic_jobs, SyntheticConfig};
+    use crate::{BatchPolicy, CampaignConfig};
+    use wfbb_platform::{presets, BbMode};
+
+    fn pressured(policy: BatchPolicy, log: bool) -> (CampaignReport, DecisionLog) {
+        let jobs = synthetic_jobs(
+            20260806,
+            &SyntheticConfig {
+                jobs: 12,
+                mean_interarrival: 15.0,
+                bb_request_scale: 2.0,
+                max_nodes: 2,
+            },
+        )
+        .unwrap();
+        let cfg = CampaignConfig::new(presets::cori(8, BbMode::Striped))
+            .with_policy(policy)
+            .with_platform_label("cori:striped")
+            .with_decision_log(log);
+        let run = run_campaign_logged(&cfg, &jobs).unwrap();
+        (run.report, run.log)
+    }
+
+    #[test]
+    fn text_and_json_are_deterministic_and_name_the_dominant_resource() {
+        let (r1, l1) = pressured(BatchPolicy::BbAware, true);
+        let (r2, l2) = pressured(BatchPolicy::BbAware, true);
+        assert_eq!(explain_text(&r1, &l1, 5), explain_text(&r2, &l2, 5));
+        assert_eq!(explain_json(&r1, &l1, 5), explain_json(&r2, &l2, 5));
+        let text = explain_text(&r1, &l1, 5);
+        assert!(text.contains("dominant:"), "{text}");
+        assert!(text.contains("decision log:"), "{text}");
+        let json = explain_json(&r1, &l1, 5);
+        assert!(json.contains("\"dominant_block\":"), "{json}");
+        assert!(json.contains("\"records\":{"), "{json}");
+    }
+
+    #[test]
+    fn log_off_still_explains_the_decomposition() {
+        let (r, l) = pressured(BatchPolicy::BbAware, false);
+        let text = explain_text(&r, &l, 3);
+        assert!(text.contains("wait blocked on:"), "{text}");
+        assert!(!text.contains("decision log:"), "{text}");
+        let json = explain_json(&r, &l, 3);
+        assert!(json.contains("\"records\":null"), "{json}");
+    }
+
+    #[test]
+    fn plan_campaign_renders_a_win_loss_table() {
+        let (r, l) = pressured(BatchPolicy::Plan, true);
+        let text = explain_text(&r, &l, 5);
+        assert!(text.contains("plan win/loss"), "{text}");
+        assert!(text.contains("arrival"), "{text}");
+        let json = explain_json(&r, &l, 5);
+        assert!(json.contains("\"plan\":{\"searches\":"), "{json}");
+    }
+
+    #[test]
+    fn k_truncates_the_job_list() {
+        let (r, l) = pressured(BatchPolicy::Fcfs, false);
+        let text = explain_text(&r, &l, 1);
+        assert!(text.contains("top 1 blocked jobs"), "{text}");
+    }
+}

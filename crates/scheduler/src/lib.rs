@@ -24,8 +24,16 @@
 //!   stepwise [`CampaignSim`] additionally supports deterministic
 //!   mid-campaign forking (`docs/snapshot.md`);
 //! * [`CampaignReport`] ([`report`]) — per-job wait/run/stretch/
-//!   bounded-slowdown, cluster utilization series, and deterministic
-//!   JSON / CSV / Perfetto exports.
+//!   bounded-slowdown with the three-way wait decomposition, cluster
+//!   utilization series, and deterministic JSON / CSV / Perfetto
+//!   exports;
+//! * [`DecisionLog`] / [`SchedProfile`] ([`decisionlog`]) — the
+//!   structured record of every admission verdict, BB-pool ledger
+//!   operation, and plan-ordering search, plus the host-side wall-clock
+//!   profile of the scheduler loop (`docs/observability.md`);
+//! * [`explain_text`] / [`explain_json`] ([`explain`]) — the
+//!   `--explain-sched` renderers: top blocked jobs, dominant blocking
+//!   resource, plan win/loss table.
 //!
 //! Compute nodes and BB *capacity* are partitioned by the scheduler;
 //! the PFS, interconnect, and BB *bandwidth* stay shared, so
@@ -35,16 +43,23 @@
 #![deny(missing_docs)]
 
 pub mod campaign;
+pub mod decisionlog;
+pub mod explain;
 pub mod job;
 pub mod policy;
 pub mod report;
 pub mod workload;
 
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignError, CampaignSim, DEFAULT_PLAN_HORIZON,
+    run_campaign, run_campaign_logged, CampaignConfig, CampaignError, CampaignRun, CampaignSim,
+    DEFAULT_PLAN_HORIZON,
 };
+pub use decisionlog::{DecisionLog, DecisionRecord, PlanCandidate, SchedProfile};
+pub use explain::{explain_json, explain_text};
 pub use job::JobSpec;
-pub use policy::{Admissions, BatchPolicy, QueuedReq, RunningRes};
+pub use policy::{
+    Admissions, AdmitKind, BatchPolicy, BlockReason, JobDecision, QueuedReq, RunningRes, Verdict,
+};
 pub use report::{CampaignReport, JobOutcome, JobStatus, UtilSample, BOUNDED_SLOWDOWN_TAU};
 pub use workload::{
     build_workflow, parse_workload, synthetic_jobs, SyntheticConfig, WorkloadError,

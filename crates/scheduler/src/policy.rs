@@ -100,6 +100,87 @@ pub struct RunningRes {
     pub bb: f64,
 }
 
+/// How an admission pass started a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitKind {
+    /// Admitted from the head of the queue (the FCFS prefix).
+    Head,
+    /// Jumped ahead of the blocked head through the backfill window: it
+    /// either ends by the shadow time or stays within the extra
+    /// envelope the head leaves at its reserved start.
+    Backfill,
+}
+
+impl AdmitKind {
+    /// Stable lowercase label for logs and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmitKind::Head => "head",
+            AdmitKind::Backfill => "backfill",
+        }
+    }
+}
+
+/// Why a queued job did not start at an admission pass. The `requested`
+/// / `free` snapshots are taken at the instant the job was considered
+/// (free resources shrink as earlier admissions of the same pass land).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BlockReason {
+    /// Not enough free compute nodes.
+    InsufficientNodes {
+        /// Nodes the job requests.
+        requested: usize,
+        /// Nodes free when it was considered.
+        free: usize,
+    },
+    /// Not enough free burst-buffer capacity.
+    InsufficientBb {
+        /// BB bytes the job requests.
+        requested: f64,
+        /// BB bytes free when it was considered.
+        free: f64,
+    },
+    /// The job physically fits right now, but starting it would overtake
+    /// the blocked head (FCFS) or violate the head's reservation (it
+    /// neither ends by the shadow time nor fits the extra envelope).
+    ReservationShadow {
+        /// The blocked head job whose reservation shadows this one.
+        head: u32,
+        /// The head's shadow time (its promised start), seconds.
+        shadow: f64,
+    },
+}
+
+impl BlockReason {
+    /// The blocking resource as a stable label: `nodes`, `bb`, or
+    /// `reservation`.
+    pub fn kind_label(&self) -> &'static str {
+        match self {
+            BlockReason::InsufficientNodes { .. } => "nodes",
+            BlockReason::InsufficientBb { .. } => "bb",
+            BlockReason::ReservationShadow { .. } => "reservation",
+        }
+    }
+}
+
+/// One queued job's verdict from an admission pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// The job starts now.
+    Admit(AdmitKind),
+    /// The job stays queued, for the given reason.
+    Blocked(BlockReason),
+}
+
+/// A per-job decision from one [`plan_admissions`] pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobDecision {
+    /// Campaign job id.
+    pub job: u32,
+    /// What happened to it.
+    pub verdict: Verdict,
+}
+
 /// What [`plan_admissions`] decided.
 #[derive(Debug, Clone, Default)]
 pub struct Admissions {
@@ -108,6 +189,9 @@ pub struct Admissions {
     /// When the (blocked) head of the queue is promised to start —
     /// `(job, shadow time)`. `None` under FCFS or when nothing blocks.
     pub head_reservation: Option<(u32, f64)>,
+    /// One verdict per queued job, in queue order — the raw material of
+    /// the campaign decision log and wait decomposition.
+    pub decisions: Vec<JobDecision>,
 }
 
 /// Byte-scale slack for BB comparisons (requests are exact f64 values;
@@ -146,21 +230,45 @@ pub fn plan_admissions(
                 bb: q.bb,
             });
             adm.start.push(q.job);
+            adm.decisions.push(JobDecision {
+                job: q.job,
+                verdict: Verdict::Admit(AdmitKind::Head),
+            });
             head += 1;
         } else {
             break;
         }
     }
-    if head >= queue.len() || policy == BatchPolicy::Fcfs {
+    if head >= queue.len() {
         return adm;
     }
 
-    // The head is blocked: compute its reservation (shadow time) from
-    // the estimated ends of everything currently holding resources.
+    // The head is blocked: name the resource it cannot get (nodes
+    // checked first; if they fit, BB is what stopped it).
+    let hq = &queue[head];
+    let head_reason = if hq.nodes > free_n {
+        BlockReason::InsufficientNodes {
+            requested: hq.nodes,
+            free: free_n,
+        }
+    } else {
+        BlockReason::InsufficientBb {
+            requested: hq.bb,
+            free: free_b,
+        }
+    };
+    adm.decisions.push(JobDecision {
+        job: hq.job,
+        verdict: Verdict::Blocked(head_reason),
+    });
+
+    // Compute the head's shadow time from the estimated ends of
+    // everything currently holding resources. EASY plans nodes only;
+    // BB-aware/plan plan both; an FCFS head waits for both resources
+    // too (its shadow is informational — FCFS makes no reservation).
     // `Plan` reaches here only when called directly: the campaign driver
     // resolves it to a queue ordering plus a BB-aware admission pass.
-    let bb_aware = matches!(policy, BatchPolicy::BbAware | BatchPolicy::Plan);
-    let hq = &queue[head];
+    let bb_aware = !matches!(policy, BatchPolicy::EasyBackfill);
     holds.sort_by(|a, b| a.end_est.total_cmp(&b.end_est));
     let mut avail_n = free_n;
     let mut avail_b = free_b;
@@ -183,6 +291,34 @@ pub fn plan_admissions(
             break;
         }
     }
+    if policy == BatchPolicy::Fcfs {
+        // Nothing overtakes under FCFS: everything behind the head is
+        // blocked — on its own resource shortfall if it would not fit
+        // even now, otherwise on the head's shadow.
+        for q in queue.iter().skip(head + 1) {
+            let reason = if q.nodes > free_n {
+                BlockReason::InsufficientNodes {
+                    requested: q.nodes,
+                    free: free_n,
+                }
+            } else if q.bb > free_b + BB_EPS {
+                BlockReason::InsufficientBb {
+                    requested: q.bb,
+                    free: free_b,
+                }
+            } else {
+                BlockReason::ReservationShadow {
+                    head: hq.job,
+                    shadow,
+                }
+            };
+            adm.decisions.push(JobDecision {
+                job: q.job,
+                verdict: Verdict::Blocked(reason),
+            });
+        }
+        return adm;
+    }
     adm.head_reservation = Some((hq.job, shadow));
 
     // Backfill pass: a later job may start now iff it physically fits
@@ -195,12 +331,36 @@ pub fn plan_admissions(
         f64::INFINITY
     };
     for q in queue.iter().skip(head + 1) {
-        if q.nodes > free_n || q.bb > free_b + BB_EPS {
+        if q.nodes > free_n {
+            adm.decisions.push(JobDecision {
+                job: q.job,
+                verdict: Verdict::Blocked(BlockReason::InsufficientNodes {
+                    requested: q.nodes,
+                    free: free_n,
+                }),
+            });
+            continue;
+        }
+        if q.bb > free_b + BB_EPS {
+            adm.decisions.push(JobDecision {
+                job: q.job,
+                verdict: Verdict::Blocked(BlockReason::InsufficientBb {
+                    requested: q.bb,
+                    free: free_b,
+                }),
+            });
             continue;
         }
         let ends_before = now + q.est <= shadow + T_EPS;
         let within_extra = q.nodes <= extra_n && q.bb <= extra_b + BB_EPS;
         if !ends_before && !within_extra {
+            adm.decisions.push(JobDecision {
+                job: q.job,
+                verdict: Verdict::Blocked(BlockReason::ReservationShadow {
+                    head: hq.job,
+                    shadow,
+                }),
+            });
             continue;
         }
         if !ends_before {
@@ -213,6 +373,10 @@ pub fn plan_admissions(
         free_n -= q.nodes;
         free_b -= q.bb;
         adm.start.push(q.job);
+        adm.decisions.push(JobDecision {
+            job: q.job,
+            verdict: Verdict::Admit(AdmitKind::Backfill),
+        });
     }
     adm
 }
@@ -337,6 +501,91 @@ mod tests {
         // though; 0 free now, so nothing backfills.
         assert!(adm.start.is_empty());
         assert_eq!(adm.head_reservation, Some((1, 50.0)));
+    }
+
+    #[test]
+    fn decisions_cover_every_queued_job_with_typed_reasons() {
+        // 4 nodes, 100 BB free. Job 0 admits (head); job 1 blocks on
+        // nodes; job 2 would fit but backfilling is off under FCFS ->
+        // reservation shadow; job 3 blocks on BB.
+        let queue = [
+            q(0, 2, 10.0, 50.0),
+            q(1, 4, 10.0, 50.0),
+            q(2, 1, 10.0, 5.0),
+            q(3, 1, 200.0, 5.0),
+        ];
+        let adm = plan_admissions(BatchPolicy::Fcfs, 0.0, 4, 100.0, &queue, &[r(30.0, 2, 5.0)]);
+        assert_eq!(adm.decisions.len(), 4);
+        assert_eq!(
+            adm.decisions[0].verdict,
+            Verdict::Admit(AdmitKind::Head),
+            "job 0 admits"
+        );
+        assert_eq!(
+            adm.decisions[1].verdict,
+            Verdict::Blocked(BlockReason::InsufficientNodes {
+                requested: 4,
+                free: 2
+            })
+        );
+        assert!(matches!(
+            adm.decisions[2].verdict,
+            Verdict::Blocked(BlockReason::ReservationShadow { head: 1, .. })
+        ));
+        assert!(matches!(
+            adm.decisions[3].verdict,
+            Verdict::Blocked(BlockReason::InsufficientBb { .. })
+        ));
+    }
+
+    #[test]
+    fn backfill_admissions_are_typed_backfill() {
+        let adm = plan_admissions(
+            BatchPolicy::EasyBackfill,
+            0.0,
+            2,
+            1000.0,
+            &[
+                q(1, 4, 10.0, 50.0),
+                q(2, 1, 10.0, 50.0),
+                q(3, 1, 10.0, 200.0),
+            ],
+            &[r(100.0, 2, 10.0)],
+        );
+        assert_eq!(adm.start, vec![2]);
+        assert_eq!(adm.decisions[1].job, 2);
+        assert_eq!(
+            adm.decisions[1].verdict,
+            Verdict::Admit(AdmitKind::Backfill)
+        );
+        assert!(matches!(
+            adm.decisions[2].verdict,
+            Verdict::Blocked(BlockReason::ReservationShadow {
+                head: 1,
+                shadow
+            }) if shadow == 100.0
+        ));
+    }
+
+    #[test]
+    fn block_reason_kind_labels_are_stable() {
+        let n = BlockReason::InsufficientNodes {
+            requested: 1,
+            free: 0,
+        };
+        let b = BlockReason::InsufficientBb {
+            requested: 1.0,
+            free: 0.0,
+        };
+        let s = BlockReason::ReservationShadow {
+            head: 0,
+            shadow: 0.0,
+        };
+        assert_eq!(n.kind_label(), "nodes");
+        assert_eq!(b.kind_label(), "bb");
+        assert_eq!(s.kind_label(), "reservation");
+        assert_eq!(AdmitKind::Head.label(), "head");
+        assert_eq!(AdmitKind::Backfill.label(), "backfill");
     }
 
     #[test]

@@ -4,7 +4,9 @@
 
 use std::fmt::Write as _;
 
-use crate::policy::BatchPolicy;
+use crate::decisionlog::{DecisionLog, DecisionRecord};
+use crate::policy::{BatchPolicy, BlockReason};
+use wfbb_simcore::EngineCounters;
 use wfbb_wms::SimulationReport;
 
 /// Bounded-slowdown threshold τ, seconds: very short jobs do not get to
@@ -68,6 +70,18 @@ pub struct JobOutcome {
     /// Bounded slowdown `max(1, (wait + run) / max(run, τ))` with
     /// τ = [`BOUNDED_SLOWDOWN_TAU`].
     pub bounded_slowdown: f64,
+    /// Seconds of queue wait spent blocked on free compute nodes. The
+    /// three `blocked_on_*` components always sum to `wait` (within
+    /// floating accumulation, ≤ 1e-9; exactly 0.0 each for jobs that
+    /// never waited) — the scheduler-side analogue of the task-level
+    /// time decomposition. Derived from admission-pass verdicts, so
+    /// they are filled whether or not the decision log is enabled.
+    pub blocked_on_nodes: f64,
+    /// Seconds of queue wait spent blocked on free BB capacity.
+    pub blocked_on_bb: f64,
+    /// Seconds of queue wait spent physically fitting but held back by
+    /// queue order or the blocked head's reservation shadow.
+    pub blocked_on_reservation: f64,
     /// The start time the scheduler first promised this job when it
     /// blocked at the head of the queue (`None` if it never blocked or
     /// under FCFS). Instrumentation for the EASY no-delay invariant:
@@ -140,9 +154,21 @@ pub struct CampaignReport {
     /// Free bytes in the BB reservation pool after the campaign drained.
     /// Conservation demands this equals `bb_pool_bytes` exactly.
     pub bb_pool_free_end: f64,
+    /// Total seconds of queue wait blocked on nodes, summed over
+    /// non-rejected jobs (filled by `finalize`).
+    pub blocked_on_nodes_total: f64,
+    /// Total seconds of queue wait blocked on BB capacity.
+    pub blocked_on_bb_total: f64,
+    /// Total seconds of queue wait blocked by queue order / the head's
+    /// reservation shadow.
+    pub blocked_on_reservation_total: f64,
+    /// Final counters of the shared engine — the same 15 identifiers
+    /// single-run traces export ([`EngineCounters::as_named`]),
+    /// including the five partition counters of `docs/performance.md`.
+    pub counters: EngineCounters,
 }
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -159,7 +185,7 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn num(x: f64) -> String {
+pub(crate) fn num(x: f64) -> String {
     format!("{x:.6}")
 }
 
@@ -190,6 +216,9 @@ impl CampaignReport {
             self.mean_stretch = ran.iter().map(|j| j.stretch).sum::<f64>() / n;
             self.mean_bounded_slowdown = ran.iter().map(|j| j.bounded_slowdown).sum::<f64>() / n;
         }
+        self.blocked_on_nodes_total = ran.iter().map(|j| j.blocked_on_nodes).sum();
+        self.blocked_on_bb_total = ran.iter().map(|j| j.blocked_on_bb).sum();
+        self.blocked_on_reservation_total = ran.iter().map(|j| j.blocked_on_reservation).sum();
         // Piecewise-constant integrals of the sample series.
         let mut node_area = 0.0;
         let mut bb_area = 0.0;
@@ -203,6 +232,24 @@ impl CampaignReport {
             if self.bb_pool_bytes > 0.0 {
                 self.bb_utilization = bb_area / (self.bb_pool_bytes * self.makespan);
             }
+        }
+    }
+
+    /// The resource campaign waits were dominated by: `nodes`, `bb`, or
+    /// `reservation` — whichever `blocked_on_*_total` is largest (ties
+    /// break in that order) — or `none` when nothing ever waited.
+    pub fn dominant_block(&self) -> &'static str {
+        let n = self.blocked_on_nodes_total;
+        let b = self.blocked_on_bb_total;
+        let r = self.blocked_on_reservation_total;
+        if n <= 0.0 && b <= 0.0 && r <= 0.0 {
+            "none"
+        } else if n >= b && n >= r {
+            "nodes"
+        } else if b >= r {
+            "bb"
+        } else {
+            "reservation"
         }
     }
 
@@ -249,6 +296,14 @@ impl CampaignReport {
         );
         let _ = writeln!(
             out,
+            "  wait blocked on: nodes={:.1}s bb={:.1}s reservation={:.1}s (dominant: {})",
+            self.blocked_on_nodes_total,
+            self.blocked_on_bb_total,
+            self.blocked_on_reservation_total,
+            self.dominant_block()
+        );
+        let _ = writeln!(
+            out,
             "  {:>3} {:<22} {:<12} {:>9} {:>5} {:>10} {:>9} {:>9} {:>8} {:>8}",
             "id",
             "name",
@@ -284,12 +339,13 @@ impl CampaignReport {
     pub fn jobs_csv(&self) -> String {
         let mut out = String::from(
             "job,name,workflow,policy,submit,nodes,bb_request,walltime_est,\
-             status,start,end,wait,run,stretch,bounded_slowdown\n",
+             status,start,end,wait,run,stretch,bounded_slowdown,\
+             blocked_on_nodes,blocked_on_bb,blocked_on_reservation\n",
         );
         for j in &self.jobs {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 j.job,
                 j.name,
                 j.workflow,
@@ -304,7 +360,10 @@ impl CampaignReport {
                 num(j.wait),
                 num(j.run),
                 num(j.stretch),
-                num(j.bounded_slowdown)
+                num(j.bounded_slowdown),
+                num(j.blocked_on_nodes),
+                num(j.blocked_on_bb),
+                num(j.blocked_on_reservation)
             );
         }
         out
@@ -316,11 +375,14 @@ impl CampaignReport {
         let mut out = String::from("{");
         let _ = write!(
             out,
-            "\"schema_version\":2,\"policy\":\"{}\",\"platform\":\"{}\",\
+            "\"schema_version\":3,\"policy\":\"{}\",\"platform\":\"{}\",\
              \"total_nodes\":{},\"bb_pool_bytes\":{},\"makespan\":{},\
              \"mean_wait\":{},\"max_wait\":{},\"mean_stretch\":{},\
              \"mean_bounded_slowdown\":{},\"jobs_ran\":{},\"node_utilization\":{},\
-             \"bb_utilization\":{},\"bb_pool_free_end\":{},\"jobs\":[",
+             \"bb_utilization\":{},\"bb_pool_free_end\":{},\
+             \"blocked_on_nodes_total\":{},\"blocked_on_bb_total\":{},\
+             \"blocked_on_reservation_total\":{},\"dominant_block\":\"{}\",\
+             \"engine_counters\":{{",
             self.policy.label(),
             esc(&self.platform),
             self.total_nodes,
@@ -334,7 +396,18 @@ impl CampaignReport {
             num(self.node_utilization),
             num(self.bb_utilization),
             num(self.bb_pool_free_end),
+            num(self.blocked_on_nodes_total),
+            num(self.blocked_on_bb_total),
+            num(self.blocked_on_reservation_total),
+            self.dominant_block(),
         );
+        for (i, (name, value)) in self.counters.as_named().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{value}");
+        }
+        out.push_str("},\"jobs\":[");
         for (i, j) in self.jobs.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -344,7 +417,8 @@ impl CampaignReport {
                 "{{\"job\":{},\"name\":\"{}\",\"workflow\":\"{}\",\"submit\":{},\
                  \"nodes\":{},\"bb_request\":{},\"walltime_est\":{},\"status\":\"{}\",\
                  \"start\":{},\"end\":{},\"wait\":{},\"run\":{},\"stretch\":{},\
-                 \"bounded_slowdown\":{}",
+                 \"bounded_slowdown\":{},\"blocked_on_nodes\":{},\"blocked_on_bb\":{},\
+                 \"blocked_on_reservation\":{}",
                 j.job,
                 esc(&j.name),
                 esc(&j.workflow),
@@ -359,6 +433,9 @@ impl CampaignReport {
                 num(j.run),
                 num(j.stretch),
                 num(j.bounded_slowdown),
+                num(j.blocked_on_nodes),
+                num(j.blocked_on_bb),
+                num(j.blocked_on_reservation),
             );
             if let Some(r) = j.reserved_start {
                 let _ = write!(out, ",\"reserved_start\":{}", num(r));
@@ -399,9 +476,23 @@ impl CampaignReport {
 
     /// Perfetto/Chrome trace of the campaign: one process lane per job
     /// (a `queued` slice from submit to start, a `run` slice from start
-    /// to end) plus a counter process tracking busy nodes, reserved BB
-    /// bytes, and queue depth. Load at `ui.perfetto.dev`.
+    /// to end) plus a counter process tracking busy nodes, reserved and
+    /// free BB pool bytes, and queue depth, closed by an
+    /// `engine_counters` instant carrying the 15 engine counter
+    /// identifiers. Load at `ui.perfetto.dev`.
     pub fn perfetto_trace_json(&self) -> String {
+        self.build_perfetto(None)
+    }
+
+    /// [`CampaignReport::perfetto_trace_json`] plus a `scheduler`
+    /// process lane rendering the decision log (schema v4): one instant
+    /// per admission verdict transition, pool ledger operation, and plan
+    /// ordering search. See `docs/trace-format.md`.
+    pub fn perfetto_trace_with_decisions(&self, log: &DecisionLog) -> String {
+        self.build_perfetto(Some(log))
+    }
+
+    fn build_perfetto(&self, log: Option<&DecisionLog>) -> String {
         let us = |sec: f64| format!("{:.3}", sec * 1e6);
         let mut events: Vec<(f64, String)> = Vec::new();
         let mut meta: Vec<String> = Vec::new();
@@ -476,6 +567,135 @@ impl CampaignReport {
                     num(s.bb_reserved)
                 ),
             ));
+            events.push((
+                s.time,
+                format!(
+                    "{{\"name\":\"bb_pool_free\",\"ph\":\"C\",\"ts\":{},\"pid\":{counter_pid},\
+                     \"tid\":0,\"args\":{{\"bytes\":{}}}}}",
+                    us(s.time),
+                    num(self.bb_pool_bytes - s.bb_reserved)
+                ),
+            ));
+        }
+        // Final engine counters as one instant at the makespan — the
+        // same identifiers single-run traces emit (EngineCounters::
+        // as_named), so the partition counters are visible per campaign.
+        {
+            let mut args = String::new();
+            for (i, (name, value)) in self.counters.as_named().iter().enumerate() {
+                if i > 0 {
+                    args.push(',');
+                }
+                let _ = write!(args, "\"{name}\":{value}");
+            }
+            events.push((
+                self.makespan,
+                format!(
+                    "{{\"name\":\"engine_counters\",\"ph\":\"i\",\"ts\":{},\
+                     \"pid\":{counter_pid},\"tid\":0,\"s\":\"p\",\"args\":{{{args}}}}}",
+                    us(self.makespan)
+                ),
+            ));
+        }
+        if let Some(log) = log {
+            let sched_pid = self.jobs.len() as u32 + 2;
+            meta.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{sched_pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"scheduler\"}}}}"
+            ));
+            let instant = |time: f64, name: &str, args: String| {
+                format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"sched\",\"ph\":\"i\",\"ts\":{},\
+                     \"pid\":{sched_pid},\"tid\":0,\"s\":\"t\",\"args\":{{{args}}}}}",
+                    us(time)
+                )
+            };
+            for rec in log.records() {
+                let (time, line) = match rec {
+                    DecisionRecord::Admitted { time, job, kind } => (
+                        *time,
+                        instant(
+                            *time,
+                            &format!("admit:{}", kind.label()),
+                            format!("\"job\":{job}"),
+                        ),
+                    ),
+                    DecisionRecord::Blocked { time, job, reason } => {
+                        let detail = match reason {
+                            BlockReason::InsufficientNodes { requested, free } => {
+                                format!("\"job\":{job},\"requested\":{requested},\"free\":{free}")
+                            }
+                            BlockReason::InsufficientBb { requested, free } => format!(
+                                "\"job\":{job},\"requested\":{},\"free\":{}",
+                                num(*requested),
+                                num(*free)
+                            ),
+                            BlockReason::ReservationShadow { head, shadow } => {
+                                format!("\"job\":{job},\"head\":{head},\"shadow\":{}", num(*shadow))
+                            }
+                        };
+                        (
+                            *time,
+                            instant(*time, &format!("blocked:{}", reason.kind_label()), detail),
+                        )
+                    }
+                    DecisionRecord::PoolReserve {
+                        time,
+                        job,
+                        bytes,
+                        free_after,
+                    } => (
+                        *time,
+                        instant(
+                            *time,
+                            "pool:reserve",
+                            format!(
+                                "\"job\":{job},\"bytes\":{},\"free_after\":{}",
+                                num(*bytes),
+                                num(*free_after)
+                            ),
+                        ),
+                    ),
+                    DecisionRecord::PoolRelease {
+                        time,
+                        job,
+                        bytes,
+                        free_after,
+                    } => (
+                        *time,
+                        instant(
+                            *time,
+                            "pool:release",
+                            format!(
+                                "\"job\":{job},\"bytes\":{},\"free_after\":{}",
+                                num(*bytes),
+                                num(*free_after)
+                            ),
+                        ),
+                    ),
+                    DecisionRecord::PlanChoice {
+                        time,
+                        winner,
+                        candidates,
+                    } => (
+                        *time,
+                        instant(
+                            *time,
+                            &format!("plan:{winner}"),
+                            format!("\"candidates\":{}", candidates.len()),
+                        ),
+                    ),
+                    DecisionRecord::Rejected { job, reason } => (
+                        0.0,
+                        instant(
+                            0.0,
+                            "reject",
+                            format!("\"job\":{job},\"reason\":\"{}\"", esc(reason)),
+                        ),
+                    ),
+                };
+                events.push((time, line));
+            }
         }
         events.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut out = String::from("{\"traceEvents\":[");
@@ -532,6 +752,9 @@ mod tests {
             run,
             stretch,
             bounded_slowdown,
+            blocked_on_nodes: wait,
+            blocked_on_bb: 0.0,
+            blocked_on_reservation: 0.0,
             reserved_start: None,
             detail: None,
             report: None,
@@ -577,6 +800,10 @@ mod tests {
                 },
             ],
             bb_pool_free_end: 4e9,
+            blocked_on_nodes_total: 0.0,
+            blocked_on_bb_total: 0.0,
+            blocked_on_reservation_total: 0.0,
+            counters: EngineCounters::default(),
         };
         r.finalize();
         r
@@ -650,6 +877,69 @@ mod tests {
         assert!(text.contains("(no jobs ran)"), "{text}");
         assert!(!r.to_json().contains("NaN"), "JSON must stay NaN-free");
         assert!(r.to_json().contains("\"jobs_ran\":0"));
+    }
+
+    #[test]
+    fn wait_decomposition_totals_and_dominant_block() {
+        let r = report();
+        // Job 1 waited 100 s, all charged to nodes by the fixture.
+        assert_eq!(r.blocked_on_nodes_total, 100.0);
+        assert_eq!(r.blocked_on_bb_total, 0.0);
+        assert_eq!(r.dominant_block(), "nodes");
+        let json = r.to_json();
+        assert!(json.contains("\"schema_version\":3"));
+        assert!(json.contains("\"dominant_block\":\"nodes\""));
+        assert!(json.contains("\"blocked_on_nodes_total\":100.000000"));
+        assert!(json.contains("\"engine_counters\":{\"events\":0"));
+        let csv = r.jobs_csv();
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("blocked_on_reservation"));
+        assert!(
+            r.summary_text().contains("dominant: nodes"),
+            "{}",
+            r.summary_text()
+        );
+        // No waits at all -> "none".
+        let mut idle = report();
+        for j in &mut idle.jobs {
+            j.blocked_on_nodes = 0.0;
+        }
+        idle.finalize();
+        assert_eq!(idle.dominant_block(), "none");
+    }
+
+    #[test]
+    fn perfetto_has_pool_free_counter_engine_counters_and_decision_lane() {
+        let plain = report().perfetto_trace_json();
+        assert!(plain.contains("\"name\":\"bb_pool_free\""));
+        assert!(plain.contains("\"name\":\"engine_counters\""));
+        assert!(!plain.contains("\"name\":\"scheduler\""));
+        let mut log = crate::decisionlog::DecisionLog::new(true, "fcfs");
+        log.push(DecisionRecord::Blocked {
+            time: 0.0,
+            job: 1,
+            reason: BlockReason::InsufficientNodes {
+                requested: 2,
+                free: 1,
+            },
+        });
+        log.push(DecisionRecord::Admitted {
+            time: 100.0,
+            job: 1,
+            kind: crate::policy::AdmitKind::Head,
+        });
+        let traced = report().perfetto_trace_with_decisions(&log);
+        assert!(traced.contains("\"name\":\"scheduler\""));
+        assert!(traced.contains("\"name\":\"blocked:nodes\""));
+        assert!(traced.contains("\"name\":\"admit:head\""));
+        assert_eq!(
+            traced.matches('{').count(),
+            traced.matches('}').count(),
+            "balanced braces"
+        );
     }
 
     #[test]

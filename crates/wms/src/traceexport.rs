@@ -32,7 +32,15 @@ use crate::report::SimulationReport;
 /// `fault_wait` on task records (task `start` is the *first* attempt's
 /// start), fault aggregates and the retry count in the summary, and
 /// Perfetto instant events on the engine lane per fault.
-pub const TRACE_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: scheduler observability (`docs/observability.md`) — the campaign
+/// decision-log JSONL (`wfbb-sched-decisions` header, `decision` /
+/// `pool` / `plan` / `reject` records, `counters` + `summary` footer),
+/// the scheduler decision lane and `bb_pool_free` counter track in the
+/// campaign Perfetto trace, and the `engine_counters` instant on the
+/// campaign cluster lane. Single-run JSONL/Perfetto records are
+/// unchanged from v3.
+pub const TRACE_SCHEMA_VERSION: u32 = 4;
 
 /// Escapes a string for inclusion inside a JSON string literal.
 pub(crate) fn esc(s: &str) -> String {
