@@ -12,6 +12,8 @@
 //!               [--explain-sched-json explain.json] [--progress]
 //! wfbb generate --workflow genomes:22 --out wf.json
 //! wfbb inspect  --workflow wf.json [--dot graph.dot]
+//! wfbb serve    [--addr 127.0.0.1:8080] [--workers 2] [--cache-mb 64]
+//!               [--tenant-quota 4] [--job-timeout 300]
 //! ```
 //!
 //! Platform specs: `cori[:private|:striped]`, `summit`, `generic`, or a
@@ -60,6 +62,8 @@ usage:
                 [--explain-sched-json <path>] [--progress]
   wfbb generate --workflow <spec> --out <file.json>
   wfbb inspect  --workflow <spec> [--dot <file.dot>]
+  wfbb serve    [--addr <host:port>] [--workers <n>] [--cache-mb <mb>]
+                [--tenant-quota <n>] [--job-timeout <s>]
 
 specs:
   workflow:  swarp:<pipelines>[:<cores>] | genomes:<chromosomes>
@@ -114,7 +118,18 @@ fault injection (see docs/failure-model.md):
                  seed:<s>:<k>@<horizon> (k seeded BB failures before t)
   --failover     pfs (default: dead-BB accesses re-route to the PFS) | bb
                  (re-place on surviving BB namespaces when possible)
-  --retries      max execution attempts per task (default 3)";
+  --retries      max execution attempts per task (default 3)
+
+serving (see docs/service.md):
+  serve          run the long-lived what-if HTTP API: submit simulate/
+                 campaign jobs as JSON, stream progress, fetch artifacts;
+                 identical inputs are answered from a deterministic
+                 result cache
+  --addr         bind address (default 127.0.0.1:8080; port 0 = ephemeral)
+  --workers      simulation worker threads (default 2)
+  --cache-mb     result-cache capacity in MiB (default 64)
+  --tenant-quota max in-flight jobs per tenant (default 4)
+  --job-timeout  per-job wall-clock timeout in seconds (default 300)";
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -176,6 +191,10 @@ fn run(raw: &[String]) -> Result<(), CliError> {
         "inspect" => {
             args.check_flags(&["workflow", "dot"])?;
             inspect(&args)
+        }
+        "serve" => {
+            args.check_flags(&["addr", "workers", "cache-mb", "tenant-quota", "job-timeout"])?;
+            serve(&args)
         }
         other => Err(CliError(format!("unknown subcommand {other:?}"))),
     }
@@ -533,6 +552,56 @@ fn inspect(args: &Args) -> Result<(), CliError> {
         println!("wrote DOT graph to {path}");
     }
     Ok(())
+}
+
+fn serve(args: &Args) -> Result<(), CliError> {
+    let addr = args.get_or("addr", "127.0.0.1:8080").to_string();
+    let workers: usize = args
+        .get_or("workers", "2")
+        .parse()
+        .map_err(|_| CliError("bad --workers value".into()))?;
+    if workers == 0 {
+        return Err(CliError("--workers must be at least 1".into()));
+    }
+    let cache_mb: usize = args
+        .get_or("cache-mb", "64")
+        .parse()
+        .map_err(|_| CliError("bad --cache-mb value".into()))?;
+    let tenant_quota: usize = args
+        .get_or("tenant-quota", "4")
+        .parse()
+        .map_err(|_| CliError("bad --tenant-quota value".into()))?;
+    if tenant_quota == 0 {
+        return Err(CliError("--tenant-quota must be at least 1".into()));
+    }
+    let job_timeout: f64 = args
+        .get_or("job-timeout", "300")
+        .parse()
+        .map_err(|_| CliError("bad --job-timeout value".into()))?;
+    if !job_timeout.is_finite() || job_timeout <= 0.0 {
+        return Err(CliError("--job-timeout must be positive".into()));
+    }
+    let config = wfbb_serve::ServeConfig {
+        addr,
+        workers,
+        cache_bytes: cache_mb.saturating_mul(1024 * 1024),
+        quota: wfbb_serve::TenantQuota {
+            max_in_flight: tenant_quota,
+            timeout_s: job_timeout,
+            ..Default::default()
+        },
+    };
+    let server = wfbb_serve::Server::bind(config)
+        .map_err(|e| CliError(format!("cannot bind serve address: {e}")))?;
+    // The bound address line doubles as the CI readiness/port-discovery
+    // signal when --addr ends in :0.
+    println!("listening on http://{}", server.local_addr());
+    println!(
+        "workers={workers} cache={cache_mb}MiB tenant-quota={tenant_quota} job-timeout={job_timeout}s  (docs/service.md)"
+    );
+    server
+        .run()
+        .map_err(|e| CliError(format!("serve failed: {e}")))
 }
 
 #[cfg(test)]

@@ -208,7 +208,7 @@ pub fn parse_workload(text: &str) -> Result<Vec<JobSpec>, WorkloadError> {
 }
 
 /// Shape of a synthetic campaign.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SyntheticConfig {
     /// Number of jobs to draw.
     pub jobs: usize,

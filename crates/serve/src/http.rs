@@ -1,0 +1,318 @@
+//! A vendored-minimal HTTP/1.1 layer over [`std::net::TcpStream`].
+//!
+//! The service deliberately depends on nothing outside `std` (matching
+//! the repo's no-external-deps style), so this module implements the
+//! small slice of HTTP/1.1 the API needs: request-line + header
+//! parsing with a bounded `Content-Length` body, fixed-length
+//! responses, and chunked transfer encoding for progress streams.
+//! Connections are `Connection: close` — one request per connection —
+//! which keeps the connection handler a straight-line function.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line plus headers, bytes. Requests are
+/// small JSON documents; anything larger is malformed or abusive.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...), uppercased as received.
+    pub method: String,
+    /// Request path, percent-decoding deliberately not applied (the
+    /// API's paths are plain ASCII segments).
+    pub path: String,
+    /// Headers as `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The stream closed or was unparseable before a full head arrived.
+    Malformed(String),
+    /// The declared `Content-Length` exceeds the configured cap — the
+    /// caller maps this to a typed `413` response.
+    BodyTooLarge {
+        /// Declared `Content-Length`, bytes.
+        declared: usize,
+        /// The configured cap, bytes.
+        limit: usize,
+    },
+    /// An I/O error while reading.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte cap")
+            }
+            HttpError::Io(m) => write!(f, "i/o error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl Request {
+    /// Reads one request from `stream`, rejecting bodies larger than
+    /// `max_body` bytes *before* reading them.
+    pub fn read(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let mut head_bytes = 0usize;
+        read_line_bounded(&mut reader, &mut line, &mut head_bytes)?;
+        let mut parts = line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+            .to_string();
+        let path = parts
+            .next()
+            .ok_or_else(|| HttpError::Malformed("request line has no path".into()))?
+            .to_string();
+        let version = parts.next().unwrap_or("HTTP/1.1");
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed(format!(
+                "unsupported protocol {version:?}"
+            )));
+        }
+
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            line.clear();
+            read_line_bounded(&mut reader, &mut line, &mut head_bytes)?;
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            let Some((name, value)) = trimmed.split_once(':') else {
+                return Err(HttpError::Malformed(format!("bad header line {trimmed:?}")));
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
+            }
+            headers.push((name, value));
+        }
+
+        if content_length > max_body {
+            return Err(HttpError::BodyTooLarge {
+                declared: content_length,
+                limit: max_body,
+            });
+        }
+        let mut body = vec![0u8; content_length];
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        Ok(Request {
+            method,
+            path,
+            headers,
+            body,
+        })
+    }
+
+    /// The first header with `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn read_line_bounded(
+    reader: &mut BufReader<&mut TcpStream>,
+    line: &mut String,
+    head_bytes: &mut usize,
+) -> Result<(), HttpError> {
+    let n = reader
+        .read_line(line)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    if n == 0 {
+        return Err(HttpError::Malformed("connection closed mid-head".into()));
+    }
+    *head_bytes += n;
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(HttpError::Malformed(format!(
+            "request head exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
+    Ok(())
+}
+
+/// Reason phrases for the status codes the API uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// A fixed-length HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A raw-bytes response with an explicit content type.
+    pub fn bytes(status: u16, content_type: &'static str, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type,
+            body,
+        }
+    }
+
+    /// Serializes and writes the response, closing semantics implied by
+    /// `Connection: close`.
+    pub fn write(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// A chunked-transfer response writer for progress streams: write the
+/// head once, then any number of [`ChunkedWriter::chunk`] calls, then
+/// [`ChunkedWriter::finish`].
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and returns the chunk writer.
+    pub fn start(
+        stream: &'a mut TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> std::io::Result<ChunkedWriter<'a>> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status,
+            reason(status),
+            content_type,
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Writes one chunk (empty input is skipped — an empty chunk would
+    /// terminate the stream).
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the chunked stream.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = Request::read(&mut conn, max_body);
+        writer.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body_and_headers() {
+        let req = roundtrip(
+            b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\nX-Tenant: alice\r\nContent-Length: 4\r\n\r\nbody",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.header("x-tenant"), Some("alice"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn rejects_oversized_body_before_reading_it() {
+        let err = roundtrip(
+            b"POST /v1/jobs HTTP/1.1\r\nContent-Length: 9999\r\n\r\n",
+            16,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            HttpError::BodyTooLarge {
+                declared: 9999,
+                limit: 16
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            roundtrip(b"not http at all\r\n\r\n", 16).unwrap_err(),
+            HttpError::Malformed(_)
+        ));
+    }
+}

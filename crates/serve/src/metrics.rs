@@ -1,0 +1,147 @@
+//! The service's operational snapshot — the serving-layer analogue of
+//! `wfbb_simcore::EngineCounters`: one cheap, always-on struct that a
+//! `GET /v1/metrics` renders as deterministic-field-order JSON.
+
+use std::fmt::Write as _;
+
+use crate::cache::CacheCounters;
+use crate::tenant::TenantUsage;
+
+/// Point-in-time snapshot of the whole service.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeMetrics {
+    /// Worker threads configured at startup.
+    pub workers: usize,
+    /// Workers currently executing a job.
+    pub workers_busy: usize,
+    /// Replacement workers spawned after a timed-out job failed to
+    /// cancel within the grace period (see `docs/service.md`).
+    pub workers_replaced: u64,
+    /// Jobs waiting for a worker.
+    pub queue_depth: usize,
+    /// Jobs currently executing.
+    pub jobs_running: usize,
+    /// Jobs finished successfully since startup.
+    pub jobs_done: u64,
+    /// Jobs that ended in a simulation error.
+    pub jobs_failed: u64,
+    /// Jobs reaped by the wall-clock timeout.
+    pub jobs_timed_out: u64,
+    /// Submissions answered from the result cache.
+    pub jobs_from_cache: u64,
+    /// Artifact sets currently cached.
+    pub cache_entries: usize,
+    /// Bytes currently cached.
+    pub cache_bytes: usize,
+    /// Configured cache capacity, bytes.
+    pub cache_capacity_bytes: usize,
+    /// Cache lookup/eviction counters.
+    pub cache: CacheCounters,
+    /// Per-tenant usage, sorted by tenant name.
+    pub tenants: Vec<(String, TenantUsage)>,
+}
+
+impl ServeMetrics {
+    /// Cache hit ratio over all lookups so far (0 when none).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let total = self.cache.hits + self.cache.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache.hits as f64 / total as f64
+        }
+    }
+
+    /// Worker utilization: busy workers over configured workers.
+    pub fn worker_utilization(&self) -> f64 {
+        if self.workers == 0 {
+            0.0
+        } else {
+            self.workers_busy as f64 / self.workers as f64
+        }
+    }
+
+    /// Deterministic-field-order JSON rendering.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"api_version\":{},\"workers\":{{\"configured\":{},\"busy\":{},\"replaced\":{},\
+             \"utilization\":{}}},\"queue_depth\":{},\
+             \"jobs\":{{\"running\":{},\"done\":{},\"failed\":{},\"timeout\":{},\"from_cache\":{}}},\
+             \"cache\":{{\"entries\":{},\"bytes\":{},\"capacity_bytes\":{},\"hits\":{},\
+             \"misses\":{},\"insertions\":{},\"evictions\":{},\"uncacheable\":{},\
+             \"hit_ratio\":{}}},\"tenants\":[",
+            crate::API_VERSION,
+            self.workers,
+            self.workers_busy,
+            self.workers_replaced,
+            self.worker_utilization(),
+            self.queue_depth,
+            self.jobs_running,
+            self.jobs_done,
+            self.jobs_failed,
+            self.jobs_timed_out,
+            self.jobs_from_cache,
+            self.cache_entries,
+            self.cache_bytes,
+            self.cache_capacity_bytes,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.insertions,
+            self.cache.evictions,
+            self.cache.uncacheable,
+            self.cache_hit_ratio(),
+        );
+        for (i, (name, usage)) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"tenant\":\"{}\",\"in_flight\":{},\"admitted\":{},\"completed\":{},\
+                 \"reaped\":{},\"rejected\":{},\"cache_hits\":{}}}",
+                name.replace('\\', "\\\\").replace('"', "\\\""),
+                usage.in_flight,
+                usage.admitted,
+                usage.completed,
+                usage.reaped,
+                usage.rejected,
+                usage.cache_hits,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_json_parses_and_carries_every_section() {
+        let mut m = ServeMetrics {
+            workers: 2,
+            workers_busy: 1,
+            queue_depth: 3,
+            jobs_done: 5,
+            cache_capacity_bytes: 1024,
+            ..Default::default()
+        };
+        m.cache.hits = 3;
+        m.cache.misses = 1;
+        m.tenants
+            .push(("alice".to_string(), TenantUsage::default()));
+        let json = m.to_json();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value.get("queue_depth").unwrap().as_u64(), Some(3));
+        let cache = value.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(3));
+        assert_eq!(cache.get("hit_ratio").unwrap().as_f64(), Some(0.75));
+        let workers = value.get("workers").unwrap();
+        assert_eq!(workers.get("utilization").unwrap().as_f64(), Some(0.5));
+        let tenants = value.get("tenants").unwrap().as_array().unwrap();
+        assert_eq!(tenants[0].get("tenant").unwrap().as_str(), Some("alice"));
+    }
+}

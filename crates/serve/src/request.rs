@@ -1,0 +1,575 @@
+//! The service's job-request model: JSON parsing, validation, and the
+//! deterministic canonical input hash that keys the result cache.
+//!
+//! # Cache soundness
+//!
+//! The engine is deterministic — the same parsed request produces the
+//! same artifact bytes (the snapshot/fork contract of `docs/snapshot.md`
+//! pins this) — so caching *parsed, normalized* requests is sound. Two
+//! rules keep it that way:
+//!
+//! 1. **Normalization before hashing.** The hash covers
+//!    [`JobRequest::canonical`], a fixed-order rendering of every field
+//!    *with defaults applied*, so `{"nodes": 4}` and an omitted
+//!    `"nodes"` (default 4) share one cache entry, while any
+//!    semantically different field value — seed, policy,
+//!    `bb_request_scale`, ... — produces a different key.
+//! 2. **No ambient inputs.** Requests may only reference the built-in
+//!    workflow generators (`swarp:*`, `genomes:*`) and platform presets.
+//!    File paths are rejected at parse time: a file's *content* is
+//!    invisible to the hash, so accepting paths would let two different
+//!    simulations collide on one key.
+//!
+//! The hash itself is FNV-1a over the canonical bytes — the same
+//! content-keying approach `wfbb_simcore::partition` uses for solver
+//! memoization.
+
+use crate::API_VERSION;
+use serde_json::Value;
+use wfbb_sched::{BatchPolicy, SyntheticConfig, DEFAULT_PLAN_HORIZON};
+
+/// A request the service refuses to run, rendered as a typed `400`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError(pub String);
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, RequestError> {
+    Err(RequestError(msg.into()))
+}
+
+/// A validated, normalized job submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// Declared `api_version` (must equal [`API_VERSION`]).
+    pub api_version: u32,
+    /// What to simulate.
+    pub kind: JobKind,
+}
+
+/// The two job shapes the service runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobKind {
+    /// One workflow on one platform — the `simulate` subcommand over
+    /// HTTP.
+    Simulate(SimulateRequest),
+    /// A multi-tenant batch campaign — the `campaign` subcommand over
+    /// HTTP.
+    Campaign(CampaignRequest),
+}
+
+/// A single-workflow simulation request (defaults match `wfbb simulate`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateRequest {
+    /// Workflow spec (`swarp:<p>[:<c>]` or `genomes:<c>`; generators
+    /// only — see the module docs for why files are rejected).
+    pub workflow: String,
+    /// Platform preset (`cori`, `cori:private`, `cori:striped`,
+    /// `summit`, `generic`).
+    pub platform: String,
+    /// Compute nodes (default 1).
+    pub nodes: usize,
+    /// Placement spec (`allbb` | `allpfs` | `fraction:<f>` |
+    /// `threshold:<bytes>`; default `allbb`).
+    pub placement: String,
+    /// Task-to-node scheduler (`affinity` | `least-loaded` |
+    /// `round-robin`; default `affinity`).
+    pub scheduler: String,
+    /// Inline fault spec in the `docs/failure-model.md` grammar
+    /// (default empty — fault-free).
+    pub faults: String,
+    /// Failover policy when a BB namespace dies (`pfs` | `bb`).
+    pub failover: String,
+    /// Per-task attempt budget under kill faults (default 3).
+    pub retries: u32,
+}
+
+/// A campaign request (defaults match `wfbb campaign`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRequest {
+    /// Platform preset label.
+    pub platform: String,
+    /// Machine size in compute nodes (default 4).
+    pub nodes: usize,
+    /// Admission policy (default `fcfs`).
+    pub policy: BatchPolicy,
+    /// `plan` policy lookahead, seconds (default 86400).
+    pub plan_horizon: f64,
+    /// Solver mode (`incremental` | `naive`; default `incremental`).
+    pub solver: String,
+    /// Partitioned-solver worker threads (default 0 = monolithic).
+    pub solver_threads: usize,
+    /// Where the jobs come from.
+    pub workload: WorkloadSource,
+}
+
+/// A campaign's job stream: a seeded synthetic draw or an inline
+/// workload document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSource {
+    /// Seeded synthetic campaign ([`wfbb_sched::synthetic_jobs`]).
+    Synthetic {
+        /// Generator seed.
+        seed: u64,
+        /// Draw parameters.
+        config: SyntheticConfig,
+    },
+    /// Inline workload text in the `docs/scheduler.md` file format
+    /// (the *content* travels in the request, so it is covered by the
+    /// cache key — unlike a path, which would not be).
+    Inline(String),
+}
+
+const PLATFORMS: [&str; 6] = [
+    "cori",
+    "cori:private",
+    "cori:striped",
+    "summit",
+    "summit:onnode",
+    "generic",
+];
+
+fn check_keys(obj: &Value, allowed: &[&str], what: &str) -> Result<(), RequestError> {
+    let Value::Object(entries) = obj else {
+        return err(format!("{what} must be a JSON object, got {}", obj.kind()));
+    };
+    for (k, _) in entries {
+        if !allowed.contains(&k.as_str()) {
+            return err(format!("unknown field {k:?} in {what}"));
+        }
+    }
+    Ok(())
+}
+
+fn get_str<'v>(obj: &'v Value, key: &str, default: &'v str) -> Result<&'v str, RequestError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| RequestError(format!("field {key:?} must be a string"))),
+    }
+}
+
+fn get_u64(obj: &Value, key: &str, default: u64) -> Result<u64, RequestError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| RequestError(format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn get_f64(obj: &Value, key: &str, default: f64) -> Result<f64, RequestError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| RequestError(format!("field {key:?} must be a number"))),
+    }
+}
+
+fn validate_workflow_spec(spec: &str) -> Result<(), RequestError> {
+    wfbb_sched::build_workflow(spec)
+        .map(|_| ())
+        .map_err(|e| RequestError(format!("bad workflow spec: {e}")))
+}
+
+fn validate_platform(spec: &str) -> Result<(), RequestError> {
+    if PLATFORMS.contains(&spec) {
+        Ok(())
+    } else {
+        err(format!(
+            "unknown platform {spec:?} (presets only: {})",
+            PLATFORMS.join(", ")
+        ))
+    }
+}
+
+impl JobRequest {
+    /// Parses and validates a JSON request body. Unknown fields are
+    /// rejected so client typos fail loudly instead of silently running
+    /// a default simulation.
+    pub fn parse(body: &[u8]) -> Result<JobRequest, RequestError> {
+        let text =
+            std::str::from_utf8(body).map_err(|_| RequestError("body is not UTF-8".into()))?;
+        let value: Value =
+            serde_json::from_str(text).map_err(|e| RequestError(format!("invalid JSON: {e}")))?;
+        let api_version = get_u64(&value, "api_version", u64::from(API_VERSION))? as u32;
+        if api_version != API_VERSION {
+            return err(format!(
+                "unsupported api_version {api_version} (this server speaks {API_VERSION})"
+            ));
+        }
+        let kind = get_str(&value, "type", "")?;
+        match kind {
+            "simulate" => Self::parse_simulate(&value),
+            "campaign" => Self::parse_campaign(&value),
+            "" => err("missing required field \"type\" (simulate | campaign)"),
+            other => err(format!("unknown job type {other:?} (simulate | campaign)")),
+        }
+    }
+
+    fn parse_simulate(value: &Value) -> Result<JobRequest, RequestError> {
+        check_keys(
+            value,
+            &[
+                "api_version",
+                "type",
+                "workflow",
+                "platform",
+                "nodes",
+                "placement",
+                "scheduler",
+                "faults",
+                "failover",
+                "retries",
+            ],
+            "a simulate request",
+        )?;
+        let workflow = get_str(value, "workflow", "")?;
+        if workflow.is_empty() {
+            return err("simulate request needs a \"workflow\" spec");
+        }
+        validate_workflow_spec(workflow)?;
+        let platform = get_str(value, "platform", "")?;
+        if platform.is_empty() {
+            return err("simulate request needs a \"platform\" preset");
+        }
+        validate_platform(platform)?;
+        let nodes = get_u64(value, "nodes", 1)? as usize;
+        if nodes == 0 {
+            return err("\"nodes\" must be >= 1");
+        }
+        let placement = get_str(value, "placement", "allbb")?;
+        crate::runner::parse_placement(placement).map_err(RequestError)?;
+        let scheduler = get_str(value, "scheduler", "affinity")?;
+        crate::runner::parse_scheduler(scheduler).map_err(RequestError)?;
+        let faults = get_str(value, "faults", "")?;
+        if !faults.is_empty() {
+            wfbb_wms::FaultSpec::parse(faults)
+                .map_err(|e| RequestError(format!("bad fault spec: {e}")))?;
+        }
+        let failover = get_str(value, "failover", "pfs")?;
+        if !matches!(failover, "pfs" | "bb") {
+            return err(format!("unknown failover {failover:?} (pfs | bb)"));
+        }
+        let retries = get_u64(value, "retries", 3)? as u32;
+        Ok(JobRequest {
+            api_version: API_VERSION,
+            kind: JobKind::Simulate(SimulateRequest {
+                workflow: workflow.to_string(),
+                platform: platform.to_string(),
+                nodes,
+                placement: placement.to_string(),
+                scheduler: scheduler.to_string(),
+                faults: faults.to_string(),
+                failover: failover.to_string(),
+                retries,
+            }),
+        })
+    }
+
+    fn parse_campaign(value: &Value) -> Result<JobRequest, RequestError> {
+        check_keys(
+            value,
+            &[
+                "api_version",
+                "type",
+                "platform",
+                "nodes",
+                "policy",
+                "plan_horizon",
+                "solver",
+                "solver_threads",
+                "workload",
+            ],
+            "a campaign request",
+        )?;
+        let platform = get_str(value, "platform", "")?;
+        if platform.is_empty() {
+            return err("campaign request needs a \"platform\" preset");
+        }
+        validate_platform(platform)?;
+        let nodes = get_u64(value, "nodes", 4)? as usize;
+        if nodes == 0 {
+            return err("\"nodes\" must be >= 1");
+        }
+        let policy_label = get_str(value, "policy", "fcfs")?;
+        let policy = BatchPolicy::parse(policy_label).ok_or_else(|| {
+            RequestError(format!(
+                "unknown policy {policy_label:?} (fcfs | easy | bb-aware | plan)"
+            ))
+        })?;
+        let plan_horizon = get_f64(value, "plan_horizon", DEFAULT_PLAN_HORIZON)?;
+        if !plan_horizon.is_finite() || plan_horizon <= 0.0 {
+            return err("\"plan_horizon\" must be a positive number");
+        }
+        let solver = get_str(value, "solver", "incremental")?;
+        if !matches!(solver, "incremental" | "naive") {
+            return err(format!("unknown solver {solver:?} (incremental | naive)"));
+        }
+        let solver_threads = get_u64(value, "solver_threads", 0)? as usize;
+
+        let workload = match value.get("workload") {
+            None => WorkloadSource::Synthetic {
+                seed: 1,
+                config: SyntheticConfig {
+                    max_nodes: nodes,
+                    ..SyntheticConfig::default()
+                },
+            },
+            Some(w) => {
+                let wtype = get_str(w, "type", "synthetic")?;
+                match wtype {
+                    "synthetic" => {
+                        check_keys(
+                            w,
+                            &[
+                                "type",
+                                "jobs",
+                                "seed",
+                                "mean_interarrival",
+                                "bb_request_scale",
+                                "max_nodes",
+                            ],
+                            "a synthetic workload",
+                        )?;
+                        let jobs = get_u64(w, "jobs", 20)? as usize;
+                        if jobs == 0 {
+                            return err("\"jobs\" must be >= 1");
+                        }
+                        let seed = get_u64(w, "seed", 1)?;
+                        let mean_interarrival = get_f64(w, "mean_interarrival", 30.0)?;
+                        let bb_request_scale = get_f64(w, "bb_request_scale", 1.0)?;
+                        let max_nodes = get_u64(w, "max_nodes", nodes as u64)? as usize;
+                        WorkloadSource::Synthetic {
+                            seed,
+                            config: SyntheticConfig {
+                                jobs,
+                                mean_interarrival,
+                                bb_request_scale,
+                                max_nodes,
+                            },
+                        }
+                    }
+                    "inline" => {
+                        check_keys(w, &["type", "text"], "an inline workload")?;
+                        let text = get_str(w, "text", "")?;
+                        if text.is_empty() {
+                            return err("inline workload needs a non-empty \"text\"");
+                        }
+                        wfbb_sched::parse_workload(text)
+                            .map_err(|e| RequestError(format!("bad workload: {e}")))?;
+                        WorkloadSource::Inline(text.to_string())
+                    }
+                    other => err(format!(
+                        "unknown workload type {other:?} (synthetic | inline)"
+                    ))?,
+                }
+            }
+        };
+        Ok(JobRequest {
+            api_version: API_VERSION,
+            kind: JobKind::Campaign(CampaignRequest {
+                platform: platform.to_string(),
+                nodes,
+                policy,
+                plan_horizon,
+                solver: solver.to_string(),
+                solver_threads,
+                workload,
+            }),
+        })
+    }
+
+    /// The canonical normalized rendering the cache key hashes: every
+    /// field in a fixed order with defaults applied, so syntactically
+    /// different but semantically identical requests normalize to one
+    /// string.
+    pub fn canonical(&self) -> String {
+        match &self.kind {
+            JobKind::Simulate(s) => format!(
+                "v{}|simulate|workflow={}|platform={}|nodes={}|placement={}|scheduler={}\
+                 |faults={}|failover={}|retries={}",
+                self.api_version,
+                s.workflow,
+                s.platform,
+                s.nodes,
+                s.placement,
+                s.scheduler,
+                s.faults,
+                s.failover,
+                s.retries
+            ),
+            JobKind::Campaign(c) => {
+                let workload = match &c.workload {
+                    WorkloadSource::Synthetic { seed, config } => format!(
+                        "synthetic:seed={},jobs={},mean_interarrival={},bb_request_scale={},max_nodes={}",
+                        seed,
+                        config.jobs,
+                        config.mean_interarrival,
+                        config.bb_request_scale,
+                        config.max_nodes
+                    ),
+                    WorkloadSource::Inline(text) => format!("inline:{text}"),
+                };
+                format!(
+                    "v{}|campaign|platform={}|nodes={}|policy={}|plan_horizon={}|solver={}\
+                     |solver_threads={}|workload={}",
+                    self.api_version,
+                    c.platform,
+                    c.nodes,
+                    c.policy.label(),
+                    c.plan_horizon,
+                    c.solver,
+                    c.solver_threads,
+                    workload
+                )
+            }
+        }
+    }
+
+    /// FNV-1a over the canonical bytes — the result-cache key.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for byte in self.canonical().as_bytes() {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// The cache key as fixed-width hex, used as the job's `input_hash`
+    /// in API responses.
+    pub fn key_hex(&self) -> String {
+        format!("{:016x}", self.cache_key())
+    }
+
+    /// Short human-readable label for job listings.
+    pub fn label(&self) -> String {
+        match &self.kind {
+            JobKind::Simulate(s) => format!("simulate {} on {}", s.workflow, s.platform),
+            JobKind::Campaign(c) => {
+                format!("campaign {} on {}", c.policy.label(), c.platform)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<JobRequest, RequestError> {
+        JobRequest::parse(s.as_bytes())
+    }
+
+    #[test]
+    fn minimal_campaign_request_parses_with_defaults() {
+        let r = parse(r#"{"type":"campaign","platform":"cori:striped"}"#).unwrap();
+        let JobKind::Campaign(c) = &r.kind else {
+            panic!("expected campaign")
+        };
+        assert_eq!(c.nodes, 4);
+        assert_eq!(c.policy, BatchPolicy::Fcfs);
+        assert_eq!(c.solver, "incremental");
+        let WorkloadSource::Synthetic { seed, config } = &c.workload else {
+            panic!("expected synthetic")
+        };
+        assert_eq!(*seed, 1);
+        assert_eq!(config.jobs, 20);
+        assert_eq!(config.max_nodes, 4);
+    }
+
+    #[test]
+    fn defaults_and_explicit_defaults_share_a_key() {
+        let implicit = parse(r#"{"type":"campaign","platform":"cori:striped"}"#).unwrap();
+        let explicit = parse(
+            r#"{"type":"campaign","platform":"cori:striped","nodes":4,"policy":"fcfs",
+                "solver":"incremental","solver_threads":0,
+                "workload":{"type":"synthetic","jobs":20,"seed":1}}"#,
+        )
+        .unwrap();
+        assert_eq!(implicit.cache_key(), explicit.cache_key());
+        assert_eq!(implicit.canonical(), explicit.canonical());
+    }
+
+    #[test]
+    fn every_field_perturbation_changes_the_key() {
+        let base = r#"{"type":"campaign","platform":"cori:striped","nodes":8,"policy":"bb-aware",
+            "workload":{"type":"synthetic","jobs":8,"seed":7,"bb_request_scale":1.0}}"#;
+        let key = parse(base).unwrap().cache_key();
+        for perturbed in [
+            base.replace("\"seed\":7", "\"seed\":8"),
+            base.replace("bb-aware", "easy"),
+            base.replace("\"bb_request_scale\":1.0", "\"bb_request_scale\":2.0"),
+            base.replace("\"nodes\":8", "\"nodes\":6"),
+            base.replace("\"jobs\":8", "\"jobs\":9"),
+            base.replace("cori:striped", "cori:private"),
+        ] {
+            assert_ne!(parse(&perturbed).unwrap().cache_key(), key, "{perturbed}");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_and_types_are_rejected() {
+        assert!(parse(r#"{"type":"campaign","platform":"cori","sede":7}"#).is_err());
+        assert!(parse(r#"{"type":"teleport"}"#).is_err());
+        assert!(parse(r#"{"platform":"cori"}"#).is_err());
+        assert!(parse("{nope").is_err());
+        assert!(parse(r#"{"type":"campaign","platform":"cori","api_version":99}"#).is_err());
+    }
+
+    #[test]
+    fn file_backed_specs_are_rejected() {
+        // A path is not a preset...
+        assert!(parse(r#"{"type":"campaign","platform":"/tmp/platform.json"}"#).is_err());
+        // ...and not a generator spec.
+        assert!(
+            parse(r#"{"type":"simulate","workflow":"/tmp/wf.json","platform":"summit"}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn simulate_request_validates_sub_specs() {
+        let ok = parse(
+            r#"{"type":"simulate","workflow":"swarp:2:8","platform":"cori:striped",
+                "placement":"fraction:0.5","faults":"bb:0@2","failover":"bb","retries":5}"#,
+        )
+        .unwrap();
+        assert!(ok.canonical().contains("faults=bb:0@2"));
+        assert!(parse(
+            r#"{"type":"simulate","workflow":"swarp:2","platform":"summit","placement":"magic"}"#
+        )
+        .is_err());
+        assert!(parse(
+            r#"{"type":"simulate","workflow":"swarp:2","platform":"summit","faults":"bb:x@y"}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn inline_workloads_are_validated_and_content_keyed() {
+        let a = parse(
+            r#"{"type":"campaign","platform":"cori:striped","workload":{"type":"inline",
+                "text":"workflow=swarp:1:8 nodes=2 bb=2e9 walltime=600"}}"#,
+        )
+        .unwrap();
+        let b = parse(
+            r#"{"type":"campaign","platform":"cori:striped","workload":{"type":"inline",
+                "text":"workflow=swarp:1:8 nodes=2 bb=3e9 walltime=600"}}"#,
+        )
+        .unwrap();
+        assert_ne!(a.cache_key(), b.cache_key());
+        assert!(parse(
+            r#"{"type":"campaign","platform":"cori","workload":{"type":"inline","text":"garbage"}}"#
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-tenant quotas and the admission ledger.
+//!
+//! Tenants are identified by the `X-Tenant` request header (default
+//! `"anonymous"`). Each tenant gets the same [`TenantQuota`] (one
+//! knob set per server — per-tenant overrides would be a straight
+//! extension); the [`QuotaLedger`] tracks live usage and enforces the
+//! in-flight cap. The invariants the proptests in `tests/serve.rs`
+//! pin: usage counters never go negative, and every admitted job is
+//! freed exactly once — whether it completes, fails, or is reaped by
+//! the wall-clock timeout.
+
+use std::collections::BTreeMap;
+
+/// Resource limits applied to every tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantQuota {
+    /// Maximum queued-or-running jobs per tenant; submissions beyond it
+    /// get a typed `429`.
+    pub max_in_flight: usize,
+    /// Byte budget of the tenant's slice of the result cache; older
+    /// entries are evicted LRU-first past it.
+    pub max_cached_bytes: usize,
+    /// Maximum request-body bytes; larger submissions get a typed `413`.
+    pub max_body_bytes: usize,
+    /// Wall-clock seconds a job may spend queued + running before the
+    /// reaper cancels it and frees its quota (typed `504` on fetch).
+    pub timeout_s: f64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            max_in_flight: 4,
+            max_cached_bytes: 16 * 1024 * 1024,
+            max_body_bytes: 64 * 1024,
+            timeout_s: 300.0,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuotaError {
+    /// The tenant already has `max_in_flight` jobs queued or running.
+    InFlight {
+        /// Jobs currently held.
+        held: usize,
+        /// The cap.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for QuotaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuotaError::InFlight { held, limit } => {
+                write!(f, "{held} jobs in flight, quota allows {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuotaError {}
+
+/// Live usage of one tenant, exposed via `GET /v1/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// Jobs currently queued or running.
+    pub in_flight: usize,
+    /// Total jobs ever admitted.
+    pub admitted: u64,
+    /// Jobs that finished (successfully or failed).
+    pub completed: u64,
+    /// Jobs reaped by the wall-clock timeout.
+    pub reaped: u64,
+    /// Submissions refused by the in-flight cap.
+    pub rejected: u64,
+    /// Submissions answered straight from the result cache.
+    pub cache_hits: u64,
+}
+
+/// The tenant admission ledger: admit on submit, release exactly once
+/// on completion *or* reap.
+#[derive(Debug, Default)]
+pub struct QuotaLedger {
+    usage: BTreeMap<String, TenantUsage>,
+}
+
+impl QuotaLedger {
+    /// An empty ledger.
+    pub fn new() -> QuotaLedger {
+        QuotaLedger::default()
+    }
+
+    /// Tries to admit one job for `tenant` under `quota`. On success
+    /// the tenant holds one more in-flight slot, to be released by
+    /// exactly one of [`QuotaLedger::release_completed`] /
+    /// [`QuotaLedger::release_reaped`].
+    pub fn admit(&mut self, tenant: &str, quota: &TenantQuota) -> Result<(), QuotaError> {
+        let usage = self.usage.entry(tenant.to_string()).or_default();
+        if usage.in_flight >= quota.max_in_flight {
+            usage.rejected += 1;
+            return Err(QuotaError::InFlight {
+                held: usage.in_flight,
+                limit: quota.max_in_flight,
+            });
+        }
+        usage.in_flight += 1;
+        usage.admitted += 1;
+        Ok(())
+    }
+
+    /// Frees the slot of a job that ran to a terminal state.
+    pub fn release_completed(&mut self, tenant: &str) {
+        let usage = self.usage.entry(tenant.to_string()).or_default();
+        debug_assert!(usage.in_flight > 0, "release without admit");
+        usage.in_flight = usage.in_flight.saturating_sub(1);
+        usage.completed += 1;
+    }
+
+    /// Frees the slot of a job killed by the wall-clock timeout.
+    pub fn release_reaped(&mut self, tenant: &str) {
+        let usage = self.usage.entry(tenant.to_string()).or_default();
+        debug_assert!(usage.in_flight > 0, "reap without admit");
+        usage.in_flight = usage.in_flight.saturating_sub(1);
+        usage.reaped += 1;
+    }
+
+    /// Records a submission served from the result cache (no slot
+    /// held — cached answers are free).
+    pub fn record_cache_hit(&mut self, tenant: &str) {
+        self.usage.entry(tenant.to_string()).or_default().cache_hits += 1;
+    }
+
+    /// Current usage of `tenant` (zeros if never seen).
+    pub fn usage(&self, tenant: &str) -> TenantUsage {
+        self.usage.get(tenant).copied().unwrap_or_default()
+    }
+
+    /// Every tenant's usage, sorted by name (deterministic metrics).
+    pub fn all(&self) -> impl Iterator<Item = (&str, &TenantUsage)> {
+        self.usage.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total in-flight jobs across tenants.
+    pub fn total_in_flight(&self) -> usize {
+        self.usage.values().map(|u| u.in_flight).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_until_cap_then_429() {
+        let quota = TenantQuota {
+            max_in_flight: 2,
+            ..Default::default()
+        };
+        let mut ledger = QuotaLedger::new();
+        ledger.admit("a", &quota).unwrap();
+        ledger.admit("a", &quota).unwrap();
+        let err = ledger.admit("a", &quota).unwrap_err();
+        assert_eq!(err, QuotaError::InFlight { held: 2, limit: 2 });
+        // Another tenant is unaffected.
+        ledger.admit("b", &quota).unwrap();
+        // Releasing opens a slot again.
+        ledger.release_completed("a");
+        ledger.admit("a", &quota).unwrap();
+        assert_eq!(ledger.usage("a").rejected, 1);
+        assert_eq!(ledger.total_in_flight(), 3);
+    }
+
+    #[test]
+    fn reap_frees_the_slot_and_counts_separately() {
+        let quota = TenantQuota {
+            max_in_flight: 1,
+            ..Default::default()
+        };
+        let mut ledger = QuotaLedger::new();
+        ledger.admit("a", &quota).unwrap();
+        ledger.release_reaped("a");
+        let usage = ledger.usage("a");
+        assert_eq!(usage.in_flight, 0);
+        assert_eq!(usage.reaped, 1);
+        assert_eq!(usage.completed, 0);
+        ledger.admit("a", &quota).unwrap();
+    }
+}

@@ -23,7 +23,10 @@
 //! * [`calibration`] — the paper's calibration model (Equations 1–4,
 //!   Table I constants) plus digitized measured data and the measurement
 //!   emulator used in place of real Cori/Summit runs;
-//! * [`workloads`] — SWarp and 1000Genomes workflow generators.
+//! * [`workloads`] — SWarp and 1000Genomes workflow generators;
+//! * [`serve`] — the simulation-as-a-service layer: a multi-tenant
+//!   what-if HTTP API with a deterministic result cache (see
+//!   `docs/service.md`).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@
 pub use wfbb_calibration as calibration;
 pub use wfbb_platform as platform;
 pub use wfbb_sched as sched;
+pub use wfbb_serve as serve;
 pub use wfbb_simcore as simcore;
 pub use wfbb_storage as storage;
 pub use wfbb_wms as wms;
