@@ -14,6 +14,7 @@
 //! wfbb inspect  --workflow wf.json [--dot graph.dot]
 //! wfbb serve    [--addr 127.0.0.1:8080] [--workers 2] [--cache-mb 64]
 //!               [--tenant-quota 4] [--job-timeout 300]
+//!               [--job-ttl 600] [--max-jobs 1024]
 //! ```
 //!
 //! Platform specs: `cori[:private|:striped]`, `summit`, `generic`, or a
@@ -64,6 +65,7 @@ usage:
   wfbb inspect  --workflow <spec> [--dot <file.dot>]
   wfbb serve    [--addr <host:port>] [--workers <n>] [--cache-mb <mb>]
                 [--tenant-quota <n>] [--job-timeout <s>]
+                [--job-ttl <s>] [--max-jobs <n>]
 
 specs:
   workflow:  swarp:<pipelines>[:<cores>] | genomes:<chromosomes>
@@ -129,7 +131,11 @@ serving (see docs/service.md):
   --workers      simulation worker threads (default 2)
   --cache-mb     result-cache capacity in MiB (default 64)
   --tenant-quota max in-flight jobs per tenant (default 4)
-  --job-timeout  per-job wall-clock timeout in seconds (default 300)";
+  --job-timeout  per-job wall-clock timeout in seconds (default 300)
+  --job-ttl      seconds a finished job stays fetchable before its entry
+                 is evicted (default 600)
+  --max-jobs     max retained finished jobs before the oldest are
+                 evicted (default 1024)";
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -193,7 +199,15 @@ fn run(raw: &[String]) -> Result<(), CliError> {
             inspect(&args)
         }
         "serve" => {
-            args.check_flags(&["addr", "workers", "cache-mb", "tenant-quota", "job-timeout"])?;
+            args.check_flags(&[
+                "addr",
+                "workers",
+                "cache-mb",
+                "tenant-quota",
+                "job-timeout",
+                "job-ttl",
+                "max-jobs",
+            ])?;
             serve(&args)
         }
         other => Err(CliError(format!("unknown subcommand {other:?}"))),
@@ -581,6 +595,20 @@ fn serve(args: &Args) -> Result<(), CliError> {
     if !job_timeout.is_finite() || job_timeout <= 0.0 {
         return Err(CliError("--job-timeout must be positive".into()));
     }
+    let job_ttl: f64 = args
+        .get_or("job-ttl", "600")
+        .parse()
+        .map_err(|_| CliError("bad --job-ttl value".into()))?;
+    if !job_ttl.is_finite() || job_ttl <= 0.0 {
+        return Err(CliError("--job-ttl must be positive".into()));
+    }
+    let max_jobs: usize = args
+        .get_or("max-jobs", "1024")
+        .parse()
+        .map_err(|_| CliError("bad --max-jobs value".into()))?;
+    if max_jobs == 0 {
+        return Err(CliError("--max-jobs must be at least 1".into()));
+    }
     let config = wfbb_serve::ServeConfig {
         addr,
         workers,
@@ -590,6 +618,8 @@ fn serve(args: &Args) -> Result<(), CliError> {
             timeout_s: job_timeout,
             ..Default::default()
         },
+        job_ttl: std::time::Duration::from_secs_f64(job_ttl),
+        max_jobs,
     };
     let server = wfbb_serve::Server::bind(config)
         .map_err(|e| CliError(format!("cannot bind serve address: {e}")))?;
@@ -597,7 +627,8 @@ fn serve(args: &Args) -> Result<(), CliError> {
     // signal when --addr ends in :0.
     println!("listening on http://{}", server.local_addr());
     println!(
-        "workers={workers} cache={cache_mb}MiB tenant-quota={tenant_quota} job-timeout={job_timeout}s  (docs/service.md)"
+        "workers={workers} cache={cache_mb}MiB tenant-quota={tenant_quota} \
+         job-timeout={job_timeout}s job-ttl={job_ttl}s max-jobs={max_jobs}  (docs/service.md)"
     );
     server
         .run()

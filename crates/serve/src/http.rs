@@ -85,7 +85,7 @@ impl Request {
         }
 
         let mut headers = Vec::new();
-        let mut content_length = 0usize;
+        let mut content_length: Option<usize> = None;
         loop {
             line.clear();
             read_line_bounded(&mut reader, &mut line, &mut head_bytes)?;
@@ -99,13 +99,33 @@ impl Request {
             let name = name.trim().to_ascii_lowercase();
             let value = value.trim().to_string();
             if name == "content-length" {
-                content_length = value
+                let parsed: usize = value
                     .parse()
                     .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
+                // Conflicting duplicates are a request-smuggling
+                // ambiguity (RFC 9112 §6.3): reject, never pick one.
+                if let Some(previous) = content_length {
+                    if previous != parsed {
+                        return Err(HttpError::Malformed(format!(
+                            "conflicting content-length headers ({previous} vs {parsed})"
+                        )));
+                    }
+                }
+                content_length = Some(parsed);
+            }
+            if name == "transfer-encoding" {
+                // Another smuggling vector if ignored; this server only
+                // frames request bodies with Content-Length.
+                return Err(HttpError::Malformed(
+                    "transfer-encoding request bodies are not supported; \
+                     send a content-length body"
+                        .into(),
+                ));
             }
             headers.push((name, value));
         }
 
+        let content_length = content_length.unwrap_or(0);
         if content_length > max_body {
             return Err(HttpError::BodyTooLarge {
                 declared: content_length,
@@ -133,23 +153,47 @@ impl Request {
     }
 }
 
+/// Reads one `\n`-terminated line, enforcing [`MAX_HEAD_BYTES`] *while
+/// reading* — a `BufRead::read_line` would buffer an arbitrarily long
+/// newline-free line before any length check could run, handing any
+/// client a per-connection memory DoS. This loop never holds more than
+/// the cap.
 fn read_line_bounded(
     reader: &mut BufReader<&mut TcpStream>,
     line: &mut String,
     head_bytes: &mut usize,
 ) -> Result<(), HttpError> {
-    let n = reader
-        .read_line(line)
-        .map_err(|e| HttpError::Io(e.to_string()))?;
-    if n == 0 {
-        return Err(HttpError::Malformed("connection closed mid-head".into()));
+    let mut raw = Vec::new();
+    loop {
+        let available = reader
+            .fill_buf()
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        if available.is_empty() {
+            if raw.is_empty() {
+                return Err(HttpError::Malformed("connection closed mid-head".into()));
+            }
+            break;
+        }
+        let (take, saw_newline) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (available.len(), false),
+        };
+        if *head_bytes + raw.len() + take > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        raw.extend_from_slice(&available[..take]);
+        reader.consume(take);
+        if saw_newline {
+            break;
+        }
     }
-    *head_bytes += n;
-    if *head_bytes > MAX_HEAD_BYTES {
-        return Err(HttpError::Malformed(format!(
-            "request head exceeds {MAX_HEAD_BYTES} bytes"
-        )));
-    }
+    *head_bytes += raw.len();
+    line.push_str(
+        std::str::from_utf8(&raw)
+            .map_err(|_| HttpError::Malformed("non-UTF-8 bytes in request head".into()))?,
+    );
     Ok(())
 }
 
@@ -314,5 +358,60 @@ mod tests {
             roundtrip(b"not http at all\r\n\r\n", 16).unwrap_err(),
             HttpError::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn caps_a_newline_free_header_line_while_reading_it() {
+        // One endless header line, no `\n`: the server must abort at
+        // MAX_HEAD_BYTES instead of buffering until the writer stops.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let _ = s.write_all(b"GET / HTTP/1.1\r\nX-Flood: ");
+            let chunk = [b'a'; 4096];
+            // Keep writing well past the cap; ignore the reset once the
+            // server bails out.
+            for _ in 0..64 {
+                if s.write_all(&chunk).is_err() {
+                    break;
+                }
+            }
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let err = Request::read(&mut conn, 1024).unwrap_err();
+        drop(conn);
+        writer.join().unwrap();
+        match err {
+            HttpError::Malformed(m) => assert!(m.contains("exceeds"), "got {m:?}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_conflicting_duplicate_content_lengths() {
+        let err = roundtrip(
+            b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 5\r\n\r\nbody!",
+            1024,
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(m) if m.contains("conflicting")));
+        // Identical duplicates are unambiguous and pass.
+        let req = roundtrip(
+            b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn rejects_transfer_encoding_bodies() {
+        let err = roundtrip(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nbody\r\n0\r\n\r\n",
+            1024,
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(m) if m.contains("transfer-encoding")));
     }
 }

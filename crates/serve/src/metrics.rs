@@ -29,6 +29,8 @@ pub struct ServeMetrics {
     pub jobs_timed_out: u64,
     /// Submissions answered from the result cache.
     pub jobs_from_cache: u64,
+    /// Terminal job entries evicted by retention (TTL or `max_jobs`).
+    pub jobs_evicted: u64,
     /// Artifact sets currently cached.
     pub cache_entries: usize,
     /// Bytes currently cached.
@@ -68,7 +70,8 @@ impl ServeMetrics {
             out,
             "\"api_version\":{},\"workers\":{{\"configured\":{},\"busy\":{},\"replaced\":{},\
              \"utilization\":{}}},\"queue_depth\":{},\
-             \"jobs\":{{\"running\":{},\"done\":{},\"failed\":{},\"timeout\":{},\"from_cache\":{}}},\
+             \"jobs\":{{\"running\":{},\"done\":{},\"failed\":{},\"timeout\":{},\"from_cache\":{},\
+             \"evicted\":{}}},\
              \"cache\":{{\"entries\":{},\"bytes\":{},\"capacity_bytes\":{},\"hits\":{},\
              \"misses\":{},\"insertions\":{},\"evictions\":{},\"uncacheable\":{},\
              \"hit_ratio\":{}}},\"tenants\":[",
@@ -83,6 +86,7 @@ impl ServeMetrics {
             self.jobs_failed,
             self.jobs_timed_out,
             self.jobs_from_cache,
+            self.jobs_evicted,
             self.cache_entries,
             self.cache_bytes,
             self.cache_capacity_bytes,

@@ -57,6 +57,12 @@ pub struct ServeConfig {
     pub cache_bytes: usize,
     /// Per-tenant limits.
     pub quota: TenantQuota,
+    /// How long a terminal (done/failed/timeout) job stays fetchable
+    /// before the reaper evicts its entry; expired ids answer `404`.
+    pub job_ttl: Duration,
+    /// Maximum retained terminal jobs across all tenants; past it the
+    /// oldest terminal entries are evicted first.
+    pub max_jobs: usize,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +72,8 @@ impl Default for ServeConfig {
             workers: 2,
             cache_bytes: 64 * 1024 * 1024,
             quota: TenantQuota::default(),
+            job_ttl: Duration::from_secs(600),
+            max_jobs: 1024,
         }
     }
 }
@@ -109,8 +117,15 @@ struct JobEntry {
     progress: Arc<Mutex<Progress>>,
     cancel: Arc<AtomicBool>,
     submitted: Instant,
+    /// When the job reached a terminal state (drives retention).
+    finished_at: Option<Instant>,
     /// When the reaper raised the cancel flag (for the grace window).
     reaped_at: Option<Instant>,
+    /// A worker popped this job off the queue and is (or was) running
+    /// it. Jobs reaped while still queued never set this.
+    claimed: bool,
+    /// The claiming worker's epilogue ran — its thread is accounted for.
+    worker_done: bool,
     /// A replacement worker was spawned for this job's stuck worker.
     replacement_spawned: bool,
 }
@@ -121,6 +136,7 @@ struct Totals {
     failed: u64,
     timed_out: u64,
     from_cache: u64,
+    evicted: u64,
 }
 
 struct Inner {
@@ -163,8 +179,10 @@ impl Service {
 
     /// Submits a parsed request for `tenant`: cache hit → an already-
     /// `done` job carrying the cached artifacts; miss → queued job
-    /// (or a quota error).
-    fn submit(&self, tenant: &str, request: JobRequest) -> Result<(u64, bool), QuotaError> {
+    /// (or a quota error). Returns `(cache_hit, job_document_json)`;
+    /// the document is rendered under the submission lock so it cannot
+    /// race with retention eviction.
+    fn submit(&self, tenant: &str, request: JobRequest) -> Result<(bool, String), QuotaError> {
         let key = request.cache_key();
         let key_hex = request.key_hex();
         let label = request.label();
@@ -175,51 +193,55 @@ impl Service {
         if let Some(artifacts) = cached {
             inner.ledger.record_cache_hit(tenant);
             inner.totals.from_cache += 1;
-            inner.jobs.insert(
-                id,
-                JobEntry {
-                    tenant: tenant.to_string(),
-                    label,
-                    key,
-                    key_hex,
-                    request: Arc::new(request),
-                    state: JobState::Done,
-                    cached: true,
-                    error: None,
-                    artifacts: Some(artifacts),
-                    progress: Arc::new(Mutex::new(Progress::default())),
-                    cancel: Arc::new(AtomicBool::new(false)),
-                    submitted: Instant::now(),
-                    reaped_at: None,
-                    replacement_spawned: false,
-                },
-            );
-            return Ok((id, true));
-        }
-        inner.ledger.admit(tenant, &self.config.quota)?;
-        inner.jobs.insert(
-            id,
-            JobEntry {
+            let entry = JobEntry {
                 tenant: tenant.to_string(),
                 label,
                 key,
                 key_hex,
                 request: Arc::new(request),
-                state: JobState::Queued,
-                cached: false,
+                state: JobState::Done,
+                cached: true,
                 error: None,
-                artifacts: None,
+                artifacts: Some(artifacts),
                 progress: Arc::new(Mutex::new(Progress::default())),
                 cancel: Arc::new(AtomicBool::new(false)),
                 submitted: Instant::now(),
+                finished_at: Some(Instant::now()),
                 reaped_at: None,
+                claimed: false,
+                worker_done: false,
                 replacement_spawned: false,
-            },
-        );
+            };
+            let body = job_json(&entry, id);
+            inner.jobs.insert(id, entry);
+            return Ok((true, body));
+        }
+        inner.ledger.admit(tenant, &self.config.quota)?;
+        let entry = JobEntry {
+            tenant: tenant.to_string(),
+            label,
+            key,
+            key_hex,
+            request: Arc::new(request),
+            state: JobState::Queued,
+            cached: false,
+            error: None,
+            artifacts: None,
+            progress: Arc::new(Mutex::new(Progress::default())),
+            cancel: Arc::new(AtomicBool::new(false)),
+            submitted: Instant::now(),
+            finished_at: None,
+            reaped_at: None,
+            claimed: false,
+            worker_done: false,
+            replacement_spawned: false,
+        };
+        let body = job_json(&entry, id);
+        inner.jobs.insert(id, entry);
         inner.queue.push_back(id);
         drop(inner);
         self.work_ready.notify_one();
-        Ok((id, false))
+        Ok((false, body))
     }
 
     /// One worker's run loop. Returns when the service shuts down, or
@@ -242,6 +264,7 @@ impl Service {
                             continue;
                         }
                         entry.state = JobState::Running;
+                        entry.claimed = true;
                         let claim = (
                             id,
                             Arc::clone(&entry.request),
@@ -264,7 +287,10 @@ impl Service {
             let result = run_request(&request, &cancel, &progress);
             let mut inner = self.inner.lock().expect("service lock");
             inner.workers_busy -= 1;
+            // Retention never evicts a claimed job before this epilogue
+            // runs (`worker_done` gates eviction), so the entry exists.
             let entry = inner.jobs.get_mut(&id).expect("running job exists");
+            entry.worker_done = true;
             let retire = entry.replacement_spawned;
             let tenant = entry.tenant.clone();
             let key = entry.key;
@@ -272,6 +298,7 @@ impl Service {
                 // The reaper already settled this job (state, quota);
                 // whatever the run produced is discarded.
             } else {
+                entry.finished_at = Some(Instant::now());
                 match result {
                     Ok(artifacts) => {
                         let artifacts = Arc::new(artifacts);
@@ -310,7 +337,7 @@ impl Service {
     }
 
     /// One reaper scan: time out over-budget jobs, replace stuck
-    /// workers.
+    /// workers, evict retired job entries past retention.
     fn reap(self: &Arc<Self>) {
         let timeout = Duration::from_secs_f64(self.config.quota.timeout_s.max(0.0));
         let mut replacements = 0u32;
@@ -328,13 +355,16 @@ impl Service {
                     }
                     JobState::TimedOut => {
                         if let Some(reaped_at) = entry.reaped_at {
-                            // Still marked running-side (worker never
-                            // came back) past the grace window?
-                            if !entry.replacement_spawned
-                                && entry.artifacts.is_none()
-                                && inner.workers_busy > 0
+                            // A worker claimed this job and its epilogue
+                            // still has not run past the grace window:
+                            // that worker is stuck in a non-cancellable
+                            // section. Jobs reaped while still *queued*
+                            // never set `claimed`, so no replacement is
+                            // spawned for them — no worker is missing.
+                            if entry.claimed
+                                && !entry.worker_done
+                                && !entry.replacement_spawned
                                 && now.duration_since(reaped_at) >= REAP_GRACE
-                                && self.job_worker_stuck(&inner, *id)
                             {
                                 to_replace.push(*id);
                             }
@@ -347,7 +377,8 @@ impl Service {
                 let entry = inner.jobs.get_mut(&id).expect("job exists");
                 entry.cancel.store(true, Ordering::Relaxed);
                 entry.state = JobState::TimedOut;
-                entry.reaped_at = Some(Instant::now());
+                entry.finished_at = Some(now);
+                entry.reaped_at = Some(now);
                 let tenant = entry.tenant.clone();
                 inner.totals.timed_out += 1;
                 inner.ledger.release_reaped(&tenant);
@@ -358,6 +389,7 @@ impl Service {
                 inner.workers_replaced += 1;
                 replacements += 1;
             }
+            self.evict_retired(&mut inner, now);
         }
         for _ in 0..replacements {
             let service = Arc::clone(self);
@@ -365,24 +397,33 @@ impl Service {
         }
     }
 
-    /// Whether the worker that claimed `id` has not yet returned. A
-    /// timed-out job whose worker came back is settled in the worker
-    /// epilogue; one that is still inside a non-cancellable run keeps
-    /// the entry in `TimedOut` with a busy worker attached.
-    fn job_worker_stuck(&self, inner: &Inner, id: u64) -> bool {
-        // The worker epilogue always runs under the lock after the run
-        // returns, so "stuck" simply means: the job was claimed (it
-        // left the queue) and no epilogue has run yet. The epilogue for
-        // a timed-out job leaves artifacts at None but decrements
-        // workers_busy — we approximate "not yet returned" by the job
-        // still being absent from the queue with its cancel raised and
-        // the busy count positive. False positives only over-provision
-        // by one thread, which retires on return.
-        inner
+    /// Drops terminal job entries past the retention TTL, and the
+    /// oldest terminal entries beyond the `max_jobs` cap, so the job
+    /// table (and the artifact `Arc`s it pins) stays bounded in a
+    /// long-running service. Expired ids answer `404` afterwards. A
+    /// claimed job whose worker epilogue has not run yet is never
+    /// evicted — the epilogue needs the entry.
+    fn evict_retired(&self, inner: &mut Inner, now: Instant) {
+        let mut terminal: Vec<(Instant, u64)> = inner
             .jobs
-            .get(&id)
-            .map(|e| e.cancel.load(Ordering::Relaxed))
-            .unwrap_or(false)
+            .iter()
+            .filter(|(_, e)| e.state.terminal() && (!e.claimed || e.worker_done))
+            .map(|(id, e)| (e.finished_at.unwrap_or(e.submitted), *id))
+            .collect();
+        terminal.sort();
+        // Sorted oldest-first, so the expired set is a prefix; the cap
+        // then extends that prefix to drop the oldest survivors.
+        let expired = terminal
+            .iter()
+            .take_while(|(finished, _)| {
+                now.saturating_duration_since(*finished) >= self.config.job_ttl
+            })
+            .count();
+        let evict = expired.max(terminal.len().saturating_sub(self.config.max_jobs));
+        for &(_, id) in &terminal[..evict] {
+            inner.jobs.remove(&id);
+            inner.totals.evicted += 1;
+        }
     }
 
     /// A point-in-time metrics snapshot.
@@ -407,6 +448,7 @@ impl Service {
             jobs_failed: inner.totals.failed,
             jobs_timed_out: inner.totals.timed_out,
             jobs_from_cache: inner.totals.from_cache,
+            jobs_evicted: inner.totals.evicted,
             cache_entries: inner.cache.len(),
             cache_bytes: inner.cache.used_bytes(),
             cache_capacity_bytes: inner.cache.capacity_bytes(),
@@ -420,9 +462,31 @@ impl Service {
     }
 }
 
+/// Escapes a string for embedding in a JSON string literal: `"`, `\`,
+/// and every control character below 0x20 (RFC 8259 requires them
+/// escaped — engine error strings and echoed request paths can carry
+/// newlines or other control bytes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// A typed API error body (`docs/service.md` error taxonomy).
 fn error_body(status: u16, code: &str, message: &str) -> Response {
-    let escaped = message.replace('\\', "\\\\").replace('"', "\\\"");
+    let escaped = json_escape(message);
     Response::json(
         status,
         format!(
@@ -441,8 +505,8 @@ fn job_json(entry: &JobEntry, id: u64) -> String {
         crate::API_VERSION,
         id,
         entry.state.label(),
-        entry.tenant.replace('"', "\\\""),
-        entry.label,
+        json_escape(&entry.tenant),
+        json_escape(&entry.label),
         entry.key_hex,
         entry.cached,
     );
@@ -458,7 +522,7 @@ fn job_json(entry: &JobEntry, id: u64) -> String {
     );
     match &entry.error {
         Some(e) => {
-            let _ = write!(out, "\"error\":\"{}\",", e.replace('"', "\\\""));
+            let _ = write!(out, "\"error\":\"{}\",", json_escape(e));
         }
         None => out.push_str("\"error\":null,"),
     }
@@ -468,7 +532,11 @@ fn job_json(entry: &JobEntry, id: u64) -> String {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "{{\"name\":\"{name}\",\"bytes\":{bytes}}}");
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"bytes\":{bytes}}}",
+                json_escape(name)
+            );
         }
     }
     out.push_str("]}");
@@ -678,12 +746,7 @@ fn submit(request: &Request, service: &Arc<Service>) -> Response {
         Err(RequestError(message)) => return error_body(400, "bad_request", &message),
     };
     match service.submit(tenant, parsed) {
-        Ok((id, cached)) => {
-            let inner = service.inner.lock().expect("service lock");
-            let entry = inner.jobs.get(&id).expect("fresh job exists");
-            let status = if cached { 200 } else { 202 };
-            Response::json(status, job_json(entry, id))
-        }
+        Ok((cached, body)) => Response::json(if cached { 200 } else { 202 }, body),
         Err(err @ QuotaError::InFlight { .. }) => {
             error_body(429, "quota_in_flight", &err.to_string())
         }
@@ -700,7 +763,11 @@ fn job_status(id: &str, service: &Arc<Service>) -> Response {
     };
     let inner = service.inner.lock().expect("service lock");
     match inner.jobs.get(&id) {
-        None => error_body(404, "not_found", &format!("no job {id}")),
+        None => error_body(
+            404,
+            "not_found",
+            &format!("no job {id} (unknown or expired)"),
+        ),
         Some(entry) if entry.state == JobState::TimedOut => Response {
             status: 504,
             content_type: "application/json",
@@ -727,7 +794,11 @@ fn fetch_artifact(id: &str, name: &str, service: &Arc<Service>) -> Response {
     };
     let inner = service.inner.lock().expect("service lock");
     let Some(entry) = inner.jobs.get(&id) else {
-        return error_body(404, "not_found", &format!("no job {id}"));
+        return error_body(
+            404,
+            "not_found",
+            &format!("no job {id} (unknown or expired)"),
+        );
     };
     match entry.state {
         JobState::TimedOut => Response {
@@ -785,9 +856,13 @@ fn stream_events(id: &str, service: &Arc<Service>, stream: &mut TcpStream) -> Ro
     };
     let started = Instant::now();
     loop {
-        let (line, terminal) = {
+        let snapshot = {
             let inner = service.inner.lock().expect("service lock");
-            let entry = inner.jobs.get(&id).expect("job outlives the stream");
+            let Some(entry) = inner.jobs.get(&id) else {
+                // Evicted by retention mid-stream: end cleanly (the
+                // write happens below, after the lock is dropped).
+                break;
+            };
             let progress = entry.progress.lock().map(|p| *p).unwrap_or_default();
             let line = format!(
                 "{{\"type\":\"heartbeat\",\"id\":{},\"state\":\"{}\",\"sim_time\":{},\
@@ -804,6 +879,7 @@ fn stream_events(id: &str, service: &Arc<Service>, stream: &mut TcpStream) -> Ro
             );
             (line, entry.state.terminal())
         };
+        let (line, terminal) = snapshot;
         if writer.chunk(line.as_bytes()).is_err() {
             return Routed::Streamed;
         }
@@ -814,10 +890,37 @@ fn stream_events(id: &str, service: &Arc<Service>, stream: &mut TcpStream) -> Ro
     }
     let final_line = {
         let inner = service.inner.lock().expect("service lock");
-        let entry = inner.jobs.get(&id).expect("job outlives the stream");
-        format!("{{\"type\":\"end\",\"job\":{}}}\n", job_json(entry, id))
+        match inner.jobs.get(&id) {
+            Some(entry) => format!("{{\"type\":\"end\",\"job\":{}}}\n", job_json(entry, id)),
+            // Evicted between the last heartbeat and this render.
+            None => "{\"type\":\"end\",\"job\":null}\n".to_string(),
+        }
     };
     let _ = writer.chunk(final_line.as_bytes());
     let _ = writer.finish();
     Routed::Streamed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_covers_control_characters() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\r\ttab"), "line\\nbreak\\r\\ttab");
+        assert_eq!(json_escape("bell\u{07}nul\u{00}"), "bell\\u0007nul\\u0000");
+    }
+
+    #[test]
+    fn error_bodies_stay_valid_json_for_control_character_messages() {
+        let response = error_body(404, "not_found", "no route for GET /\u{01}\n\"x\"");
+        let body = String::from_utf8(response.body).unwrap();
+        // RFC 8259: no raw control characters may appear in the output.
+        assert!(body.chars().all(|c| (c as u32) >= 0x20));
+        assert!(body.contains("\\u0001"));
+        assert!(body.contains("\\n"));
+        assert!(body.contains("\\\"x\\\""));
+    }
 }

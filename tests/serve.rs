@@ -283,6 +283,77 @@ fn progress_stream_ends_with_the_job_document() {
     server.stop();
 }
 
+// ---- job retention (the jobs table stays bounded) -----------------------
+
+#[test]
+fn terminal_jobs_are_evicted_after_the_retention_ttl() {
+    let server = start(ServeConfig {
+        job_ttl: Duration::from_millis(100),
+        ..Default::default()
+    });
+    let addr = server.addr;
+    let (status, job) = submit(addr, "gail", SMOKE_BODY);
+    assert_eq!(status, 202);
+    let id = job.get("id").unwrap().as_u64().unwrap();
+    let (status, _) = await_done(addr, id);
+    assert_eq!(status, 200);
+
+    // The reaper evicts the terminal entry once the TTL elapses...
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if http(addr, "GET", &format!("/v1/jobs/{id}"), &[], b"").status == 404 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "job {id} was never evicted");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let m: serde_json::Value = serde_json::from_str(
+        std::str::from_utf8(&http(addr, "GET", "/v1/metrics", &[], b"").body).unwrap(),
+    )
+    .unwrap();
+    assert!(m.get("jobs").unwrap().get("evicted").unwrap().as_u64() >= Some(1));
+
+    // ...but the result cache is independent of job retention: the
+    // same request is still answered from cache.
+    let (status, repeat) = submit(addr, "gail", SMOKE_BODY);
+    assert_eq!(status, 200, "cache survives job eviction");
+    assert_eq!(repeat.get("cached").unwrap().as_bool(), Some(true));
+    server.stop();
+}
+
+#[test]
+fn terminal_job_count_is_capped_dropping_the_oldest_first() {
+    let server = start(ServeConfig {
+        max_jobs: 1,
+        ..Default::default()
+    });
+    let addr = server.addr;
+    let (_, first) = submit(addr, "hank", SMOKE_BODY);
+    let first_id = first.get("id").unwrap().as_u64().unwrap();
+    await_done(addr, first_id);
+    let perturbed = SMOKE_BODY.replace("\"seed\":7", "\"seed\":9");
+    let (_, second) = submit(addr, "hank", &perturbed);
+    let second_id = second.get("id").unwrap().as_u64().unwrap();
+    await_done(addr, second_id);
+
+    // Two terminal entries over a cap of one: the reaper drops the
+    // oldest; the newest stays fetchable.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if http(addr, "GET", &format!("/v1/jobs/{first_id}"), &[], b"").status == 404 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "oldest terminal job was never evicted"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let r = http(addr, "GET", &format!("/v1/jobs/{second_id}"), &[], b"");
+    assert_eq!(r.status, 200, "the newest terminal job is retained");
+    server.stop();
+}
+
 // ---- cache-key sensitivity ----------------------------------------------
 
 #[test]
@@ -469,7 +540,7 @@ fn metrics_endpoint_carries_the_documented_schema() {
     }
     assert!(m.get("queue_depth").is_some());
     let jobs = m.get("jobs").unwrap();
-    for key in ["running", "done", "failed", "timeout", "from_cache"] {
+    for key in ["running", "done", "failed", "timeout", "from_cache", "evicted"] {
         assert!(jobs.get(key).is_some(), "jobs.{key} missing");
     }
     let cache = m.get("cache").unwrap();
