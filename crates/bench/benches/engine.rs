@@ -181,10 +181,40 @@ fn bench_explain_report(c: &mut Criterion) {
     group.finish();
 }
 
+/// Checkpoint overhead: the same SWarp run with no policy, a sparse
+/// policy, and a dense policy. The no-policy series doubles as the
+/// regression guard for the bitwise-zero path — checkpointing disabled
+/// must cost nothing over the pre-checkpoint executor.
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    use wfbb_platform::{presets, BbMode};
+    use wfbb_storage::PlacementPolicy;
+    use wfbb_wms::{CheckpointPolicy, CheckpointTier, SimulationBuilder};
+    use wfbb_workloads::SwarpConfig;
+
+    let run = |interval: Option<f64>| {
+        let mut builder = SimulationBuilder::new(
+            presets::cori(1, BbMode::Striped),
+            SwarpConfig::new(4).with_cores_per_task(8).build(),
+        )
+        .placement(PlacementPolicy::AllBb);
+        if let Some(i) = interval {
+            builder = builder.checkpoint(CheckpointPolicy::new(i, CheckpointTier::Bb));
+        }
+        builder.run().expect("swarp run succeeds").makespan
+    };
+
+    let mut group = c.benchmark_group("checkpoint_overhead");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| b.iter(|| black_box(run(None))));
+    group.bench_function("sparse_16s", |b| b.iter(|| black_box(run(Some(16.0)))));
+    group.bench_function("dense_2s", |b| b.iter(|| black_box(run(Some(2.0)))));
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
     targets = bench_fairshare, bench_engine_events, bench_engine_stress, bench_engine_10k,
-              bench_snapshot_fork, bench_explain_report
+              bench_snapshot_fork, bench_explain_report, bench_checkpoint_overhead
 }
 criterion_main!(benches);

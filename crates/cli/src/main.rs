@@ -53,11 +53,13 @@ usage:
                 [--gantt <width>] [--explain <k>] [--explain-json <path>]
                 [--trace-out <path> [--trace-format perfetto|jsonl]]
                 [--faults <spec|file>] [--failover pfs|bb] [--retries <n>]
+                [--checkpoint <interval>@<bb|pfs>[:<bytes>]]
   wfbb campaign --platform <spec> [--nodes <n>]
                 [--policy fcfs|easy|bb-aware|plan] [--plan-horizon <s>]
                 (--workload <file> | [--jobs <n>] [--seed <s>]
                  [--mean-interarrival <s>] [--bb-scale <f>] [--max-nodes <n>])
                 [--solver naive|incremental] [--solver-threads <n>]
+                [--faults <spec|file>] [--checkpoint <spec>]
                 [--csv <path>] [--json <path>] [--trace-out <path>]
                 [--decision-log <path>] [--explain-sched <k>]
                 [--explain-sched-json <path>] [--progress]
@@ -121,6 +123,17 @@ fault injection (see docs/failure-model.md):
   --failover     pfs (default: dead-BB accesses re-route to the PFS) | bb
                  (re-place on surviving BB namespaces when possible)
   --retries      max execution attempts per task (default 3)
+  --checkpoint   periodic checkpoint writes as scheduled I/O:
+                 <interval>@<bb|pfs>[:<bytes>], e.g. 60@bb or 45@pfs:2e9
+                 (bytes default to each task's output footprint); killed
+                 tasks restart from their last completed image. On
+                 campaign the policy applies to every job that does not
+                 set its own checkpoint= key in the workload file.
+                 campaign --faults accepts only campaign-scope capacity
+                 events (bb:<i>@<t>, bb:<i>@<t>*<f>, pfs@<t>*<f>,
+                 seed:...); a BB node death shrinks the machine-wide BB
+                 reservation pool for every tenant. task:<name>@<t>
+                 kills are per-job: use kill= on the workload line.
 
 serving (see docs/service.md):
   serve          run the long-lived what-if HTTP API: submit simulate/
@@ -163,6 +176,7 @@ fn run(raw: &[String]) -> Result<(), CliError> {
                 "faults",
                 "failover",
                 "retries",
+                "checkpoint",
             ])?;
             simulate(&args)
         }
@@ -180,6 +194,8 @@ fn run(raw: &[String]) -> Result<(), CliError> {
                 "max-nodes",
                 "solver",
                 "solver-threads",
+                "faults",
+                "checkpoint",
                 "csv",
                 "json",
                 "trace-out",
@@ -214,6 +230,23 @@ fn run(raw: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// Reads a `--faults` argument: the text of the file it names, or the
+/// argument itself as an inline spec.
+fn fault_spec(arg: &str) -> Result<wfbb_wms::FaultSpec, CliError> {
+    let text = if std::path::Path::new(arg).is_file() {
+        std::fs::read_to_string(arg)
+            .map_err(|e| CliError(format!("cannot read fault spec {arg:?}: {e}")))?
+    } else {
+        arg.to_string()
+    };
+    wfbb_wms::FaultSpec::parse(&text).map_err(|e| CliError(e.to_string()))
+}
+
+/// Parses a `--checkpoint` argument (`<interval>@<bb|pfs>[:<bytes>]`).
+fn checkpoint_policy(arg: &str) -> Result<wfbb_wms::CheckpointPolicy, CliError> {
+    wfbb_wms::CheckpointPolicy::parse(arg).map_err(|e| CliError(e.to_string()))
+}
+
 fn simulate(args: &Args) -> Result<(), CliError> {
     let workflow = parse_workflow(args.require("workflow")?)?;
     let nodes: usize = args
@@ -239,14 +272,10 @@ fn simulate(args: &Args) -> Result<(), CliError> {
         builder = builder.telemetry(TelemetryConfig::enabled());
     }
     if let Some(spec) = args.get("faults") {
-        let text = if std::path::Path::new(spec).is_file() {
-            std::fs::read_to_string(spec)
-                .map_err(|e| CliError(format!("cannot read fault spec {spec:?}: {e}")))?
-        } else {
-            spec.to_string()
-        };
-        let spec = wfbb_wms::FaultSpec::parse(&text).map_err(|e| CliError(e.to_string()))?;
-        builder = builder.faults(spec);
+        builder = builder.faults(fault_spec(spec)?);
+    }
+    if let Some(spec) = args.get("checkpoint") {
+        builder = builder.checkpoint(checkpoint_policy(spec)?);
     }
     if let Some(policy) = args.get("failover") {
         let policy = match policy {
@@ -295,6 +324,15 @@ fn simulate(args: &Args) -> Result<(), CliError> {
         for f in &report.faults {
             println!("  t={:>10.3} s  {}", f.time, f.description);
         }
+    }
+    if report.checkpoints > 0 || report.restores > 0 {
+        println!(
+            "checkpoints: {} written ({:.2} GB, {:.3} s of checkpoint I/O), {} restore(s)",
+            report.checkpoints,
+            report.checkpoint_bytes / 1e9,
+            report.checkpoint_io_total,
+            report.restores,
+        );
     }
     for (category, stats) in report.by_category() {
         println!(
@@ -372,7 +410,7 @@ fn campaign(args: &Args) -> Result<(), CliError> {
         .parse()
         .map_err(|_| CliError("bad --solver-threads value".into()))?;
 
-    let jobs = if let Some(path) = args.get("workload") {
+    let mut jobs = if let Some(path) = args.get("workload") {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError(format!("cannot read workload {path:?}: {e}")))?;
         parse_workload(&text).map_err(|e| CliError(e.to_string()))?
@@ -409,6 +447,16 @@ fn campaign(args: &Args) -> Result<(), CliError> {
         )
         .map_err(|e| CliError(e.to_string()))?
     };
+    if let Some(spec) = args.get("checkpoint") {
+        // A campaign-wide default: per-job checkpoint= keys in the
+        // workload file take precedence.
+        let policy = checkpoint_policy(spec)?;
+        for job in &mut jobs {
+            if job.checkpoint.is_none() {
+                job.checkpoint = Some(policy);
+            }
+        }
+    }
 
     let explain_k = args
         .get("explain-sched")
@@ -424,13 +472,18 @@ fn campaign(args: &Args) -> Result<(), CliError> {
         || args.get("explain-sched-json").is_some();
     let progress = args.flag("progress");
 
-    let config = CampaignConfig::new(platform)
+    let mut config = CampaignConfig::new(platform)
         .with_policy(policy)
         .with_solve_mode(solve_mode)
         .with_platform_label(platform_spec)
         .with_plan_horizon(plan_horizon)
         .with_solver_threads(solver_threads)
         .with_decision_log(want_log);
+    if let Some(spec) = args.get("faults") {
+        // Campaign-scope capacity faults; `CampaignSim::new` rejects
+        // task kills loudly (they belong on workload `kill=` keys).
+        config = config.with_faults(fault_spec(spec)?);
+    }
     let mut sim =
         CampaignSim::new(&config, &jobs).map_err(|e| CliError(format!("campaign failed: {e}")))?;
     let wall_start = std::time::Instant::now();
@@ -1036,6 +1089,94 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("chrome"), "{err}");
+    }
+
+    #[test]
+    fn simulate_checkpoint_flag_runs_and_bad_specs_are_rejected() {
+        run(&rawv(&[
+            "simulate",
+            "--workflow",
+            "swarp:1:8",
+            "--platform",
+            "cori:striped",
+            "--placement",
+            "allbb",
+            "--checkpoint",
+            "20@bb",
+        ]))
+        .unwrap();
+        let err = run(&rawv(&[
+            "simulate",
+            "--workflow",
+            "swarp:1",
+            "--platform",
+            "summit",
+            "--checkpoint",
+            "60@tape",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn campaign_capacity_faults_run_and_task_kills_are_rejected_loudly() {
+        let dir = std::env::temp_dir().join("wfbb-cli-campaign-faults-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("report.json");
+        run(&rawv(&[
+            "campaign",
+            "--platform",
+            "cori:striped",
+            "--nodes",
+            "4",
+            "--policy",
+            "bb-aware",
+            "--jobs",
+            "4",
+            "--seed",
+            "7",
+            "--faults",
+            "bb:0@40",
+            "--checkpoint",
+            "30@bb",
+            "--json",
+            json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&json).unwrap();
+        assert!(body.contains("\"bb_pool_bytes\""));
+        std::fs::remove_file(&json).ok();
+        // Task kills are per-job, not campaign-scope: the error says so
+        // and points at the workload-file alternative.
+        let err = run(&rawv(&[
+            "campaign",
+            "--platform",
+            "cori:striped",
+            "--policy",
+            "fcfs",
+            "--jobs",
+            "2",
+            "--faults",
+            "task:resample_0@10",
+        ]))
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("per-job"), "{msg}");
+        assert!(msg.contains("kill=resample_0"), "{msg}");
+        // Campaign BB faults need a machine-wide (shared) burst buffer.
+        let err = run(&rawv(&[
+            "campaign",
+            "--platform",
+            "summit",
+            "--policy",
+            "fcfs",
+            "--jobs",
+            "2",
+            "--faults",
+            "bb:0@10",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("shared"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,5 @@
+//! Regenerates the checkpoint-economics extension experiment; see
+//! `wfbb_experiments::figures`.
+fn main() {
+    wfbb_experiments::run_and_save("checkpoint_economics");
+}

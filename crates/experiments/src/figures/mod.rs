@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod bbnodes;
 pub mod bigfiles;
 pub mod campaign;
+pub mod checkpoint_economics;
 pub mod fig04;
 pub mod fig05;
 pub mod fig06;
@@ -27,7 +28,7 @@ use crate::table::Table;
 
 /// Known experiment names: the paper's tables/figures in order, then the
 /// extension experiments (placement heuristics, model ablation).
-pub const NAMES: [&str; 22] = [
+pub const NAMES: [&str; 23] = [
     "table1",
     "fig04",
     "fig05",
@@ -50,6 +51,7 @@ pub const NAMES: [&str; 22] = [
     "campaign",
     "plan_scheduling",
     "parallel_scaling",
+    "checkpoint_economics",
 ];
 
 /// Resolves an experiment name to its runner.
@@ -77,6 +79,7 @@ pub fn by_name(name: &str) -> Option<fn() -> Vec<Table>> {
         "campaign" => Some(campaign::run),
         "plan_scheduling" => Some(plan_scheduling::run),
         "parallel_scaling" => Some(parallel_scaling::run),
+        "checkpoint_economics" => Some(checkpoint_economics::run),
         _ => None,
     }
 }

@@ -1,0 +1,269 @@
+//! Checkpoint policies: periodic checkpoint writes as scheduled I/O.
+//!
+//! A [`CheckpointPolicy`] tells the executor to split a task's compute
+//! phase into segments of [`CheckpointPolicy::interval`] *uncontended*
+//! compute seconds and, after each non-final segment, write a checkpoint
+//! image of [`CheckpointPolicy::bytes`] bytes to the
+//! [`CheckpointPolicy::target`] tier. Checkpoint writes are ordinary
+//! flows through the fluid engine — they contend with every other
+//! transfer on the tier they protect — and their wall-clock cost surfaces
+//! as the exact `checkpoint_io` decomposition term. A task killed after a
+//! completed checkpoint restarts from that checkpoint (re-reading the
+//! image) instead of from its read phase.
+//!
+//! The textual grammar (the CLI's `--checkpoint` flag and the workload
+//! file's `checkpoint=` key) is `<interval>@<bb|pfs>[:<bytes>]`:
+//!
+//! ```
+//! use wfbb_resilience::{CheckpointPolicy, CheckpointTier};
+//! let p = CheckpointPolicy::parse("300@bb").unwrap();
+//! assert_eq!(p.interval, 300.0);
+//! assert_eq!(p.target, CheckpointTier::Bb);
+//! assert_eq!(p.bytes, None); // default: the task's output volume
+//! let q = CheckpointPolicy::parse("600@pfs:2e9").unwrap();
+//! assert_eq!(q.bytes, Some(2e9));
+//! ```
+//!
+//! [`young_interval`] computes the Young/Daly first-order optimum
+//! `τ* = √(2·C·MTBF)` the `checkpoint_economics` experiment compares the
+//! simulated optimum against.
+
+use std::fmt;
+
+/// Storage tier a checkpoint image is written to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointTier {
+    /// The burst buffer (placed like any other BB write: pinned or
+    /// striped per the platform's BB mode, spilling to the PFS when the
+    /// device is full).
+    Bb,
+    /// The parallel file system.
+    Pfs,
+}
+
+impl fmt::Display for CheckpointTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointTier::Bb => write!(f, "bb"),
+            CheckpointTier::Pfs => write!(f, "pfs"),
+        }
+    }
+}
+
+/// Per-job checkpoint policy: how often to checkpoint, where to, and how
+/// big the image is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointPolicy {
+    /// Uncontended compute seconds between checkpoints. A task whose
+    /// total compute time is at most one interval never checkpoints, so
+    /// its execution is bitwise-identical to a policy-free run.
+    pub interval: f64,
+    /// Tier the checkpoint image is written to (and restored from).
+    pub target: CheckpointTier,
+    /// Checkpoint image size in bytes. `None` defaults to the task's
+    /// total output volume (the natural "protect what the task will
+    /// produce" estimate).
+    pub bytes: Option<f64>,
+}
+
+impl CheckpointPolicy {
+    /// Builds a policy with the default image size.
+    ///
+    /// # Panics
+    /// Panics if `interval` is not finite and positive.
+    pub fn new(interval: f64, target: CheckpointTier) -> Self {
+        assert!(
+            interval.is_finite() && interval > 0.0,
+            "checkpoint interval must be finite and positive, got {interval}"
+        );
+        CheckpointPolicy {
+            interval,
+            target,
+            bytes: None,
+        }
+    }
+
+    /// Sets an explicit checkpoint image size, bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is not finite and positive.
+    pub fn with_bytes(mut self, bytes: f64) -> Self {
+        assert!(
+            bytes.is_finite() && bytes > 0.0,
+            "checkpoint bytes must be finite and positive, got {bytes}"
+        );
+        self.bytes = Some(bytes);
+        self
+    }
+
+    /// Parses the `<interval>@<bb|pfs>[:<bytes>]` grammar.
+    pub fn parse(input: &str) -> Result<Self, CheckpointSpecError> {
+        let token = input.trim();
+        let (interval_str, rest) = token.split_once('@').ok_or_else(|| {
+            cerr(format!(
+                "missing '@<tier>' in {token:?} (expected <interval>@<bb|pfs>[:<bytes>])"
+            ))
+        })?;
+        let interval: f64 = interval_str
+            .trim()
+            .parse()
+            .map_err(|_| cerr(format!("bad interval {interval_str:?} in {token:?}")))?;
+        if !interval.is_finite() || interval <= 0.0 {
+            return Err(cerr(format!(
+                "interval must be finite and positive in {token:?}"
+            )));
+        }
+        let (tier_str, bytes_str) = match rest.split_once(':') {
+            Some((t, b)) => (t, Some(b)),
+            None => (rest, None),
+        };
+        let target = match tier_str.trim() {
+            "bb" => CheckpointTier::Bb,
+            "pfs" => CheckpointTier::Pfs,
+            other => {
+                return Err(cerr(format!(
+                    "unknown checkpoint tier {other:?} in {token:?} (expected bb or pfs)"
+                )))
+            }
+        };
+        let bytes = match bytes_str {
+            Some(b) => {
+                let v: f64 = b
+                    .trim()
+                    .parse()
+                    .map_err(|_| cerr(format!("bad byte count {b:?} in {token:?}")))?;
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(cerr(format!(
+                        "checkpoint bytes must be finite and positive in {token:?}"
+                    )));
+                }
+                Some(v)
+            }
+            None => None,
+        };
+        Ok(CheckpointPolicy {
+            interval,
+            target,
+            bytes,
+        })
+    }
+}
+
+impl fmt::Display for CheckpointPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.bytes {
+            Some(b) => write!(f, "{}@{}:{}", self.interval, self.target, b),
+            None => write!(f, "{}@{}", self.interval, self.target),
+        }
+    }
+}
+
+/// A syntax or semantic error in a checkpoint specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointSpecError {
+    /// Human-readable description, including the offending token.
+    pub message: String,
+}
+
+impl fmt::Display for CheckpointSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid checkpoint spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for CheckpointSpecError {}
+
+fn cerr(message: impl Into<String>) -> CheckpointSpecError {
+    CheckpointSpecError {
+        message: message.into(),
+    }
+}
+
+/// The Young/Daly first-order optimal checkpoint interval
+/// `τ* = √(2·C·MTBF)`, where `C` is the cost of writing one checkpoint
+/// (seconds) and `mtbf` the mean time between failures (seconds).
+///
+/// This is the analytical baseline the simulated sweep is compared
+/// against: it assumes checkpoint writes cost a *fixed* `C`, while the
+/// simulator charges the real, contention-dependent price.
+pub fn young_interval(cost: f64, mtbf: f64) -> f64 {
+    assert!(
+        cost.is_finite() && cost >= 0.0,
+        "checkpoint cost must be finite and non-negative, got {cost}"
+    );
+    assert!(
+        mtbf.is_finite() && mtbf > 0.0,
+        "MTBF must be finite and positive, got {mtbf}"
+    );
+    (2.0 * cost * mtbf).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_form() {
+        let p = CheckpointPolicy::parse("300@bb").unwrap();
+        assert_eq!(
+            p,
+            CheckpointPolicy {
+                interval: 300.0,
+                target: CheckpointTier::Bb,
+                bytes: None
+            }
+        );
+        let q = CheckpointPolicy::parse(" 600@pfs:2e9 ").unwrap();
+        assert_eq!(q.interval, 600.0);
+        assert_eq!(q.target, CheckpointTier::Pfs);
+        assert_eq!(q.bytes, Some(2e9));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["300@bb", "600@pfs:2000000000"] {
+            let p = CheckpointPolicy::parse(s).unwrap();
+            assert_eq!(CheckpointPolicy::parse(&p.to_string()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "300",        // no tier
+            "x@bb",       // bad interval
+            "0@bb",       // zero interval
+            "-5@bb",      // negative interval
+            "inf@bb",     // non-finite interval
+            "300@ssd",    // unknown tier
+            "300@bb:x",   // bad bytes
+            "300@bb:0",   // zero bytes
+            "300@pfs:-1", // negative bytes
+        ] {
+            let r = CheckpointPolicy::parse(bad);
+            assert!(r.is_err(), "{bad:?} must be rejected");
+            let msg = r.unwrap_err().to_string();
+            assert!(msg.starts_with("invalid checkpoint spec:"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn builders_validate() {
+        let p = CheckpointPolicy::new(10.0, CheckpointTier::Pfs).with_bytes(1e9);
+        assert_eq!(p.bytes, Some(1e9));
+        assert!(
+            std::panic::catch_unwind(|| CheckpointPolicy::new(0.0, CheckpointTier::Bb)).is_err()
+        );
+        assert!(std::panic::catch_unwind(|| {
+            CheckpointPolicy::new(1.0, CheckpointTier::Bb).with_bytes(f64::NAN)
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn young_interval_matches_formula() {
+        // C = 50 s, MTBF = 3600 s -> sqrt(2*50*3600) = 600 s.
+        assert!((young_interval(50.0, 3600.0) - 600.0).abs() < 1e-9);
+        assert_eq!(young_interval(0.0, 100.0), 0.0);
+    }
+}

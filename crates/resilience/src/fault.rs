@@ -1,0 +1,472 @@
+//! Fault injection: the WMS-level fault schedule and retry policy.
+//!
+//! A [`FaultSpec`] describes *what goes wrong and when* during a run, in
+//! the terms of the failure model documented in `docs/failure-model.md`:
+//!
+//! * **BB node loss** (`bb:<idx>@<t>`) — device `idx`'s link, disk, and
+//!   (on shared BBs) metadata service drop to zero capacity at time `t`;
+//!   in-flight transfers touching the device are cancelled, files it held
+//!   are re-sourced from the PFS, and subsequent placements avoid it per
+//!   the storage layer's `FailoverPolicy`.
+//! * **Tier degradation** (`bb:<idx>@<t>*<f>`, `pfs@<t>*<f>`) — the
+//!   tier's resources drop to fraction `f ∈ (0, 1]` of nominal capacity.
+//!   Nothing is cancelled; in-flight transfers simply slow down (the
+//!   engine re-solves the fair share at the fault instant).
+//! * **Task kill** (`task:<name>@<t>`) — if the named task is running at
+//!   `t`, all its in-flight activities are cancelled and it re-executes
+//!   from its read phase (or its last completed checkpoint, when a
+//!   [`crate::CheckpointPolicy`] is set) after [`RetryPolicy::backoff`]
+//!   seconds, up to [`RetryPolicy::max_attempts`] total attempts.
+//! * **Seeded failures** (`seed:<s>:<k>@<horizon>`) — `k` BB node losses
+//!   at deterministic pseudo-random times in `(0, horizon)`, expanded via
+//!   [`wfbb_simcore::seeded_failures`] when the spec is
+//!   [resolved](FaultSpec::resolve) against a concrete platform.
+//!
+//! The textual grammar (also accepted by the CLI's `--faults` flag)
+//! separates events with commas or newlines and ignores `#` comments:
+//!
+//! ```
+//! use wfbb_resilience::FaultSpec;
+//! let spec = FaultSpec::parse(
+//!     "bb:0@120, pfs@300*0.5\n\
+//!      task:resample3@45.5  # kill one resample mid-run",
+//! )
+//! .unwrap();
+//! assert_eq!(spec.resolve(4).unwrap().len(), 3);
+//! ```
+//!
+//! Everything here is deterministic: an identical spec yields an
+//! identical resolved schedule, and an **empty** spec leaves the
+//! simulation bitwise-identical to one without fault injection.
+
+use std::fmt;
+
+/// Retry policy for killed tasks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts a task may use (first execution included). A task
+    /// killed on its `max_attempts`-th attempt fails the run with the
+    /// executor's `RetryExhausted` error.
+    pub max_attempts: u32,
+    /// Seconds between a kill and the re-execution's start.
+    pub backoff: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: 0.0,
+        }
+    }
+}
+
+/// One resolved fault event (absolute simulated time, concrete target).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// BB device `device` is lost at `time`: its resources drop to zero
+    /// capacity, in-flight transfers through it are cancelled, and its
+    /// files are re-sourced from the PFS.
+    BbNodeDown {
+        /// Simulated seconds of the failure.
+        time: f64,
+        /// BB device index (shared BB node or on-node device).
+        device: usize,
+    },
+    /// BB device `device` degrades to `factor` × nominal capacity.
+    BbDegraded {
+        /// Simulated seconds of the degradation.
+        time: f64,
+        /// BB device index.
+        device: usize,
+        /// Remaining capacity fraction, in `(0, 1]`.
+        factor: f64,
+    },
+    /// The PFS (SAN link + backing store) degrades to `factor` × nominal.
+    PfsDegraded {
+        /// Simulated seconds of the degradation.
+        time: f64,
+        /// Remaining capacity fraction, in `(0, 1]`.
+        factor: f64,
+    },
+    /// Task `task` (by workflow name) is killed at `time` if running.
+    TaskKill {
+        /// Simulated seconds of the kill.
+        time: f64,
+        /// Workflow task name.
+        task: String,
+    },
+}
+
+impl FaultEvent {
+    /// When the event fires, simulated seconds.
+    pub fn time(&self) -> f64 {
+        match self {
+            FaultEvent::BbNodeDown { time, .. }
+            | FaultEvent::BbDegraded { time, .. }
+            | FaultEvent::PfsDegraded { time, .. }
+            | FaultEvent::TaskKill { time, .. } => *time,
+        }
+    }
+
+    /// Short kind label (`bb-down`, `bb-degraded`, `pfs-degraded`,
+    /// `task-kill`), as used in reports and traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultEvent::BbNodeDown { .. } => "bb-down",
+            FaultEvent::BbDegraded { .. } => "bb-degraded",
+            FaultEvent::PfsDegraded { .. } => "pfs-degraded",
+            FaultEvent::TaskKill { .. } => "task-kill",
+        }
+    }
+
+    /// Target label (`bb:<idx>`, `pfs`, or the task name).
+    pub fn target(&self) -> String {
+        match self {
+            FaultEvent::BbNodeDown { device, .. } | FaultEvent::BbDegraded { device, .. } => {
+                format!("bb:{device}")
+            }
+            FaultEvent::PfsDegraded { .. } => "pfs".to_string(),
+            FaultEvent::TaskKill { task, .. } => task.clone(),
+        }
+    }
+}
+
+/// A seeded-random failure clause: `count` BB node losses in
+/// `(0, horizon)`, expanded deterministically at resolve time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SeededClause {
+    seed: u64,
+    count: usize,
+    horizon: f64,
+}
+
+/// A parsed (but not yet platform-resolved) fault schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSpec {
+    events: Vec<FaultEvent>,
+    seeded: Vec<SeededClause>,
+}
+
+/// A syntax or semantic error in a fault specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpecError {
+    /// Human-readable description, including the offending token.
+    pub message: String,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+fn err(message: impl Into<String>) -> FaultSpecError {
+    FaultSpecError {
+        message: message.into(),
+    }
+}
+
+fn parse_time(s: &str, token: &str) -> Result<f64, FaultSpecError> {
+    let t: f64 = s
+        .parse()
+        .map_err(|_| err(format!("bad time {s:?} in {token:?}")))?;
+    if !t.is_finite() || t < 0.0 {
+        return Err(err(format!(
+            "time must be finite and non-negative in {token:?}"
+        )));
+    }
+    Ok(t)
+}
+
+fn parse_factor(s: &str, token: &str) -> Result<f64, FaultSpecError> {
+    let f: f64 = s
+        .parse()
+        .map_err(|_| err(format!("bad factor {s:?} in {token:?}")))?;
+    if !(f > 0.0 && f <= 1.0) {
+        return Err(err(format!("factor must be in (0, 1] in {token:?}")));
+    }
+    Ok(f)
+}
+
+impl FaultSpec {
+    /// An empty schedule (injects nothing; bitwise-inert).
+    pub fn new() -> Self {
+        FaultSpec::default()
+    }
+
+    /// Whether the schedule contains no events and no seeded clauses.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.seeded.is_empty()
+    }
+
+    /// Appends an explicit event.
+    pub fn push(&mut self, event: FaultEvent) -> &mut Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Parses the textual grammar documented at module level. Events are
+    /// separated by commas or newlines; `#` starts a comment running to
+    /// the end of the line; blank entries are ignored.
+    pub fn parse(input: &str) -> Result<FaultSpec, FaultSpecError> {
+        let mut spec = FaultSpec::new();
+        for line in input.lines() {
+            let line = line.split('#').next().unwrap_or("");
+            for token in line.split(',') {
+                let token = token.trim();
+                if token.is_empty() {
+                    continue;
+                }
+                spec.parse_token(token)?;
+            }
+        }
+        Ok(spec)
+    }
+
+    fn parse_token(&mut self, token: &str) -> Result<(), FaultSpecError> {
+        let (target, when) = token
+            .split_once('@')
+            .ok_or_else(|| err(format!("missing '@<time>' in {token:?}")))?;
+        let (time_str, factor_str) = match when.split_once('*') {
+            Some((t, f)) => (t, Some(f)),
+            None => (when, None),
+        };
+
+        if let Some(idx) = target.strip_prefix("bb:") {
+            let device: usize = idx
+                .parse()
+                .map_err(|_| err(format!("bad BB device index {idx:?} in {token:?}")))?;
+            let time = parse_time(time_str, token)?;
+            match factor_str {
+                Some(f) => self.events.push(FaultEvent::BbDegraded {
+                    time,
+                    device,
+                    factor: parse_factor(f, token)?,
+                }),
+                None => self.events.push(FaultEvent::BbNodeDown { time, device }),
+            }
+        } else if target == "pfs" {
+            let time = parse_time(time_str, token)?;
+            let Some(f) = factor_str else {
+                // A dead PFS loses the master copies failover depends on;
+                // the model only supports degrading it.
+                return Err(err(format!(
+                    "the PFS cannot be killed, only degraded: use pfs@<t>*<factor> in {token:?}"
+                )));
+            };
+            self.events.push(FaultEvent::PfsDegraded {
+                time,
+                factor: parse_factor(f, token)?,
+            });
+        } else if let Some(name) = target.strip_prefix("task:") {
+            if name.is_empty() {
+                return Err(err(format!("empty task name in {token:?}")));
+            }
+            if factor_str.is_some() {
+                return Err(err(format!("task kills take no factor in {token:?}")));
+            }
+            self.events.push(FaultEvent::TaskKill {
+                time: parse_time(time_str, token)?,
+                task: name.to_string(),
+            });
+        } else if let Some(rest) = target.strip_prefix("seed:") {
+            let (seed_str, count_str) = rest
+                .split_once(':')
+                .ok_or_else(|| err(format!("seed clause is seed:<s>:<k>@<horizon>: {token:?}")))?;
+            let seed: u64 = seed_str
+                .parse()
+                .map_err(|_| err(format!("bad seed {seed_str:?} in {token:?}")))?;
+            let count: usize = count_str
+                .parse()
+                .map_err(|_| err(format!("bad failure count {count_str:?} in {token:?}")))?;
+            if factor_str.is_some() {
+                return Err(err(format!("seed clauses take no factor in {token:?}")));
+            }
+            let horizon = parse_time(time_str, token)?;
+            if horizon <= 0.0 {
+                return Err(err(format!("seed horizon must be positive in {token:?}")));
+            }
+            self.seeded.push(SeededClause {
+                seed,
+                count,
+                horizon,
+            });
+        } else {
+            return Err(err(format!(
+                "unknown fault target {target:?} in {token:?} \
+                 (expected bb:<idx>, pfs, task:<name>, or seed:<s>:<k>)"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Resolves the spec against a platform with `bb_devices` BB devices:
+    /// expands seeded clauses into concrete [`FaultEvent::BbNodeDown`]
+    /// events and validates device indices. The result is sorted by time
+    /// (stable: simultaneous events keep spec order).
+    pub fn resolve(&self, bb_devices: usize) -> Result<Vec<FaultEvent>, FaultSpecError> {
+        let mut events = self.events.clone();
+        for ev in &events {
+            match ev {
+                FaultEvent::BbNodeDown { device, .. } | FaultEvent::BbDegraded { device, .. } => {
+                    if *device >= bb_devices {
+                        return Err(err(format!(
+                            "BB device {device} out of range: platform has {bb_devices} device(s)"
+                        )));
+                    }
+                }
+                FaultEvent::PfsDegraded { .. } | FaultEvent::TaskKill { .. } => {}
+            }
+        }
+        for clause in &self.seeded {
+            if bb_devices == 0 {
+                return Err(err(
+                    "seeded BB failures require a platform with a burst buffer",
+                ));
+            }
+            for (time, device) in
+                wfbb_simcore::seeded_failures(clause.seed, clause.count, clause.horizon, bb_devices)
+            {
+                events.push(FaultEvent::BbNodeDown { time, device });
+            }
+        }
+        events.sort_by(|a, b| a.time().total_cmp(&b.time()));
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_event_form() {
+        let spec = FaultSpec::parse("bb:2@10, bb:0@5*0.25, pfs@30*0.5, task:combine1@7.5").unwrap();
+        let events = spec.resolve(4).unwrap();
+        assert_eq!(events.len(), 4);
+        // Sorted by time.
+        assert_eq!(
+            events[0],
+            FaultEvent::BbDegraded {
+                time: 5.0,
+                device: 0,
+                factor: 0.25
+            }
+        );
+        assert_eq!(
+            events[1],
+            FaultEvent::TaskKill {
+                time: 7.5,
+                task: "combine1".into()
+            }
+        );
+        assert_eq!(
+            events[2],
+            FaultEvent::BbNodeDown {
+                time: 10.0,
+                device: 2
+            }
+        );
+        assert_eq!(
+            events[3],
+            FaultEvent::PfsDegraded {
+                time: 30.0,
+                factor: 0.5
+            }
+        );
+    }
+
+    #[test]
+    fn newlines_comments_and_blanks_are_tolerated() {
+        let spec = FaultSpec::parse(
+            "# header comment\n\
+             bb:0@1.0,, \n\
+             \n\
+             task:t@2 # trailing comment",
+        )
+        .unwrap();
+        assert_eq!(spec.resolve(1).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn seeded_clause_expands_deterministically() {
+        let spec = FaultSpec::parse("seed:42:2@100").unwrap();
+        let a = spec.resolve(4).unwrap();
+        let b = spec.resolve(4).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        for ev in &a {
+            match ev {
+                FaultEvent::BbNodeDown { time, device } => {
+                    assert!(*time > 0.0 && *time < 100.0);
+                    assert!(*device < 4);
+                }
+                other => panic!("seeded clause must expand to node losses, got {other:?}"),
+            }
+        }
+        // Distinct devices.
+        let (d0, d1) = (
+            match a[0] {
+                FaultEvent::BbNodeDown { device, .. } => device,
+                _ => unreachable!(),
+            },
+            match a[1] {
+                FaultEvent::BbNodeDown { device, .. } => device,
+                _ => unreachable!(),
+            },
+        );
+        assert_ne!(d0, d1);
+    }
+
+    #[test]
+    fn rejects_malformed_tokens() {
+        for bad in [
+            "bb:0",            // no time
+            "bb:x@5",          // bad index
+            "bb:0@-1",         // negative time
+            "bb:0@nan",        // non-finite time
+            "bb:0@5*0",        // zero factor
+            "bb:0@5*1.5",      // factor > 1
+            "pfs@5",           // PFS kill unsupported
+            "task:@5",         // empty task name
+            "task:t@5*0.5",    // factor on a kill
+            "seed:1@50",       // missing count
+            "seed:1:2@0",      // zero horizon
+            "seed:1:2@50*0.5", // factor on a seed clause
+            "disk:0@5",        // unknown target
+        ] {
+            let r = FaultSpec::parse(bad);
+            assert!(r.is_err(), "{bad:?} must be rejected");
+            let msg = r.unwrap_err().to_string();
+            assert!(msg.starts_with("invalid fault spec:"), "{msg}");
+        }
+    }
+
+    #[test]
+    fn resolve_validates_device_range() {
+        let spec = FaultSpec::parse("bb:3@10").unwrap();
+        assert!(spec.resolve(4).is_ok());
+        assert!(spec.resolve(3).is_err());
+        let seeded = FaultSpec::parse("seed:1:1@10").unwrap();
+        assert!(seeded.resolve(0).is_err(), "no BB, no seeded BB failures");
+    }
+
+    #[test]
+    fn empty_spec_is_empty() {
+        assert!(FaultSpec::new().is_empty());
+        assert!(FaultSpec::parse("  # nothing\n").unwrap().is_empty());
+        assert!(!FaultSpec::parse("bb:0@1").unwrap().is_empty());
+        assert!(!FaultSpec::parse("seed:1:1@10").unwrap().is_empty());
+        assert!(FaultSpec::new().resolve(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn retry_policy_default_allows_three_attempts() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, 3);
+        assert_eq!(p.backoff, 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # wfbb-resilience — failure economics as a first-class simulated object
+//!
+//! This crate owns everything the simulator knows about *going wrong and
+//! paying for it*:
+//!
+//! * **Fault schedules** ([`FaultSpec`] / [`FaultEvent`]) — the textual
+//!   grammar and resolved event list describing BB node losses, tier
+//!   degradations, task kills, and seeded failure clauses. The executor
+//!   (`wfbb-wms`) and the campaign scheduler (`wfbb-sched`) both consume
+//!   these; semantics are documented in `docs/failure-model.md`.
+//! * **Retry policies** ([`RetryPolicy`]) — how many attempts a killed
+//!   task may use and how long it backs off between them.
+//! * **Checkpoint policies** ([`CheckpointPolicy`]) — periodic
+//!   checkpoint writes as *scheduled I/O*: the executor splits a task's
+//!   compute phase into segments of `interval` uncontended compute
+//!   seconds and writes a checkpoint image to the target tier after each
+//!   one, paying real contention through the fluid engine. A killed task
+//!   restarts from its last completed checkpoint instead of its read
+//!   phase. [`young_interval`] gives the classic Young/Daly first-order
+//!   optimum to compare the simulated sweep against.
+//!
+//! Everything here is deterministic and inert-by-default: an empty fault
+//! spec and an absent checkpoint policy leave a simulation
+//! bitwise-identical to one that never loaded this crate.
+
+#![deny(missing_docs)]
+
+pub mod checkpoint;
+pub mod fault;
+
+pub use checkpoint::{young_interval, CheckpointPolicy, CheckpointSpecError, CheckpointTier};
+pub use fault::{FaultEvent, FaultSpec, FaultSpecError, RetryPolicy};

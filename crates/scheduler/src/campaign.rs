@@ -42,9 +42,9 @@ use crate::job::JobSpec;
 use crate::policy::{plan_admissions, BatchPolicy, BlockReason, QueuedReq, RunningRes, Verdict};
 use crate::report::{job_metrics, CampaignReport, JobOutcome, JobStatus, UtilSample};
 use wfbb_platform::{BbArchitecture, PlatformInstance, PlatformSpec};
-use wfbb_simcore::{Engine, SolveMode, TelemetryConfig};
+use wfbb_simcore::{Engine, FaultPlan, SolveMode, TelemetryConfig};
 use wfbb_storage::{BbPool, StorageSystem};
-use wfbb_wms::{Executor, FaultEvent, JobTag, RetryPolicy, SchedulerPolicy, Tag};
+use wfbb_wms::{Executor, FaultEvent, FaultSpec, JobTag, RetryPolicy, SchedulerPolicy, Tag};
 
 /// Error from a campaign simulation.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +55,9 @@ pub enum CampaignError {
     EmptyCampaign,
     /// The simulation engine failed.
     Engine(String),
+    /// The campaign fault schedule is invalid (bad device index, or a
+    /// fault kind campaigns do not support).
+    Faults(String),
     /// The event queue drained with jobs still queued or running — a
     /// scheduler bug (unsatisfiable requests are rejected at submit).
     Stalled(String),
@@ -66,6 +69,7 @@ impl std::fmt::Display for CampaignError {
             CampaignError::Platform(m) => write!(f, "invalid platform: {m}"),
             CampaignError::EmptyCampaign => write!(f, "campaign has no jobs"),
             CampaignError::Engine(m) => write!(f, "engine error: {m}"),
+            CampaignError::Faults(m) => write!(f, "invalid campaign faults: {m}"),
             CampaignError::Stalled(m) => write!(f, "campaign stalled: {m}"),
         }
     }
@@ -76,6 +80,12 @@ impl std::error::Error for CampaignError {}
 /// Default lookahead of the `plan` policy, seconds: speculative forks
 /// stop once they pass this far beyond the scheduling point.
 pub const DEFAULT_PLAN_HORIZON: f64 = 86_400.0;
+
+/// Sentinel job id of campaign-scope fault events: completions tagged
+/// with it are routed to the fault handler instead of a job's executor.
+/// Real job ids are indices into the job list, so `u32::MAX` can never
+/// collide.
+const CAMPAIGN_FAULT_JOB: u32 = u32::MAX;
 
 /// Cluster-level configuration of a campaign.
 #[derive(Debug, Clone)]
@@ -110,6 +120,13 @@ pub struct CampaignConfig {
     /// accrued, and enabling the log leaves every [`CampaignReport`]
     /// byte-identical (pinned by `tests/decision_log.rs`).
     pub log_decisions: bool,
+    /// Campaign-scope capacity faults (empty by default). Only capacity
+    /// kinds are allowed — `bb:<i>@<t>` (device death: engine resources
+    /// drop to zero, the reservation pool shrinks by the device's share,
+    /// running executors fail over), `bb:<i>@<t>*<f>` / `pfs@<t>*<f>`
+    /// (degradations), and `seed:` clauses. Task kills are per-job and
+    /// are rejected here — put `kill=` on the job instead.
+    pub faults: FaultSpec,
 }
 
 impl CampaignConfig {
@@ -128,6 +145,7 @@ impl CampaignConfig {
             plan_horizon: DEFAULT_PLAN_HORIZON,
             solver_threads: 0,
             log_decisions: false,
+            faults: FaultSpec::new(),
         }
     }
 
@@ -165,6 +183,13 @@ impl CampaignConfig {
     /// Enables (or disables) collection of the structured decision log.
     pub fn with_decision_log(mut self, on: bool) -> Self {
         self.log_decisions = on;
+        self
+    }
+
+    /// Installs a campaign-scope fault schedule (capacity faults only;
+    /// validated when the campaign is built).
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -344,6 +369,13 @@ pub struct CampaignSim<'a> {
     /// Per-job wait-decomposition accumulators, keyed by job id from
     /// arrival until the campaign ends (always accrued, log on or off).
     waits: BTreeMap<u32, WaitAcc>,
+    /// Campaign-scope fault events resolved against the platform, in
+    /// schedule order; sentinel delays tagged [`CAMPAIGN_FAULT_JOB`]
+    /// index into this vector.
+    fault_events: Vec<FaultEvent>,
+    /// BB devices lost to campaign faults so far. Fresh executors are
+    /// told about them at admission so placements avoid dead devices.
+    dead_bb: BTreeSet<usize>,
     /// The structured decision log (drops pushes when disabled).
     log: DecisionLog,
     /// Host-side wall-clock profile of the scheduler loop.
@@ -375,6 +407,81 @@ impl<'a> CampaignSim<'a> {
         let total_nodes = instance.nodes();
         let bb_devices = instance.bb_devices();
         let pool_bytes = bb_devices as f64 * config.platform.bb_capacity;
+
+        // Campaign-scope capacity faults: screen the schedule, merge the
+        // engine-level capacity drops into the shared fault plan, and
+        // spawn one sentinel per event so the scheduler can do its own
+        // bookkeeping (pool shrink, executor failover) at fault time.
+        let fault_events = if config.faults.is_empty() {
+            Vec::new()
+        } else {
+            let resolved = config
+                .faults
+                .resolve(bb_devices)
+                .map_err(|e| CampaignError::Faults(e.message))?;
+            let mut plan = FaultPlan::new();
+            for ev in &resolved {
+                match *ev {
+                    FaultEvent::TaskKill { ref task, .. } => {
+                        return Err(CampaignError::Faults(format!(
+                            "task kills are per-job, not campaign-scope: drop \
+                             'task:{task}@...' from --faults and put \
+                             kill={task}@<time> on the target job's workload \
+                             line instead"
+                        )));
+                    }
+                    FaultEvent::BbNodeDown { time, device } => {
+                        if !matches!(config.platform.bb, BbArchitecture::Shared { .. }) {
+                            return Err(CampaignError::Faults(format!(
+                                "campaign BB faults need a shared burst buffer \
+                                 (device {device} is not machine-wide on \
+                                 platform '{}')",
+                                config.platform.name
+                            )));
+                        }
+                        for r in instance.bb_device_resources(device) {
+                            plan.push_capacity(time, r, 0.0);
+                        }
+                    }
+                    FaultEvent::BbDegraded {
+                        time,
+                        device,
+                        factor,
+                    } => {
+                        if !matches!(config.platform.bb, BbArchitecture::Shared { .. }) {
+                            return Err(CampaignError::Faults(format!(
+                                "campaign BB faults need a shared burst buffer \
+                                 (device {device} is not machine-wide on \
+                                 platform '{}')",
+                                config.platform.name
+                            )));
+                        }
+                        for r in instance.bb_device_resources(device) {
+                            let nominal = engine.resource(r).capacity;
+                            plan.push_capacity(time, r, nominal * factor);
+                        }
+                    }
+                    FaultEvent::PfsDegraded { time, factor } => {
+                        for r in [instance.pfs_link, instance.pfs_disk] {
+                            let nominal = engine.resource(r).capacity;
+                            plan.push_capacity(time, r, nominal * factor);
+                        }
+                    }
+                }
+            }
+            engine.merge_fault_plan(&plan);
+            for (k, ev) in resolved.iter().enumerate() {
+                engine.spawn_delay_labeled(
+                    ev.time(),
+                    JobTag {
+                        job: CAMPAIGN_FAULT_JOB,
+                        tag: Tag::External(k as u32),
+                    },
+                    Some(format!("fault:{}:{}", ev.kind(), ev.target())),
+                );
+            }
+            resolved
+        };
         let engine = Rc::new(RefCell::new(engine));
 
         let mut records: BTreeMap<u32, JobRecord> = BTreeMap::new();
@@ -429,6 +536,8 @@ impl<'a> CampaignSim<'a> {
             now: 0.0,
             speculative: false,
             waits: BTreeMap::new(),
+            fault_events,
+            dead_bb: BTreeSet::new(),
             log,
             profile: SchedProfile::default(),
             admitted_total: 0,
@@ -516,6 +625,8 @@ impl<'a> CampaignSim<'a> {
             now: self.now,
             speculative: self.speculative,
             waits: self.waits.clone(),
+            fault_events: self.fault_events.clone(),
+            dead_bb: self.dead_bb.clone(),
             log: self.log.clone(),
             profile: self.profile,
             admitted_total: self.admitted_total,
@@ -552,6 +663,12 @@ impl<'a> CampaignSim<'a> {
         }
         self.now = completion.time.seconds();
         let JobTag { job, tag } = completion.tag;
+        if job == CAMPAIGN_FAULT_JOB {
+            if let Tag::External(k) = tag {
+                self.on_campaign_fault(k as usize);
+            }
+            return Ok(true);
+        }
         match tag {
             Tag::External(_) => {
                 // Arrivals replay inside speculative rollouts too: a
@@ -626,10 +743,103 @@ impl<'a> CampaignSim<'a> {
         Ok(true)
     }
 
+    /// Handles one campaign-scope fault sentinel. The engine-level
+    /// capacity drop already happened (the merged fault plan applies
+    /// before same-instant completions); this is the *scheduler's* share
+    /// of the blast radius.
+    fn on_campaign_fault(&mut self, k: usize) {
+        match self.fault_events[k].clone() {
+            FaultEvent::BbNodeDown { device, .. } => {
+                if !self.dead_bb.insert(device) {
+                    return; // duplicate event for an already-dead device
+                }
+                // The machine lost one device's worth of reservable
+                // capacity: free bytes absorb the loss first, then
+                // running jobs' grants are clawed back in ascending
+                // job order (ledger conservation holds throughout).
+                let lost = self.config.platform.bb_capacity;
+                let clawed = self.pool.shrink(lost);
+                let mut clawed_total = 0.0;
+                for &(job, bytes) in &clawed {
+                    clawed_total += bytes;
+                    if let Some(run) = self.running.get_mut(&job) {
+                        run.bb -= bytes;
+                    }
+                }
+                if !self.speculative {
+                    self.log.push(DecisionRecord::PoolShrink {
+                        time: self.now,
+                        device,
+                        bytes: lost,
+                        clawed: clawed_total,
+                        free_after: self.pool.free(),
+                    });
+                }
+                // Every running executor fails over: in-flight transfers
+                // crossing the device are cancelled, its files re-sourced
+                // from the PFS, and future placements avoid it.
+                for ex in self.executors.values_mut() {
+                    ex.bb_node_down(device, self.now);
+                }
+                self.sample();
+                self.try_admit();
+                self.sample();
+            }
+            // Degradations change bandwidth, not capacity: the merged
+            // fault plan already re-solved the fair share, and nothing
+            // in the scheduler's ledger moves.
+            FaultEvent::BbDegraded { .. } | FaultEvent::PfsDegraded { .. } => {}
+            FaultEvent::TaskKill { .. } => {
+                unreachable!("task kills are screened out at campaign construction")
+            }
+        }
+    }
+
+    /// Rejects queued jobs whose BB request no longer fits the shrunk
+    /// pool. Without this sweep they would sit blocked forever and turn
+    /// the drained event queue into a [`CampaignError::Stalled`].
+    fn sweep_unsatisfiable(&mut self) {
+        let cap = self.pool.capacity();
+        let doomed: Vec<u32> = self
+            .queue
+            .iter()
+            .copied()
+            .filter(|&j| self.jobs[j as usize].bb_bytes > cap)
+            .collect();
+        for job in doomed {
+            self.queue.retain(|&q| q != job);
+            self.waits.remove(&job);
+            let reason = format!(
+                "requests {:.3e} B of BB, pool shrank to {:.3e} B after device failure",
+                self.jobs[job as usize].bb_bytes, cap
+            );
+            if !self.speculative {
+                self.log.push(DecisionRecord::Rejected {
+                    job,
+                    reason: reason.clone(),
+                });
+            }
+            self.records.insert(
+                job,
+                JobRecord {
+                    status: JobStatus::Rejected,
+                    start: 0.0,
+                    end: 0.0,
+                    reserved_start: None,
+                    detail: Some(reason),
+                    report: None,
+                },
+            );
+        }
+    }
+
     /// Admission pass: ask the policy, start what it admits. Under
     /// [`BatchPolicy::Plan`] this first commits the best queue ordering
     /// found by speculative rollouts, then admits BB-aware on it.
     fn try_admit(&mut self) {
+        if !self.dead_bb.is_empty() {
+            self.sweep_unsatisfiable();
+        }
         if self.queue.is_empty() {
             return;
         }
@@ -792,7 +1002,13 @@ impl<'a> CampaignSim<'a> {
             0.0
         };
         let view = self.instance.slice(&node_ids, per_dev);
-        let storage = StorageSystem::new(view);
+        let mut storage = StorageSystem::new(view);
+        // Shared-BB device indices are machine-global, so the slice view
+        // keeps them aligned: mark devices lost to earlier campaign
+        // faults dead so the fresh executor's placements avoid them.
+        for &d in &self.dead_bb {
+            storage.mark_bb_dead(d);
+        }
         let plan = spec.placement.plan(&spec.workflow);
         let mut ex = Executor::shared(
             self.engine.clone(),
@@ -819,6 +1035,9 @@ impl<'a> CampaignSim<'a> {
                     backoff: 0.0,
                 },
             );
+        }
+        if let Some(policy) = spec.checkpoint {
+            ex.set_checkpoint_policy(policy);
         }
         let reserved = self.records.get(&job).and_then(|r| r.reserved_start);
         self.records.insert(

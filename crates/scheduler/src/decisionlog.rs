@@ -89,6 +89,22 @@ pub enum DecisionRecord {
         /// Pool balance after the release.
         free_after: f64,
     },
+    /// The pool lost capacity to a campaign-scope BB device failure:
+    /// free bytes absorb the loss first, then running jobs' grants are
+    /// clawed back in ascending job order ([`wfbb_storage::BbPool::shrink`]).
+    PoolShrink {
+        /// Sim time of the failure, seconds.
+        time: f64,
+        /// Dead BB device index.
+        device: usize,
+        /// Capacity removed from the pool, bytes.
+        bytes: f64,
+        /// Bytes clawed back from running jobs' grants (0 when the free
+        /// balance absorbed the whole loss).
+        clawed: f64,
+        /// Pool balance after the shrink.
+        free_after: f64,
+    },
     /// A plan-policy ordering search: every scored candidate and the
     /// committed winner (see `docs/scheduler.md`).
     PlanChoice {
@@ -197,6 +213,7 @@ impl DecisionLog {
         let mut blocked_reservation = 0u64;
         let mut pool_reserves = 0u64;
         let mut pool_releases = 0u64;
+        let mut pool_shrinks = 0u64;
         let mut plan_choices = 0u64;
         let mut rejected = 0u64;
         let mut min_pool_free: Option<f64> = None;
@@ -282,6 +299,26 @@ impl DecisionLog {
                         num(*free_after)
                     );
                 }
+                DecisionRecord::PoolShrink {
+                    time,
+                    device,
+                    bytes,
+                    clawed,
+                    free_after,
+                } => {
+                    pool_shrinks += 1;
+                    min_pool_free =
+                        Some(min_pool_free.map_or(*free_after, |m: f64| m.min(*free_after)));
+                    let _ = writeln!(
+                        out,
+                        "{{\"type\":\"pool\",\"time\":{},\"op\":\"shrink\",\"device\":{device},\
+                         \"bytes\":{},\"clawed\":{},\"free_after\":{}}}",
+                        num(*time),
+                        num(*bytes),
+                        num(*clawed),
+                        num(*free_after)
+                    );
+                }
                 DecisionRecord::PlanChoice {
                     time,
                     winner,
@@ -338,8 +375,8 @@ impl DecisionLog {
              \"admitted_backfill\":{admitted_backfill},\"blocked_nodes\":{blocked_nodes},\
              \"blocked_bb\":{blocked_bb},\"blocked_reservation\":{blocked_reservation},\
              \"pool_reserves\":{pool_reserves},\"pool_releases\":{pool_releases},\
-             \"plan_choices\":{plan_choices},\"rejected\":{rejected},\
-             \"min_pool_free\":{min_free}}}"
+             \"pool_shrinks\":{pool_shrinks},\"plan_choices\":{plan_choices},\
+             \"rejected\":{rejected},\"min_pool_free\":{min_free}}}"
         );
         out
     }
@@ -431,6 +468,13 @@ mod tests {
             bytes: 5e8,
             free_after: 1e9,
         });
+        log.push(DecisionRecord::PoolShrink {
+            time: 25.0,
+            device: 1,
+            bytes: 6.4e12,
+            clawed: 2e8,
+            free_after: 7e8,
+        });
         log.push(DecisionRecord::PlanChoice {
             time: 20.0,
             winner: "shortest_first",
@@ -472,8 +516,8 @@ mod tests {
         let a = a_log().to_jsonl();
         let b = a_log().to_jsonl();
         assert_eq!(a, b);
-        // header + 6 records + summary (no counters stamped).
-        assert_eq!(a.lines().count(), 8);
+        // header + 7 records + summary (no counters stamped).
+        assert_eq!(a.lines().count(), 9);
         for line in a.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
             assert_eq!(
@@ -486,6 +530,8 @@ mod tests {
         assert!(a.contains("\"reason\":\"insufficient_bb\""));
         assert!(a.contains("\"winner\":\"shortest_first\""));
         assert!(a.contains("\"op\":\"reserve\""));
+        assert!(a.contains("\"op\":\"shrink\""));
+        assert!(a.contains("\"device\":1"));
         assert!(a
             .trim_end()
             .ends_with("\"min_pool_free\":500000000.000000}"));
@@ -493,6 +539,7 @@ mod tests {
         assert!(summary.contains("\"admitted_backfill\":1"), "{summary}");
         assert!(summary.contains("\"blocked_bb\":1"), "{summary}");
         assert!(summary.contains("\"plan_choices\":1"), "{summary}");
+        assert!(summary.contains("\"pool_shrinks\":1"), "{summary}");
         assert!(summary.contains("\"rejected\":1"), "{summary}");
     }
 

@@ -77,6 +77,7 @@ struct RecordTallies {
     blocked_reservation: u64,
     pool_reserves: u64,
     pool_releases: u64,
+    pool_shrinks: u64,
     plan_choices: u64,
     rejected: u64,
 }
@@ -100,6 +101,7 @@ fn tally(log: &DecisionLog) -> (RecordTallies, Vec<(&'static str, RuleStats)>) {
             },
             DecisionRecord::PoolReserve { .. } => t.pool_reserves += 1,
             DecisionRecord::PoolRelease { .. } => t.pool_releases += 1,
+            DecisionRecord::PoolShrink { .. } => t.pool_shrinks += 1,
             DecisionRecord::PlanChoice {
                 winner, candidates, ..
             } => {
@@ -185,7 +187,8 @@ pub fn explain_text(report: &CampaignReport, log: &DecisionLog, k: usize) -> Str
         let _ = writeln!(
             out,
             "  decision log: {} records (admit head={} backfill={}, blocked \
-             nodes={} bb={} reservation={}, pool reserve={} release={}, rejected={})",
+             nodes={} bb={} reservation={}, pool reserve={} release={} shrink={}, \
+             rejected={})",
             log.len(),
             t.admitted_head,
             t.admitted_backfill,
@@ -194,6 +197,7 @@ pub fn explain_text(report: &CampaignReport, log: &DecisionLog, k: usize) -> Str
             t.blocked_reservation,
             t.pool_reserves,
             t.pool_releases,
+            t.pool_shrinks,
             t.rejected,
         );
     }

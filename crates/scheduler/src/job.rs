@@ -8,6 +8,7 @@
 //! synthetically ([`crate::workload`]).
 
 use wfbb_storage::PlacementPolicy;
+use wfbb_wms::CheckpointPolicy;
 use wfbb_workflow::Workflow;
 
 /// One job of a campaign workload.
@@ -37,13 +38,20 @@ pub struct JobSpec {
     pub walltime_est: f64,
     /// File-placement policy inside the job's partition.
     pub placement: PlacementPolicy,
-    /// Task-kill faults, `(task name, job-relative time)`. Campaigns
-    /// only allow kills — capacity faults are engine-global and would
-    /// hit every tenant.
+    /// Task-kill faults, `(task name, job-relative time)`. Per-job
+    /// faults are kills only — capacity faults are engine-global and
+    /// hit every tenant, so they live on the campaign instead
+    /// ([`crate::CampaignConfig::with_faults`]).
     pub kills: Vec<(String, f64)>,
     /// Attempts each task may use when killed (see
     /// `wfbb_wms::RetryPolicy`).
     pub max_attempts: u32,
+    /// Checkpoint policy forwarded to the job's executor: periodic
+    /// checkpoint-image writes as scheduled I/O, restarts from the last
+    /// completed image (see `wfbb_wms::CheckpointPolicy`). `None` (the
+    /// default) leaves the job bitwise-identical to pre-checkpoint
+    /// builds.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl JobSpec {
@@ -69,6 +77,7 @@ impl JobSpec {
             placement: PlacementPolicy::AllBb,
             kills: Vec::new(),
             max_attempts: 3,
+            checkpoint: None,
         }
     }
 
@@ -87,6 +96,12 @@ impl JobSpec {
     /// Sets the per-task attempt budget for kill faults.
     pub fn with_max_attempts(mut self, attempts: u32) -> Self {
         self.max_attempts = attempts;
+        self
+    }
+
+    /// Sets the job's checkpoint policy.
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
         self
     }
 }

@@ -673,6 +673,25 @@ impl CampaignReport {
                             ),
                         ),
                     ),
+                    DecisionRecord::PoolShrink {
+                        time,
+                        device,
+                        bytes,
+                        clawed,
+                        free_after,
+                    } => (
+                        *time,
+                        instant(
+                            *time,
+                            "pool:shrink",
+                            format!(
+                                "\"device\":{device},\"bytes\":{},\"clawed\":{},\"free_after\":{}",
+                                num(*bytes),
+                                num(*clawed),
+                                num(*free_after)
+                            ),
+                        ),
+                    ),
                     DecisionRecord::PlanChoice {
                         time,
                         winner,

@@ -16,7 +16,9 @@
 //! Required keys: `workflow`, `nodes`, `bb`, `walltime`. Optional:
 //! `submit` (default 0), `name` (default `job<line-index>`),
 //! `placement` (`allbb` | `allpfs` | `fraction:<f>` | `threshold:<bytes>`),
-//! `kill=<task>@<time>` (repeatable), `retries=<n>`.
+//! `kill=<task>@<time>` (repeatable), `retries=<n>`,
+//! `checkpoint=<interval>@<bb|pfs>[:<bytes>]` (see
+//! `wfbb_wms::CheckpointPolicy`).
 //!
 //! # Synthetic campaigns
 //!
@@ -27,6 +29,7 @@
 
 use crate::job::JobSpec;
 use wfbb_storage::PlacementPolicy;
+use wfbb_wms::CheckpointPolicy;
 use wfbb_workflow::Workflow;
 use wfbb_workloads::{GenomesConfig, SwarpConfig};
 
@@ -127,6 +130,7 @@ pub fn parse_workload(text: &str) -> Result<Vec<JobSpec>, WorkloadError> {
         let mut placement = PlacementPolicy::AllBb;
         let mut kills: Vec<(String, f64)> = Vec::new();
         let mut retries = 3u32;
+        let mut checkpoint: Option<CheckpointPolicy> = None;
         for token in line.split_whitespace() {
             let Some((key, value)) = token.split_once('=') else {
                 return err(at(&format!("expected key=value, got '{token}'")));
@@ -177,6 +181,12 @@ pub fn parse_workload(text: &str) -> Result<Vec<JobSpec>, WorkloadError> {
                         .parse::<u32>()
                         .map_err(|_| WorkloadError(at(&format!("bad retries '{value}'"))))?
                 }
+                "checkpoint" => {
+                    checkpoint = Some(
+                        CheckpointPolicy::parse(value)
+                            .map_err(|e| WorkloadError(at(&e.message)))?,
+                    )
+                }
                 _ => return err(at(&format!("unknown key '{key}'"))),
             }
         }
@@ -198,6 +208,9 @@ pub fn parse_workload(text: &str) -> Result<Vec<JobSpec>, WorkloadError> {
         .with_max_attempts(retries);
         for (task, time) in kills {
             job = job.with_kill(task, time);
+        }
+        if let Some(policy) = checkpoint {
+            job = job.with_checkpoint(policy);
         }
         jobs.push(job);
     }
@@ -389,6 +402,28 @@ workflow=swarp:2 nodes=2 bb=1e9 walltime=400 submit=30 kill=resample_0_0@10
         assert!(parse_workload("workflow=swarp:1 nodes=1 bb=1e9 walltime=10 bogus=1").is_err());
         assert!(parse_workload("workflow=tycho:1 nodes=1 bb=1e9 walltime=10").is_err());
         assert!(parse_workload("workflow=swarp:0 nodes=1 bb=1e9 walltime=10").is_err());
+    }
+
+    #[test]
+    fn parses_checkpoint_policies() {
+        let jobs = parse_workload(
+            "workflow=swarp:1:8 nodes=1 bb=2e9 walltime=300 checkpoint=60@bb\n\
+             workflow=swarp:1:8 nodes=1 bb=2e9 walltime=300 checkpoint=45@pfs:3e9\n\
+             workflow=swarp:1:8 nodes=1 bb=2e9 walltime=300\n",
+        )
+        .unwrap();
+        let a = jobs[0].checkpoint.unwrap();
+        assert_eq!(a.interval, 60.0);
+        assert_eq!(a.target, wfbb_wms::CheckpointTier::Bb);
+        assert_eq!(a.bytes, None);
+        let b = jobs[1].checkpoint.unwrap();
+        assert_eq!(b.target, wfbb_wms::CheckpointTier::Pfs);
+        assert_eq!(b.bytes, Some(3e9));
+        assert!(jobs[2].checkpoint.is_none(), "checkpoint stays opt-in");
+        // Parse errors carry the line number and the grammar message.
+        let err = parse_workload("workflow=swarp:1 nodes=1 bb=1e9 walltime=10 checkpoint=60@tape")
+            .unwrap_err();
+        assert!(err.0.contains("line 1"), "{}", err.0);
     }
 
     #[test]

@@ -673,6 +673,39 @@ impl<T> Engine<T> {
         self.fault_cursor = 0;
     }
 
+    /// Merges `plan`'s events into the installed schedule instead of
+    /// replacing it, so independent scopes (e.g. per-job executors and a
+    /// campaign-wide fault plan sharing one engine) can each contribute
+    /// capacity events. Already-applied events are untouched; the new
+    /// events are interleaved into the unapplied tail in time order
+    /// (ties by resource index). Merging an empty plan is a no-op, and
+    /// merging into an empty engine is identical to
+    /// [`Engine::set_fault_plan`].
+    ///
+    /// # Panics
+    /// Panics if an event references an unknown resource.
+    pub fn merge_fault_plan(&mut self, plan: &FaultPlan) {
+        let events = plan.sorted_events();
+        if events.is_empty() {
+            return;
+        }
+        for ev in &events {
+            assert!(
+                ev.resource.index() < self.resources.len(),
+                "fault plan references unknown resource {}",
+                ev.resource
+            );
+        }
+        let mut tail = self.faults.split_off(self.fault_cursor);
+        tail.extend(events);
+        tail.sort_by(|a, b| {
+            a.time
+                .total_cmp(&b.time)
+                .then_with(|| a.resource.index().cmp(&b.resource.index()))
+        });
+        self.faults.extend(tail);
+    }
+
     /// Time of the next unapplied capacity fault (`INFINITY` if none).
     fn next_fault_time(&self) -> f64 {
         self.faults

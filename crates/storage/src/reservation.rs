@@ -102,6 +102,55 @@ impl BbPool {
         let held: f64 = self.granted.values().sum();
         self.free >= 0.0 && (self.free + held - self.capacity).abs() <= tol
     }
+
+    /// Shrinks the pool by `bytes` (a BB stripe died mid-campaign and
+    /// its capacity is gone). Unreserved capacity absorbs the loss
+    /// first; any remainder is clawed back from granted reservations in
+    /// ascending job-id order (deterministic, exactly conservative — no
+    /// proportional rounding). Returns the `(job, clawed bytes)` pairs
+    /// so the scheduler can shrink the affected jobs' bookkeeping; jobs
+    /// whose grant shrank to zero keep a zero-byte grant (they still
+    /// release exactly once).
+    ///
+    /// Conservation extends across the shrink: afterwards
+    /// `free + Σ granted == capacity_new` holds *exactly* (capacity is
+    /// re-derived from the ledger), with `capacity_new` equal to
+    /// `max(capacity - bytes, 0)` up to float rounding, and `free`
+    /// never goes negative.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is negative or not finite.
+    pub fn shrink(&mut self, bytes: f64) -> Vec<(u32, f64)> {
+        assert!(
+            bytes.is_finite() && bytes >= 0.0,
+            "BB pool shrink must be finite and non-negative"
+        );
+        let lost = bytes.min(self.capacity);
+        let from_free = lost.min(self.free);
+        self.free -= from_free;
+        let mut remaining = lost - from_free;
+        let mut clawed = Vec::new();
+        for (&job, grant) in self.granted.iter_mut() {
+            if remaining <= 0.0 {
+                break;
+            }
+            let take = remaining.min(*grant);
+            if take > 0.0 {
+                *grant -= take;
+                remaining -= take;
+                clawed.push((job, take));
+            }
+        }
+        // Re-derive capacity from the post-clawback ledger instead of
+        // subtracting `lost`: the two agree to rounding, but this form
+        // makes conservation *exact* by construction, so float residue
+        // accumulated at a large capacity scale cannot outlive a shrink
+        // to a much smaller pool.
+        let held: f64 = self.granted.values().sum();
+        self.capacity = self.free + held;
+        debug_assert!(self.is_conserved(0.0), "shrink broke conservation");
+        clawed
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +194,50 @@ mod tests {
         assert!(pool.try_reserve(0, 0.0), "BB-less jobs reserve 0 bytes");
         assert_eq!(pool.release(0), 0.0);
         assert!(pool.is_conserved(0.0));
+    }
+
+    #[test]
+    fn shrink_takes_free_capacity_first() {
+        let mut pool = BbPool::new(10.0);
+        assert!(pool.try_reserve(1, 4.0));
+        let clawed = pool.shrink(3.0); // 6 free covers the loss
+        assert!(clawed.is_empty());
+        assert_eq!(pool.capacity(), 7.0);
+        assert_eq!(pool.free(), 3.0);
+        assert_eq!(pool.granted(1), Some(4.0));
+        assert!(pool.is_conserved(1e-12));
+    }
+
+    #[test]
+    fn shrink_claws_back_grants_in_job_order() {
+        let mut pool = BbPool::new(10.0);
+        assert!(pool.try_reserve(2, 4.0));
+        assert!(pool.try_reserve(5, 6.0));
+        // Nothing free: 5 bytes must come out of the grants, job 2 first.
+        let clawed = pool.shrink(5.0);
+        assert_eq!(clawed, vec![(2, 4.0), (5, 1.0)]);
+        assert_eq!(pool.capacity(), 5.0);
+        assert_eq!(pool.free(), 0.0);
+        assert_eq!(pool.granted(2), Some(0.0), "emptied grants stay open");
+        assert_eq!(pool.granted(5), Some(5.0));
+        assert!(pool.is_conserved(1e-12));
+        // The survivors still release exactly once.
+        assert_eq!(pool.release(2), 0.0);
+        assert_eq!(pool.release(5), 5.0);
+        assert_eq!(pool.free(), pool.capacity());
+    }
+
+    #[test]
+    fn shrink_clamps_at_zero_capacity() {
+        let mut pool = BbPool::new(4.0);
+        assert!(pool.try_reserve(1, 4.0));
+        let clawed = pool.shrink(100.0);
+        assert_eq!(clawed, vec![(1, 4.0)]);
+        assert_eq!(pool.capacity(), 0.0);
+        assert_eq!(pool.free(), 0.0);
+        assert!(pool.is_conserved(0.0));
+        // Later admissions see the empty pool.
+        assert!(!pool.try_reserve(9, 1.0));
+        assert!(pool.try_reserve(9, 0.0));
     }
 }

@@ -24,6 +24,7 @@
 //! ```
 
 use wfbb_platform::{PlatformError, PlatformSpec};
+use wfbb_resilience::CheckpointPolicy;
 use wfbb_simcore::{Engine, SolveMode, TelemetryConfig};
 use wfbb_storage::{FailoverPolicy, PlacementPlan, PlacementPolicy, StorageSystem};
 use wfbb_workflow::Workflow;
@@ -70,6 +71,7 @@ pub struct SimulationBuilder {
     faults: FaultSpec,
     retry: RetryPolicy,
     failover: FailoverPolicy,
+    checkpoint: Option<CheckpointPolicy>,
 }
 
 impl SimulationBuilder {
@@ -92,6 +94,7 @@ impl SimulationBuilder {
             faults: FaultSpec::new(),
             retry: RetryPolicy::default(),
             failover: FailoverPolicy::default(),
+            checkpoint: None,
         }
     }
 
@@ -116,6 +119,18 @@ impl SimulationBuilder {
     /// (default: [`FailoverPolicy::RerouteToPfs`]).
     pub fn failover(mut self, policy: FailoverPolicy) -> Self {
         self.failover = policy;
+        self
+    }
+
+    /// Enables periodic checkpointing (default: off): each task's
+    /// compute is cut into `policy.interval`-second segments with an
+    /// image write to the target tier between them, and a killed task
+    /// restores from its last image instead of re-running from the read
+    /// phase. Checkpoint writes are ordinary scheduled I/O — they pay
+    /// real contention and show up as the `checkpoint_io` decomposition
+    /// term. See `docs/failure-model.md`.
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
         self
     }
 
@@ -219,6 +234,9 @@ impl SimulationBuilder {
         );
         if let Some(placer) = self.dynamic_placer {
             executor.set_dynamic_placer(placer);
+        }
+        if let Some(policy) = self.checkpoint {
+            executor.set_checkpoint_policy(policy);
         }
         if !fault_events.is_empty() {
             executor.set_fault_injection(fault_events, self.retry);

@@ -26,6 +26,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
+use wfbb_resilience::{CheckpointPolicy, CheckpointTier};
 use wfbb_simcore::{ActivityId, Engine, EngineError, FaultPlan, FlowSpec, ResourceId, SimTime};
 use wfbb_storage::{FileRegistry, Location, PlacementPlan, StorageSystem, Tier};
 use wfbb_workflow::{amdahl_time, FileId, TaskId, Workflow};
@@ -81,8 +82,13 @@ pub enum Tag {
         /// Whether the access is a write.
         write: bool,
     },
-    /// A task's compute phase.
+    /// A task's compute phase (one segment when checkpointing splits it).
     Compute(TaskId),
+    /// Metadata phase of a checkpoint write (task in `Checkpointing`) or
+    /// a restore read (task in `Restoring`).
+    CkptMeta(TaskId),
+    /// One data flow of a checkpoint write or restore read.
+    CkptData(TaskId),
     /// Sentinel delay ending exactly at fault event `k` of the resolved
     /// schedule (the engine applies the capacity change first, then
     /// delivers this completion so the executor can run recovery).
@@ -113,6 +119,10 @@ enum Phase {
     Waiting,
     Reading,
     Computing,
+    /// Writing a periodic checkpoint image between compute segments.
+    Checkpointing,
+    /// Re-reading the last checkpoint image after a kill.
+    Restoring,
     Writing,
     Done,
 }
@@ -130,6 +140,20 @@ struct TaskState {
     read_end: SimTime,
     compute_end: SimTime,
     end: SimTime,
+    /// Compute seconds finished in earlier segments of this attempt.
+    compute_done: f64,
+    /// Length of the in-flight compute segment, seconds.
+    seg_len: f64,
+    /// Whether the in-flight segment is the attempt's last.
+    seg_final: bool,
+    /// Wall-clock spent in `Checkpointing`/`Restoring` this attempt.
+    ckpt_wall: f64,
+    /// When the current checkpoint/restore phase began.
+    ckpt_phase_start: SimTime,
+    /// Remaining metadata flows of the in-flight checkpoint access.
+    ckpt_meta: usize,
+    /// Remaining data flows of the in-flight checkpoint access.
+    ckpt_data: usize,
 }
 
 /// Flow-level contention totals of one task phase: summed wall-clock and
@@ -142,11 +166,11 @@ struct PhaseFlows {
     wait: f64,
 }
 
-/// Contention accumulated by one task across its read/compute/write
-/// phases (indices 0/1/2) and per binding resource.
+/// Contention accumulated by one task across its read/compute/write/
+/// checkpoint phases (indices 0/1/2/3) and per binding resource.
 #[derive(Debug, Clone, Default)]
 struct TaskContention {
-    phases: [PhaseFlows; 3],
+    phases: [PhaseFlows; 4],
     by_resource: Vec<(ResourceId, f64)>,
 }
 
@@ -162,6 +186,13 @@ impl TaskState {
             read_end: SimTime::ZERO,
             compute_end: SimTime::ZERO,
             end: SimTime::ZERO,
+            compute_done: 0.0,
+            seg_len: 0.0,
+            seg_final: false,
+            ckpt_wall: 0.0,
+            ckpt_phase_start: SimTime::ZERO,
+            ckpt_meta: 0,
+            ckpt_data: 0,
         }
     }
 }
@@ -285,6 +316,23 @@ pub struct Executor {
     fault_log: Vec<FaultRecord>,
     /// Task re-executions triggered by kill faults.
     retries: u32,
+    /// Checkpoint policy (`None` disables checkpointing entirely).
+    checkpoint: Option<CheckpointPolicy>,
+    /// Compute seconds protected by each task's live image.
+    ckpt_progress: Vec<f64>,
+    /// Location of each task's live checkpoint image (holds a BB
+    /// reservation while `Some`).
+    ckpt_location: Vec<Option<Location>>,
+    /// Destination of each task's in-flight checkpoint write, or the
+    /// image being read back while restoring.
+    ckpt_pending: Vec<Option<Location>>,
+    /// Checkpoint images successfully written.
+    checkpoints_taken: u32,
+    /// Restores from a checkpoint image (retries that skipped the read
+    /// phase).
+    restores: u32,
+    /// Total bytes of checkpoint images written.
+    ckpt_bytes_total: f64,
 }
 
 const STAGE_KEY: u32 = u32::MAX;
@@ -384,6 +432,13 @@ impl Executor {
             written: vec![Vec::new(); n],
             fault_log: Vec::new(),
             retries: 0,
+            checkpoint: None,
+            ckpt_progress: vec![0.0; n],
+            ckpt_location: vec![None; n],
+            ckpt_pending: vec![None; n],
+            checkpoints_taken: 0,
+            restores: 0,
+            ckpt_bytes_total: 0.0,
         }
     }
 
@@ -448,6 +503,13 @@ impl Executor {
             written: self.written.clone(),
             fault_log: self.fault_log.clone(),
             retries: self.retries,
+            checkpoint: self.checkpoint,
+            ckpt_progress: self.ckpt_progress.clone(),
+            ckpt_location: self.ckpt_location.clone(),
+            ckpt_pending: self.ckpt_pending.clone(),
+            checkpoints_taken: self.checkpoints_taken,
+            restores: self.restores,
+            ckpt_bytes_total: self.ckpt_bytes_total,
         }
     }
 
@@ -462,6 +524,16 @@ impl Executor {
     /// Installs an online placer consulted for every task write.
     pub fn set_dynamic_placer(&mut self, placer: Box<dyn DynamicPlacer>) {
         self.dynamic_placer = Some(placer);
+    }
+
+    /// Installs the checkpoint policy: each task's compute is cut into
+    /// `policy.interval`-second segments with an image write to the
+    /// target tier between them, and a killed task restores from its
+    /// last image instead of starting over from the read phase. Without
+    /// a policy (the default) runs are bitwise-identical to builds
+    /// predating the checkpoint subsystem.
+    pub fn set_checkpoint_policy(&mut self, policy: CheckpointPolicy) {
+        self.checkpoint = Some(policy);
     }
 
     /// Reserves `size` bytes at `location`, returning whether it fits.
@@ -568,6 +640,8 @@ impl Executor {
             Tag::TaskMeta { task, file, write } => self.on_task_meta(task, file, write),
             Tag::TaskData { task, file, write } => self.on_task_data(task, file, write),
             Tag::Compute(task) => self.on_compute_done(task),
+            Tag::CkptMeta(task) => self.on_ckpt_meta(task),
+            Tag::CkptData(task) => self.on_ckpt_data(task),
             Tag::Fault(k) => self.on_fault(k)?,
             Tag::Retry(task) => self.on_retry(task),
             Tag::External(_) => {
@@ -647,9 +721,11 @@ impl Executor {
         }
         if any_capacity {
             // Capacity faults are engine-global (absolute times, shared
-            // resources); kill-only schedules — the only kind campaigns
-            // allow — must not replace another job's installed plan.
-            self.engine.borrow_mut().set_fault_plan(&plan);
+            // resources). Merge instead of replace so a driver-installed
+            // plan (campaign-scope stripe deaths) survives; for single
+            // runs the merge is into an empty plan — identical to a
+            // plain install.
+            self.engine.borrow_mut().merge_fault_plan(&plan);
         }
         for (k, ev) in self.faults.iter().enumerate() {
             self.engine.borrow_mut().spawn_delay_labeled(
@@ -716,6 +792,9 @@ impl Executor {
             }
             Tag::Compute(task) => {
                 self.fold_task_contention(task, 1, ideal, actual, wait, blame);
+            }
+            Tag::CkptMeta(task) | Tag::CkptData(task) => {
+                self.fold_task_contention(task, 3, ideal, actual, wait, blame);
             }
             Tag::Fault(_) | Tag::Retry(_) | Tag::External(_) => {}
         }
@@ -987,6 +1066,10 @@ impl Executor {
             st.start = now;
             st.pending = inputs;
             st.in_flight = 0;
+            st.compute_done = 0.0;
+            st.ckpt_wall = 0.0;
+            st.ckpt_meta = 0;
+            st.ckpt_data = 0;
         }
         self.pump_accesses(task, false);
     }
@@ -1212,20 +1295,49 @@ impl Executor {
         }
     }
 
+    /// Spawns the task's (next) compute segment. Without a checkpoint
+    /// policy the whole compute phase is one flow, exactly as before;
+    /// with one, compute is cut into `policy.interval`-second segments
+    /// with a checkpoint write between consecutive segments.
     fn spawn_compute(&mut self, task: TaskId) {
-        let t = self.workflow.task(task);
-        let st = &self.states[task.index()];
+        let (flops, alpha, name) = {
+            let t = self.workflow.task(task);
+            (t.flops, t.alpha, t.name.clone())
+        };
         let speed = self.storage.platform.spec.gflops_per_core * 1e9;
-        let seq_seconds = t.flops / speed;
-        let duration = amdahl_time(seq_seconds, st.cores, t.alpha);
-        let core_seconds = duration * st.cores as f64;
-        let label = format!("compute:{}", t.name);
+        let seq_seconds = flops / speed;
+        let (cores, node, compute_done) = {
+            let st = &self.states[task.index()];
+            (st.cores, st.node, st.compute_done)
+        };
+        let total = amdahl_time(seq_seconds, cores, alpha);
+        // `x - 0.0` is bitwise `x`, so the checkpoint-free path (and the
+        // first segment) computes the exact duration it always did.
+        let remaining = total - compute_done;
+        let interval = match self.checkpoint {
+            Some(p) if self.ckpt_bytes(task) > 0.0 => Some(p.interval),
+            _ => None,
+        };
+        let (chunk, last) = match interval {
+            // Strictly more than one interval of compute left: run one
+            // interval, then checkpoint. The epsilon absorbs float noise
+            // so an exact multiple doesn't spawn a zero-length tail.
+            Some(iv) if remaining > iv * (1.0 + 1e-9) => (iv, false),
+            _ => (remaining, true),
+        };
+        {
+            let st = &mut self.states[task.index()];
+            st.seg_len = chunk;
+            st.seg_final = last;
+        }
+        let core_seconds = chunk * cores as f64;
+        let label = format!("compute:{name}");
         if core_seconds <= 0.0 {
             self.spawn_tracked_flow(FlowSpec::new(0.0, vec![]), Tag::Compute(task), label);
         } else {
-            let cpu = self.storage.platform.node_cpu[st.node];
+            let cpu = self.storage.platform.node_cpu[node];
             self.spawn_tracked_flow(
-                FlowSpec::new(core_seconds, vec![cpu]).with_rate_cap(st.cores as f64),
+                FlowSpec::new(core_seconds, vec![cpu]).with_rate_cap(cores as f64),
                 Tag::Compute(task),
                 label,
             );
@@ -1234,6 +1346,16 @@ impl Executor {
 
     fn on_compute_done(&mut self, task: TaskId) {
         let now = self.now();
+        if !self.states[task.index()].seg_final {
+            // One interval of compute finished; write a checkpoint
+            // before starting the next segment.
+            let st = &mut self.states[task.index()];
+            st.compute_done += st.seg_len;
+            st.phase = Phase::Checkpointing;
+            st.ckpt_phase_start = now;
+            self.start_checkpoint_write(task);
+            return;
+        }
         let outputs: VecDeque<FileId> = self.workflow.task(task).outputs.iter().copied().collect();
         {
             let st = &mut self.states[task.index()];
@@ -1246,6 +1368,10 @@ impl Executor {
     }
 
     fn finish_task(&mut self, task: TaskId) {
+        // The task is done: its checkpoint image (if any) is garbage.
+        if let Some(loc) = self.ckpt_location[task.index()].take() {
+            self.release_reservation(&loc, self.ckpt_bytes(task));
+        }
         self.completed += 1;
         let (node, cores) = {
             let st = &self.states[task.index()];
@@ -1315,7 +1441,12 @@ impl Executor {
             Tag::TaskMeta { task, file, write } | Tag::TaskData { task, file, write } => {
                 Some((task.index() as u32, file.index() as u32, write))
             }
-            Tag::Compute(_) | Tag::Fault(_) | Tag::Retry(_) | Tag::External(_) => None,
+            Tag::Compute(_)
+            | Tag::CkptMeta(_)
+            | Tag::CkptData(_)
+            | Tag::Fault(_)
+            | Tag::Retry(_)
+            | Tag::External(_) => None,
         }
     }
 
@@ -1323,9 +1454,11 @@ impl Executor {
     /// sentinel/retry delays.
     fn tag_task(tag: &Tag) -> Option<TaskId> {
         match *tag {
-            Tag::TaskMeta { task, .. } | Tag::TaskData { task, .. } | Tag::Compute(task) => {
-                Some(task)
-            }
+            Tag::TaskMeta { task, .. }
+            | Tag::TaskData { task, .. }
+            | Tag::Compute(task)
+            | Tag::CkptMeta(task)
+            | Tag::CkptData(task) => Some(task),
             Tag::StageMeta(_)
             | Tag::StageData(_)
             | Tag::Fault(_)
@@ -1349,7 +1482,9 @@ impl Executor {
                     n += 1;
                     match tag {
                         Tag::Compute(_) => compute += c.work_done,
-                        Tag::StageData(_) | Tag::TaskData { .. } => bytes += c.work_done,
+                        Tag::StageData(_) | Tag::TaskData { .. } | Tag::CkptData(_) => {
+                            bytes += c.work_done
+                        }
                         _ => {}
                     }
                 }
@@ -1381,6 +1516,16 @@ impl Executor {
         }
     }
 
+    /// Campaign-driver entry for a BB-device failure: runs the same
+    /// recovery as a schedule-installed `bb:<i>@t` event. Campaign-scope
+    /// stripe deaths live in the driver's own fault plan, not in this
+    /// executor's schedule, so the driver calls this on every running
+    /// job when the stripe dies; the engine must already have zeroed the
+    /// device's capacity at `time`.
+    pub fn bb_node_down(&mut self, device: usize, time: f64) {
+        self.recover_bb_down(device, time);
+    }
+
     /// BB device `device` died: cancel transfers crossing it, re-source
     /// its files from the PFS master copies, and re-issue the
     /// interrupted accesses under the failover policy.
@@ -1406,7 +1551,7 @@ impl Executor {
             .filter(|(_, tag)| Self::access_key(tag).is_some_and(|k| affected.contains(&k)))
             .map(|(&id, _)| id)
             .collect();
-        let (cancelled, lost_bytes, _) = self.cancel_all(&to_cancel);
+        let (mut cancelled, mut lost_bytes, _) = self.cancel_all(&to_cancel);
 
         // Files whose registered location died are re-sourced from their
         // PFS master copies (DataWarp-style drain); free their BB space.
@@ -1421,6 +1566,44 @@ impl Executor {
                 self.registry.set(f, Location::Pfs);
                 lost_files += 1;
             }
+        }
+
+        // Checkpoint images on the dead device are lost: release their
+        // space and drop the rollback points (affected tasks fall back
+        // to a full restart on their next retry).
+        for t in (0..self.workflow.task_count()).map(TaskId::from_index) {
+            let Some(loc) = self.ckpt_location[t.index()].clone() else {
+                continue;
+            };
+            if self.storage.location_is_dead(&loc) {
+                self.release_reservation(&loc, self.ckpt_bytes(t));
+                self.ckpt_location[t.index()] = None;
+                self.ckpt_progress[t.index()] = 0.0;
+            }
+        }
+
+        // Interrupted checkpoint writes / restore reads crossing the
+        // device: cancel every flow of the access and resolve the torn
+        // phase — a write skips its checkpoint and resumes compute, a
+        // restore restarts the attempt from scratch.
+        let ckpt_victims: BTreeSet<TaskId> = victims
+            .iter()
+            .filter_map(|id| match self.live.get(id) {
+                Some(Tag::CkptMeta(t)) | Some(Tag::CkptData(t)) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        for t in ckpt_victims {
+            let ckpt_flows: Vec<ActivityId> = self
+                .live
+                .iter()
+                .filter(|(_, tag)| matches!(tag, Tag::CkptMeta(x) | Tag::CkptData(x) if *x == t))
+                .map(|(&id, _)| id)
+                .collect();
+            let (n, b, _) = self.cancel_all(&ckpt_flows);
+            cancelled += n;
+            lost_bytes += b;
+            self.ckpt_abort(t);
         }
 
         // Re-issue the interrupted accesses against the post-failure
@@ -1492,7 +1675,14 @@ impl Executor {
             return Ok(());
         };
         let phase = self.states[task.index()].phase;
-        if !matches!(phase, Phase::Reading | Phase::Computing | Phase::Writing) {
+        if !matches!(
+            phase,
+            Phase::Reading
+                | Phase::Computing
+                | Phase::Checkpointing
+                | Phase::Restoring
+                | Phase::Writing
+        ) {
             self.fault_log.push(no_effect(format!(
                 "task {name} was not running ({phase:?}); kill had no effect"
             )));
@@ -1544,12 +1734,24 @@ impl Executor {
             let loc = self.registry.require(f).clone();
             self.release_reservation(&loc, self.workflow.file(f).size);
         }
+        // An in-flight checkpoint write holds a reservation at its
+        // target; a restore's pending location is the image itself
+        // (whose reservation `ckpt_location` keeps), so only the write
+        // releases. The image survives the kill — that is the point —
+        // and the retry restores from it.
+        if let Some(loc) = self.ckpt_pending[task.index()].take() {
+            if phase == Phase::Checkpointing {
+                self.release_reservation(&loc, self.ckpt_bytes(task));
+            }
+        }
 
         {
             let st = &mut self.states[task.index()];
             st.phase = Phase::Waiting;
             st.pending.clear();
             st.in_flight = 0;
+            st.ckpt_meta = 0;
+            st.ckpt_data = 0;
         }
         self.contention[task.index()] = TaskContention::default();
         self.retries += 1;
@@ -1580,30 +1782,290 @@ impl Executor {
 
     /// A retry backoff elapsed: re-run the task on the cores it still
     /// holds (kills never release cores, so the retry cannot starve).
+    /// With a live checkpoint image the task restores from it instead of
+    /// starting over from the read phase.
     fn on_retry(&mut self, task: TaskId) {
         let (node, cores) = {
             let st = &self.states[task.index()];
             (st.node, st.cores)
         };
-        self.start_task(task, node, cores);
+        match self.ckpt_location[task.index()].clone() {
+            Some(loc) if !self.storage.location_is_dead(&loc) => {
+                self.restore_task(task, node, cores, loc)
+            }
+            _ => self.start_task(task, node, cores),
+        }
+    }
+
+    // ---- checkpointing ----------------------------------------------
+
+    /// Checkpoint image size for `task`, bytes: the policy's fixed size,
+    /// or the task's total output volume when none is given. `0.0`
+    /// (including "no policy") disables checkpointing for the task.
+    fn ckpt_bytes(&self, task: TaskId) -> f64 {
+        match &self.checkpoint {
+            Some(p) => p.bytes.unwrap_or_else(|| {
+                self.workflow
+                    .task(task)
+                    .outputs
+                    .iter()
+                    .map(|&f| self.workflow.file(f).size)
+                    .sum()
+            }),
+            None => 0.0,
+        }
+    }
+
+    /// Starts the checkpoint write of `task` to the policy's target tier
+    /// (spilling to the PFS when the BB device is full, like any other
+    /// write).
+    fn start_checkpoint_write(&mut self, task: TaskId) {
+        let policy = self.checkpoint.expect("checkpointing without a policy");
+        let bytes = self.ckpt_bytes(task);
+        let node = self.states[task.index()].node;
+        let tier = match policy.target {
+            CheckpointTier::Bb => Tier::BurstBuffer,
+            CheckpointTier::Pfs => Tier::Pfs,
+        };
+        let desired = self.storage.locate(tier, node, bytes);
+        let loc = if self.try_reserve(&desired, bytes) {
+            desired
+        } else {
+            self.spilled += 1;
+            Location::Pfs
+        };
+        self.ckpt_pending[task.index()] = Some(loc.clone());
+        let access = self.storage.write_flows(bytes, &loc, node);
+        if !access.metadata.is_empty() {
+            self.states[task.index()].ckpt_meta = access.metadata.len();
+            let name = self.workflow.task(task).name.clone();
+            for meta in access.metadata {
+                self.spawn_tracked_flow(meta, Tag::CkptMeta(task), format!("ckpt-meta:{name}"));
+            }
+            return;
+        }
+        self.spawn_ckpt_data(task, access.data, false);
+    }
+
+    /// Spawns the data flows of a checkpoint write (`restore == false`)
+    /// or restore read, capped by the task's I/O bandwidth like any
+    /// other access.
+    fn spawn_ckpt_data(&mut self, task: TaskId, mut data: Vec<FlowSpec>, restore: bool) {
+        if data.is_empty() {
+            self.ckpt_access_done(task);
+            return;
+        }
+        let cores = self.states[task.index()].cores as f64;
+        let per_flow_cap = cores * self.storage.platform.spec.io_core_bw / data.len() as f64;
+        for flow in &mut data {
+            flow.rate_cap = Some(match flow.rate_cap {
+                Some(cap) => cap.min(per_flow_cap),
+                None => per_flow_cap,
+            });
+        }
+        self.states[task.index()].ckpt_data = data.len();
+        let label = format!(
+            "{}:{}",
+            if restore { "restore" } else { "ckpt" },
+            self.workflow.task(task).name
+        );
+        for flow in data {
+            self.spawn_tracked_flow(flow, Tag::CkptData(task), label.clone());
+        }
+    }
+
+    fn on_ckpt_meta(&mut self, task: TaskId) {
+        {
+            let st = &mut self.states[task.index()];
+            st.ckpt_meta -= 1;
+            if st.ckpt_meta > 0 {
+                return;
+            }
+        }
+        let restoring = self.states[task.index()].phase == Phase::Restoring;
+        let node = self.states[task.index()].node;
+        let loc = self.ckpt_pending[task.index()]
+            .clone()
+            .expect("checkpoint access in flight");
+        if self.storage.location_is_dead(&loc) {
+            // The location died exactly when the metadata phase
+            // finished: abandon this checkpoint (or fall back to a full
+            // restart mid-restore).
+            self.ckpt_abort(task);
+            return;
+        }
+        let bytes = self.ckpt_bytes(task);
+        let access = if restoring {
+            self.storage.read_flows(bytes, &loc, node)
+        } else {
+            self.storage.write_flows(bytes, &loc, node)
+        };
+        self.spawn_ckpt_data(task, access.data, restoring);
+    }
+
+    fn on_ckpt_data(&mut self, task: TaskId) {
+        self.states[task.index()].ckpt_data -= 1;
+        if self.states[task.index()].ckpt_data == 0 {
+            self.ckpt_access_done(task);
+        }
+    }
+
+    /// All flows of a checkpoint write or restore read finished.
+    fn ckpt_access_done(&mut self, task: TaskId) {
+        let now = self.now();
+        let phase = self.states[task.index()].phase;
+        let loc = self.ckpt_pending[task.index()]
+            .take()
+            .expect("checkpoint access resolved");
+        let bytes = self.ckpt_bytes(task);
+        match phase {
+            Phase::Checkpointing => {
+                if self.storage.location_is_dead(&loc) {
+                    // Completed at the very fault instant on a dead
+                    // device: the image is lost, no rollback point.
+                    self.release_reservation(&loc, bytes);
+                } else {
+                    // The new image supersedes the previous one.
+                    if let Some(prev) = self.ckpt_location[task.index()].take() {
+                        self.release_reservation(&prev, bytes);
+                    }
+                    self.ckpt_progress[task.index()] = self.states[task.index()].compute_done;
+                    self.ckpt_location[task.index()] = Some(loc);
+                    self.checkpoints_taken += 1;
+                    self.ckpt_bytes_total += bytes;
+                }
+                let st = &mut self.states[task.index()];
+                st.ckpt_wall += now.duration_since(st.ckpt_phase_start);
+                st.phase = Phase::Computing;
+                self.spawn_compute(task);
+            }
+            Phase::Restoring => {
+                if self.storage.location_is_dead(&loc) {
+                    // The image died as the restore finished: nothing
+                    // usable was read, restart from scratch.
+                    self.restore_failed(task);
+                    return;
+                }
+                let st = &mut self.states[task.index()];
+                st.ckpt_wall += now.duration_since(st.ckpt_phase_start);
+                st.phase = Phase::Computing;
+                self.spawn_compute(task);
+            }
+            other => unreachable!("checkpoint access completed in phase {other:?}"),
+        }
+    }
+
+    /// Abandons an interrupted checkpoint access after its target died:
+    /// a write skips this checkpoint and resumes compute; a restore
+    /// falls back to a full restart of the attempt.
+    fn ckpt_abort(&mut self, task: TaskId) {
+        let now = self.now();
+        let phase = self.states[task.index()].phase;
+        let loc = self.ckpt_pending[task.index()]
+            .take()
+            .expect("checkpoint access in flight");
+        {
+            let st = &mut self.states[task.index()];
+            st.ckpt_meta = 0;
+            st.ckpt_data = 0;
+        }
+        match phase {
+            Phase::Checkpointing => {
+                self.release_reservation(&loc, self.ckpt_bytes(task));
+                let st = &mut self.states[task.index()];
+                st.ckpt_wall += now.duration_since(st.ckpt_phase_start);
+                st.phase = Phase::Computing;
+                self.spawn_compute(task);
+            }
+            Phase::Restoring => self.restore_failed(task),
+            other => unreachable!("checkpoint abort in phase {other:?}"),
+        }
+    }
+
+    /// A restore could not use its image (the device died): the attempt
+    /// starts over from the read phase. The rollback point is dropped
+    /// (a dead image's reservation is released by the device sweep in
+    /// `recover_bb_down`; here only the claim is cleared). The wasted
+    /// restore wall lands in the attempt's read window (`start` is
+    /// unchanged), so it must not also count as checkpoint wall —
+    /// `ckpt_wall` resets.
+    fn restore_failed(&mut self, task: TaskId) {
+        self.ckpt_location[task.index()] = None;
+        self.ckpt_progress[task.index()] = 0.0;
+        let inputs: VecDeque<FileId> = self.workflow.task(task).inputs.iter().copied().collect();
+        {
+            let st = &mut self.states[task.index()];
+            st.phase = Phase::Reading;
+            st.pending = inputs;
+            st.in_flight = 0;
+            st.compute_done = 0.0;
+            st.ckpt_wall = 0.0;
+            st.ckpt_meta = 0;
+            st.ckpt_data = 0;
+        }
+        self.pump_accesses(task, false);
+    }
+
+    /// Re-runs a killed task from its last checkpoint: instead of
+    /// re-reading its inputs, the attempt reads the image back from the
+    /// checkpoint tier and resumes compute at the checkpointed offset.
+    /// The restore read replaces the read phase — the attempt's read
+    /// wall is zero and the restore wall counts as checkpoint I/O.
+    fn restore_task(&mut self, task: TaskId, node: usize, cores: usize, loc: Location) {
+        let now = self.now();
+        self.attempts[task.index()] += 1;
+        self.written[task.index()].clear();
+        self.restores += 1;
+        {
+            let st = &mut self.states[task.index()];
+            st.phase = Phase::Restoring;
+            st.node = node;
+            st.cores = cores;
+            st.start = now;
+            st.read_end = now;
+            st.pending.clear();
+            st.in_flight = 0;
+            st.compute_done = self.ckpt_progress[task.index()];
+            st.ckpt_wall = 0.0;
+            st.ckpt_phase_start = now;
+        }
+        self.ckpt_pending[task.index()] = Some(loc.clone());
+        let bytes = self.ckpt_bytes(task);
+        let access = self.storage.read_flows(bytes, &loc, node);
+        if !access.metadata.is_empty() {
+            self.states[task.index()].ckpt_meta = access.metadata.len();
+            let name = self.workflow.task(task).name.clone();
+            for meta in access.metadata {
+                self.spawn_tracked_flow(meta, Tag::CkptMeta(task), format!("restore-meta:{name}"));
+            }
+            return;
+        }
+        self.spawn_ckpt_data(task, access.data, true);
     }
 
     // ---- reporting --------------------------------------------------
 
-    /// Splits one task's three phase walls into contention wait and
-    /// useful time. Each phase `p` scales its wall by the flow-level
+    /// Splits one task's phase walls into contention wait and useful
+    /// time. Walls are read / compute / write / checkpoint (indices
+    /// 0–3); the checkpoint wall — time spent writing images or reading
+    /// one back — is carved out of the compute window it interleaves
+    /// with. Each phase `p` scales its wall by the flow-level
     /// inefficiency `1 - ideal_p / actual_p` (concurrent flows share the
-    /// wall, so serialized per-flow waits would overcount); a phase whose
-    /// flows accrued no wait contributes exactly `0.0`.
-    fn decompose(&self, task: TaskId, st: &TaskState) -> (f64, f64, f64) {
+    /// wall, so serialized per-flow waits would overcount); a phase
+    /// whose flows accrued no wait contributes exactly `0.0`. Without a
+    /// checkpoint policy `ckpt_wall` is `0.0` and every term is bitwise
+    /// what the three-wall split produced. Returns
+    /// `(pure_compute, serialized_io, contention_wait, checkpoint_io)`.
+    fn decompose(&self, task: TaskId, st: &TaskState) -> (f64, f64, f64, f64) {
         let acc = &self.contention[task.index()];
         let wall = [
             st.read_end.duration_since(st.start),
-            st.compute_end.duration_since(st.read_end),
+            st.compute_end.duration_since(st.read_end) - st.ckpt_wall,
             st.end.duration_since(st.compute_end),
+            st.ckpt_wall,
         ];
-        let mut waits = [0.0f64; 3];
-        for p in 0..3 {
+        let mut waits = [0.0f64; 4];
+        for p in 0..4 {
             let ph = &acc.phases[p];
             if ph.wait > 0.0 && ph.actual > 0.0 {
                 waits[p] = (wall[p] * (1.0 - ph.ideal / ph.actual)).clamp(0.0, wall[p]);
@@ -1611,7 +2073,13 @@ impl Executor {
         }
         let pure_compute = wall[1] - waits[1];
         let serialized_io = (wall[0] - waits[0]) + (wall[2] - waits[2]);
-        (pure_compute, serialized_io, waits[0] + waits[1] + waits[2])
+        let checkpoint_io = wall[3] - waits[3];
+        (
+            pure_compute,
+            serialized_io,
+            waits[0] + waits[1] + waits[2] + waits[3],
+            checkpoint_io,
+        )
     }
 
     /// The executed critical path: from the last-finishing task, follow
@@ -1683,7 +2151,8 @@ impl Executor {
             .iter()
             .map(|t| {
                 let st = &self.states[t.id.index()];
-                let (pure_compute, serialized_io, contention_wait) = self.decompose(t.id, st);
+                let (pure_compute, serialized_io, contention_wait, checkpoint_io) =
+                    self.decompose(t.id, st);
                 // Gap between the first attempt's start and the final
                 // (successful) attempt's start; exactly 0.0 without
                 // kills, keeping fault-free runs bitwise unchanged.
@@ -1711,11 +2180,13 @@ impl Executor {
                     contention_wait,
                     attempts: self.attempts[t.id.index()],
                     fault_wait,
+                    checkpoint_io,
                     contention_by_resource,
                 }
             })
             .collect();
         let fault_wait_total: f64 = tasks.iter().map(|t: &TaskRecord| t.fault_wait).sum();
+        let checkpoint_io_total: f64 = tasks.iter().map(|t: &TaskRecord| t.checkpoint_io).sum();
 
         // Per-resource blame totals (always accumulated by the engine).
         let mut contention: Vec<ResourceContention> = engine
@@ -1781,6 +2252,10 @@ impl Executor {
             fault_lost_compute: self.fault_log.iter().map(|f| f.lost_compute).sum(),
             fault_wait_total,
             retries: self.retries,
+            checkpoints: self.checkpoints_taken,
+            restores: self.restores,
+            checkpoint_bytes: self.ckpt_bytes_total,
+            checkpoint_io_total,
             bb_bytes,
             pfs_bytes: pfs.total_served,
             bb_achieved_bw: if bb_busy > 0.0 {

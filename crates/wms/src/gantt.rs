@@ -305,6 +305,7 @@ mod tests {
                 contention_wait: 0.0,
                 attempts: 1,
                 fault_wait: 0.0,
+                checkpoint_io: 0.0,
                 contention_by_resource: Vec::new(),
             }
         };
@@ -322,6 +323,10 @@ mod tests {
             fault_lost_compute: 0.0,
             fault_wait_total: 0.0,
             retries: 0,
+            checkpoints: 0,
+            restores: 0,
+            checkpoint_bytes: 0.0,
+            checkpoint_io_total: 0.0,
             tasks: vec![
                 task(0, "a", "x", Some(0), 0, 2, [0.0, 2.0, 8.0, 10.0]),
                 task(1, "b", "y", None, 1, 1, [1.0, 1.5, 4.0, 5.0]),

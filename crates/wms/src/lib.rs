@@ -50,4 +50,5 @@ pub use report::{
     SimulationReport, StageSpan, TaskRecord,
 };
 pub use traceexport::TRACE_SCHEMA_VERSION;
+pub use wfbb_resilience::{young_interval, CheckpointPolicy, CheckpointSpecError, CheckpointTier};
 pub use wfbb_simcore::{EngineCounters, TelemetryConfig, TelemetrySnapshot};

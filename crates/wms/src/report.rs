@@ -45,10 +45,10 @@ pub struct TaskRecord {
     /// minus I/O contention wait).
     pub serialized_io: f64,
     /// Seconds lost to resource contention across the final attempt's
-    /// three phases.
-    /// `pure_compute + serialized_io + contention_wait + fault_wait
-    /// == duration()` by construction; exactly `0.0` for an uncontended
-    /// run.
+    /// phases (checkpoint I/O included).
+    /// `pure_compute + serialized_io + contention_wait + fault_wait +
+    /// checkpoint_io == duration()` by construction; exactly `0.0` for
+    /// an uncontended run.
     pub contention_wait: f64,
     /// Execution attempts the task used (1 unless a kill fault forced a
     /// retry; see [`crate::RetryPolicy`]).
@@ -59,6 +59,12 @@ pub struct TaskRecord {
     /// killed, so the decomposition reduces to the three-term identity
     /// in fault-free runs.
     pub fault_wait: f64,
+    /// Seconds the final attempt spent writing checkpoint images (and
+    /// reading one back after a restore), net of contention wait —
+    /// checkpointing is scheduled I/O paying real contention like any
+    /// other flow. Exactly `0.0` without a checkpoint policy, so the
+    /// decomposition reduces to the previous four-term identity.
+    pub checkpoint_io: f64,
     /// Contention wait attributed per binding resource, `(resource name,
     /// serialized wait seconds)`, descending by wait. The per-flow waits
     /// sum without concurrency folding, so entries can exceed
@@ -246,6 +252,17 @@ pub struct SimulationReport {
     pub fault_wait_total: f64,
     /// Task re-executions triggered by kill faults.
     pub retries: u32,
+    /// Checkpoint images successfully written (0 without a policy).
+    pub checkpoints: u32,
+    /// Retries that restored from a checkpoint image instead of
+    /// restarting from the read phase.
+    pub restores: u32,
+    /// Total bytes of checkpoint images written.
+    pub checkpoint_bytes: f64,
+    /// Total wall-clock spent on checkpoint I/O across tasks (the sum of
+    /// per-task [`TaskRecord::checkpoint_io`]); exactly `0.0` without a
+    /// checkpoint policy.
+    pub checkpoint_io_total: f64,
     /// Bytes transferred to/from the burst buffer tier.
     pub bb_bytes: f64,
     /// Bytes transferred to/from the PFS tier.
@@ -366,6 +383,7 @@ mod tests {
             contention_wait: 0.0,
             attempts: 1,
             fault_wait: 0.0,
+            checkpoint_io: 0.0,
             contention_by_resource: Vec::new(),
         }
     }
@@ -402,6 +420,10 @@ mod tests {
             fault_lost_compute: 0.0,
             fault_wait_total: 0.0,
             retries: 0,
+            checkpoints: 0,
+            restores: 0,
+            checkpoint_bytes: 0.0,
+            checkpoint_io_total: 0.0,
             tasks: vec![
                 record("r1", "resample", 0.0, 1.0, 4.0, 5.0),
                 record("r2", "resample", 0.0, 2.0, 5.0, 7.0),

@@ -40,6 +40,12 @@ use crate::report::SimulationReport;
 /// campaign Perfetto trace, and the `engine_counters` instant on the
 /// campaign cluster lane. Single-run JSONL/Perfetto records are
 /// unchanged from v3.
+///
+/// Additive within v4: checkpointed runs (`docs/failure-model.md`)
+/// append `checkpoint_io` to task records and `checkpoints` /
+/// `restores` / `checkpoint_bytes` / `checkpoint_io` to the summary.
+/// All of them are omitted when zero, so checkpoint-free traces stay
+/// byte-identical to pre-checkpoint goldens.
 pub const TRACE_SCHEMA_VERSION: u32 = 4;
 
 /// Escapes a string for inclusion inside a JSON string literal.
@@ -114,12 +120,19 @@ impl SimulationReport {
             ));
         }
         for t in &self.tasks {
+            // Additive field: only checkpointed tasks carry it, keeping
+            // checkpoint-free traces byte-identical to older goldens.
+            let ckpt = if t.checkpoint_io != 0.0 {
+                format!(",\"checkpoint_io\":{}", num(t.checkpoint_io))
+            } else {
+                String::new()
+            };
             out.push_str(&format!(
                 "{{\"type\":\"task\",\"name\":\"{}\",\"category\":\"{}\",\
                  \"pipeline\":{},\"node\":{},\"cores\":{},\"start\":{},\
                  \"read_end\":{},\"compute_end\":{},\"end\":{},\
                  \"pure_compute\":{},\"serialized_io\":{},\"contention_wait\":{},\
-                 \"attempts\":{},\"fault_wait\":{}}}\n",
+                 \"attempts\":{},\"fault_wait\":{}{ckpt}}}\n",
                 esc(&t.name),
                 esc(&t.category),
                 t.pipeline.map_or("null".to_string(), |p| p.to_string()),
@@ -210,12 +223,27 @@ impl SimulationReport {
                 ));
             }
         }
+        // Additive block: only checkpointed runs carry it, keeping
+        // checkpoint-free traces byte-identical to older goldens.
+        let ckpt_summary = if self.checkpoints > 0 || self.restores > 0 {
+            format!(
+                ",\"checkpoints\":{},\"restores\":{},\"checkpoint_bytes\":{},\
+                 \"checkpoint_io\":{}",
+                self.checkpoints,
+                self.restores,
+                num(self.checkpoint_bytes),
+                num(self.checkpoint_io_total),
+            )
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
             "{{\"type\":\"summary\",\"bb_bytes\":{},\"pfs_bytes\":{},\
              \"bb_achieved_bw\":{},\"pfs_achieved_bw\":{},\
              \"bb_nominal_bw\":{},\"pfs_nominal_bw\":{},\"bb_peak_bytes\":{},\
              \"spilled_files\":{},\"faults\":{},\"retries\":{},\
-             \"fault_wait\":{},\"fault_lost_bytes\":{},\"fault_lost_compute\":{}}}\n",
+             \"fault_wait\":{},\"fault_lost_bytes\":{},\"fault_lost_compute\":{}\
+             {ckpt_summary}}}\n",
             num(self.bb_bytes),
             num(self.pfs_bytes),
             num(self.bb_achieved_bw),
@@ -306,9 +334,16 @@ impl SimulationReport {
             ));
         }
         for t in &self.tasks {
+            // Additive arg, mirroring the JSONL task record: present
+            // only when the task checkpointed.
+            let ckpt = if t.checkpoint_io != 0.0 {
+                format!(",\"checkpoint_io\":{}", num(t.checkpoint_io))
+            } else {
+                String::new()
+            };
             let attribution = format!(
                 "\"args\":{{\"pure_compute\":{},\"serialized_io\":{},\
-                 \"contention_wait\":{},\"attempts\":{},\"fault_wait\":{}}}",
+                 \"contention_wait\":{},\"attempts\":{},\"fault_wait\":{}{ckpt}}}",
                 num(t.pure_compute),
                 num(t.serialized_io),
                 num(t.contention_wait),

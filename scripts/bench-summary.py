@@ -15,8 +15,13 @@ Defaults: ``target/criterion`` and ``BENCH_engine.json``. With
 the named Criterion groups are summarized — so one criterion tree can
 feed several summary files (e.g. ``--groups campaign_throughput
 campaign_parallel`` for the scheduler summary).
-Exits non-zero when no estimates are found (a sampling run must have
-happened first, e.g. ``cargo bench -p wfbb-bench --bench engine``).
+
+A requested group with no estimates (not yet sampled, renamed, or an
+empty directory) still gets a stable entry: a warning on stderr and a
+``null`` placeholder under ``missing`` in the summary, so downstream
+diffs see an explicit hole instead of a silently absent key. The exit
+code is non-zero only when *nothing* was found — no estimates at all, or
+every requested group missing.
 """
 
 import json
@@ -58,6 +63,16 @@ def main():
     criterion_dir = args[0] if len(args) > 0 else "target/criterion"
     out_path = args[1] if len(args) > 1 else "BENCH_engine.json"
     medians = collect(criterion_dir, groups)
+    missing = []
+    if groups is not None:
+        present = {bench_id.split("/", 1)[0] for bench_id in medians}
+        missing = sorted(groups - present)
+        for group in missing:
+            print(
+                f"warning: no Criterion estimates for group {group!r} under "
+                f"{criterion_dir!r}; emitting a null placeholder",
+                file=sys.stderr,
+            )
     if not medians:
         print(f"error: no Criterion estimates under {criterion_dir!r}", file=sys.stderr)
         return 1
@@ -67,10 +82,16 @@ def main():
         "unit": "ns",
         "medians": dict(sorted(medians.items())),
     }
+    if missing:
+        # Stable placeholders: every requested-but-absent group appears
+        # explicitly, so artifact diffs distinguish "not sampled" from
+        # "renamed away".
+        summary["missing"] = {group: None for group in missing}
     with open(out_path, "w") as fh:
         json.dump(summary, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    print(f"wrote {out_path} ({len(medians)} benchmark(s))")
+    note = f", {len(missing)} group(s) missing" if missing else ""
+    print(f"wrote {out_path} ({len(medians)} benchmark(s){note})")
     return 0
 
 

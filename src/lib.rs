@@ -20,6 +20,10 @@
 //! * [`sched`] — the multi-tenant campaign layer: batch scheduling policies
 //!   (FCFS, EASY backfill, BB-aware backfill) admitting concurrent workflow
 //!   jobs onto one shared platform;
+//! * [`resilience`] — fault schedules, retry policies, and checkpoint
+//!   policies: checkpoints are scheduled I/O, restarts resume from the
+//!   last completed image, and campaign-scope BB faults shrink the
+//!   reservation pool (see `docs/failure-model.md`);
 //! * [`calibration`] — the paper's calibration model (Equations 1–4,
 //!   Table I constants) plus digitized measured data and the measurement
 //!   emulator used in place of real Cori/Summit runs;
@@ -48,6 +52,7 @@
 
 pub use wfbb_calibration as calibration;
 pub use wfbb_platform as platform;
+pub use wfbb_resilience as resilience;
 pub use wfbb_sched as sched;
 pub use wfbb_serve as serve;
 pub use wfbb_simcore as simcore;
@@ -62,6 +67,9 @@ pub mod prelude {
     pub use wfbb_calibration::model::{amdahl_time, sequential_compute_time, CalibratedTask};
     pub use wfbb_calibration::params::{CORI, SUMMIT};
     pub use wfbb_platform::{presets, BbArchitecture, BbMode, PlatformSpec};
+    pub use wfbb_resilience::{
+        young_interval, CheckpointPolicy, CheckpointTier, FaultSpec, RetryPolicy,
+    };
     pub use wfbb_simcore::{Engine, EngineError, FlowSpec, SimTime, SolveMode};
     pub use wfbb_storage::{PlacementPolicy, StorageKind, Tier};
     pub use wfbb_wms::{

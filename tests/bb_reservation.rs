@@ -131,4 +131,63 @@ proptest! {
         }
         prop_assert!((pool.free() - capacity).abs() <= capacity * 1e-12);
     }
+
+    /// Shrinks (stripe deaths) interleaved with reserve/release:
+    /// conservation holds against the *current* capacity after every
+    /// operation, capacity never increases, free never goes negative,
+    /// and the clawed-back bytes exactly cover whatever free capacity
+    /// could not absorb.
+    #[test]
+    fn ledger_conserves_capacity_under_shrink_interleavings(
+        capacity in 1.0f64..1e15,
+        ops in proptest::collection::vec((0u32..8, 0.0f64..1e15, 0u32..4), 1..40),
+    ) {
+        let mut pool = BbPool::new(capacity);
+        let tol = capacity * 1e-9;
+        for (job, bytes, kind) in ops {
+            match kind {
+                0 | 1 => {
+                    if pool.granted(job).is_none() {
+                        let _ = pool.try_reserve(job, bytes);
+                    }
+                }
+                2 => {
+                    let _ = pool.release(job);
+                }
+                _ => {
+                    let before_cap = pool.capacity();
+                    let before_free = pool.free();
+                    let clawed: f64 = pool.shrink(bytes).iter().map(|&(_, b)| b).sum();
+                    let lost = bytes.min(before_cap);
+                    prop_assert!(
+                        (pool.capacity() - (before_cap - lost)).abs() <= tol,
+                        "capacity {} after shrinking {} from {}",
+                        pool.capacity(),
+                        bytes,
+                        before_cap
+                    );
+                    let deficit = (lost - before_free).max(0.0);
+                    prop_assert!(
+                        (clawed - deficit).abs() <= tol,
+                        "clawed {} but free {} left a deficit of {}",
+                        clawed,
+                        before_free,
+                        deficit
+                    );
+                }
+            }
+            prop_assert!(pool.free() >= 0.0, "free went negative");
+            prop_assert!(
+                pool.is_conserved(tol),
+                "conservation violated: free {} capacity {}",
+                pool.free(),
+                pool.capacity()
+            );
+        }
+        // Draining every job returns the pool to its *shrunk* capacity.
+        for job in 0..8 {
+            let _ = pool.release(job);
+        }
+        prop_assert!((pool.free() - pool.capacity()).abs() <= tol);
+    }
 }

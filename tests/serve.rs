@@ -540,7 +540,14 @@ fn metrics_endpoint_carries_the_documented_schema() {
     }
     assert!(m.get("queue_depth").is_some());
     let jobs = m.get("jobs").unwrap();
-    for key in ["running", "done", "failed", "timeout", "from_cache", "evicted"] {
+    for key in [
+        "running",
+        "done",
+        "failed",
+        "timeout",
+        "from_cache",
+        "evicted",
+    ] {
         assert!(jobs.get(key).is_some(), "jobs.{key} missing");
     }
     let cache = m.get("cache").unwrap();
